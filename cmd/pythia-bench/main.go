@@ -1,0 +1,135 @@
+// Command pythia-bench regenerates the paper's evaluation tables and
+// figures (Colin, Trahay, Conan — CLUSTER 2022, section III) on the
+// simulated substrates:
+//
+//	pythia-bench -experiment table1     # Table I: PYTHIA-RECORD overhead
+//	pythia-bench -experiment fig7       # grammar extracted from BT.large
+//	pythia-bench -experiment fig8       # prediction accuracy vs distance
+//	pythia-bench -experiment fig9       # prediction cost vs distance
+//	pythia-bench -experiment fig10      # LULESH vs problem size (pudding/24)
+//	pythia-bench -experiment fig11      # LULESH vs problem size (pixel/16)
+//	pythia-bench -experiment fig12      # LULESH vs max threads (pudding)
+//	pythia-bench -experiment fig13      # LULESH vs max threads (pixel)
+//	pythia-bench -experiment fig14      # LULESH vs injected error rate
+//	pythia-bench -experiment all        # everything, in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/internal/ompsim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|ext-ranks|ext-duration|all")
+		reps       = flag.Int("reps", 10, "repetitions for wall-clock measurements (table1)")
+		appsFlag   = flag.String("apps", "", "comma-separated application subset (default: all 13)")
+		classFlag  = flag.String("class", "large", "working set for table1 (small|medium|large)")
+		samples    = flag.Int("samples", 100, "prediction query samples per rank (fig8/fig9)")
+		seeds      = flag.Int("seeds", 5, "seeds averaged in fig14")
+	)
+	flag.Parse()
+
+	var appList []string
+	if *appsFlag != "" {
+		appList = strings.Split(*appsFlag, ",")
+	}
+	class, err := apps.ParseClass(*classFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			rows, err := harness.Table1(harness.Table1Config{
+				Class: class, Repetitions: *reps, Apps: appList,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			harness.WriteTable1(os.Stdout, class, rows)
+		case "fig7":
+			if err := harness.Fig7(os.Stdout); err != nil {
+				fatal(err)
+			}
+		case "fig8":
+			rows, err := harness.Fig8(harness.Fig8Config{
+				Apps: appList, MaxSamplesPerRank: *samples,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			harness.WriteFig8(os.Stdout, nil, rows)
+		case "fig9":
+			rows, err := harness.Fig9(harness.Fig9Config{
+				Apps: appList, MaxSamples: *samples,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			harness.WriteFig9(os.Stdout, nil, rows)
+		case "fig10":
+			pts := harness.Fig10(ompsim.Pudding())
+			harness.WriteLuleshPoints(os.Stdout,
+				"Fig 10: Execution time of Lulesh vs problem size (pudding, 24 threads)",
+				"size", pts)
+		case "fig11":
+			pts := harness.Fig10(ompsim.Pixel())
+			harness.WriteLuleshPoints(os.Stdout,
+				"Fig 11: Execution time of Lulesh vs problem size (pixel, 16 threads)",
+				"size", pts)
+		case "fig12":
+			pts := harness.Fig12(ompsim.Pudding())
+			harness.WriteLuleshPoints(os.Stdout,
+				"Fig 12: Execution time of Lulesh vs max threads (pudding, s=30)",
+				"max threads", pts)
+		case "fig13":
+			pts := harness.Fig12(ompsim.Pixel())
+			harness.WriteLuleshPoints(os.Stdout,
+				"Fig 13: Execution time of Lulesh vs max threads (pixel, s=30)",
+				"max threads", pts)
+		case "fig14":
+			harness.WriteFig14(os.Stdout, harness.Fig14(*seeds))
+		case "ext-ranks":
+			names := appList
+			if len(names) == 0 {
+				names = []string{"BT", "CG", "LU"}
+			}
+			rows, err := harness.ExtRanks(names, 4, []int{4, 8}, *samples)
+			if err != nil {
+				fatal(err)
+			}
+			harness.WriteExtRanks(os.Stdout, rows)
+		case "ext-duration":
+			rows, err := harness.ExtDuration(30)
+			if err != nil {
+				fatal(err)
+			}
+			harness.WriteExtDuration(os.Stdout, 30, rows)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+		fmt.Println()
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "fig7", "fig8", "fig9",
+			"fig10", "fig11", "fig12", "fig13", "fig14"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+	os.Exit(1)
+}

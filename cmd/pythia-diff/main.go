@@ -1,0 +1,50 @@
+// Command pythia-diff compares two Pythia trace files and reports whether
+// the executions behaved identically and, if not, where they diverge:
+//
+//	pythia-record -app LU -class small -seed 42 -o a.pythia
+//	pythia-record -app LU -class small -seed 43 -o b.pythia
+//	pythia-diff a.pythia b.pythia
+//
+// The exit status is 0 for identical traces and 1 otherwise, so the tool
+// composes with scripts (e.g. checking that an optimisation did not change
+// the communication pattern).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tracediff"
+	"repro/pythia"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pythia-diff <a.pythia> <b.pythia>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := pythia.LoadTraceSet(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := pythia.LoadTraceSet(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	d := tracediff.Compare(a, b)
+	d.Write(os.Stdout)
+	if !d.Identical() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pythia-diff:", err)
+	os.Exit(2)
+}

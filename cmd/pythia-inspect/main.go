@@ -1,0 +1,91 @@
+// Command pythia-inspect dumps the contents of a Pythia trace file: the
+// per-thread grammars in the paper's notation, event statistics, and
+// optionally the timing model.
+//
+//	pythia-inspect -trace bt.pythia
+//	pythia-inspect -trace bt.pythia -thread 0 -timing
+//	pythia-inspect -trace bt.pythia -json > bt.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/tracefile"
+	"repro/pythia"
+)
+
+func main() {
+	var (
+		trace   = flag.String("trace", "", "trace file (required)")
+		thread  = flag.Int("thread", -1, "dump only this thread (-1 = all)")
+		timing  = flag.Bool("timing", false, "also dump per-event timing statistics")
+		unfold  = flag.Bool("unfold", false, "print the full unfolded event stream")
+		summary = flag.Bool("summary", false, "print only the per-thread summary")
+		asJSON  = flag.Bool("json", false, "dump the whole trace as JSON to stdout")
+	)
+	flag.Parse()
+	if *trace == "" {
+		fmt.Fprintln(os.Stderr, "pythia-inspect: -trace is required")
+		os.Exit(1)
+	}
+	ts, err := pythia.LoadTraceSet(*trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pythia-inspect:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		if err := tracefile.ExportJSON(os.Stdout, ts); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-inspect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("trace %s: %d event kinds, %d threads, %d events total\n",
+		*trace, len(ts.Events), len(ts.Threads), ts.TotalEvents())
+
+	tids := ts.ThreadIDs()
+	for _, tid := range tids {
+		if *thread >= 0 && int32(*thread) != tid {
+			continue
+		}
+		th := ts.Threads[tid]
+		fmt.Printf("\nthread %d: %d events, %d rules", tid, th.Grammar.EventCount, len(th.Grammar.Rules))
+		if th.Timing != nil {
+			fmt.Printf(", %d timed contexts", len(th.Timing.BySuffix))
+		}
+		fmt.Println()
+		if *summary {
+			continue
+		}
+		fmt.Print(th.Grammar.Dump(func(id int32) string {
+			if int(id) < len(ts.Events) {
+				return ts.Events[id]
+			}
+			return fmt.Sprintf("?%d", id)
+		}))
+		if *unfold {
+			fmt.Println("stream:")
+			for _, id := range th.Grammar.Unfold() {
+				fmt.Println("  ", ts.Events[id])
+			}
+		}
+		if *timing && th.Timing != nil {
+			fmt.Println("mean delta before each event (context-free):")
+			ids := make([]int32, 0, len(th.Timing.ByEvent))
+			for id := range th.Timing.ByEvent {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				s := th.Timing.ByEvent[id]
+				fmt.Printf("  %-40s mean %10.0fns  min %8d  max %8d  (n=%d)\n",
+					ts.Events[id], s.Mean(), s.Min, s.Max, s.Count)
+			}
+		}
+	}
+}

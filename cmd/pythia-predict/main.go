@@ -1,0 +1,136 @@
+// Command pythia-predict replays one of the evaluation applications against
+// a previously recorded trace file and reports prediction accuracy:
+//
+//	pythia-record  -app LU -class small -o lu.pythia
+//	pythia-predict -app LU -class large -trace lu.pythia -distances 1,8,64
+//
+// This is the paper's Fig. 8 protocol for a single (application, working
+// set) pair: at every blocking MPI call the oracle predicts the event x
+// events ahead, and the prediction is scored against what the application
+// actually did.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/pythia"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "BT", "application name")
+		classFlag = flag.String("class", "large", "working set to replay (small|medium|large)")
+		trace     = flag.String("trace", "", "trace file recorded with pythia-record (required)")
+		distList  = flag.String("distances", "1,2,4,8,16,32,64,128", "prediction distances")
+		samples   = flag.Int("samples", 200, "max query points per rank")
+		seed      = flag.Int64("seed", 43, "seed for the replayed execution")
+	)
+	flag.Parse()
+	if *trace == "" {
+		fatal(fmt.Errorf("-trace is required"))
+	}
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	class, err := apps.ParseClass(*classFlag)
+	if err != nil {
+		fatal(err)
+	}
+	distances, err := parseInts(*distList)
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := pythia.LoadTraceSet(*trace)
+	if err != nil {
+		fatal(err)
+	}
+	maxDist := 0
+	for _, d := range distances {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+
+	streams := harness.CaptureStreams(app, class, *seed)
+	hits := make(map[int]int)
+	total := make(map[int]int)
+	var tracked, observed int64
+	for tid, stream := range streams {
+		oracle, err := pythia.NewPredictOracle(ref, pythia.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		th := oracle.Thread(tid)
+		if th.Predictor() == nil {
+			continue
+		}
+		th.StartAtBeginning()
+		var points []int
+		for i, name := range stream {
+			if harness.IsBlockingEvent(name) && i+maxDist < len(stream) {
+				points = append(points, i)
+			}
+		}
+		stride := 1
+		if len(points) > *samples {
+			stride = len(points) / *samples
+		}
+		sample := make(map[int]bool)
+		for i := 0; i < len(points); i += stride {
+			sample[points[i]] = true
+		}
+		for i, name := range stream {
+			th.Submit(oracle.Intern(name))
+			if !sample[i] {
+				continue
+			}
+			preds := th.PredictSequence(maxDist)
+			for _, d := range distances {
+				total[d]++
+				if d-1 < len(preds) &&
+					oracle.EventName(pythia.ID(preds[d-1].EventID)) == stream[i+d] {
+					hits[d]++
+				}
+			}
+		}
+		st := th.Predictor().Stats()
+		tracked += st.Followed
+		observed += st.Observed
+	}
+
+	fmt.Printf("%s.%s replayed against %s\n", app.Name, class, *trace)
+	fmt.Printf("tracking: followed %d of %d events (%.1f%%)\n",
+		tracked, observed, 100*float64(tracked)/float64(observed))
+	for _, d := range distances {
+		acc := 0.0
+		if total[d] > 0 {
+			acc = float64(hits[d]) / float64(total[d])
+		}
+		fmt.Printf("distance %3d: accuracy %5.1f%%  (%d samples)\n", d, acc*100, total[d])
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad distance %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pythia-predict:", err)
+	os.Exit(1)
+}

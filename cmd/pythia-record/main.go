@@ -1,0 +1,54 @@
+// Command pythia-record runs one of the evaluation applications under
+// PYTHIA-RECORD and writes the resulting trace file:
+//
+//	pythia-record -app BT -class small -o bt.pythia
+//
+// The trace can then be inspected with pythia-inspect or used for
+// predictions with pythia-predict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/pythia"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "BT", "application (BT CG EP FT IS LU MG SP AMG Lulesh Kripke miniFE Quicksilver)")
+		classFlag = flag.String("class", "small", "working set (small|medium|large)")
+		out       = flag.String("o", "", "output trace file (default <app>.<class>.pythia)")
+		seed      = flag.Int64("seed", 42, "seed for data-dependent applications")
+	)
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	class, err := apps.ParseClass(*classFlag)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s.%s.pythia", app.Name, class)
+	}
+
+	run := harness.RunMPIApp(app, class, true, *seed)
+	if err := pythia.SaveTraceSet(path, run.Trace); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s.%s: %d ranks, %d events, %d rules, wall %v -> %s\n",
+		app.Name, class, len(run.Trace.Threads), run.Trace.TotalEvents(),
+		run.Trace.TotalRules(), run.Wall.Round(1e6), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pythia-record:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,161 @@
+// Package apps implements scaled-down kernels of the 13 applications the
+// paper evaluates (section III-A2): the NAS Parallel Benchmarks BT, CG, EP,
+// FT, IS, LU, MG, SP (MPI), and the hybrid MPI+OpenMP proxies AMG, LULESH,
+// Kripke, miniFE and Quicksilver.
+//
+// Each kernel performs a small amount of real computation and — the part
+// Pythia cares about — drives the simulated runtimes with the communication
+// and parallel-region structure of the original application: CG's
+// allreduce-per-iteration, LU's pipelined plane sweeps whose length depends
+// on the working set, Quicksilver's randomised particle exchange producing
+// an irregular grammar, LULESH's dozens of parallel regions of wildly
+// different sizes. Event counts are scaled down from the originals (the
+// paper records up to 28M events per application); EXPERIMENTS.md documents
+// the scaling.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpisim"
+	"repro/internal/ompsim"
+)
+
+// Class is the working-set size (paper: NPB problem sizes A/B/C and the
+// corresponding parameter sets of the proxy apps).
+type Class int
+
+// Working-set classes.
+const (
+	Small Class = iota
+	Medium
+	Large
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ParseClass parses "small", "medium" or "large".
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	}
+	return 0, fmt.Errorf("apps: unknown class %q (want small|medium|large)", s)
+}
+
+// Context is what an application kernel runs against: its MPI endpoint, an
+// optional OpenMP runtime (hybrid apps), the working set and a seed.
+type Context struct {
+	MPI   mpisim.MPI
+	OMP   *ompsim.Runtime
+	Class Class
+	Seed  int64
+}
+
+// App describes one benchmark application.
+type App struct {
+	// Name is the paper's application name ("BT", "Quicksilver", …).
+	Name string
+	// Hybrid marks MPI+OpenMP applications (they need ctx.OMP).
+	Hybrid bool
+	// Ranks is the number of MPI ranks the evaluation uses for this app
+	// (the paper uses 64 for NAS and 8 for the hybrid apps; we scale down).
+	Ranks int
+	// Run executes the kernel on one rank.
+	Run func(ctx *Context)
+}
+
+// All returns the 13 applications in the paper's Table I order.
+func All() []App {
+	return []App{
+		{Name: "BT", Ranks: 8, Run: RunBT},
+		{Name: "CG", Ranks: 8, Run: RunCG},
+		{Name: "EP", Ranks: 8, Run: RunEP},
+		{Name: "FT", Ranks: 8, Run: RunFT},
+		{Name: "IS", Ranks: 8, Run: RunIS},
+		{Name: "LU", Ranks: 8, Run: RunLU},
+		{Name: "MG", Ranks: 8, Run: RunMG},
+		{Name: "SP", Ranks: 8, Run: RunSP},
+		{Name: "AMG", Hybrid: true, Ranks: 4, Run: RunAMG},
+		{Name: "Lulesh", Hybrid: true, Ranks: 4, Run: RunLulesh},
+		{Name: "Kripke", Hybrid: true, Ranks: 4, Run: RunKripke},
+		{Name: "miniFE", Hybrid: true, Ranks: 4, Run: RunMiniFE},
+		{Name: "Quicksilver", Hybrid: true, Ranks: 4, Run: RunQuicksilver},
+	}
+}
+
+// ByName returns the application with the given (case-sensitive) name.
+func ByName(name string) (App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// pick3 selects a per-class value.
+func pick3[T any](c Class, small, medium, large T) T {
+	switch c {
+	case Small:
+		return small
+	case Medium:
+		return medium
+	default:
+		return large
+	}
+}
+
+// neighbors returns the ring neighbours of a rank.
+func neighbors(m mpisim.MPI) (left, right int) {
+	n := m.Size()
+	return (m.Rank() + n - 1) % n, (m.Rank() + 1) % n
+}
+
+// sweeps scales a kernel's base compute intensity with the working set, so
+// that — as in the real applications — larger classes spend proportionally
+// more time computing between communication events and the relative cost of
+// recording shrinks (Table I).
+func sweeps(c Class, base int) int { return base * pick3(c, 1, 6, 24) }
+
+// compute burns a deterministic amount of floating-point work and returns a
+// value that escapes to the caller so the loop cannot be optimised away.
+func compute(buf []float64, sweeps int) float64 {
+	acc := 0.0
+	for s := 0; s < sweeps; s++ {
+		for i := 1; i < len(buf)-1; i++ {
+			buf[i] = 0.25*buf[i-1] + 0.5*buf[i] + 0.25*buf[i+1]
+		}
+		acc += buf[len(buf)/2]
+	}
+	return acc
+}
+
+// faceExchange posts the canonical halo exchange used by the stencil codes:
+// receive from both ring neighbours, send to both, wait for all.
+func faceExchange(m mpisim.MPI, tag int, payload []float64) {
+	left, right := neighbors(m)
+	reqs := []*mpisim.Request{
+		m.Irecv(left, tag),
+		m.Irecv(right, tag),
+		m.Isend(left, tag, payload),
+		m.Isend(right, tag, payload),
+	}
+	m.Waitall(reqs)
+}

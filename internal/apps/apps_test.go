@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/mpisim"
+	"repro/internal/ompsim"
+	"repro/pythia"
+)
+
+// recordApp runs one application under PYTHIA-RECORD and returns the trace
+// set (rank 0's grammar is the usual subject of assertions).
+func recordApp(t *testing.T, app App, class Class) *pythia.TraceSet {
+	t.Helper()
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	w := mpisim.NewWorld(app.Ranks)
+	w.RunInterposed(func(m mpisim.MPI) mpisim.MPI {
+		return mpisim.NewInterposer(m, o)
+	}, func(m mpisim.MPI) {
+		ctx := &Context{MPI: m, Class: class, Seed: 42}
+		if app.Hybrid {
+			// Hybrid ranks attach an OpenMP runtime sharing the oracle;
+			// thread handle 0 is the master thread of each rank — but the
+			// oracle is keyed by MPI rank here, so the OMP runtime must use
+			// the same rank-keyed thread. The test-scale hybrid runs use a
+			// per-rank runtime without oracle OMP instrumentation to keep
+			// event streams single-threaded per rank.
+			rt := ompsim.New(ompsim.Config{MaxThreads: 2})
+			defer rt.Close()
+			ctx.OMP = rt
+		}
+		app.Run(ctx)
+	})
+	return o.Finish()
+}
+
+func TestAllAppsCompleteSmall(t *testing.T) {
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			ts := recordApp(t, app, Small)
+			if err := ts.Validate(); err != nil {
+				t.Fatalf("invalid trace set: %v", err)
+			}
+			if ts.TotalEvents() == 0 {
+				t.Fatal("no events recorded")
+			}
+			if len(ts.Threads) != app.Ranks {
+				t.Fatalf("recorded %d rank streams, want %d", len(ts.Threads), app.Ranks)
+			}
+		})
+	}
+}
+
+func TestAppsRunAllClasses(t *testing.T) {
+	// Completion (no deadlock) across classes for the apps whose loop
+	// structure depends on the class.
+	for _, name := range []string{"CG", "FT", "LU", "MG"} {
+		app, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, class := range []Class{Small, Medium, Large} {
+			ts := recordApp(t, app, class)
+			if ts.TotalEvents() == 0 {
+				t.Fatalf("%s/%s: no events", name, class)
+			}
+		}
+	}
+}
+
+// TestGrammarComplexityOrdering checks the Table I shape: regular
+// applications reduce to few rules, irregular ones to many.
+func TestGrammarComplexityOrdering(t *testing.T) {
+	rules := func(name string) int {
+		app, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := recordApp(t, app, Small)
+		max := 0
+		for _, th := range ts.Threads {
+			if n := len(th.Grammar.Rules); n > max {
+				max = n
+			}
+		}
+		return max
+	}
+	ep := rules("EP")
+	bt := rules("BT")
+	qs := rules("Quicksilver")
+	t.Logf("rules: EP=%d BT=%d Quicksilver=%d", ep, bt, qs)
+	if ep > 2 {
+		t.Errorf("EP grammar has %d rules, want root only (or close)", ep)
+	}
+	if bt > 10 {
+		t.Errorf("BT grammar has %d rules, want compact", bt)
+	}
+	if qs <= 2*bt {
+		t.Errorf("Quicksilver (%d rules) should be far more complex than BT (%d)", qs, bt)
+	}
+}
+
+// TestEventCountOrdering checks that event volume spans orders of magnitude
+// across applications, as in Table I.
+func TestEventCountOrdering(t *testing.T) {
+	count := func(name string, class Class) int64 {
+		app, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recordApp(t, app, class).TotalEvents()
+	}
+	ep := count("EP", Large)
+	lu := count("LU", Large)
+	t.Logf("events: EP=%d LU=%d", ep, lu)
+	if ep >= lu/100 {
+		t.Errorf("EP (%d events) should be orders of magnitude below LU (%d)", ep, lu)
+	}
+}
+
+// TestDeterministicEventStructure re-records the deterministic apps and
+// compares descriptor sequences.
+func TestDeterministicEventStructure(t *testing.T) {
+	for _, name := range []string{"BT", "CG", "Kripke", "Quicksilver"} {
+		app, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := recordApp(t, app, Small)
+		b := recordApp(t, app, Small)
+		for tid := range a.Threads {
+			sa := a.Threads[tid].Grammar.Unfold()
+			sb := b.Threads[tid].Grammar.Unfold()
+			if len(sa) != len(sb) {
+				t.Fatalf("%s rank %d: event counts differ (%d vs %d)", name, tid, len(sa), len(sb))
+			}
+			for i := range sa {
+				if a.Events[sa[i]] != b.Events[sb[i]] {
+					t.Fatalf("%s rank %d: event %d differs", name, tid, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLuleshOMPVirtual drives the OpenMP-only LULESH kernel on the virtual
+// clock and sanity-checks monotone growth of runtime with problem size.
+func TestLuleshOMPVirtual(t *testing.T) {
+	run := func(s int64) int64 {
+		m := ompsim.Pudding()
+		rt := ompsim.New(ompsim.Config{MaxThreads: 24, Machine: &m})
+		defer rt.Close()
+		RunLuleshOMP(rt, s, LuleshSteps(s))
+		return rt.Now()
+	}
+	t10, t30, t50 := run(10), run(30), run(50)
+	if !(t10 < t30 && t30 < t50) {
+		t.Fatalf("virtual times not monotone: %d %d %d", t10, t30, t50)
+	}
+}
+
+func TestClassParsing(t *testing.T) {
+	for _, c := range []Class{Small, Medium, Large} {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("huge"); err == nil {
+		t.Fatal("ParseClass accepted nonsense")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("doom"); err == nil {
+		t.Fatal("ByName accepted unknown app")
+	}
+}

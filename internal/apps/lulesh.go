@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"repro/internal/mpisim"
+	"repro/internal/ompsim"
+)
+
+// LuleshRegion describes one of the ~30 OpenMP parallel regions a LULESH
+// time step executes (paper section III-D2). Work scales with the problem
+// size s: volume regions touch every element (s^3), surface regions touch
+// boundary faces (s^2), line and constant regions are small bookkeeping —
+// the ones that drown in fork/join overhead when run on the maximum thread
+// count.
+type LuleshRegion struct {
+	Name  string
+	Scale LuleshScale
+	K     int64 // work multiplier
+}
+
+// LuleshScale is how a region's work grows with the problem size.
+type LuleshScale int
+
+// Region work scalings.
+const (
+	ScaleVolume  LuleshScale = iota // K * s^3
+	ScaleSurface                    // K * s^2
+	ScaleLine                       // K * s
+	ScaleConst                      // K
+)
+
+// Work returns the region's work units for problem size s.
+func (r LuleshRegion) Work(s int64) int64 {
+	switch r.Scale {
+	case ScaleVolume:
+		return r.K * s * s * s
+	case ScaleSurface:
+		return r.K * s * s
+	case ScaleLine:
+		return r.K * s
+	default:
+		return r.K * 500
+	}
+}
+
+// LuleshRegions is the per-time-step region table, named after the LULESH
+// 2.0 routines. 30 regions: a few heavy element-volume loops, several
+// medium ones, and many small node/boundary fix-ups.
+func LuleshRegions() []LuleshRegion {
+	return []LuleshRegion{
+		{"InitStressTermsForElems", ScaleVolume, 1},
+		{"IntegrateStressForElems", ScaleVolume, 6},
+		{"CalcHourglassControlForElems", ScaleVolume, 8},
+		{"CalcFBHourglassForceForElems", ScaleVolume, 5},
+		{"CalcForceForNodes", ScaleVolume, 1},
+		{"CalcAccelerationForNodes", ScaleVolume, 1},
+		{"ApplyAccelerationBoundaryConditions", ScaleSurface, 1},
+		{"CalcVelocityForNodes", ScaleVolume, 1},
+		{"CalcPositionForNodes", ScaleVolume, 1},
+		{"CalcKinematicsForElems", ScaleVolume, 4},
+		{"CalcLagrangeElements", ScaleVolume, 1},
+		{"CalcMonotonicQGradientsForElems", ScaleVolume, 3},
+		{"CalcMonotonicQRegionForElems", ScaleVolume, 2},
+		{"ApplyMaterialPropertiesForElems", ScaleVolume, 1},
+		{"EvalEOSForElems_p1", ScaleVolume, 1},
+		{"EvalEOSForElems_p2", ScaleVolume, 1},
+		{"EvalEOSForElems_p3", ScaleVolume, 1},
+		{"CalcEnergyForElems", ScaleVolume, 2},
+		{"CalcPressureForElems", ScaleVolume, 1},
+		{"CalcSoundSpeedForElems", ScaleVolume, 1},
+		{"UpdateVolumesForElems", ScaleVolume, 1},
+		{"CalcCourantConstraintForElems", ScaleLine, 8},
+		{"CalcHydroConstraintForElems", ScaleLine, 8},
+		{"CommSBN_pack", ScaleSurface, 1},
+		{"CommSBN_unpack", ScaleSurface, 1},
+		{"CommSyncPosVel_pack", ScaleSurface, 1},
+		{"CommSyncPosVel_unpack", ScaleSurface, 1},
+		{"CommMonoQ_unpack", ScaleSurface, 1},
+		{"FieldInitFixup", ScaleConst, 1},
+		{"BoundaryNodeFixup", ScaleLine, 2},
+	}
+}
+
+// LuleshSteps returns the number of simulated time steps for a problem size,
+// scaled down from LULESH's physics-driven iteration counts.
+func LuleshSteps(s int64) int { return int(20 + 4*s) }
+
+// LuleshSize maps a working-set class to the paper's -s parameter (10, 30,
+// 50).
+func LuleshSize(c Class) int64 { return pick3[int64](c, 10, 30, 50) }
+
+// RunLuleshOMP runs the OpenMP-only LULESH kernel (the paper's section III-D
+// use case) on an existing runtime for `steps` time steps and problem size
+// s. Sequential work between regions models the non-parallel glue of a time
+// step.
+func RunLuleshOMP(rt *ompsim.Runtime, s int64, steps int) {
+	regions := LuleshRegions()
+	for step := 0; step < steps; step++ {
+		for _, r := range regions {
+			rt.Parallel(r.Name, r.Work(s), nil)
+		}
+		rt.Sequential(2_000, nil) // dt computation and step bookkeeping
+	}
+}
+
+// RunLulesh is the hybrid MPI+OpenMP variant used for the Table I overhead
+// measurements: each time step exchanges halo faces and reduces the time
+// constraint over MPI, then runs the parallel regions.
+func RunLulesh(ctx *Context) {
+	m := ctx.MPI
+	s := LuleshSize(ctx.Class)
+	steps := LuleshSteps(s) / 2 // hybrid runs share work across ranks
+	regions := LuleshRegions()
+	field := make([]float64, 16*s)
+	for i := range field {
+		field[i] = float64(i%17) * 0.01
+	}
+	m.Bcast(0, []float64{float64(s)})
+	m.Barrier()
+
+	sink := 0.0
+	for step := 0; step < steps; step++ {
+		// CommRecv/CommSend/CommSBN: face exchange with both neighbours.
+		faceExchange(m, 60, field[:4])
+		for _, r := range regions {
+			work := r.Work(s)
+			rt := ctx.OMP
+			rt.Parallel(r.Name, work, func(tid, n int) {
+				if tid == 0 {
+					sink += compute(field, sweeps(ctx.Class, 2))
+				}
+			})
+		}
+		// CalcTimeConstraintsForElems -> dt allreduce.
+		m.Allreduce(mpisim.OpMin, []float64{1e-3 + sink*0})
+	}
+	m.Reduce(0, mpisim.OpSum, []float64{sink})
+	m.Barrier()
+}

@@ -1,0 +1,157 @@
+package apps
+
+// Direct and multigrid solvers backing the BT/SP and MG proxies: the ADI
+// methods of NPB BT/SP reduce to batched tridiagonal solves along grid
+// lines, and MG is a geometric multigrid V-cycle. Both are implemented for
+// real at small scale.
+
+// ThomasSolve solves the tridiagonal system with constant bands
+// (lower, diag, upper) in place: d is the right-hand side on entry and the
+// solution on exit. Scratch must have len(d) capacity.
+func ThomasSolve(lower, diag, upper float64, d, scratch []float64) {
+	n := len(d)
+	if n == 0 {
+		return
+	}
+	c := scratch[:n]
+	c[0] = upper / diag
+	d[0] = d[0] / diag
+	for i := 1; i < n; i++ {
+		m := diag - lower*c[i-1]
+		c[i] = upper / m
+		d[i] = (d[i] - lower*d[i-1]) / m
+	}
+	for i := n - 2; i >= 0; i-- {
+		d[i] -= c[i] * d[i+1]
+	}
+}
+
+// ADISweep performs one alternating-direction-implicit step on a conceptual
+// grid stored as `lines` lines of length n in one slice: each line is
+// smoothed by an implicit tridiagonal solve of (I + sigma*Laplacian).
+// It returns a checksum of the grid.
+func ADISweep(grid []float64, lines, n int, sigma float64, scratch []float64) float64 {
+	sum := 0.0
+	for l := 0; l < lines; l++ {
+		line := grid[l*n : (l+1)*n]
+		ThomasSolve(-sigma, 1+2*sigma, -sigma, line, scratch)
+		sum += line[n/2]
+	}
+	return sum
+}
+
+// MGLevel is one grid level of the 1-D multigrid hierarchy.
+type MGLevel struct {
+	U, F, R []float64 // solution, right-hand side, residual
+}
+
+// MGHierarchy is a geometric multigrid solver for the 1-D Poisson problem
+// -u” = f with homogeneous Dirichlet boundaries, on a finest grid of
+// 2^levels+1 points.
+type MGHierarchy struct {
+	Levels []MGLevel
+	h2     []float64 // squared mesh width per level
+}
+
+// NewMGHierarchy builds `levels` grids; level 0 is the finest.
+func NewMGHierarchy(levels int) *MGHierarchy {
+	mg := &MGHierarchy{}
+	n := 1 << uint(levels)
+	h := 1.0 / float64(n)
+	for l := 0; l < levels; l++ {
+		size := (n >> uint(l)) + 1
+		mg.Levels = append(mg.Levels, MGLevel{
+			U: make([]float64, size),
+			F: make([]float64, size),
+			R: make([]float64, size),
+		})
+		hl := h * float64(int(1)<<uint(l))
+		mg.h2 = append(mg.h2, hl*hl)
+	}
+	return mg
+}
+
+// SetRHS installs the finest-level right-hand side.
+func (mg *MGHierarchy) SetRHS(f func(x float64) float64) {
+	fine := mg.Levels[0]
+	n := len(fine.U) - 1
+	for i := range fine.F {
+		fine.F[i] = f(float64(i) / float64(n))
+	}
+	for i := range fine.U {
+		fine.U[i] = 0
+	}
+}
+
+// smooth runs weighted-Jacobi sweeps on level l.
+func (mg *MGHierarchy) smooth(l, sweeps int) {
+	lv := mg.Levels[l]
+	h2 := mg.h2[l]
+	const omega = 2.0 / 3.0
+	tmp := lv.R // reuse as scratch
+	for s := 0; s < sweeps; s++ {
+		for i := 1; i < len(lv.U)-1; i++ {
+			jac := 0.5 * (lv.U[i-1] + lv.U[i+1] + h2*lv.F[i])
+			tmp[i] = (1-omega)*lv.U[i] + omega*jac
+		}
+		copy(lv.U[1:len(lv.U)-1], tmp[1:len(lv.U)-1])
+	}
+}
+
+// residual computes r = f + u” on level l.
+func (mg *MGHierarchy) residual(l int) {
+	lv := mg.Levels[l]
+	h2 := mg.h2[l]
+	lv.R[0], lv.R[len(lv.R)-1] = 0, 0
+	for i := 1; i < len(lv.U)-1; i++ {
+		lv.R[i] = lv.F[i] + (lv.U[i-1]-2*lv.U[i]+lv.U[i+1])/h2
+	}
+}
+
+// VCycle runs one V-cycle from the finest level and returns the residual
+// norm afterwards. onLevel, when non-nil, is invoked at every level visit
+// (down and up) — the hook the MG proxy uses to place its per-level halo
+// exchanges exactly where the real application communicates.
+func (mg *MGHierarchy) VCycle(preSweeps, postSweeps int, onLevel func(l int, down bool)) float64 {
+	last := len(mg.Levels) - 1
+	// Downward: smooth and restrict.
+	for l := 0; l < last; l++ {
+		if onLevel != nil {
+			onLevel(l, true)
+		}
+		mg.smooth(l, preSweeps)
+		mg.residual(l)
+		coarse := mg.Levels[l+1]
+		fineR := mg.Levels[l].R
+		for i := 1; i < len(coarse.F)-1; i++ {
+			coarse.F[i] = 0.25*fineR[2*i-1] + 0.5*fineR[2*i] + 0.25*fineR[2*i+1]
+		}
+		for i := range coarse.U {
+			coarse.U[i] = 0
+		}
+	}
+	if onLevel != nil {
+		onLevel(last, true)
+	}
+	mg.smooth(last, preSweeps+postSweeps+8) // coarse solve by heavy smoothing
+	// Upward: prolong and smooth.
+	for l := last - 1; l >= 0; l-- {
+		if onLevel != nil {
+			onLevel(l, false)
+		}
+		fine := mg.Levels[l]
+		coarse := mg.Levels[l+1]
+		for i := 1; i < len(coarse.U)-1; i++ {
+			fine.U[2*i] += coarse.U[i]
+			fine.U[2*i-1] += 0.5 * coarse.U[i]
+			fine.U[2*i+1] += 0.5 * coarse.U[i]
+		}
+		mg.smooth(l, postSweeps)
+	}
+	mg.residual(0)
+	norm := 0.0
+	for _, r := range mg.Levels[0].R {
+		norm += r * r
+	}
+	return norm
+}

@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThomasSolveAgainstDense(t *testing.T) {
+	// Solve (I + 2σI - σ shifts) x = d and verify by multiplying back.
+	const n = 64
+	lower, diag, upper := -0.3, 1.6, -0.3
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = math.Sin(float64(i))
+	}
+	rhs := append([]float64(nil), d...)
+	scratch := make([]float64, n)
+	ThomasSolve(lower, diag, upper, d, scratch)
+	// Multiply the tridiagonal matrix by the solution.
+	for i := 0; i < n; i++ {
+		got := diag * d[i]
+		if i > 0 {
+			got += lower * d[i-1]
+		}
+		if i < n-1 {
+			got += upper * d[i+1]
+		}
+		if math.Abs(got-rhs[i]) > 1e-9 {
+			t.Fatalf("row %d: A·x = %v, want %v", i, got, rhs[i])
+		}
+	}
+}
+
+func TestThomasSolveEmpty(t *testing.T) {
+	ThomasSolve(1, 2, 1, nil, nil) // must not panic
+}
+
+func TestADISweepSmooths(t *testing.T) {
+	const lines, n = 8, 32
+	grid := make([]float64, lines*n)
+	for i := range grid {
+		grid[i] = float64(i % 7)
+	}
+	scratch := make([]float64, n)
+	variance := func() float64 {
+		mean, v := 0.0, 0.0
+		for _, x := range grid {
+			mean += x
+		}
+		mean /= float64(len(grid))
+		for _, x := range grid {
+			v += (x - mean) * (x - mean)
+		}
+		return v
+	}
+	before := variance()
+	for k := 0; k < 5; k++ {
+		ADISweep(grid, lines, n, 0.4, scratch)
+	}
+	if variance() >= before {
+		t.Fatalf("ADI sweeps did not smooth: variance %v -> %v", before, variance())
+	}
+}
+
+func TestMGVCycleConverges(t *testing.T) {
+	mg := NewMGHierarchy(6) // finest grid: 65 points
+	mg.SetRHS(func(x float64) float64 {
+		return math.Pi * math.Pi * math.Sin(math.Pi*x) // -u'' = f, u = sin(pi x)
+	})
+	var norm float64
+	var prev float64 = math.Inf(1)
+	for cycle := 0; cycle < 10; cycle++ {
+		norm = mg.VCycle(2, 2, nil)
+		if cycle > 0 && norm > prev*0.9 {
+			t.Fatalf("cycle %d: residual %v did not contract from %v", cycle, norm, prev)
+		}
+		prev = norm
+	}
+	// Compare against the analytic solution u = sin(pi x).
+	fine := mg.Levels[0]
+	n := len(fine.U) - 1
+	for i := 0; i <= n; i++ {
+		want := math.Sin(math.Pi * float64(i) / float64(n))
+		if math.Abs(fine.U[i]-want) > 5e-3 {
+			t.Fatalf("u[%d] = %v, want %v", i, fine.U[i], want)
+		}
+	}
+}
+
+func TestMGVCycleLevelHook(t *testing.T) {
+	mg := NewMGHierarchy(4)
+	mg.SetRHS(func(x float64) float64 { return 1 })
+	var downs, ups []int
+	mg.VCycle(1, 1, func(l int, down bool) {
+		if down {
+			downs = append(downs, l)
+		} else {
+			ups = append(ups, l)
+		}
+	})
+	// Down visits 0..last, up visits last-1..0.
+	if len(downs) != 4 || downs[0] != 0 || downs[3] != 3 {
+		t.Fatalf("downs = %v", downs)
+	}
+	if len(ups) != 3 || ups[0] != 2 || ups[2] != 0 {
+		t.Fatalf("ups = %v", ups)
+	}
+}

@@ -1,0 +1,233 @@
+// Package core ties Pythia's pieces together into the oracle sessions that
+// runtime systems interact with. A Session is either recording (first,
+// reference execution) or predicting (subsequent executions); it manages a
+// shared event registry and per-thread recorders or predictors, mirroring
+// the paper's usage: "a grammar that represents the program execution is
+// maintained for each thread".
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/events"
+	"repro/internal/model"
+	"repro/internal/predictor"
+	"repro/internal/recorder"
+)
+
+// Mode selects what a Session does with submitted events.
+type Mode int
+
+const (
+	// ModeRecord builds grammars from submitted events (PYTHIA-RECORD).
+	ModeRecord Mode = iota
+	// ModePredict tracks submitted events against a reference trace and
+	// answers prediction queries (PYTHIA-PREDICT).
+	ModePredict
+	// ModeOnline does both at once: predictions come from the reference
+	// trace while the current execution is re-recorded (see
+	// NewOnlineSession).
+	ModeOnline
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeRecord:
+		return "record"
+	case ModePredict:
+		return "predict"
+	case ModeOnline:
+		return "online"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Session is a process-wide oracle instance. Thread handles are obtained
+// with Thread and are individually single-threaded; Session itself is safe
+// for concurrent Thread lookups and event interning.
+type Session struct {
+	mode Mode
+	reg  *events.Registry
+
+	mu      sync.Mutex
+	threads map[int32]*Thread
+
+	// record mode
+	recOpts []recorder.Option
+
+	// predict mode
+	ref  *model.TraceSet
+	pcfg predictor.Config
+}
+
+// NewRecordSession starts a recording session. Recorder options apply to
+// every thread's recorder.
+func NewRecordSession(opts ...recorder.Option) *Session {
+	return &Session{
+		mode:    ModeRecord,
+		reg:     events.NewRegistry(),
+		threads: make(map[int32]*Thread),
+		recOpts: opts,
+	}
+}
+
+// NewPredictSession starts a prediction session against a reference trace
+// set (typically loaded from a trace file).
+func NewPredictSession(ref *model.TraceSet, cfg predictor.Config) (*Session, error) {
+	if err := ref.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid reference trace: %w", err)
+	}
+	reg, err := events.FromNames(ref.Events)
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid event table: %w", err)
+	}
+	return &Session{
+		mode:    ModePredict,
+		reg:     reg,
+		threads: make(map[int32]*Thread),
+		ref:     ref,
+		pcfg:    cfg,
+	}, nil
+}
+
+// Mode returns the session mode.
+func (s *Session) Mode() Mode { return s.mode }
+
+// Registry returns the shared event registry. Runtimes intern their key
+// points here once and submit the resulting IDs.
+func (s *Session) Registry() *events.Registry { return s.reg }
+
+// Thread returns the handle for thread tid, creating it on first use. In
+// predict mode a thread with no reference trace gets a nil predictor and
+// behaves as permanently lost (no predictions).
+func (s *Session) Thread(tid int32) *Thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.threads[tid]; ok {
+		return t
+	}
+	t := &Thread{sess: s, tid: tid}
+	switch s.mode {
+	case ModeRecord:
+		t.rec = recorder.New(s.recOpts...)
+	case ModePredict:
+		if tr := s.ref.Trace(tid); tr != nil {
+			t.pred = predictor.New(tr, s.pcfg)
+		}
+	case ModeOnline:
+		t.rec = recorder.New(s.recOpts...)
+		if tr := s.ref.Trace(tid); tr != nil {
+			t.pred = predictor.New(tr, s.pcfg)
+		}
+	}
+	s.threads[tid] = t
+	return t
+}
+
+// FinishRecord ends a recording (or online) session, returning the trace
+// set to be saved. It panics when called on a prediction session.
+func (s *Session) FinishRecord() *model.TraceSet {
+	if s.mode != ModeRecord && s.mode != ModeOnline {
+		panic("core: FinishRecord on a " + s.mode.String() + " session")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := &model.TraceSet{
+		Events:  s.reg.Names(),
+		Threads: make(map[int32]*model.ThreadTrace, len(s.threads)),
+	}
+	for tid, t := range s.threads {
+		ts.Threads[tid] = t.rec.Finish()
+	}
+	return ts
+}
+
+// TotalEvents sums the events recorded so far across threads (record mode).
+func (s *Session) TotalEvents() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, t := range s.threads {
+		if t.rec != nil {
+			n += t.rec.EventCount()
+		}
+	}
+	return n
+}
+
+// Thread is the per-thread oracle handle. All methods must be called from a
+// single goroutine at a time (one handle per runtime thread).
+type Thread struct {
+	sess *Session
+	tid  int32
+	rec  *recorder.Recorder
+	pred *predictor.Predictor
+}
+
+// TID returns the thread identifier.
+func (t *Thread) TID() int32 { return t.tid }
+
+// Submit notifies the oracle of an event: it is recorded in record mode and
+// observed (tracked) in predict mode.
+func (t *Thread) Submit(id events.ID) {
+	if t.rec != nil {
+		t.rec.Record(id)
+	}
+	if t.pred != nil {
+		t.pred.Observe(int32(id))
+	}
+}
+
+// SubmitAt is Submit with an explicit timestamp (virtual clocks). In
+// predict mode the timestamp is ignored.
+func (t *Thread) SubmitAt(id events.ID, now int64) {
+	if t.rec != nil {
+		t.rec.RecordAt(id, now)
+	}
+	if t.pred != nil {
+		t.pred.Observe(int32(id))
+	}
+}
+
+// StartAtBeginning seeds prediction at the start of the reference trace.
+func (t *Thread) StartAtBeginning() {
+	if t.pred != nil {
+		t.pred.StartAtBeginning()
+	}
+}
+
+// PredictAt predicts the event distance events from now (predict mode).
+func (t *Thread) PredictAt(distance int) (predictor.Prediction, bool) {
+	if t.pred == nil {
+		return predictor.Prediction{}, false
+	}
+	return t.pred.PredictAt(distance)
+}
+
+// PredictSequence predicts the next n events (predict mode).
+func (t *Thread) PredictSequence(n int) []predictor.Prediction {
+	if t.pred == nil {
+		return nil
+	}
+	return t.pred.PredictSequence(n)
+}
+
+// PredictDurationUntil predicts the time until the next occurrence of the
+// event, looking at most maxDistance events ahead (predict mode).
+func (t *Thread) PredictDurationUntil(id events.ID, maxDistance int) (predictor.Prediction, bool) {
+	if t.pred == nil {
+		return predictor.Prediction{}, false
+	}
+	return t.pred.PredictDurationUntil(int32(id), maxDistance)
+}
+
+// Predictor exposes the underlying predictor (nil in record mode), for
+// diagnostics.
+func (t *Thread) Predictor() *predictor.Predictor { return t.pred }
+
+// Recorder exposes the underlying recorder (nil in predict mode), for
+// diagnostics.
+func (t *Thread) Recorder() *recorder.Recorder { return t.rec }

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/predictor"
+	"repro/internal/recorder"
+)
+
+// appSequence returns the synthetic per-thread event sequence used by the
+// tests: 50 iterations of (a, b) with a barrier every 10 iterations.
+func appSequence(a, b, c events.ID) []events.ID {
+	var seq []events.ID
+	for i := 0; i < 50; i++ {
+		seq = append(seq, a, b)
+		if i%10 == 9 {
+			seq = append(seq, c)
+		}
+	}
+	return seq
+}
+
+func TestRecordThenPredictRoundTrip(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	reg := s.Registry()
+	a := reg.Intern("phaseA")
+	b := reg.Intern("phaseB")
+	c := reg.Intern("barrier")
+	seq := appSequence(a, b, c)
+	th := s.Thread(0)
+	for _, e := range seq {
+		th.Submit(e)
+	}
+	set := s.FinishRecord()
+	if err := set.Validate(); err != nil {
+		t.Fatalf("trace set invalid: %v", err)
+	}
+
+	ps, err := NewPredictSession(set, predictor.Config{})
+	if err != nil {
+		t.Fatalf("NewPredictSession: %v", err)
+	}
+	if ps.Mode() != ModePredict {
+		t.Fatalf("mode = %v", ps.Mode())
+	}
+	preg := ps.Registry()
+	if preg.Lookup("phaseA") != a || preg.Lookup("barrier") != c {
+		t.Fatal("registry ids not preserved across record/predict")
+	}
+
+	pt := ps.Thread(0)
+	pt.StartAtBeginning()
+	for i, e := range seq {
+		pred, ok := pt.PredictAt(1)
+		if !ok {
+			t.Fatalf("step %d: no prediction", i)
+		}
+		if pred.EventID != int32(e) {
+			t.Fatalf("step %d: predicted %d, actual %d", i, pred.EventID, e)
+		}
+		pt.Submit(e)
+	}
+}
+
+func TestConcurrentThreadsRecord(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	reg := s.Registry()
+	a := reg.Intern("phaseA")
+	b := reg.Intern("phaseB")
+	c := reg.Intern("barrier")
+	var wg sync.WaitGroup
+	const nThreads = 8
+	for tid := int32(0); tid < nThreads; tid++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			th := s.Thread(tid)
+			for _, e := range appSequence(a, b, c) {
+				th.Submit(e)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	set := s.FinishRecord()
+	if err := set.Validate(); err != nil {
+		t.Fatalf("trace set invalid: %v", err)
+	}
+	if len(set.Threads) != nThreads {
+		t.Fatalf("recorded %d threads, want %d", len(set.Threads), nThreads)
+	}
+	if got := set.TotalEvents(); got != int64(nThreads*len(appSequence(a, b, c))) {
+		t.Fatalf("TotalEvents = %d", got)
+	}
+	ids := set.ThreadIDs()
+	if len(ids) != nThreads || ids[0] != 0 || ids[nThreads-1] != nThreads-1 {
+		t.Fatalf("ThreadIDs = %v", ids)
+	}
+}
+
+func TestPredictSessionMissingThread(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	a := s.Registry().Intern("x")
+	th := s.Thread(0)
+	th.Submit(a)
+	th.Submit(a)
+	set := s.FinishRecord()
+
+	ps, err := NewPredictSession(set, predictor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread 7 was never recorded: its handle must be inert.
+	pt := ps.Thread(7)
+	pt.Submit(a)
+	if _, ok := pt.PredictAt(1); ok {
+		t.Fatal("prediction from a thread without a reference trace")
+	}
+	if pt.Predictor() != nil || pt.Recorder() != nil {
+		t.Fatal("unexpected backing state for unknown thread")
+	}
+}
+
+func TestThreadHandleIdentity(t *testing.T) {
+	s := NewRecordSession()
+	if s.Thread(3) != s.Thread(3) {
+		t.Fatal("Thread not idempotent")
+	}
+	if s.Thread(3).TID() != 3 {
+		t.Fatal("TID mismatch")
+	}
+}
+
+func TestFinishRecordPanicsOnPredictSession(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	a := s.Registry().Intern("x")
+	th := s.Thread(0)
+	th.Submit(a)
+	th.Submit(a)
+	set := s.FinishRecord()
+	ps, err := NewPredictSession(set, predictor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FinishRecord on predict session did not panic")
+		}
+	}()
+	ps.FinishRecord()
+}
+
+func TestModeString(t *testing.T) {
+	if ModeRecord.String() != "record" || ModePredict.String() != "predict" {
+		t.Fatal("Mode.String broken")
+	}
+	if Mode(42).String() == "" {
+		t.Fatal("unknown mode renders empty")
+	}
+}
+
+func TestTotalEventsDuringRecord(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	a := s.Registry().Intern("x")
+	th := s.Thread(0)
+	for i := 0; i < 10; i++ {
+		th.Submit(a)
+	}
+	if n := s.TotalEvents(); n != 10 {
+		t.Fatalf("TotalEvents = %d, want 10", n)
+	}
+}
+
+func TestSubmitAtVirtualTimestamps(t *testing.T) {
+	s := NewRecordSession() // timestamps on by default
+	a := s.Registry().Intern("x")
+	b := s.Registry().Intern("y")
+	th := s.Thread(0)
+	var now int64
+	for i := 0; i < 20; i++ {
+		th.SubmitAt(a, now)
+		now += 50
+		th.SubmitAt(b, now)
+		now += 150
+	}
+	set := s.FinishRecord()
+	tr := set.Trace(0)
+	if tr.Timing == nil {
+		t.Fatal("no timing model")
+	}
+	if m := tr.Timing.ByEvent[int32(b)].Mean(); m < 49 || m > 51 {
+		t.Fatalf("mean before y = %v, want ~50", m)
+	}
+}

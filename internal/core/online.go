@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/events"
+	"repro/internal/model"
+	"repro/internal/predictor"
+	"repro/internal/recorder"
+)
+
+// NewOnlineSession starts a session that predicts from a reference trace
+// *and* records the current execution at the same time — the natural
+// deployment mode the paper's workflow implies: every production run can
+// refresh the trace that the next run will predict from, so the oracle
+// tracks slow drift in application behaviour.
+//
+// Thread.Submit feeds both engines; prediction queries behave exactly as in
+// a predict session; FinishRecord returns the newly recorded trace set.
+func NewOnlineSession(ref *model.TraceSet, cfg predictor.Config, recOpts ...recorder.Option) (*Session, error) {
+	if err := ref.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid reference trace: %w", err)
+	}
+	// The registry must extend the reference's table so that ids of known
+	// events stay stable while new events get fresh ids.
+	reg, err := events.FromNames(ref.Events)
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid event table: %w", err)
+	}
+	return &Session{
+		mode:    ModeOnline,
+		reg:     reg,
+		threads: make(map[int32]*Thread),
+		ref:     ref,
+		pcfg:    cfg,
+		recOpts: recOpts,
+	}, nil
+}
+
+// MergeTiming folds the timing statistics of a previous trace set into a
+// freshly recorded one, thread by thread, provided the grammars are
+// identical (same behaviour). Threads whose structure changed keep only the
+// fresh statistics. It returns how many threads were merged. This is how a
+// deployment accumulates the paper's "average elapsed time" over many runs
+// instead of a single reference execution.
+func MergeTiming(fresh, old *model.TraceSet) int {
+	merged := 0
+	for tid, fth := range fresh.Threads {
+		oth, ok := old.Threads[tid]
+		if !ok || fth.Timing == nil || oth.Timing == nil {
+			continue
+		}
+		if !sameGrammar(fth, oth) {
+			continue
+		}
+		for k, os := range oth.Timing.BySuffix {
+			s := fth.Timing.BySuffix[k]
+			s.Merge(os)
+			fth.Timing.BySuffix[k] = s
+		}
+		for id, os := range oth.Timing.ByEvent {
+			s := fth.Timing.ByEvent[id]
+			s.Merge(os)
+			fth.Timing.ByEvent[id] = s
+		}
+		merged++
+	}
+	return merged
+}
+
+// sameGrammar reports whether two thread traces have identical rule bodies.
+func sameGrammar(a, b *model.ThreadTrace) bool {
+	if len(a.Grammar.Rules) != len(b.Grammar.Rules) {
+		return false
+	}
+	for i := range a.Grammar.Rules {
+		ba, bb := a.Grammar.Rules[i].Body, b.Grammar.Rules[i].Body
+		if len(ba) != len(bb) {
+			return false
+		}
+		for j := range ba {
+			if ba[j] != bb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

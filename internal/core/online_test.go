@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/events"
+	"repro/internal/predictor"
+)
+
+func buildReference(t *testing.T) *Session {
+	t.Helper()
+	s := NewRecordSession()
+	a := s.Registry().Intern("a")
+	b := s.Registry().Intern("b")
+	th := s.Thread(0)
+	var now int64
+	for i := 0; i < 100; i++ {
+		th.SubmitAt(a, now)
+		now += 10
+		th.SubmitAt(b, now)
+		now += 20
+	}
+	return s
+}
+
+func TestOnlineSessionPredictsAndRecords(t *testing.T) {
+	ref := buildReference(t).FinishRecord()
+
+	on, err := NewOnlineSession(ref, predictor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Mode() != ModeOnline || on.Mode().String() != "online" {
+		t.Fatalf("mode = %v", on.Mode())
+	}
+	a := on.Registry().Lookup("a")
+	b := on.Registry().Lookup("b")
+	th := on.Thread(0)
+	th.StartAtBeginning()
+
+	var now int64
+	correct, total := 0, 0
+	for i := 0; i < 100; i++ {
+		for _, e := range []events.ID{a, b} {
+			if pred, ok := th.PredictAt(1); ok {
+				total++
+				if pred.EventID == int32(e) {
+					correct++
+				}
+			}
+			th.SubmitAt(e, now)
+			now += 15
+		}
+	}
+	if total == 0 || correct != total {
+		t.Fatalf("online prediction accuracy %d/%d", correct, total)
+	}
+
+	// The session also recorded the fresh execution.
+	fresh := on.FinishRecord()
+	if fresh.Threads[0].Grammar.EventCount != 200 {
+		t.Fatalf("fresh trace has %d events, want 200", fresh.Threads[0].Grammar.EventCount)
+	}
+	if fresh.Threads[0].Timing == nil {
+		t.Fatal("fresh trace lost its timing model")
+	}
+}
+
+func TestOnlineSessionNewEventsExtendRegistry(t *testing.T) {
+	ref := buildReference(t).FinishRecord()
+	on, err := NewOnlineSession(ref, predictor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A brand-new event must get an id beyond the reference table.
+	nu := on.Registry().Intern("brand-new")
+	if int(nu) < len(ref.Events) {
+		t.Fatalf("new event id %d collides with reference table (%d entries)", nu, len(ref.Events))
+	}
+	th := on.Thread(0)
+	th.Submit(on.Registry().Lookup("a"))
+	th.Submit(nu) // unexpected for the predictor, recorded all the same
+	th.Submit(on.Registry().Lookup("b"))
+	fresh := on.FinishRecord()
+	if fresh.Threads[0].Grammar.EventCount != 3 {
+		t.Fatalf("events = %d, want 3", fresh.Threads[0].Grammar.EventCount)
+	}
+	if fresh.Events[nu] != "brand-new" {
+		t.Fatalf("descriptor table not extended: %v", fresh.Events)
+	}
+}
+
+func TestMergeTiming(t *testing.T) {
+	oldTS := buildReference(t).FinishRecord()
+	freshTS := buildReference(t).FinishRecord()
+
+	beforeCount := freshTS.Threads[0].Timing.ByEvent[0].Count
+	merged := MergeTiming(freshTS, oldTS)
+	if merged != 1 {
+		t.Fatalf("merged = %d threads, want 1", merged)
+	}
+	afterCount := freshTS.Threads[0].Timing.ByEvent[0].Count
+	if afterCount != 2*beforeCount {
+		t.Fatalf("sample count %d, want %d", afterCount, 2*beforeCount)
+	}
+}
+
+func TestMergeTimingSkipsChangedStructure(t *testing.T) {
+	oldTS := buildReference(t).FinishRecord()
+
+	// A structurally different execution.
+	s := NewRecordSession()
+	x := s.Registry().Intern("x")
+	th := s.Thread(0)
+	var now int64
+	for i := 0; i < 10; i++ {
+		th.SubmitAt(x, now)
+		now += 5
+	}
+	freshTS := s.FinishRecord()
+
+	if merged := MergeTiming(freshTS, oldTS); merged != 0 {
+		t.Fatalf("merged %d threads despite structural change", merged)
+	}
+}

@@ -1,0 +1,156 @@
+// Package events defines Pythia's event model: the key points a runtime
+// system notifies the oracle about (paper section II-A). An event is an
+// integer identifying the key point — e.g. the entry of MPI_Send — plus
+// optional discriminating payload such as the destination rank or the
+// reduction operation. Pythia interns each distinct (name, payload)
+// combination into a dense terminal id so that the grammar engine works on
+// plain integers.
+package events
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ID is a dense, non-negative event identifier; it doubles as the terminal
+// symbol value in the grammar.
+type ID int32
+
+// Invalid is returned by lookups that find nothing.
+const Invalid ID = -1
+
+// Registry interns event descriptors into dense IDs and resolves them back
+// to human-readable names. It is safe for concurrent use: runtimes intern
+// events from many threads at once.
+type Registry struct {
+	mu    sync.RWMutex
+	byKey map[string]ID
+	names []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]ID)}
+}
+
+// Intern returns the ID for the key point name, creating it on first use.
+func (r *Registry) Intern(name string) ID {
+	return r.internKey(name)
+}
+
+// InternArgs returns the ID for the key point name discriminated by the
+// given payload values (e.g. InternArgs("MPI_Send", dest) gives a distinct
+// event per destination rank, as the paper's MPI runtime does).
+func (r *Registry) InternArgs(name string, args ...int64) ID {
+	if len(args) == 0 {
+		return r.internKey(name)
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, a := range args {
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(a, 10))
+	}
+	return r.internKey(b.String())
+}
+
+func (r *Registry) internKey(key string) ID {
+	r.mu.RLock()
+	id, ok := r.byKey[key]
+	r.mu.RUnlock()
+	if ok {
+		return id
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.byKey[key]; ok {
+		return id
+	}
+	id = ID(len(r.names))
+	r.byKey[key] = id
+	r.names = append(r.names, key)
+	return id
+}
+
+// Lookup returns the ID of an already-interned descriptor, or Invalid.
+func (r *Registry) Lookup(name string, args ...int64) ID {
+	key := name
+	if len(args) > 0 {
+		var b strings.Builder
+		b.WriteString(name)
+		for _, a := range args {
+			b.WriteByte(':')
+			b.WriteString(strconv.FormatInt(a, 10))
+		}
+		key = b.String()
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id, ok := r.byKey[key]; ok {
+		return id
+	}
+	return Invalid
+}
+
+// Name returns the full descriptor of id ("MPI_Send:3"), or a placeholder
+// for unknown ids.
+func (r *Registry) Name(id ID) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if id < 0 || int(id) >= len(r.names) {
+		return fmt.Sprintf("?event%d", int32(id))
+	}
+	return r.names[id]
+}
+
+// BaseName returns the key point name of id without its payload suffix
+// ("MPI_Send:3" -> "MPI_Send").
+func (r *Registry) BaseName(id ID) string {
+	n := r.Name(id)
+	if i := strings.IndexByte(n, ':'); i >= 0 {
+		return n[:i]
+	}
+	return n
+}
+
+// Len returns the number of interned events.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.names)
+}
+
+// Names returns a copy of the descriptor table indexed by ID.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// FromNames rebuilds a registry from a descriptor table (trace file load).
+func FromNames(names []string) (*Registry, error) {
+	r := NewRegistry()
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("events: empty descriptor at id %d", i)
+		}
+		if _, dup := r.byKey[n]; dup {
+			return nil, fmt.Errorf("events: duplicate descriptor %q", n)
+		}
+		r.byKey[n] = ID(i)
+		r.names = append(r.names, n)
+	}
+	return r, nil
+}
+
+// SortedNames returns the descriptors in lexical order (for stable dumps).
+func (r *Registry) SortedNames() []string {
+	out := r.Names()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,176 @@
+package grammar
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestFrozenOccurrenceCounts verifies the derived data prediction relies on:
+// for every terminal, the sum over its grammar sites of
+// occ(rule) * run-count must equal the brute-force count of that terminal in
+// the unfolded trace, and Len/Occ must be internally consistent.
+func TestFrozenOccurrenceCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 20 + rng.Intn(600)
+		alphabet := int32(2 + rng.Intn(5))
+		seq := make([]int32, n)
+		g := New()
+		for i := range seq {
+			if rng.Intn(3) > 0 && i > 0 {
+				seq[i] = seq[i-1] // runs
+			} else {
+				seq[i] = int32(rng.Intn(int(alphabet)))
+			}
+			g.Append(seq[i])
+		}
+		f := g.Freeze()
+
+		brute := map[int32]int64{}
+		for _, e := range seq {
+			brute[e]++
+		}
+		for id, sites := range f.TermSites {
+			var derived int64
+			for _, site := range sites {
+				derived += f.Rules[site.Rule].Occ * int64(f.RunAt(site).Count)
+			}
+			if derived != brute[id] {
+				t.Fatalf("trial %d terminal %d: derived %d occurrences, brute %d\n%s",
+					trial, id, derived, brute[id], f.Dump(nil))
+			}
+		}
+		if f.Rules[0].Len != int64(n) || f.EventCount != int64(n) {
+			t.Fatalf("trial %d: root Len %d, EventCount %d, want %d",
+				trial, f.Rules[0].Len, f.EventCount, n)
+		}
+		// Σ occ(rule)*len(rule) over all rules counts each terminal exactly
+		// once per nesting level... instead check per-rule consistency:
+		// len(rule) == Σ runs count*symlen.
+		for ri, r := range f.Rules {
+			var l int64
+			for _, run := range r.Body {
+				l += int64(run.Count) * f.SymLen(run.Sym)
+			}
+			if l != r.Len {
+				t.Fatalf("trial %d: R%d Len %d, recomputed %d", trial, ri, r.Len, l)
+			}
+		}
+	}
+}
+
+// TestFreezeDeterministic: freezing the same grammar twice gives identical
+// snapshots.
+func TestFreezeDeterministic(t *testing.T) {
+	g := New()
+	for i := 0; i < 500; i++ {
+		g.Append(int32(i % 5))
+	}
+	a, b := g.Freeze(), g.Freeze()
+	if !reflect.DeepEqual(a.Rules, b.Rules) {
+		t.Fatal("Freeze is not deterministic")
+	}
+}
+
+// TestFreezeIsolatedFromLiveGrammar: appending after Freeze must not change
+// the snapshot.
+func TestFreezeIsolatedFromLiveGrammar(t *testing.T) {
+	g := New()
+	for i := 0; i < 100; i++ {
+		g.Append(int32(i % 3))
+	}
+	f := g.Freeze()
+	before := f.Unfold()
+	for i := 0; i < 100; i++ {
+		g.Append(int32(i % 4))
+	}
+	after := f.Unfold()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("frozen snapshot changed under live appends")
+	}
+}
+
+// TestNewFrozenRejectsBadInput covers deserialisation validation.
+func TestNewFrozenRejectsBadInput(t *testing.T) {
+	// Dangling rule reference.
+	if _, err := NewFrozen([][]Run{{{Sym: NonTerminal(5), Count: 1}}}); err == nil {
+		t.Fatal("dangling reference accepted")
+	}
+	// Zero count.
+	if _, err := NewFrozen([][]Run{{{Sym: Terminal(0), Count: 0}}}); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	// Self reference.
+	if _, err := NewFrozen([][]Run{{{Sym: NonTerminal(0), Count: 1}}}); err == nil {
+		t.Fatal("self reference accepted")
+	}
+	// Cycle through two rules.
+	bad := [][]Run{
+		{{Sym: NonTerminal(1), Count: 1}},
+		{{Sym: NonTerminal(0), Count: 1}},
+	}
+	// Rule 1 references rule 0 which references rule 1: but rule 0 is the
+	// root, so the cycle passes through the root.
+	if _, err := NewFrozen(bad); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	// Empty grammar.
+	if _, err := NewFrozen(nil); err == nil {
+		t.Fatal("no rules accepted")
+	}
+	// Valid round trip.
+	g := New()
+	for _, e := range []int32{0, 1, 0, 1, 0, 1} {
+		g.Append(e)
+	}
+	f := g.Freeze()
+	bodies := make([][]Run, len(f.Rules))
+	for i, r := range f.Rules {
+		bodies[i] = r.Body
+	}
+	f2, err := NewFrozen(bodies)
+	if err != nil {
+		t.Fatalf("valid grammar rejected: %v", err)
+	}
+	if !reflect.DeepEqual(f2.Unfold(), f.Unfold()) {
+		t.Fatal("NewFrozen changed the unfolding")
+	}
+	if f2.EventCount != f.EventCount {
+		t.Fatalf("EventCount %d, want %d", f2.EventCount, f.EventCount)
+	}
+}
+
+// TestQuickTermSitesComplete: every terminal of the unfolded trace is
+// reachable from TermSites.
+func TestQuickTermSitesComplete(t *testing.T) {
+	f := func(raw []uint8) bool {
+		g := New()
+		seen := map[int32]bool{}
+		for _, b := range raw {
+			e := int32(b % 6)
+			g.Append(e)
+			seen[e] = true
+		}
+		fz := g.Freeze()
+		if len(fz.TermSites) != len(seen) {
+			return false
+		}
+		for id := range seen {
+			if len(fz.TermSites[id]) == 0 {
+				return false
+			}
+		}
+		ids := fz.TerminalIDs()
+		for i := 1; i < len(ids); i++ {
+			if ids[i-1] >= ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,445 @@
+package grammar
+
+import "fmt"
+
+// Grammar is an incrementally-built context-free grammar that derives exactly
+// one sequence: the stream of terminal symbols appended so far. It is the
+// structure PYTHIA-RECORD maintains per thread (paper section II-A).
+//
+// A Grammar is not safe for concurrent use; Pythia keeps one per thread.
+type Grammar struct {
+	rules []*rule // rules[0] is the root; entries may be nil after deletion
+	free  []int32 // recycled rule indexes
+	index map[digram]*node
+
+	// pending holds rule indexes whose usage count may have dropped to one;
+	// they are inlined (rule-utility invariant) once the current structural
+	// edit completes.
+	pending []int32
+
+	// nodePool recycles unlinked nodes: appends are the hot path of
+	// PYTHIA-RECORD, and reduction churns nodes constantly. A recycled node
+	// is indistinguishable from a fresh one; stale digram-index entries are
+	// re-validated on use.
+	nodePool []*node
+
+	eventCount int64 // number of terminals appended so far
+}
+
+// New returns an empty grammar ready to accept events.
+func New() *Grammar {
+	g := &Grammar{index: make(map[digram]*node)}
+	g.rules = append(g.rules, newRule(0))
+	return g
+}
+
+// root returns the root rule (always rules[0]).
+func (g *Grammar) root() *rule { return g.rules[0] }
+
+// ruleOf returns the rule referred to by non-terminal symbol s.
+func (g *Grammar) ruleOf(s Sym) *rule { return g.rules[s.RuleIndex()] }
+
+// EventCount returns the number of terminal symbols appended so far, i.e.
+// the unfolded length of the root rule.
+func (g *Grammar) EventCount() int64 { return g.eventCount }
+
+// RuleCount returns the number of live rules, including the root.
+func (g *Grammar) RuleCount() int {
+	n := 0
+	for _, r := range g.rules {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Append records one occurrence of the terminal event id at the end of the
+// trace, restoring all grammar invariants before returning.
+func (g *Grammar) Append(eventID int32) { g.AppendRun(eventID, 1) }
+
+// AppendRun records count consecutive occurrences of the terminal event id.
+func (g *Grammar) AppendRun(eventID int32, count uint32) {
+	if count == 0 {
+		return
+	}
+	g.eventCount += int64(count)
+	g.appendSym(Terminal(eventID), count)
+	g.drainPending()
+}
+
+// appendSym appends the run s^c to the root body, enforcing run merging and
+// digram uniqueness.
+func (g *Grammar) appendSym(s Sym, c uint32) {
+	root := g.root()
+	last := root.last()
+	if last != nil && last.sym == s {
+		last.count += c
+		g.noteCountDelta(last, int64(c))
+		return
+	}
+	n := g.newNode(s, c)
+	root.insertAfter(root.guard.prev, n)
+	g.noteNewNode(n)
+	if last != nil {
+		g.check(last)
+	}
+}
+
+// newNode allocates or recycles a body node.
+func (g *Grammar) newNode(s Sym, c uint32) *node {
+	if n := len(g.nodePool); n > 0 {
+		nd := g.nodePool[n-1]
+		g.nodePool = g.nodePool[:n-1]
+		nd.sym, nd.count = s, c
+		return nd
+	}
+	return &node{sym: s, count: c}
+}
+
+// recycle returns an unlinked node to the pool.
+func (g *Grammar) recycle(n *node) {
+	if len(g.nodePool) < 1024 {
+		g.nodePool = append(g.nodePool, n)
+	}
+}
+
+// --- usage accounting -------------------------------------------------------
+
+// noteNewNode registers a freshly linked node in the usage accounting.
+func (g *Grammar) noteNewNode(n *node) {
+	if n.sym.IsTerminal() {
+		return
+	}
+	r := g.ruleOf(n.sym)
+	r.uses += int64(n.count)
+	r.users[n] = struct{}{}
+}
+
+// noteCountDelta adjusts usage accounting after n.count changed by delta.
+func (g *Grammar) noteCountDelta(n *node, delta int64) {
+	if n.sym.IsTerminal() {
+		return
+	}
+	r := g.ruleOf(n.sym)
+	r.uses += delta
+	if r.uses <= 1 {
+		g.maybeDying(r)
+	}
+}
+
+// noteRemoveNode unregisters a node that is about to be unlinked.
+func (g *Grammar) noteRemoveNode(n *node) {
+	if n.sym.IsTerminal() {
+		return
+	}
+	r := g.ruleOf(n.sym)
+	r.uses -= int64(n.count)
+	delete(r.users, n)
+	if r.uses <= 1 {
+		g.maybeDying(r)
+	}
+}
+
+// maybeDying schedules a rule for the utility check in drainPending.
+func (g *Grammar) maybeDying(r *rule) {
+	if r.idx == 0 {
+		return
+	}
+	g.pending = append(g.pending, r.idx)
+}
+
+// --- digram index -----------------------------------------------------------
+
+// unindex removes the index entry for the digram starting at left, if the
+// entry points at left.
+func (g *Grammar) unindex(left *node) {
+	if left == nil || left.guard || !left.alive() {
+		return
+	}
+	right := left.next
+	if right == nil || right.guard {
+		return
+	}
+	d := digram{left.sym, right.sym}
+	if g.index[d] == left {
+		delete(g.index, d)
+	}
+}
+
+// check enforces the digram-uniqueness invariant for the pair starting at
+// left. It either claims the index slot or triggers a match with the
+// existing occurrence.
+func (g *Grammar) check(left *node) {
+	if left == nil || left.guard || !left.alive() {
+		return
+	}
+	right := left.next
+	if right == nil || right.guard {
+		return
+	}
+	if left.sym == right.sym {
+		// Defensive: adjacent equal runs are merged on sight.
+		g.mergeInto(left, right)
+		g.check(left)
+		return
+	}
+	d := digram{left.sym, right.sym}
+	m, ok := g.index[d]
+	if ok && m != left && m.alive() && m.sym == left.sym &&
+		m.next != nil && !m.next.guard && m.next.sym == right.sym {
+		g.match(left, m)
+		return
+	}
+	if m != left {
+		g.index[d] = left
+	}
+}
+
+// mergeInto folds the run right into the adjacent run left (equal symbols),
+// fixing the index entry for the pair that started at right.
+func (g *Grammar) mergeInto(left, right *node) {
+	if nn := right.next; nn != nil && !nn.guard {
+		key := digram{right.sym, nn.sym}
+		if g.index[key] == right {
+			g.index[key] = left
+		}
+	}
+	c := right.count
+	g.noteRemoveNode(right)
+	right.unlink()
+	g.recycle(right)
+	left.count += c
+	g.noteCountDelta(left, int64(c))
+}
+
+// --- digram matching --------------------------------------------------------
+
+// match handles a duplicated digram: the pair starting at l duplicates the
+// indexed pair starting at m. Following the paper's algorithm, either an
+// existing rule whose body is exactly the shared pair is reused, or a new
+// rule is created and both occurrences are rewritten to use it.
+func (g *Grammar) match(l, m *node) {
+	r := l.next
+	m2 := m.next
+	a := minU32(l.count, m.count)
+	b := minU32(r.count, m2.count)
+
+	mr := m.rule
+	lr := l.rule
+	var R *rule
+	if mr.idx != 0 && m.prev.guard && m2.next.guard && m.count == a && m2.count == b {
+		// The existing occurrence is the entire body of mr: reuse it.
+		R = mr
+	} else if lr.idx != 0 && l.prev.guard && r.next.guard && l.count == a && r.count == b {
+		// The new occurrence is the entire body of lr: reuse it the other
+		// way around — rewrite the indexed occurrence to reference lr and
+		// make lr's body the canonical location of the digram.
+		R = lr
+		g.index[digram{l.sym, r.sym}] = l
+		g.substitute(m, m2, a, b, R)
+		g.maybeDying(R)
+		return
+	} else {
+		R = g.allocRule()
+		n1 := g.newNode(l.sym, a)
+		R.insertAfter(R.guard, n1)
+		g.noteNewNode(n1)
+		n2 := g.newNode(r.sym, b)
+		R.insertAfter(n1, n2)
+		g.noteNewNode(n2)
+		// The canonical location of this digram is now inside R.
+		g.index[digram{l.sym, r.sym}] = n1
+		g.substitute(m, m2, a, b, R)
+	}
+	// The first substitution may have cascaded into the region around l;
+	// re-validate before rewriting the second occurrence.
+	if !l.alive() || !r.alive() || l.next != r || l.count < a || r.count < b {
+		g.maybeDying(R)
+		if l.alive() {
+			g.check(l)
+		}
+		return
+	}
+	g.substitute(l, r, a, b, R)
+	g.maybeDying(R)
+}
+
+// substitute replaces the sub-run x^a y^b (x and y adjacent, a <= x.count,
+// b <= y.count) by one occurrence of rule R, leaving run remainders in
+// place: x^n y^m becomes x^(n-a) R y^(m-b).
+func (g *Grammar) substitute(x, y *node, a, b uint32, R *rule) {
+	T := x.rule
+	p := x.prev
+	xGone := x.count == a
+	yGone := y.count == b
+
+	// Retire index entries that stop being valid.
+	g.unindex(x) // (x, y)
+	if xGone {
+		g.unindex(p) // (p, x)
+	}
+	if yGone {
+		g.unindex(y) // (y, q)
+	}
+
+	if xGone {
+		g.noteRemoveNode(x)
+		x.unlink()
+		g.recycle(x)
+	} else {
+		x.count -= a
+		g.noteCountDelta(x, -int64(a))
+	}
+	if yGone {
+		g.noteRemoveNode(y)
+		y.unlink()
+		g.recycle(y)
+	} else {
+		y.count -= b
+		g.noteCountDelta(y, -int64(b))
+	}
+
+	anchor := p
+	if !xGone {
+		anchor = x
+	}
+	var rnode *node
+	if !anchor.guard && anchor.sym == R.sym() {
+		anchor.count++
+		g.noteCountDelta(anchor, 1)
+		rnode = anchor
+	} else {
+		rnode = g.newNode(R.sym(), 1)
+		T.insertAfter(anchor, rnode)
+		g.noteNewNode(rnode)
+	}
+	if nxt := rnode.next; !nxt.guard && nxt.sym == rnode.sym {
+		g.mergeInto(rnode, nxt)
+	}
+
+	g.check(rnode.prev)
+	g.check(rnode)
+}
+
+// --- rule utility -----------------------------------------------------------
+
+// drainPending inlines rules whose total usage dropped to one (or collects
+// rules that became entirely unused), restoring the rule-utility invariant.
+func (g *Grammar) drainPending() {
+	for len(g.pending) > 0 {
+		idx := g.pending[len(g.pending)-1]
+		g.pending = g.pending[:len(g.pending)-1]
+		r := g.rules[idx]
+		if r == nil || idx == 0 || r.uses > 1 {
+			continue
+		}
+		if r.uses <= 0 {
+			g.deleteUnused(r)
+			continue
+		}
+		g.inline(r)
+	}
+}
+
+// inline expands the single remaining use of rule r in place and deletes r.
+func (g *Grammar) inline(r *rule) {
+	var u *node
+	for n := range r.users {
+		u = n
+		break
+	}
+	if u == nil || !u.alive() {
+		return
+	}
+	if u.count != 1 {
+		panic(fmt.Sprintf("grammar: inline of R%d with run count %d", r.idx, u.count))
+	}
+	T := u.rule
+	p := u.prev
+	q := u.next
+	first := r.first()
+	last := r.last()
+	if first == nil {
+		panic(fmt.Sprintf("grammar: inline of empty rule R%d", r.idx))
+	}
+
+	g.unindex(p) // (p, u)
+	g.unindex(u) // (u, q)
+	g.noteRemoveNode(u)
+	u.unlink()
+	g.recycle(u)
+
+	// Splice the rule body between p and q. Digram index entries that point
+	// at interior body nodes remain valid: the nodes move wholesale.
+	for bn := first; ; bn = bn.next {
+		bn.rule = T
+		if bn == last {
+			break
+		}
+	}
+	p.next = first
+	first.prev = p
+	last.next = q
+	q.prev = last
+	g.freeRule(r)
+
+	// Boundary merges, then boundary digram checks.
+	if !p.guard && p.sym == first.sym {
+		g.mergeInto(p, first)
+	}
+	lastNew := q.prev
+	if !q.guard && !lastNew.guard && lastNew.sym == q.sym {
+		g.mergeInto(lastNew, q)
+	}
+	g.check(p)
+	if qp := q.prev; qp != nil && q.alive() {
+		g.check(qp)
+	} else if !q.alive() {
+		// q was merged away; the surviving node is lastNew.
+		g.check(lastNew)
+	}
+}
+
+// deleteUnused removes a rule that lost all its references, releasing the
+// references its own body holds.
+func (g *Grammar) deleteUnused(r *rule) {
+	for bn := r.first(); bn != nil && !bn.guard; {
+		next := bn.next
+		g.unindex(bn)
+		g.noteRemoveNode(bn)
+		bn.unlink()
+		g.recycle(bn)
+		bn = next
+	}
+	g.freeRule(r)
+}
+
+// --- rule allocation --------------------------------------------------------
+
+func (g *Grammar) allocRule() *rule {
+	var idx int32
+	if n := len(g.free); n > 0 {
+		idx = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		idx = int32(len(g.rules))
+		g.rules = append(g.rules, nil)
+	}
+	r := newRule(idx)
+	g.rules[idx] = r
+	return r
+}
+
+func (g *Grammar) freeRule(r *rule) {
+	g.rules[r.idx] = nil
+	g.free = append(g.free, r.idx)
+	r.users = nil
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package grammar
+
+import "fmt"
+
+// CheckInvariants verifies the structural invariants of the grammar and
+// returns the first violation found, or nil. It is O(size of grammar) and is
+// meant for tests and debugging, not for the hot path.
+//
+// Checked invariants:
+//  1. rule utility — every non-root rule is referenced at least twice
+//     (counting run exponents), and the recorded usage counters match a
+//     recount from scratch;
+//  2. digram uniqueness — every ordered pair of adjacent symbols appears at
+//     most once across all rule bodies, and the digram index maps each pair
+//     to its single occurrence;
+//  3. run merging — no two adjacent runs carry the same symbol, and every
+//     run has a positive count;
+//  4. structure — rule bodies are consistently linked, non-root bodies have
+//     at least two runs, all referenced rules exist, and the grammar is
+//     acyclic.
+func (g *Grammar) CheckInvariants() error {
+	if len(g.rules) == 0 || g.rules[0] == nil {
+		return fmt.Errorf("grammar: missing root rule")
+	}
+
+	uses := make(map[int32]int64)
+	seen := make(map[digram]*node)
+
+	for idx, r := range g.rules {
+		if r == nil {
+			continue
+		}
+		if int(r.idx) != idx {
+			return fmt.Errorf("grammar: rule at slot %d has idx %d", idx, r.idx)
+		}
+		bodyLen := 0
+		for n := r.first(); n != nil && !n.guard; n = n.next {
+			bodyLen++
+			if n.rule != r {
+				return fmt.Errorf("grammar: node in R%d has rule pointer to %v", r.idx, n.rule)
+			}
+			if n.count == 0 {
+				return fmt.Errorf("grammar: zero-count run %v in R%d", n.sym, r.idx)
+			}
+			if n.next.prev != n || n.prev.next != n {
+				return fmt.Errorf("grammar: broken links around %v in R%d", n.sym, r.idx)
+			}
+			if !n.sym.IsTerminal() {
+				ref := n.sym.RuleIndex()
+				if int(ref) >= len(g.rules) || g.rules[ref] == nil {
+					return fmt.Errorf("grammar: R%d references deleted rule R%d", r.idx, ref)
+				}
+				uses[ref] += int64(n.count)
+				if _, ok := g.rules[ref].users[n]; !ok {
+					return fmt.Errorf("grammar: R%d user set missing node from R%d", ref, r.idx)
+				}
+			}
+			if !n.next.guard {
+				if n.sym == n.next.sym {
+					return fmt.Errorf("grammar: adjacent equal runs %v in R%d", n.sym, r.idx)
+				}
+				d := digram{n.sym, n.next.sym}
+				if prev, dup := seen[d]; dup {
+					return fmt.Errorf("grammar: digram (%v,%v) appears in R%d and R%d",
+						d.a, d.b, prev.rule.idx, r.idx)
+				}
+				seen[d] = n
+				got, ok := g.index[d]
+				if !ok {
+					return fmt.Errorf("grammar: digram (%v,%v) in R%d missing from index", d.a, d.b, r.idx)
+				}
+				if got != n {
+					return fmt.Errorf("grammar: index for digram (%v,%v) points elsewhere", d.a, d.b)
+				}
+			}
+		}
+		if idx != 0 && bodyLen < 2 {
+			return fmt.Errorf("grammar: non-root rule R%d has %d runs", r.idx, bodyLen)
+		}
+	}
+
+	for idx, r := range g.rules {
+		if r == nil || idx == 0 {
+			continue
+		}
+		if uses[int32(idx)] != r.uses {
+			return fmt.Errorf("grammar: R%d recorded uses %d, recount %d", idx, r.uses, uses[int32(idx)])
+		}
+		if r.uses < 2 {
+			return fmt.Errorf("grammar: rule utility violated for R%d (uses=%d)", idx, r.uses)
+		}
+		for n := range r.users {
+			if !n.alive() || n.sym != r.sym() {
+				return fmt.Errorf("grammar: stale user node registered for R%d", idx)
+			}
+		}
+	}
+
+	// Stale index entries (entries whose node is dead or no longer forms the
+	// digram) are tolerated by the engine but flagged here if the key is also
+	// live elsewhere: that case was already caught above. Acyclicity:
+	if err := g.checkAcyclic(); err != nil {
+		return err
+	}
+	if n := g.ExpandedLength(0); n != g.eventCount {
+		return fmt.Errorf("grammar: root expands to %d terminals, recorded %d", n, g.eventCount)
+	}
+	return nil
+}
+
+func (g *Grammar) checkAcyclic() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[int32]int)
+	var visit func(idx int32) error
+	visit = func(idx int32) error {
+		switch color[idx] {
+		case grey:
+			return fmt.Errorf("grammar: cycle through R%d", idx)
+		case black:
+			return nil
+		}
+		color[idx] = grey
+		r := g.rules[idx]
+		for n := r.first(); n != nil && !n.guard; n = n.next {
+			if !n.sym.IsTerminal() {
+				if err := visit(n.sym.RuleIndex()); err != nil {
+					return err
+				}
+			}
+		}
+		color[idx] = black
+		return nil
+	}
+	return visit(0)
+}

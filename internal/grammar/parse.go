@@ -1,0 +1,111 @@
+package grammar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDump parses the textual grammar notation produced by Dump (with nil
+// NameFunc), e.g.
+//
+//	R0 -> t0^6 R1 t2 R1^200
+//	R1 -> t3 t4
+//
+// back into a frozen grammar. It is the inverse of Frozen.Dump for grammars
+// whose terminals render as "t<id>", enabling golden-file tests and
+// hand-authored grammars in tools.
+func ParseDump(text string) (*Frozen, error) {
+	type rawRule struct {
+		idx  int32
+		body []Run
+	}
+	var raws []rawRule
+	maxIdx := int32(-1)
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		head, rest, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("grammar: line %d: missing '->'", lineNo+1)
+		}
+		idx, err := parseRuleName(strings.TrimSpace(head))
+		if err != nil {
+			return nil, fmt.Errorf("grammar: line %d: %w", lineNo+1, err)
+		}
+		if idx > maxIdx {
+			maxIdx = idx
+		}
+		var body []Run
+		for _, tok := range strings.Fields(rest) {
+			run, err := parseRun(tok)
+			if err != nil {
+				return nil, fmt.Errorf("grammar: line %d: %w", lineNo+1, err)
+			}
+			if !run.Sym.IsTerminal() && run.Sym.RuleIndex() > maxIdx {
+				maxIdx = run.Sym.RuleIndex()
+			}
+			body = append(body, run)
+		}
+		raws = append(raws, rawRule{idx: idx, body: body})
+	}
+	if len(raws) == 0 {
+		return nil, fmt.Errorf("grammar: empty dump")
+	}
+	bodies := make([][]Run, maxIdx+1)
+	seen := make(map[int32]bool)
+	for _, r := range raws {
+		if seen[r.idx] {
+			return nil, fmt.Errorf("grammar: duplicate rule R%d", r.idx)
+		}
+		seen[r.idx] = true
+		bodies[r.idx] = r.body
+	}
+	for i := range bodies {
+		if !seen[int32(i)] {
+			return nil, fmt.Errorf("grammar: rule R%d referenced but not defined", i)
+		}
+	}
+	return NewFrozen(bodies)
+}
+
+func parseRuleName(s string) (int32, error) {
+	if !strings.HasPrefix(s, "R") {
+		return 0, fmt.Errorf("bad rule name %q", s)
+	}
+	v, err := strconv.ParseInt(s[1:], 10, 32)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad rule name %q", s)
+	}
+	return int32(v), nil
+}
+
+func parseRun(tok string) (Run, error) {
+	count := uint32(1)
+	if base, exp, ok := strings.Cut(tok, "^"); ok {
+		v, err := strconv.ParseUint(exp, 10, 32)
+		if err != nil || v == 0 {
+			return Run{}, fmt.Errorf("bad exponent in %q", tok)
+		}
+		count = uint32(v)
+		tok = base
+	}
+	switch {
+	case strings.HasPrefix(tok, "t"):
+		v, err := strconv.ParseInt(tok[1:], 10, 32)
+		if err != nil || v < 0 {
+			return Run{}, fmt.Errorf("bad terminal %q", tok)
+		}
+		return Run{Sym: Terminal(int32(v)), Count: count}, nil
+	case strings.HasPrefix(tok, "R"):
+		v, err := strconv.ParseInt(tok[1:], 10, 32)
+		if err != nil || v < 0 {
+			return Run{}, fmt.Errorf("bad rule reference %q", tok)
+		}
+		return Run{Sym: NonTerminal(int32(v)), Count: count}, nil
+	default:
+		return Run{}, fmt.Errorf("bad symbol %q", tok)
+	}
+}

@@ -1,0 +1,101 @@
+package grammar
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestParseDumpRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 25; trial++ {
+		g := New()
+		n := 50 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) > 0 && i > 0 {
+				g.Append(int32(rng.Intn(3)))
+			} else {
+				g.Append(int32(rng.Intn(6)))
+			}
+		}
+		f := g.Freeze()
+		parsed, err := ParseDump(f.Dump(nil))
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, f.Dump(nil))
+		}
+		if !reflect.DeepEqual(parsed.Unfold(), f.Unfold()) {
+			t.Fatalf("trial %d: round trip changed the unfolding", trial)
+		}
+		if parsed.Dump(nil) != f.Dump(nil) {
+			t.Fatalf("trial %d: dumps differ:\n%s\n---\n%s", trial, parsed.Dump(nil), f.Dump(nil))
+		}
+	}
+}
+
+func TestParseDumpHandAuthored(t *testing.T) {
+	f, err := ParseDump(`
+		R0 -> t0^6 R1 t1 R2^200 t5 t5 R1 t6 t1
+		R1 -> t3 t3 t2 t2 t4
+		R2 -> R1 t2 t3
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R1 unfolds to 5 terminals, R2 to 7; the root is
+	// 6 + 5 + 1 + 200*7 + 2 + 5 + 1 + 1 = 1421 terminals.
+	if f.EventCount != 1421 {
+		t.Fatalf("EventCount = %d, want 1421", f.EventCount)
+	}
+	if f.Rules[1].Occ != 1+1+200 {
+		t.Fatalf("R1 occ = %d, want 202", f.Rules[1].Occ)
+	}
+}
+
+func TestParseDumpErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing arrow": "R0 t1 t2",
+		"bad rule name": "X0 -> t1 t2",
+		"bad exponent":  "R0 -> t1^0 t2",
+		"bad symbol":    "R0 -> q1 t2",
+		"dangling ref":  "R0 -> t1 R4",
+		"duplicate":     "R0 -> t1 t2\nR0 -> t3 t4",
+		"empty":         "   \n  ",
+		"cycle":         "R0 -> R1 t0\nR1 -> R0 t1",
+	}
+	for name, text := range cases {
+		if _, err := ParseDump(text); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestParseDumpNamedTerminalsRejected(t *testing.T) {
+	// Dumps rendered with a NameFunc are not parseable; the parser must say
+	// so rather than misinterpret.
+	if _, err := ParseDump("R0 -> Bcast Barrier"); err == nil {
+		t.Fatal("named dump accepted")
+	}
+}
+
+func FuzzParseDump(f *testing.F) {
+	f.Add("R0 -> t0^6 R1 t1\nR1 -> t3 t4")
+	f.Add("R0 -> t0")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		fz, err := ParseDump(text)
+		if err != nil {
+			return
+		}
+		// Accepted grammars must round-trip and validate.
+		if verr := fz.Validate(); verr != nil {
+			t.Fatalf("ParseDump accepted invalid grammar: %v", verr)
+		}
+		again, err := ParseDump(fz.Dump(nil))
+		if err != nil {
+			t.Fatalf("re-parse of dump failed: %v", err)
+		}
+		if again.EventCount != fz.EventCount {
+			t.Fatalf("round trip changed event count: %d vs %d", again.EventCount, fz.EventCount)
+		}
+	})
+}

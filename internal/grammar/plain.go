@@ -1,0 +1,270 @@
+package grammar
+
+// PlainGrammar is a classic Sequitur reducer without run-length exponents
+// (Nevill-Manning & Witten, as cited by the paper). It exists as the
+// ablation baseline for Pythia's Cyclitur-style engine: on the loop-heavy
+// traces of HPC applications, plain Sequitur needs O(log n) rules to encode
+// n repetitions where the run-length engine needs a single exponent, and its
+// digram index churns accordingly. See BenchmarkAblation_RunLengthVsPlain.
+//
+// The implementation follows the textbook algorithm: doubly-linked rule
+// bodies, a digram index, digram uniqueness with overlap exclusion, and
+// rule-utility inlining.
+type PlainGrammar struct {
+	rules []*plainRule
+	free  []int32
+	index map[digram]*plainNode
+	count int64
+}
+
+type plainNode struct {
+	sym        Sym
+	prev, next *plainNode
+	rule       *plainRule
+	guard      bool
+}
+
+type plainRule struct {
+	idx   int32
+	guard *plainNode
+	uses  int
+	// user is one arbitrary referencing node; valid when uses == 1, which
+	// is the only time it is consulted (for inlining).
+	user *plainNode
+}
+
+// NewPlain returns an empty plain-Sequitur grammar.
+func NewPlain() *PlainGrammar {
+	g := &PlainGrammar{index: make(map[digram]*plainNode)}
+	g.rules = append(g.rules, g.newRule())
+	return g
+}
+
+func (g *PlainGrammar) newRule() *plainRule {
+	r := &plainRule{}
+	n := &plainNode{guard: true}
+	n.prev, n.next = n, n
+	n.rule = r
+	r.guard = n
+	return r
+}
+
+func (g *PlainGrammar) allocRule() *plainRule {
+	r := g.newRule()
+	if n := len(g.free); n > 0 {
+		r.idx = g.free[n-1]
+		g.free = g.free[:n-1]
+		g.rules[r.idx] = r
+	} else {
+		r.idx = int32(len(g.rules))
+		g.rules = append(g.rules, r)
+	}
+	return r
+}
+
+// EventCount returns the number of appended terminals.
+func (g *PlainGrammar) EventCount() int64 { return g.count }
+
+// RuleCount returns the number of live rules including the root.
+func (g *PlainGrammar) RuleCount() int {
+	n := 0
+	for _, r := range g.rules {
+		if r != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeCount returns the total number of body symbols across rules — the
+// grammar's memory footprint measure used in the ablation.
+func (g *PlainGrammar) NodeCount() int {
+	n := 0
+	for _, r := range g.rules {
+		if r == nil {
+			continue
+		}
+		for p := r.guard.next; !p.guard; p = p.next {
+			n++
+		}
+	}
+	return n
+}
+
+// Append adds one terminal event to the trace.
+func (g *PlainGrammar) Append(eventID int32) {
+	g.count++
+	root := g.rules[0]
+	n := &plainNode{sym: Terminal(eventID), rule: root}
+	g.insertAfter(root.guard.prev, n)
+	if prev := n.prev; !prev.guard {
+		g.check(prev)
+	}
+}
+
+func (g *PlainGrammar) insertAfter(pos, n *plainNode) {
+	n.rule = pos.rule
+	n.prev = pos
+	n.next = pos.next
+	pos.next.prev = n
+	pos.next = n
+	g.noteRef(n, +1)
+}
+
+func (g *PlainGrammar) remove(n *plainNode) {
+	g.noteRef(n, -1)
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.rule = nil
+}
+
+func (g *PlainGrammar) noteRef(n *plainNode, d int) {
+	if n.sym.IsTerminal() {
+		return
+	}
+	r := g.rules[n.sym.RuleIndex()]
+	r.uses += d
+	if d > 0 {
+		r.user = n
+	}
+}
+
+func (g *PlainGrammar) unindex(left *plainNode) {
+	if left == nil || left.guard || left.rule == nil {
+		return
+	}
+	right := left.next
+	if right == nil || right.guard {
+		return
+	}
+	d := digram{left.sym, right.sym}
+	if g.index[d] == left {
+		delete(g.index, d)
+	}
+}
+
+// check enforces digram uniqueness for (left, left.next).
+func (g *PlainGrammar) check(left *plainNode) {
+	if left == nil || left.guard || left.rule == nil {
+		return
+	}
+	right := left.next
+	if right == nil || right.guard {
+		return
+	}
+	d := digram{left.sym, right.sym}
+	m, ok := g.index[d]
+	if !ok || m.rule == nil || m.next == nil || m.next.guard ||
+		m.sym != d.a || m.next.sym != d.b {
+		g.index[d] = left
+		return
+	}
+	if m == left {
+		return
+	}
+	// Overlap (e.g. "aaa"): the matching occurrences share a node; skip.
+	if m.next == left || left.next == m {
+		return
+	}
+	g.match(left, m)
+}
+
+func (g *PlainGrammar) match(l, m *plainNode) {
+	var r *plainRule
+	mr := m.rule
+	if mr.idx != 0 && m.prev.guard && m.next.next.guard {
+		// The existing occurrence is an entire rule body: reuse the rule.
+		r = mr
+		g.substitute(l, r)
+	} else {
+		r = g.allocRule()
+		a := &plainNode{sym: l.sym}
+		b := &plainNode{sym: l.next.sym}
+		g.insertAfter(r.guard, a)
+		g.insertAfter(a, b)
+		g.index[digram{a.sym, b.sym}] = a
+		g.substitute(m, r)
+		g.substitute(l, r)
+	}
+	// Rule utility: inline rules that dropped to a single use.
+	if !r.guard.next.guard {
+		for p := r.guard.next; !p.guard; p = p.next {
+			if !p.sym.IsTerminal() {
+				if rr := g.rules[p.sym.RuleIndex()]; rr.uses == 1 {
+					g.inline(rr)
+				}
+			}
+		}
+	}
+}
+
+// substitute replaces the digram starting at x with one reference to rule r.
+func (g *PlainGrammar) substitute(x *plainNode, r *plainRule) {
+	y := x.next
+	p := x.prev
+	g.unindex(p)
+	g.unindex(x)
+	g.unindex(y)
+	g.remove(x)
+	g.remove(y)
+	n := &plainNode{sym: nonTerminal(r.idx)}
+	g.insertAfter(p, n)
+	g.check(n)
+	if !n.prev.guard {
+		g.check(n.prev)
+	}
+}
+
+// inline expands the single use of rule r.
+func (g *PlainGrammar) inline(r *plainRule) {
+	u := r.user
+	if u == nil || u.rule == nil || u.sym != nonTerminal(r.idx) || r.uses != 1 {
+		return
+	}
+	t := u.rule
+	p := u.prev
+	q := u.next
+	g.unindex(p)
+	g.unindex(u)
+	g.remove(u)
+	first := r.guard.next
+	last := r.guard.prev
+	if first.guard {
+		return
+	}
+	for bn := first; ; bn = bn.next {
+		bn.rule = t
+		if bn == last {
+			break
+		}
+	}
+	p.next = first
+	first.prev = p
+	last.next = q
+	q.prev = last
+	g.rules[r.idx] = nil
+	g.free = append(g.free, r.idx)
+	if !p.guard {
+		g.check(p)
+	}
+	if !q.guard && !q.prev.guard && q.prev.rule != nil {
+		g.check(q.prev)
+	}
+}
+
+// Unfold reconstructs the appended sequence.
+func (g *PlainGrammar) Unfold() []int32 {
+	out := make([]int32, 0, g.count)
+	var expand func(r *plainRule)
+	expand = func(r *plainRule) {
+		for p := r.guard.next; !p.guard; p = p.next {
+			if p.sym.IsTerminal() {
+				out = append(out, p.sym.Event())
+			} else {
+				expand(g.rules[p.sym.RuleIndex()])
+			}
+		}
+	}
+	expand(g.rules[0])
+	return out
+}

@@ -1,0 +1,100 @@
+package grammar
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlainUnfoldRoundTripExhaustive(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			seq := make([]int32, n)
+			for i := 0; i < n; i++ {
+				seq[i] = int32((mask >> uint(i)) & 1)
+			}
+			g := NewPlain()
+			for _, e := range seq {
+				g.Append(e)
+			}
+			got := g.Unfold()
+			if len(got) == 0 && len(seq) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, seq) {
+				t.Fatalf("seq %v: plain unfold = %v", seq, got)
+			}
+		}
+	}
+}
+
+func TestPlainQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint8, k uint8) bool {
+		alphabet := int32(k%6) + 1
+		g := NewPlain()
+		seq := make([]int32, len(raw))
+		for i, v := range raw {
+			seq[i] = int32(v) % alphabet
+			g.Append(seq[i])
+		}
+		got := g.Unfold()
+		if len(got) == 0 && len(seq) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlainRandomLong(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 500 + rng.Intn(3000)
+		seq := make([]int32, n)
+		g := NewPlain()
+		for i := range seq {
+			if rng.Intn(3) == 0 {
+				seq[i] = int32(rng.Intn(8))
+			} else if i > 0 {
+				seq[i] = seq[i-1] // long runs stress the no-exponent path
+			}
+			g.Append(seq[i])
+		}
+		if got := g.Unfold(); !reflect.DeepEqual(got, seq) {
+			t.Fatalf("trial %d: mismatch (got %d want %d)", trial, len(got), len(seq))
+		}
+	}
+}
+
+// TestRunLengthBeatsPlainOnLoops quantifies the design choice the paper
+// inherits from Cyclitur: on loop traces, run-length exponents keep the
+// grammar constant-size while plain Sequitur grows logarithmically.
+func TestRunLengthBeatsPlainOnLoops(t *testing.T) {
+	var seq []int32
+	for i := 0; i < 2000; i++ {
+		seq = append(seq, 0, 1, 2)
+	}
+	rl := New()
+	pl := NewPlain()
+	for _, e := range seq {
+		rl.Append(e)
+		pl.Append(e)
+	}
+	if rl.RuleCount() >= pl.RuleCount() {
+		t.Fatalf("run-length rules (%d) should undercut plain rules (%d)",
+			rl.RuleCount(), pl.RuleCount())
+	}
+	t.Logf("2000x loop of 3 events: run-length %d rules, plain %d rules (%d nodes)",
+		rl.RuleCount(), pl.RuleCount(), pl.NodeCount())
+}
+
+func BenchmarkPlainAppendRegular(b *testing.B) {
+	b.ReportAllocs()
+	g := NewPlain()
+	for i := 0; i < b.N; i++ {
+		g.Append(int32(i % 4))
+	}
+}

@@ -1,0 +1,61 @@
+package grammar
+
+// Stats summarises the size and shape of a frozen grammar — the quantities
+// Table I reports (#rules) plus the structural measures useful when judging
+// how well a trace compressed.
+type Stats struct {
+	// Rules is the number of productions (including the root).
+	Rules int
+	// Runs is the total number of runs across all rule bodies.
+	Runs int
+	// Terminals is the number of distinct terminal symbols.
+	Terminals int
+	// EventCount is the unfolded trace length.
+	EventCount int64
+	// Depth is the maximum rule-nesting depth (1 = flat root).
+	Depth int
+	// MaxBodyRuns is the longest rule body, in runs.
+	MaxBodyRuns int
+	// CompressionRatio is EventCount / Runs: how many trace events each
+	// stored run represents on average.
+	CompressionRatio float64
+}
+
+// ComputeStats derives Stats from a frozen grammar.
+func (f *Frozen) ComputeStats() Stats {
+	s := Stats{
+		Rules:      len(f.Rules),
+		Terminals:  len(f.TermSites),
+		EventCount: f.EventCount,
+	}
+	depth := make([]int, len(f.Rules))
+	var visit func(idx int32) int
+	visit = func(idx int32) int {
+		if depth[idx] != 0 {
+			return depth[idx]
+		}
+		d := 1
+		for _, run := range f.Rules[idx].Body {
+			if !run.Sym.IsTerminal() {
+				if cd := visit(run.Sym.RuleIndex()) + 1; cd > d {
+					d = cd
+				}
+			}
+		}
+		depth[idx] = d
+		return d
+	}
+	for i, r := range f.Rules {
+		s.Runs += len(r.Body)
+		if len(r.Body) > s.MaxBodyRuns {
+			s.MaxBodyRuns = len(r.Body)
+		}
+		if d := visit(int32(i)); d > s.Depth {
+			s.Depth = d
+		}
+	}
+	if s.Runs > 0 {
+		s.CompressionRatio = float64(s.EventCount) / float64(s.Runs)
+	}
+	return s
+}

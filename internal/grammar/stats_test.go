@@ -1,0 +1,117 @@
+package grammar
+
+import "testing"
+
+func TestComputeStatsFlat(t *testing.T) {
+	g := New()
+	for _, e := range []int32{0, 1, 2} {
+		g.Append(e)
+	}
+	s := g.Freeze().ComputeStats()
+	if s.Rules != 1 || s.Depth != 1 || s.Terminals != 3 || s.EventCount != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestComputeStatsNested(t *testing.T) {
+	g := New()
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 10; j++ {
+			g.Append(0)
+			g.Append(1)
+		}
+		g.Append(2)
+	}
+	s := g.Freeze().ComputeStats()
+	if s.Depth < 2 {
+		t.Fatalf("nested loops should nest rules: %+v", s)
+	}
+	if s.CompressionRatio < 50 {
+		t.Fatalf("compression ratio %.1f too low for a 2100-event loop trace", s.CompressionRatio)
+	}
+	if s.EventCount != 2100 {
+		t.Fatalf("EventCount = %d", s.EventCount)
+	}
+	if s.MaxBodyRuns == 0 || s.Runs == 0 {
+		t.Fatalf("missing run counts: %+v", s)
+	}
+}
+
+func TestComputeStatsIrregular(t *testing.T) {
+	g := New()
+	state := uint32(99)
+	for i := 0; i < 3000; i++ {
+		state = state*1664525 + 1013904223
+		g.Append(int32(state % 12))
+	}
+	s := g.Freeze().ComputeStats()
+	if s.CompressionRatio > 10 {
+		t.Fatalf("random trace should not compress 10x: %+v", s)
+	}
+	if s.Terminals != 12 {
+		t.Fatalf("terminals = %d", s.Terminals)
+	}
+}
+
+func FuzzGrammarRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 1, 2}, uint8(3))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, uint8(2))
+	f.Add([]byte{0, 1, 0, 2, 0, 1, 0, 2, 0, 1}, uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, alphabet uint8) {
+		k := int32(alphabet%8) + 1
+		g := New()
+		seq := make([]int32, len(raw))
+		for i, b := range raw {
+			seq[i] = int32(b) % k
+			g.Append(seq[i])
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		got := g.Unfold()
+		if len(got) != len(seq) {
+			t.Fatalf("unfold length %d, want %d", len(got), len(seq))
+		}
+		for i := range got {
+			if got[i] != seq[i] {
+				t.Fatalf("unfold[%d] = %d, want %d", i, got[i], seq[i])
+			}
+		}
+		// The frozen form must agree with the live form.
+		fr := g.Freeze()
+		if err := fr.Validate(); err != nil {
+			t.Fatalf("frozen validate: %v", err)
+		}
+		fg := fr.Unfold()
+		for i := range fg {
+			if fg[i] != seq[i] {
+				t.Fatalf("frozen unfold[%d] differs", i)
+			}
+		}
+	})
+}
+
+func FuzzPlainMatchesRunLength(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		rl := New()
+		pl := NewPlain()
+		for _, b := range raw {
+			e := int32(b % 5)
+			rl.Append(e)
+			pl.Append(e)
+		}
+		a, b := rl.Unfold(), pl.Unfold()
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("engines disagree at %d", i)
+			}
+		}
+	})
+}

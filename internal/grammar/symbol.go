@@ -1,0 +1,73 @@
+// Package grammar implements the on-the-fly trace-compression engine at the
+// heart of Pythia (Colin, Trahay, Conan — CLUSTER 2022, section II-A).
+//
+// A stream of terminal symbols (events raised by a runtime system) is reduced
+// incrementally into a context-free grammar whose single derivation is the
+// stream itself. The algorithm is a run-length variant of Sequitur
+// (Nevill-Manning & Witten) in the style of Cyclitur: every position in a
+// rule body is a run — a symbol together with a number of consecutive
+// repetitions — and the engine maintains three invariants at every step:
+//
+//  1. rule utility: every non-terminal is used at least twice (counting
+//     run exponents), otherwise it is inlined and deleted;
+//  2. digram uniqueness: every ordered pair of adjacent distinct symbols
+//     appears at most once in the whole grammar;
+//  3. run merging: a symbol never appears twice in a row — consecutive
+//     repetitions are folded into the run exponent.
+//
+// The resulting grammar is the data structure Pythia stores at the end of a
+// reference execution and reloads to predict future executions.
+package grammar
+
+import "fmt"
+
+// Sym identifies a grammar symbol. Non-negative values are terminals (the
+// value is the event identifier interned by the caller); negative values are
+// non-terminals referring to a rule of the grammar.
+type Sym int32
+
+// Terminal returns the terminal symbol for event id. The id must be
+// non-negative.
+func Terminal(id int32) Sym {
+	if id < 0 {
+		panic(fmt.Sprintf("grammar: terminal id must be non-negative, got %d", id))
+	}
+	return Sym(id)
+}
+
+// nonTerminal returns the symbol referring to rule index idx (idx >= 0).
+func nonTerminal(idx int32) Sym { return Sym(-1 - idx) }
+
+// IsTerminal reports whether s is a terminal symbol.
+func (s Sym) IsTerminal() bool { return s >= 0 }
+
+// Event returns the event id of a terminal symbol.
+// It panics if s is a non-terminal.
+func (s Sym) Event() int32 {
+	if s < 0 {
+		panic("grammar: Event called on non-terminal symbol")
+	}
+	return int32(s)
+}
+
+// RuleIndex returns the rule index of a non-terminal symbol.
+// It panics if s is a terminal.
+func (s Sym) RuleIndex() int32 {
+	if s >= 0 {
+		panic("grammar: RuleIndex called on terminal symbol")
+	}
+	return -1 - int32(s)
+}
+
+// String renders the symbol using the paper's convention: terminals in
+// lower-case style ("t<id>"), non-terminals in upper-case style ("R<idx>").
+func (s Sym) String() string {
+	if s.IsTerminal() {
+		return fmt.Sprintf("t%d", s.Event())
+	}
+	return fmt.Sprintf("R%d", s.RuleIndex())
+}
+
+// digram is an ordered pair of adjacent distinct symbols, the unit of the
+// uniqueness invariant.
+type digram struct{ a, b Sym }

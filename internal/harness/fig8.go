@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/pythia"
+)
+
+// DefaultDistances is the prediction-distance sweep of Figs. 8 and 9.
+var DefaultDistances = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Fig8Row is one accuracy measurement: application, replayed working set,
+// prediction distance, and the fraction of correct predictions.
+type Fig8Row struct {
+	App      string
+	Class    apps.Class
+	Distance int
+	Accuracy float64
+	Samples  int
+}
+
+// Fig8Config tunes the accuracy experiment.
+type Fig8Config struct {
+	// Apps restricts the experiment (empty = all 13).
+	Apps []string
+	// Distances to evaluate (default DefaultDistances).
+	Distances []int
+	// MaxSamplesPerRank caps the query points per rank (default 100).
+	MaxSamplesPerRank int
+	// RefSeed seeds the reference (recorded) execution; ReplaySeed seeds
+	// the replayed executions. Distinct seeds model run-to-run variation in
+	// the data-dependent applications (AMG, Quicksilver), as on a real
+	// machine.
+	RefSeed, ReplaySeed int64
+}
+
+func (c Fig8Config) withDefaults() Fig8Config {
+	if len(c.Distances) == 0 {
+		c.Distances = DefaultDistances
+	}
+	if c.MaxSamplesPerRank <= 0 {
+		c.MaxSamplesPerRank = 100
+	}
+	if c.RefSeed == 0 {
+		c.RefSeed = 42
+	}
+	if c.ReplaySeed == 0 {
+		c.ReplaySeed = 43
+	}
+	return c
+}
+
+// Fig8 measures the accuracy of PYTHIA-PREDICT (paper section III-C2): a
+// trace is recorded on the small working set, then the application runs
+// with every working set; at each blocking call the oracle predicts the
+// event x events ahead and the prediction is scored against what actually
+// happened.
+func Fig8(cfg Fig8Config) ([]Fig8Row, error) {
+	cfg = cfg.withDefaults()
+	list, err := selectApps(cfg.Apps)
+	if err != nil {
+		return nil, err
+	}
+	maxDist := 0
+	for _, d := range cfg.Distances {
+		if d > maxDist {
+			maxDist = d
+		}
+	}
+	var rows []Fig8Row
+	for _, app := range list {
+		ref := RunMPIApp(app, apps.Small, true, cfg.RefSeed)
+		for _, class := range []apps.Class{apps.Small, apps.Medium, apps.Large} {
+			streams := CaptureStreams(app, class, cfg.ReplaySeed)
+			hits := make(map[int]int)
+			total := make(map[int]int)
+			for _, tid := range sortedThreadIDs(streams) {
+				stream := streams[tid]
+				oracle, err := pythia.NewPredictOracle(ref.Trace, pythia.Config{})
+				if err != nil {
+					return nil, err
+				}
+				th := oracle.Thread(tid)
+				if th.Predictor() == nil {
+					continue
+				}
+				// The replay tracks from the very beginning of the
+				// execution, as the paper's deployed runtimes do.
+				th.StartAtBeginning()
+				// Choose query points: blocking events that still have a
+				// future to predict, evenly subsampled. Short streams (EP,
+				// FT, IS) score only the distances that fit.
+				var points []int
+				for i, name := range stream {
+					if IsBlockingEvent(name) && i+1 < len(stream) {
+						points = append(points, i)
+					}
+				}
+				stride := 1
+				if len(points) > cfg.MaxSamplesPerRank {
+					stride = len(points) / cfg.MaxSamplesPerRank
+				}
+				sample := make(map[int]bool, cfg.MaxSamplesPerRank)
+				for i := 0; i < len(points); i += stride {
+					sample[points[i]] = true
+				}
+				for i, name := range stream {
+					th.Submit(oracle.Intern(name))
+					if !sample[i] {
+						continue
+					}
+					horizon := maxDist
+					if rem := len(stream) - 1 - i; rem < horizon {
+						horizon = rem
+					}
+					preds := th.PredictSequence(horizon)
+					for _, d := range cfg.Distances {
+						if i+d >= len(stream) {
+							continue
+						}
+						total[d]++
+						if d-1 < len(preds) &&
+							oracle.EventName(pythia.ID(preds[d-1].EventID)) == stream[i+d] {
+							hits[d]++
+						}
+					}
+				}
+			}
+			for _, d := range cfg.Distances {
+				if total[d] == 0 {
+					// The stream is shorter than this distance everywhere
+					// (EP's handful of events): nothing to score.
+					continue
+				}
+				rows = append(rows, Fig8Row{
+					App: app.Name, Class: class, Distance: d,
+					Accuracy: float64(hits[d]) / float64(total[d]), Samples: total[d],
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WriteFig8 renders the accuracy series, one block per application with one
+// line per working set (the paper plots these as per-application panels).
+func WriteFig8(w io.Writer, distances []int, rows []Fig8Row) {
+	if len(distances) == 0 {
+		distances = DefaultDistances
+	}
+	fmt.Fprintln(w, "Fig 8: Accuracy of PYTHIA-PREDICT predictions (trace recorded on small)")
+	header := []string{"Application", "Working set"}
+	for _, d := range distances {
+		header = append(header, fmt.Sprintf("x=%d", d))
+	}
+	t := &table{header: header}
+	type key struct {
+		app   string
+		class apps.Class
+	}
+	cells := make(map[key]map[int]float64)
+	var order []key
+	for _, r := range rows {
+		k := key{r.App, r.Class}
+		if cells[k] == nil {
+			cells[k] = make(map[int]float64)
+			order = append(order, k)
+		}
+		cells[k][r.Distance] = r.Accuracy
+	}
+	for _, k := range order {
+		row := []string{k.app, k.class.String()}
+		for _, d := range distances {
+			if v, ok := cells[k][d]; ok {
+				row = append(row, fmt.Sprintf("%5.1f%%", v*100))
+			} else {
+				row = append(row, "    -")
+			}
+		}
+		t.add(row...)
+	}
+	t.write(w)
+}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/apps"
+	"repro/pythia"
+)
+
+// Fig9Row is one prediction-cost measurement: the mean latency of a single
+// oracle query at a given distance.
+type Fig9Row struct {
+	App      string
+	Distance int
+	MeanCost time.Duration
+	Samples  int
+}
+
+// Fig9Config tunes the prediction-cost experiment.
+type Fig9Config struct {
+	// Apps restricts the experiment (empty = all 13).
+	Apps []string
+	// Distances to evaluate (default DefaultDistances).
+	Distances []int
+	// MaxSamples caps the measured query points per application
+	// (default 64).
+	MaxSamples int
+	// Class is the working set (the paper uses large).
+	Class apps.Class
+	// Seed feeds the applications.
+	Seed int64
+}
+
+func (c Fig9Config) withDefaults() Fig9Config {
+	if len(c.Distances) == 0 {
+		c.Distances = DefaultDistances
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	c.Class = apps.Large
+	return c
+}
+
+// Fig9 measures the cost of one PYTHIA-PREDICT query as a function of the
+// prediction distance (paper section III-C3): the cost grows linearly with
+// the distance, and irregular applications with complex grammars cost more.
+func Fig9(cfg Fig9Config) ([]Fig9Row, error) {
+	cfg = cfg.withDefaults()
+	list, err := selectApps(cfg.Apps)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig9Row
+	for _, app := range list {
+		ref := RunMPIApp(app, cfg.Class, true, cfg.Seed)
+		streams := CaptureStreams(app, cfg.Class, cfg.Seed)
+		tid := sortedThreadIDs(streams)[0]
+		stream := streams[tid]
+
+		oracle, err := pythia.NewPredictOracle(ref.Trace, pythia.Config{})
+		if err != nil {
+			return nil, err
+		}
+		th := oracle.Thread(tid)
+		th.StartAtBeginning()
+
+		var points []int
+		for i, name := range stream {
+			if IsBlockingEvent(name) {
+				points = append(points, i)
+			}
+		}
+		stride := 1
+		if len(points) > cfg.MaxSamples {
+			stride = len(points) / cfg.MaxSamples
+		}
+		sample := make(map[int]bool, cfg.MaxSamples)
+		for i := 0; i < len(points); i += stride {
+			sample[points[i]] = true
+		}
+
+		costs := make(map[int]time.Duration)
+		counts := make(map[int]int)
+		for i, name := range stream {
+			th.Submit(oracle.Intern(name))
+			if !sample[i] {
+				continue
+			}
+			for _, d := range cfg.Distances {
+				start := time.Now()
+				th.PredictAt(d)
+				costs[d] += time.Since(start)
+				counts[d]++
+			}
+		}
+		for _, d := range cfg.Distances {
+			mean := time.Duration(0)
+			if counts[d] > 0 {
+				mean = costs[d] / time.Duration(counts[d])
+			}
+			rows = append(rows, Fig9Row{App: app.Name, Distance: d, MeanCost: mean, Samples: counts[d]})
+		}
+	}
+	return rows, nil
+}
+
+// WriteFig9 renders the cost series, one line per application.
+func WriteFig9(w io.Writer, distances []int, rows []Fig9Row) {
+	if len(distances) == 0 {
+		distances = DefaultDistances
+	}
+	fmt.Fprintln(w, "Fig 9: Cost of PYTHIA-PREDICT predictions (large working set, µs per query)")
+	header := []string{"Application"}
+	for _, d := range distances {
+		header = append(header, fmt.Sprintf("x=%d", d))
+	}
+	t := &table{header: header}
+	cells := make(map[string]map[int]time.Duration)
+	var order []string
+	for _, r := range rows {
+		if cells[r.App] == nil {
+			cells[r.App] = make(map[int]time.Duration)
+			order = append(order, r.App)
+		}
+		cells[r.App][r.Distance] = r.MeanCost
+	}
+	for _, app := range order {
+		row := []string{app}
+		for _, d := range distances {
+			row = append(row, fmt.Sprintf("%7.2f", float64(cells[app][d])/1e3))
+		}
+		t.add(row...)
+	}
+	t.write(w)
+}

@@ -1,0 +1,181 @@
+// Package harness drives the paper's evaluation (section III): it runs the
+// 13 applications on the simulated runtimes in vanilla / record / predict
+// configurations and regenerates every table and figure — Table I (record
+// overhead), Fig. 7 (BT grammar), Fig. 8 (prediction accuracy vs distance),
+// Fig. 9 (prediction cost vs distance), Figs. 10-13 (LULESH with adaptive
+// thread counts vs problem size and vs maximum threads), and Fig. 14
+// (resilience to unexpected events). cmd/pythia-bench and the repository
+// benchmarks are thin wrappers around this package.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/mpisim"
+	"repro/internal/ompsim"
+	"repro/pythia"
+)
+
+// Summary aggregates repeated duration measurements.
+type Summary struct {
+	Min, Max, Mean time.Duration
+	N              int
+}
+
+// Summarise reduces samples to min/max/mean (the paper reports all three).
+func Summarise(samples []time.Duration) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: samples[0], Max: samples[0], N: len(samples)}
+	var total time.Duration
+	for _, d := range samples {
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+		total += d
+	}
+	s.Mean = total / time.Duration(len(samples))
+	return s
+}
+
+// MPIRun is one execution of an MPI (or hybrid) application.
+type MPIRun struct {
+	// Wall is the measured wall-clock duration of the run.
+	Wall time.Duration
+	// Trace is the recorded trace set (nil for vanilla runs).
+	Trace *pythia.TraceSet
+}
+
+// RunMPIApp executes one application in vanilla mode (record=false) or under
+// PYTHIA-RECORD (record=true). Hybrid applications get a per-rank OpenMP
+// runtime; when recording, its region events interleave into the rank's
+// event stream exactly as the paper's combined MPI+OpenMP runtimes do.
+func RunMPIApp(app apps.App, class apps.Class, record bool, seed int64) MPIRun {
+	var oracle *pythia.Oracle
+	if record {
+		oracle = pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	}
+	w := mpisim.NewWorld(app.Ranks)
+
+	body := func(m mpisim.MPI) {
+		ctx := &apps.Context{MPI: m, Class: class, Seed: seed}
+		if app.Hybrid {
+			cfg := ompsim.Config{MaxThreads: 2}
+			if record {
+				cfg.Oracle = oracle
+				cfg.ThreadID = int32(m.Rank())
+			}
+			rt := ompsim.New(cfg)
+			defer rt.Close()
+			ctx.OMP = rt
+		}
+		app.Run(ctx)
+	}
+
+	start := time.Now()
+	if record {
+		w.RunInterposed(func(m mpisim.MPI) mpisim.MPI {
+			return mpisim.NewInterposer(m, oracle)
+		}, body)
+	} else {
+		w.Run(body)
+	}
+	wall := time.Since(start)
+
+	out := MPIRun{Wall: wall}
+	if record {
+		out.Trace = oracle.Finish()
+	}
+	return out
+}
+
+// CaptureStreams records one run of the application and returns, per rank,
+// the full event descriptor stream (unfolded from the recorded grammar).
+// This is how the evaluation replays an execution with one working set
+// against the trace of another.
+func CaptureStreams(app apps.App, class apps.Class, seed int64) map[int32][]string {
+	run := RunMPIApp(app, class, true, seed)
+	out := make(map[int32][]string, len(run.Trace.Threads))
+	for tid, th := range run.Trace.Threads {
+		ids := th.Grammar.Unfold()
+		stream := make([]string, len(ids))
+		for i, id := range ids {
+			stream[i] = run.Trace.Events[id]
+		}
+		out[tid] = stream
+	}
+	return out
+}
+
+// IsBlockingEvent reports whether a descriptor names one of the blocking MPI
+// entry points at which the paper's runtime queries the oracle (MPI_Wait and
+// friends plus blocking collectives).
+func IsBlockingEvent(name string) bool {
+	for _, p := range []string{
+		"MPI_Wait", "MPI_Waitall", "MPI_Barrier", "MPI_Allreduce",
+		"MPI_Reduce", "MPI_Bcast", "MPI_Alltoall", "MPI_Allgather",
+		"MPI_Gather", "MPI_Recv",
+	} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// table renders aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// sortedThreadIDs returns map keys in ascending order.
+func sortedThreadIDs[T any](m map[int32]T) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/ompsim"
+	"repro/pythia"
+)
+
+// LuleshPoint is one configuration of the LULESH adaptive-threads experiment
+// (paper Figs. 10-13): the virtual execution time of the three runtime
+// configurations — Vanilla (plain GOMP, maximum threads), Record (PYTHIA-
+// RECORD attached), and Predict (PYTHIA-PREDICT guiding the per-region
+// thread count).
+type LuleshPoint struct {
+	// X is the swept parameter: the problem size (Figs. 10/11) or the
+	// maximum thread count (Figs. 12/13).
+	X int
+	// VanillaNs, RecordNs and PredictNs are virtual durations.
+	VanillaNs, RecordNs, PredictNs int64
+	// MeanThreads is the average thread count the adaptive run chose.
+	MeanThreads float64
+	// ImprovementPct is the predict-vs-vanilla improvement in percent.
+	ImprovementPct float64
+}
+
+// runLuleshOnce executes the OpenMP LULESH kernel once on the virtual clock.
+// ref == nil selects vanilla or record (record when oracle != nil); with a
+// reference trace the run is adaptive.
+func runLuleshOnce(m ompsim.MachineModel, maxThreads int, s int64, record bool,
+	ref *pythia.TraceSet, errorRate float64, seed int64) (int64, float64, *pythia.TraceSet) {
+
+	cfg := ompsim.Config{MaxThreads: maxThreads, Machine: &m, ErrorRate: errorRate, Seed: seed}
+	var rec *pythia.Oracle
+	switch {
+	case record:
+		rec = pythia.NewRecordOracle()
+		cfg.Oracle = rec
+	case ref != nil:
+		oracle, err := pythia.NewPredictOracle(ref, pythia.Config{})
+		if err != nil {
+			panic(fmt.Sprintf("harness: predict oracle: %v", err))
+		}
+		cfg.Oracle = oracle
+		cfg.Adaptive = true
+	}
+	rt := ompsim.New(cfg)
+	apps.RunLuleshOMP(rt, s, apps.LuleshSteps(s))
+	dur := rt.Now()
+	st := rt.Stats()
+	rt.Close()
+	mean := 0.0
+	if st.Regions > 0 {
+		mean = float64(st.ThreadsSum) / float64(st.Regions)
+	}
+	var ts *pythia.TraceSet
+	if rec != nil {
+		ts = rec.Finish()
+	}
+	return dur, mean, ts
+}
+
+// luleshPoint measures all three configurations for one (machine,
+// maxThreads, size) setting.
+func luleshPoint(m ompsim.MachineModel, maxThreads int, s int64) LuleshPoint {
+	vanilla, _, _ := runLuleshOnce(m, maxThreads, s, false, nil, 0, 1)
+	recNs, _, trace := runLuleshOnce(m, maxThreads, s, true, nil, 0, 1)
+	predNs, mean, _ := runLuleshOnce(m, maxThreads, s, false, trace, 0, 1)
+	imp := 0.0
+	if vanilla > 0 {
+		imp = (1 - float64(predNs)/float64(vanilla)) * 100
+	}
+	return LuleshPoint{
+		VanillaNs: vanilla, RecordNs: recNs, PredictNs: predNs,
+		MeanThreads: mean, ImprovementPct: imp,
+	}
+}
+
+// Fig10Sizes is the problem-size sweep of Figs. 10 and 11.
+var Fig10Sizes = []int{10, 15, 20, 25, 30, 35, 40, 45, 50}
+
+// Fig10 runs the problem-size sweep on the given machine model with its full
+// core count as the thread ceiling (paper Fig. 10 = Pudding/24, Fig. 11 =
+// Pixel/16).
+func Fig10(m ompsim.MachineModel) []LuleshPoint {
+	var out []LuleshPoint
+	for _, s := range Fig10Sizes {
+		p := luleshPoint(m, m.Cores, int64(s))
+		p.X = s
+		out = append(out, p)
+	}
+	return out
+}
+
+// Fig12Threads returns the maximum-thread sweep for a machine (paper
+// Fig. 12 = Pudding up to 24, Fig. 13 = Pixel up to 16).
+func Fig12Threads(m ompsim.MachineModel) []int {
+	base := []int{1, 2, 4, 8, 12, 16, 20, 24}
+	var out []int
+	for _, t := range base {
+		if t <= m.Cores {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Fig12 runs the maximum-thread sweep at problem size 30.
+func Fig12(m ompsim.MachineModel) []LuleshPoint {
+	var out []LuleshPoint
+	for _, threads := range Fig12Threads(m) {
+		p := luleshPoint(m, threads, 30)
+		p.X = threads
+		out = append(out, p)
+	}
+	return out
+}
+
+// Fig14Row is one error-rate measurement of the resilience experiment.
+type Fig14Row struct {
+	ErrorRate                      float64
+	VanillaNs, RecordNs, PredictNs int64
+}
+
+// Fig14ErrorRates is the error-rate sweep of Fig. 14.
+var Fig14ErrorRates = []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Fig14 measures LULESH (problem size 30, Pudding) under PYTHIA-PREDICT
+// while the runtime randomly injects unexpected events (paper section
+// III-E). Several seeds are averaged since injection is randomised.
+func Fig14(seeds int) []Fig14Row {
+	m := ompsim.Pudding()
+	const s = 30
+	vanilla, _, _ := runLuleshOnce(m, m.Cores, s, false, nil, 0, 1)
+	recNs, _, trace := runLuleshOnce(m, m.Cores, s, true, nil, 0, 1)
+	if seeds <= 0 {
+		seeds = 5
+	}
+	var out []Fig14Row
+	for _, rate := range Fig14ErrorRates {
+		var total int64
+		for seed := 1; seed <= seeds; seed++ {
+			d, _, _ := runLuleshOnce(m, m.Cores, s, false, trace, rate, int64(seed))
+			total += d
+		}
+		out = append(out, Fig14Row{
+			ErrorRate: rate,
+			VanillaNs: vanilla,
+			RecordNs:  recNs,
+			PredictNs: total / int64(seeds),
+		})
+	}
+	return out
+}
+
+// WriteLuleshPoints renders a Fig 10-13 style series.
+func WriteLuleshPoints(w io.Writer, title, xLabel string, points []LuleshPoint) {
+	fmt.Fprintln(w, title)
+	t := &table{header: []string{
+		xLabel, "Vanilla (ms)", "Record (ms)", "Predict (ms)", "mean threads", "improvement",
+	}}
+	for _, p := range points {
+		t.add(
+			fmt.Sprintf("%d", p.X),
+			fmt.Sprintf("%.2f", float64(p.VanillaNs)/1e6),
+			fmt.Sprintf("%.2f", float64(p.RecordNs)/1e6),
+			fmt.Sprintf("%.2f", float64(p.PredictNs)/1e6),
+			fmt.Sprintf("%.1f", p.MeanThreads),
+			fmt.Sprintf("%+.1f%%", p.ImprovementPct),
+		)
+	}
+	t.write(w)
+}
+
+// WriteFig14 renders the resilience series.
+func WriteFig14(w io.Writer, rows []Fig14Row) {
+	fmt.Fprintln(w, "Fig 14: Execution time of Lulesh as a function of the error rate (s=30, pudding)")
+	t := &table{header: []string{"error rate", "Vanilla (ms)", "Record (ms)", "Predict (ms)"}}
+	for _, r := range rows {
+		t.add(
+			fmt.Sprintf("%.2f", r.ErrorRate),
+			fmt.Sprintf("%.2f", float64(r.VanillaNs)/1e6),
+			fmt.Sprintf("%.2f", float64(r.RecordNs)/1e6),
+			fmt.Sprintf("%.2f", float64(r.PredictNs)/1e6),
+		)
+	}
+	t.write(w)
+}

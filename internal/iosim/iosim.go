@@ -1,0 +1,205 @@
+// Package iosim is a third runtime-system substrate for Pythia, showing the
+// genericity claim of the paper's related-work section: unlike Omnisc'IO
+// (grammar-based prediction built *into* an I/O stack) or NLR (memory
+// accesses only), Pythia is a generic oracle any runtime can consult. Here
+// the runtime is a storage layer: applications read and write chunked files,
+// every operation raises a Pythia event carrying the file and chunk index,
+// and a prefetcher turns predictions of future reads into overlapped
+// background loads.
+//
+// Time is virtual and deterministic: a cold chunk read costs LatencyNs; a
+// prefetch issued early enough makes the subsequent read free, exactly the
+// I/O-hiding effect Omnisc'IO demonstrates.
+package iosim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/pythia"
+)
+
+// Config tunes the simulated storage.
+type Config struct {
+	// ChunkSize is the unit of transfer (bytes). Default 64 KiB.
+	ChunkSize int
+	// LatencyNs is the cost of fetching one cold chunk. Default 2ms.
+	LatencyNs int64
+	// ComputeNsPerByte is the virtual cost the application pays to process
+	// a chunk (gives the prefetcher a window to hide latency in).
+	ComputeNsPerByte float64
+	// Oracle attaches Pythia; nil runs un-instrumented.
+	Oracle *pythia.Oracle
+	// Prefetch enables prediction-driven prefetching (predict mode only).
+	Prefetch bool
+	// PrefetchDepth is how many events ahead the prefetcher looks
+	// (default 8).
+	PrefetchDepth int
+}
+
+// Stats summarises a run.
+type Stats struct {
+	Reads, Writes   int64
+	ColdReads       int64 // reads that paid full latency
+	HiddenReads     int64 // reads whose latency a prefetch (partially) hid
+	PrefetchsIssued int64
+	WastedPrefetch  int64 // prefetched chunks never read before eviction
+}
+
+// chunkKey identifies one chunk of one file.
+type chunkKey struct {
+	file  int32
+	chunk int32
+}
+
+// Store is the simulated storage layer. One Store per thread of the
+// application (it is not safe for concurrent use, like the other Pythia
+// runtime integrations).
+type Store struct {
+	cfg   Config
+	vnow  int64
+	files map[string]int32
+	names []string
+	data  map[chunkKey][]byte
+
+	// readyAt maps a chunk to the virtual time its staged copy becomes
+	// available (prefetch in flight or completed).
+	readyAt map[chunkKey]int64
+
+	th   *pythia.Thread
+	ids  map[string]pythia.ID
+	mu   sync.Mutex
+	stat Stats
+}
+
+// New creates a store.
+func New(cfg Config) *Store {
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 64 << 10
+	}
+	if cfg.LatencyNs <= 0 {
+		cfg.LatencyNs = 2_000_000
+	}
+	if cfg.PrefetchDepth <= 0 {
+		cfg.PrefetchDepth = 8
+	}
+	s := &Store{
+		cfg:     cfg,
+		files:   make(map[string]int32),
+		data:    make(map[chunkKey][]byte),
+		readyAt: make(map[chunkKey]int64),
+		ids:     make(map[string]pythia.ID),
+	}
+	if cfg.Oracle != nil {
+		s.th = cfg.Oracle.Thread(0)
+	}
+	return s
+}
+
+// Now returns the virtual clock (ns).
+func (s *Store) Now() int64 { return s.vnow }
+
+// Stats returns run statistics.
+func (s *Store) Stats() Stats { return s.stat }
+
+// fileID interns a file name.
+func (s *Store) fileID(name string) int32 {
+	if id, ok := s.files[name]; ok {
+		return id
+	}
+	id := int32(len(s.names))
+	s.files[name] = id
+	s.names = append(s.names, name)
+	return id
+}
+
+// submit raises an I/O event carrying the operation, file and chunk.
+func (s *Store) submit(op string, file, chunk int32) {
+	if s.th == nil {
+		return
+	}
+	s.th.SubmitAt(s.cfg.Oracle.Intern(op, int64(file), int64(chunk)), s.vnow)
+}
+
+// WriteChunk stores data as chunk idx of the named file.
+func (s *Store) WriteChunk(name string, idx int, payload []byte) {
+	file := s.fileID(name)
+	s.submit("io_write", file, int32(idx))
+	key := chunkKey{file, int32(idx)}
+	s.data[key] = append([]byte(nil), payload...)
+	// Writes land in the page cache: subsequent reads are warm.
+	s.readyAt[key] = s.vnow
+	s.vnow += int64(float64(len(payload)) * 0.1) // cheap buffered write
+	s.stat.Writes++
+}
+
+// ReadChunk returns chunk idx of the named file, paying cold latency unless
+// a prefetch staged it in time. It then charges the configured compute cost,
+// which is the window the prefetcher uses for the *next* chunks.
+func (s *Store) ReadChunk(name string, idx int) []byte {
+	file := s.fileID(name)
+	s.submit("io_read", file, int32(idx))
+	s.stat.Reads++
+	key := chunkKey{file, int32(idx)}
+
+	ready, staged := s.readyAt[key]
+	switch {
+	case staged && ready <= s.vnow:
+		// Fully hidden.
+		s.stat.HiddenReads++
+	case staged:
+		// Partially hidden: wait out the remainder.
+		s.stat.HiddenReads++
+		s.vnow = ready
+	default:
+		s.stat.ColdReads++
+		s.vnow += s.cfg.LatencyNs
+		s.readyAt[key] = s.vnow
+	}
+
+	payload := s.data[key]
+	if payload == nil {
+		payload = make([]byte, s.cfg.ChunkSize)
+	}
+	s.vnow += int64(s.cfg.ComputeNsPerByte * float64(len(payload)))
+
+	// After serving the read, consult the oracle about what comes next and
+	// stage it in the background.
+	if s.cfg.Prefetch && s.th != nil {
+		s.prefetchAhead()
+	}
+	return payload
+}
+
+// prefetchAhead stages the chunks of predicted upcoming reads.
+func (s *Store) prefetchAhead() {
+	for _, p := range s.th.PredictSequence(s.cfg.PrefetchDepth) {
+		name := s.cfg.Oracle.EventName(pythia.ID(p.EventID))
+		var file, chunk int32
+		if n, _ := fmt.Sscanf(name, "io_read:%d:%d", &file, &chunk); n != 2 {
+			continue
+		}
+		key := chunkKey{file, chunk}
+		if _, staged := s.readyAt[key]; staged {
+			continue
+		}
+		// The background fetch overlaps with compute: it completes one
+		// latency from now without advancing the application clock.
+		s.readyAt[key] = s.vnow + s.cfg.LatencyNs
+		s.stat.PrefetchsIssued++
+	}
+}
+
+// Compute charges pure application compute time (no events).
+func (s *Store) Compute(ns int64) { s.vnow += ns }
+
+// Evict drops staged copies (end of an application phase); chunks prefetched
+// but never read are counted as waste.
+func (s *Store) Evict() {
+	for key, ready := range s.readyAt {
+		if ready > s.vnow {
+			s.stat.WastedPrefetch++
+		}
+		delete(s.readyAt, key)
+	}
+}

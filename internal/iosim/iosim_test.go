@@ -1,0 +1,112 @@
+package iosim
+
+import (
+	"testing"
+
+	"repro/pythia"
+)
+
+// stridedApp reads a file in the strided pattern scientific readers use:
+// iterations over the same chunk sequence, with compute between reads.
+func stridedApp(s *Store, iters, chunks int) {
+	for i := 0; i < iters; i++ {
+		for c := 0; c < chunks; c++ {
+			s.ReadChunk("mesh.dat", c)
+			s.Compute(500_000) // 0.5ms of processing per chunk
+		}
+		s.Evict() // phase boundary: staged data goes stale
+	}
+}
+
+func TestColdReadsPayLatency(t *testing.T) {
+	s := New(Config{LatencyNs: 1_000_000})
+	start := s.Now()
+	s.ReadChunk("f", 0)
+	if s.Now()-start < 1_000_000 {
+		t.Fatalf("cold read took %dns, want >= latency", s.Now()-start)
+	}
+	st := s.Stats()
+	if st.ColdReads != 1 || st.HiddenReads != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteMakesReadWarm(t *testing.T) {
+	s := New(Config{})
+	s.WriteChunk("f", 0, []byte{1, 2, 3})
+	before := s.Now()
+	got := s.ReadChunk("f", 0)
+	if len(got) != 3 || got[2] != 3 {
+		t.Fatalf("payload = %v", got)
+	}
+	if s.Now()-before >= s.cfg.LatencyNs {
+		t.Fatal("read after write paid cold latency")
+	}
+}
+
+func TestPrefetchHidesLatency(t *testing.T) {
+	const iters, chunks = 30, 16
+
+	// Vanilla run (no oracle).
+	vanilla := New(Config{})
+	stridedApp(vanilla, iters, chunks)
+	vanillaNs := vanilla.Now()
+
+	// Record the reference.
+	rec := pythia.NewRecordOracle()
+	recorded := New(Config{Oracle: rec})
+	stridedApp(recorded, iters, chunks)
+	ts := rec.Finish()
+
+	// Predict + prefetch.
+	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := New(Config{Oracle: oracle, Prefetch: true})
+	stridedApp(pre, iters, chunks)
+	prefetchNs := pre.Now()
+	st := pre.Stats()
+
+	if st.PrefetchsIssued == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if st.HiddenReads == 0 {
+		t.Fatal("no reads were hidden")
+	}
+	if prefetchNs >= vanillaNs {
+		t.Fatalf("prefetch run (%dms) not faster than vanilla (%dms)",
+			prefetchNs/1e6, vanillaNs/1e6)
+	}
+	improvement := 1 - float64(prefetchNs)/float64(vanillaNs)
+	t.Logf("vanilla %.1fms, prefetch %.1fms (%.0f%% faster), %d/%d reads hidden",
+		float64(vanillaNs)/1e6, float64(prefetchNs)/1e6, improvement*100,
+		st.HiddenReads, st.Reads)
+	if improvement < 0.2 {
+		t.Fatalf("improvement %.0f%% too small for a fully periodic pattern", improvement*100)
+	}
+}
+
+func TestRecordingDoesNotChangeVirtualTime(t *testing.T) {
+	vanilla := New(Config{})
+	stridedApp(vanilla, 10, 8)
+
+	rec := pythia.NewRecordOracle()
+	recorded := New(Config{Oracle: rec})
+	stridedApp(recorded, 10, 8)
+
+	if vanilla.Now() != recorded.Now() {
+		t.Fatalf("recording changed virtual time: %d vs %d", vanilla.Now(), recorded.Now())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := New(Config{})
+	s.WriteChunk("f", 0, make([]byte, 10))
+	s.ReadChunk("f", 0)
+	s.ReadChunk("f", 1)
+	st := s.Stats()
+	if st.Writes != 1 || st.Reads != 2 || st.ColdReads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,176 @@
+// Package memsim is a memory-placement runtime guided by Pythia — the very
+// example the paper's introduction opens with: "the first-touch memory
+// allocation policy implemented in Linux allocates a memory page on a NUMA
+// node close to the first thread that accesses it. It assumes that this
+// thread will probably use the memory page in the near future […] However,
+// the heuristic may be wrong."
+//
+// The simulator models a two-socket NUMA machine: threads live on nodes,
+// local accesses are cheap, remote accesses cost a multiple. Pages are
+// placed on first touch (the Linux heuristic) or — with Pythia — on the node
+// of the thread *predicted to dominate the page's future accesses*. The
+// access stream itself is what Pythia records: one event per (thread, page)
+// access burst.
+//
+// Time is virtual and deterministic, like the other substrates.
+package memsim
+
+import (
+	"fmt"
+
+	"repro/pythia"
+)
+
+// Config tunes the NUMA model.
+type Config struct {
+	// Nodes is the number of NUMA nodes (default 2).
+	Nodes int
+	// LocalNs is the cost of one access burst to a local page.
+	LocalNs int64
+	// RemoteFactor multiplies LocalNs for remote accesses (default 3).
+	RemoteFactor float64
+	// Oracle attaches Pythia; nil runs the plain first-touch heuristic.
+	Oracle *pythia.Oracle
+	// Predictive places pages by predicted future accesses instead of first
+	// touch (predict mode only).
+	Predictive bool
+	// PredictHorizon is how many future accesses the placement decision
+	// weighs (default 16).
+	PredictHorizon int
+}
+
+// Stats summarises a run.
+type Stats struct {
+	Accesses       int64
+	RemoteAccesses int64
+	Placements     int64
+	Migrations     int64 // re-placements predicted runs performed
+}
+
+// System is one simulated NUMA machine driven by a single master goroutine
+// (the access stream is the interleaved program order, as a tracing tool
+// would see it).
+type System struct {
+	cfg Config
+
+	vnow      int64
+	pageNode  map[int32]int // page -> node, set at placement
+	threadOf  map[int32]int // thread -> node (round-robin)
+	threadSet []int32
+
+	th   *pythia.Thread
+	stat Stats
+}
+
+// New creates a system.
+func New(cfg Config) *System {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.LocalNs <= 0 {
+		cfg.LocalNs = 100
+	}
+	if cfg.RemoteFactor <= 0 {
+		cfg.RemoteFactor = 3
+	}
+	if cfg.PredictHorizon <= 0 {
+		cfg.PredictHorizon = 16
+	}
+	s := &System{
+		cfg:      cfg,
+		pageNode: make(map[int32]int),
+		threadOf: make(map[int32]int),
+	}
+	if cfg.Oracle != nil {
+		s.th = cfg.Oracle.Thread(0)
+	}
+	return s
+}
+
+// Now returns the virtual clock (ns).
+func (s *System) Now() int64 { return s.vnow }
+
+// Stats returns run statistics.
+func (s *System) Stats() Stats { return s.stat }
+
+// nodeOf pins threads to nodes round-robin in order of first appearance.
+func (s *System) nodeOf(thread int32) int {
+	if n, ok := s.threadOf[thread]; ok {
+		return n
+	}
+	n := len(s.threadSet) % s.cfg.Nodes
+	s.threadOf[thread] = n
+	s.threadSet = append(s.threadSet, thread)
+	return n
+}
+
+// Access records one access burst of thread to page and charges its cost.
+func (s *System) Access(thread, page int32) {
+	node := s.nodeOf(thread)
+	if s.th != nil {
+		s.th.SubmitAt(s.cfg.Oracle.Intern("mem_access", int64(thread), int64(page)), s.vnow)
+	}
+	s.stat.Accesses++
+
+	placed, ok := s.pageNode[page]
+	if !ok {
+		placed = s.placePage(thread, page)
+	}
+	if placed == node {
+		s.vnow += s.cfg.LocalNs
+	} else {
+		s.stat.RemoteAccesses++
+		s.vnow += int64(float64(s.cfg.LocalNs) * s.cfg.RemoteFactor)
+	}
+}
+
+// placePage decides the page's home node: first-touch by default, or the
+// node whose threads dominate the oracle's view of the page's near future.
+func (s *System) placePage(thread, page int32) int {
+	s.stat.Placements++
+	node := s.nodeOf(thread) // the first-touch heuristic
+	if s.cfg.Predictive && s.th != nil {
+		if best, ok := s.predictDominantNode(page); ok {
+			if best != node {
+				s.stat.Migrations++
+			}
+			node = best
+		}
+	}
+	s.pageNode[page] = node
+	return node
+}
+
+// predictDominantNode tallies the predicted upcoming accesses to the page by
+// NUMA node.
+func (s *System) predictDominantNode(page int32) (int, bool) {
+	votes := make([]float64, s.cfg.Nodes)
+	found := false
+	for _, p := range s.th.PredictSequence(s.cfg.PredictHorizon) {
+		name := s.cfg.Oracle.EventName(pythia.ID(p.EventID))
+		var th, pg int32
+		if n, _ := fmt.Sscanf(name, "mem_access:%d:%d", &th, &pg); n != 2 || pg != page {
+			continue
+		}
+		votes[s.nodeOf(th)] += p.Probability
+		found = true
+	}
+	if !found {
+		return 0, false
+	}
+	best := 0
+	for n := 1; n < len(votes); n++ {
+		if votes[n] > votes[best] {
+			best = n
+		}
+	}
+	return best, true
+}
+
+// Free drops a page (its next access re-places it).
+func (s *System) Free(page int32) {
+	delete(s.pageNode, page)
+}
+
+// Compute charges pure compute time with no memory events.
+func (s *System) Compute(ns int64) { s.vnow += ns }

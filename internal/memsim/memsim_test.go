@@ -1,0 +1,119 @@
+package memsim
+
+import (
+	"testing"
+
+	"repro/pythia"
+)
+
+// producerConsumerApp is the pattern that defeats first-touch: thread 0
+// (node 0) initialises every page once, then thread 1 (node 1) does all the
+// real work on half of them. First-touch places everything on node 0, so
+// thread 1 pays remote cost forever.
+func producerConsumerApp(s *System, pages, rounds int) {
+	// Initialisation pass by thread 0 — the first touches.
+	for p := 0; p < pages; p++ {
+		s.Access(0, int32(p))
+	}
+	// Work: thread 1 hammers the upper half, thread 0 the lower half.
+	for r := 0; r < rounds; r++ {
+		for p := 0; p < pages/2; p++ {
+			s.Access(0, int32(p))
+		}
+		for p := pages / 2; p < pages; p++ {
+			s.Access(1, int32(p))
+		}
+	}
+}
+
+func TestFirstTouchBaseline(t *testing.T) {
+	s := New(Config{})
+	producerConsumerApp(s, 16, 10)
+	st := s.Stats()
+	// All of thread 1's 10*8 accesses are remote under first-touch.
+	if st.RemoteAccesses != 80 {
+		t.Fatalf("remote accesses = %d, want 80", st.RemoteAccesses)
+	}
+	if st.Placements != 16 {
+		t.Fatalf("placements = %d, want 16", st.Placements)
+	}
+}
+
+func TestThreadPinningRoundRobin(t *testing.T) {
+	s := New(Config{Nodes: 2})
+	if s.nodeOf(10) != 0 || s.nodeOf(20) != 1 || s.nodeOf(30) != 0 {
+		t.Fatal("round-robin pinning broken")
+	}
+	if s.nodeOf(10) != 0 {
+		t.Fatal("pinning not sticky")
+	}
+}
+
+// TestOracleBeatsFirstTouch is the introduction's motivating scenario made
+// quantitative: with a recorded reference execution, predictive placement
+// puts the consumer's pages on the consumer's node and beats first-touch.
+func TestOracleBeatsFirstTouch(t *testing.T) {
+	const pages, rounds = 16, 25
+
+	firstTouch := New(Config{})
+	producerConsumerApp(firstTouch, pages, rounds)
+	ftNs := firstTouch.Now()
+
+	rec := pythia.NewRecordOracle()
+	recorded := New(Config{Oracle: rec})
+	producerConsumerApp(recorded, pages, rounds)
+	recNs := recorded.Now()
+	if recNs != ftNs {
+		t.Fatalf("recording changed virtual time: %d vs %d", recNs, ftNs)
+	}
+	ts := rec.Finish()
+
+	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := New(Config{Oracle: oracle, Predictive: true})
+	producerConsumerApp(pred, pages, rounds)
+	predNs := pred.Now()
+	st := pred.Stats()
+
+	if st.Migrations == 0 {
+		t.Fatal("predictive placement never deviated from first touch")
+	}
+	if st.RemoteAccesses >= firstTouch.Stats().RemoteAccesses {
+		t.Fatalf("remote accesses not reduced: %d vs %d",
+			st.RemoteAccesses, firstTouch.Stats().RemoteAccesses)
+	}
+	if predNs >= ftNs {
+		t.Fatalf("predictive placement (%d ns) not faster than first-touch (%d ns)", predNs, ftNs)
+	}
+	improvement := 1 - float64(predNs)/float64(ftNs)
+	t.Logf("first-touch %.1fµs, predictive %.1fµs (%.0f%% faster), remote %d -> %d",
+		float64(ftNs)/1e3, float64(predNs)/1e3, improvement*100,
+		firstTouch.Stats().RemoteAccesses, st.RemoteAccesses)
+}
+
+func TestFreeForcesReplacement(t *testing.T) {
+	s := New(Config{})
+	s.Access(0, 1)
+	if s.Stats().Placements != 1 {
+		t.Fatal("no placement")
+	}
+	s.Access(0, 1)
+	if s.Stats().Placements != 1 {
+		t.Fatal("re-placement without Free")
+	}
+	s.Free(1)
+	s.Access(0, 1)
+	if s.Stats().Placements != 2 {
+		t.Fatal("Free did not force re-placement")
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	s := New(Config{})
+	s.Compute(123)
+	if s.Now() != 123 {
+		t.Fatalf("Now = %d", s.Now())
+	}
+}

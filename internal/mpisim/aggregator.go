@@ -1,0 +1,273 @@
+package mpisim
+
+import (
+	"repro/pythia"
+)
+
+// Aggregator implements the optimisation the paper sketches for its MPI
+// runtime (section III-B): "the optimization could consist in aggregating
+// multiple successive MPI send messages". It wraps an instrumented endpoint
+// and, at every Send, asks the oracle whether more sends to the same
+// destination follow before the next blocking call; if so, the payload is
+// buffered and the whole batch travels as one message. The receiving side
+// transparently splits batches back into individual messages.
+//
+// Aggregated traffic uses a dedicated internal tag derived from the original
+// tag, so un-aggregated and aggregated messages never mix streams and the
+// per-(source, tag) ordering guarantee is preserved.
+type Aggregator struct {
+	*Interposer
+	// Lookahead is how far the oracle is consulted for upcoming sends
+	// (default 4).
+	Lookahead int
+	// MaxBatch caps how many messages may ride in one aggregate.
+	MaxBatch int
+
+	// pending batches, keyed by destination and original tag.
+	pending map[batchKey][][]float64
+	// split holds fragments of received aggregates not yet consumed.
+	split map[batchKey][][]float64
+
+	// MessagesSent / PayloadsSent count physical messages vs logical sends,
+	// the metric an MPI library would optimise.
+	MessagesSent int64
+	PayloadsSent int64
+}
+
+type batchKey struct {
+	peer int
+	tag  int
+}
+
+// aggTagBase maps an application tag into the reserved aggregate tag space
+// (below internalTagBase so wildcard receives never match it directly).
+const aggTagBase = internalTagBase - 1000000
+
+// NewAggregator builds the aggregating layer on top of a Pythia interposer.
+func NewAggregator(inner MPI, oracle *pythia.Oracle) *Aggregator {
+	return &Aggregator{
+		Interposer: NewInterposer(inner, oracle),
+		Lookahead:  4,
+		MaxBatch:   16,
+		pending:    make(map[batchKey][][]float64),
+		split:      make(map[batchKey][][]float64),
+	}
+}
+
+// moreSendsPredicted reports whether the oracle expects another send to dest
+// before the next blocking call.
+func (a *Aggregator) moreSendsPredicted(dest int) bool {
+	if a.Interposer.oracle.Recording() {
+		return false
+	}
+	want := a.Interposer.oracle.EventName(peerEvent(a.Interposer.send, a.Interposer.sendAny, dest))
+	for _, p := range a.Thread().PredictSequence(a.Lookahead) {
+		name := a.Interposer.oracle.EventName(pythia.ID(p.EventID))
+		if name == want {
+			return true
+		}
+		if IsBlockingName(name) {
+			return false
+		}
+	}
+	return false
+}
+
+// IsBlockingName reports whether an event descriptor names a blocking MPI
+// entry point (exported for layers that reason about event streams).
+func IsBlockingName(name string) bool {
+	switch {
+	case len(name) >= 8 && name[:8] == "MPI_Wait":
+		return true
+	case name == "MPI_Barrier" || name == "MPI_Alltoall" || name == "MPI_Allgather":
+		return true
+	case len(name) >= 13 && name[:13] == "MPI_Allreduce":
+		return true
+	case len(name) >= 10 && (name[:10] == "MPI_Reduce" || name[:9+1] == "MPI_Bcast:"):
+		return true
+	case len(name) >= 9 && name[:9] == "MPI_Recv:":
+		return true
+	}
+	return false
+}
+
+// Send implements MPI with oracle-guided aggregation.
+func (a *Aggregator) Send(dest, tag int, data []float64) {
+	// Submit the event exactly as the interposer would (the grammar must
+	// not change just because the transport batches), but route the payload
+	// through the aggregation buffer.
+	a.Thread().Submit(peerEvent(a.Interposer.send, a.Interposer.sendAny, dest))
+	a.PayloadsSent++
+
+	k := batchKey{dest, tag}
+	a.pending[k] = append(a.pending[k], append([]float64(nil), data...))
+	if len(a.pending[k]) < a.MaxBatch && a.moreSendsPredicted(dest) {
+		return // hold: more sends are coming
+	}
+	a.flushKey(k)
+}
+
+// flushKey transmits one destination/tag batch as a single framed message.
+func (a *Aggregator) flushKey(k batchKey) {
+	batch := a.pending[k]
+	if len(batch) == 0 {
+		return
+	}
+	delete(a.pending, k)
+	a.MessagesSent++
+	if len(batch) == 1 {
+		a.Interposer.inner.Send(k.peer, k.tag, batch[0])
+		return
+	}
+	// Frame: [count, len0, payload0..., len1, payload1...].
+	frame := []float64{float64(len(batch))}
+	for _, p := range batch {
+		frame = append(frame, float64(len(p)))
+		frame = append(frame, p...)
+	}
+	a.Interposer.inner.Send(k.peer, aggTagBase-k.tag, frame)
+}
+
+// Flush transmits every pending batch (call before any operation that the
+// peer may block on).
+func (a *Aggregator) Flush() {
+	for k := range a.pending {
+		a.flushKey(k)
+	}
+}
+
+// Recv implements MPI, transparently splitting aggregated messages. Pending
+// batches are flushed first: the peer may be blocked on them while we block
+// on it.
+func (a *Aggregator) Recv(src, tag int) []float64 {
+	a.Flush()
+	a.Thread().Submit(peerEvent(a.Interposer.recv, a.Interposer.recvAny, src))
+	return a.recvPayload(src, tag)
+}
+
+func (a *Aggregator) recvPayload(src, tag int) []float64 {
+	k := batchKey{src, tag}
+	if frags := a.split[k]; len(frags) > 0 {
+		out := frags[0]
+		a.split[k] = frags[1:]
+		return out
+	}
+	// Either a plain message on the original tag or an aggregate on the
+	// derived tag may arrive first; order within each stream is preserved,
+	// and a sender only ever uses one framing per batch. Try the aggregate
+	// stream only when the plain stream would block: receive from whichever
+	// arrives using a two-tag match.
+	msg := a.takeEither(src, tag, aggTagBase-tag)
+	if msg.tag == tag {
+		return msg.data
+	}
+	// Split the frame.
+	count := int(msg.data[0])
+	idx := 1
+	var frags [][]float64
+	for i := 0; i < count; i++ {
+		n := int(msg.data[idx])
+		idx++
+		frag := make([]float64, n)
+		copy(frag, msg.data[idx:idx+n])
+		idx += n
+		frags = append(frags, frag)
+	}
+	out := frags[0]
+	a.split[k] = frags[1:]
+	return out
+}
+
+// takeEither blocks until a message from src with either tag arrives.
+func (a *Aggregator) takeEither(src, tagA, tagB int) message {
+	rank, ok := a.Interposer.inner.(*Rank)
+	if !ok {
+		// Fallback for exotic stacking: only the plain stream is usable.
+		return message{tag: tagA, data: a.Interposer.inner.Recv(src, tagA)}
+	}
+	mb := rank.world.boxes[rank.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.q {
+			if (src == AnySource || m.src == src) && (m.tag == tagA || m.tag == tagB) {
+				mb.q = append(mb.q[:i], mb.q[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// The blocking operations flush pending batches first: the peer may be
+// waiting for them.
+
+// Wait implements MPI.
+func (a *Aggregator) Wait(r *Request) []float64 {
+	a.Flush()
+	return a.Interposer.Wait(r)
+}
+
+// Waitall implements MPI.
+func (a *Aggregator) Waitall(rs []*Request) {
+	a.Flush()
+	a.Interposer.Waitall(rs)
+}
+
+// Barrier implements MPI.
+func (a *Aggregator) Barrier() {
+	a.Flush()
+	a.Interposer.Barrier()
+}
+
+// Allreduce implements MPI.
+func (a *Aggregator) Allreduce(op Op, data []float64) []float64 {
+	a.Flush()
+	return a.Interposer.Allreduce(op, data)
+}
+
+// Reduce implements MPI.
+func (a *Aggregator) Reduce(root int, op Op, data []float64) []float64 {
+	a.Flush()
+	return a.Interposer.Reduce(root, op, data)
+}
+
+// Bcast implements MPI.
+func (a *Aggregator) Bcast(root int, data []float64) []float64 {
+	a.Flush()
+	return a.Interposer.Bcast(root, data)
+}
+
+// Alltoall implements MPI.
+func (a *Aggregator) Alltoall(send [][]float64) [][]float64 {
+	a.Flush()
+	return a.Interposer.Alltoall(send)
+}
+
+// Allgather implements MPI.
+func (a *Aggregator) Allgather(data []float64) [][]float64 {
+	a.Flush()
+	return a.Interposer.Allgather(data)
+}
+
+// Gather implements MPI.
+func (a *Aggregator) Gather(root int, data []float64) [][]float64 {
+	a.Flush()
+	return a.Interposer.Gather(root, data)
+}
+
+// Scatter implements MPI.
+func (a *Aggregator) Scatter(root int, parts [][]float64) []float64 {
+	a.Flush()
+	return a.Interposer.Scatter(root, parts)
+}
+
+// Sendrecv implements MPI (unaggregated: its receive half blocks anyway).
+func (a *Aggregator) Sendrecv(dest, sendTag int, data []float64, src, recvTag int) []float64 {
+	a.Flush()
+	a.Thread().Submit(peerEvent(a.Interposer.send, a.Interposer.sendAny, dest))
+	a.PayloadsSent++
+	a.MessagesSent++
+	a.Interposer.inner.Send(dest, sendTag, data)
+	return a.Recv(src, recvTag)
+}

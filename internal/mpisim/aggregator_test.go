@@ -1,0 +1,145 @@
+package mpisim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/pythia"
+)
+
+// burstProgram sends a burst of 5 messages to the right neighbour each
+// iteration, then receives its own burst — the pattern the paper's
+// aggregation optimisation targets.
+func burstProgram(iters int) func(m MPI) {
+	return func(m MPI) {
+		right := (m.Rank() + 1) % m.Size()
+		left := (m.Rank() + m.Size() - 1) % m.Size()
+		for i := 0; i < iters; i++ {
+			for k := 0; k < 5; k++ {
+				m.Send(right, 7, []float64{float64(i), float64(k)})
+			}
+			for k := 0; k < 5; k++ {
+				got := m.Recv(left, 7)
+				if got[0] != float64(i) || got[1] != float64(k) {
+					panic("payload corrupted or reordered")
+				}
+			}
+		}
+		m.Barrier()
+	}
+}
+
+func TestAggregatorCorrectness(t *testing.T) {
+	// Record the reference first.
+	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	w := NewWorld(4)
+	w.RunInterposed(func(m MPI) MPI { return NewAggregator(m, rec) }, burstProgram(20))
+	ts := rec.Finish()
+
+	// Replay with prediction-driven aggregation; payload checks are inside
+	// the program.
+	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var aggs []*Aggregator
+	w2 := NewWorld(4)
+	w2.RunInterposed(func(m MPI) MPI {
+		a := NewAggregator(m, oracle)
+		mu.Lock()
+		aggs = append(aggs, a)
+		mu.Unlock()
+		return a
+	}, burstProgram(20))
+
+	var payloads, messages int64
+	for _, a := range aggs {
+		payloads += a.PayloadsSent
+		messages += a.MessagesSent
+	}
+	if payloads != 4*20*5 {
+		t.Fatalf("payloads = %d, want %d", payloads, 4*20*5)
+	}
+	if messages >= payloads {
+		t.Fatalf("aggregation ineffective: %d messages for %d payloads", messages, payloads)
+	}
+	ratio := float64(payloads) / float64(messages)
+	t.Logf("aggregation: %d logical sends in %d messages (%.1fx)", payloads, messages, ratio)
+	if ratio < 2 {
+		t.Fatalf("expected at least 2x aggregation on a 5-message burst, got %.1fx", ratio)
+	}
+}
+
+func TestAggregatorRecordingIsTransparent(t *testing.T) {
+	// While recording, there is no prediction, so no batching — every
+	// logical send is one message and the grammar equals the interposer's.
+	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	w := NewWorld(2)
+	var mu sync.Mutex
+	var aggs []*Aggregator
+	w.RunInterposed(func(m MPI) MPI {
+		a := NewAggregator(m, rec)
+		mu.Lock()
+		aggs = append(aggs, a)
+		mu.Unlock()
+		return a
+	}, burstProgram(10))
+	for _, a := range aggs {
+		if a.MessagesSent != a.PayloadsSent {
+			t.Fatalf("recording run batched: %d msgs for %d payloads",
+				a.MessagesSent, a.PayloadsSent)
+		}
+	}
+	ts := rec.Finish()
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregatorMixedTagsAndSizes(t *testing.T) {
+	// Bursts on two tags with different payload sizes; receivers interleave
+	// tags. Verifies framing and per-tag stream separation.
+	prog := func(m MPI) {
+		peer := 1 - m.Rank()
+		for i := 0; i < 15; i++ {
+			m.Send(peer, 1, []float64{1, float64(i)})
+			m.Send(peer, 2, []float64{2, float64(i), 99})
+			m.Send(peer, 1, []float64{1, float64(i + 100)})
+		}
+		m.Barrier()
+		for i := 0; i < 15; i++ {
+			a := m.Recv(peer, 1)
+			b := m.Recv(peer, 2)
+			c := m.Recv(peer, 1)
+			if a[0] != 1 || b[0] != 2 || len(b) != 3 || c[1] != float64(i+100) {
+				panic("mixed-tag streams corrupted")
+			}
+		}
+		m.Barrier()
+	}
+	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	w := NewWorld(2)
+	w.RunInterposed(func(m MPI) MPI { return NewAggregator(m, rec) }, prog)
+	ts := rec.Finish()
+	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWorld(2)
+	w2.RunInterposed(func(m MPI) MPI { return NewAggregator(m, oracle) }, prog)
+}
+
+func TestIsBlockingName(t *testing.T) {
+	for _, n := range []string{"MPI_Wait", "MPI_Waitall", "MPI_Barrier",
+		"MPI_Allreduce:0", "MPI_Reduce:0:0", "MPI_Bcast:2", "MPI_Recv:1"} {
+		if !IsBlockingName(n) {
+			t.Errorf("%q should block", n)
+		}
+	}
+	for _, n := range []string{"MPI_Send:1", "MPI_Isend:0", "MPI_Irecv:3"} {
+		if IsBlockingName(n) {
+			t.Errorf("%q should not block", n)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package mpisim
+
+import "testing"
+
+// BenchmarkPingPong measures in-process point-to-point latency — the
+// substrate's analogue of an MPI micro-benchmark.
+func BenchmarkPingPong(b *testing.B) {
+	w := NewWorld(2)
+	done := make(chan struct{})
+	go func() {
+		r := w.Rank(1)
+		for {
+			msg := r.Recv(0, 0)
+			if msg[0] < 0 {
+				close(done)
+				return
+			}
+			r.Send(0, 1, msg)
+		}
+	}()
+	r0 := w.Rank(0)
+	payload := []float64{1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r0.Send(1, 0, payload)
+		r0.Recv(1, 1)
+	}
+	b.StopTimer()
+	r0.Send(1, 0, []float64{-1})
+	<-done
+}
+
+// BenchmarkAllreduce measures the collective core.
+func BenchmarkAllreduce(b *testing.B) {
+	const ranks = 8
+	w := NewWorld(ranks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.Run(func(m MPI) {
+		v := []float64{float64(m.Rank())}
+		for i := 0; i < b.N; i++ {
+			m.Allreduce(OpSum, v)
+		}
+	})
+}
+
+// BenchmarkInterposedSend measures the instrumentation overhead per call.
+func BenchmarkInterposedSend(b *testing.B) {
+	o := benchRecordOracle()
+	w := NewWorld(2)
+	ip := NewInterposer(w.Rank(0), o)
+	sink := w.Rank(1)
+	go func() {
+		for {
+			if sink.Recv(0, 0)[0] < 0 {
+				return
+			}
+		}
+	}()
+	payload := []float64{1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip.Send(1, 0, payload)
+	}
+	b.StopTimer()
+	ip.Send(1, 0, []float64{-1})
+}

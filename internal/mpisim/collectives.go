@@ -1,0 +1,91 @@
+package mpisim
+
+// This file extends the MPI surface with the second tier of primitives the
+// evaluated applications use occasionally: combined send/receive, scatter,
+// reduce-scatter and prefix scans. They are built on the same allgather
+// collective core, so the ordering discipline (all ranks call collectives in
+// the same order) applies.
+
+// Sendrecv performs a combined send and receive, the classic
+// deadlock-avoidance primitive for ring shifts.
+func (r *Rank) Sendrecv(dest, sendTag int, data []float64, src, recvTag int) []float64 {
+	r.Send(dest, sendTag, data)
+	return r.Recv(src, recvTag)
+}
+
+// Scatter distributes parts[i] from root to rank i. Non-root ranks pass nil
+// parts.
+func (r *Rank) Scatter(root int, parts [][]float64) []float64 {
+	var flat []float64
+	if r.rank == root {
+		if len(parts) != r.world.size {
+			panic("mpisim: Scatter needs one slice per rank at the root")
+		}
+		// Encode as length-prefixed concatenation.
+		for _, p := range parts {
+			flat = append(flat, float64(len(p)))
+			flat = append(flat, p...)
+		}
+	}
+	all := r.world.coll.allgather(r.rank, flat)
+	enc := all[root]
+	idx := 0
+	for rank := 0; rank <= r.rank; rank++ {
+		if idx >= len(enc) {
+			return nil
+		}
+		n := int(enc[idx])
+		idx++
+		if rank == r.rank {
+			out := make([]float64, n)
+			copy(out, enc[idx:idx+n])
+			return out
+		}
+		idx += n
+	}
+	return nil
+}
+
+// ReduceScatter folds all contributions element-wise with op and hands each
+// rank the element block at its own index (each rank contributes one value
+// per rank).
+func (r *Rank) ReduceScatter(op Op, data []float64) float64 {
+	if len(data) != r.world.size {
+		panic("mpisim: ReduceScatter needs one value per rank")
+	}
+	folded := fold(op, r.world.coll.allgather(r.rank, data))
+	return folded[r.rank]
+}
+
+// Scan returns the inclusive prefix reduction over ranks 0..r.rank.
+func (r *Rank) Scan(op Op, data []float64) []float64 {
+	all := r.world.coll.allgather(r.rank, data)
+	return fold(op, all[:r.rank+1])
+}
+
+// The extended surface on the MPI interface.
+
+// Sendrecv implements MPI.
+func (ip *Interposer) Sendrecv(dest, sendTag int, data []float64, src, recvTag int) []float64 {
+	ip.th.Submit(peerEvent(ip.send, ip.sendAny, dest))
+	ip.th.Submit(peerEvent(ip.recv, ip.recvAny, src))
+	return ip.inner.Sendrecv(dest, sendTag, data, src, recvTag)
+}
+
+// Scatter implements MPI.
+func (ip *Interposer) Scatter(root int, parts [][]float64) []float64 {
+	ip.blocking(ip.oracle.Intern("MPI_Scatter", int64(root)))
+	return ip.inner.Scatter(root, parts)
+}
+
+// ReduceScatter implements MPI.
+func (ip *Interposer) ReduceScatter(op Op, data []float64) float64 {
+	ip.blocking(ip.oracle.Intern("MPI_Reduce_scatter", int64(op)))
+	return ip.inner.ReduceScatter(op, data)
+}
+
+// Scan implements MPI.
+func (ip *Interposer) Scan(op Op, data []float64) []float64 {
+	ip.blocking(ip.oracle.Intern("MPI_Scan", int64(op)))
+	return ip.inner.Scan(op, data)
+}

@@ -1,0 +1,101 @@
+package mpisim
+
+import (
+	"testing"
+
+	"repro/pythia"
+)
+
+func TestSendrecvRingShift(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(m MPI) {
+		right := (m.Rank() + 1) % m.Size()
+		left := (m.Rank() + m.Size() - 1) % m.Size()
+		got := m.Sendrecv(right, 5, []float64{float64(m.Rank())}, left, 5)
+		if got[0] != float64(left) {
+			t.Errorf("rank %d received %v, want %d", m.Rank(), got, left)
+		}
+	})
+}
+
+func TestScatter(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(m MPI) {
+		var parts [][]float64
+		if m.Rank() == 1 {
+			parts = [][]float64{{10}, {20, 21}, {30, 31, 32}}
+		}
+		got := m.Scatter(1, parts)
+		want := m.Rank() + 1
+		if len(got) != want {
+			t.Errorf("rank %d got %v, want %d elements", m.Rank(), got, want)
+			return
+		}
+		if got[0] != float64((m.Rank()+1)*10) {
+			t.Errorf("rank %d got %v", m.Rank(), got)
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(m MPI) {
+		contrib := make([]float64, m.Size())
+		for i := range contrib {
+			contrib[i] = float64(m.Rank() + i)
+		}
+		got := m.ReduceScatter(OpSum, contrib)
+		// Element r of the fold is sum over ranks of (rank + r) = 6 + 4r.
+		want := float64(6 + 4*m.Rank())
+		if got != want {
+			t.Errorf("rank %d ReduceScatter = %v, want %v", m.Rank(), got, want)
+		}
+	})
+}
+
+func TestScan(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(m MPI) {
+		got := m.Scan(OpSum, []float64{float64(m.Rank() + 1)})
+		// Inclusive prefix sum of 1..rank+1.
+		want := float64((m.Rank() + 1) * (m.Rank() + 2) / 2)
+		if got[0] != want {
+			t.Errorf("rank %d Scan = %v, want %v", m.Rank(), got[0], want)
+		}
+	})
+}
+
+func TestExtendedSurfaceInterposed(t *testing.T) {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	w := NewWorld(2)
+	w.RunInterposed(func(m MPI) MPI { return NewInterposer(m, o) }, func(m MPI) {
+		peer := 1 - m.Rank()
+		for i := 0; i < 20; i++ {
+			m.Sendrecv(peer, 1, []float64{1}, peer, 1)
+			m.Scan(OpSum, []float64{1})
+			m.ReduceScatter(OpSum, []float64{1, 2})
+			var parts [][]float64
+			if m.Rank() == 0 {
+				parts = [][]float64{{1}, {2}}
+			}
+			m.Scatter(0, parts)
+		}
+	})
+	ts := o.Finish()
+	if err := ts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each iteration submits 5 events (send+recv, scan, reduce_scatter,
+	// scatter).
+	for tid, th := range ts.Threads {
+		if th.Grammar.EventCount != 100 {
+			t.Fatalf("rank %d recorded %d events, want 100", tid, th.Grammar.EventCount)
+		}
+	}
+	// The repetitive loop must compress well.
+	for _, th := range ts.Threads {
+		if len(th.Grammar.Rules) > 4 {
+			t.Fatalf("grammar has %d rules, want compact", len(th.Grammar.Rules))
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package mpisim
+
+import (
+	"time"
+
+	"repro/pythia"
+)
+
+// Interposer decorates an MPI endpoint with Pythia instrumentation,
+// reproducing the paper's MPI runtime system (section III-B): every MPI call
+// submits an event to the oracle — point-to-point calls carry the peer rank,
+// reductions carry the operation, rooted collectives carry the root — and
+// blocking calls (Wait, Waitall, and blocking collectives) additionally ask
+// the oracle for a prediction, mimicking a runtime that uses synchronisation
+// time to set up an optimisation.
+//
+// All event ids are interned once at construction (the world size and the
+// set of reduction operations are fixed), so the per-call cost is a single
+// grammar append — the property behind the paper's Table I overheads of a
+// few percent.
+type Interposer struct {
+	inner  MPI
+	oracle *pythia.Oracle
+	th     *pythia.Thread
+
+	// PredictDistance is how far ahead the interposer asks at each blocking
+	// call (0 disables prediction queries, e.g. while recording).
+	PredictDistance int
+
+	// OnPrediction, when non-nil, receives every prediction made at a
+	// blocking call together with the query latency. The evaluation harness
+	// uses it to score accuracy (Fig. 8) and cost (Fig. 9).
+	OnPrediction func(pred pythia.Prediction, ok bool, latency time.Duration)
+
+	// Pre-interned event ids, indexed by peer rank / root / operation.
+	send, recv, isend, irecv []pythia.ID
+	bcast, gatherID          []pythia.ID
+	reduce                   [][]pythia.ID // [op][root]
+	allreduce                []pythia.ID   // [op]
+	wait, waitall, barrier   pythia.ID
+	alltoall, allgather      pythia.ID
+	sendAny, recvAny         pythia.ID // wildcard peers (AnySource)
+	isendAny, irecvAny       pythia.ID
+}
+
+var _ MPI = (*Interposer)(nil)
+
+// NewInterposer wraps inner so that every call notifies the oracle. The
+// Pythia thread handle is keyed by the endpoint's rank, matching the paper's
+// one-grammar-per-thread model.
+func NewInterposer(inner MPI, oracle *pythia.Oracle) *Interposer {
+	ip := &Interposer{
+		inner:  inner,
+		oracle: oracle,
+		th:     oracle.Thread(int32(inner.Rank())),
+	}
+	n := inner.Size()
+	intern := func(name string, peer int) pythia.ID {
+		return oracle.Intern(name, int64(peer))
+	}
+	for p := 0; p < n; p++ {
+		ip.send = append(ip.send, intern("MPI_Send", p))
+		ip.recv = append(ip.recv, intern("MPI_Recv", p))
+		ip.isend = append(ip.isend, intern("MPI_Isend", p))
+		ip.irecv = append(ip.irecv, intern("MPI_Irecv", p))
+		ip.bcast = append(ip.bcast, intern("MPI_Bcast", p))
+		ip.gatherID = append(ip.gatherID, intern("MPI_Gather", p))
+	}
+	ops := []Op{OpSum, OpMax, OpMin, OpProd}
+	ip.reduce = make([][]pythia.ID, len(ops))
+	for _, op := range ops {
+		ip.allreduce = append(ip.allreduce, oracle.Intern("MPI_Allreduce", int64(op)))
+		for p := 0; p < n; p++ {
+			ip.reduce[op] = append(ip.reduce[op], oracle.Intern("MPI_Reduce", int64(op), int64(p)))
+		}
+	}
+	ip.wait = oracle.Intern("MPI_Wait")
+	ip.waitall = oracle.Intern("MPI_Waitall")
+	ip.barrier = oracle.Intern("MPI_Barrier")
+	ip.alltoall = oracle.Intern("MPI_Alltoall")
+	ip.allgather = oracle.Intern("MPI_Allgather")
+	ip.sendAny = intern("MPI_Send", AnySource)
+	ip.recvAny = intern("MPI_Recv", AnySource)
+	ip.isendAny = intern("MPI_Isend", AnySource)
+	ip.irecvAny = intern("MPI_Irecv", AnySource)
+	return ip
+}
+
+// Thread exposes the Pythia thread handle bound to this rank.
+func (ip *Interposer) Thread() *pythia.Thread { return ip.th }
+
+// peerEvent selects the pre-interned id for a peer, tolerating wildcards.
+func peerEvent(table []pythia.ID, wildcard pythia.ID, peer int) pythia.ID {
+	if peer >= 0 && peer < len(table) {
+		return table[peer]
+	}
+	return wildcard
+}
+
+// blocking submits the event for a blocking call and then queries the oracle
+// as the paper's runtime does while it waits.
+func (ip *Interposer) blocking(id pythia.ID) {
+	ip.th.Submit(id)
+	ip.queryOracle()
+}
+
+func (ip *Interposer) queryOracle() {
+	if ip.PredictDistance <= 0 || ip.oracle.Recording() {
+		return
+	}
+	start := time.Now()
+	pred, ok := ip.th.PredictAt(ip.PredictDistance)
+	if ip.OnPrediction != nil {
+		ip.OnPrediction(pred, ok, time.Since(start))
+	}
+}
+
+// Rank implements MPI.
+func (ip *Interposer) Rank() int { return ip.inner.Rank() }
+
+// Size implements MPI.
+func (ip *Interposer) Size() int { return ip.inner.Size() }
+
+// Send implements MPI.
+func (ip *Interposer) Send(dest, tag int, data []float64) {
+	ip.th.Submit(peerEvent(ip.send, ip.sendAny, dest))
+	ip.inner.Send(dest, tag, data)
+}
+
+// Recv implements MPI.
+func (ip *Interposer) Recv(src, tag int) []float64 {
+	ip.th.Submit(peerEvent(ip.recv, ip.recvAny, src))
+	return ip.inner.Recv(src, tag)
+}
+
+// Isend implements MPI.
+func (ip *Interposer) Isend(dest, tag int, data []float64) *Request {
+	ip.th.Submit(peerEvent(ip.isend, ip.isendAny, dest))
+	return ip.inner.Isend(dest, tag, data)
+}
+
+// Irecv implements MPI.
+func (ip *Interposer) Irecv(src, tag int) *Request {
+	ip.th.Submit(peerEvent(ip.irecv, ip.irecvAny, src))
+	return ip.inner.Irecv(src, tag)
+}
+
+// Wait implements MPI. Entering a wait is a blocking key point: the oracle
+// is queried for the near future.
+func (ip *Interposer) Wait(r *Request) []float64 {
+	ip.blocking(ip.wait)
+	return ip.inner.Wait(r)
+}
+
+// Waitall implements MPI.
+func (ip *Interposer) Waitall(rs []*Request) {
+	ip.blocking(ip.waitall)
+	ip.inner.Waitall(rs)
+}
+
+// Barrier implements MPI.
+func (ip *Interposer) Barrier() {
+	ip.blocking(ip.barrier)
+	ip.inner.Barrier()
+}
+
+// Bcast implements MPI.
+func (ip *Interposer) Bcast(root int, data []float64) []float64 {
+	ip.blocking(peerEvent(ip.bcast, ip.barrier, root))
+	return ip.inner.Bcast(root, data)
+}
+
+// Reduce implements MPI.
+func (ip *Interposer) Reduce(root int, op Op, data []float64) []float64 {
+	if int(op) < len(ip.reduce) {
+		ip.blocking(peerEvent(ip.reduce[op], ip.barrier, root))
+	} else {
+		ip.blocking(ip.oracle.Intern("MPI_Reduce", int64(op), int64(root)))
+	}
+	return ip.inner.Reduce(root, op, data)
+}
+
+// Allreduce implements MPI.
+func (ip *Interposer) Allreduce(op Op, data []float64) []float64 {
+	if int(op) < len(ip.allreduce) {
+		ip.blocking(ip.allreduce[op])
+	} else {
+		ip.blocking(ip.oracle.Intern("MPI_Allreduce", int64(op)))
+	}
+	return ip.inner.Allreduce(op, data)
+}
+
+// Alltoall implements MPI.
+func (ip *Interposer) Alltoall(send [][]float64) [][]float64 {
+	ip.blocking(ip.alltoall)
+	return ip.inner.Alltoall(send)
+}
+
+// Allgather implements MPI.
+func (ip *Interposer) Allgather(data []float64) [][]float64 {
+	ip.blocking(ip.allgather)
+	return ip.inner.Allgather(data)
+}
+
+// Gather implements MPI.
+func (ip *Interposer) Gather(root int, data []float64) [][]float64 {
+	ip.blocking(peerEvent(ip.gatherID, ip.barrier, root))
+	return ip.inner.Gather(root, data)
+}

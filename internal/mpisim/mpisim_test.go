@@ -1,0 +1,326 @@
+package mpisim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pythia"
+)
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(m MPI) {
+		if m.Rank() == 0 {
+			m.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := m.Recv(0, 7)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("Recv = %v", got)
+			}
+		}
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(m MPI) {
+		if m.Rank() == 0 {
+			m.Send(1, 1, []float64{1})
+			m.Send(1, 2, []float64{2})
+		} else {
+			// Receive out of send order by tag.
+			got2 := m.Recv(0, 2)
+			got1 := m.Recv(0, 1)
+			if got2[0] != 2 || got1[0] != 1 {
+				t.Errorf("tag matching broken: %v %v", got1, got2)
+			}
+		}
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(m MPI) {
+		switch m.Rank() {
+		case 0:
+			got := m.Recv(AnySource, AnyTag)
+			if got[0] != 1 && got[0] != 2 {
+				t.Errorf("wildcard recv got %v", got)
+			}
+			got = m.Recv(AnySource, AnyTag)
+			if got[0] != 1 && got[0] != 2 {
+				t.Errorf("wildcard recv got %v", got)
+			}
+		case 1:
+			m.Send(0, 5, []float64{1})
+		case 2:
+			m.Send(0, 9, []float64{2})
+		}
+	})
+}
+
+func TestMessageOrderPreserved(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(m MPI) {
+		if m.Rank() == 0 {
+			for i := 0; i < 100; i++ {
+				m.Send(1, 0, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				got := m.Recv(0, 0)
+				if got[0] != float64(i) {
+					t.Errorf("message %d arrived as %v", i, got)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(m MPI) {
+		peer := 1 - m.Rank()
+		req := m.Irecv(peer, 3)
+		sreq := m.Isend(peer, 3, []float64{float64(m.Rank())})
+		m.Wait(sreq)
+		got := m.Wait(req)
+		if got[0] != float64(peer) {
+			t.Errorf("rank %d got %v", m.Rank(), got)
+		}
+	})
+}
+
+func TestWaitall(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(m MPI) {
+		var reqs []*Request
+		for p := 0; p < m.Size(); p++ {
+			if p == m.Rank() {
+				continue
+			}
+			reqs = append(reqs, m.Irecv(p, 1))
+			reqs = append(reqs, m.Isend(p, 1, []float64{float64(m.Rank())}))
+		}
+		m.Waitall(reqs)
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	w := NewWorld(8)
+	var phase atomic.Int64
+	w.Run(func(m MPI) {
+		for i := 0; i < 20; i++ {
+			phase.Add(1)
+			m.Barrier()
+			if got := phase.Load(); got != int64((i+1)*8) {
+				t.Errorf("iteration %d: phase counter %d, want %d", i, got, (i+1)*8)
+				return
+			}
+			m.Barrier()
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(5)
+	w.Run(func(m MPI) {
+		var data []float64
+		if m.Rank() == 2 {
+			data = []float64{42, 43}
+		}
+		got := m.Bcast(2, data)
+		if len(got) != 2 || got[0] != 42 || got[1] != 43 {
+			t.Errorf("rank %d Bcast = %v", m.Rank(), got)
+		}
+	})
+}
+
+func TestReduceAllreduce(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(m MPI) {
+		v := []float64{float64(m.Rank() + 1)} // 1..4
+		sum := m.Allreduce(OpSum, v)
+		if sum[0] != 10 {
+			t.Errorf("Allreduce sum = %v", sum)
+		}
+		max := m.Allreduce(OpMax, v)
+		if max[0] != 4 {
+			t.Errorf("Allreduce max = %v", max)
+		}
+		red := m.Reduce(0, OpProd, v)
+		if m.Rank() == 0 {
+			if red[0] != 24 {
+				t.Errorf("Reduce prod = %v", red)
+			}
+		} else if red != nil {
+			t.Errorf("non-root received reduce result %v", red)
+		}
+		min := m.Allreduce(OpMin, v)
+		if min[0] != 1 {
+			t.Errorf("Allreduce min = %v", min)
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	w := NewWorld(4)
+	w.Run(func(m MPI) {
+		send := make([][]float64, m.Size())
+		for d := range send {
+			send[d] = []float64{float64(m.Rank()*10 + d)}
+		}
+		got := m.Alltoall(send)
+		for s := range got {
+			want := float64(s*10 + m.Rank())
+			if got[s][0] != want {
+				t.Errorf("rank %d from %d: got %v want %v", m.Rank(), s, got[s][0], want)
+			}
+		}
+	})
+}
+
+func TestAllgatherGather(t *testing.T) {
+	w := NewWorld(3)
+	w.Run(func(m MPI) {
+		got := m.Allgather([]float64{float64(m.Rank())})
+		for r := range got {
+			if got[r][0] != float64(r) {
+				t.Errorf("Allgather[%d] = %v", r, got[r])
+			}
+		}
+		g := m.Gather(1, []float64{float64(m.Rank())})
+		if m.Rank() == 1 {
+			if len(g) != 3 || g[2][0] != 2 {
+				t.Errorf("Gather = %v", g)
+			}
+		} else if g != nil {
+			t.Errorf("non-root Gather = %v", g)
+		}
+	})
+}
+
+func TestSendBufferIsolation(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(m MPI) {
+		if m.Rank() == 0 {
+			buf := []float64{1}
+			m.Send(1, 0, buf)
+			buf[0] = 999 // must not affect the message in flight
+			m.Barrier()
+		} else {
+			m.Barrier()
+			if got := m.Recv(0, 0); got[0] != 1 {
+				t.Errorf("send buffer not copied: %v", got)
+			}
+		}
+	})
+}
+
+// TestInterposedRecordDeterministicGrammars records the same deterministic
+// program twice and checks per-rank grammars come out identical.
+func TestInterposedRecordDeterministicGrammars(t *testing.T) {
+	run := func() *pythia.TraceSet {
+		o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+		w := NewWorld(4)
+		w.RunInterposed(func(m MPI) MPI { return NewInterposer(m, o) }, func(m MPI) {
+			right := (m.Rank() + 1) % m.Size()
+			left := (m.Rank() + m.Size() - 1) % m.Size()
+			for i := 0; i < 30; i++ {
+				rr := m.Irecv(left, 0)
+				m.Isend(right, 0, []float64{1})
+				m.Wait(rr)
+				if i%10 == 9 {
+					m.Allreduce(OpSum, []float64{1})
+				}
+			}
+			m.Barrier()
+		})
+		return o.Finish()
+	}
+	a, b := run(), run()
+	for tid := range a.Threads {
+		// Raw ids are interned concurrently, so their numeric values vary
+		// from run to run; the per-rank *descriptor* sequence must not.
+		ga := a.Threads[tid].Grammar.Unfold()
+		gb := b.Threads[tid].Grammar.Unfold()
+		if len(ga) != len(gb) {
+			t.Fatalf("rank %d: runs differ in event count (%d vs %d)", tid, len(ga), len(gb))
+		}
+		for i := range ga {
+			na, nb := a.Events[ga[i]], b.Events[gb[i]]
+			if na != nb {
+				t.Fatalf("rank %d: event %d differs (%q vs %q)", tid, i, na, nb)
+			}
+		}
+	}
+}
+
+// TestInterposedPredictRoundTrip records a ring program, then replays it
+// under prediction and checks that the oracle's next-event predictions at
+// Wait entries are essentially always right.
+func TestInterposedPredictRoundTrip(t *testing.T) {
+	program := func(m MPI) {
+		right := (m.Rank() + 1) % m.Size()
+		left := (m.Rank() + m.Size() - 1) % m.Size()
+		for i := 0; i < 50; i++ {
+			rr := m.Irecv(left, 0)
+			m.Isend(right, 0, []float64{float64(i)})
+			m.Wait(rr)
+		}
+		m.Barrier()
+	}
+
+	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	w := NewWorld(4)
+	w.RunInterposed(func(m MPI) MPI { return NewInterposer(m, rec) }, program)
+	ts := rec.Finish()
+
+	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var ips []*Interposer
+	var queries atomic.Int64
+	w2 := NewWorld(4)
+	w2.RunInterposed(func(m MPI) MPI {
+		ip := NewInterposer(m, oracle)
+		ip.PredictDistance = 1
+		ip.OnPrediction = func(pred pythia.Prediction, ok bool, _ time.Duration) {
+			if ok {
+				queries.Add(1)
+			}
+		}
+		mu.Lock()
+		ips = append(ips, ip)
+		mu.Unlock()
+		return ip
+	}, program)
+
+	if queries.Load() == 0 {
+		t.Fatal("no successful oracle queries at blocking calls")
+	}
+	for _, ip := range ips {
+		st := ip.Thread().Predictor().Stats()
+		if st.Observed == 0 {
+			t.Fatal("predictor saw no events")
+		}
+		// The first event re-anchors (we did not StartAtBeginning); every
+		// other event of this deterministic replay must be followed.
+		if st.Followed < st.Observed-1 {
+			t.Fatalf("tracking lost: %+v", st)
+		}
+		if st.Unknown != 0 {
+			t.Fatalf("unknown events on an exact replay: %+v", st)
+		}
+	}
+}
+
+// benchRecordOracle builds a record oracle for benchmarks.
+func benchRecordOracle() *pythia.Oracle {
+	return pythia.NewRecordOracle(pythia.WithoutTimestamps())
+}

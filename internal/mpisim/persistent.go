@@ -1,0 +1,115 @@
+package mpisim
+
+import "repro/pythia"
+
+// Persistent requests, the second optimisation the paper sketches for its
+// MPI runtime (section III-B): "setting up persistent communication if a
+// communication pattern repeats". A persistent request fixes the envelope
+// (peer, tag) once; each Start reuses it without re-validating arguments —
+// in a real MPI this skips envelope setup and protocol negotiation on every
+// iteration of a repeating pattern.
+//
+// PersistentAdvisor is the oracle side: given a predicting Pythia thread it
+// inspects the predicted future and reports which point-to-point calls
+// repeat often enough that converting them to persistent requests pays off.
+
+// PRequest is a persistent communication request.
+type PRequest struct {
+	send bool
+	peer int
+	tag  int
+	data []float64 // send payload buffer (caller-owned, like MPI_Send_init)
+	rank *Rank
+
+	active  bool
+	pending *Request
+	// Starts counts how often the request was reused — the quantity the
+	// optimisation improves.
+	Starts int64
+}
+
+// SendInit creates a persistent send request bound to (dest, tag, buffer).
+func (r *Rank) SendInit(dest, tag int, data []float64) *PRequest {
+	return &PRequest{send: true, peer: dest, tag: tag, data: data, rank: r}
+}
+
+// RecvInit creates a persistent receive request bound to (src, tag).
+func (r *Rank) RecvInit(src, tag int) *PRequest {
+	return &PRequest{peer: src, tag: tag, rank: r}
+}
+
+// Start activates the request: the bound operation is initiated with the
+// current buffer contents.
+func (p *PRequest) Start() {
+	if p.active {
+		panic("mpisim: Start on an active persistent request")
+	}
+	p.active = true
+	p.Starts++
+	if p.send {
+		p.pending = p.rank.Isend(p.peer, p.tag, p.data)
+	} else {
+		p.pending = p.rank.Irecv(p.peer, p.tag)
+	}
+}
+
+// Await completes the started operation, returning the received payload for
+// receive requests. The request can be started again afterwards.
+func (p *PRequest) Await() []float64 {
+	if !p.active {
+		panic("mpisim: Await on an inactive persistent request")
+	}
+	p.active = false
+	out := p.rank.Wait(p.pending)
+	p.pending = nil
+	return out
+}
+
+// PersistentCandidate is one repeated point-to-point call the advisor found.
+type PersistentCandidate struct {
+	// Event is the descriptor ("MPI_Isend:3").
+	Event string
+	// Occurrences is how many times it appears in the inspected window.
+	Occurrences int
+}
+
+// AdvisePersistent inspects the oracle's predicted future (window events
+// ahead) and returns the point-to-point operations that repeat at least
+// minRepeats times — the calls worth converting to persistent requests.
+// This is the decision a real MPI library would take inside MPI_Wait, using
+// exactly the information Pythia provides.
+func AdvisePersistent(oracle *pythia.Oracle, th *pythia.Thread, window, minRepeats int) []PersistentCandidate {
+	counts := make(map[string]int)
+	for _, p := range th.PredictSequence(window) {
+		name := oracle.EventName(pythia.ID(p.EventID))
+		if isP2PName(name) {
+			counts[name]++
+		}
+	}
+	var out []PersistentCandidate
+	for name, n := range counts {
+		if n >= minRepeats {
+			out = append(out, PersistentCandidate{Event: name, Occurrences: n})
+		}
+	}
+	sortCandidates(out)
+	return out
+}
+
+func isP2PName(name string) bool {
+	for _, p := range []string{"MPI_Send:", "MPI_Recv:", "MPI_Isend:", "MPI_Irecv:"} {
+		if len(name) >= len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+func sortCandidates(cs []PersistentCandidate) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && (cs[j].Occurrences > cs[j-1].Occurrences ||
+			(cs[j].Occurrences == cs[j-1].Occurrences && cs[j].Event < cs[j-1].Event)); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package mpisim
+
+import (
+	"testing"
+
+	"repro/pythia"
+)
+
+func TestPersistentRequestRoundTrip(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(m MPI) {
+		rank := m.(*Rank)
+		peer := 1 - m.Rank()
+		buf := []float64{0}
+		ps := rank.SendInit(peer, 5, buf)
+		pr := rank.RecvInit(peer, 5)
+		for i := 0; i < 50; i++ {
+			buf[0] = float64(i) // persistent semantics: buffer reread at Start
+			ps.Start()
+			pr.Start()
+			got := pr.Await()
+			ps.Await()
+			if got[0] != float64(i) {
+				t.Errorf("iteration %d: got %v", i, got[0])
+				return
+			}
+		}
+		if ps.Starts != 50 || pr.Starts != 50 {
+			t.Errorf("starts = %d/%d, want 50/50", ps.Starts, pr.Starts)
+		}
+	})
+}
+
+func TestPersistentStateMachine(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(m MPI) {
+		if m.Rank() != 0 {
+			m.Recv(0, 1)
+			return
+		}
+		rank := m.(*Rank)
+		p := rank.SendInit(1, 1, []float64{1})
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Await on inactive request did not panic")
+				}
+			}()
+			p.Await()
+		}()
+		p.Start()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("double Start did not panic")
+				}
+			}()
+			p.Start()
+		}()
+		p.Await()
+	})
+}
+
+func TestAdvisePersistent(t *testing.T) {
+	// Record a program with a hot repeated Isend to rank 1 and occasional
+	// sends elsewhere; the advisor must single out the hot pair.
+	program := func(m MPI) {
+		if m.Rank() == 0 {
+			for i := 0; i < 40; i++ {
+				m.Isend(1, 0, []float64{1})
+				m.Wait(m.Irecv(1, 0))
+				if i%10 == 9 {
+					m.Isend(2, 0, []float64{1})
+				}
+			}
+		} else if m.Rank() == 1 {
+			for i := 0; i < 40; i++ {
+				m.Wait(m.Irecv(0, 0))
+				m.Isend(0, 0, []float64{1})
+			}
+		} else {
+			for i := 0; i < 4; i++ {
+				m.Wait(m.Irecv(0, 0))
+			}
+		}
+		m.Barrier()
+	}
+	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	w := NewWorld(3)
+	w.RunInterposed(func(m MPI) MPI { return NewInterposer(m, rec) }, program)
+	ts := rec.Finish()
+
+	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := oracle.Thread(0)
+	th.StartAtBeginning()
+	// Walk a few iterations so the oracle is mid-loop, then ask for advice.
+	seq := ts.Threads[0].Grammar.Unfold()
+	for i := 0; i < 12; i++ {
+		th.Submit(pythia.ID(seq[i]))
+	}
+	cands := AdvisePersistent(oracle, th, 32, 4)
+	if len(cands) == 0 {
+		t.Fatal("no persistent candidates found in a hot loop")
+	}
+	if cands[0].Event != "MPI_Isend:1" && cands[0].Event != "MPI_Irecv:1" {
+		t.Fatalf("top candidate = %+v, want the rank-1 hot pair", cands[0])
+	}
+	if cands[0].Occurrences < 4 {
+		t.Fatalf("top candidate occurrences = %d", cands[0].Occurrences)
+	}
+}

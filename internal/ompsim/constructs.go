@@ -1,0 +1,166 @@
+package ompsim
+
+import (
+	"sync"
+
+	"repro/pythia"
+)
+
+// This file adds the remaining OpenMP constructs the paper's runtime
+// intercepts (GOMP_critical_start / GOMP_critical_end) and the loop
+// machinery real applications use: explicit schedules and reductions.
+
+// Schedule selects how ParallelForSched distributes iterations.
+type Schedule int
+
+// Loop schedules.
+const (
+	// ScheduleStatic splits the range into one contiguous block per thread.
+	ScheduleStatic Schedule = iota
+	// ScheduleDynamic hands out fixed-size chunks on demand.
+	ScheduleDynamic
+	// ScheduleGuided hands out exponentially shrinking chunks.
+	ScheduleGuided
+)
+
+// String names the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleStatic:
+		return "static"
+	case ScheduleDynamic:
+		return "dynamic"
+	case ScheduleGuided:
+		return "guided"
+	default:
+		return "schedule?"
+	}
+}
+
+// Critical executes body inside a named critical section, submitting the
+// GOMP_critical_start / GOMP_critical_end events the paper's OpenMP runtime
+// intercepts. It may be called from inside parallel-region bodies.
+func (rt *Runtime) Critical(name string, body func()) {
+	instrumented := rt.cfg.Oracle != nil
+	if instrumented {
+		ids := rt.criticalEvents(name)
+		rt.submitLocked(ids.begin)
+		defer func() { rt.submitLocked(ids.end) }()
+	}
+	rt.critMu.Lock()
+	defer rt.critMu.Unlock()
+	if body != nil {
+		body()
+	}
+}
+
+// criticalEvents interns the begin/end events of a critical section.
+func (rt *Runtime) criticalEvents(name string) regionIDs {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	key := "critical." + name
+	if ids, ok := rt.ids[key]; ok {
+		return ids
+	}
+	o := rt.cfg.Oracle
+	ids := regionIDs{
+		begin: o.Intern("GOMP_critical_start." + name),
+		end:   o.Intern("GOMP_critical_end." + name),
+	}
+	rt.ids[key] = ids
+	return ids
+}
+
+// submitLocked serialises oracle submissions from worker threads: unlike
+// region begin/end (master thread only), critical sections run on any team
+// member. Workers are quiescent when the master submits region events, so
+// only worker-vs-worker submissions need the lock. All of a runtime's events
+// land in one per-runtime stream, matching the paper's per-thread grammar
+// keyed by the master.
+func (rt *Runtime) submitLocked(id pythia.ID) {
+	rt.oracleMu.Lock()
+	rt.th.SubmitAt(id, rt.Now())
+	rt.oracleMu.Unlock()
+}
+
+// ParallelForSched runs a loop of n iterations under an explicit OpenMP
+// schedule. Static scheduling behaves like ParallelFor; dynamic and guided
+// use a shared cursor, which exercises genuinely concurrent chunk handout in
+// real mode.
+func (rt *Runtime) ParallelForSched(name string, sched Schedule, chunk, n int, workPerIter int64, body func(i int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	if body == nil {
+		rt.Parallel(name, int64(n)*workPerIter, nil)
+		return
+	}
+	switch sched {
+	case ScheduleStatic:
+		rt.ParallelFor(name, n, workPerIter, body)
+	case ScheduleDynamic:
+		var cursor int64
+		var mu sync.Mutex
+		rt.Parallel(name, int64(n)*workPerIter, func(tid, nthreads int) {
+			for {
+				mu.Lock()
+				lo := int(cursor)
+				cursor += int64(chunk)
+				mu.Unlock()
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		})
+	case ScheduleGuided:
+		var cursor int
+		var mu sync.Mutex
+		rt.Parallel(name, int64(n)*workPerIter, func(tid, nthreads int) {
+			for {
+				mu.Lock()
+				remaining := n - cursor
+				if remaining <= 0 {
+					mu.Unlock()
+					return
+				}
+				size := remaining / (2 * nthreads)
+				if size < chunk {
+					size = chunk
+				}
+				if size > remaining {
+					size = remaining
+				}
+				lo := cursor
+				cursor += size
+				mu.Unlock()
+				for i := lo; i < lo+size; i++ {
+					body(i)
+				}
+			}
+		})
+	}
+}
+
+// ParallelReduce runs a parallel region whose threads each produce a partial
+// value combined with combine (the OpenMP reduction clause). The initial
+// accumulator is init.
+func (rt *Runtime) ParallelReduce(name string, work int64, init float64,
+	partial func(tid, nthreads int) float64, combine func(a, b float64) float64) float64 {
+
+	acc := init
+	var mu sync.Mutex
+	rt.Parallel(name, work, func(tid, nthreads int) {
+		v := partial(tid, nthreads)
+		mu.Lock()
+		acc = combine(acc, v)
+		mu.Unlock()
+	})
+	return acc
+}

@@ -1,0 +1,157 @@
+package ompsim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/pythia"
+)
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	rt := New(Config{MaxThreads: 8})
+	defer rt.Close()
+	counter := 0 // intentionally unsynchronised; Critical must protect it
+	rt.Parallel("r", 0, func(tid, n int) {
+		for i := 0; i < 500; i++ {
+			rt.Critical("counter", func() { counter++ })
+		}
+	})
+	if counter != 8*500 {
+		t.Fatalf("counter = %d, want %d (critical section not exclusive)", counter, 8*500)
+	}
+}
+
+func TestCriticalEventsRecorded(t *testing.T) {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	rt := New(Config{MaxThreads: 1, Oracle: o})
+	for i := 0; i < 10; i++ {
+		rt.Parallel("step", 0, func(tid, n int) {
+			rt.Critical("update", nil)
+		})
+	}
+	rt.Close()
+	ts := o.Finish()
+	found := 0
+	for _, name := range ts.Events {
+		if strings.HasPrefix(name, "GOMP_critical_") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("critical events interned = %d, want start+end", found)
+	}
+	// 10 regions x (begin, crit start, crit end, end) = 40 events.
+	if n := ts.Threads[0].Grammar.EventCount; n != 40 {
+		t.Fatalf("events = %d, want 40", n)
+	}
+}
+
+func TestSchedulesCoverAllIterations(t *testing.T) {
+	for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided} {
+		sched := sched
+		t.Run(sched.String(), func(t *testing.T) {
+			rt := New(Config{MaxThreads: 4})
+			defer rt.Close()
+			const n = 1000
+			var hits [n]atomic.Int32
+			rt.ParallelForSched("loop", sched, 7, n, 1, func(i int) {
+				hits[i].Add(1)
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("%s: iteration %d executed %d times", sched, i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestSchedulesVirtualMode(t *testing.T) {
+	m := Pudding()
+	for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided} {
+		rt := New(Config{MaxThreads: 8, Machine: &m})
+		var sum atomic.Int64
+		rt.ParallelForSched("loop", sched, 4, 100, 10, func(i int) {
+			sum.Add(int64(i))
+		})
+		if sum.Load() != 4950 {
+			t.Fatalf("%s: sum = %d", sched, sum.Load())
+		}
+		if rt.Now() <= 0 {
+			t.Fatalf("%s: virtual clock did not advance", sched)
+		}
+		rt.Close()
+	}
+}
+
+func TestParallelReduce(t *testing.T) {
+	rt := New(Config{MaxThreads: 4})
+	defer rt.Close()
+	got := rt.ParallelReduce("dot", 100, 0,
+		func(tid, nthreads int) float64 { return float64(tid) },
+		func(a, b float64) float64 { return a + b })
+	if got != 0+1+2+3 {
+		t.Fatalf("reduce = %v, want 6", got)
+	}
+	max := rt.ParallelReduce("max", 100, -1,
+		func(tid, nthreads int) float64 { return float64(tid * 10) },
+		func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	if max != 30 {
+		t.Fatalf("max = %v, want 30", max)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if ScheduleStatic.String() != "static" || ScheduleDynamic.String() != "dynamic" ||
+		ScheduleGuided.String() != "guided" {
+		t.Fatal("Schedule.String broken")
+	}
+	if Schedule(9).String() == "" {
+		t.Fatal("unknown schedule renders empty")
+	}
+}
+
+func TestSetNumThreads(t *testing.T) {
+	rt := New(Config{MaxThreads: 8})
+	defer rt.Close()
+	var team atomic.Int64
+	rt.SetNumThreads(3)
+	rt.Parallel("r", 0, func(tid, n int) { team.Store(int64(n)) })
+	if team.Load() != 3 {
+		t.Fatalf("team = %d, want 3", team.Load())
+	}
+	rt.SetNumThreads(99) // clamped
+	rt.Parallel("r", 0, func(tid, n int) { team.Store(int64(n)) })
+	if team.Load() != 8 {
+		t.Fatalf("team = %d, want clamp to 8", team.Load())
+	}
+	rt.SetNumThreads(0) // restore default
+	rt.Parallel("r", 0, func(tid, n int) { team.Store(int64(n)) })
+	if team.Load() != 8 {
+		t.Fatalf("team = %d, want 8", team.Load())
+	}
+}
+
+// TestCriticalUnderRecordingParallel checks the worker-side submission path
+// is race-free under -race with many threads hammering critical sections.
+func TestCriticalUnderRecordingParallel(t *testing.T) {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	rt := New(Config{MaxThreads: 8, Oracle: o})
+	rt.Parallel("storm", 0, func(tid, n int) {
+		for i := 0; i < 50; i++ {
+			rt.Critical("c", func() {})
+		}
+	})
+	rt.Close()
+	ts := o.Finish()
+	// begin + 8*50*2 critical events + end.
+	if n := ts.Threads[0].Grammar.EventCount; n != 2+800 {
+		t.Fatalf("events = %d, want 802", n)
+	}
+}

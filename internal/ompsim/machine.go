@@ -1,0 +1,150 @@
+// Package ompsim is a parallel-region runtime with the decision surface of
+// GNU OpenMP (GOMP): parallel regions executed by a pool of worker threads,
+// where the runtime chooses how many threads to devote to each region. It
+// reproduces the paper's section III-D experiment: a modified GOMP that asks
+// Pythia for the predicted duration of each parallel region and picks the
+// thread count accordingly, instead of always using the maximum.
+//
+// The runtime has two execution modes:
+//
+//   - Real mode: regions run on a pool of parked goroutines and time is wall
+//     time. This shows real recording overhead but cannot exhibit parallel
+//     speedup on a single-core host.
+//
+//   - Virtual mode: regions are charged time on a deterministic
+//     discrete-event cost model of a C-core machine (fork cost grows with
+//     the thread count, work shrinks as W/min(T,C), join cost grows with the
+//     thread count). This reproduces the speedup-vs-synchronisation
+//     trade-off of the paper's Pudding (24-core) and Pixel (16-core)
+//     machines on any host; see DESIGN.md for the substitution rationale.
+package ompsim
+
+// MachineModel is the virtual-clock cost model of a multicore machine.
+// All costs are in nanoseconds; work is expressed in abstract units that
+// cost WorkUnitNs each on one core.
+type MachineModel struct {
+	// Name labels the modelled machine in reports ("pudding", "pixel").
+	Name string
+	// Cores is the number of physical cores; threads beyond this count add
+	// overhead but no speedup.
+	Cores int
+	// ForkBaseNs is the fixed cost of entering any parallel region.
+	ForkBaseNs int64
+	// ForkPerThreadNs is the per-woken-worker cost of starting a region.
+	ForkPerThreadNs int64
+	// JoinPerThreadNs is the per-thread cost of the closing barrier.
+	JoinPerThreadNs int64
+	// SchedulePerThreadNs is the per-participating-thread cost of work
+	// distribution (chunk handout, shared cache-line traffic). It is what
+	// makes small regions on many threads expensive, the effect the
+	// paper's adaptive policy exploits.
+	SchedulePerThreadNs int64
+	// SpawnPerThreadNs is the cost of creating a brand-new worker thread.
+	// With a parking pool (the paper's GOMP modification) it is paid once
+	// per worker for the whole run; without parking it is paid again
+	// whenever the thread count grows after having shrunk.
+	SpawnPerThreadNs int64
+	// WorkUnitNs is the single-core cost of one work unit.
+	WorkUnitNs float64
+	// SerialFraction is the fraction of a region's work that does not
+	// parallelise (Amdahl), in [0,1).
+	SerialFraction float64
+}
+
+// Pudding models the paper's 24-core Xeon Silver 4116 machine.
+func Pudding() MachineModel {
+	return MachineModel{
+		Name:                "pudding",
+		Cores:               24,
+		ForkBaseNs:          800,
+		ForkPerThreadNs:     70,
+		JoinPerThreadNs:     60,
+		SchedulePerThreadNs: 350,
+		SpawnPerThreadNs:    12000,
+		WorkUnitNs:          1.0,
+		SerialFraction:      0.02,
+	}
+}
+
+// Pixel models the paper's 16-core Xeon E5-2630 v3 machine.
+func Pixel() MachineModel {
+	return MachineModel{
+		Name:                "pixel",
+		Cores:               16,
+		ForkBaseNs:          700,
+		ForkPerThreadNs:     65,
+		JoinPerThreadNs:     55,
+		SchedulePerThreadNs: 330,
+		SpawnPerThreadNs:    11000,
+		WorkUnitNs:          1.15,
+		SerialFraction:      0.02,
+	}
+}
+
+// RegionNs returns the modelled duration of a parallel region of the given
+// work executed by threads workers.
+func (m MachineModel) RegionNs(work int64, threads int) int64 {
+	if threads < 1 {
+		threads = 1
+	}
+	eff := threads
+	if eff > m.Cores {
+		eff = m.Cores
+	}
+	serial := float64(work) * m.SerialFraction
+	parallel := float64(work) * (1 - m.SerialFraction) / float64(eff)
+	compute := (serial + parallel) * m.WorkUnitNs
+	perThread := m.ForkPerThreadNs + m.JoinPerThreadNs + m.SchedulePerThreadNs
+	overhead := m.ForkBaseNs + int64(threads)*perThread
+	return overhead + int64(compute)
+}
+
+// SequentialNs returns the modelled duration of sequential work.
+func (m MachineModel) SequentialNs(work int64) int64 {
+	return int64(float64(work) * m.WorkUnitNs)
+}
+
+// BreakevenWork returns the work (in units) at which running a region on
+// more threads stops being slower than on fewer: below the returned value,
+// few wins; above it, many wins. RegionNs is affine in work, so the
+// crossing is unique.
+func (m MachineModel) BreakevenWork(few, many int) int64 {
+	lo, hi := int64(0), int64(1)<<40
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.RegionNs(mid, few) <= m.RegionNs(mid, many) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ThresholdsFromModel derives the paper's t1 < t4 < t8 ladder from the cost
+// model: a region whose predicted duration (as recorded at maxThreads) is
+// below t_k is at least as fast on k threads as on the next wider option.
+func ThresholdsFromModel(m MachineModel, maxThreads int) []Threshold {
+	options := []int{1, 2, 4, 8, 12, 16}
+	var ladder []Threshold
+	prev := 0
+	for _, opt := range options {
+		if opt >= maxThreads {
+			break
+		}
+		if opt <= prev {
+			continue
+		}
+		prev = opt
+		next := maxThreads
+		for _, cand := range options {
+			if cand > opt && cand < maxThreads {
+				next = cand
+				break
+			}
+		}
+		w := m.BreakevenWork(opt, next)
+		ladder = append(ladder, Threshold{MaxNs: m.RegionNs(w, maxThreads), Threads: opt})
+	}
+	return ladder
+}

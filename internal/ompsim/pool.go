@@ -1,0 +1,92 @@
+package ompsim
+
+import "sync"
+
+// task is one region execution request for a worker: run body(tid, nthreads)
+// and signal done.
+type task struct {
+	body     func(tid, nthreads int)
+	tid      int
+	nthreads int
+	done     *sync.WaitGroup
+}
+
+// pool is the real-mode worker pool. Workers are goroutines parked on their
+// task channel — the analogue of the paper's GOMP modification that makes
+// spurious threads "wait until they are needed again" instead of being
+// destroyed when the thread count shrinks.
+type pool struct {
+	mu      sync.Mutex
+	workers []chan task
+	parking bool
+	spawned int // total workers ever created (ablation metric)
+}
+
+// newPool creates a pool. With parking enabled workers persist across
+// regions; without it they are torn down after each region (spawn-per-region
+// ablation).
+func newPool(parking bool) *pool {
+	return &pool{parking: parking}
+}
+
+// run executes body on nthreads logical threads (tid 0 runs inline on the
+// caller) and blocks until all complete.
+func (p *pool) run(body func(tid, nthreads int), nthreads int) {
+	if nthreads <= 1 {
+		body(0, 1)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nthreads - 1)
+	if p.parking {
+		p.mu.Lock()
+		for len(p.workers) < nthreads-1 {
+			ch := make(chan task)
+			p.workers = append(p.workers, ch)
+			p.spawned++
+			go worker(ch)
+		}
+		ws := p.workers[:nthreads-1]
+		p.mu.Unlock()
+		for i, ch := range ws {
+			ch <- task{body: body, tid: i + 1, nthreads: nthreads, done: &wg}
+		}
+	} else {
+		p.mu.Lock()
+		p.spawned += nthreads - 1
+		p.mu.Unlock()
+		for i := 1; i < nthreads; i++ {
+			go func(tid int) {
+				defer wg.Done()
+				body(tid, nthreads)
+			}(i)
+		}
+	}
+	body(0, nthreads)
+	wg.Wait()
+}
+
+// worker is a parked pool thread: it sleeps on its channel between regions.
+func worker(ch chan task) {
+	for t := range ch {
+		t.body(t.tid, t.nthreads)
+		t.done.Done()
+	}
+}
+
+// close releases all parked workers.
+func (p *pool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ch := range p.workers {
+		close(ch)
+	}
+	p.workers = nil
+}
+
+// spawnedWorkers reports how many worker goroutines were ever created.
+func (p *pool) spawnedWorkers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spawned
+}

@@ -1,0 +1,128 @@
+package ompsim
+
+import "sync"
+
+// Team is the view a region body gets of its thread team when using
+// ParallelTeam: thread id, team size, an in-region barrier, and single
+// (execute-once) sections — the remaining OpenMP constructs real region
+// bodies use.
+type Team struct {
+	TID, N int
+	rt     *Runtime
+	bar    *teamBarrier
+	single *singleState
+}
+
+// Barrier blocks until every team member reaches it. In virtual mode,
+// bodies run sequentially, so the barrier is (correctly) a no-op.
+func (t *Team) Barrier() {
+	if t.bar != nil {
+		t.bar.await()
+	}
+}
+
+// Single executes body exactly once per encounter across the team (the
+// OpenMP `single` construct, without the implicit barrier). In real mode
+// the first thread to arrive wins; in virtual sequential mode thread 0
+// executes it.
+func (t *Team) Single(body func()) {
+	if body == nil {
+		return
+	}
+	if t.single == nil { // virtual mode: sequential execution
+		if t.TID == 0 {
+			body()
+		}
+		return
+	}
+	if t.single.claim(t.TID) {
+		body()
+	}
+}
+
+// Critical enters the named critical section (see Runtime.Critical).
+func (t *Team) Critical(name string, body func()) { t.rt.Critical(name, body) }
+
+// teamBarrier is a reusable sense-reversing barrier for one region instance.
+type teamBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     int
+}
+
+func newTeamBarrier(n int) *teamBarrier {
+	b := &teamBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *teamBarrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// singleState arbitrates one `single` encounter sequence across a team.
+type singleState struct {
+	mu      sync.Mutex
+	claimed map[int]int // encounter index per thread
+	winner  map[int]int // encounter index -> winning tid
+}
+
+func newSingleState() *singleState {
+	return &singleState{claimed: make(map[int]int), winner: make(map[int]int)}
+}
+
+// claim returns true when tid is the first of the team to reach this
+// encounter (threads count their own encounters, so every thread must reach
+// every Single, as OpenMP requires).
+func (s *singleState) claim(tid int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := s.claimed[tid]
+	s.claimed[tid] = enc + 1
+	if _, done := s.winner[enc]; done {
+		return false
+	}
+	s.winner[enc] = tid
+	return true
+}
+
+// ParallelTeam is Parallel with the richer Team view: bodies may use
+// Team.Barrier, Team.Single and Team.Critical. In virtual mode the body runs
+// sequentially per thread id (barriers are no-ops), in real mode it runs on
+// the worker pool with a live barrier.
+func (rt *Runtime) ParallelTeam(name string, work int64, body func(t *Team)) {
+	if body == nil {
+		rt.Parallel(name, work, nil)
+		return
+	}
+	if rt.machine != nil {
+		rt.Parallel(name, work, func(tid, n int) {
+			body(&Team{TID: tid, N: n, rt: rt})
+		})
+		return
+	}
+	var bar *teamBarrier
+	var single *singleState
+	var once sync.Once
+	rt.Parallel(name, work, func(tid, n int) {
+		once.Do(func() {
+			bar = newTeamBarrier(n)
+			single = newSingleState()
+		})
+		body(&Team{TID: tid, N: n, rt: rt, bar: bar, single: single})
+	})
+}

@@ -1,0 +1,94 @@
+package ompsim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTeamBarrierPhases(t *testing.T) {
+	rt := New(Config{MaxThreads: 8})
+	defer rt.Close()
+	var phase atomic.Int64
+	var violations atomic.Int64
+	rt.ParallelTeam("r", 0, func(tm *Team) {
+		for p := 0; p < 20; p++ {
+			phase.Add(1)
+			tm.Barrier()
+			// After the barrier, every team member has incremented.
+			if got := phase.Load(); got != int64((p+1)*tm.N) {
+				violations.Add(1)
+			}
+			tm.Barrier()
+		}
+	})
+	if violations.Load() != 0 {
+		t.Fatalf("%d barrier phase violations", violations.Load())
+	}
+}
+
+func TestTeamSingleExecutesOncePerEncounter(t *testing.T) {
+	rt := New(Config{MaxThreads: 6})
+	defer rt.Close()
+	var counts [10]atomic.Int64
+	rt.ParallelTeam("r", 0, func(tm *Team) {
+		for enc := 0; enc < 10; enc++ {
+			e := enc
+			tm.Single(func() { counts[e].Add(1) })
+			tm.Barrier()
+		}
+	})
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("single %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestTeamVirtualModeSequential(t *testing.T) {
+	m := Pudding()
+	rt := New(Config{MaxThreads: 4, Machine: &m})
+	defer rt.Close()
+	var order []int
+	singles := 0
+	rt.ParallelTeam("r", 1000, func(tm *Team) {
+		order = append(order, tm.TID)
+		tm.Barrier() // no-op in virtual mode
+		tm.Single(func() { singles++ })
+	})
+	if len(order) != 4 {
+		t.Fatalf("ran %d bodies, want 4", len(order))
+	}
+	for i, tid := range order {
+		if tid != i {
+			t.Fatalf("virtual execution order %v, want sequential", order)
+		}
+	}
+	if singles != 1 {
+		t.Fatalf("single executed %d times", singles)
+	}
+	if rt.Now() <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestTeamCriticalFromMembers(t *testing.T) {
+	rt := New(Config{MaxThreads: 8})
+	defer rt.Close()
+	counter := 0
+	rt.ParallelTeam("r", 0, func(tm *Team) {
+		for i := 0; i < 200; i++ {
+			tm.Critical("c", func() { counter++ })
+		}
+	})
+	if counter != 8*200 {
+		t.Fatalf("counter = %d, want 1600", counter)
+	}
+}
+
+func TestTeamNilBody(t *testing.T) {
+	rt := New(Config{MaxThreads: 2})
+	defer rt.Close()
+	rt.ParallelTeam("r", 10, nil) // must not panic
+	tm := &Team{TID: 0, N: 1}
+	tm.Single(nil) // must not panic
+}

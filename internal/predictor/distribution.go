@@ -1,0 +1,114 @@
+package predictor
+
+import (
+	"sort"
+
+	"repro/internal/grammar"
+	"repro/internal/progress"
+)
+
+// Alternative is one entry of a predicted event distribution.
+type Alternative struct {
+	EventID     int32
+	Probability float64
+}
+
+// PredictDistribution returns the full probability distribution over the
+// event at the given distance, most likely first. Runtime systems that hedge
+// across several possible futures (e.g. pre-posting receives for every
+// likely sender) use this instead of PredictAt.
+func (p *Predictor) PredictDistribution(distance int) []Alternative {
+	if distance <= 0 || len(p.cands) == 0 {
+		return nil
+	}
+	cur := p.seedSim()
+	for step := 1; step <= distance; step++ {
+		var nxt []sim
+		if step == 1 && p.pending {
+			nxt = cur
+		} else {
+			for _, s := range cur {
+				for _, b := range progress.Successors(p.f, s.br.Pos, s.br.Weight) {
+					nxt = append(nxt, sim{br: b})
+				}
+			}
+		}
+		if len(nxt) == 0 {
+			return nil
+		}
+		cur = mergeCapSim(nxt, p.cfg.MaxLookahead)
+	}
+	byEvent := make(map[int32]float64, 8)
+	var total float64
+	for _, s := range cur {
+		byEvent[s.br.Pos.Terminal(p.f)] += s.br.Weight
+		total += s.br.Weight
+	}
+	out := make([]Alternative, 0, len(byEvent))
+	for ev, w := range byEvent {
+		prob := 0.0
+		if total > 0 {
+			prob = w / total
+		}
+		out = append(out, Alternative{EventID: ev, Probability: prob})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Probability != out[j].Probability {
+			return out[i].Probability > out[j].Probability
+		}
+		return out[i].EventID < out[j].EventID
+	})
+	return out
+}
+
+// seedSim converts the live candidate set into simulation branches. When a
+// fresh start is pending, candidates already designate the next event.
+func (p *Predictor) seedSim() []sim {
+	out := make([]sim, 0, len(p.cands))
+	for _, c := range p.cands {
+		out = append(out, sim{br: c})
+	}
+	return out
+}
+
+// ExpectedPath returns the most likely next terminal run positions as far as
+// maxDistance, for diagnostics: each element is the dominant position's
+// grammar reference and event.
+type PathStep struct {
+	Distance int
+	EventID  int32
+	Ref      grammar.UserRef
+}
+
+// ExpectedPath simulates forward and records, per step, the dominant
+// branch's position.
+func (p *Predictor) ExpectedPath(maxDistance int) []PathStep {
+	if maxDistance <= 0 || len(p.cands) == 0 {
+		return nil
+	}
+	cur := p.seedSim()
+	var out []PathStep
+	for step := 1; step <= maxDistance; step++ {
+		var nxt []sim
+		if step == 1 && p.pending {
+			nxt = cur
+		} else {
+			for _, s := range cur {
+				for _, b := range progress.Successors(p.f, s.br.Pos, s.br.Weight) {
+					nxt = append(nxt, sim{br: b})
+				}
+			}
+		}
+		if len(nxt) == 0 {
+			return out
+		}
+		cur = mergeCapSim(nxt, p.cfg.MaxLookahead)
+		best := cur[0]
+		out = append(out, PathStep{
+			Distance: step,
+			EventID:  best.br.Pos.Terminal(p.f),
+			Ref:      best.br.Pos.Ref(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grammar"
+	"repro/internal/model"
+)
+
+// traceOf reduces a sequence into a model.Trace without timing.
+func traceOf(seq []int32) *model.Trace {
+	g := grammar.New()
+	maxID := int32(0)
+	for _, e := range seq {
+		g.Append(e)
+		if e > maxID {
+			maxID = e
+		}
+	}
+	names := make([]string, maxID+1)
+	for i := range names {
+		names[i] = "e" + string(rune('A'+i%26))
+	}
+	return &model.Trace{Grammar: g.Freeze(), Events: names}
+}
+
+func seqOf(s string) []int32 {
+	out := make([]int32, len(s))
+	for i, c := range s {
+		out[i] = int32(c - 'a')
+	}
+	return out
+}
+
+// TestExactReplayDistanceOne replays the reference trace from the beginning;
+// at every step the distance-1 prediction must match the next event exactly
+// (the deterministic case of section II-B1).
+func TestExactReplayDistanceOne(t *testing.T) {
+	seq := seqOf("abbcbcabbbcbcabbbcbcab")
+	tr := traceOf(seq)
+	p := New(tr, Config{})
+	p.StartAtBeginning()
+	for i, e := range seq {
+		pred, ok := p.PredictAt(1)
+		if !ok {
+			t.Fatalf("step %d: no prediction", i)
+		}
+		if pred.EventID != e {
+			t.Fatalf("step %d: predicted %d, actual %d", i, pred.EventID, e)
+		}
+		if pred.Probability < 0.999 {
+			t.Fatalf("step %d: deterministic prediction has probability %v", i, pred.Probability)
+		}
+		p.Observe(e)
+	}
+	st := p.Stats()
+	if st.Followed != int64(len(seq)) || st.ReAnchored != 0 || st.Unknown != 0 {
+		t.Fatalf("stats = %+v, want all followed", st)
+	}
+	if !p.Anchored() {
+		t.Fatal("predictor lost its anchor on an exact replay")
+	}
+}
+
+// TestExactReplayAllDistances checks PredictAt(x) against ground truth for
+// several distances on an exact replay.
+func TestExactReplayAllDistances(t *testing.T) {
+	var seq []int32
+	for i := 0; i < 40; i++ {
+		seq = append(seq, 0, 1, 2, 1, 2, 3)
+	}
+	tr := traceOf(seq)
+	p := New(tr, Config{})
+	p.StartAtBeginning()
+	for i, e := range seq {
+		p.Observe(e)
+		for _, d := range []int{1, 2, 4, 8, 16} {
+			if i+d >= len(seq) {
+				continue
+			}
+			pred, ok := p.PredictAt(d)
+			if !ok {
+				t.Fatalf("step %d distance %d: no prediction", i, d)
+			}
+			if pred.EventID != seq[i+d] {
+				t.Fatalf("step %d distance %d: predicted %d, actual %d",
+					i, d, pred.EventID, seq[i+d])
+			}
+		}
+	}
+}
+
+// TestMidRunAttach starts observing in the middle of the trace, as the
+// paper's walk-through does, and checks the predictor converges.
+func TestMidRunAttach(t *testing.T) {
+	var seq []int32
+	for i := 0; i < 30; i++ {
+		seq = append(seq, 0, 1, 2, 3)
+	}
+	tr := traceOf(seq)
+	p := New(tr, Config{})
+	start := 17 // arbitrary offset, not a pattern boundary
+	correct := 0
+	total := 0
+	for i := start; i < len(seq); i++ {
+		p.Observe(seq[i])
+		if i+1 < len(seq) {
+			pred, ok := p.PredictAt(1)
+			total++
+			if ok && pred.EventID == seq[i+1] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no predictions made")
+	}
+	if ratio := float64(correct) / float64(total); ratio < 0.9 {
+		t.Fatalf("mid-run accuracy = %.2f, want >= 0.9", ratio)
+	}
+}
+
+// TestUnknownEventRecovery submits an event absent from the reference trace;
+// the predictor must report Unknown, produce no prediction, and recover once
+// known events resume.
+func TestUnknownEventRecovery(t *testing.T) {
+	var seq []int32
+	for i := 0; i < 20; i++ {
+		seq = append(seq, 0, 1, 2)
+	}
+	tr := traceOf(seq)
+	p := New(tr, Config{})
+	p.StartAtBeginning()
+	p.Observe(0)
+	p.Observe(1)
+	p.Observe(99) // never seen in the reference execution
+	if p.Tracking() {
+		t.Fatal("tracking after unknown event")
+	}
+	if _, ok := p.PredictAt(1); ok {
+		t.Fatal("prediction produced while lost")
+	}
+	// Resume with known events: re-anchoring must restore predictions.
+	p.Observe(2)
+	p.Observe(0)
+	pred, ok := p.PredictAt(1)
+	if !ok {
+		t.Fatal("no prediction after recovery")
+	}
+	if pred.EventID != 1 {
+		t.Fatalf("post-recovery prediction = %d, want 1", pred.EventID)
+	}
+	st := p.Stats()
+	if st.Unknown != 1 {
+		t.Fatalf("Unknown = %d, want 1", st.Unknown)
+	}
+}
+
+// TestSkippedEventsReanchor simulates the program taking a different code
+// path: a chunk of the trace is skipped. The predictor must re-anchor and
+// continue predicting.
+func TestSkippedEventsReanchor(t *testing.T) {
+	var seq []int32
+	for i := 0; i < 10; i++ {
+		seq = append(seq, 0, 1, 2, 3, 4)
+	}
+	tr := traceOf(seq)
+	p := New(tr, Config{})
+	p.StartAtBeginning()
+	p.Observe(0)
+	p.Observe(1)
+	// Skip 2 and 3; jump straight to 4.
+	p.Observe(4)
+	if !p.Tracking() {
+		t.Fatal("lost tracking after a skip of known events")
+	}
+	pred, ok := p.PredictAt(1)
+	if !ok || pred.EventID != 0 {
+		t.Fatalf("prediction after skip = (%v, %v), want event 0", pred, ok)
+	}
+}
+
+// TestPredictSequence checks the multi-step query returns consistent
+// distances.
+func TestPredictSequence(t *testing.T) {
+	var seq []int32
+	for i := 0; i < 20; i++ {
+		seq = append(seq, 0, 1)
+	}
+	tr := traceOf(seq)
+	p := New(tr, Config{})
+	p.StartAtBeginning()
+	p.Observe(0)
+	preds := p.PredictSequence(6)
+	if len(preds) != 6 {
+		t.Fatalf("got %d predictions, want 6", len(preds))
+	}
+	for i, pr := range preds {
+		if pr.Distance != i+1 {
+			t.Fatalf("prediction %d has distance %d", i, pr.Distance)
+		}
+		want := int32((i + 1) % 2)
+		if pr.EventID != want {
+			t.Fatalf("distance %d: predicted %d, want %d", pr.Distance, pr.EventID, want)
+		}
+	}
+}
+
+// TestEndOfTrace checks predictions stop gracefully at the end of the
+// reference trace.
+func TestEndOfTrace(t *testing.T) {
+	seq := seqOf("abc")
+	tr := traceOf(seq)
+	p := New(tr, Config{})
+	p.StartAtBeginning()
+	for _, e := range seq {
+		p.Observe(e)
+	}
+	if _, ok := p.PredictAt(1); ok {
+		t.Fatal("prediction past the end of the trace")
+	}
+}
+
+// TestDurationPrediction builds a trace with a synthetic virtual clock and
+// checks that the predicted duration between events reflects the recorded
+// deltas. Event 0 is always followed 100ns later by event 1, then 900ns
+// later by event 0 again.
+func TestDurationPrediction(t *testing.T) {
+	g := grammar.New()
+	timing := model.NewTiming()
+	// Build grammar and timing via the recorder path equivalent: construct
+	// grammar, then attach ByEvent stats directly.
+	var seq []int32
+	for i := 0; i < 50; i++ {
+		seq = append(seq, 0, 1)
+	}
+	for _, e := range seq {
+		g.Append(e)
+	}
+	f := g.Freeze()
+	// Terminal runs: find refs for events 0 and 1 and assign durations at
+	// the shallowest context depth (deeper lookups fall back to it).
+	for _, ref := range f.TermSites[0] {
+		timing.AddPath([]grammar.UserRef{ref}, 0, 900)
+	}
+	for _, ref := range f.TermSites[1] {
+		timing.AddPath([]grammar.UserRef{ref}, 1, 100)
+	}
+	tr := &model.Trace{Grammar: f, Events: []string{"a", "b"}, Timing: timing}
+	p := New(tr, Config{})
+	p.StartAtBeginning()
+	p.Observe(0)
+
+	pred, ok := p.PredictDurationUntil(1, 16)
+	if !ok {
+		t.Fatal("no duration prediction for next event 1")
+	}
+	if pred.ExpectedNs < 99 || pred.ExpectedNs > 101 {
+		t.Fatalf("expected ~100ns to event 1, got %v", pred.ExpectedNs)
+	}
+	pred, ok = p.PredictDurationUntil(0, 16)
+	if !ok {
+		t.Fatal("no duration prediction for next event 0")
+	}
+	if pred.ExpectedNs < 999 || pred.ExpectedNs > 1001 {
+		t.Fatalf("expected ~1000ns to event 0, got %v", pred.ExpectedNs)
+	}
+}
+
+// TestQuickExactReplayProperty: for random repetitive sequences, an exact
+// replay from the beginning predicts every next event correctly.
+func TestQuickExactReplayProperty(t *testing.T) {
+	f := func(motifRaw []uint8, repsRaw uint8) bool {
+		if len(motifRaw) == 0 {
+			return true
+		}
+		if len(motifRaw) > 8 {
+			motifRaw = motifRaw[:8]
+		}
+		reps := int(repsRaw%20) + 2
+		var seq []int32
+		for r := 0; r < reps; r++ {
+			for _, m := range motifRaw {
+				seq = append(seq, int32(m%4))
+			}
+		}
+		tr := traceOf(seq)
+		p := New(tr, Config{})
+		p.StartAtBeginning()
+		for i, e := range seq {
+			pred, ok := p.PredictAt(1)
+			if !ok || pred.EventID != e {
+				t.Logf("step %d: predicted (%v,%v), want %d; seq=%v", i, pred.EventID, ok, e, seq)
+				return false
+			}
+			p.Observe(e)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccuracyDegradesGracefullyUnderNoise injects random wrong events and
+// checks the predictor keeps producing predictions (resilience, paper
+// section III-E) with reasonable accuracy on the clean events.
+func TestAccuracyDegradesGracefullyUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var seq []int32
+	for i := 0; i < 200; i++ {
+		seq = append(seq, 0, 1, 2, 3)
+	}
+	tr := traceOf(seq)
+	p := New(tr, Config{})
+	p.StartAtBeginning()
+	correct, total := 0, 0
+	for i := 0; i < len(seq)-1; i++ {
+		if rng.Float64() < 0.05 {
+			p.Observe(int32(50 + rng.Intn(5))) // unexpected event
+		}
+		p.Observe(seq[i])
+		pred, ok := p.PredictAt(1)
+		total++
+		if ok && pred.EventID == seq[i+1] {
+			correct++
+		}
+	}
+	if ratio := float64(correct) / float64(total); ratio < 0.6 {
+		t.Fatalf("accuracy under 5%% noise = %.2f, want >= 0.6", ratio)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxCandidates != defaultMaxCandidates || c.MaxLookahead != defaultMaxLookahead {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	c = Config{MaxCandidates: 5, MaxLookahead: 7}.withDefaults()
+	if c.MaxCandidates != 5 || c.MaxLookahead != 7 {
+		t.Fatalf("explicit config overridden: %+v", c)
+	}
+}
+
+func TestPredictWithoutObservations(t *testing.T) {
+	tr := traceOf(seqOf("abab"))
+	p := New(tr, Config{})
+	if _, ok := p.PredictAt(1); ok {
+		t.Fatal("prediction without any observation")
+	}
+	if p.Tracking() || p.Anchored() || p.Confidence() != 0 {
+		t.Fatal("fresh predictor claims state")
+	}
+}
+
+func BenchmarkObserveExactReplay(b *testing.B) {
+	var seq []int32
+	for i := 0; i < 1000; i++ {
+		seq = append(seq, 0, 1, 2, 1, 2, 3)
+	}
+	tr := traceOf(seq)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := New(tr, Config{})
+		p.StartAtBeginning()
+		for _, e := range seq {
+			p.Observe(e)
+		}
+	}
+}
+
+func BenchmarkPredictAtDistance(b *testing.B) {
+	var seq []int32
+	for i := 0; i < 1000; i++ {
+		seq = append(seq, 0, 1, 2, 1, 2, 3)
+	}
+	tr := traceOf(seq)
+	for _, d := range []int{1, 8, 64} {
+		b.Run(string(rune('0'+d/10))+string(rune('0'+d%10)), func(b *testing.B) {
+			p := New(tr, Config{})
+			p.StartAtBeginning()
+			p.Observe(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PredictAt(d)
+			}
+		})
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := traceOf(seqOf("ababab"))
+	p := New(tr, Config{})
+	p.StartAtBeginning()
+	p.Observe(0)
+	if !p.Tracking() {
+		t.Fatal("not tracking before reset")
+	}
+	p.Reset()
+	if p.Tracking() || p.Stats().Observed != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	// Usable again.
+	p.Observe(0)
+	if pred, ok := p.PredictAt(1); !ok || pred.EventID != 1 {
+		t.Fatalf("post-reset prediction broken: %v %v", pred, ok)
+	}
+}

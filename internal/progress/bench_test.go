@@ -1,0 +1,60 @@
+package progress
+
+import (
+	"testing"
+
+	"repro/internal/grammar"
+)
+
+func benchGrammar(b *testing.B) *grammar.Frozen {
+	b.Helper()
+	g := grammar.New()
+	for i := 0; i < 5000; i++ {
+		switch {
+		case i%31 == 30:
+			g.Append(9)
+		case i%2 == 0:
+			g.Append(0)
+		default:
+			g.Append(1)
+		}
+	}
+	return g.Freeze()
+}
+
+func BenchmarkAnchoredWalk(b *testing.B) {
+	f := benchGrammar(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos, ok := Start(f)
+		for ok {
+			brs := Successors(f, pos, 1)
+			if len(brs) == 0 {
+				break
+			}
+			pos = brs[0].Pos
+		}
+	}
+}
+
+func BenchmarkOccurrences(b *testing.B) {
+	f := benchGrammar(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Occurrences(f, 0)
+	}
+}
+
+func BenchmarkSuccessorsPartial(b *testing.B) {
+	f := benchGrammar(b)
+	occ := Occurrences(f, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range occ {
+			Successors(f, c.Pos, c.Weight)
+		}
+	}
+}

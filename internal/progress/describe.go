@@ -1,0 +1,66 @@
+package progress
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grammar"
+)
+
+// Describe renders a progress sequence in the paper's notation: the path
+// from the terminal toward the root, e.g. "BAb" in Fig. 4 becomes
+// "R2 > R1 > t:MPI_Send" here (topmost context first, terminal last), with
+// repetition indexes where they matter.
+func Describe(f *grammar.Frozen, p Position, name grammar.NameFunc) string {
+	if !p.Valid() {
+		return "<no position>"
+	}
+	var b strings.Builder
+	frames := p.Frames()
+	for i, fr := range frames {
+		if i > 0 {
+			b.WriteString(" > ")
+		}
+		run := f.RunAt(fr.Ref)
+		if run.Sym.IsTerminal() {
+			if name != nil {
+				b.WriteString(name(run.Sym.Event()))
+			} else {
+				fmt.Fprintf(&b, "t%d", run.Sym.Event())
+			}
+		} else {
+			fmt.Fprintf(&b, "R%d", run.Sym.RuleIndex())
+		}
+		if run.Count > 1 {
+			fmt.Fprintf(&b, "[%d/%d]", fr.Iter+1, run.Count)
+		}
+	}
+	if !p.Anchored() {
+		b.WriteString(" (partial)")
+	}
+	return b.String()
+}
+
+// UnfoldedIndex returns the 0-based position in the unfolded trace that an
+// anchored progress sequence designates, i.e. which occurrence of the event
+// this is — the paper's "the fourth occurrence of a" (Fig. 4). It returns
+// ok=false for partial positions, whose absolute index is unknown.
+func UnfoldedIndex(f *grammar.Frozen, p Position) (int64, bool) {
+	if !p.Anchored() {
+		return 0, false
+	}
+	var idx int64
+	frames := p.Frames()
+	for _, fr := range frames {
+		rule := f.Rules[fr.Ref.Rule]
+		// Everything before this run within the body.
+		for pos := int32(0); pos < fr.Ref.Pos; pos++ {
+			run := rule.Body[pos]
+			idx += int64(run.Count) * f.SymLen(run.Sym)
+		}
+		// Completed repetitions of this run.
+		run := rule.Body[fr.Ref.Pos]
+		idx += int64(fr.Iter) * f.SymLen(run.Sym)
+	}
+	return idx, true
+}

@@ -1,0 +1,77 @@
+package progress
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeAnchored(t *testing.T) {
+	f := freeze(seqOf("abababab"))
+	pos, ok := Start(f)
+	if !ok {
+		t.Fatal("Start failed")
+	}
+	d := Describe(f, pos, nil)
+	if d == "" || strings.Contains(d, "partial") {
+		t.Fatalf("Describe = %q", d)
+	}
+	named := Describe(f, pos, func(id int32) string { return string(rune('a' + id)) })
+	if !strings.Contains(named, "a") {
+		t.Fatalf("named Describe = %q", named)
+	}
+}
+
+func TestDescribePartialMarked(t *testing.T) {
+	f := freeze(seqOf("abcabc"))
+	occ := Occurrences(f, 1)
+	if len(occ) == 0 {
+		t.Fatal("no occurrences")
+	}
+	d := Describe(f, occ[0].Pos, nil)
+	if !strings.Contains(d, "partial") {
+		t.Fatalf("partial position not marked: %q", d)
+	}
+	if Describe(f, Position{}, nil) != "<no position>" {
+		t.Fatal("invalid position rendering")
+	}
+}
+
+// TestUnfoldedIndexWalks verifies that walking the anchored path visits
+// unfolded indexes 0, 1, 2, ... in order — the paper's "fourth occurrence"
+// arithmetic (Fig. 4).
+func TestUnfoldedIndexWalks(t *testing.T) {
+	for _, s := range []string{"abcabdababc", "aaabbbaaabbb", "abababababab"} {
+		f := freeze(seqOf(s))
+		pos, ok := Start(f)
+		for i := int64(0); ok; i++ {
+			got, gok := UnfoldedIndex(f, pos)
+			if !gok {
+				t.Fatalf("%q: anchored position reported non-indexable", s)
+			}
+			if got != i {
+				t.Fatalf("%q: index = %d, want %d (pos %v)", s, got, i, pos)
+			}
+			brs := Successors(f, pos, 1)
+			if len(brs) == 0 {
+				if i != int64(len(s)-1) {
+					t.Fatalf("%q: walk ended early at %d", s, i)
+				}
+				break
+			}
+			pos = brs[0].Pos
+			ok = true
+		}
+	}
+}
+
+func TestUnfoldedIndexPartial(t *testing.T) {
+	f := freeze(seqOf("ababab"))
+	occ := Occurrences(f, 0)
+	for _, b := range occ {
+		if !b.Pos.Anchored() {
+			if _, ok := UnfoldedIndex(f, b.Pos); ok {
+				t.Fatal("partial position claimed an absolute index")
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package recorder implements PYTHIA-RECORD (paper section II-A): during the
+// reference execution of a program, the runtime system notifies the recorder
+// of events; the recorder reduces each thread's event stream into a grammar
+// on the fly and, optionally, logs event timestamps. At the end of the run,
+// Finish freezes the grammar and replays the timestamp log through the
+// deterministic progress tracker to build the per-context timing model of
+// section II-C.
+package recorder
+
+import (
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/grammar"
+	"repro/internal/model"
+	"repro/internal/progress"
+)
+
+// Clock returns a monotonically non-decreasing time in nanoseconds. Real
+// runs use a wall clock; the discrete-event OpenMP substrate injects its
+// virtual clock so that recorded durations are virtual too.
+type Clock func() int64
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithClock enables timestamp recording with the given clock.
+func WithClock(c Clock) Option {
+	return func(r *Recorder) { r.clock = c }
+}
+
+// WithoutTimestamps disables timestamp recording; the resulting trace
+// carries no timing model and duration predictions return zero.
+func WithoutTimestamps() Option {
+	return func(r *Recorder) { r.clock = nil; r.noTime = true }
+}
+
+// Recorder accumulates one thread's events. It is not safe for concurrent
+// use; Pythia keeps one recorder per thread (paper section III-C1).
+type Recorder struct {
+	g      *grammar.Grammar
+	clock  Clock
+	noTime bool
+	deltas []int64
+	last   int64
+	seen   bool
+}
+
+// New returns a recorder. By default timestamps are recorded with a
+// monotonic wall clock.
+func New(opts ...Option) *Recorder {
+	r := &Recorder{g: grammar.New()}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.clock == nil && !r.noTime {
+		base := time.Now()
+		r.clock = func() int64 { return int64(time.Since(base)) }
+	}
+	return r
+}
+
+// Record notifies the recorder that event id was raised now.
+func (r *Recorder) Record(id events.ID) {
+	if r.clock != nil {
+		r.RecordAt(id, r.clock())
+		return
+	}
+	r.g.Append(int32(id))
+}
+
+// RecordAt notifies the recorder that event id was raised at the explicit
+// timestamp now (nanoseconds on the recorder's clock). Timestamps must be
+// non-decreasing.
+func (r *Recorder) RecordAt(id events.ID, now int64) {
+	delta := int64(0)
+	if r.seen {
+		delta = now - r.last
+		if delta < 0 {
+			delta = 0
+		}
+	}
+	r.last = now
+	r.seen = true
+	if !r.noTime {
+		r.deltas = append(r.deltas, delta)
+	}
+	r.g.Append(int32(id))
+}
+
+// EventCount returns the number of events recorded so far.
+func (r *Recorder) EventCount() int64 { return r.g.EventCount() }
+
+// RuleCount returns the current number of grammar rules, the paper's measure
+// of grammar size (Table I).
+func (r *Recorder) RuleCount() int { return r.g.RuleCount() }
+
+// Grammar exposes the live grammar for inspection (dumping, invariant
+// checks in tests).
+func (r *Recorder) Grammar() *grammar.Grammar { return r.g }
+
+// Snapshot freezes the structure recorded *so far* without ending the
+// recording — the crash-tolerance hook: a long run can checkpoint its trace
+// periodically and keep recording. Snapshots carry the timing model built
+// from the deltas seen so far.
+func (r *Recorder) Snapshot() *model.ThreadTrace {
+	return r.finishInternal()
+}
+
+// Finish freezes the recorded structure into a per-thread trace artifact.
+// When timestamps were recorded, the event sequence is replayed through the
+// grammar — exactly as the paper describes — to associate each grammar
+// context with the mean elapsed time since the previous event.
+func (r *Recorder) Finish() *model.ThreadTrace {
+	return r.finishInternal()
+}
+
+func (r *Recorder) finishInternal() *model.ThreadTrace {
+	frozen := r.g.Freeze()
+	th := &model.ThreadTrace{Grammar: frozen}
+	if len(r.deltas) == 0 {
+		return th
+	}
+	timing := model.NewTiming()
+	pos, ok := progress.Start(frozen)
+	var refs []grammar.UserRef
+	for i := 0; ok && i < len(r.deltas); i++ {
+		refs = pos.AppendRefs(refs[:0])
+		timing.AddPath(refs, pos.Terminal(frozen), r.deltas[i])
+		brs := progress.Successors(frozen, pos, 1)
+		if len(brs) == 0 {
+			break
+		}
+		// Root-anchored tracking over the grammar's own expansion is
+		// deterministic: exactly one successor until the trace ends.
+		pos = brs[0].Pos
+	}
+	th.Timing = timing
+	return th
+}

@@ -1,0 +1,134 @@
+package tasksim
+
+import (
+	"testing"
+
+	"repro/pythia"
+)
+
+// workload builds the batches of a synthetic application: each batch mixes
+// many short tasks with a couple of long ones, in an order that is bad for
+// FIFO (long tasks last).
+func workload(batches int) [][]Task {
+	var out [][]Task
+	for b := 0; b < batches; b++ {
+		var batch []Task
+		for i := 0; i < 14; i++ {
+			batch = append(batch, Task{Kind: "short", CostNs: 100_000})
+		}
+		batch = append(batch,
+			Task{Kind: "render", CostNs: 1_200_000},
+			Task{Kind: "compress", CostNs: 900_000},
+		)
+		out = append(out, batch)
+	}
+	return out
+}
+
+func run(s *Scheduler, batches [][]Task) int64 {
+	for _, b := range batches {
+		s.RunBatch(b)
+	}
+	return s.Now()
+}
+
+func TestListScheduleMakespan(t *testing.T) {
+	// 4 workers, costs 3,3,3,3 → one each → makespan 3.
+	if got := listScheduleMakespan([]int64{3, 3, 3, 3}, 4); got != 3 {
+		t.Fatalf("makespan = %d, want 3", got)
+	}
+	// FIFO with the long task last: 1,1,1,9 on 2 workers → loads (1+1, 1+9).
+	if got := listScheduleMakespan([]int64{1, 1, 1, 9}, 2); got != 10 {
+		t.Fatalf("makespan = %d, want 10", got)
+	}
+	// LPT order: 9,1,1,1 → loads (9, 3) → makespan 9.
+	if got := listScheduleMakespan([]int64{9, 1, 1, 1}, 2); got != 9 {
+		t.Fatalf("makespan = %d, want 9", got)
+	}
+	if got := listScheduleMakespan(nil, 0); got != 0 {
+		t.Fatalf("empty makespan = %d", got)
+	}
+}
+
+func TestOracleGuidedLPTBeatsFIFO(t *testing.T) {
+	batches := workload(25)
+
+	// FIFO baseline.
+	fifo := New(4, nil, false)
+	fifoNs := run(fifo, batches)
+
+	// Reference run under PYTHIA-RECORD (FIFO scheduling, instrumented).
+	rec := pythia.NewRecordOracle()
+	recorded := New(4, rec, false)
+	recNs := run(recorded, batches)
+	ts := rec.Finish()
+
+	if recNs != fifoNs {
+		t.Fatalf("recording changed the virtual makespan: %d vs %d", recNs, fifoNs)
+	}
+
+	// Predicted-LPT run.
+	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpt := New(4, oracle, true)
+	lptNs := run(lpt, batches)
+	st := lpt.Stats()
+
+	if st.Predictions == 0 {
+		t.Fatal("no duration predictions requested")
+	}
+	if st.PredictMiss > st.Predictions/5 {
+		t.Fatalf("too many prediction misses: %+v", st)
+	}
+	if lptNs >= fifoNs {
+		t.Fatalf("predicted LPT (%d) not faster than FIFO (%d)", lptNs, fifoNs)
+	}
+	improvement := 1 - float64(lptNs)/float64(fifoNs)
+	t.Logf("FIFO %.2fms, predicted-LPT %.2fms (%.0f%% faster)",
+		float64(fifoNs)/1e6, float64(lptNs)/1e6, improvement*100)
+	if improvement < 0.15 {
+		t.Fatalf("improvement %.0f%% too small for a long-tail workload", improvement*100)
+	}
+}
+
+func TestPredictionsLearnPerKindDurations(t *testing.T) {
+	// Two kinds with 10x different costs; after recording, predicted
+	// durations must rank them correctly even though the scheduler never
+	// sees CostNs directly.
+	batches := [][]Task{}
+	for i := 0; i < 20; i++ {
+		batches = append(batches, []Task{
+			{Kind: "fast", CostNs: 50_000},
+			{Kind: "slow", CostNs: 500_000},
+		})
+	}
+	rec := pythia.NewRecordOracle()
+	run(New(2, rec, false), batches)
+	ts := rec.Finish()
+	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := oracle.Thread(0)
+	// Walk one batch: after submitting fast's start event, the predicted
+	// time to its end event must be ~50µs.
+	th.Submit(oracle.Lookup("task_start.fast"))
+	pred, ok := th.PredictDurationUntil(oracle.Lookup("task_end.fast"), 4)
+	if !ok {
+		t.Fatal("no prediction for fast task")
+	}
+	if pred.ExpectedNs < 40_000 || pred.ExpectedNs > 60_000 {
+		t.Fatalf("fast task predicted %.0fns, want ~50000", pred.ExpectedNs)
+	}
+	th.Submit(oracle.Lookup("task_end.fast"))
+	th.Submit(oracle.Lookup("task_start.slow"))
+	pred, ok = th.PredictDurationUntil(oracle.Lookup("task_end.slow"), 4)
+	if !ok {
+		t.Fatal("no prediction for slow task")
+	}
+	if pred.ExpectedNs < 400_000 || pred.ExpectedNs > 600_000 {
+		t.Fatalf("slow task predicted %.0fns, want ~500000", pred.ExpectedNs)
+	}
+}

@@ -1,0 +1,130 @@
+package tracediff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/recorder"
+	"repro/pythia"
+)
+
+// record builds a trace set from per-thread descriptor sequences.
+func record(t *testing.T, threads map[int32][]string) *pythia.TraceSet {
+	t.Helper()
+	s := core.NewRecordSession(recorder.WithoutTimestamps())
+	for tid, seq := range threads {
+		th := s.Thread(tid)
+		for _, name := range seq {
+			th.Submit(s.Registry().Intern(name))
+		}
+	}
+	return s.FinishRecord()
+}
+
+func repeat(names []string, n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, names...)
+	}
+	return out
+}
+
+func TestIdenticalTraces(t *testing.T) {
+	a := record(t, map[int32][]string{0: repeat([]string{"x", "y"}, 50)})
+	b := record(t, map[int32][]string{0: repeat([]string{"x", "y"}, 50)})
+	d := Compare(a, b)
+	if !d.Identical() {
+		t.Fatalf("identical traces reported different: %+v", d.Threads)
+	}
+}
+
+func TestIdenticalDespiteDifferentIDs(t *testing.T) {
+	// Same descriptor sequence, but interned in a different order so the
+	// numeric ids differ: the diff must compare by name.
+	sa := core.NewRecordSession(recorder.WithoutTimestamps())
+	sa.Registry().Intern("x") // id 0
+	sa.Registry().Intern("y") // id 1
+	tha := sa.Thread(0)
+	for i := 0; i < 20; i++ {
+		tha.Submit(sa.Registry().Intern("x"))
+		tha.Submit(sa.Registry().Intern("y"))
+	}
+	a := sa.FinishRecord()
+
+	sb := core.NewRecordSession(recorder.WithoutTimestamps())
+	sb.Registry().Intern("y") // id 0 (swapped!)
+	sb.Registry().Intern("x") // id 1
+	thb := sb.Thread(0)
+	for i := 0; i < 20; i++ {
+		thb.Submit(sb.Registry().Intern("x"))
+		thb.Submit(sb.Registry().Intern("y"))
+	}
+	b := sb.FinishRecord()
+
+	if d := Compare(a, b); !d.Identical() {
+		t.Fatal("descriptor-identical traces reported different")
+	}
+}
+
+func TestDivergencePoint(t *testing.T) {
+	a := record(t, map[int32][]string{0: {"x", "y", "x", "y", "x"}})
+	b := record(t, map[int32][]string{0: {"x", "y", "x", "z", "x"}})
+	d := Compare(a, b)
+	if d.Identical() {
+		t.Fatal("diverging traces reported identical")
+	}
+	td := d.Threads[0]
+	if td.DivergeAt != 3 || td.EventA != "y" || td.EventB != "z" {
+		t.Fatalf("divergence = %+v, want index 3 y vs z", td)
+	}
+	if len(d.EventsOnlyB) != 1 || d.EventsOnlyB[0] != "z" {
+		t.Fatalf("EventsOnlyB = %v", d.EventsOnlyB)
+	}
+}
+
+func TestPrefixTrace(t *testing.T) {
+	a := record(t, map[int32][]string{0: repeat([]string{"x"}, 10)})
+	b := record(t, map[int32][]string{0: repeat([]string{"x"}, 15)})
+	d := Compare(a, b)
+	td := d.Threads[0]
+	if td.Identical || td.DivergeAt != -1 {
+		t.Fatalf("prefix case misreported: %+v", td)
+	}
+	if td.LenA != 10 || td.LenB != 15 {
+		t.Fatalf("lengths = %d %d", td.LenA, td.LenB)
+	}
+}
+
+func TestThreadPresence(t *testing.T) {
+	a := record(t, map[int32][]string{0: {"x", "x"}, 1: {"y", "y"}})
+	b := record(t, map[int32][]string{0: {"x", "x"}, 2: {"z", "z"}})
+	d := Compare(a, b)
+	var onlyA, onlyB int
+	for _, td := range d.Threads {
+		if td.OnlyA {
+			onlyA++
+		}
+		if td.OnlyB {
+			onlyB++
+		}
+	}
+	if onlyA != 1 || onlyB != 1 {
+		t.Fatalf("thread presence diff broken: %+v", d.Threads)
+	}
+}
+
+func TestWriteRendering(t *testing.T) {
+	a := record(t, map[int32][]string{0: {"x", "y"}})
+	b := record(t, map[int32][]string{0: {"x", "z"}})
+	var sb strings.Builder
+	Compare(a, b).Write(&sb)
+	if !strings.Contains(sb.String(), "diverges at event 1") {
+		t.Fatalf("rendered diff:\n%s", sb.String())
+	}
+	var sb2 strings.Builder
+	Compare(a, a).Write(&sb2)
+	if !strings.Contains(sb2.String(), "identical") {
+		t.Fatalf("identical rendering:\n%s", sb2.String())
+	}
+}

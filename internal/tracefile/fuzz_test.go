@@ -1,0 +1,75 @@
+package tracefile
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// fuzzSeedTraceSet records a small deterministic trace for the fuzz corpus.
+func fuzzSeedTraceSet() *model.TraceSet {
+	s := core.NewRecordSession()
+	a := s.Registry().Intern("alpha")
+	b := s.Registry().InternArgs("beta", 3)
+	th := s.Thread(0)
+	var now int64
+	for i := 0; i < 40; i++ {
+		th.SubmitAt(a, now)
+		now += 10
+		th.SubmitAt(b, now)
+		now += 30
+	}
+	return s.FinishRecord()
+}
+
+// FuzzRead checks the decoder never panics or hangs on arbitrary input —
+// trace files come from disk and must be treated as untrusted.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fuzzSeedTraceSet()); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...))
+	f.Add([]byte("PYTHIA1\n"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	if len(mutated) > 20 {
+		mutated[15] ^= 0xff
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics and hangs are not
+		}
+		// Anything accepted must be internally consistent.
+		if verr := ts.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid trace set: %v", verr)
+		}
+	})
+}
+
+// FuzzImportJSON does the same for the JSON importer.
+func FuzzImportJSON(f *testing.F) {
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, fuzzSeedTraceSet()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"events":[],"threads":{}}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := ImportJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := ts.Validate(); verr != nil {
+			t.Fatalf("ImportJSON accepted an invalid trace set: %v", verr)
+		}
+	})
+}

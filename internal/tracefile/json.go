@@ -1,0 +1,128 @@
+package tracefile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/grammar"
+	"repro/internal/model"
+)
+
+// JSON export of a trace set for external tooling (plotting scripts,
+// diffing, debugging). The JSON form is lossy in one direction only: it can
+// be fully converted back to a TraceSet, but the binary format remains the
+// canonical on-disk representation.
+
+// JSONTraceSet mirrors model.TraceSet with stable, documented field names.
+type JSONTraceSet struct {
+	// Events is the descriptor table indexed by event id.
+	Events []string `json:"events"`
+	// Threads maps thread ids (as decimal strings, for JSON object keys) to
+	// their artifacts.
+	Threads map[string]JSONThread `json:"threads"`
+}
+
+// JSONThread is one thread's artifacts.
+type JSONThread struct {
+	EventCount int64      `json:"event_count"`
+	Rules      []JSONRule `json:"rules"`
+	// Timing is the per-event mean delta in nanoseconds (context-free view;
+	// the full per-context model only exists in the binary format).
+	Timing map[string]float64 `json:"timing_mean_ns,omitempty"`
+}
+
+// JSONRule is one production: a flat list of runs.
+type JSONRule struct {
+	Body []JSONRun `json:"body"`
+}
+
+// JSONRun is one run of a rule body: a terminal event id or a rule
+// reference, with a repetition count.
+type JSONRun struct {
+	// Event is the terminal event id; valid when Rule is nil.
+	Event *int32 `json:"event,omitempty"`
+	// Rule is the referenced rule index; valid when Event is nil.
+	Rule  *int32 `json:"rule,omitempty"`
+	Count uint32 `json:"count"`
+}
+
+// ExportJSON writes the trace set as indented JSON.
+func ExportJSON(w io.Writer, ts *model.TraceSet) error {
+	out := JSONTraceSet{
+		Events:  ts.Events,
+		Threads: make(map[string]JSONThread, len(ts.Threads)),
+	}
+	for _, tid := range ts.ThreadIDs() {
+		th := ts.Threads[tid]
+		jt := JSONThread{EventCount: th.Grammar.EventCount}
+		for _, r := range th.Grammar.Rules {
+			jr := JSONRule{}
+			for _, run := range r.Body {
+				out := JSONRun{Count: run.Count}
+				if run.Sym.IsTerminal() {
+					v := run.Sym.Event()
+					out.Event = &v
+				} else {
+					v := run.Sym.RuleIndex()
+					out.Rule = &v
+				}
+				jr.Body = append(jr.Body, out)
+			}
+			jt.Rules = append(jt.Rules, jr)
+		}
+		if th.Timing != nil && len(th.Timing.ByEvent) > 0 {
+			jt.Timing = make(map[string]float64, len(th.Timing.ByEvent))
+			for id, s := range th.Timing.ByEvent {
+				name := "?"
+				if int(id) < len(ts.Events) {
+					name = ts.Events[id]
+				}
+				jt.Timing[name] = s.Mean()
+			}
+		}
+		out.Threads[strconv.FormatInt(int64(tid), 10)] = jt
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ImportJSON reads a JSON export back into a TraceSet (without the
+// per-context timing model, which JSON does not carry).
+func ImportJSON(r io.Reader) (*model.TraceSet, error) {
+	var in JSONTraceSet
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	ts := &model.TraceSet{Events: in.Events, Threads: make(map[int32]*model.ThreadTrace)}
+	for key, jt := range in.Threads {
+		tid64, err := strconv.ParseInt(key, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: bad thread key %q: %w", key, err)
+		}
+		tid := int32(tid64)
+		bodies := make([][]grammar.Run, len(jt.Rules))
+		for i, jr := range jt.Rules {
+			for _, run := range jr.Body {
+				var sym grammar.Sym
+				if run.Event != nil {
+					sym = grammar.Terminal(*run.Event)
+				} else if run.Rule != nil {
+					sym = grammar.NonTerminal(*run.Rule)
+				}
+				bodies[i] = append(bodies[i], grammar.Run{Sym: sym, Count: run.Count})
+			}
+		}
+		g, err := grammar.NewFrozen(bodies)
+		if err != nil {
+			return nil, err
+		}
+		ts.Threads[tid] = &model.ThreadTrace{Grammar: g}
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}

@@ -1,0 +1,61 @@
+package tracefile
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONExportImportRoundTrip(t *testing.T) {
+	ts := makeTraceSet(t)
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, ts); err != nil {
+		t.Fatalf("ExportJSON: %v", err)
+	}
+	got, err := ImportJSON(&buf)
+	if err != nil {
+		t.Fatalf("ImportJSON: %v", err)
+	}
+	if !reflect.DeepEqual(got.Events, ts.Events) {
+		t.Fatal("event tables differ after JSON round trip")
+	}
+	for tid, th := range ts.Threads {
+		gth := got.Threads[tid]
+		if gth == nil {
+			t.Fatalf("thread %d lost", tid)
+		}
+		if !reflect.DeepEqual(gth.Grammar.Unfold(), th.Grammar.Unfold()) {
+			t.Fatalf("thread %d grammar changed", tid)
+		}
+	}
+}
+
+func TestJSONContainsReadableNames(t *testing.T) {
+	ts := makeTraceSet(t)
+	var buf bytes.Buffer
+	if err := ExportJSON(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MPI_Isend:1", "MPI_Barrier", "event_count", "timing_mean_ns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON export missing %q", want)
+		}
+	}
+}
+
+func TestImportJSONRejectsGarbage(t *testing.T) {
+	if _, err := ImportJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ImportJSON(strings.NewReader(`{"events":["a"],"threads":{"x":{"rules":[]}}}`)); err == nil {
+		t.Fatal("bad thread key accepted")
+	}
+	// A rule referencing a missing rule index must be rejected by frozen
+	// validation.
+	bad := `{"events":["a"],"threads":{"0":{"event_count":1,"rules":[{"body":[{"rule":7,"count":1}]}]}}}`
+	if _, err := ImportJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("dangling rule reference accepted")
+	}
+}

@@ -1,0 +1,375 @@
+// Package tracefile implements Pythia's versioned binary trace file format.
+// A trace file stores what PYTHIA-RECORD produces at the end of a reference
+// execution (paper section II-A): the shared event descriptor table and,
+// per recorded thread, the grammar and the optional timing model. Subsequent
+// executions load the file and hand it to PYTHIA-PREDICT.
+//
+// Layout (all integers are unsigned varints unless noted; signed values use
+// zig-zag varints):
+//
+//	magic   [8]byte  "PYTHIA1\n"
+//	version uvarint  (currently 1)
+//	payload          (sections below)
+//	crc32   4 bytes  little-endian IEEE CRC of the payload
+//
+// Payload:
+//
+//	eventCount, then each descriptor as (len, bytes)
+//	threadCount, then per thread:
+//	  tid      (zig-zag)
+//	  ruleCount, then per rule: runCount, then per run (sym zig-zag, count)
+//	  timingFlag (0/1); if 1:
+//	    suffixCount, per entry: (keyLen, keyBytes, stat)
+//	    eventStatCount, per entry: (eventID zig-zag, stat)
+//	  where stat = (count, sum zig-zag, min zig-zag, max zig-zag)
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/grammar"
+	"repro/internal/model"
+)
+
+// Magic identifies Pythia trace files.
+var Magic = [8]byte{'P', 'Y', 'T', 'H', 'I', 'A', '1', '\n'}
+
+// Version is the current format version.
+const Version = 1
+
+// maxReasonable bounds untrusted length fields while decoding.
+const maxReasonable = 1 << 31
+
+// Write serialises the trace set to w.
+func Write(w io.Writer, ts *model.TraceSet) error {
+	if err := ts.Validate(); err != nil {
+		return fmt.Errorf("tracefile: refusing to write invalid trace set: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+
+	if _, err := bw.Write(Magic[:]); err != nil {
+		return err
+	}
+	// The magic is not part of the checksummed payload; reset after it.
+	bw.Flush()
+	crc.Reset()
+
+	e := &encoder{w: bw}
+	e.uvarint(Version)
+	e.uvarint(uint64(len(ts.Events)))
+	for _, name := range ts.Events {
+		e.bytes([]byte(name))
+	}
+	tids := ts.ThreadIDs()
+	e.uvarint(uint64(len(tids)))
+	for _, tid := range tids {
+		th := ts.Threads[tid]
+		e.svarint(int64(tid))
+		e.grammar(th.Grammar)
+		e.timing(th.Timing)
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// Read deserialises a trace set from r, verifying magic, version and
+// checksum, and rebuilding all derived grammar data.
+func Read(r io.Reader) (*model.TraceSet, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("tracefile: bad magic %q", magic[:])
+	}
+	crc := crc32.NewIEEE()
+	d := &decoder{r: br, crc: crc}
+
+	if v := d.uvarint(); d.err == nil && v != Version {
+		return nil, fmt.Errorf("tracefile: unsupported version %d", v)
+	}
+	nEvents := d.uvarint()
+	if nEvents > maxReasonable {
+		return nil, fmt.Errorf("tracefile: absurd event count %d", nEvents)
+	}
+	events := make([]string, 0, nEvents)
+	for i := uint64(0); i < nEvents && d.err == nil; i++ {
+		events = append(events, string(d.bytes()))
+	}
+	ts := &model.TraceSet{Events: events, Threads: make(map[int32]*model.ThreadTrace)}
+	nThreads := d.uvarint()
+	if nThreads > maxReasonable {
+		return nil, fmt.Errorf("tracefile: absurd thread count %d", nThreads)
+	}
+	for i := uint64(0); i < nThreads && d.err == nil; i++ {
+		tid := int32(d.svarint())
+		g, err := d.grammar()
+		if err != nil {
+			return nil, err
+		}
+		tm := d.timing()
+		ts.Threads[tid] = &model.ThreadTrace{Grammar: g, Timing: tm}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("tracefile: decode: %w", d.err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("tracefile: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != crc.Sum32() {
+		return nil, fmt.Errorf("tracefile: checksum mismatch (file %08x, computed %08x)", got, crc.Sum32())
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, fmt.Errorf("tracefile: decoded trace set invalid: %w", err)
+	}
+	return ts, nil
+}
+
+// Save writes the trace set to path atomically (write to temp file, rename).
+func Save(path string, ts *model.TraceSet) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ts); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a trace set from path.
+func Load(path string) (*model.TraceSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// --- encoder ---------------------------------------------------------------
+
+type encoder struct {
+	w   *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+	err error
+}
+
+func (e *encoder) uvarint(v uint64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutUvarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) svarint(v int64) {
+	if e.err != nil {
+		return
+	}
+	n := binary.PutVarint(e.buf[:], v)
+	_, e.err = e.w.Write(e.buf[:n])
+}
+
+func (e *encoder) bytes(b []byte) {
+	e.uvarint(uint64(len(b)))
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *encoder) grammar(f *grammar.Frozen) {
+	e.uvarint(uint64(len(f.Rules)))
+	for _, r := range f.Rules {
+		e.uvarint(uint64(len(r.Body)))
+		for _, run := range r.Body {
+			e.svarint(int64(run.Sym))
+			e.uvarint(uint64(run.Count))
+		}
+	}
+}
+
+func (e *encoder) stat(s model.Stat) {
+	e.uvarint(uint64(s.Count))
+	e.svarint(s.Sum)
+	e.svarint(s.Min)
+	e.svarint(s.Max)
+}
+
+func (e *encoder) timing(t *model.Timing) {
+	if t == nil {
+		e.uvarint(0)
+		return
+	}
+	e.uvarint(1)
+	// Deterministic output: sort keys.
+	keys := make([]string, 0, len(t.BySuffix))
+	for k := range t.BySuffix {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.bytes([]byte(k))
+		e.stat(t.BySuffix[k])
+	}
+	ids := make([]int32, 0, len(t.ByEvent))
+	for id := range t.ByEvent {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	e.uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		e.svarint(int64(id))
+		e.stat(t.ByEvent[id])
+	}
+}
+
+// --- decoder ---------------------------------------------------------------
+
+type decoder struct {
+	r   *bufio.Reader
+	crc io.Writer
+	err error
+}
+
+func (d *decoder) readByte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		d.err = err
+		return 0
+	}
+	d.crc.Write([]byte{b})
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	var v uint64
+	var shift uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b := d.readByte()
+		if d.err != nil {
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+	}
+	d.err = fmt.Errorf("varint too long")
+	return 0
+}
+
+func (d *decoder) svarint() int64 {
+	u := d.uvarint()
+	v := int64(u >> 1)
+	if u&1 != 0 {
+		v = ^v
+	}
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxReasonable {
+		d.err = fmt.Errorf("absurd byte length %d", n)
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		d.err = err
+		return nil
+	}
+	d.crc.Write(buf)
+	return buf
+}
+
+func (d *decoder) grammar() (*grammar.Frozen, error) {
+	nRules := d.uvarint()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nRules > maxReasonable {
+		return nil, fmt.Errorf("tracefile: absurd rule count %d", nRules)
+	}
+	bodies := make([][]grammar.Run, nRules)
+	for i := range bodies {
+		nRuns := d.uvarint()
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nRuns > maxReasonable {
+			return nil, fmt.Errorf("tracefile: absurd run count %d", nRuns)
+		}
+		body := make([]grammar.Run, nRuns)
+		for j := range body {
+			body[j].Sym = grammar.Sym(d.svarint())
+			body[j].Count = uint32(d.uvarint())
+		}
+		bodies[i] = body
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return grammar.NewFrozen(bodies)
+}
+
+func (d *decoder) stat() model.Stat {
+	var s model.Stat
+	s.Count = int64(d.uvarint())
+	s.Sum = d.svarint()
+	s.Min = d.svarint()
+	s.Max = d.svarint()
+	return s
+}
+
+func (d *decoder) timing() *model.Timing {
+	flag := d.uvarint()
+	if d.err != nil || flag == 0 {
+		return nil
+	}
+	t := model.NewTiming()
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		k := string(d.bytes())
+		t.BySuffix[k] = d.stat()
+	}
+	m := d.uvarint()
+	for i := uint64(0); i < m && d.err == nil; i++ {
+		id := int32(d.svarint())
+		t.ByEvent[id] = d.stat()
+	}
+	return t
+}

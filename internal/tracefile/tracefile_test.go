@@ -1,0 +1,213 @@
+package tracefile
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/model"
+	"repro/internal/predictor"
+)
+
+// makeTraceSet records a small two-thread application with timing.
+func makeTraceSet(t *testing.T) *model.TraceSet {
+	t.Helper()
+	s := core.NewRecordSession()
+	reg := s.Registry()
+	a := reg.InternArgs("MPI_Isend", 1)
+	b := reg.InternArgs("MPI_Irecv", 1)
+	w := reg.Intern("MPI_Wait")
+	bar := reg.Intern("MPI_Barrier")
+	for tid := int32(0); tid < 2; tid++ {
+		th := s.Thread(tid)
+		var now int64
+		for i := 0; i < 100; i++ {
+			th.SubmitAt(a, now)
+			now += 10
+			th.SubmitAt(b, now)
+			now += 20
+			th.SubmitAt(w, now)
+			now += 500
+			if i%25 == 24 {
+				th.SubmitAt(bar, now)
+				now += 2000
+			}
+		}
+	}
+	return s.FinishRecord()
+}
+
+func TestRoundTrip(t *testing.T) {
+	ts := makeTraceSet(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got.Events, ts.Events) {
+		t.Fatalf("event tables differ:\n%v\n%v", got.Events, ts.Events)
+	}
+	if len(got.Threads) != len(ts.Threads) {
+		t.Fatalf("thread count %d, want %d", len(got.Threads), len(ts.Threads))
+	}
+	for tid, th := range ts.Threads {
+		gth, ok := got.Threads[tid]
+		if !ok {
+			t.Fatalf("thread %d missing after round trip", tid)
+		}
+		if !reflect.DeepEqual(gth.Grammar.Unfold(), th.Grammar.Unfold()) {
+			t.Fatalf("thread %d grammar unfolds differently", tid)
+		}
+		if gth.Grammar.EventCount != th.Grammar.EventCount {
+			t.Fatalf("thread %d event count %d, want %d", tid, gth.Grammar.EventCount, th.Grammar.EventCount)
+		}
+		if !reflect.DeepEqual(gth.Timing.BySuffix, th.Timing.BySuffix) {
+			t.Fatalf("thread %d suffix timing differs", tid)
+		}
+		if !reflect.DeepEqual(gth.Timing.ByEvent, th.Timing.ByEvent) {
+			t.Fatalf("thread %d event timing differs", tid)
+		}
+		// Derived data must be rebuilt identically.
+		for i := range th.Grammar.Rules {
+			if gth.Grammar.Rules[i].Occ != th.Grammar.Rules[i].Occ ||
+				gth.Grammar.Rules[i].Len != th.Grammar.Rules[i].Len {
+				t.Fatalf("thread %d rule %d derived data differs", tid, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripPredictsIdentically(t *testing.T) {
+	ts := makeTraceSet(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.NewPredictSession(loaded, predictor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := sess.Thread(0)
+	th.StartAtBeginning()
+	seq := ts.Threads[0].Grammar.Unfold()
+	for i, e := range seq {
+		pred, ok := th.PredictAt(1)
+		if !ok || pred.EventID != e {
+			t.Fatalf("step %d: predicted (%v,%v), want %d", i, pred.EventID, ok, e)
+		}
+		th.Submit(events.ID(e))
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ts := makeTraceSet(t)
+	path := filepath.Join(t.TempDir(), "app.pythia")
+	if err := Save(path, ts); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.TotalEvents() != ts.TotalEvents() {
+		t.Fatalf("TotalEvents %d, want %d", got.TotalEvents(), ts.TotalEvents())
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTAPYTH-rest"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedFile(t *testing.T) {
+	ts := makeTraceSet(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{4, 9, len(raw) / 2, len(raw) - 2} {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCorruptedPayloadDetected(t *testing.T) {
+	ts := makeTraceSet(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip one byte mid-payload. Either decoding fails structurally or the
+	// checksum catches it; silence is the only failure.
+	corrupted := 0
+	for pos := 10; pos < len(raw)-5; pos += 7 {
+		mod := append([]byte(nil), raw...)
+		mod[pos] ^= 0x55
+		if _, err := Read(bytes.NewReader(mod)); err != nil {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no corruption was ever detected")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	ts := makeTraceSet(t)
+	var a, b bytes.Buffer
+	if err := Write(&a, ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, ts); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("serialisation is not deterministic")
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &model.TraceSet{}); err == nil {
+		t.Fatal("empty trace set accepted")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// A very repetitive million-event trace must serialise to a tiny file —
+	// the whole point of storing the grammar instead of the trace.
+	s := core.NewRecordSession()
+	reg := s.Registry()
+	a := reg.Intern("stepA")
+	b := reg.Intern("stepB")
+	th := s.Thread(0)
+	var now int64
+	for i := 0; i < 500000; i++ {
+		th.SubmitAt(a, now)
+		now += 3
+		th.SubmitAt(b, now)
+		now += 5
+	}
+	ts := s.FinishRecord()
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 4096 {
+		t.Fatalf("1M-event repetitive trace serialised to %d bytes, want < 4KiB", buf.Len())
+	}
+}

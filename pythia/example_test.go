@@ -1,0 +1,77 @@
+package pythia_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/pythia"
+)
+
+// ExampleOracle_Thread shows the per-thread handles: each runtime thread
+// submits its own event stream and gets its own grammar and predictions.
+func ExampleOracle_Thread() {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	work := o.Intern("work")
+	sync := o.Intern("sync")
+	for tid := int32(0); tid < 2; tid++ {
+		th := o.Thread(tid)
+		for i := 0; i < 10; i++ {
+			th.Submit(work)
+		}
+		th.Submit(sync)
+	}
+	ts := o.Finish()
+	fmt.Println(len(ts.Threads), "threads recorded,", ts.TotalEvents(), "events")
+	// Output: 2 threads recorded, 22 events
+}
+
+// ExampleThread_PredictDurationUntil shows the query the paper's adaptive
+// OpenMP runtime makes: how long until a region's end event?
+func ExampleThread_PredictDurationUntil() {
+	var now int64
+	o := pythia.NewRecordOracle(pythia.WithClock(func() int64 { return now }))
+	begin := o.Intern("region_begin")
+	end := o.Intern("region_end")
+	th := o.Thread(0)
+	for i := 0; i < 20; i++ {
+		th.SubmitAt(begin, now)
+		now += 250_000 // the region takes 250µs
+		th.SubmitAt(end, now)
+		now += 50_000
+	}
+	ts := o.Finish()
+
+	p, _ := pythia.NewPredictOracle(ts, pythia.Config{})
+	pt := p.Thread(0)
+	pt.StartAtBeginning()
+	pt.Submit(p.Lookup("region_begin"))
+	pred, _ := pt.PredictDurationUntil(p.Lookup("region_end"), 8)
+	fmt.Println("expected region duration:", time.Duration(int64(pred.ExpectedNs)))
+	// Output: expected region duration: 250µs
+}
+
+// ExampleThread_PredictSequence shows multi-step look-ahead.
+func ExampleThread_PredictSequence() {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	a, b, c := o.Intern("a"), o.Intern("b"), o.Intern("c")
+	th := o.Thread(0)
+	for i := 0; i < 15; i++ {
+		th.Submit(a)
+		th.Submit(b)
+		th.Submit(c)
+	}
+	ts := o.Finish()
+
+	p, _ := pythia.NewPredictOracle(ts, pythia.Config{})
+	pt := p.Thread(0)
+	pt.StartAtBeginning()
+	pt.Submit(p.Lookup("a"))
+	for _, pred := range pt.PredictSequence(4) {
+		fmt.Printf("+%d %s\n", pred.Distance, p.EventName(pythia.ID(pred.EventID)))
+	}
+	// Output:
+	// +1 b
+	// +2 c
+	// +3 a
+	// +4 b
+}

@@ -1,0 +1,150 @@
+// Package pythia is the public API of the Pythia oracle library, a Go
+// implementation of "PYTHIA: an oracle to guide runtime system decisions"
+// (Colin, Trahay, Conan — IEEE CLUSTER 2022).
+//
+// Pythia lets a runtime system (a message-passing library, a parallel-region
+// scheduler, a task runtime…) replace heuristics about the future behaviour
+// of an application with predictions derived from a previous execution:
+//
+//   - On the first run (the reference execution), the runtime notifies the
+//     oracle of events — entries/exits of interesting functions, parallel
+//     region boundaries, communication calls. Pythia reduces each thread's
+//     event stream into a compact grammar on the fly and saves it, together
+//     with a per-context timing model, into a trace file.
+//
+//   - On subsequent runs the trace file is reloaded. The runtime submits the
+//     same events; Pythia follows the execution through the grammar and can
+//     answer: which event will happen x events from now, with what
+//     probability, and after how much time. Unexpected events are tolerated:
+//     the oracle re-anchors itself and keeps predicting.
+//
+// # Recording
+//
+//	o := pythia.NewRecordOracle()
+//	send := o.Intern("MPI_Send", dest)
+//	th := o.Thread(rank)
+//	th.Submit(send)                   // at every key point
+//	...
+//	o.FinishAndSave("app.pythia")
+//
+// # Predicting
+//
+//	o, err := pythia.LoadOracle("app.pythia", pythia.Config{})
+//	th := o.Thread(rank)
+//	th.Submit(send)                   // same notifications as before
+//	next, ok := th.PredictAt(1)       // what happens next?
+//	dur, ok := th.PredictDurationUntil(regionEnd, 64)
+//
+// One Thread handle must be used from one goroutine at a time; the Oracle
+// itself is safe for concurrent Thread lookup and event interning.
+package pythia
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/model"
+	"repro/internal/predictor"
+	"repro/internal/recorder"
+	"repro/internal/tracefile"
+)
+
+// ID identifies an interned event (a key point plus its discriminating
+// payload).
+type ID = events.ID
+
+// Config tunes prediction; the zero value selects sensible defaults.
+type Config = predictor.Config
+
+// Prediction is one predicted future event: the event, its estimated
+// probability, its distance in events, and the expected elapsed time.
+type Prediction = predictor.Prediction
+
+// TraceSet is the content of a Pythia trace file: per-thread grammars and
+// timing models plus the shared event table.
+type TraceSet = model.TraceSet
+
+// Thread is the per-thread oracle handle. See the package example for the
+// method set: Submit, PredictAt, PredictSequence, PredictDurationUntil.
+type Thread = core.Thread
+
+// Stats counts prediction-tracking outcomes.
+type Stats = predictor.Stats
+
+// RecordOption configures recording.
+type RecordOption = recorder.Option
+
+// WithClock records event timestamps with a caller-provided monotonic clock
+// (nanoseconds). Simulated runtimes inject their virtual clock here so that
+// recorded durations are virtual too.
+func WithClock(clock func() int64) RecordOption { return recorder.WithClock(clock) }
+
+// WithoutTimestamps disables the timing model; duration predictions on the
+// resulting trace return zero.
+func WithoutTimestamps() RecordOption { return recorder.WithoutTimestamps() }
+
+// Oracle is a process-wide Pythia instance, either recording or predicting.
+type Oracle struct {
+	sess *core.Session
+}
+
+// NewRecordOracle starts a recording (reference execution) oracle.
+// Timestamps are recorded with a monotonic wall clock unless configured
+// otherwise.
+func NewRecordOracle(opts ...RecordOption) *Oracle {
+	return &Oracle{sess: core.NewRecordSession(opts...)}
+}
+
+// NewPredictOracle starts a predicting oracle from an in-memory trace set.
+func NewPredictOracle(ts *TraceSet, cfg Config) (*Oracle, error) {
+	sess, err := core.NewPredictSession(ts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Oracle{sess: sess}, nil
+}
+
+// LoadOracle starts a predicting oracle from a trace file.
+func LoadOracle(path string, cfg Config) (*Oracle, error) {
+	ts, err := tracefile.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("pythia: loading trace: %w", err)
+	}
+	return NewPredictOracle(ts, cfg)
+}
+
+// Recording reports whether the oracle is in record mode.
+func (o *Oracle) Recording() bool { return o.sess.Mode() == core.ModeRecord }
+
+// Intern returns the event ID for a key point name, optionally discriminated
+// by payload values (e.g. a destination rank): Intern("MPI_Send", 3) and
+// Intern("MPI_Send", 5) are distinct events.
+func (o *Oracle) Intern(name string, args ...int64) ID {
+	return o.sess.Registry().InternArgs(name, args...)
+}
+
+// Lookup resolves an already-interned descriptor without creating it.
+func (o *Oracle) Lookup(name string, args ...int64) ID {
+	return o.sess.Registry().Lookup(name, args...)
+}
+
+// EventName returns the descriptor of an event ID.
+func (o *Oracle) EventName(id ID) string { return o.sess.Registry().Name(id) }
+
+// Thread returns the oracle handle for thread tid, creating it on first use.
+func (o *Oracle) Thread(tid int32) *Thread { return o.sess.Thread(tid) }
+
+// Finish ends a recording oracle and returns its trace set.
+func (o *Oracle) Finish() *TraceSet { return o.sess.FinishRecord() }
+
+// FinishAndSave ends a recording oracle and writes the trace file.
+func (o *Oracle) FinishAndSave(path string) error {
+	return tracefile.Save(path, o.sess.FinishRecord())
+}
+
+// SaveTraceSet writes a trace set to a file (exposed for tools).
+func SaveTraceSet(path string, ts *TraceSet) error { return tracefile.Save(path, ts) }
+
+// LoadTraceSet reads a trace file (exposed for tools).
+func LoadTraceSet(path string) (*TraceSet, error) { return tracefile.Load(path) }

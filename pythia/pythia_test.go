@@ -1,0 +1,188 @@
+package pythia_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/pythia"
+)
+
+// recordLoop records n iterations of (step, flush every 10) with a virtual
+// clock: step takes 1µs, flush 50µs.
+func recordLoop(n int) *pythia.Oracle {
+	var now int64
+	o := pythia.NewRecordOracle(pythia.WithClock(func() int64 { return now }))
+	step := o.Intern("step")
+	flush := o.Intern("flush")
+	th := o.Thread(0)
+	for i := 0; i < n; i++ {
+		now += 1000
+		th.SubmitAt(step, now)
+		if i%10 == 9 {
+			now += 50_000
+			th.SubmitAt(flush, now)
+		}
+	}
+	return o
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	o := recordLoop(200)
+	path := filepath.Join(t.TempDir(), "loop.pythia")
+	if err := o.FinishAndSave(path); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := pythia.LoadOracle(path, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Recording() {
+		t.Fatal("loaded oracle claims to be recording")
+	}
+	step := p.Lookup("step")
+	flush := p.Lookup("flush")
+	if step < 0 || flush < 0 {
+		t.Fatal("event ids lost across save/load")
+	}
+	if p.EventName(step) != "step" {
+		t.Fatalf("EventName = %q", p.EventName(step))
+	}
+
+	th := p.Thread(0)
+	// Attach mid-run.
+	for i := 0; i < 25; i++ {
+		th.Submit(step)
+	}
+	pred, ok := th.PredictAt(1)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if got := p.EventName(pythia.ID(pred.EventID)); got != "step" && got != "flush" {
+		t.Fatalf("predicted %q", got)
+	}
+}
+
+func TestDurationUntilFlush(t *testing.T) {
+	o := recordLoop(500)
+	ts := o.Finish()
+	p, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := p.Thread(0)
+	th.StartAtBeginning()
+	// Observe the first full block plus one step: position = step #11.
+	step := p.Lookup("step")
+	flush := p.Lookup("flush")
+	for i := 0; i < 10; i++ {
+		th.Submit(step)
+	}
+	th.Submit(flush)
+	th.Submit(step)
+	pred, ok := th.PredictDurationUntil(flush, 32)
+	if !ok {
+		t.Fatal("no flush prediction")
+	}
+	// 9 more steps at 1µs plus the 50µs flush = ~59µs.
+	if pred.ExpectedNs < 50_000 || pred.ExpectedNs > 70_000 {
+		t.Fatalf("expected ~59µs to flush, got %v", time.Duration(int64(pred.ExpectedNs)))
+	}
+	if pred.Distance != 10 {
+		t.Fatalf("flush distance = %d, want 10", pred.Distance)
+	}
+}
+
+func TestWithoutTimestampsYieldsZeroDurations(t *testing.T) {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	a := o.Intern("a")
+	th := o.Thread(0)
+	for i := 0; i < 50; i++ {
+		th.Submit(a)
+	}
+	ts := o.Finish()
+	if ts.Threads[0].Timing != nil {
+		t.Fatal("timing model recorded despite WithoutTimestamps")
+	}
+	p, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th2 := p.Thread(0)
+	th2.Submit(p.Lookup("a"))
+	pred, ok := th2.PredictAt(1)
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if pred.ExpectedNs != 0 {
+		t.Fatalf("ExpectedNs = %v without timing model", pred.ExpectedNs)
+	}
+}
+
+func TestLoadOracleMissingFile(t *testing.T) {
+	if _, err := pythia.LoadOracle("/nonexistent/trace.pythia", pythia.Config{}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestInternPayloadSeparation(t *testing.T) {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	if o.Intern("MPI_Send", 1) == o.Intern("MPI_Send", 2) {
+		t.Fatal("payloads not separated")
+	}
+	if o.Lookup("MPI_Send", 1) != o.Intern("MPI_Send", 1) {
+		t.Fatal("lookup mismatch")
+	}
+}
+
+func TestMultiThreadTraces(t *testing.T) {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	a := o.Intern("a")
+	b := o.Intern("b")
+	o.Thread(0).Submit(a)
+	o.Thread(0).Submit(a)
+	o.Thread(1).Submit(b)
+	o.Thread(1).Submit(b)
+	ts := o.Finish()
+	if len(ts.Threads) != 2 {
+		t.Fatalf("threads = %d", len(ts.Threads))
+	}
+	p, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := p.Thread(0)
+	t0.Submit(p.Lookup("a"))
+	if pred, ok := t0.PredictAt(1); !ok || pred.EventID != int32(a) {
+		t.Fatalf("thread 0 prediction = %v %v", pred, ok)
+	}
+	t1 := p.Thread(1)
+	t1.Submit(p.Lookup("b"))
+	if pred, ok := t1.PredictAt(1); !ok || pred.EventID != int32(b) {
+		t.Fatalf("thread 1 prediction = %v %v", pred, ok)
+	}
+}
+
+// Example demonstrates the documented record→predict workflow.
+func Example() {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	work := o.Intern("work")
+	sync := o.Intern("sync")
+	th := o.Thread(0)
+	for i := 0; i < 30; i++ {
+		th.Submit(work)
+		th.Submit(work)
+		th.Submit(sync)
+	}
+	ts := o.Finish()
+
+	p, _ := pythia.NewPredictOracle(ts, pythia.Config{})
+	pt := p.Thread(0)
+	pt.Submit(p.Lookup("work"))
+	pt.Submit(p.Lookup("work"))
+	pred, _ := pt.PredictAt(1)
+	fmt.Println(p.EventName(pythia.ID(pred.EventID)))
+	// Output: sync
+}
