@@ -54,7 +54,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			harness.WriteTable1(os.Stdout, class, rows)
+			check(harness.WriteTable1(os.Stdout, class, rows))
 		case "fig7":
 			if err := harness.Fig7(os.Stdout); err != nil {
 				fatal(err)
@@ -66,7 +66,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			harness.WriteFig8(os.Stdout, nil, rows)
+			check(harness.WriteFig8(os.Stdout, nil, rows))
 		case "fig9":
 			rows, err := harness.Fig9(harness.Fig9Config{
 				Apps: appList, MaxSamples: *samples,
@@ -74,29 +74,29 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			harness.WriteFig9(os.Stdout, nil, rows)
+			check(harness.WriteFig9(os.Stdout, nil, rows))
 		case "fig10":
 			pts := harness.Fig10(ompsim.Pudding())
-			harness.WriteLuleshPoints(os.Stdout,
+			check(harness.WriteLuleshPoints(os.Stdout,
 				"Fig 10: Execution time of Lulesh vs problem size (pudding, 24 threads)",
-				"size", pts)
+				"size", pts))
 		case "fig11":
 			pts := harness.Fig10(ompsim.Pixel())
-			harness.WriteLuleshPoints(os.Stdout,
+			check(harness.WriteLuleshPoints(os.Stdout,
 				"Fig 11: Execution time of Lulesh vs problem size (pixel, 16 threads)",
-				"size", pts)
+				"size", pts))
 		case "fig12":
 			pts := harness.Fig12(ompsim.Pudding())
-			harness.WriteLuleshPoints(os.Stdout,
+			check(harness.WriteLuleshPoints(os.Stdout,
 				"Fig 12: Execution time of Lulesh vs max threads (pudding, s=30)",
-				"max threads", pts)
+				"max threads", pts))
 		case "fig13":
 			pts := harness.Fig12(ompsim.Pixel())
-			harness.WriteLuleshPoints(os.Stdout,
+			check(harness.WriteLuleshPoints(os.Stdout,
 				"Fig 13: Execution time of Lulesh vs max threads (pixel, s=30)",
-				"max threads", pts)
+				"max threads", pts))
 		case "fig14":
-			harness.WriteFig14(os.Stdout, harness.Fig14(*seeds))
+			check(harness.WriteFig14(os.Stdout, harness.Fig14(*seeds)))
 		case "ext-ranks":
 			names := appList
 			if len(names) == 0 {
@@ -106,13 +106,13 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			harness.WriteExtRanks(os.Stdout, rows)
+			check(harness.WriteExtRanks(os.Stdout, rows))
 		case "ext-duration":
 			rows, err := harness.ExtDuration(30)
 			if err != nil {
 				fatal(err)
 			}
-			harness.WriteExtDuration(os.Stdout, 30, rows)
+			check(harness.WriteExtDuration(os.Stdout, 30, rows))
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -132,4 +132,11 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pythia-bench:", err)
 	os.Exit(1)
+}
+
+// check aborts on report-rendering errors (e.g. a closed stdout pipe).
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
 }

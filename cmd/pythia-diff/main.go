@@ -38,7 +38,9 @@ func main() {
 		fatal(err)
 	}
 	d := tracediff.Compare(a, b)
-	d.Write(os.Stdout)
+	if err := d.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
 	if !d.Identical() {
 		os.Exit(1)
 	}

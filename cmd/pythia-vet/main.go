@@ -1,0 +1,92 @@
+// Command pythia-vet runs Pythia's repo-specific static analyzers over the
+// whole module and reports findings as "file:line: [analyzer] message",
+// exiting non-zero when any finding is not covered by the baseline file.
+//
+// Usage:
+//
+//	go run ./cmd/pythia-vet ./...
+//	go run ./cmd/pythia-vet -update-baseline ./...
+//
+// Analyzers (see internal/vet):
+//
+//	hotpath-alloc    pythia:hotpath functions must stay allocation-lean
+//	lock-discipline  Lock/Unlock pairing; no Thread.Submit under a lock
+//	panic-policy     library panics must be documented invariant violations
+//	error-hygiene    no discarded error returns outside tests and examples
+//
+// The positional package patterns are accepted for familiarity but the tool
+// always analyses every package of the enclosing module: the analyzers are
+// whole-module properties, not per-package ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/vet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pythia-vet", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "", "baseline file (default <module root>/vet-baseline.txt)")
+	update := fs.Bool("update-baseline", false, "rewrite the baseline to accept all current findings")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("dir", ".", "directory inside the module to analyse")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range vet.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	mod, err := vet.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pythia-vet:", err)
+		return 2
+	}
+	diags := vet.RunAnalyzers(mod, vet.Analyzers())
+
+	bp := *baselinePath
+	if bp == "" {
+		bp = filepath.Join(mod.Root, "vet-baseline.txt")
+	}
+
+	if *update {
+		if err := vet.WriteBaseline(bp, mod.Root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "pythia-vet:", err)
+			return 2
+		}
+		fmt.Printf("pythia-vet: wrote %d finding(s) to %s\n", len(diags), bp)
+		return 0
+	}
+
+	base, err := vet.LoadBaseline(bp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pythia-vet:", err)
+		return 2
+	}
+	fresh, suppressed, stale := base.Filter(mod.Root, diags)
+	for _, d := range fresh {
+		fmt.Println(d.Format(mod.Root))
+	}
+	for _, s := range stale {
+		fmt.Fprintf(os.Stderr, "pythia-vet: stale baseline entry (fixed? remove it): %s\n", s)
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "pythia-vet: %d finding(s) (%d baselined)\n", len(fresh), suppressed)
+		return 1
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "pythia-vet: clean (%d baselined finding(s))\n", suppressed)
+	}
+	return 0
+}

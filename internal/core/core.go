@@ -172,6 +172,7 @@ func (t *Thread) TID() int32 { return t.tid }
 
 // Submit notifies the oracle of an event: it is recorded in record mode and
 // observed (tracked) in predict mode.
+// pythia:hotpath — called at every runtime key point.
 func (t *Thread) Submit(id events.ID) {
 	if t.rec != nil {
 		t.rec.Record(id)
@@ -183,6 +184,7 @@ func (t *Thread) Submit(id events.ID) {
 
 // SubmitAt is Submit with an explicit timestamp (virtual clocks). In
 // predict mode the timestamp is ignored.
+// pythia:hotpath — called at every key point of virtual-clock runtimes.
 func (t *Thread) SubmitAt(id events.ID, now int64) {
 	if t.rec != nil {
 		t.rec.RecordAt(id, now)

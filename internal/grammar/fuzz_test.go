@@ -1,0 +1,75 @@
+package grammar
+
+import (
+	"testing"
+)
+
+// fuzzCheckEvery is how many appends separate strict invariant sweeps while
+// fuzzing. Checking after every insert is O(n * grammar) and drowns the
+// fuzzer; every 32nd insert still pins violations to a 32-event window while
+// the final sweep catches anything that survives to the end.
+const fuzzCheckEvery = 32
+
+// fuzzMaxEvents caps the decoded event stream so a huge corpus entry cannot
+// turn one execution into a multi-second run.
+const fuzzMaxEvents = 4096
+
+// decodeFuzzEvents derives an event stream from raw fuzz bytes. A deliberately
+// small alphabet (8 event IDs) plus occasional runs maximises digram
+// collisions, which is where the Sequitur edit paths (substitute, inline,
+// run merging, rule deletion) actually fire.
+func decodeFuzzEvents(data []byte) []int32 {
+	events := make([]int32, 0, len(data)*2)
+	for _, b := range data {
+		id := int32(b & 0x07)
+		// The high bit doubles the event: cheap run pressure without a
+		// separate count channel in the corpus.
+		events = append(events, id)
+		if b&0x80 != 0 {
+			events = append(events, id)
+		}
+		if len(events) >= fuzzMaxEvents {
+			events = events[:fuzzMaxEvents]
+			break
+		}
+	}
+	return events
+}
+
+// FuzzGrammarInvariants feeds arbitrary byte-derived event streams through
+// the on-line builder and asserts that (a) the strict structural invariants
+// — including the stale-digram-index sweep — hold every fuzzCheckEvery
+// appends and at the end, and (b) unfolding the final grammar reproduces the
+// input stream exactly.
+func FuzzGrammarInvariants(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1, 0, 1})                         // immediate digram rule
+	f.Add([]byte{0x80, 0x81, 0x80, 0x81})                   // runs + digrams
+	f.Add([]byte{1, 2, 3, 1, 2, 3, 1, 2, 3})                // nested rule reuse
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})                   // one long run
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 4, 0, 1, 2, 0, 1, 2, 4}) // rule inside rule
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := decodeFuzzEvents(data)
+		g := New()
+		for i, id := range events {
+			g.Append(id)
+			if (i+1)%fuzzCheckEvery == 0 {
+				if err := g.CheckInvariantsStrict(); err != nil {
+					t.Fatalf("after %d/%d events: %v", i+1, len(events), err)
+				}
+			}
+		}
+		if err := g.CheckInvariantsStrict(); err != nil {
+			t.Fatalf("after all %d events: %v", len(events), err)
+		}
+		got := g.Unfold()
+		if len(got) != len(events) {
+			t.Fatalf("unfold length %d, want %d", len(got), len(events))
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				t.Fatalf("unfold[%d] = %d, want %d", i, got[i], events[i])
+			}
+		}
+	})
+}

@@ -56,9 +56,11 @@ func (g *Grammar) RuleCount() int {
 
 // Append records one occurrence of the terminal event id at the end of the
 // trace, restoring all grammar invariants before returning.
+// pythia:hotpath — one call per recorded event.
 func (g *Grammar) Append(eventID int32) { g.AppendRun(eventID, 1) }
 
 // AppendRun records count consecutive occurrences of the terminal event id.
+// pythia:hotpath — one call per recorded event (or run of events).
 func (g *Grammar) AppendRun(eventID int32, count uint32) {
 	if count == 0 {
 		return
@@ -70,6 +72,7 @@ func (g *Grammar) AppendRun(eventID int32, count uint32) {
 
 // appendSym appends the run s^c to the root body, enforcing run merging and
 // digram uniqueness.
+// pythia:hotpath — the append fast path; run-merge hits stay allocation-free.
 func (g *Grammar) appendSym(s Sym, c uint32) {
 	root := g.root()
 	last := root.last()
@@ -87,6 +90,7 @@ func (g *Grammar) appendSym(s Sym, c uint32) {
 }
 
 // newNode allocates or recycles a body node.
+// pythia:hotpath — node churn is pooled, not allocated per event.
 func (g *Grammar) newNode(s Sym, c uint32) *node {
 	if n := len(g.nodePool); n > 0 {
 		nd := g.nodePool[n-1]
@@ -98,6 +102,7 @@ func (g *Grammar) newNode(s Sym, c uint32) *node {
 }
 
 // recycle returns an unlinked node to the pool.
+// pythia:hotpath — the pool append is capacity-bounded.
 func (g *Grammar) recycle(n *node) {
 	if len(g.nodePool) < 1024 {
 		g.nodePool = append(g.nodePool, n)
@@ -153,6 +158,7 @@ func (g *Grammar) maybeDying(r *rule) {
 
 // unindex removes the index entry for the digram starting at left, if the
 // entry points at left.
+// pythia:hotpath — digram-index maintenance on every structural edit.
 func (g *Grammar) unindex(left *node) {
 	if left == nil || left.guard || !left.alive() {
 		return
@@ -170,6 +176,7 @@ func (g *Grammar) unindex(left *node) {
 // check enforces the digram-uniqueness invariant for the pair starting at
 // left. It either claims the index slot or triggers a match with the
 // existing occurrence.
+// pythia:hotpath — digram-uniqueness enforcement on every append.
 func (g *Grammar) check(left *node) {
 	if left == nil || left.guard || !left.alive() {
 		return
@@ -353,7 +360,7 @@ func (g *Grammar) inline(r *rule) {
 		return
 	}
 	if u.count != 1 {
-		panic(fmt.Sprintf("grammar: inline of R%d with run count %d", r.idx, u.count))
+		panic(fmt.Sprintf("pythia: internal: grammar: inline of R%d with run count %d", r.idx, u.count))
 	}
 	T := u.rule
 	p := u.prev
@@ -361,7 +368,7 @@ func (g *Grammar) inline(r *rule) {
 	first := r.first()
 	last := r.last()
 	if first == nil {
-		panic(fmt.Sprintf("grammar: inline of empty rule R%d", r.idx))
+		panic(fmt.Sprintf("pythia: internal: grammar: inline of empty rule R%d", r.idx))
 	}
 
 	g.unindex(p) // (p, u)

@@ -14,7 +14,7 @@ func buildChecked(t *testing.T, seq []int32) *Grammar {
 	g := New()
 	for i, e := range seq {
 		g.Append(e)
-		if err := g.CheckInvariants(); err != nil {
+		if err := g.CheckInvariantsStrict(); err != nil {
 			t.Fatalf("after appending %d events (last=%d): %v\ngrammar:\n%s",
 				i+1, e, err, g.Dump(nil))
 		}
@@ -30,7 +30,7 @@ func build(t *testing.T, seq []int32) *Grammar {
 	for _, e := range seq {
 		g.Append(e)
 	}
-	if err := g.CheckInvariants(); err != nil {
+	if err := g.CheckInvariantsStrict(); err != nil {
 		t.Fatalf("invariants: %v\ngrammar:\n%s", err, g.Dump(nil))
 	}
 	return g
@@ -46,7 +46,7 @@ func seqOf(s string) []int32 {
 
 func TestEmptyGrammar(t *testing.T) {
 	g := New()
-	if err := g.CheckInvariants(); err != nil {
+	if err := g.CheckInvariantsStrict(); err != nil {
 		t.Fatal(err)
 	}
 	if g.EventCount() != 0 {
@@ -86,7 +86,7 @@ func TestAppendRun(t *testing.T) {
 	g.AppendRun(3, 4)
 	g.Append(5)
 	g.AppendRun(3, 2)
-	if err := g.CheckInvariants(); err != nil {
+	if err := g.CheckInvariantsStrict(); err != nil {
 		t.Fatal(err)
 	}
 	want := []int32{3, 3, 3, 3, 5, 3, 3}
@@ -149,11 +149,11 @@ func TestPaperFig3(t *testing.T) {
 
 	// Now the two appends of the figure.
 	g.Append(int32('c' - 'a'))
-	if err := g.CheckInvariants(); err != nil {
+	if err := g.CheckInvariantsStrict(); err != nil {
 		t.Fatalf("after first c: %v\n%s", err, g.Dump(nil))
 	}
 	g.Append(int32('c' - 'a'))
-	if err := g.CheckInvariants(); err != nil {
+	if err := g.CheckInvariantsStrict(); err != nil {
 		t.Fatalf("after second c: %v\n%s", err, g.Dump(nil))
 	}
 	want := append(append([]int32{}, seq...), int32('c'-'a'), int32('c'-'a'))
@@ -252,7 +252,7 @@ func TestUnfoldMatchesInputSmallAlphabetExhaustive(t *testing.T) {
 			g := New()
 			for i, e := range seq {
 				g.Append(e)
-				if err := g.CheckInvariants(); err != nil {
+				if err := g.CheckInvariantsStrict(); err != nil {
 					t.Fatalf("seq %v after %d appends: %v\n%s", seq, i+1, err, g.Dump(nil))
 				}
 			}
@@ -279,7 +279,7 @@ func TestQuickUnfoldRoundTrip(t *testing.T) {
 		for _, e := range seq {
 			g.Append(e)
 		}
-		if err := g.CheckInvariants(); err != nil {
+		if err := g.CheckInvariantsStrict(); err != nil {
 			t.Logf("invariants: %v", err)
 			return false
 		}
@@ -330,12 +330,12 @@ func TestRandomLongSequencesCheckedSparsely(t *testing.T) {
 		for j, e := range seq {
 			g.Append(e)
 			if j%97 == 0 {
-				if err := g.CheckInvariants(); err != nil {
+				if err := g.CheckInvariantsStrict(); err != nil {
 					t.Fatalf("trial %d after %d appends: %v", trial, j+1, err)
 				}
 			}
 		}
-		if err := g.CheckInvariants(); err != nil {
+		if err := g.CheckInvariantsStrict(); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		if got := g.Unfold(); !reflect.DeepEqual(got, seq) {
@@ -469,7 +469,7 @@ func TestAppendRunEquivalence(t *testing.T) {
 				want = append(want, e)
 			}
 		}
-		if err := a.CheckInvariants(); err != nil {
+		if err := a.CheckInvariantsStrict(); err != nil {
 			t.Fatalf("trial %d: AppendRun invariants: %v", trial, err)
 		}
 		ga, gb := a.Unfold(), b.Unfold()

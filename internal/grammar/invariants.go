@@ -18,7 +18,19 @@ import "fmt"
 //  4. structure — rule bodies are consistently linked, non-root bodies have
 //     at least two runs, all referenced rules exist, and the grammar is
 //     acyclic.
-func (g *Grammar) CheckInvariants() error {
+func (g *Grammar) CheckInvariants() error { return g.checkInvariants(false) }
+
+// CheckInvariantsStrict runs CheckInvariants plus the strict digram-index
+// sweep: every entry of the index must point at a live node that still forms
+// exactly the digram it is keyed under. The engine tolerates stale entries
+// (check() revalidates before trusting a hit, see grammar.go), so a stale
+// entry is latent garbage rather than a correctness bug — but it is retained
+// memory and a sign that an edit path forgot to unindex. Tests and the fuzz
+// target use the strict form; CheckInvariants keeps the tolerant behaviour
+// for debugging half-edited grammars.
+func (g *Grammar) CheckInvariantsStrict() error { return g.checkInvariants(true) }
+
+func (g *Grammar) checkInvariants(strict bool) error {
 	if len(g.rules) == 0 || g.rules[0] == nil {
 		return fmt.Errorf("grammar: missing root rule")
 	}
@@ -97,8 +109,25 @@ func (g *Grammar) CheckInvariants() error {
 	}
 
 	// Stale index entries (entries whose node is dead or no longer forms the
-	// digram) are tolerated by the engine but flagged here if the key is also
-	// live elsewhere: that case was already caught above. Acyclicity:
+	// digram) are tolerated by the engine: check() revalidates each hit
+	// before trusting it, and live digrams were fully cross-checked above.
+	// Strict mode flags them anyway — a stale entry is retained memory and
+	// means some edit path forgot to unindex.
+	if strict {
+		for d, n := range g.index {
+			switch {
+			case n == nil || !n.alive():
+				return fmt.Errorf("grammar: stale index entry (%v,%v): node is dead", d.a, d.b)
+			case n.sym != d.a:
+				return fmt.Errorf("grammar: stale index entry (%v,%v): node holds %v", d.a, d.b, n.sym)
+			case n.next == nil || n.next.guard || n.next.sym != d.b:
+				return fmt.Errorf("grammar: stale index entry (%v,%v): successor no longer %v", d.a, d.b, d.b)
+			case seen[d] != n:
+				return fmt.Errorf("grammar: index entry (%v,%v) points at an unreachable duplicate", d.a, d.b)
+			}
+		}
+	}
+
 	if err := g.checkAcyclic(); err != nil {
 		return err
 	}

@@ -65,7 +65,7 @@ func FuzzGrammarRoundTrip(f *testing.F) {
 			seq[i] = int32(b) % k
 			g.Append(seq[i])
 		}
-		if err := g.CheckInvariants(); err != nil {
+		if err := g.CheckInvariantsStrict(); err != nil {
 			t.Fatalf("invariants: %v", err)
 		}
 		got := g.Unfold()

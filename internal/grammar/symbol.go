@@ -30,7 +30,7 @@ type Sym int32
 // non-negative.
 func Terminal(id int32) Sym {
 	if id < 0 {
-		panic(fmt.Sprintf("grammar: terminal id must be non-negative, got %d", id))
+		panic(fmt.Sprintf("pythia: internal: grammar: terminal id must be non-negative, got %d", id))
 	}
 	return Sym(id)
 }
@@ -45,7 +45,7 @@ func (s Sym) IsTerminal() bool { return s >= 0 }
 // It panics if s is a non-terminal.
 func (s Sym) Event() int32 {
 	if s < 0 {
-		panic("grammar: Event called on non-terminal symbol")
+		panic("pythia: internal: grammar: Event called on non-terminal symbol")
 	}
 	return int32(s)
 }
@@ -54,7 +54,7 @@ func (s Sym) Event() int32 {
 // It panics if s is a terminal.
 func (s Sym) RuleIndex() int32 {
 	if s >= 0 {
-		panic("grammar: RuleIndex called on terminal symbol")
+		panic("pythia: internal: grammar: RuleIndex called on terminal symbol")
 	}
 	return -1 - int32(s)
 }

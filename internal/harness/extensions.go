@@ -155,9 +155,10 @@ func ExtRanks(appNames []string, refRanks int, replayRanks []int, maxSamples int
 }
 
 // WriteExtRanks renders the configuration-change extension results.
-func WriteExtRanks(w io.Writer, rows []ExtRanksRow) {
-	fmt.Fprintln(w, "Extension: accuracy when the process count differs from the reference")
-	fmt.Fprintln(w, "(the paper's conclusion flags this as an open problem)")
+func WriteExtRanks(w io.Writer, rows []ExtRanksRow) error {
+	rw := &reportWriter{w: w}
+	rw.println("Extension: accuracy when the process count differs from the reference")
+	rw.println("(the paper's conclusion flags this as an open problem)")
 	t := &table{header: []string{"Application", "ref ranks", "replay ranks", "x=1 accuracy", "unknown events"}}
 	for _, r := range rows {
 		t.add(
@@ -168,7 +169,8 @@ func WriteExtRanks(w io.Writer, rows []ExtRanksRow) {
 			fmt.Sprintf("%5.1f%%", r.UnknownPct*100),
 		)
 	}
-	t.write(w)
+	t.write(rw)
+	return rw.err
 }
 
 // ExtDurationRow quantifies the accuracy of the duration predictions that
@@ -250,8 +252,9 @@ func ExtDuration(size int64) ([]ExtDurationRow, error) {
 }
 
 // WriteExtDuration renders the duration-accuracy extension.
-func WriteExtDuration(w io.Writer, size int64, rows []ExtDurationRow) {
-	fmt.Fprintf(w, "Extension: duration-prediction accuracy per LULESH region (s=%d, pudding)\n", size)
+func WriteExtDuration(w io.Writer, size int64, rows []ExtDurationRow) error {
+	rw := &reportWriter{w: w}
+	rw.printf("Extension: duration-prediction accuracy per LULESH region (s=%d, pudding)\n", size)
 	t := &table{header: []string{"Region", "samples", "mean |err|", "worst |err|"}}
 	var worstMean float64
 	for _, r := range rows {
@@ -263,6 +266,7 @@ func WriteExtDuration(w io.Writer, size int64, rows []ExtDurationRow) {
 			worstMean = r.MeanErrPct
 		}
 	}
-	t.write(w)
-	fmt.Fprintf(w, "worst per-region mean error: %.1f%%\n", worstMean)
+	t.write(rw)
+	rw.printf("worst per-region mean error: %.1f%%\n", worstMean)
+	return rw.err
 }

@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"fmt"
 	"io"
 	"strings"
 
@@ -19,7 +18,8 @@ func Fig7(w io.Writer) error {
 	run := RunMPIApp(app, apps.Large, true, 42)
 	tid := sortedThreadIDs(run.Trace.Threads)[0]
 	g := run.Trace.Threads[tid].Grammar
-	fmt.Fprintf(w, "Fig 7: grammar extracted from BT.large (rank %d, %d events, %d rules)\n",
+	rw := &reportWriter{w: w}
+	rw.printf("Fig 7: grammar extracted from BT.large (rank %d, %d events, %d rules)\n",
 		tid, g.EventCount, len(g.Rules))
 	dump := g.Dump(func(id int32) string {
 		name := run.Trace.Events[id]
@@ -29,6 +29,6 @@ func Fig7(w io.Writer) error {
 		}
 		return name
 	})
-	fmt.Fprint(w, dump)
-	return nil
+	rw.printf("%s", dump)
+	return rw.err
 }

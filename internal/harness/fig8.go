@@ -146,11 +146,12 @@ func Fig8(cfg Fig8Config) ([]Fig8Row, error) {
 
 // WriteFig8 renders the accuracy series, one block per application with one
 // line per working set (the paper plots these as per-application panels).
-func WriteFig8(w io.Writer, distances []int, rows []Fig8Row) {
+func WriteFig8(w io.Writer, distances []int, rows []Fig8Row) error {
 	if len(distances) == 0 {
 		distances = DefaultDistances
 	}
-	fmt.Fprintln(w, "Fig 8: Accuracy of PYTHIA-PREDICT predictions (trace recorded on small)")
+	rw := &reportWriter{w: w}
+	rw.println("Fig 8: Accuracy of PYTHIA-PREDICT predictions (trace recorded on small)")
 	header := []string{"Application", "Working set"}
 	for _, d := range distances {
 		header = append(header, fmt.Sprintf("x=%d", d))
@@ -181,5 +182,6 @@ func WriteFig8(w io.Writer, distances []int, rows []Fig8Row) {
 		}
 		t.add(row...)
 	}
-	t.write(w)
+	t.write(rw)
+	return rw.err
 }

@@ -111,11 +111,12 @@ func Fig9(cfg Fig9Config) ([]Fig9Row, error) {
 }
 
 // WriteFig9 renders the cost series, one line per application.
-func WriteFig9(w io.Writer, distances []int, rows []Fig9Row) {
+func WriteFig9(w io.Writer, distances []int, rows []Fig9Row) error {
 	if len(distances) == 0 {
 		distances = DefaultDistances
 	}
-	fmt.Fprintln(w, "Fig 9: Cost of PYTHIA-PREDICT predictions (large working set, µs per query)")
+	rw := &reportWriter{w: w}
+	rw.println("Fig 9: Cost of PYTHIA-PREDICT predictions (large working set, µs per query)")
 	header := []string{"Application"}
 	for _, d := range distances {
 		header = append(header, fmt.Sprintf("x=%d", d))
@@ -137,5 +138,6 @@ func WriteFig9(w io.Writer, distances []int, rows []Fig9Row) {
 		}
 		t.add(row...)
 	}
-	t.write(w)
+	t.write(rw)
+	return rw.err
 }

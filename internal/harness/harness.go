@@ -132,6 +132,26 @@ func IsBlockingEvent(name string) bool {
 	return false
 }
 
+// reportWriter accumulates the first write error of a report rendering so
+// the Write* helpers can print unconditionally and surface I/O failures
+// once, through their return value.
+type reportWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (rw *reportWriter) printf(format string, args ...any) {
+	if rw.err == nil {
+		_, rw.err = fmt.Fprintf(rw.w, format, args...)
+	}
+}
+
+func (rw *reportWriter) println(args ...any) {
+	if rw.err == nil {
+		_, rw.err = fmt.Fprintln(rw.w, args...)
+	}
+}
+
 // table renders aligned columns.
 type table struct {
 	header []string
@@ -140,7 +160,7 @@ type table struct {
 
 func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
 
-func (t *table) write(w io.Writer) {
+func (t *table) write(rw *reportWriter) {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
 		widths[i] = len(h)
@@ -157,7 +177,7 @@ func (t *table) write(w io.Writer) {
 		for i, c := range cells {
 			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
 		}
-		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		rw.println(strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
 	line(t.header)
 	sep := make([]string, len(t.header))

@@ -41,7 +41,7 @@ func runLuleshOnce(m ompsim.MachineModel, maxThreads int, s int64, record bool,
 	case ref != nil:
 		oracle, err := pythia.NewPredictOracle(ref, pythia.Config{})
 		if err != nil {
-			panic(fmt.Sprintf("harness: predict oracle: %v", err))
+			panic(fmt.Sprintf("pythia: internal: harness: predict oracle built from a just-recorded trace failed: %v", err))
 		}
 		cfg.Oracle = oracle
 		cfg.Adaptive = true
@@ -156,8 +156,9 @@ func Fig14(seeds int) []Fig14Row {
 }
 
 // WriteLuleshPoints renders a Fig 10-13 style series.
-func WriteLuleshPoints(w io.Writer, title, xLabel string, points []LuleshPoint) {
-	fmt.Fprintln(w, title)
+func WriteLuleshPoints(w io.Writer, title, xLabel string, points []LuleshPoint) error {
+	rw := &reportWriter{w: w}
+	rw.println(title)
 	t := &table{header: []string{
 		xLabel, "Vanilla (ms)", "Record (ms)", "Predict (ms)", "mean threads", "improvement",
 	}}
@@ -171,12 +172,14 @@ func WriteLuleshPoints(w io.Writer, title, xLabel string, points []LuleshPoint) 
 			fmt.Sprintf("%+.1f%%", p.ImprovementPct),
 		)
 	}
-	t.write(w)
+	t.write(rw)
+	return rw.err
 }
 
 // WriteFig14 renders the resilience series.
-func WriteFig14(w io.Writer, rows []Fig14Row) {
-	fmt.Fprintln(w, "Fig 14: Execution time of Lulesh as a function of the error rate (s=30, pudding)")
+func WriteFig14(w io.Writer, rows []Fig14Row) error {
+	rw := &reportWriter{w: w}
+	rw.println("Fig 14: Execution time of Lulesh as a function of the error rate (s=30, pudding)")
 	t := &table{header: []string{"error rate", "Vanilla (ms)", "Record (ms)", "Predict (ms)"}}
 	for _, r := range rows {
 		t.add(
@@ -186,5 +189,6 @@ func WriteFig14(w io.Writer, rows []Fig14Row) {
 			fmt.Sprintf("%.2f", float64(r.PredictNs)/1e6),
 		)
 	}
-	t.write(w)
+	t.write(rw)
+	return rw.err
 }

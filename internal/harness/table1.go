@@ -86,8 +86,9 @@ func Table1(cfg Table1Config) ([]Table1Row, error) {
 }
 
 // WriteTable1 renders rows in the paper's Table I layout.
-func WriteTable1(w io.Writer, class apps.Class, rows []Table1Row) {
-	fmt.Fprintf(w, "Table I: Performance evaluation of PYTHIA-RECORD (%s working set)\n", class)
+func WriteTable1(w io.Writer, class apps.Class, rows []Table1Row) error {
+	rw := &reportWriter{w: w}
+	rw.printf("Table I: Performance evaluation of PYTHIA-RECORD (%s working set)\n", class)
 	t := &table{header: []string{
 		"Application", "Vanilla (ms)", "Record (ms)", "overhead(%)", "# events", "# rules",
 	}}
@@ -101,7 +102,8 @@ func WriteTable1(w io.Writer, class apps.Class, rows []Table1Row) {
 			fmt.Sprintf("%.1f", r.Rules),
 		)
 	}
-	t.write(w)
+	t.write(rw)
+	return rw.err
 }
 
 func selectApps(names []string) ([]apps.App, error) {

@@ -176,7 +176,7 @@ func (s *Store) prefetchAhead() {
 	for _, p := range s.th.PredictSequence(s.cfg.PrefetchDepth) {
 		name := s.cfg.Oracle.EventName(pythia.ID(p.EventID))
 		var file, chunk int32
-		if n, _ := fmt.Sscanf(name, "io_read:%d:%d", &file, &chunk); n != 2 {
+		if n, err := fmt.Sscanf(name, "io_read:%d:%d", &file, &chunk); err != nil || n != 2 {
 			continue
 		}
 		key := chunkKey{file, chunk}

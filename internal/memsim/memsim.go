@@ -149,7 +149,7 @@ func (s *System) predictDominantNode(page int32) (int, bool) {
 	for _, p := range s.th.PredictSequence(s.cfg.PredictHorizon) {
 		name := s.cfg.Oracle.EventName(pythia.ID(p.EventID))
 		var th, pg int32
-		if n, _ := fmt.Sscanf(name, "mem_access:%d:%d", &th, &pg); n != 2 || pg != page {
+		if n, err := fmt.Sscanf(name, "mem_access:%d:%d", &th, &pg); err != nil || n != 2 || pg != page {
 			continue
 		}
 		votes[s.nodeOf(th)] += p.Probability

@@ -64,6 +64,7 @@ func (p Position) Ref() grammar.UserRef { return p.frames[len(p.frames)-1].Ref }
 // AppendRefs appends the run references of the frame stack (topmost first)
 // to buf and returns the extended slice. It lets hot paths extract the
 // progress-sequence path without allocating.
+// pythia:hotpath — the caller owns and reuses buf.
 func (p Position) AppendRefs(buf []grammar.UserRef) []grammar.UserRef {
 	for _, fr := range p.frames {
 		buf = append(buf, fr.Ref)
@@ -72,6 +73,7 @@ func (p Position) AppendRefs(buf []grammar.UserRef) []grammar.UserRef {
 }
 
 // Terminal returns the event id of the designated terminal run.
+// pythia:hotpath — one call per tracked observation.
 func (p Position) Terminal(f *grammar.Frozen) int32 {
 	return f.RunAt(p.Ref()).Sym.Event()
 }
@@ -120,6 +122,7 @@ func Start(f *grammar.Frozen) (Position, bool) {
 
 // descend extends the stack downward until the top frame designates a
 // terminal run, entering each nested rule at its first run.
+// pythia:hotpath — advances run on every tracked event.
 func descend(f *grammar.Frozen, stack []Frame) (Position, bool) {
 	for depth := 0; ; depth++ {
 		if depth > len(f.Rules)+1 {
@@ -181,6 +184,7 @@ func Occurrences(f *grammar.Frozen, eventID int32) []Branch {
 // p, with weights summing to at most w (weight is lost when the trace can
 // end here). Anchored positions yield at most one successor; partial
 // positions may branch during upward extension.
+// pythia:hotpath — the oracle advance: one call per observed event per hypothesis.
 func Successors(f *grammar.Frozen, p Position, w float64) []Branch {
 	if !p.Valid() {
 		return nil
@@ -201,6 +205,7 @@ func Successors(f *grammar.Frozen, p Position, w float64) []Branch {
 // climb resolves "the run at the top of stack just finished its last
 // repetition": it advances to the next run, re-enters a repeating parent, or
 // extends the context upward, appending resulting terminal positions to out.
+// pythia:hotpath — rule-boundary advance; appends go to the caller's buffer.
 func climb(f *grammar.Frozen, stack []Frame, w float64, out *[]Branch) {
 	if w <= 0 {
 		return

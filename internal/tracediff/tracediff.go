@@ -157,33 +157,39 @@ func setDiff(a, b map[string]bool) (onlyA, onlyB []string) {
 	return
 }
 
-// Write renders the diff for humans.
-func (d *Diff) Write(w io.Writer) {
+// Write renders the diff for humans, returning the first write error.
+func (d *Diff) Write(w io.Writer) (err error) {
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
 	if d.Identical() {
-		fmt.Fprintln(w, "traces are identical")
-		return
+		pf("traces are identical\n")
+		return err
 	}
 	if len(d.EventsOnlyA) > 0 {
-		fmt.Fprintf(w, "events only in A: %v\n", d.EventsOnlyA)
+		pf("events only in A: %v\n", d.EventsOnlyA)
 	}
 	if len(d.EventsOnlyB) > 0 {
-		fmt.Fprintf(w, "events only in B: %v\n", d.EventsOnlyB)
+		pf("events only in B: %v\n", d.EventsOnlyB)
 	}
 	for _, t := range d.Threads {
 		switch {
 		case t.OnlyA:
-			fmt.Fprintf(w, "thread %d: only in A (%d events)\n", t.TID, t.LenA)
+			pf("thread %d: only in A (%d events)\n", t.TID, t.LenA)
 		case t.OnlyB:
-			fmt.Fprintf(w, "thread %d: only in B (%d events)\n", t.TID, t.LenB)
+			pf("thread %d: only in B (%d events)\n", t.TID, t.LenB)
 		case t.Identical:
-			fmt.Fprintf(w, "thread %d: identical (%d events; %d vs %d rules)\n",
+			pf("thread %d: identical (%d events; %d vs %d rules)\n",
 				t.TID, t.LenA, t.RulesA, t.RulesB)
 		case t.DivergeAt >= 0:
-			fmt.Fprintf(w, "thread %d: diverges at event %d: %q vs %q\n",
+			pf("thread %d: diverges at event %d: %q vs %q\n",
 				t.TID, t.DivergeAt, t.EventA, t.EventB)
 		default:
-			fmt.Fprintf(w, "thread %d: one trace is a prefix of the other (%d vs %d events)\n",
+			pf("thread %d: one trace is a prefix of the other (%d vs %d events)\n",
 				t.TID, t.LenA, t.LenB)
 		}
 	}
+	return err
 }

@@ -27,7 +27,9 @@ package tracefile
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"os"
@@ -58,7 +60,9 @@ func Write(w io.Writer, ts *model.TraceSet) error {
 		return err
 	}
 	// The magic is not part of the checksummed payload; reset after it.
-	bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
 	crc.Reset()
 
 	e := &encoder{w: bw}
@@ -149,13 +153,14 @@ func Save(path string, ts *model.TraceSet) error {
 	if err != nil {
 		return err
 	}
-	if err := Write(f, ts); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	err = Write(f, ts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+	if err != nil {
+		if rmErr := os.Remove(tmp); rmErr != nil {
+			err = errors.Join(err, rmErr)
+		}
 		return err
 	}
 	return os.Rename(tmp, path)
@@ -167,8 +172,11 @@ func Load(path string) (*model.TraceSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Read(f)
+	ts, err := Read(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		return nil, fmt.Errorf("tracefile: closing %s: %w", path, cerr)
+	}
+	return ts, err
 }
 
 // --- encoder ---------------------------------------------------------------
@@ -254,7 +262,7 @@ func (e *encoder) timing(t *model.Timing) {
 
 type decoder struct {
 	r   *bufio.Reader
-	crc io.Writer
+	crc hash.Hash32 // running payload checksum; hash writes never fail
 	err error
 }
 

@@ -1,0 +1,92 @@
+package vet
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is a set of accepted findings. Lines are the exact Format output
+// of a diagnostic; blank lines and '#' comments (used to justify deliberate
+// findings) are ignored.
+type Baseline struct {
+	entries map[string]int // formatted finding -> occurrence budget
+}
+
+// LoadBaseline reads a baseline file. A missing file yields an empty
+// baseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{entries: make(map[string]int)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("vet: reading baseline %s: %w", path, err)
+	}
+	for _, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.entries[line]++
+	}
+	return b, nil
+}
+
+// Filter splits findings into new (not baselined) and suppressed, and
+// returns the stale baseline entries that matched nothing.
+func (b *Baseline) Filter(root string, diags []Diagnostic) (fresh []Diagnostic, suppressed int, stale []string) {
+	budget := make(map[string]int, len(b.entries))
+	for k, v := range b.entries {
+		budget[k] = v
+	}
+	for _, d := range diags {
+		key := d.Format(root)
+		if budget[key] > 0 {
+			budget[key]--
+			suppressed++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for k, v := range budget {
+		for i := 0; i < v; i++ {
+			stale = append(stale, k)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, suppressed, stale
+}
+
+// WriteBaseline writes the findings as a fresh baseline file, preserving the
+// comment header block (leading '#' lines) of any existing file so that
+// justifications survive -update-baseline.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	var header []string
+	if old, err := os.ReadFile(path); err == nil {
+		for _, line := range strings.Split(string(old), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "#") {
+				header = append(header, line)
+				continue
+			}
+			break
+		}
+	}
+	var b strings.Builder
+	if len(header) == 0 {
+		b.WriteString("# pythia-vet baseline: accepted findings, one per line, exactly as reported.\n")
+		b.WriteString("# Regenerate with: go run ./cmd/pythia-vet -update-baseline ./...\n")
+	} else {
+		for _, h := range header {
+			b.WriteString(h)
+			b.WriteString("\n")
+		}
+	}
+	for _, d := range diags {
+		b.WriteString(d.Format(root))
+		b.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

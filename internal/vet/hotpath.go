@@ -1,0 +1,348 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotpathAlloc enforces the allocation discipline of functions annotated
+// "// pythia:hotpath". These functions sit on the oracle's per-event path
+// (Thread.Submit -> grammar append -> progress/predictor advance), which the
+// paper reports at ~0.05-2 µs per event; a stray fmt call or allocation is a
+// multiple of that budget.
+//
+// Inside an annotated function the analyzer flags:
+//   - calls into package fmt (formatting allocates and reflects);
+//   - string concatenation (+ / += on strings allocates);
+//   - append calls whose destination is not visibly preallocated — allowed
+//     destinations are function parameters (caller-managed buffers), slices
+//     reset with s[:0] or created by make with an explicit capacity in the
+//     same function, and appends guarded by a len/cap comparison;
+//   - map literals and make(map[...]...) (maps allocate and hash);
+//   - function literals capturing outer variables (the closure and its
+//     captures escape);
+//   - implicit interface boxing in call arguments (a concrete value passed
+//     as an interface parameter allocates).
+//
+// The check is per-function and not transitive: annotate every function of
+// the hot path that must hold the discipline.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "pythia:hotpath functions must stay allocation-lean",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(pass *Pass) {
+	for _, fd := range funcDecls(pass.Pkg) {
+		if fd.Body == nil || !hasAnnotation(fd.Doc, "hotpath") {
+			continue
+		}
+		h := &hotpathCheck{pass: pass, decl: fd, info: pass.Pkg.Info}
+		h.collectPrealloc()
+		h.walk()
+	}
+}
+
+type hotpathCheck struct {
+	pass *Pass
+	decl *ast.FuncDecl
+	info *types.Info
+
+	// prealloc holds spellings of slice expressions established as reused
+	// buffers: parameters, s[:0] reslices, and make(..., n, cap) results.
+	prealloc map[string]bool
+}
+
+// collectPrealloc records which slice destinations count as preallocated.
+func (h *hotpathCheck) collectPrealloc() {
+	h.prealloc = make(map[string]bool)
+	if h.decl.Type.Params != nil {
+		for _, field := range h.decl.Type.Params.List {
+			for _, name := range field.Names {
+				// Caller-managed buffers: both `buf` and the `*out`
+				// spelling of pointer-to-slice parameters.
+				h.prealloc[name.Name] = true
+				h.prealloc["*"+name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(h.decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if h.isPreallocExpr(rhs) {
+				h.prealloc[h.pass.ExprString(as.Lhs[i])] = true
+			}
+		}
+		return true
+	})
+}
+
+// isPreallocExpr reports whether e denotes a reused or capacity-bounded
+// buffer: s[:0]-style reslices (of anything) or make with explicit capacity.
+func (h *hotpathCheck) isPreallocExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SliceExpr:
+		// s[:0] or s[:n] — reslicing reuses the backing array.
+		return true
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && h.isBuiltin(id) {
+			return len(e.Args) == 3 // make(T, len, cap)
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether id resolves to a universe builtin.
+func (h *hotpathCheck) isBuiltin(id *ast.Ident) bool {
+	_, ok := h.info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func (h *hotpathCheck) walk() {
+	ast.Inspect(h.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			h.checkCall(n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && h.isString(n) {
+				h.pass.Reportf(n.OpPos, "string concatenation in hot path (allocates)")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && h.isString(n.Lhs[0]) {
+				h.pass.Reportf(n.TokPos, "string concatenation in hot path (allocates)")
+			}
+		case *ast.CompositeLit:
+			if t := h.exprType(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					h.pass.Reportf(n.Pos(), "map literal in hot path (allocates)")
+				}
+			}
+		case *ast.FuncLit:
+			if caps := h.captures(n); len(caps) > 0 {
+				h.pass.Reportf(n.Pos(), "closure captures %s by reference in hot path (escapes)",
+					strings.Join(caps, ", "))
+			}
+			return false // captures inside nested literals are already counted
+		}
+		return true
+	})
+}
+
+func (h *hotpathCheck) checkCall(call *ast.CallExpr) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if h.isBuiltin(fun) {
+			switch fun.Name {
+			case "append":
+				h.checkAppend(call)
+			case "make":
+				if t := h.exprType(call); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						h.pass.Reportf(call.Pos(), "make(map) in hot path (allocates)")
+					}
+				}
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := h.info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				h.pass.Reportf(call.Pos(), "call to fmt.%s in hot path (formats and allocates)", fun.Sel.Name)
+				return
+			}
+		}
+	}
+	h.checkBoxing(call)
+}
+
+// checkAppend flags appends whose destination is not visibly preallocated.
+func (h *hotpathCheck) checkAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := h.pass.ExprString(call.Args[0])
+	if h.prealloc[dst] {
+		return
+	}
+	// An append(x[:0], ...)-style first argument is itself a reuse.
+	if h.isPreallocExpr(call.Args[0]) {
+		return
+	}
+	if h.guardedByCapacity(call, dst) {
+		return
+	}
+	h.pass.Reportf(call.Pos(), "append to %s may grow the slice in the hot path (preallocate, reslice with [:0], or guard with len/cap)", dst)
+}
+
+// guardedByCapacity reports whether the append sits under an if condition
+// comparing len/cap of the destination (the bounded-pool idiom:
+// if len(s) < 1024 { s = append(s, ...) }).
+func (h *hotpathCheck) guardedByCapacity(call *ast.CallExpr, dst string) bool {
+	found := false
+	var walk func(n ast.Node, guarded bool) bool
+	walk = func(n ast.Node, guarded bool) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			g := guarded || h.condBoundsSlice(n.Cond, dst)
+			if n.Init != nil {
+				walk(n.Init, guarded)
+			}
+			walk(n.Body, g)
+			if n.Else != nil {
+				walk(n.Else, guarded)
+			}
+			return false
+		case *ast.CallExpr:
+			if n == call && guarded {
+				found = true
+			}
+		}
+		if n != nil {
+			for _, c := range childNodes(n) {
+				walk(c, guarded)
+			}
+		}
+		return false
+	}
+	walk(h.decl.Body, false)
+	return found
+}
+
+// condBoundsSlice reports whether cond contains a len/cap comparison
+// mentioning the slice spelling dst.
+func (h *hotpathCheck) condBoundsSlice(cond ast.Expr, dst string) bool {
+	hit := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if c, ok := ast.Unparen(side).(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") &&
+					h.isBuiltin(id) && len(c.Args) == 1 &&
+					h.pass.ExprString(c.Args[0]) == dst {
+					hit = true
+				}
+			}
+		}
+		return true
+	})
+	return hit
+}
+
+// checkBoxing flags concrete values passed as interface parameters.
+func (h *hotpathCheck) checkBoxing(call *ast.CallExpr) {
+	tv, ok := h.info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin or type conversion
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice itself
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue
+		}
+		at, ok := h.info.Types[arg]
+		if !ok || at.IsNil() || at.Type == nil {
+			continue
+		}
+		if types.IsInterface(at.Type) {
+			continue
+		}
+		h.pass.Reportf(arg.Pos(), "argument %s boxes %s into %s in hot path (allocates)",
+			h.pass.ExprString(arg), at.Type.String(), pt.String())
+	}
+}
+
+func (h *hotpathCheck) isString(e ast.Expr) bool {
+	t := h.exprType(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (h *hotpathCheck) exprType(e ast.Expr) types.Type {
+	tv, ok := h.info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// childNodes returns the direct AST children of n (a minimal substitute for
+// per-child visitation, used by the guard walk).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// captures lists outer local variables referenced inside the function
+// literal.
+func (h *hotpathCheck) captures(fl *ast.FuncLit) []string {
+	var out []string
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := h.info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside the
+		// literal.
+		if v.Pos() >= h.decl.Pos() && v.Pos() < h.decl.End() &&
+			!(v.Pos() >= fl.Pos() && v.Pos() < fl.End()) {
+			seen[v] = true
+			out = append(out, id.Name)
+		}
+		return true
+	})
+	return out
+}

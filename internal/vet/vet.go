@@ -1,0 +1,157 @@
+// Package vet implements pythia-vet, a repo-specific static-analysis pass
+// over the Pythia code base. The analyzers mechanically enforce the
+// correctness properties the oracle depends on — an allocation-lean hot path,
+// disciplined lock usage around event submission, a strict panic policy in
+// library code and no silently discarded errors — instead of trusting code
+// review to catch regressions.
+//
+// The tool is built exclusively on the standard library (go/ast, go/parser,
+// go/token, go/types): see LoadModule for how the module is parsed and
+// type-checked without golang.org/x/tools.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+// Format renders the diagnostic as "file:line: [analyzer] message" with the
+// file path relative to root (analysis output must be stable across
+// checkouts for the baseline to work).
+func (d Diagnostic) Format(root string) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", file, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Pass is the per-package analysis context handed to each analyzer.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// report appends a diagnostic.
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ExprString renders an expression compactly (for messages and for matching
+// lock receivers / slice destinations by spelling).
+func (p *Pass) ExprString(e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, p.Pkg.Fset, e); err != nil {
+		return "?"
+	}
+	return b.String()
+}
+
+// Analyzer is one named check run over every package.
+type Analyzer struct {
+	// Name appears in diagnostics as [name].
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run analyses one package, reporting through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Analyzers returns the full pythia-vet analyzer set in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		HotpathAlloc,
+		LockDiscipline,
+		PanicPolicy,
+		ErrorHygiene,
+	}
+}
+
+// RunAnalyzers applies every analyzer to every package of the module and
+// returns the findings sorted by file, line and analyzer.
+func RunAnalyzers(m *Module, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, a := range analyzers {
+			name := a.Name
+			pass := &Pass{
+				Pkg: pkg,
+				report: func(d Diagnostic) {
+					d.Analyzer = name
+					diags = append(diags, d)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// funcDecls yields every function declaration of the package together with
+// its enclosing file.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// hasAnnotation reports whether the doc comment carries the given
+// "pythia:<name>" marker line.
+func hasAnnotation(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "pythia:"+name || strings.HasPrefix(text, "pythia:"+name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// isLibraryPackage reports whether the package is library code: everything
+// except commands and examples. The panic policy applies only here.
+func isLibraryPackage(m string) bool {
+	return !strings.Contains(m, "/cmd/") && !strings.Contains(m, "/examples/") &&
+		!strings.HasSuffix(m, "/cmd") && !strings.HasSuffix(m, "/examples")
+}

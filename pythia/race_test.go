@@ -1,0 +1,126 @@
+package pythia_test
+
+// Concurrency stress tests for the documented thread-safety contract
+// (pythia.go package comment): the Oracle is safe for concurrent Thread
+// lookup and event interning, while each Thread handle is single-submitter.
+// These tests exist to give `go test -race ./pythia/...` real interleavings
+// to bite on; they assert behaviour too, but the race detector is the point.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/pythia"
+)
+
+// stressGoroutines is sized well above GOMAXPROCS so lookups, interns and
+// submissions genuinely overlap.
+const stressGoroutines = 16
+
+// TestConcurrentRecordStress hammers a recording oracle from many goroutines
+// at once: every goroutine owns one Thread handle (per the contract) and
+// submits a deterministic event stream, while also interning both fresh and
+// already-known descriptors and looking up other goroutines' threads.
+func TestConcurrentRecordStress(t *testing.T) {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+
+	// Pre-interned shared alphabet: all goroutines submit these
+	// concurrently, so the registry's read path runs under contention.
+	shared := make([]pythia.ID, 8)
+	for i := range shared {
+		shared[i] = o.Intern("shared", int64(i))
+	}
+
+	const perThread = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			th := o.Thread(tid)
+			for i := 0; i < perThread; i++ {
+				// Mix shared-alphabet submissions with goroutine-private
+				// interning (grows the registry concurrently) and foreign
+				// thread lookup (exercises the session's thread map).
+				switch i % 4 {
+				case 0, 1:
+					th.Submit(shared[i%len(shared)])
+				case 2:
+					th.Submit(o.Intern(fmt.Sprintf("private-%d", tid), int64(i%16)))
+				case 3:
+					other := o.Thread((tid + 1) % stressGoroutines)
+					if other == nil {
+						t.Error("Thread lookup returned nil")
+						return
+					}
+					th.Submit(shared[0])
+				}
+			}
+		}(int32(g))
+	}
+	wg.Wait()
+
+	ts := o.Finish()
+	if got := len(ts.Threads); got != stressGoroutines {
+		t.Fatalf("recorded %d threads, want %d", got, stressGoroutines)
+	}
+	for tid, th := range ts.Threads {
+		if got := th.Grammar.EventCount; got != perThread {
+			t.Errorf("thread %d recorded %d events, want %d", tid, got, perThread)
+		}
+	}
+}
+
+// TestConcurrentPredictStress replays a recorded trace on a predicting
+// oracle with every thread advancing and querying concurrently.
+func TestConcurrentPredictStress(t *testing.T) {
+	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	ids := make([]pythia.ID, 4)
+	for i := range ids {
+		ids[i] = rec.Intern("ev", int64(i))
+	}
+	const rounds = 200
+	for g := 0; g < stressGoroutines; g++ {
+		th := rec.Thread(int32(g))
+		for r := 0; r < rounds; r++ {
+			for _, id := range ids {
+				th.Submit(id)
+			}
+		}
+	}
+	ts := rec.Finish()
+
+	o, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < stressGoroutines; g++ {
+		wg.Add(1)
+		go func(tid int32) {
+			defer wg.Done()
+			th := o.Thread(tid)
+			hits := 0
+			for r := 0; r < rounds; r++ {
+				for i, id := range ids {
+					// Predict before submitting: after the first full round
+					// the oracle is locked onto the loop and must name the
+					// event we are about to submit.
+					if p, ok := th.PredictAt(1); ok && r > 0 {
+						if p.EventID == int32(ids[i]) {
+							hits++
+						}
+					}
+					th.Submit(id)
+					// Interleave registry reads from the predict side too.
+					_ = o.EventName(id)
+				}
+			}
+			if hits == 0 {
+				t.Errorf("thread %d: predictions never matched the replayed loop", tid)
+			}
+		}(int32(g))
+	}
+	wg.Wait()
+}

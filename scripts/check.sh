@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# check.sh — the full local verification suite. CI runs exactly this script
+# (.github/workflows/ci.yml), so a clean local run means a clean CI run.
+#
+# Steps:
+#   1. gofmt        — no unformatted files
+#   2. go vet       — the standard toolchain vet
+#   3. go build     — everything compiles
+#   4. go test      — the full unit suite
+#   5. go test -race — concurrency-sensitive packages under the race detector
+#   6. fuzz smoke   — FuzzGrammarInvariants for a few seconds
+#   7. pythia-vet   — the repo's own static-analysis pass (see cmd/pythia-vet)
+set -u
+
+cd "$(dirname "$0")/.."
+
+failures=0
+step() {
+    local name="$1"
+    shift
+    echo "==> ${name}"
+    if ! "$@"; then
+        echo "FAIL: ${name}" >&2
+        failures=$((failures + 1))
+    fi
+}
+
+check_gofmt() {
+    local bad
+    bad=$(gofmt -l .)
+    if [ -n "${bad}" ]; then
+        echo "unformatted files:" >&2
+        echo "${bad}" >&2
+        return 1
+    fi
+}
+
+step "gofmt" check_gofmt
+step "go vet" go vet ./...
+step "go build" go build ./...
+step "go test" go test ./...
+step "go test -race (core + public API)" go test -race ./internal/core/... ./pythia/...
+step "fuzz smoke (FuzzGrammarInvariants)" \
+    go test -fuzz FuzzGrammarInvariants -fuzztime=5s -run '^$' ./internal/grammar/
+step "pythia-vet" go run ./cmd/pythia-vet ./...
+
+if [ "${failures}" -ne 0 ]; then
+    echo "check.sh: ${failures} step(s) failed" >&2
+    exit 1
+fi
+echo "check.sh: all steps passed"
