@@ -293,6 +293,106 @@ func BenchmarkAblation_TimingGranularity(b *testing.B) {
 	b.Run("per-event-only", func(b *testing.B) { measure(b, true) })
 }
 
+// --- hot-path microbenchmarks ----------------------------------------------
+//
+// The three per-event paths a runtime system exercises on every key point:
+// Submit (record mode), Observe (predict mode) and Observe+PredictAt (the
+// steady-state oracle query loop). scripts/bench.sh runs these and writes the
+// perf-trajectory point BENCH_PR2.json; CI runs them at -benchtime=1x so the
+// code cannot rot.
+
+// hotpathTrace builds a reference trace over the repetitive motif the other
+// hot-path benchmarks replay (run-length-friendly, like a real iterative app).
+func hotpathTrace(reps int) ([]int32, *model.Trace) {
+	var seq []int32
+	for i := 0; i < reps; i++ {
+		seq = append(seq, 0, 1, 2, 1, 2, 3)
+	}
+	g := grammar.New()
+	for _, e := range seq {
+		g.Append(e)
+	}
+	names := []string{"a", "b", "c", "d"}
+	return seq, &model.Trace{Grammar: g.Freeze(), Events: names}
+}
+
+// BenchmarkSubmitThroughput measures the record-mode per-event cost
+// (Thread.Submit -> recorder -> grammar append, the Table I hot path).
+func BenchmarkSubmitThroughput(b *testing.B) {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	ids := []pythia.ID{
+		o.Intern("a"), o.Intern("b"), o.Intern("c"), o.Intern("d"),
+	}
+	motif := []pythia.ID{ids[0], ids[1], ids[2], ids[1], ids[2], ids[3]}
+	th := o.Thread(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Submit(motif[i%len(motif)])
+	}
+}
+
+// BenchmarkObserveThroughput measures the predict-mode per-event tracking
+// cost on a faithful replay (single anchored hypothesis, no queries).
+func BenchmarkObserveThroughput(b *testing.B) {
+	seq, tr := hotpathTrace(1000)
+	p := predictor.New(tr, predictor.Config{})
+	p.StartAtBeginning()
+	j := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if j == len(seq) {
+			j = 0
+			p.StartAtBeginning()
+		}
+		p.Observe(seq[j])
+		j++
+	}
+}
+
+// BenchmarkPredictAtCached measures the steady-state oracle loop: one
+// Observe plus one PredictAt(64) per event on a faithful replay — the
+// amortized-O(1) case the incremental prediction cache targets.
+func BenchmarkPredictAtCached(b *testing.B) {
+	const dist = 64
+	seq, tr := hotpathTrace(1000)
+	p := predictor.New(tr, predictor.Config{})
+	p.StartAtBeginning()
+	j := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if j == len(seq)-dist {
+			j = 0
+			p.StartAtBeginning()
+		}
+		p.Observe(seq[j])
+		j++
+		if _, ok := p.PredictAt(dist); !ok {
+			b.Fatal("no prediction on a faithful replay")
+		}
+	}
+}
+
+// BenchmarkThreadDispatch measures concurrent Session.Thread lookups of
+// already-created threads (the per-event dispatch of a multi-threaded
+// runtime).
+func BenchmarkThreadDispatch(b *testing.B) {
+	o := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	for tid := int32(0); tid < 64; tid++ {
+		o.Thread(tid)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		tid := int32(0)
+		for pb.Next() {
+			o.Thread(tid & 63)
+			tid++
+		}
+	})
+}
+
 // BenchmarkAblation_ThreadPoolParking compares the paper's parked worker
 // pool against GOMP's default spawn-on-grow behaviour under an oscillating
 // adaptive thread count (DESIGN.md ablation 4).

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/events"
 	"repro/internal/model"
@@ -52,8 +53,13 @@ type Session struct {
 	mode Mode
 	reg  *events.Registry
 
+	// threads is a copy-on-write snapshot: Thread reads it lock-free (one
+	// atomic load per dispatch), and mu serializes the rare writers (first
+	// use of a tid), which install a fresh copy. Runtimes that dispatch
+	// through Session.Thread at every key point would otherwise serialize
+	// on a mutex that is almost never protecting a mutation.
 	mu      sync.Mutex
-	threads map[int32]*Thread
+	threads atomic.Pointer[map[int32]*Thread]
 
 	// record mode
 	recOpts []recorder.Option
@@ -66,12 +72,13 @@ type Session struct {
 // NewRecordSession starts a recording session. Recorder options apply to
 // every thread's recorder.
 func NewRecordSession(opts ...recorder.Option) *Session {
-	return &Session{
+	s := &Session{
 		mode:    ModeRecord,
 		reg:     events.NewRegistry(),
-		threads: make(map[int32]*Thread),
 		recOpts: opts,
 	}
+	s.threads.Store(&map[int32]*Thread{})
+	return s
 }
 
 // NewPredictSession starts a prediction session against a reference trace
@@ -84,13 +91,14 @@ func NewPredictSession(ref *model.TraceSet, cfg predictor.Config) (*Session, err
 	if err != nil {
 		return nil, fmt.Errorf("core: invalid event table: %w", err)
 	}
-	return &Session{
-		mode:    ModePredict,
-		reg:     reg,
-		threads: make(map[int32]*Thread),
-		ref:     ref,
-		pcfg:    cfg,
-	}, nil
+	s := &Session{
+		mode: ModePredict,
+		reg:  reg,
+		ref:  ref,
+		pcfg: cfg,
+	}
+	s.threads.Store(&map[int32]*Thread{})
+	return s, nil
 }
 
 // Mode returns the session mode.
@@ -103,10 +111,27 @@ func (s *Session) Registry() *events.Registry { return s.reg }
 // Thread returns the handle for thread tid, creating it on first use. In
 // predict mode a thread with no reference trace gets a nil predictor and
 // behaves as permanently lost (no predictions).
+//
+// The steady-state lookup is lock-free: one atomic snapshot load and one map
+// read, so concurrent dispatch from many runtime threads does not contend.
+// Only the first lookup of a tid takes the session lock.
+// pythia:hotpath — runtimes may call this at every key point.
 func (s *Session) Thread(tid int32) *Thread {
+	if t, ok := (*s.threads.Load())[tid]; ok {
+		return t
+	}
+	return s.createThread(tid)
+}
+
+// createThread installs the handle for a tid seen for the first time. Writers
+// are serialized by mu and publish a fresh copy of the snapshot, so readers
+// never observe a map mid-mutation.
+func (s *Session) createThread(tid int32) *Thread {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if t, ok := s.threads[tid]; ok {
+	old := *s.threads.Load()
+	if t, ok := old[tid]; ok {
+		// Lost the creation race to another goroutine.
 		return t
 	}
 	t := &Thread{sess: s, tid: tid}
@@ -123,7 +148,12 @@ func (s *Session) Thread(tid int32) *Thread {
 			t.pred = predictor.New(tr, s.pcfg)
 		}
 	}
-	s.threads[tid] = t
+	next := make(map[int32]*Thread, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[tid] = t
+	s.threads.Store(&next)
 	return t
 }
 
@@ -135,11 +165,12 @@ func (s *Session) FinishRecord() *model.TraceSet {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	threads := *s.threads.Load()
 	ts := &model.TraceSet{
 		Events:  s.reg.Names(),
-		Threads: make(map[int32]*model.ThreadTrace, len(s.threads)),
+		Threads: make(map[int32]*model.ThreadTrace, len(threads)),
 	}
-	for tid, t := range s.threads {
+	for tid, t := range threads {
 		ts.Threads[tid] = t.rec.Finish()
 	}
 	return ts
@@ -147,10 +178,8 @@ func (s *Session) FinishRecord() *model.TraceSet {
 
 // TotalEvents sums the events recorded so far across threads (record mode).
 func (s *Session) TotalEvents() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var n int64
-	for _, t := range s.threads {
+	for _, t := range *s.threads.Load() {
 		if t.rec != nil {
 			n += t.rec.EventCount()
 		}

@@ -99,6 +99,50 @@ func TestConcurrentThreadsRecord(t *testing.T) {
 	}
 }
 
+// TestConcurrentThreadDispatchRace hammers Session.Thread from many
+// goroutines with overlapping tids so that lock-free snapshot readers race
+// against copy-on-write creators (and creators race each other). Every
+// goroutine must observe the same handle per tid; run under -race this also
+// checks the snapshot publication itself.
+func TestConcurrentThreadDispatchRace(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	const nGoroutines = 16
+	const nTids = 32
+	const lookups = 2000
+	handles := make([][nTids]*Thread, nGoroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < nGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < lookups; i++ {
+				tid := int32((i*7 + g) % nTids)
+				th := s.Thread(tid)
+				if th.TID() != tid {
+					t.Errorf("goroutine %d: Thread(%d) returned handle for %d", g, tid, th.TID())
+					return
+				}
+				if prev := handles[g][tid]; prev != nil && prev != th {
+					t.Errorf("goroutine %d: Thread(%d) changed identity", g, tid)
+					return
+				}
+				handles[g][tid] = th
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < nGoroutines; g++ {
+		for tid := 0; tid < nTids; tid++ {
+			if handles[g][tid] != handles[0][tid] {
+				t.Fatalf("goroutines 0 and %d saw different handles for tid %d", g, tid)
+			}
+		}
+	}
+	if got := len(*s.threads.Load()); got != nTids {
+		t.Fatalf("snapshot holds %d threads, want %d", got, nTids)
+	}
+}
+
 func TestPredictSessionMissingThread(t *testing.T) {
 	s := NewRecordSession(recorder.WithoutTimestamps())
 	a := s.Registry().Intern("x")

@@ -27,14 +27,15 @@ func NewOnlineSession(ref *model.TraceSet, cfg predictor.Config, recOpts ...reco
 	if err != nil {
 		return nil, fmt.Errorf("core: invalid event table: %w", err)
 	}
-	return &Session{
+	s := &Session{
 		mode:    ModeOnline,
 		reg:     reg,
-		threads: make(map[int32]*Thread),
 		ref:     ref,
 		pcfg:    cfg,
 		recOpts: recOpts,
-	}, nil
+	}
+	s.threads.Store(&map[int32]*Thread{})
+	return s, nil
 }
 
 // MergeTiming folds the timing statistics of a previous trace set into a

@@ -1,0 +1,171 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refNode returns distinct node pointers for table tests.
+func refNodes(n int) []*node {
+	out := make([]*node, n)
+	for i := range out {
+		out[i] = &node{sym: Terminal(int32(i))}
+	}
+	return out
+}
+
+// TestDigramPackRoundTrip checks that packing preserves digram identity for
+// terminals and non-terminals, including the full negative range of rule
+// symbols.
+func TestDigramPackRoundTrip(t *testing.T) {
+	syms := []Sym{Terminal(0), Terminal(1), Terminal(1 << 20), nonTerminal(1), nonTerminal(7), nonTerminal(1 << 20)}
+	seen := map[uint64]digram{}
+	for _, a := range syms {
+		for _, b := range syms {
+			d := digram{a, b}
+			k := d.pack()
+			if k == emptyKey {
+				t.Fatalf("digram (%v,%v) packs to the empty sentinel", a, b)
+			}
+			if got := unpackDigram(k); got != d {
+				t.Fatalf("unpack(pack(%v,%v)) = (%v,%v)", a, b, got.a, got.b)
+			}
+			if prev, dup := seen[k]; dup && prev != d {
+				t.Fatalf("digrams (%v,%v) and (%v,%v) collide on key %x", prev.a, prev.b, a, b, k)
+			}
+			seen[k] = d
+		}
+	}
+}
+
+// TestDigramTableAgainstMap drives a digramTable and a plain map through the
+// same randomized put/del/get mix and requires identical observable contents
+// at every step.
+func TestDigramTableAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nodes := refNodes(64)
+	var tab digramTable
+	ref := map[uint64]*node{}
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = digram{Terminal(int32(i % 32)), nonTerminal(int32(1 + i/32))}.pack()
+	}
+	for step := 0; step < 20000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(3) {
+		case 0:
+			v := nodes[rng.Intn(len(nodes))]
+			tab.put(k, v)
+			ref[k] = v
+		case 1:
+			tab.del(k)
+			delete(ref, k)
+		case 2:
+			if got, want := tab.get(k), ref[k]; got != want {
+				t.Fatalf("step %d: get(%x) = %p, want %p", step, k, got, want)
+			}
+		}
+		if tab.count != len(ref) {
+			t.Fatalf("step %d: count %d, want %d", step, tab.count, len(ref))
+		}
+	}
+	// Full sweep comparison at the end.
+	got := map[uint64]*node{}
+	tab.forEach(func(d digram, n *node) { got[d.pack()] = n })
+	if len(got) != len(ref) {
+		t.Fatalf("forEach visited %d entries, want %d", len(got), len(ref))
+	}
+	for k, v := range ref {
+		if got[k] != v {
+			t.Fatalf("forEach missing or wrong entry for %x", k)
+		}
+	}
+}
+
+// TestDigramTableBackwardShift exercises deletion inside a probe cluster: all
+// keys share a home slot (same hash modulo a small table), so deleting the
+// first must backward-shift the rest and keep them reachable.
+func TestDigramTableBackwardShift(t *testing.T) {
+	var tab digramTable
+	nodes := refNodes(16)
+	// Insert enough keys to form clusters in the initial 32-slot table.
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = digram{Terminal(int32(i)), Terminal(int32(i + 1))}.pack()
+		tab.put(keys[i], nodes[i])
+	}
+	for i, k := range keys {
+		tab.del(k)
+		if tab.get(k) != nil {
+			t.Fatalf("key %d still reachable after delete", i)
+		}
+		for j := i + 1; j < len(keys); j++ {
+			if tab.get(keys[j]) != nodes[j] {
+				t.Fatalf("key %d lost after deleting key %d", j, i)
+			}
+		}
+	}
+	if tab.count != 0 {
+		t.Fatalf("count %d after deleting everything", tab.count)
+	}
+}
+
+// TestNewIndexedKinds checks both index kinds build the same grammar for the
+// same input.
+func TestNewIndexedKinds(t *testing.T) {
+	seq := []int32{0, 1, 2, 1, 2, 3, 0, 1, 2, 1, 2, 3, 0, 1, 2}
+	a := NewIndexed(IndexOpenAddress)
+	b := NewIndexed(IndexGoMap)
+	for _, e := range seq {
+		a.Append(e)
+		b.Append(e)
+	}
+	if err := a.CheckInvariantsStrict(); err != nil {
+		t.Fatalf("open-address grammar: %v", err)
+	}
+	if err := b.CheckInvariantsStrict(); err != nil {
+		t.Fatalf("map grammar: %v", err)
+	}
+	if da, db := a.Dump(nil), b.Dump(nil); da != db {
+		t.Fatalf("index kinds diverged:\nopen-address:\n%s\nmap:\n%s", da, db)
+	}
+}
+
+// FuzzDigramIndexDiff builds two grammars from the same byte-derived event
+// stream — one on the open-addressed digram table, one on the map reference —
+// and requires byte-identical structure plus strict invariants on both. Any
+// behavioural difference between the index implementations (lost entries,
+// wrong occupant after robin-hood displacement or backward-shift deletion)
+// surfaces as a structural divergence.
+func FuzzDigramIndexDiff(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1, 0, 1})
+	f.Add([]byte{0x80, 0x81, 0x80, 0x81})
+	f.Add([]byte{1, 2, 3, 1, 2, 3, 1, 2, 3})
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 4, 0, 1, 2, 0, 1, 2, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := decodeFuzzEvents(data)
+		open := NewIndexed(IndexOpenAddress)
+		gomap := NewIndexed(IndexGoMap)
+		for i, id := range events {
+			open.Append(id)
+			gomap.Append(id)
+			if (i+1)%fuzzCheckEvery == 0 {
+				if do, dm := open.Dump(nil), gomap.Dump(nil); do != dm {
+					t.Fatalf("after %d/%d events, grammars diverged:\nopen-address:\n%s\nmap:\n%s",
+						i+1, len(events), do, dm)
+				}
+			}
+		}
+		if err := open.CheckInvariantsStrict(); err != nil {
+			t.Fatalf("open-address grammar after %d events: %v", len(events), err)
+		}
+		if err := gomap.CheckInvariantsStrict(); err != nil {
+			t.Fatalf("map grammar after %d events: %v", len(events), err)
+		}
+		if do, dm := open.Dump(nil), gomap.Dump(nil); do != dm {
+			t.Fatalf("grammars diverged after %d events:\nopen-address:\n%s\nmap:\n%s",
+				len(events), do, dm)
+		}
+	})
+}

@@ -10,7 +10,13 @@ import "fmt"
 type Grammar struct {
 	rules []*rule // rules[0] is the root; entries may be nil after deletion
 	free  []int32 // recycled rule indexes
-	index map[digram]*node
+
+	// The digram index has two interchangeable implementations: the
+	// open-addressed digramTable (default, see digramtable.go) and the
+	// original Go map kept as the IndexGoMap ablation reference. mapIndex
+	// is nil unless the grammar was built with NewIndexed(IndexGoMap).
+	tab      digramTable
+	mapIndex map[digram]*node
 
 	// pending holds rule indexes whose usage count may have dropped to one;
 	// they are inlined (rule-utility invariant) once the current structural
@@ -23,14 +29,83 @@ type Grammar struct {
 	// re-validated on use.
 	nodePool []*node
 
+	// rulePool recycles deleted rules (guard node and users map included):
+	// periodic traces constantly create rules in match that drainPending
+	// inlines moments later, making rule churn the dominant allocation of
+	// record mode.
+	rulePool []*rule
+
 	eventCount int64 // number of terminals appended so far
 }
 
-// New returns an empty grammar ready to accept events.
-func New() *Grammar {
-	g := &Grammar{index: make(map[digram]*node)}
+// IndexKind selects the digram-index implementation.
+type IndexKind int
+
+const (
+	// IndexOpenAddress is the default open-addressed robin-hood table.
+	IndexOpenAddress IndexKind = iota
+	// IndexGoMap is the original map[digram]*node, kept for ablation and
+	// differential testing against the open-addressed table.
+	IndexGoMap
+)
+
+// New returns an empty grammar ready to accept events, using the default
+// open-addressed digram index.
+func New() *Grammar { return NewIndexed(IndexOpenAddress) }
+
+// NewIndexed returns an empty grammar using the given digram-index
+// implementation. Both kinds are observationally identical (the fuzz target
+// FuzzDigramIndexDiff pins this down); IndexGoMap exists only as the
+// reference for ablation.
+func NewIndexed(kind IndexKind) *Grammar {
+	g := &Grammar{}
+	if kind == IndexGoMap {
+		g.mapIndex = make(map[digram]*node)
+	}
 	g.rules = append(g.rules, newRule(0))
 	return g
+}
+
+// --- digram-index accessors -------------------------------------------------
+
+// ixGet returns the indexed occurrence of d, or nil.
+// pythia:hotpath — one lookup per append.
+func (g *Grammar) ixGet(d digram) *node {
+	if g.mapIndex != nil {
+		return g.mapIndex[d]
+	}
+	return g.tab.get(d.pack())
+}
+
+// ixPut makes n the indexed occurrence of d.
+// pythia:hotpath — index maintenance on every structural edit.
+func (g *Grammar) ixPut(d digram, n *node) {
+	if g.mapIndex != nil {
+		g.mapIndex[d] = n
+		return
+	}
+	g.tab.put(d.pack(), n)
+}
+
+// ixDel removes the index entry for d.
+// pythia:hotpath — index maintenance on every structural edit.
+func (g *Grammar) ixDel(d digram) {
+	if g.mapIndex != nil {
+		delete(g.mapIndex, d)
+		return
+	}
+	g.tab.del(d.pack())
+}
+
+// ixForEach visits every index entry (order unspecified; not the hot path).
+func (g *Grammar) ixForEach(fn func(digram, *node)) {
+	if g.mapIndex != nil {
+		for d, n := range g.mapIndex {
+			fn(d, n)
+		}
+		return
+	}
+	g.tab.forEach(fn)
 }
 
 // root returns the root rule (always rules[0]).
@@ -168,8 +243,8 @@ func (g *Grammar) unindex(left *node) {
 		return
 	}
 	d := digram{left.sym, right.sym}
-	if g.index[d] == left {
-		delete(g.index, d)
+	if g.ixGet(d) == left {
+		g.ixDel(d)
 	}
 }
 
@@ -192,14 +267,14 @@ func (g *Grammar) check(left *node) {
 		return
 	}
 	d := digram{left.sym, right.sym}
-	m, ok := g.index[d]
-	if ok && m != left && m.alive() && m.sym == left.sym &&
+	m := g.ixGet(d)
+	if m != nil && m != left && m.alive() && m.sym == left.sym &&
 		m.next != nil && !m.next.guard && m.next.sym == right.sym {
 		g.match(left, m)
 		return
 	}
 	if m != left {
-		g.index[d] = left
+		g.ixPut(d, left)
 	}
 }
 
@@ -208,8 +283,8 @@ func (g *Grammar) check(left *node) {
 func (g *Grammar) mergeInto(left, right *node) {
 	if nn := right.next; nn != nil && !nn.guard {
 		key := digram{right.sym, nn.sym}
-		if g.index[key] == right {
-			g.index[key] = left
+		if g.ixGet(key) == right {
+			g.ixPut(key, left)
 		}
 	}
 	c := right.count
@@ -243,7 +318,7 @@ func (g *Grammar) match(l, m *node) {
 		// way around — rewrite the indexed occurrence to reference lr and
 		// make lr's body the canonical location of the digram.
 		R = lr
-		g.index[digram{l.sym, r.sym}] = l
+		g.ixPut(digram{l.sym, r.sym}, l)
 		g.substitute(m, m2, a, b, R)
 		g.maybeDying(R)
 		return
@@ -256,7 +331,7 @@ func (g *Grammar) match(l, m *node) {
 		R.insertAfter(n1, n2)
 		g.noteNewNode(n2)
 		// The canonical location of this digram is now inside R.
-		g.index[digram{l.sym, r.sym}] = n1
+		g.ixPut(digram{l.sym, r.sym}, n1)
 		g.substitute(m, m2, a, b, R)
 	}
 	// The first substitution may have cascaded into the region around l;
@@ -424,6 +499,8 @@ func (g *Grammar) deleteUnused(r *rule) {
 
 // --- rule allocation --------------------------------------------------------
 
+// allocRule returns a fresh or recycled empty rule under a fresh index.
+// pythia:hotpath — rule churn is pooled, not allocated per reduction.
 func (g *Grammar) allocRule() *rule {
 	var idx int32
 	if n := len(g.free); n > 0 {
@@ -433,15 +510,33 @@ func (g *Grammar) allocRule() *rule {
 		idx = int32(len(g.rules))
 		g.rules = append(g.rules, nil)
 	}
-	r := newRule(idx)
+	var r *rule
+	if n := len(g.rulePool); n > 0 {
+		r = g.rulePool[n-1]
+		g.rulePool = g.rulePool[:n-1]
+		r.idx = idx
+	} else {
+		r = newRule(idx)
+	}
 	g.rules[idx] = r
 	return r
 }
 
+// freeRule retires a deleted rule, returning it to the pool. The caller has
+// already emptied the body (or spliced it elsewhere) and released all
+// references, so only the bookkeeping needs resetting.
+// pythia:hotpath — the pool append is capacity-bounded.
 func (g *Grammar) freeRule(r *rule) {
 	g.rules[r.idx] = nil
 	g.free = append(g.free, r.idx)
-	r.users = nil
+	if len(g.rulePool) >= 256 {
+		r.users = nil
+		return
+	}
+	r.uses = 0
+	clear(r.users)
+	r.guard.prev, r.guard.next = r.guard, r.guard
+	g.rulePool = append(g.rulePool, r)
 }
 
 func minU32(a, b uint32) uint32 {

@@ -77,8 +77,8 @@ func (g *Grammar) checkInvariants(strict bool) error {
 						d.a, d.b, prev.rule.idx, r.idx)
 				}
 				seen[d] = n
-				got, ok := g.index[d]
-				if !ok {
+				got := g.ixGet(d)
+				if got == nil {
 					return fmt.Errorf("grammar: digram (%v,%v) in R%d missing from index", d.a, d.b, r.idx)
 				}
 				if got != n {
@@ -114,17 +114,24 @@ func (g *Grammar) checkInvariants(strict bool) error {
 	// Strict mode flags them anyway — a stale entry is retained memory and
 	// means some edit path forgot to unindex.
 	if strict {
-		for d, n := range g.index {
+		var staleErr error
+		g.ixForEach(func(d digram, n *node) {
+			if staleErr != nil {
+				return
+			}
 			switch {
 			case n == nil || !n.alive():
-				return fmt.Errorf("grammar: stale index entry (%v,%v): node is dead", d.a, d.b)
+				staleErr = fmt.Errorf("grammar: stale index entry (%v,%v): node is dead", d.a, d.b)
 			case n.sym != d.a:
-				return fmt.Errorf("grammar: stale index entry (%v,%v): node holds %v", d.a, d.b, n.sym)
+				staleErr = fmt.Errorf("grammar: stale index entry (%v,%v): node holds %v", d.a, d.b, n.sym)
 			case n.next == nil || n.next.guard || n.next.sym != d.b:
-				return fmt.Errorf("grammar: stale index entry (%v,%v): successor no longer %v", d.a, d.b, d.b)
+				staleErr = fmt.Errorf("grammar: stale index entry (%v,%v): successor no longer %v", d.a, d.b, d.b)
 			case seen[d] != n:
-				return fmt.Errorf("grammar: index entry (%v,%v) points at an unreachable duplicate", d.a, d.b)
+				staleErr = fmt.Errorf("grammar: index entry (%v,%v) points at an unreachable duplicate", d.a, d.b)
 			}
+		})
+		if staleErr != nil {
+			return staleErr
 		}
 	}
 

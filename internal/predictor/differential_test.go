@@ -1,0 +1,265 @@
+package predictor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/grammar"
+	"repro/internal/model"
+)
+
+// timedTraceOf is traceOf with a synthetic timing model attached: each event
+// id gets a distinct per-site duration so that ExpectedNs differences between
+// the cached and the reference query paths cannot hide behind zeros.
+func timedTraceOf(seq []int32) *model.Trace {
+	g := grammar.New()
+	maxID := int32(0)
+	for _, e := range seq {
+		g.Append(e)
+		if e > maxID {
+			maxID = e
+		}
+	}
+	f := g.Freeze()
+	timing := model.NewTiming()
+	for ev := int32(0); ev <= maxID; ev++ {
+		for _, ref := range f.TermSites[ev] {
+			// Deliberately non-round values: float64 sums of these expose
+			// any change in accumulation order at the last bit.
+			timing.AddPath([]grammar.UserRef{ref}, ev, 137+int64(ev)*311+int64(ref.Rule)*17)
+		}
+	}
+	names := make([]string, maxID+1)
+	for i := range names {
+		names[i] = "e" + string(rune('A'+i%26))
+	}
+	return &model.Trace{Grammar: f, Events: names, Timing: timing}
+}
+
+// diffOp is one step of a differential schedule: an observation or a query
+// applied identically to both predictors.
+type diffOp struct {
+	kind    int // 0 observe, 1 PredictAt, 2 PredictSequence, 3 PredictDurationUntil, 4 StartAtBeginning, 5 Reset
+	event   int32
+	arg     int
+	queryEv int32
+}
+
+// buildSchedule derives a randomized noisy replay of seq: mostly faithful
+// observations, with unexpected-but-known events, unknown events, skips and
+// restarts injected, and queries of every kind sprinkled between steps.
+func buildSchedule(rng *rand.Rand, seq []int32, maxID int32, steps int) []diffOp {
+	var ops []diffOp
+	ops = append(ops, diffOp{kind: 4}) // StartAtBeginning
+	i := 0
+	for len(ops) < steps {
+		r := rng.Float64()
+		switch {
+		case r < 0.60: // faithful next event
+			ops = append(ops, diffOp{kind: 0, event: seq[i%len(seq)]})
+			i++
+		case r < 0.68: // unexpected but known event: forces re-anchoring
+			ops = append(ops, diffOp{kind: 0, event: seq[rng.Intn(len(seq))]})
+			i += rng.Intn(3)
+		case r < 0.72: // unknown event: drops all hypotheses
+			ops = append(ops, diffOp{kind: 0, event: maxID + 1 + int32(rng.Intn(3))})
+		case r < 0.74: // skip ahead without telling the predictor
+			i += 1 + rng.Intn(4)
+		case r < 0.76:
+			ops = append(ops, diffOp{kind: 4}) // StartAtBeginning
+			i = 0
+		case r < 0.77:
+			ops = append(ops, diffOp{kind: 5}) // Reset
+		case r < 0.87:
+			ops = append(ops, diffOp{kind: 1, arg: 1 + rng.Intn(80)})
+		case r < 0.94:
+			ops = append(ops, diffOp{kind: 2, arg: 1 + rng.Intn(40)})
+		default:
+			ops = append(ops, diffOp{kind: 3, arg: 1 + rng.Intn(60), queryEv: int32(rng.Intn(int(maxID) + 2))})
+		}
+	}
+	return ops
+}
+
+// runDifferential executes the schedule against a cached and a cache-disabled
+// predictor and fails on the first observable divergence. Every query result
+// must be byte-identical (reflect.DeepEqual on the Prediction values,
+// including ExpectedNs at full float64 precision), and the tracking state
+// (Stats, Tracking, Anchored, Candidates, Confidence) must match after every
+// step.
+func runDifferential(t *testing.T, tr *model.Trace, ops []diffOp) {
+	t.Helper()
+	cached := New(tr, Config{})
+	ref := New(tr, Config{DisableCache: true})
+	for step, op := range ops {
+		switch op.kind {
+		case 0:
+			cached.Observe(op.event)
+			ref.Observe(op.event)
+		case 1:
+			gp, gok := cached.PredictAt(op.arg)
+			wp, wok := ref.PredictAt(op.arg)
+			if gok != wok || !reflect.DeepEqual(gp, wp) {
+				t.Fatalf("step %d: PredictAt(%d) diverged:\ncached: %+v %v\nref:    %+v %v",
+					step, op.arg, gp, gok, wp, wok)
+			}
+		case 2:
+			gs := cached.PredictSequence(op.arg)
+			ws := ref.PredictSequence(op.arg)
+			if !reflect.DeepEqual(gs, ws) {
+				t.Fatalf("step %d: PredictSequence(%d) diverged:\ncached: %+v\nref:    %+v",
+					step, op.arg, gs, ws)
+			}
+		case 3:
+			gp, gok := cached.PredictDurationUntil(op.queryEv, op.arg)
+			wp, wok := ref.PredictDurationUntil(op.queryEv, op.arg)
+			if gok != wok || !reflect.DeepEqual(gp, wp) {
+				t.Fatalf("step %d: PredictDurationUntil(%d,%d) diverged:\ncached: %+v %v\nref:    %+v %v",
+					step, op.queryEv, op.arg, gp, gok, wp, wok)
+			}
+		case 4:
+			cached.StartAtBeginning()
+			ref.StartAtBeginning()
+		case 5:
+			cached.Reset()
+			ref.Reset()
+		}
+		if cached.Stats() != ref.Stats() {
+			t.Fatalf("step %d (op %d): stats diverged: cached %+v, ref %+v",
+				step, op.kind, cached.Stats(), ref.Stats())
+		}
+		if cached.Tracking() != ref.Tracking() || cached.Anchored() != ref.Anchored() ||
+			cached.Candidates() != ref.Candidates() || cached.Confidence() != ref.Confidence() {
+			t.Fatalf("step %d (op %d): tracking state diverged: cached (%v,%v,%d,%v), ref (%v,%v,%d,%v)",
+				step, op.kind,
+				cached.Tracking(), cached.Anchored(), cached.Candidates(), cached.Confidence(),
+				ref.Tracking(), ref.Anchored(), ref.Candidates(), ref.Confidence())
+		}
+	}
+}
+
+// TestDifferentialCachedVsReference pins the central property of the
+// incremental prediction cache: with and without the cache, the predictor is
+// observationally identical on noisy replays — same predictions bit for bit,
+// same tracking statistics — across many randomized schedules.
+func TestDifferentialCachedVsReference(t *testing.T) {
+	motifs := [][]int32{
+		{0, 1, 2, 1, 2, 3},
+		{0, 1, 0, 2, 0, 1, 0, 3},
+		{5, 5, 5, 1, 2, 5, 5, 5, 1, 2},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+	}
+	for mi, motif := range motifs {
+		var seq []int32
+		for r := 0; r < 60; r++ {
+			seq = append(seq, motif...)
+		}
+		maxID := int32(0)
+		for _, e := range seq {
+			if e > maxID {
+				maxID = e
+			}
+		}
+		tr := timedTraceOf(seq)
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed*1000 + int64(mi)))
+			ops := buildSchedule(rng, seq, maxID, 600)
+			runDifferential(t, tr, ops)
+		}
+	}
+}
+
+// TestDifferentialExactReplay is the dense-query faithful-replay case: after
+// every observation, query every distance up to the remaining trace and
+// beyond. This is where the cache serves nearly every query, so any window
+// bookkeeping bug (off-by-one head, stale end stepper) shows up immediately.
+func TestDifferentialExactReplay(t *testing.T) {
+	var seq []int32
+	for r := 0; r < 40; r++ {
+		seq = append(seq, 0, 1, 2, 1, 2, 3)
+	}
+	tr := timedTraceOf(seq)
+	cached := New(tr, Config{})
+	ref := New(tr, Config{DisableCache: true})
+	cached.StartAtBeginning()
+	ref.StartAtBeginning()
+	for i, e := range seq {
+		cached.Observe(e)
+		ref.Observe(e)
+		for _, d := range []int{1, 2, 3, 5, 8, 13, 21, 34, 55, len(seq) - i, len(seq) - i + 1} {
+			if d < 1 {
+				continue
+			}
+			gp, gok := cached.PredictAt(d)
+			wp, wok := ref.PredictAt(d)
+			if gok != wok || !reflect.DeepEqual(gp, wp) {
+				t.Fatalf("step %d: PredictAt(%d) diverged:\ncached: %+v %v\nref:    %+v %v",
+					i, d, gp, gok, wp, wok)
+			}
+		}
+		gs := cached.PredictSequence(24)
+		ws := ref.PredictSequence(24)
+		if !reflect.DeepEqual(gs, ws) {
+			t.Fatalf("step %d: PredictSequence diverged:\ncached: %+v\nref:    %+v", i, gs, ws)
+		}
+	}
+}
+
+// TestDifferentialQueryPurity checks that queries are pure: two cached
+// predictors observing the same stream — one queried heavily at every step,
+// one never queried — must end in the same observable state and produce the
+// same subsequent predictions. This is the regression test for scratch-buffer
+// aliasing between the query path and setCands under re-anchoring: a query
+// that leaks state into the tracking buffers desynchronizes the two.
+func TestDifferentialQueryPurity(t *testing.T) {
+	var seq []int32
+	for r := 0; r < 50; r++ {
+		seq = append(seq, 0, 1, 2, 1, 2, 3)
+	}
+	tr := timedTraceOf(seq)
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		queried := New(tr, Config{})
+		control := New(tr, Config{})
+		queried.StartAtBeginning()
+		control.StartAtBeginning()
+		i := 0
+		for step := 0; step < 400; step++ {
+			var ev int32
+			switch r := rng.Float64(); {
+			case r < 0.75:
+				ev = seq[i%len(seq)]
+				i++
+			case r < 0.9: // unexpected known event: re-anchor while queries interleave
+				ev = seq[rng.Intn(len(seq))]
+				i += rng.Intn(4)
+			default: // unknown event, then resume
+				ev = 100 + int32(rng.Intn(2))
+			}
+			queried.Observe(ev)
+			control.Observe(ev)
+			// Hammer the queried predictor only.
+			for _, d := range []int{1, 3, 17, 64} {
+				queried.PredictAt(d)
+			}
+			queried.PredictSequence(9)
+			queried.PredictDurationUntil(seq[rng.Intn(len(seq))], 32)
+			if queried.Stats() != control.Stats() {
+				t.Fatalf("seed %d step %d: queries changed tracking stats: %+v vs %+v",
+					seed, step, queried.Stats(), control.Stats())
+			}
+			if queried.Candidates() != control.Candidates() || queried.Confidence() != control.Confidence() {
+				t.Fatalf("seed %d step %d: queries changed hypothesis set: (%d,%v) vs (%d,%v)",
+					seed, step, queried.Candidates(), queried.Confidence(),
+					control.Candidates(), control.Confidence())
+			}
+			gp, gok := queried.PredictAt(1)
+			wp, wok := control.PredictAt(1)
+			if gok != wok || !reflect.DeepEqual(gp, wp) {
+				t.Fatalf("seed %d step %d: post-query predictions diverged: %+v %v vs %+v %v",
+					seed, step, gp, gok, wp, wok)
+			}
+		}
+	}
+}

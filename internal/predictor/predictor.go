@@ -28,6 +28,12 @@ type Config struct {
 	// MaxLookahead caps the number of branches kept at each step of a
 	// prediction simulation. Zero selects the default (256).
 	MaxLookahead int
+	// DisableCache turns off the incremental prediction cache and the
+	// in-place single-hypothesis advance: every query then re-simulates
+	// from scratch and every observation goes through the general
+	// hypothesis machinery. It is the reference implementation that the
+	// differential tests and the cache ablation compare against.
+	DisableCache bool
 }
 
 const (
@@ -72,6 +78,18 @@ type Predictor struct {
 	pending bool
 	stats   Stats
 	scratch []progress.Branch
+
+	// live advances the lone hypothesis in place on the tracking fast
+	// path; while liveOK is true, cands[0].Pos aliases live's internal
+	// buffer (package-internal discipline: positions handed out of the
+	// predictor are never views of live).
+	live   progress.Stepper
+	liveOK bool
+	// cache is the incremental prediction cache (see cache.go).
+	cache predCache
+	// refsBuf is the reusable path buffer for timing lookups on the
+	// cached query path.
+	refsBuf []grammar.UserRef
 }
 
 // New returns a predictor for the reference trace. The candidate set starts
@@ -86,6 +104,7 @@ func New(tr *model.Trace, cfg Config) *Predictor {
 // StartAtBeginning seeds tracking at the first event of the reference trace.
 // The next Observe call is expected to report that event.
 func (p *Predictor) StartAtBeginning() {
+	p.invalidate()
 	p.cands = p.cands[:0]
 	if pos, ok := progress.Start(p.f); ok {
 		p.cands = append(p.cands, progress.Branch{Pos: pos, Weight: 1})
@@ -100,6 +119,16 @@ func (p *Predictor) Observe(eventID int32) {
 	p.stats.Observed++
 	if p.pending {
 		p.pending = false
+		if len(p.cands) == 1 && !p.cfg.DisableCache {
+			// Single-hypothesis fast path: the candidate designates the
+			// next event directly; nothing to merge or renormalise.
+			if p.cands[0].Pos.Terminal(p.f) == eventID {
+				p.stats.Followed++
+				return
+			}
+			p.reAnchor(eventID)
+			return
+		}
 		kept := p.scratch[:0]
 		for _, c := range p.cands {
 			if c.Pos.Terminal(p.f) == eventID {
@@ -116,6 +145,9 @@ func (p *Predictor) Observe(eventID int32) {
 	}
 	if len(p.cands) == 0 {
 		p.reAnchor(eventID)
+		return
+	}
+	if len(p.cands) == 1 && !p.cfg.DisableCache && p.observeSingle(eventID) {
 		return
 	}
 	next := p.scratch[:0]
@@ -140,6 +172,7 @@ func (p *Predictor) reAnchor(eventID int32) {
 	occ := progress.Occurrences(p.f, eventID)
 	if len(occ) == 0 {
 		p.stats.Unknown++
+		p.invalidate()
 		p.cands = p.cands[:0]
 		return
 	}
@@ -153,6 +186,7 @@ func (p *Predictor) setCands(branches []progress.Branch) {
 	// Reuse the previous candidate slice as the next scratch buffer.
 	p.scratch = p.cands[:0]
 	p.cands = merged
+	p.invalidate()
 }
 
 // Stats returns tracking counters.
@@ -199,6 +233,25 @@ type Prediction struct {
 // has no hypothesis or every hypothesis ends before the horizon.
 // pythia:hotpath — the paper's per-query budget is ~0.05-2 µs (Fig. 9).
 func (p *Predictor) PredictAt(distance int) (Prediction, bool) {
+	if distance >= 1 && p.cacheUsable() {
+		if got := p.ensureWindow(distance); got >= distance {
+			c := &p.cache
+			idx := c.head + distance - 1
+			var acc float64
+			for _, m := range c.means[c.head : idx+1] {
+				acc += m
+			}
+			return Prediction{
+				EventID: c.evs[idx], Probability: 1,
+				Distance: distance, ExpectedNs: acc,
+			}, true
+		} else if p.cache.state == cacheEnded {
+			// The branch-free walk ends before the horizon: no
+			// prediction, exactly as a fresh walk would conclude.
+			return Prediction{}, false
+		}
+		// Branched beyond the window: the general machinery decides.
+	}
 	preds, ok := p.simulate(distance, nil)
 	if !ok || len(preds) < distance {
 		return Prediction{}, false
@@ -210,6 +263,25 @@ func (p *Predictor) PredictAt(distance int) (Prediction, bool) {
 // step (step i has Distance i+1). The slice may be shorter than n if every
 // hypothesis reaches the end of the reference trace.
 func (p *Predictor) PredictSequence(n int) []Prediction {
+	if n >= 1 && p.cacheUsable() {
+		got := p.ensureWindow(n)
+		if got >= n || p.cache.state == cacheEnded {
+			if got > n {
+				got = n
+			}
+			c := &p.cache
+			out := make([]Prediction, got)
+			var acc float64
+			for i := 0; i < got; i++ {
+				acc += c.means[c.head+i]
+				out[i] = Prediction{
+					EventID: c.evs[c.head+i], Probability: 1,
+					Distance: i + 1, ExpectedNs: acc,
+				}
+			}
+			return out
+		}
+	}
 	preds, _ := p.simulate(n, nil)
 	return preds
 }
@@ -218,6 +290,27 @@ func (p *Predictor) PredictSequence(n int) []Prediction {
 // occurrence of eventID, searching at most maxDistance events ahead.
 // ok is false when the event is not predicted within the horizon.
 func (p *Predictor) PredictDurationUntil(eventID int32, maxDistance int) (Prediction, bool) {
+	if maxDistance >= 1 && p.cacheUsable() {
+		got := p.ensureWindow(maxDistance)
+		if got >= maxDistance || p.cache.state == cacheEnded {
+			c := &p.cache
+			if got > maxDistance {
+				got = maxDistance
+			}
+			var acc float64
+			for i := 0; i < got; i++ {
+				acc += c.means[c.head+i]
+				if c.evs[c.head+i] == eventID {
+					return Prediction{
+						EventID: eventID, Probability: 1,
+						Distance: i + 1, ExpectedNs: acc,
+					}, true
+				}
+			}
+			return Prediction{}, false
+		}
+		// Branched before the horizon: the general machinery decides.
+	}
 	var hit Prediction
 	found := false
 	p.simulate(maxDistance, func(pr Prediction) bool {
@@ -435,6 +528,7 @@ func mergeCapSim(branches []sim, max int) []sim {
 // created. Runtimes use it at phase boundaries where the past context is
 // known to be irrelevant (e.g. after a checkpoint restore).
 func (p *Predictor) Reset() {
+	p.invalidate()
 	p.cands = p.cands[:0]
 	p.pending = false
 	p.stats = Stats{}

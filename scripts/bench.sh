@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# bench.sh — runs the hot-path benchmarks and writes BENCH_PR2.json with the
+# current numbers next to the frozen pre-optimisation baseline.
+#
+# The baseline block below was measured on the commit immediately before the
+# hot-path overhaul (incremental prediction cache, open-addressed digram
+# index, rule pooling, copy-on-write thread dispatch), with these same
+# benchmarks, on the same machine class as the "after" numbers in the
+# committed BENCH_PR2.json (Intel Xeon @ 2.10GHz, linux/amd64, go1.24).
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR2.json}"
+
+benches='BenchmarkSubmitThroughput|BenchmarkObserveThroughput|BenchmarkPredictAtCached|BenchmarkThreadDispatch|BenchmarkFig9_PredictionCost'
+
+echo "==> go test -bench (${out})"
+raw=$(go test -run '^$' -bench "${benches}" -benchmem -benchtime=2s . 2>&1)
+echo "${raw}"
+
+echo "${raw}" | awk -v OUT="${out}" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix if present
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op")       bop[name] = $i
+        if ($(i+1) == "allocs/op")  aop[name] = $i
+        if ($(i+1) == "us-per-query") usq[name] = $i
+    }
+}
+END {
+    order = "BenchmarkSubmitThroughput BenchmarkObserveThroughput BenchmarkPredictAtCached BenchmarkThreadDispatch BenchmarkFig9_PredictionCost"
+    n = split(order, names, " ")
+    printf "{\n" > OUT
+    printf "  \"baseline\": {\n" >> OUT
+    printf "    \"comment\": \"pre-optimisation: map digram index, no prediction cache, no rule pool, mutex thread dispatch\",\n" >> OUT
+    printf "    \"BenchmarkSubmitThroughput\":    {\"ns_per_op\": 303.6, \"bytes_per_op\": 90,    \"allocs_per_op\": 1},\n" >> OUT
+    printf "    \"BenchmarkObserveThroughput\":   {\"ns_per_op\": 826.2, \"bytes_per_op\": 253,   \"allocs_per_op\": 6},\n" >> OUT
+    printf "    \"BenchmarkPredictAtCached\":     {\"ns_per_op\": 7103,  \"bytes_per_op\": 10152, \"allocs_per_op\": 135},\n" >> OUT
+    printf "    \"BenchmarkThreadDispatch\":      {\"ns_per_op\": 23.87, \"bytes_per_op\": 0,     \"allocs_per_op\": 0},\n" >> OUT
+    printf "    \"BenchmarkFig9_PredictionCost\": {\"us_per_query\": 10.11}\n" >> OUT
+    printf "  },\n" >> OUT
+    printf "  \"current\": {\n" >> OUT
+    first = 1
+    for (i = 1; i <= n; i++) {
+        b = names[i]
+        if (!(b in ns)) continue
+        if (!first) printf ",\n" >> OUT
+        first = 0
+        printf "    \"%s\": {\"ns_per_op\": %s", b, ns[b] >> OUT
+        if (b in bop) printf ", \"bytes_per_op\": %s, \"allocs_per_op\": %s", bop[b], aop[b] >> OUT
+        if (b in usq) printf ", \"us_per_query\": %s", usq[b] >> OUT
+        printf "}" >> OUT
+    }
+    printf "\n  }\n}\n" >> OUT
+}
+'
+
+echo "==> wrote ${out}"

@@ -8,11 +8,22 @@
 #   3. go build     — everything compiles
 #   4. go test      — the full unit suite
 #   5. go test -race — concurrency-sensitive packages under the race detector
-#   6. fuzz smoke   — FuzzGrammarInvariants for a few seconds
+#   6. fuzz smoke   — FuzzGrammarInvariants and FuzzDigramIndexDiff briefly
 #   7. pythia-vet   — the repo's own static-analysis pass (see cmd/pythia-vet)
+#
+# With --bench, additionally runs scripts/bench.sh (hot-path benchmarks,
+# refreshing BENCH_PR2.json). Benchmarks are not part of the gating suite.
 set -u
 
 cd "$(dirname "$0")/.."
+
+run_bench=0
+for arg in "$@"; do
+    case "${arg}" in
+        --bench) run_bench=1 ;;
+        *) echo "check.sh: unknown argument ${arg}" >&2; exit 2 ;;
+    esac
+done
 
 failures=0
 step() {
@@ -42,7 +53,13 @@ step "go test" go test ./...
 step "go test -race (core + public API)" go test -race ./internal/core/... ./pythia/...
 step "fuzz smoke (FuzzGrammarInvariants)" \
     go test -fuzz FuzzGrammarInvariants -fuzztime=5s -run '^$' ./internal/grammar/
+step "fuzz smoke (FuzzDigramIndexDiff)" \
+    go test -fuzz FuzzDigramIndexDiff -fuzztime=5s -run '^$' ./internal/grammar/
 step "pythia-vet" go run ./cmd/pythia-vet ./...
+
+if [ "${run_bench}" -eq 1 ]; then
+    step "bench (non-gating)" ./scripts/bench.sh
+fi
 
 if [ "${failures}" -ne 0 ]; then
     echo "check.sh: ${failures} step(s) failed" >&2
