@@ -266,7 +266,10 @@ func BenchmarkAblation_TimingGranularity(b *testing.B) {
 		th.SubmitAt(d, now)
 		now += 5
 	}
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	measure := func(b *testing.B, strip bool) {
 		tr := ts.Trace(0)

@@ -47,7 +47,10 @@ func main() {
 
 	rec := pythia.NewRecordOracle()
 	recordNs, _ := run(rec, false)
-	trace := rec.Finish()
+	trace, err := rec.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("record   (PYTHIA-RECORD attached): %7.2f ms, %d events, %d rules\n",
 		float64(recordNs)/1e6, trace.TotalEvents(), trace.TotalRules())
 

@@ -45,7 +45,10 @@ func main() {
 	rec := pythia.NewRecordOracle()
 	recorded := iosim.New(iosim.Config{Oracle: rec})
 	sweep(recorded, steps, chunks)
-	trace := rec.Finish()
+	trace, err := rec.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("record:   %6.1f ms  (%d events captured, %d rules)\n",
 		float64(recorded.Now())/1e6, trace.TotalEvents(), trace.TotalRules())
 

@@ -56,7 +56,10 @@ func main() {
 	world.RunInterposed(func(m mpisim.MPI) mpisim.MPI {
 		return mpisim.NewInterposer(m, rec)
 	}, stencil)
-	trace := rec.Finish()
+	trace, err := rec.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("recorded: %d events across %d ranks, %d grammar rules\n",
 		trace.TotalEvents(), len(trace.Threads), trace.TotalRules())
 

@@ -48,7 +48,10 @@ func main() {
 	rec := pythia.NewRecordOracle()
 	recorded := memsim.New(memsim.Config{Oracle: rec})
 	app(recorded, pages, rounds)
-	trace := rec.Finish()
+	trace, err := rec.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	oracle, err := pythia.NewPredictOracle(trace, pythia.Config{})
 	if err != nil {

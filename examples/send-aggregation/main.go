@@ -47,7 +47,10 @@ func main() {
 	w.RunInterposed(func(m mpisim.MPI) mpisim.MPI {
 		return mpisim.NewAggregator(m, rec)
 	}, program)
-	trace := rec.Finish()
+	trace, err := rec.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	oracle, err := pythia.NewPredictOracle(trace, pythia.Config{})
 	if err != nil {

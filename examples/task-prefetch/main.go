@@ -104,7 +104,10 @@ func main() {
 	// Reference execution: record.
 	rec := pythia.NewRecordOracle(pythia.WithClock(func() int64 { return 0 }))
 	vanillaMs, vanillaBlocked := run(iters, rec, nil)
-	trace := rec.Finish()
+	trace, err := rec.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("vanilla:   %4d ms, blocked on loads %d times\n", vanillaMs, vanillaBlocked)
 
 	// Subsequent execution: predict and prefetch.

@@ -31,7 +31,11 @@ func recordApp(t *testing.T, app App, class Class) *pythia.TraceSet {
 		}
 		app.Run(ctx)
 	})
-	return o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
 }
 
 func TestAllAppsCompleteSmall(t *testing.T) {

@@ -67,6 +67,10 @@ type Session struct {
 	// predict mode
 	ref  *model.TraceSet
 	pcfg predictor.Config
+
+	// health is the fail-open accounting shared by every handle (see
+	// health.go).
+	health health
 }
 
 // NewRecordSession starts a recording session. Recorder options apply to
@@ -120,6 +124,20 @@ func (s *Session) Thread(tid int32) *Thread {
 	if t, ok := (*s.threads.Load())[tid]; ok {
 		return t
 	}
+	return s.createThreadContained(tid)
+}
+
+// createThreadContained is createThread under panic containment: a failure
+// while building the per-thread machinery (e.g. from a hostile reference
+// trace) degrades the oracle and hands back an inert stub handle — never a
+// nil pointer the host runtime would trip over, and never a panic.
+func (s *Session) createThreadContained(tid int32) (t *Thread) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.health.notePanic("Session.Thread", r)
+			t = &Thread{sess: s, tid: tid}
+		}
+	}()
 	return s.createThread(tid)
 }
 
@@ -158,10 +176,15 @@ func (s *Session) createThread(tid int32) *Thread {
 }
 
 // FinishRecord ends a recording (or online) session, returning the trace
-// set to be saved. It panics when called on a prediction session.
-func (s *Session) FinishRecord() *model.TraceSet {
+// set to be saved. Calling it on a prediction session, or on a session that
+// already failed open after a contained panic, is a caller-visible error,
+// never a crash.
+func (s *Session) FinishRecord() (*model.TraceSet, error) {
 	if s.mode != ModeRecord && s.mode != ModeOnline {
-		panic("core: FinishRecord on a " + s.mode.String() + " session")
+		return nil, fmt.Errorf("core: FinishRecord on a %s session", s.mode)
+	}
+	if s.Failed() {
+		return nil, fmt.Errorf("core: FinishRecord on a degraded oracle (%s)", s.Health().Cause)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -173,7 +196,7 @@ func (s *Session) FinishRecord() *model.TraceSet {
 	for tid, t := range threads {
 		ts.Threads[tid] = t.rec.Finish()
 	}
-	return ts
+	return ts, nil
 }
 
 // TotalEvents sums the events recorded so far across threads (record mode).
@@ -189,69 +212,117 @@ func (s *Session) TotalEvents() int64 {
 
 // Thread is the per-thread oracle handle. All methods must be called from a
 // single goroutine at a time (one handle per runtime thread).
+//
+// Every exported method fails open: it runs under the session's panic
+// containment (a recovered internal panic degrades the oracle instead of
+// crashing the host runtime) and becomes a cheap no-op once the session is
+// degraded.
+// pythia:contained
 type Thread struct {
 	sess *Session
 	tid  int32
 	rec  *recorder.Recorder
 	pred *predictor.Predictor
+
+	// notedTrunc / notedQuar track which per-thread degradations have
+	// already been reported to the session health accounting (single
+	// goroutine, like every other Thread field).
+	notedTrunc bool
+	notedQuar  bool
 }
 
 // TID returns the thread identifier.
 func (t *Thread) TID() int32 { return t.tid }
 
+// noteHealth folds per-thread degradation transitions into the session
+// health after an event was submitted: a record budget breach (one-shot)
+// and divergence-watchdog quarantine enter/leave.
+// pythia:hotpath — two predictable branches per Submit in steady state.
+func (t *Thread) noteHealth() {
+	if t.rec != nil && !t.notedTrunc && t.rec.Truncated() {
+		t.notedTrunc = true
+		t.sess.health.noteBreach(t.tid, t.rec.TruncationCause())
+	}
+	if t.pred != nil {
+		if q := t.pred.Quarantined(); q != t.notedQuar {
+			t.notedQuar = q
+			t.sess.health.noteQuarantine(t.tid, q)
+		}
+	}
+}
+
 // Submit notifies the oracle of an event: it is recorded in record mode and
 // observed (tracked) in predict mode.
 // pythia:hotpath — called at every runtime key point.
 func (t *Thread) Submit(id events.ID) {
+	if t.sess.Failed() {
+		return
+	}
+	defer t.sess.Contain("Thread.Submit")
 	if t.rec != nil {
 		t.rec.Record(id)
 	}
 	if t.pred != nil {
 		t.pred.Observe(int32(id))
 	}
+	t.noteHealth()
 }
 
 // SubmitAt is Submit with an explicit timestamp (virtual clocks). In
 // predict mode the timestamp is ignored.
 // pythia:hotpath — called at every key point of virtual-clock runtimes.
 func (t *Thread) SubmitAt(id events.ID, now int64) {
+	if t.sess.Failed() {
+		return
+	}
+	defer t.sess.Contain("Thread.SubmitAt")
 	if t.rec != nil {
 		t.rec.RecordAt(id, now)
 	}
 	if t.pred != nil {
 		t.pred.Observe(int32(id))
 	}
+	t.noteHealth()
 }
 
 // StartAtBeginning seeds prediction at the start of the reference trace.
 func (t *Thread) StartAtBeginning() {
+	if t.sess.Failed() {
+		return
+	}
+	defer t.sess.Contain("Thread.StartAtBeginning")
 	if t.pred != nil {
 		t.pred.StartAtBeginning()
 	}
 }
 
 // PredictAt predicts the event distance events from now (predict mode).
-func (t *Thread) PredictAt(distance int) (predictor.Prediction, bool) {
-	if t.pred == nil {
+// ok is false when the oracle has no answer — including when it is
+// degraded or the divergence watchdog holds the thread in quarantine.
+func (t *Thread) PredictAt(distance int) (pr predictor.Prediction, ok bool) {
+	if t.pred == nil || t.sess.Failed() {
 		return predictor.Prediction{}, false
 	}
+	defer t.sess.Contain("Thread.PredictAt")
 	return t.pred.PredictAt(distance)
 }
 
 // PredictSequence predicts the next n events (predict mode).
-func (t *Thread) PredictSequence(n int) []predictor.Prediction {
-	if t.pred == nil {
+func (t *Thread) PredictSequence(n int) (preds []predictor.Prediction) {
+	if t.pred == nil || t.sess.Failed() {
 		return nil
 	}
+	defer t.sess.Contain("Thread.PredictSequence")
 	return t.pred.PredictSequence(n)
 }
 
 // PredictDurationUntil predicts the time until the next occurrence of the
 // event, looking at most maxDistance events ahead (predict mode).
-func (t *Thread) PredictDurationUntil(id events.ID, maxDistance int) (predictor.Prediction, bool) {
-	if t.pred == nil {
+func (t *Thread) PredictDurationUntil(id events.ID, maxDistance int) (pr predictor.Prediction, ok bool) {
+	if t.pred == nil || t.sess.Failed() {
 		return predictor.Prediction{}, false
 	}
+	defer t.sess.Contain("Thread.PredictDurationUntil")
 	return t.pred.PredictDurationUntil(int32(id), maxDistance)
 }
 

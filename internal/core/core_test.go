@@ -5,9 +5,21 @@ import (
 	"testing"
 
 	"repro/internal/events"
+	"repro/internal/model"
 	"repro/internal/predictor"
 	"repro/internal/recorder"
 )
+
+// mustFinishRecord finalises a record-capable session, failing the test on
+// error (a healthy session's FinishRecord cannot fail).
+func mustFinishRecord(t *testing.T, s *Session) *model.TraceSet {
+	t.Helper()
+	ts, err := s.FinishRecord()
+	if err != nil {
+		t.Fatalf("FinishRecord: %v", err)
+	}
+	return ts
+}
 
 // appSequence returns the synthetic per-thread event sequence used by the
 // tests: 50 iterations of (a, b) with a barrier every 10 iterations.
@@ -33,7 +45,7 @@ func TestRecordThenPredictRoundTrip(t *testing.T) {
 	for _, e := range seq {
 		th.Submit(e)
 	}
-	set := s.FinishRecord()
+	set := mustFinishRecord(t, s)
 	if err := set.Validate(); err != nil {
 		t.Fatalf("trace set invalid: %v", err)
 	}
@@ -83,7 +95,7 @@ func TestConcurrentThreadsRecord(t *testing.T) {
 		}(tid)
 	}
 	wg.Wait()
-	set := s.FinishRecord()
+	set := mustFinishRecord(t, s)
 	if err := set.Validate(); err != nil {
 		t.Fatalf("trace set invalid: %v", err)
 	}
@@ -149,7 +161,7 @@ func TestPredictSessionMissingThread(t *testing.T) {
 	th := s.Thread(0)
 	th.Submit(a)
 	th.Submit(a)
-	set := s.FinishRecord()
+	set := mustFinishRecord(t, s)
 
 	ps, err := NewPredictSession(set, predictor.Config{})
 	if err != nil {
@@ -182,17 +194,14 @@ func TestFinishRecordPanicsOnPredictSession(t *testing.T) {
 	th := s.Thread(0)
 	th.Submit(a)
 	th.Submit(a)
-	set := s.FinishRecord()
+	set := mustFinishRecord(t, s)
 	ps, err := NewPredictSession(set, predictor.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("FinishRecord on predict session did not panic")
-		}
-	}()
-	ps.FinishRecord()
+	if _, err := ps.FinishRecord(); err == nil {
+		t.Fatal("FinishRecord on predict session did not return an error")
+	}
 }
 
 func TestModeString(t *testing.T) {
@@ -228,7 +237,7 @@ func TestSubmitAtVirtualTimestamps(t *testing.T) {
 		th.SubmitAt(b, now)
 		now += 150
 	}
-	set := s.FinishRecord()
+	set := mustFinishRecord(t, s)
 	tr := set.Trace(0)
 	if tr.Timing == nil {
 		t.Fatal("no timing model")

@@ -1,0 +1,184 @@
+package core
+
+// Fail-open reliability layer (this file). Pythia is advisory: the host
+// runtime must keep working — at worst with its default heuristics — when
+// the oracle misbehaves. Three mechanisms guarantee that:
+//
+//   - Panic containment: every exported method of the public handles
+//     (pythia.Oracle, core.Thread) runs under a deferred Contain call. An
+//     internal invariant panic is recovered, recorded as the first failure
+//     cause, and flips the session into the failed state: from then on
+//     Submit is a cheap no-op and Predict* answer ok=false. The host
+//     runtime never sees the panic.
+//   - Resource budgets (recorder package): a breached grammar/event budget
+//     freezes the grammar instead of growing without bound; the breach is
+//     surfaced here as a Degraded state with a cause.
+//   - Divergence watchdog (predictor package): a windowed accuracy floor
+//     self-quarantines the predict path; quarantine is entered and left
+//     automatically and surfaced here as a Quarantined state.
+//
+// Health() aggregates all three into one snapshot the runtime can poll.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// State is the oracle's degradation state.
+type State int32
+
+const (
+	// StateHealthy: no contained panic, no budget breach, no quarantined
+	// thread. The oracle answers normally.
+	StateHealthy State = iota
+	// StateDegraded: the oracle failed open — an internal panic was
+	// contained (all submissions become no-ops and predictions return
+	// ok=false) or a record-mode resource budget was breached (the
+	// affected grammars are frozen; the trace will be marked truncated).
+	StateDegraded
+	// StateQuarantined: the divergence watchdog pulled predictions on at
+	// least one thread because the windowed accuracy dropped below the
+	// configured floor. Tracking continues and the state clears itself
+	// when accuracy returns.
+	StateQuarantined
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Health is one consistent snapshot of the oracle's reliability state.
+type Health struct {
+	// State is the aggregate degradation state: Degraded dominates (it is
+	// sticky), then Quarantined (self-clearing), then Healthy.
+	State State
+	// Cause describes the first failure ("" while healthy): the recovered
+	// panic value and method for containment, the breached budget for
+	// record-mode degradation.
+	Cause string
+	// PanicsContained counts internal panics recovered by the containment
+	// wrappers. Any non-zero value means the oracle found a bug in itself
+	// and failed open.
+	PanicsContained int64
+	// BudgetBreaches counts threads whose record-mode resource budget was
+	// breached (their grammars are frozen and traces marked truncated).
+	BudgetBreaches int64
+	// QuarantinedThreads counts threads currently held back by the
+	// divergence watchdog.
+	QuarantinedThreads int64
+}
+
+// health is the session-wide failure accounting. Counters are atomics:
+// they are bumped from Thread methods (single-goroutine each, but many
+// threads) and read by Health() from any goroutine.
+type health struct {
+	failed      atomic.Bool // a panic was contained: fail-open everything
+	panics      atomic.Int64
+	breaches    atomic.Int64
+	quarantined atomic.Int64
+
+	mu    sync.Mutex
+	cause string // first failure, immutable once set
+}
+
+// noteCause records the first failure description (later ones are dropped:
+// the first failure is the one worth reporting, everything after may be
+// fallout).
+func (h *health) noteCause(cause string) {
+	h.mu.Lock()
+	if h.cause == "" {
+		h.cause = cause
+	}
+	h.mu.Unlock()
+}
+
+// notePanic records a contained panic and flips the session to fail-open.
+func (h *health) notePanic(method string, v any) {
+	h.panics.Add(1)
+	h.failed.Store(true)
+	h.noteCause(fmt.Sprintf("panic in %s: %v", method, v))
+}
+
+// noteBreach records one thread's record-budget breach.
+func (h *health) noteBreach(tid int32, cause string) {
+	h.breaches.Add(1)
+	h.noteCause(fmt.Sprintf("thread %d record budget breached: %s", tid, cause))
+}
+
+// noteQuarantine records one thread entering (on=true) or leaving the
+// divergence-watchdog quarantine.
+func (h *health) noteQuarantine(tid int32, on bool) {
+	if on {
+		h.quarantined.Add(1)
+		h.noteCause(fmt.Sprintf("thread %d quarantined by divergence watchdog", tid))
+		return
+	}
+	h.quarantined.Add(-1)
+}
+
+// Contain is the deferred recover wrapper every exported Oracle/Thread
+// method routes through (enforced by the pythia-vet containment analyzer):
+// it recovers an in-flight panic and fails the session open. It must be
+// invoked directly by a defer statement — recover only works one frame up.
+func (s *Session) Contain(method string) {
+	if r := recover(); r != nil {
+		s.health.notePanic(method, r)
+	}
+}
+
+// ContainTo is Contain for error-returning methods: besides recovering and
+// degrading, it surfaces the contained panic as the method's error so a
+// caller of Finish-style APIs is not handed a silent nil result.
+func (s *Session) ContainTo(method string, errp *error) {
+	if r := recover(); r != nil {
+		s.health.notePanic(method, r)
+		if errp != nil && *errp == nil {
+			*errp = fmt.Errorf("pythia: internal panic in %s (oracle degraded): %v", method, r)
+		}
+	}
+}
+
+// Failed reports whether a panic was contained: the fail-open fast path
+// checked at the top of every state-mutating method.
+// pythia:hotpath — one atomic load per Submit.
+func (s *Session) Failed() bool { return s.health.failed.Load() }
+
+// InjectFailure marks the session failed as if a panic had been contained
+// in method. It exists for fault-injection harnesses and tests that need to
+// drive the oracle into the Degraded state deterministically; runtimes have
+// no reason to call it.
+func (s *Session) InjectFailure(method string, v any) {
+	s.health.notePanic(method, v)
+}
+
+// Health returns a snapshot of the session's reliability state.
+func (s *Session) Health() Health {
+	h := Health{
+		PanicsContained:    s.health.panics.Load(),
+		BudgetBreaches:     s.health.breaches.Load(),
+		QuarantinedThreads: s.health.quarantined.Load(),
+	}
+	s.health.mu.Lock()
+	h.Cause = s.health.cause
+	s.health.mu.Unlock()
+	switch {
+	case s.health.failed.Load() || h.BudgetBreaches > 0:
+		h.State = StateDegraded
+	case h.QuarantinedThreads > 0:
+		h.State = StateQuarantined
+	default:
+		h.State = StateHealthy
+	}
+	return h
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/recorder"
+)
+
+func TestStateString(t *testing.T) {
+	if StateHealthy.String() != "healthy" ||
+		StateDegraded.String() != "degraded" ||
+		StateQuarantined.String() != "quarantined" {
+		t.Fatal("State.String broken")
+	}
+	if State(42).String() == "" {
+		t.Fatal("unknown state must still render")
+	}
+}
+
+func TestInjectFailureDegrades(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	a := s.Registry().Intern("a")
+	th := s.Thread(0)
+	th.Submit(a)
+
+	s.InjectFailure("Thread.Submit", "injected fault")
+	h := s.Health()
+	if h.State != StateDegraded {
+		t.Fatalf("state = %v, want degraded", h.State)
+	}
+	if h.PanicsContained != 1 {
+		t.Fatalf("panics contained = %d, want 1", h.PanicsContained)
+	}
+	if !strings.Contains(h.Cause, "Thread.Submit") || !strings.Contains(h.Cause, "injected fault") {
+		t.Fatalf("cause = %q", h.Cause)
+	}
+
+	// Degraded fast paths: submissions become no-ops, queries refuse.
+	before := s.TotalEvents()
+	th.Submit(a)
+	th.SubmitAt(a, 5)
+	if s.TotalEvents() != before {
+		t.Fatal("degraded Submit still recorded")
+	}
+	if _, ok := th.PredictAt(1); ok {
+		t.Fatal("degraded PredictAt answered")
+	}
+	if _, err := s.FinishRecord(); err == nil {
+		t.Fatal("FinishRecord on a degraded session returned no error")
+	}
+
+	// The first cause is sticky: later failures count but do not overwrite.
+	s.InjectFailure("Thread.SubmitAt", "second fault")
+	h = s.Health()
+	if h.PanicsContained != 2 {
+		t.Fatalf("panics contained = %d, want 2", h.PanicsContained)
+	}
+	if !strings.Contains(h.Cause, "injected fault") {
+		t.Fatalf("first cause overwritten: %q", h.Cause)
+	}
+}
+
+// TestContainRecovers checks the wrapper converts a live panic into
+// degradation (the mechanism behind every exported method).
+func TestContainRecovers(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	func() {
+		defer s.Contain("test.method")
+		panic("boom")
+	}()
+	h := s.Health()
+	if h.State != StateDegraded || !strings.Contains(h.Cause, "boom") {
+		t.Fatalf("health after contained panic: %+v", h)
+	}
+}
+
+func TestContainToSetsError(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	var err error
+	func() {
+		defer s.ContainTo("test.finish", &err)
+		panic("kaboom")
+	}()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v", err)
+	}
+	if !s.Failed() {
+		t.Fatal("session not degraded after ContainTo")
+	}
+}
+
+// TestThreadCreationContained checks a panic during thread construction
+// yields an inert, non-nil handle instead of crashing or returning nil.
+func TestThreadCreationContained(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps())
+	s.InjectFailure("warmup", "pre-broken")
+	th := s.Thread(9)
+	if th == nil {
+		t.Fatal("Thread returned nil on a degraded session")
+	}
+	th.Submit(0) // must be a no-op, not a nil deref
+	if _, ok := th.PredictAt(1); ok {
+		t.Fatal("stub thread answered a prediction")
+	}
+}
+
+// TestBudgetBreachIsDegradedButFinishable: resource-budget degradation
+// keeps FinishRecord working — the truncated trace is the graceful result.
+func TestBudgetBreachIsDegradedButFinishable(t *testing.T) {
+	s := NewRecordSession(recorder.WithoutTimestamps(), recorder.WithMaxEvents(10))
+	a := s.Registry().Intern("a")
+	th := s.Thread(0)
+	for i := 0; i < 40; i++ {
+		th.Submit(a)
+	}
+	h := s.Health()
+	if h.State != StateDegraded || h.BudgetBreaches != 1 {
+		t.Fatalf("health = %+v, want degraded with one breach", h)
+	}
+	if !strings.Contains(h.Cause, "thread 0") {
+		t.Fatalf("cause = %q", h.Cause)
+	}
+	ts, err := s.FinishRecord()
+	if err != nil {
+		t.Fatalf("FinishRecord after budget breach: %v", err)
+	}
+	if !ts.Threads[0].Truncated || ts.Threads[0].Dropped != 30 {
+		t.Fatalf("trace truncated=%v dropped=%d", ts.Threads[0].Truncated, ts.Threads[0].Dropped)
+	}
+}

@@ -24,7 +24,7 @@ func buildReference(t *testing.T) *Session {
 }
 
 func TestOnlineSessionPredictsAndRecords(t *testing.T) {
-	ref := buildReference(t).FinishRecord()
+	ref := mustFinishRecord(t, buildReference(t))
 
 	on, err := NewOnlineSession(ref, predictor.Config{})
 	if err != nil {
@@ -57,7 +57,7 @@ func TestOnlineSessionPredictsAndRecords(t *testing.T) {
 	}
 
 	// The session also recorded the fresh execution.
-	fresh := on.FinishRecord()
+	fresh := mustFinishRecord(t, on)
 	if fresh.Threads[0].Grammar.EventCount != 200 {
 		t.Fatalf("fresh trace has %d events, want 200", fresh.Threads[0].Grammar.EventCount)
 	}
@@ -67,7 +67,7 @@ func TestOnlineSessionPredictsAndRecords(t *testing.T) {
 }
 
 func TestOnlineSessionNewEventsExtendRegistry(t *testing.T) {
-	ref := buildReference(t).FinishRecord()
+	ref := mustFinishRecord(t, buildReference(t))
 	on, err := NewOnlineSession(ref, predictor.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestOnlineSessionNewEventsExtendRegistry(t *testing.T) {
 	th.Submit(on.Registry().Lookup("a"))
 	th.Submit(nu) // unexpected for the predictor, recorded all the same
 	th.Submit(on.Registry().Lookup("b"))
-	fresh := on.FinishRecord()
+	fresh := mustFinishRecord(t, on)
 	if fresh.Threads[0].Grammar.EventCount != 3 {
 		t.Fatalf("events = %d, want 3", fresh.Threads[0].Grammar.EventCount)
 	}
@@ -91,8 +91,8 @@ func TestOnlineSessionNewEventsExtendRegistry(t *testing.T) {
 }
 
 func TestMergeTiming(t *testing.T) {
-	oldTS := buildReference(t).FinishRecord()
-	freshTS := buildReference(t).FinishRecord()
+	oldTS := mustFinishRecord(t, buildReference(t))
+	freshTS := mustFinishRecord(t, buildReference(t))
 
 	beforeCount := freshTS.Threads[0].Timing.ByEvent[0].Count
 	merged := MergeTiming(freshTS, oldTS)
@@ -106,7 +106,7 @@ func TestMergeTiming(t *testing.T) {
 }
 
 func TestMergeTimingSkipsChangedStructure(t *testing.T) {
-	oldTS := buildReference(t).FinishRecord()
+	oldTS := mustFinishRecord(t, buildReference(t))
 
 	// A structurally different execution.
 	s := NewRecordSession()
@@ -117,7 +117,7 @@ func TestMergeTimingSkipsChangedStructure(t *testing.T) {
 		th.SubmitAt(x, now)
 		now += 5
 	}
-	freshTS := s.FinishRecord()
+	freshTS := mustFinishRecord(t, s)
 
 	if merged := MergeTiming(freshTS, oldTS); merged != 0 {
 		t.Fatalf("merged %d threads despite structural change", merged)

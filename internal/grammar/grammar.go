@@ -36,6 +36,8 @@ type Grammar struct {
 	rulePool []*rule
 
 	eventCount int64 // number of terminals appended so far
+	liveRules  int   // non-nil entries of rules, maintained by alloc/free
+	liveNodes  int   // linked body nodes (guards excluded), maintained by newNode/recycle
 }
 
 // IndexKind selects the digram-index implementation.
@@ -63,6 +65,7 @@ func NewIndexed(kind IndexKind) *Grammar {
 		g.mapIndex = make(map[digram]*node)
 	}
 	g.rules = append(g.rules, newRule(0))
+	g.liveRules = 1
 	return g
 }
 
@@ -118,16 +121,16 @@ func (g *Grammar) ruleOf(s Sym) *rule { return g.rules[s.RuleIndex()] }
 // the unfolded length of the root rule.
 func (g *Grammar) EventCount() int64 { return g.eventCount }
 
-// RuleCount returns the number of live rules, including the root.
-func (g *Grammar) RuleCount() int {
-	n := 0
-	for _, r := range g.rules {
-		if r != nil {
-			n++
-		}
-	}
-	return n
-}
+// RuleCount returns the number of live rules, including the root. O(1):
+// record-mode budget checks read it on every append.
+// pythia:hotpath — one budget comparison per recorded event.
+func (g *Grammar) RuleCount() int { return g.liveRules }
+
+// NodeCount returns the number of live body nodes across all rules (guard
+// nodes excluded) — with RuleCount, the grammar's memory footprint measure
+// that record-mode budgets cap. O(1).
+// pythia:hotpath — one budget comparison per recorded event.
+func (g *Grammar) NodeCount() int { return g.liveNodes }
 
 // Append records one occurrence of the terminal event id at the end of the
 // trace, restoring all grammar invariants before returning.
@@ -167,6 +170,7 @@ func (g *Grammar) appendSym(s Sym, c uint32) {
 // newNode allocates or recycles a body node.
 // pythia:hotpath — node churn is pooled, not allocated per event.
 func (g *Grammar) newNode(s Sym, c uint32) *node {
+	g.liveNodes++
 	if n := len(g.nodePool); n > 0 {
 		nd := g.nodePool[n-1]
 		g.nodePool = g.nodePool[:n-1]
@@ -179,6 +183,7 @@ func (g *Grammar) newNode(s Sym, c uint32) *node {
 // recycle returns an unlinked node to the pool.
 // pythia:hotpath — the pool append is capacity-bounded.
 func (g *Grammar) recycle(n *node) {
+	g.liveNodes--
 	if len(g.nodePool) < 1024 {
 		g.nodePool = append(g.nodePool, n)
 	}
@@ -519,6 +524,7 @@ func (g *Grammar) allocRule() *rule {
 		r = newRule(idx)
 	}
 	g.rules[idx] = r
+	g.liveRules++
 	return r
 }
 
@@ -528,6 +534,7 @@ func (g *Grammar) allocRule() *rule {
 // pythia:hotpath — the pool append is capacity-bounded.
 func (g *Grammar) freeRule(r *rule) {
 	g.rules[r.idx] = nil
+	g.liveRules--
 	g.free = append(g.free, r.idx)
 	if len(g.rulePool) >= 256 {
 		r.users = nil

@@ -141,6 +141,23 @@ func (g *Grammar) checkInvariants(strict bool) error {
 	if n := g.ExpandedLength(0); n != g.eventCount {
 		return fmt.Errorf("grammar: root expands to %d terminals, recorded %d", n, g.eventCount)
 	}
+
+	// The O(1) budget counters must agree with a full recount — record-mode
+	// resource budgets rely on them.
+	rules, nodes := 0, 0
+	for _, r := range g.rules {
+		if r == nil {
+			continue
+		}
+		rules++
+		nodes += r.bodyLen()
+	}
+	if rules != g.liveRules {
+		return fmt.Errorf("grammar: liveRules counter %d, recount %d", g.liveRules, rules)
+	}
+	if nodes != g.liveNodes {
+		return fmt.Errorf("grammar: liveNodes counter %d, recount %d", g.liveNodes, nodes)
+	}
 	return nil
 }
 

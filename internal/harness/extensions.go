@@ -64,7 +64,7 @@ func runMPIAppRanks(app apps.App, class apps.Class, record bool, seed int64, ran
 	}
 	out := MPIRun{Wall: time.Since(start)}
 	if record {
-		out.Trace = oracle.Finish()
+		out.Trace = mustFinish(oracle)
 	}
 	return out
 }
@@ -195,7 +195,10 @@ func ExtDuration(size int64) ([]ExtDurationRow, error) {
 	recRT := ompsim.New(ompsim.Config{MaxThreads: m.Cores, Machine: &m, Oracle: rec})
 	apps.RunLuleshOMP(recRT, size, steps)
 	recRT.Close()
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		return nil, err
+	}
 
 	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
 	if err != nil {

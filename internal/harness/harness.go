@@ -93,9 +93,20 @@ func RunMPIApp(app apps.App, class apps.Class, record bool, seed int64) MPIRun {
 
 	out := MPIRun{Wall: wall}
 	if record {
-		out.Trace = oracle.Finish()
+		out.Trace = mustFinish(oracle)
 	}
 	return out
+}
+
+// mustFinish finalises a record-mode oracle the harness created itself.
+// Finish can only fail here if the oracle degraded mid-run (a contained
+// internal panic), which would invalidate the experiment — surface it.
+func mustFinish(o *pythia.Oracle) *pythia.TraceSet {
+	ts, err := o.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("pythia: internal: harness: record-mode Finish failed: %v", err))
+	}
+	return ts
 }
 
 // CaptureStreams records one run of the application and returns, per rank,

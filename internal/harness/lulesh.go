@@ -57,7 +57,7 @@ func runLuleshOnce(m ompsim.MachineModel, maxThreads int, s int64, record bool,
 	}
 	var ts *pythia.TraceSet
 	if rec != nil {
-		ts = rec.Finish()
+		ts = mustFinish(rec)
 	}
 	return dur, mean, ts
 }

@@ -56,7 +56,10 @@ func TestPrefetchHidesLatency(t *testing.T) {
 	rec := pythia.NewRecordOracle()
 	recorded := New(Config{Oracle: rec})
 	stridedApp(recorded, iters, chunks)
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Predict + prefetch.
 	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})

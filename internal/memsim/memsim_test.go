@@ -66,7 +66,10 @@ func TestOracleBeatsFirstTouch(t *testing.T) {
 	if recNs != ftNs {
 		t.Fatalf("recording changed virtual time: %d vs %d", recNs, ftNs)
 	}
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
 	if err != nil {

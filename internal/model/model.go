@@ -194,6 +194,13 @@ func (tr *Trace) EventName(id int32) string {
 type ThreadTrace struct {
 	Grammar *grammar.Frozen
 	Timing  *Timing
+	// Truncated marks a recording degraded by a resource budget breach: the
+	// grammar covers only a prefix of the thread's event stream. Predictions
+	// from a truncated trace are valid for that prefix.
+	Truncated bool
+	// Dropped counts the events seen after the budget froze the grammar
+	// (0 when not truncated).
+	Dropped int64
 }
 
 // TraceSet is the content of one Pythia trace file: one grammar (and

@@ -34,7 +34,10 @@ func TestAggregatorCorrectness(t *testing.T) {
 	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
 	w := NewWorld(4)
 	w.RunInterposed(func(m MPI) MPI { return NewAggregator(m, rec) }, burstProgram(20))
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Replay with prediction-driven aggregation; payload checks are inside
 	// the program.
@@ -91,7 +94,10 @@ func TestAggregatorRecordingIsTransparent(t *testing.T) {
 				a.MessagesSent, a.PayloadsSent)
 		}
 	}
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := ts.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +127,10 @@ func TestAggregatorMixedTagsAndSizes(t *testing.T) {
 	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
 	w := NewWorld(2)
 	w.RunInterposed(func(m MPI) MPI { return NewAggregator(m, rec) }, prog)
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
 	if err != nil {
 		t.Fatal(err)

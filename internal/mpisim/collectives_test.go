@@ -81,7 +81,10 @@ func TestExtendedSurfaceInterposed(t *testing.T) {
 			m.Scatter(0, parts)
 		}
 	})
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := ts.Validate(); err != nil {
 		t.Fatal(err)
 	}

@@ -239,7 +239,11 @@ func TestInterposedRecordDeterministicGrammars(t *testing.T) {
 			}
 			m.Barrier()
 		})
-		return o.Finish()
+		ts, err := o.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
 	}
 	a, b := run(), run()
 	for tid := range a.Threads {
@@ -277,7 +281,10 @@ func TestInterposedPredictRoundTrip(t *testing.T) {
 	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
 	w := NewWorld(4)
 	w.RunInterposed(func(m MPI) MPI { return NewInterposer(m, rec) }, program)
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
 	if err != nil {

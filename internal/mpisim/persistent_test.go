@@ -88,7 +88,10 @@ func TestAdvisePersistent(t *testing.T) {
 	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
 	w := NewWorld(3)
 	w.RunInterposed(func(m MPI) MPI { return NewInterposer(m, rec) }, program)
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
 	if err != nil {

@@ -31,7 +31,10 @@ func TestCriticalEventsRecorded(t *testing.T) {
 		})
 	}
 	rt.Close()
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := 0
 	for _, name := range ts.Events {
 		if strings.HasPrefix(name, "GOMP_critical_") {
@@ -149,7 +152,10 @@ func TestCriticalUnderRecordingParallel(t *testing.T) {
 		}
 	})
 	rt.Close()
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// begin + 8*50*2 critical events + end.
 	if n := ts.Threads[0].Grammar.EventCount; n != 2+800 {
 		t.Fatalf("events = %d, want 802", n)

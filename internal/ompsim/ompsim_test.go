@@ -129,7 +129,10 @@ func TestAdaptiveBeatsVanilla(t *testing.T) {
 	syntheticApp(recRT, steps)
 	recNs := recRT.Now()
 	recRT.Close()
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Recording must not change the virtual duration at all.
 	if recNs != vanillaNs {
@@ -177,7 +180,11 @@ func TestErrorInjectionDegrades(t *testing.T) {
 		rt := New(Config{MaxThreads: 24, Machine: &m, Oracle: rec})
 		syntheticApp(rt, steps)
 		rt.Close()
-		return rec.Finish()
+		ts, err := rec.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
 	}
 	run := func(ts *pythia.TraceSet, errRate float64) int64 {
 		oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
@@ -264,7 +271,10 @@ func TestAdaptiveRealClock(t *testing.T) {
 	recRT := New(Config{MaxThreads: 8, Oracle: rec})
 	app(recRT)
 	recRT.Close()
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	oracle, err := pythiaPredict(ts)
 	if err != nil {

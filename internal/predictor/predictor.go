@@ -34,6 +34,19 @@ type Config struct {
 	// hypothesis machinery. It is the reference implementation that the
 	// differential tests and the cache ablation compare against.
 	DisableCache bool
+	// WatchdogWindow is the divergence watchdog's observation window: the
+	// number of recent observations over which the prediction hit-rate is
+	// measured. Zero selects the default (128); negative disables the
+	// watchdog entirely.
+	WatchdogWindow int
+	// WatchdogFloor is the minimum windowed hit-rate; strictly below it
+	// the predictor self-quarantines (Predict* return ok=false) until the
+	// rate recovers. Zero selects the default (0.35).
+	WatchdogFloor float64
+	// WatchdogRecover is the hit-rate at which a quarantined predictor
+	// resumes answering. Zero selects the default (WatchdogFloor + 0.15,
+	// capped at 1): the hysteresis gap keeps the state from flapping.
+	WatchdogRecover float64
 }
 
 const (
@@ -47,6 +60,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxLookahead <= 0 {
 		c.MaxLookahead = defaultMaxLookahead
+	}
+	if c.WatchdogWindow == 0 {
+		c.WatchdogWindow = defaultWatchdogWindow
+	}
+	if c.WatchdogFloor <= 0 {
+		c.WatchdogFloor = defaultWatchdogFloor
+	}
+	if c.WatchdogFloor > 1 {
+		c.WatchdogFloor = 1
+	}
+	if c.WatchdogRecover <= 0 {
+		c.WatchdogRecover = c.WatchdogFloor + 0.15
+	}
+	if c.WatchdogRecover > 1 {
+		c.WatchdogRecover = 1
+	}
+	if c.WatchdogRecover < c.WatchdogFloor {
+		c.WatchdogRecover = c.WatchdogFloor
 	}
 	return c
 }
@@ -90,6 +121,8 @@ type Predictor struct {
 	// refsBuf is the reusable path buffer for timing lookups on the
 	// cached query path.
 	refsBuf []grammar.UserRef
+	// wd is the divergence watchdog (see watchdog.go).
+	wd watchdog
 }
 
 // New returns a predictor for the reference trace. The candidate set starts
@@ -98,13 +131,16 @@ type Predictor struct {
 // anchor itself (which tolerates attaching mid-run, as the paper's
 // evaluation does).
 func New(tr *model.Trace, cfg Config) *Predictor {
-	return &Predictor{f: tr.Grammar, timing: tr.Timing, cfg: cfg.withDefaults()}
+	p := &Predictor{f: tr.Grammar, timing: tr.Timing, cfg: cfg.withDefaults()}
+	p.wd.init(p.cfg)
+	return p
 }
 
 // StartAtBeginning seeds tracking at the first event of the reference trace.
 // The next Observe call is expected to report that event.
 func (p *Predictor) StartAtBeginning() {
 	p.invalidate()
+	p.wd.reset()
 	p.cands = p.cands[:0]
 	if pos, ok := progress.Start(p.f); ok {
 		p.cands = append(p.cands, progress.Branch{Pos: pos, Weight: 1})
@@ -113,9 +149,24 @@ func (p *Predictor) StartAtBeginning() {
 }
 
 // Observe submits the next event of the current execution and updates the
-// hypothesis set.
+// hypothesis set and the divergence watchdog. Tracking continues even while
+// the watchdog holds predictions back — that is what lets a re-converging
+// execution lift its own quarantine.
 // pythia:hotpath — one call per submitted event in predict mode.
 func (p *Predictor) Observe(eventID int32) {
+	if !p.wd.enabled {
+		p.track(eventID)
+		return
+	}
+	f0, r0 := p.stats.Followed, p.stats.ReAnchored
+	p.track(eventID)
+	p.wd.record(p.stats.Followed > f0, p.stats.ReAnchored > r0)
+}
+
+// track is Observe without the watchdog accounting: it classifies the event
+// as followed, re-anchored or unknown and updates the hypothesis set.
+// pythia:hotpath — one call per submitted event in predict mode.
+func (p *Predictor) track(eventID int32) {
 	p.stats.Observed++
 	if p.pending {
 		p.pending = false
@@ -233,6 +284,9 @@ type Prediction struct {
 // has no hypothesis or every hypothesis ends before the horizon.
 // pythia:hotpath — the paper's per-query budget is ~0.05-2 µs (Fig. 9).
 func (p *Predictor) PredictAt(distance int) (Prediction, bool) {
+	if p.wd.quarantined {
+		return Prediction{}, false
+	}
 	if distance >= 1 && p.cacheUsable() {
 		if got := p.ensureWindow(distance); got >= distance {
 			c := &p.cache
@@ -263,6 +317,9 @@ func (p *Predictor) PredictAt(distance int) (Prediction, bool) {
 // step (step i has Distance i+1). The slice may be shorter than n if every
 // hypothesis reaches the end of the reference trace.
 func (p *Predictor) PredictSequence(n int) []Prediction {
+	if p.wd.quarantined {
+		return nil
+	}
 	if n >= 1 && p.cacheUsable() {
 		got := p.ensureWindow(n)
 		if got >= n || p.cache.state == cacheEnded {
@@ -290,6 +347,9 @@ func (p *Predictor) PredictSequence(n int) []Prediction {
 // occurrence of eventID, searching at most maxDistance events ahead.
 // ok is false when the event is not predicted within the horizon.
 func (p *Predictor) PredictDurationUntil(eventID int32, maxDistance int) (Prediction, bool) {
+	if p.wd.quarantined {
+		return Prediction{}, false
+	}
 	if maxDistance >= 1 && p.cacheUsable() {
 		got := p.ensureWindow(maxDistance)
 		if got >= maxDistance || p.cache.state == cacheEnded {
@@ -529,6 +589,7 @@ func mergeCapSim(branches []sim, max int) []sim {
 // known to be irrelevant (e.g. after a checkpoint restore).
 func (p *Predictor) Reset() {
 	p.invalidate()
+	p.wd.reset()
 	p.cands = p.cands[:0]
 	p.pending = false
 	p.stats = Stats{}

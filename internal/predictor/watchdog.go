@@ -1,0 +1,160 @@
+package predictor
+
+// The divergence watchdog (this file) keeps a confidently-wrong oracle from
+// steering the host runtime. A predict-mode oracle happily re-anchors and
+// keeps answering long after the execution has drifted from the reference
+// trace; the watchdog measures the oracle's own accuracy — was the observed
+// event the one a distance-1 prediction would have named? — plus the
+// re-anchor rate, over consecutive fixed-size windows of observations, and
+// pulls predictions (Predict* return ok=false) when a window's hit-rate
+// falls below a configured floor. Tracking continues while quarantined, so
+// when the execution re-converges with the reference the hit-rate recovers
+// and the watchdog releases the quarantine automatically — the
+// adaptive-openmp fallback ladder in reverse.
+//
+// The accounting is deliberately epoch-based (tumbling windows judged at
+// each boundary) rather than a sliding window: per observation it costs two
+// predictable branches and an increment, which keeps the default-on
+// watchdog invisible on the Observe hot path. The price is detection
+// latency of at most two windows instead of one.
+
+// Watchdog defaults: 128-observation windows, quarantine below 35% hits,
+// release at 50% (hysteresis keeps the state from flapping around the
+// floor).
+const (
+	defaultWatchdogWindow  = 128
+	defaultWatchdogFloor   = 0.35
+	defaultWatchdogRecover = 0.50
+)
+
+// WatchdogStatus is a snapshot of the divergence watchdog.
+type WatchdogStatus struct {
+	// Enabled reports whether the watchdog is active.
+	Enabled bool
+	// Window is the observation window length.
+	Window int
+	// Observed is the number of observations in the current (partial)
+	// window; the watchdog only judges completed windows.
+	Observed int
+	// HitRate is the fraction of the most recently completed window where
+	// the observed event matched the distance-1 prediction (0 until a
+	// window completes).
+	HitRate float64
+	// ReAnchorRate is the fraction of the most recently completed window
+	// where the observation forced a re-anchor.
+	ReAnchorRate float64
+	// Quarantined reports whether predictions are currently pulled.
+	Quarantined bool
+	// Quarantines counts quarantine entries since the predictor was
+	// created.
+	Quarantines int64
+}
+
+// watchdog is the windowed accuracy monitor embedded in every Predictor.
+type watchdog struct {
+	enabled bool
+	window  int
+	// floorCount / recoverCount are the thresholds premultiplied by the
+	// window length, so the per-window judgment is an integer compare.
+	floorCount   int
+	recoverCount int
+
+	n       int // observations in the current window
+	hitN    int // hits in the current window
+	reanchN int // re-anchors in the current window
+
+	// Counts of the last completed window, for WatchdogStatus.
+	lastHitN    int
+	lastReanchN int
+	judged      bool // at least one window has completed
+
+	quarantined bool
+	quarantines int64
+}
+
+// init configures the watchdog from the (defaulted) Config.
+func (w *watchdog) init(cfg Config) {
+	if cfg.WatchdogWindow < 0 {
+		return
+	}
+	w.enabled = true
+	w.window = cfg.WatchdogWindow
+	// ceil(rate*window): quarantine strictly below the floor, recover at or
+	// above the recovery rate.
+	w.floorCount = ceilRate(cfg.WatchdogFloor, w.window)
+	w.recoverCount = ceilRate(cfg.WatchdogRecover, w.window)
+}
+
+// ceilRate returns ceil(rate*window) as the integer threshold equivalent.
+func ceilRate(rate float64, window int) int {
+	n := int(rate * float64(window))
+	if float64(n) < rate*float64(window) {
+		n++
+	}
+	return n
+}
+
+// record folds one observation outcome into the current window, judging the
+// quarantine state at each window boundary.
+// pythia:hotpath — an increment and two predictable branches per Observe.
+func (w *watchdog) record(hit, reanchored bool) {
+	if hit {
+		w.hitN++
+	}
+	if reanchored {
+		w.reanchN++
+	}
+	w.n++
+	if w.n >= w.window {
+		w.judge()
+	}
+}
+
+// judge closes the current window: updates the quarantine state against the
+// thresholds and starts the next window. Runs once per window — cold.
+func (w *watchdog) judge() {
+	if !w.quarantined {
+		if w.hitN < w.floorCount {
+			w.quarantined = true
+			w.quarantines++
+		}
+	} else if w.hitN >= w.recoverCount {
+		w.quarantined = false
+	}
+	w.lastHitN, w.lastReanchN = w.hitN, w.reanchN
+	w.judged = true
+	w.n, w.hitN, w.reanchN = 0, 0, 0
+}
+
+// reset clears all windows and releases any quarantine (Reset /
+// StartAtBeginning: the past accuracy is no longer meaningful).
+func (w *watchdog) reset() {
+	if !w.enabled {
+		return
+	}
+	w.n, w.hitN, w.reanchN = 0, 0, 0
+	w.lastHitN, w.lastReanchN = 0, 0
+	w.judged = false
+	w.quarantined = false
+}
+
+// Quarantined reports whether the divergence watchdog currently holds
+// predictions back (Predict* return ok=false while true).
+func (p *Predictor) Quarantined() bool { return p.wd.quarantined }
+
+// Watchdog returns a snapshot of the divergence watchdog.
+func (p *Predictor) Watchdog() WatchdogStatus {
+	w := &p.wd
+	st := WatchdogStatus{
+		Enabled:     w.enabled,
+		Window:      w.window,
+		Observed:    w.n,
+		Quarantined: w.quarantined,
+		Quarantines: w.quarantines,
+	}
+	if w.judged && w.window > 0 {
+		st.HitRate = float64(w.lastHitN) / float64(w.window)
+		st.ReAnchorRate = float64(w.lastReanchN) / float64(w.window)
+	}
+	return st
+}

@@ -1,0 +1,154 @@
+package predictor
+
+import "testing"
+
+// wdFor builds a watchdog from raw config values via the same path the
+// Predictor uses.
+func wdFor(window int, floor, recover float64) *watchdog {
+	w := &watchdog{}
+	w.init(Config{
+		WatchdogWindow:  window,
+		WatchdogFloor:   floor,
+		WatchdogRecover: recover,
+	}.withDefaults())
+	return w
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	w := &watchdog{}
+	w.init(Config{WatchdogWindow: -1}.withDefaults())
+	if w.enabled {
+		t.Fatal("negative window did not disable the watchdog")
+	}
+}
+
+func TestWatchdogNeverJudgesPartialWindow(t *testing.T) {
+	w := wdFor(64, 0.35, 0.5)
+	for i := 0; i < 63; i++ {
+		w.record(false, true) // all misses
+	}
+	if w.quarantined {
+		t.Fatal("quarantined before the window filled")
+	}
+	w.record(false, true) // 64th observation completes the window
+	if !w.quarantined {
+		t.Fatal("not quarantined at 0% hit-rate over a full window")
+	}
+}
+
+func TestWatchdogHysteresis(t *testing.T) {
+	w := wdFor(64, 0.35, 0.5)
+	// Fill with misses → quarantined.
+	for i := 0; i < 64; i++ {
+		w.record(false, false)
+	}
+	if !w.quarantined {
+		t.Fatal("not quarantined")
+	}
+	// Hover between floor and recover (~40% hits): must stay quarantined.
+	for i := 0; i < 256; i++ {
+		w.record(i%5 < 2, false)
+	}
+	if !w.quarantined {
+		t.Fatal("released between floor and recovery threshold (hysteresis broken)")
+	}
+	// Sustained accuracy above the recovery rate releases.
+	for i := 0; i < 64; i++ {
+		w.record(true, false)
+	}
+	if w.quarantined {
+		t.Fatal("not released at 100% hit-rate")
+	}
+	if w.quarantines != 1 {
+		t.Fatalf("quarantines = %d, want 1", w.quarantines)
+	}
+}
+
+func TestWatchdogEpochAccounting(t *testing.T) {
+	w := wdFor(128, 0.35, 0.5)
+	// Alternate hits and misses across five complete windows; every closed
+	// window must tally exactly half the slots as hits.
+	for i := 0; i < 128*5; i++ {
+		w.record(i%2 == 0, i%3 == 0)
+	}
+	if w.n != 0 || !w.judged {
+		t.Fatalf("five exact windows left a partial window: n=%d judged=%v", w.n, w.judged)
+	}
+	if w.lastHitN != 64 {
+		t.Fatalf("lastHitN = %d after alternating stream, want 64", w.lastHitN)
+	}
+	if w.quarantined {
+		t.Fatal("quarantined at 50% hit-rate with floor 35%")
+	}
+}
+
+func TestWatchdogReset(t *testing.T) {
+	w := wdFor(64, 0.35, 0.5)
+	for i := 0; i < 64; i++ {
+		w.record(false, false)
+	}
+	if !w.quarantined {
+		t.Fatal("precondition: quarantined")
+	}
+	w.reset()
+	if w.quarantined || w.n != 0 || w.hitN != 0 || w.reanchN != 0 || w.judged {
+		t.Fatalf("reset left state behind: %+v", w)
+	}
+}
+
+// TestPredictorQuarantinePullsAnswers drives a real Predictor off the rails
+// and checks the query surface goes dark while Quarantined() is true.
+func TestPredictorQuarantinePullsAnswers(t *testing.T) {
+	seq := make([]int32, 0, 400)
+	for i := 0; i < 200; i++ {
+		seq = append(seq, 0, 1)
+	}
+	p := New(traceOf(seq), Config{})
+	p.StartAtBeginning()
+	for i := 0; i < 64; i++ {
+		p.Observe(int32(i % 2)) // on pattern
+	}
+	if _, ok := p.PredictAt(1); !ok {
+		t.Fatal("no prediction on a converged stream")
+	}
+	for i := 0; i < 400; i++ {
+		p.Observe(int32(7 + i%5)) // off the alphabet
+	}
+	if !p.Quarantined() {
+		st := p.Watchdog()
+		t.Fatalf("not quarantined after 400 off-trace events (hit %.2f reanchor %.2f)",
+			st.HitRate, st.ReAnchorRate)
+	}
+	if _, ok := p.PredictAt(1); ok {
+		t.Fatal("PredictAt answered while quarantined")
+	}
+	if got := p.PredictSequence(4); got != nil {
+		t.Fatalf("PredictSequence answered while quarantined: %v", got)
+	}
+	if _, ok := p.PredictDurationUntil(1, 8); ok {
+		t.Fatal("PredictDurationUntil answered while quarantined")
+	}
+	st := p.Watchdog()
+	if !st.Enabled || !st.Quarantined || st.Quarantines != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestCeilRate(t *testing.T) {
+	cases := []struct {
+		rate   float64
+		window int
+		want   int
+	}{
+		{0.35, 128, 45}, // 44.8 → 45
+		{0.5, 128, 64},
+		{0.5, 64, 32},
+		{0, 64, 0},
+		{1, 64, 64},
+	}
+	for _, c := range cases {
+		if got := ceilRate(c.rate, c.window); got != c.want {
+			t.Errorf("ceilRate(%v, %d) = %d, want %d", c.rate, c.window, got, c.want)
+		}
+	}
+}

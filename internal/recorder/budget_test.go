@@ -1,0 +1,108 @@
+package recorder
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/events"
+)
+
+func TestMaxEventsBudget(t *testing.T) {
+	r := New(WithoutTimestamps(), WithMaxEvents(50))
+	for i := 0; i < 120; i++ {
+		r.Record(events.ID(i % 2))
+	}
+	if !r.Truncated() {
+		t.Fatal("recorder not truncated past the event cap")
+	}
+	if !strings.Contains(r.TruncationCause(), "event cap 50") {
+		t.Fatalf("cause = %q", r.TruncationCause())
+	}
+	if r.DroppedEvents() != 70 {
+		t.Fatalf("dropped = %d, want 70", r.DroppedEvents())
+	}
+	// EventCount reports the true stream length for overhead accounting.
+	if r.EventCount() != 120 {
+		t.Fatalf("EventCount = %d, want 120", r.EventCount())
+	}
+	th := r.Finish()
+	if !th.Truncated || th.Dropped != 70 {
+		t.Fatalf("trace truncated=%v dropped=%d, want true/70", th.Truncated, th.Dropped)
+	}
+	if th.Grammar.EventCount != 50 {
+		t.Fatalf("grammar froze at %d events, want 50", th.Grammar.EventCount)
+	}
+}
+
+// highEntropy feeds a seeded random stream over an alphabet of distinct
+// events — the worst case for grammar growth.
+func highEntropy(r *Recorder, n, alphabet int) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		r.Record(events.ID(rng.Intn(alphabet)))
+	}
+}
+
+func TestRuleBudget(t *testing.T) {
+	r := New(WithoutTimestamps(), WithGrammarBudget(32, 0))
+	highEntropy(r, 50_000, 64)
+	if !r.Truncated() {
+		t.Fatal("rule budget never breached on a high-entropy stream")
+	}
+	if !strings.Contains(r.TruncationCause(), "rule budget 32") {
+		t.Fatalf("cause = %q", r.TruncationCause())
+	}
+	// The freeze happens on the first event past the budget: the grammar
+	// may sit at most a handful of rules above the cap, never grow with
+	// the stream.
+	if n := r.Grammar().RuleCount(); n > 40 {
+		t.Fatalf("grammar at %d rules under a budget of 32", n)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	r := New(WithoutTimestamps(), WithGrammarBudget(0, 256))
+	highEntropy(r, 50_000, 64)
+	if !r.Truncated() {
+		t.Fatal("node budget never breached on a high-entropy stream")
+	}
+	if !strings.Contains(r.TruncationCause(), "node budget 256") {
+		t.Fatalf("cause = %q", r.TruncationCause())
+	}
+	if n := r.Grammar().NodeCount(); n > 256+16 {
+		t.Fatalf("grammar at %d nodes under a budget of 256", n)
+	}
+}
+
+func TestNoBudgetNoTruncation(t *testing.T) {
+	r := New(WithoutTimestamps())
+	highEntropy(r, 20_000, 64)
+	if r.Truncated() || r.DroppedEvents() != 0 {
+		t.Fatalf("unbudgeted recorder truncated (%q)", r.TruncationCause())
+	}
+	if th := r.Finish(); th.Truncated {
+		t.Fatal("unbudgeted trace marked truncated")
+	}
+}
+
+// TestTruncatedTimingFrozen checks the timing log stops growing with the
+// grammar — a budget must cap both halves of the recording.
+func TestTruncatedTimingFrozen(t *testing.T) {
+	var now int64
+	r := New(WithClock(func() int64 { now += 10; return now }), WithMaxEvents(20))
+	for i := 0; i < 200; i++ {
+		r.Record(events.ID(i % 2))
+	}
+	th := r.Finish()
+	if th.Timing == nil {
+		t.Fatal("timing model missing")
+	}
+	var samples int64
+	for _, s := range th.Timing.ByEvent {
+		samples += s.Count
+	}
+	if samples > 20 {
+		t.Fatalf("timing kept accumulating after the freeze: %d samples", samples)
+	}
+}

@@ -8,6 +8,7 @@
 package recorder
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/events"
@@ -35,6 +36,24 @@ func WithoutTimestamps() Option {
 	return func(r *Recorder) { r.clock = nil; r.noTime = true }
 }
 
+// WithMaxEvents caps the number of events folded into the grammar. Beyond
+// the cap the recording degrades gracefully instead of growing without
+// bound: the grammar is frozen, further events are counted but dropped, and
+// the resulting trace is marked truncated. Zero or negative means
+// unlimited.
+func WithMaxEvents(n int64) Option {
+	return func(r *Recorder) { r.maxEvents = n }
+}
+
+// WithGrammarBudget caps the grammar's memory footprint: at most maxRules
+// live rules and maxNodes live body nodes. An adversarial (high-entropy)
+// event stream defeats Sequitur's compression and would otherwise grow the
+// grammar linearly with the stream; on breach the recording degrades
+// exactly like WithMaxEvents. Zero or negative disables either cap.
+func WithGrammarBudget(maxRules, maxNodes int) Option {
+	return func(r *Recorder) { r.maxRules = maxRules; r.maxNodes = maxNodes }
+}
+
 // Recorder accumulates one thread's events. It is not safe for concurrent
 // use; Pythia keeps one recorder per thread (paper section III-C1).
 type Recorder struct {
@@ -44,6 +63,16 @@ type Recorder struct {
 	deltas []int64
 	last   int64
 	seen   bool
+
+	// Resource budgets (zero = unlimited) and the degradation they trigger:
+	// once truncated, the grammar and the timing log are frozen and events
+	// are merely counted.
+	maxEvents  int64
+	maxRules   int
+	maxNodes   int
+	truncated  bool
+	truncCause string
+	dropped    int64
 }
 
 // New returns a recorder. By default timestamps are recorded with a
@@ -66,13 +95,23 @@ func (r *Recorder) Record(id events.ID) {
 		r.RecordAt(id, r.clock())
 		return
 	}
+	if r.truncated {
+		r.dropped++
+		return
+	}
 	r.g.Append(int32(id))
+	r.checkBudget()
 }
 
 // RecordAt notifies the recorder that event id was raised at the explicit
 // timestamp now (nanoseconds on the recorder's clock). Timestamps must be
 // non-decreasing.
 func (r *Recorder) RecordAt(id events.ID, now int64) {
+	if r.truncated {
+		r.dropped++
+		r.last = now
+		return
+	}
 	delta := int64(0)
 	if r.seen {
 		delta = now - r.last
@@ -86,10 +125,59 @@ func (r *Recorder) RecordAt(id events.ID, now int64) {
 		r.deltas = append(r.deltas, delta)
 	}
 	r.g.Append(int32(id))
+	r.checkBudget()
 }
 
-// EventCount returns the number of events recorded so far.
-func (r *Recorder) EventCount() int64 { return r.g.EventCount() }
+// checkBudget freezes the recording when a resource budget is breached.
+// Comparisons against the grammar's O(1) counters — no scan.
+// pythia:hotpath — three compares per recorded event.
+func (r *Recorder) checkBudget() {
+	switch {
+	case r.maxEvents > 0 && r.g.EventCount() >= r.maxEvents:
+		r.truncateEvents()
+	case r.maxRules > 0 && r.g.RuleCount() > r.maxRules:
+		r.truncateRules()
+	case r.maxNodes > 0 && r.g.NodeCount() > r.maxNodes:
+		r.truncateNodes()
+	}
+}
+
+// The truncate* transitions run at most once per recording, off the
+// annotated hot path — formatting the cause here is free.
+
+func (r *Recorder) truncateEvents() {
+	r.truncate(fmt.Sprintf("event cap %d reached", r.maxEvents))
+}
+
+func (r *Recorder) truncateRules() {
+	r.truncate(fmt.Sprintf("rule budget %d exceeded (%d live rules)", r.maxRules, r.g.RuleCount()))
+}
+
+func (r *Recorder) truncateNodes() {
+	r.truncate(fmt.Sprintf("node budget %d exceeded (%d live nodes)", r.maxNodes, r.g.NodeCount()))
+}
+
+// truncate freezes the grammar and timing log; subsequent events are only
+// counted. The trace produced by Finish will carry the truncation mark.
+func (r *Recorder) truncate(cause string) {
+	r.truncated = true
+	r.truncCause = cause
+}
+
+// Truncated reports whether a resource budget froze this recording.
+func (r *Recorder) Truncated() bool { return r.truncated }
+
+// TruncationCause describes the breached budget ("" when not truncated).
+func (r *Recorder) TruncationCause() string { return r.truncCause }
+
+// DroppedEvents returns the number of events seen after the budget froze
+// the grammar (0 when not truncated).
+func (r *Recorder) DroppedEvents() int64 { return r.dropped }
+
+// EventCount returns the number of events seen so far, including events
+// dropped after a budget breach (record-overhead accounting wants the
+// true stream length, not the truncated one).
+func (r *Recorder) EventCount() int64 { return r.g.EventCount() + r.dropped }
 
 // RuleCount returns the current number of grammar rules, the paper's measure
 // of grammar size (Table I).
@@ -117,7 +205,11 @@ func (r *Recorder) Finish() *model.ThreadTrace {
 
 func (r *Recorder) finishInternal() *model.ThreadTrace {
 	frozen := r.g.Freeze()
-	th := &model.ThreadTrace{Grammar: frozen}
+	th := &model.ThreadTrace{
+		Grammar:   frozen,
+		Truncated: r.truncated,
+		Dropped:   r.dropped,
+	}
 	if len(r.deltas) == 0 {
 		return th
 	}

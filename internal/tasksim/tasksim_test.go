@@ -61,7 +61,10 @@ func TestOracleGuidedLPTBeatsFIFO(t *testing.T) {
 	rec := pythia.NewRecordOracle()
 	recorded := New(4, rec, false)
 	recNs := run(recorded, batches)
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if recNs != fifoNs {
 		t.Fatalf("recording changed the virtual makespan: %d vs %d", recNs, fifoNs)
@@ -106,7 +109,10 @@ func TestPredictionsLearnPerKindDurations(t *testing.T) {
 	}
 	rec := pythia.NewRecordOracle()
 	run(New(2, rec, false), batches)
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	oracle, err := pythia.NewPredictOracle(ts, pythia.Config{})
 	if err != nil {
 		t.Fatal(err)

@@ -19,7 +19,11 @@ func record(t *testing.T, threads map[int32][]string) *pythia.TraceSet {
 			th.Submit(s.Registry().Intern(name))
 		}
 	}
-	return s.FinishRecord()
+	ts, err := s.FinishRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
 }
 
 func repeat(names []string, n int) []string {
@@ -50,7 +54,10 @@ func TestIdenticalDespiteDifferentIDs(t *testing.T) {
 		tha.Submit(sa.Registry().Intern("x"))
 		tha.Submit(sa.Registry().Intern("y"))
 	}
-	a := sa.FinishRecord()
+	a, err := sa.FinishRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	sb := core.NewRecordSession(recorder.WithoutTimestamps())
 	sb.Registry().Intern("y") // id 0 (swapped!)
@@ -60,7 +67,10 @@ func TestIdenticalDespiteDifferentIDs(t *testing.T) {
 		thb.Submit(sb.Registry().Intern("x"))
 		thb.Submit(sb.Registry().Intern("y"))
 	}
-	b := sb.FinishRecord()
+	b, err := sb.FinishRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if d := Compare(a, b); !d.Identical() {
 		t.Fatal("descriptor-identical traces reported different")

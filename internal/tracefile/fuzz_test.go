@@ -21,7 +21,11 @@ func fuzzSeedTraceSet() *model.TraceSet {
 		th.SubmitAt(b, now)
 		now += 30
 	}
-	return s.FinishRecord()
+	ts, err := s.FinishRecord()
+	if err != nil {
+		panic(err)
+	}
+	return ts
 }
 
 // FuzzRead checks the decoder never panics or hangs on arbitrary input —

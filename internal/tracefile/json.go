@@ -28,6 +28,10 @@ type JSONTraceSet struct {
 type JSONThread struct {
 	EventCount int64      `json:"event_count"`
 	Rules      []JSONRule `json:"rules"`
+	// Truncated marks a recording frozen by a record-mode resource budget;
+	// Dropped counts the events seen after the freeze.
+	Truncated bool  `json:"truncated,omitempty"`
+	Dropped   int64 `json:"dropped_events,omitempty"`
 	// Timing is the per-event mean delta in nanoseconds (context-free view;
 	// the full per-context model only exists in the binary format).
 	Timing map[string]float64 `json:"timing_mean_ns,omitempty"`
@@ -56,7 +60,11 @@ func ExportJSON(w io.Writer, ts *model.TraceSet) error {
 	}
 	for _, tid := range ts.ThreadIDs() {
 		th := ts.Threads[tid]
-		jt := JSONThread{EventCount: th.Grammar.EventCount}
+		jt := JSONThread{
+			EventCount: th.Grammar.EventCount,
+			Truncated:  th.Truncated,
+			Dropped:    th.Dropped,
+		}
 		for _, r := range th.Grammar.Rules {
 			jr := JSONRule{}
 			for _, run := range r.Body {
@@ -119,7 +127,7 @@ func ImportJSON(r io.Reader) (*model.TraceSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		ts.Threads[tid] = &model.ThreadTrace{Grammar: g}
+		ts.Threads[tid] = &model.ThreadTrace{Grammar: g, Truncated: jt.Truncated, Dropped: jt.Dropped}
 	}
 	if err := ts.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,147 @@
+package tracefile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/recorder"
+)
+
+// truncatedTraceSet records past a tight event cap so the thread trace
+// carries the truncation mark.
+func truncatedTraceSet(t *testing.T) *core.Session {
+	t.Helper()
+	s := core.NewRecordSession(recorder.WithoutTimestamps(), recorder.WithMaxEvents(50))
+	a := s.Registry().Intern("a")
+	b := s.Registry().Intern("b")
+	th := s.Thread(0)
+	for i := 0; i < 100; i++ {
+		th.Submit(a)
+		th.Submit(b)
+	}
+	return s
+}
+
+func TestTruncatedFlagRoundTrip(t *testing.T) {
+	ts, err := truncatedTraceSet(t).FinishRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := ts.Threads[0]
+	if !th.Truncated || th.Dropped != 150 {
+		t.Fatalf("precondition: truncated=%v dropped=%d, want true/150", th.Truncated, th.Dropped)
+	}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gth := got.Threads[0]
+	if !gth.Truncated || gth.Dropped != th.Dropped {
+		t.Fatalf("binary round trip lost truncation: truncated=%v dropped=%d", gth.Truncated, gth.Dropped)
+	}
+
+	var jbuf bytes.Buffer
+	if err := ExportJSON(&jbuf, ts); err != nil {
+		t.Fatal(err)
+	}
+	jgot, err := ImportJSON(&jbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jth := jgot.Threads[0]
+	if !jth.Truncated || jth.Dropped != th.Dropped {
+		t.Fatalf("JSON round trip lost truncation: truncated=%v dropped=%d", jth.Truncated, jth.Dropped)
+	}
+}
+
+// TestReadVersion1 hand-writes a version-1 payload (no per-thread flags
+// field) and checks the current reader still accepts it — traces recorded
+// before the format bump must stay loadable.
+func TestReadVersion1(t *testing.T) {
+	ts := makeTraceSet(t)
+
+	var raw bytes.Buffer
+	raw.Write(Magic[:])
+	crc := crc32.NewIEEE()
+	payload := &bytes.Buffer{}
+	pw := bufio.NewWriter(payload)
+	e := &encoder{w: pw}
+	e.uvarint(1) // version 1: thread records carry no flags
+	e.uvarint(uint64(len(ts.Events)))
+	for _, name := range ts.Events {
+		e.bytes([]byte(name))
+	}
+	tids := ts.ThreadIDs()
+	e.uvarint(uint64(len(tids)))
+	for _, tid := range tids {
+		th := ts.Threads[tid]
+		e.svarint(int64(tid))
+		e.grammar(th.Grammar)
+		e.timing(th.Timing)
+	}
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crc.Write(payload.Bytes())
+	raw.Write(payload.Bytes())
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	raw.Write(sum[:])
+
+	got, err := Read(&raw)
+	if err != nil {
+		t.Fatalf("reading version-1 file: %v", err)
+	}
+	if got.TotalEvents() != ts.TotalEvents() {
+		t.Fatalf("v1 read lost events: %d, want %d", got.TotalEvents(), ts.TotalEvents())
+	}
+	for tid, th := range got.Threads {
+		if th.Truncated || th.Dropped != 0 {
+			t.Fatalf("thread %d: v1 file decoded as truncated", tid)
+		}
+	}
+}
+
+// TestSaveReplacesExistingFile checks the fsync+rename path both creates
+// and atomically replaces a trace file, and that no temp file survives.
+func TestSaveReplacesExistingFile(t *testing.T) {
+	ts, err := truncatedTraceSet(t).FinishRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.pythia")
+	for i := 0; i < 2; i++ {
+		if err := Save(path, ts); err != nil {
+			t.Fatalf("Save #%d: %v", i, err)
+		}
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Threads[0].Truncated {
+		t.Fatal("reloaded trace lost truncation mark")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "trace.pythia" {
+		t.Fatalf("directory not clean after Save: %v", entries)
+	}
+}

@@ -17,11 +17,15 @@
 //	eventCount, then each descriptor as (len, bytes)
 //	threadCount, then per thread:
 //	  tid      (zig-zag)
+//	  flags    uvarint (version >= 2; bit 0: truncated by a record budget);
+//	           if truncated: dropped event count (uvarint)
 //	  ruleCount, then per rule: runCount, then per run (sym zig-zag, count)
 //	  timingFlag (0/1); if 1:
 //	    suffixCount, per entry: (keyLen, keyBytes, stat)
 //	    eventStatCount, per entry: (eventID zig-zag, stat)
 //	  where stat = (count, sum zig-zag, min zig-zag, max zig-zag)
+//
+// Version 1 files (no per-thread flags) remain readable.
 package tracefile
 
 import (
@@ -33,6 +37,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/grammar"
@@ -42,8 +47,12 @@ import (
 // Magic identifies Pythia trace files.
 var Magic = [8]byte{'P', 'Y', 'T', 'H', 'I', 'A', '1', '\n'}
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version. Version 2 added per-thread flags
+// (truncation marks from record-mode resource budgets).
+const Version = 2
+
+// threadFlagTruncated marks a thread trace frozen by a record budget.
+const threadFlagTruncated = 1
 
 // maxReasonable bounds untrusted length fields while decoding.
 const maxReasonable = 1 << 31
@@ -76,6 +85,14 @@ func Write(w io.Writer, ts *model.TraceSet) error {
 	for _, tid := range tids {
 		th := ts.Threads[tid]
 		e.svarint(int64(tid))
+		var flags uint64
+		if th.Truncated {
+			flags |= threadFlagTruncated
+		}
+		e.uvarint(flags)
+		if th.Truncated {
+			e.uvarint(uint64(th.Dropped))
+		}
 		e.grammar(th.Grammar)
 		e.timing(th.Timing)
 	}
@@ -105,8 +122,9 @@ func Read(r io.Reader) (*model.TraceSet, error) {
 	crc := crc32.NewIEEE()
 	d := &decoder{r: br, crc: crc}
 
-	if v := d.uvarint(); d.err == nil && v != Version {
-		return nil, fmt.Errorf("tracefile: unsupported version %d", v)
+	version := d.uvarint()
+	if d.err == nil && (version < 1 || version > Version) {
+		return nil, fmt.Errorf("tracefile: unsupported version %d", version)
 	}
 	nEvents := d.uvarint()
 	if nEvents > maxReasonable {
@@ -123,12 +141,25 @@ func Read(r io.Reader) (*model.TraceSet, error) {
 	}
 	for i := uint64(0); i < nThreads && d.err == nil; i++ {
 		tid := int32(d.svarint())
+		th := &model.ThreadTrace{}
+		if version >= 2 {
+			flags := d.uvarint()
+			if flags&threadFlagTruncated != 0 {
+				th.Truncated = true
+				dropped := d.uvarint()
+				if dropped > maxReasonable {
+					return nil, fmt.Errorf("tracefile: absurd dropped-event count %d", dropped)
+				}
+				th.Dropped = int64(dropped)
+			}
+		}
 		g, err := d.grammar()
 		if err != nil {
 			return nil, err
 		}
-		tm := d.timing()
-		ts.Threads[tid] = &model.ThreadTrace{Grammar: g, Timing: tm}
+		th.Grammar = g
+		th.Timing = d.timing()
+		ts.Threads[tid] = th
 	}
 	if d.err != nil {
 		return nil, fmt.Errorf("tracefile: decode: %w", d.err)
@@ -146,7 +177,11 @@ func Read(r io.Reader) (*model.TraceSet, error) {
 	return ts, nil
 }
 
-// Save writes the trace set to path atomically (write to temp file, rename).
+// Save writes the trace set to path atomically and durably: the temp file
+// is fsynced before the rename (rename alone is atomic but not
+// crash-durable — after a power cut the new name could point at missing
+// data), and the parent directory is fsynced best-effort after it so the
+// rename itself survives a crash.
 func Save(path string, ts *model.TraceSet) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -154,6 +189,9 @@ func Save(path string, ts *model.TraceSet) error {
 		return err
 	}
 	err = Write(f, ts)
+	if err == nil {
+		err = f.Sync()
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -163,7 +201,16 @@ func Save(path string, ts *model.TraceSet) error {
 		}
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Durability of the rename requires the directory entry to hit disk.
+	// Best-effort: some platforms/filesystems reject fsync on directories.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
 }
 
 // Load reads a trace set from path.

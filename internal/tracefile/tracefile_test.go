@@ -37,7 +37,11 @@ func makeTraceSet(t *testing.T) *model.TraceSet {
 			}
 		}
 	}
-	return s.FinishRecord()
+	ts, err := s.FinishRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
 }
 
 func TestRoundTrip(t *testing.T) {
@@ -202,7 +206,10 @@ func TestCompactness(t *testing.T) {
 		th.SubmitAt(b, now)
 		now += 5
 	}
-	ts := s.FinishRecord()
+	ts, err := s.FinishRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := Write(&buf, ts); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,101 @@
+package vet
+
+import "testing"
+
+func TestContainment(t *testing.T) {
+	const header = `package lib
+
+type session struct{}
+
+func (s *session) Contain(method string)               {}
+func (s *session) ContainTo(method string, errp *error) {}
+
+`
+	tests := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "deferred Contain passes",
+			src: header + `
+// Thread is the per-thread handle.
+// pythia:contained
+type Thread struct{ sess *session }
+
+func (t *Thread) Submit(id int32) {
+	defer t.sess.Contain("Thread.Submit")
+	_ = id
+}
+`,
+			want: nil,
+		},
+		{
+			name: "deferred ContainTo passes",
+			src: header + `
+// Oracle is the public handle.
+// pythia:contained
+type Oracle struct{ sess *session }
+
+func (o *Oracle) Finish() (err error) {
+	defer o.sess.ContainTo("Oracle.Finish", &err)
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "exported method without wrapper is flagged",
+			src: header + `
+// Thread is the per-thread handle.
+// pythia:contained
+type Thread struct{ sess *session }
+
+func (t *Thread) Submit(id int32) {
+	_ = id
+}
+`,
+			want: []string{"[containment] exported method Thread.Submit"},
+		},
+		{
+			name: "guard without defer is still flagged",
+			src: header + `
+// pythia:contained
+type Thread struct{ sess *session; failed bool }
+
+func (t *Thread) Submit(id int32) {
+	if t.failed {
+		return
+	}
+	_ = id
+}
+`,
+			want: []string{"[containment] exported method Thread.Submit"},
+		},
+		{
+			name: "unexported methods and unmarked types are ignored",
+			src: header + `
+// pythia:contained
+type Thread struct{ sess *session }
+
+func (t *Thread) submit(id int32) { _ = id }
+
+type Other struct{}
+
+func (o *Other) Submit(id int32) { _ = id }
+
+func (t *Thread) Submit(id int32) {
+	defer t.sess.Contain("Thread.Submit")
+	_ = id
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := loadFixture(t, map[string]string{"lib/lib.go": tc.src}, Containment)
+			expectFindings(t, got, tc.want)
+		})
+	}
+}

@@ -84,6 +84,7 @@ func Analyzers() []*Analyzer {
 		LockDiscipline,
 		PanicPolicy,
 		ErrorHygiene,
+		Containment,
 	}
 }
 

@@ -20,7 +20,10 @@ func ExampleOracle_Thread() {
 		}
 		th.Submit(sync)
 	}
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(len(ts.Threads), "threads recorded,", ts.TotalEvents(), "events")
 	// Output: 2 threads recorded, 22 events
 }
@@ -39,7 +42,10 @@ func ExampleThread_PredictDurationUntil() {
 		th.SubmitAt(end, now)
 		now += 50_000
 	}
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		panic(err)
+	}
 
 	p, _ := pythia.NewPredictOracle(ts, pythia.Config{})
 	pt := p.Thread(0)
@@ -60,7 +66,10 @@ func ExampleThread_PredictSequence() {
 		th.Submit(b)
 		th.Submit(c)
 	}
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		panic(err)
+	}
 
 	p, _ := pythia.NewPredictOracle(ts, pythia.Config{})
 	pt := p.Thread(0)

@@ -1,0 +1,88 @@
+package pythia_test
+
+import (
+	"testing"
+
+	"repro/pythia"
+)
+
+// FuzzPredictNoisy throws arbitrary event streams — valid ids, ids beyond
+// the descriptor table, far-out-of-range garbage, and -1 (the Lookup-miss
+// value) — at a predict-mode Thread. Two invariants: nothing panics (the
+// fail-open contract), and a cached predictor agrees exactly with a
+// cache-disabled one on every answer (the cache is an optimisation, never
+// a semantic fork — divergence here means the incremental cache drifted
+// from the ground-truth walk).
+func FuzzPredictNoisy(f *testing.F) {
+	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	ids := []pythia.ID{rec.Intern("a"), rec.Intern("b"), rec.Intern("c")}
+	th := rec.Thread(0)
+	for i := 0; i < 200; i++ {
+		th.Submit(ids[0])
+		th.Submit(ids[1])
+		if i%5 == 4 {
+			th.Submit(ids[2])
+		}
+	}
+	ts, err := rec.Finish()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add([]byte{0, 1, 0, 1, 2})
+	f.Add([]byte{0, 1, 200, 0, 1, 255, 0, 1})
+	f.Add([]byte{255, 255, 255, 130, 140, 150})
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		cached, err := pythia.NewPredictOracle(ts, pythia.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := pythia.NewPredictOracle(ts, pythia.Config{DisableCache: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc, tp := cached.Thread(0), plain.Thread(0)
+		tc.StartAtBeginning()
+		tp.StartAtBeginning()
+		for i, b := range stream {
+			var id pythia.ID
+			switch {
+			case b < 128:
+				id = ids[int(b)%len(ids)] // interned
+			case b < 192:
+				id = pythia.ID(b) // beyond the descriptor table
+			case b < 255:
+				id = pythia.ID(int32(b) << 20) // far garbage
+			default:
+				id = pythia.ID(-1) // Lookup miss value
+			}
+			tc.Submit(id)
+			tp.Submit(id)
+			pc, okc := tc.PredictAt(1)
+			pp, okp := tp.PredictAt(1)
+			if okc != okp || (okc && pc.EventID != pp.EventID) {
+				t.Fatalf("step %d (byte %d): cached (%v, %v) != uncached (%v, %v)",
+					i, b, pc, okc, pp, okp)
+			}
+			if i%9 == 0 {
+				sc := tc.PredictSequence(4)
+				sp := tp.PredictSequence(4)
+				if len(sc) != len(sp) {
+					t.Fatalf("step %d: sequence lengths %d vs %d", i, len(sc), len(sp))
+				}
+				for j := range sc {
+					if sc[j].EventID != sp[j].EventID {
+						t.Fatalf("step %d: sequence[%d] %v vs %v", i, j, sc[j], sp[j])
+					}
+				}
+			}
+		}
+		if h := cached.Health(); h.PanicsContained != 0 {
+			t.Fatalf("noisy stream caused %d contained panics (cause %q)", h.PanicsContained, h.Cause)
+		}
+		if h := plain.Health(); h.PanicsContained != 0 {
+			t.Fatalf("noisy stream caused %d contained panics uncached (cause %q)", h.PanicsContained, h.Cause)
+		}
+	})
+}

@@ -84,7 +84,42 @@ func WithClock(clock func() int64) RecordOption { return recorder.WithClock(cloc
 // resulting trace return zero.
 func WithoutTimestamps() RecordOption { return recorder.WithoutTimestamps() }
 
+// WithMaxEvents caps the number of events folded into each thread's grammar.
+// Beyond the cap the recording degrades gracefully: the grammar is frozen,
+// further events are counted but not recorded, and the thread's trace is
+// marked truncated. Zero or negative means unlimited.
+func WithMaxEvents(n int64) RecordOption { return recorder.WithMaxEvents(n) }
+
+// WithGrammarBudget caps each thread grammar's memory footprint: at most
+// maxRules live rules and maxNodes live body nodes. On breach the recording
+// degrades exactly like WithMaxEvents. Zero or negative disables either cap.
+func WithGrammarBudget(maxRules, maxNodes int) RecordOption {
+	return recorder.WithGrammarBudget(maxRules, maxNodes)
+}
+
+// State is the oracle's degradation state (see Health).
+type State = core.State
+
+// Degradation states: a Healthy oracle answers normally; a Degraded oracle
+// failed open (contained internal panic, or breached record budget); a
+// Quarantined oracle had its predictions pulled by the divergence watchdog
+// and recovers automatically when accuracy returns.
+const (
+	Healthy     = core.StateHealthy
+	Degraded    = core.StateDegraded
+	Quarantined = core.StateQuarantined
+)
+
+// Health is a snapshot of the oracle's reliability state: the aggregate
+// degradation state, the first failure cause, and failure counters.
+type Health = core.Health
+
 // Oracle is a process-wide Pythia instance, either recording or predicting.
+//
+// Every exported method fails open (panic containment): an internal Pythia
+// panic is recovered and degrades the oracle instead of crashing the host
+// runtime. Poll Health to observe degradation.
+// pythia:contained
 type Oracle struct {
 	sess *core.Session
 }
@@ -117,30 +152,60 @@ func LoadOracle(path string, cfg Config) (*Oracle, error) {
 // Recording reports whether the oracle is in record mode.
 func (o *Oracle) Recording() bool { return o.sess.Mode() == core.ModeRecord }
 
+// Health returns a snapshot of the oracle's reliability state: Healthy,
+// Degraded (fail-open after a contained panic or a breached record budget)
+// or Quarantined (divergence watchdog), with the first failure cause and
+// failure counters. Safe to call from any goroutine.
+func (o *Oracle) Health() Health { return o.sess.Health() }
+
 // Intern returns the event ID for a key point name, optionally discriminated
 // by payload values (e.g. a destination rank): Intern("MPI_Send", 3) and
-// Intern("MPI_Send", 5) are distinct events.
-func (o *Oracle) Intern(name string, args ...int64) ID {
+// Intern("MPI_Send", 5) are distinct events. On a degraded oracle Intern
+// returns an inert ID (-1) that Submit ignores.
+func (o *Oracle) Intern(name string, args ...int64) (id ID) {
+	if o.sess.Failed() {
+		return -1
+	}
+	defer o.sess.Contain("Oracle.Intern")
 	return o.sess.Registry().InternArgs(name, args...)
 }
 
 // Lookup resolves an already-interned descriptor without creating it.
-func (o *Oracle) Lookup(name string, args ...int64) ID {
+func (o *Oracle) Lookup(name string, args ...int64) (id ID) {
+	id = -1
+	if o.sess.Failed() {
+		return id
+	}
+	defer o.sess.Contain("Oracle.Lookup")
 	return o.sess.Registry().Lookup(name, args...)
 }
 
 // EventName returns the descriptor of an event ID.
-func (o *Oracle) EventName(id ID) string { return o.sess.Registry().Name(id) }
+func (o *Oracle) EventName(id ID) (name string) {
+	defer o.sess.Contain("Oracle.EventName")
+	return o.sess.Registry().Name(id)
+}
 
 // Thread returns the oracle handle for thread tid, creating it on first use.
+// The handle is never nil: if thread creation fails internally the oracle
+// degrades and the handle is inert.
 func (o *Oracle) Thread(tid int32) *Thread { return o.sess.Thread(tid) }
 
-// Finish ends a recording oracle and returns its trace set.
-func (o *Oracle) Finish() *TraceSet { return o.sess.FinishRecord() }
+// Finish ends a recording oracle and returns its trace set. It returns an
+// error — never panics — when the oracle is not recording or has degraded.
+func (o *Oracle) Finish() (ts *TraceSet, err error) {
+	defer o.sess.ContainTo("Oracle.Finish", &err)
+	return o.sess.FinishRecord()
+}
 
 // FinishAndSave ends a recording oracle and writes the trace file.
-func (o *Oracle) FinishAndSave(path string) error {
-	return tracefile.Save(path, o.sess.FinishRecord())
+func (o *Oracle) FinishAndSave(path string) (err error) {
+	defer o.sess.ContainTo("Oracle.FinishAndSave", &err)
+	ts, err := o.sess.FinishRecord()
+	if err != nil {
+		return err
+	}
+	return tracefile.Save(path, ts)
 }
 
 // SaveTraceSet writes a trace set to a file (exposed for tools).

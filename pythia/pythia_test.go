@@ -67,7 +67,10 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 
 func TestDurationUntilFlush(t *testing.T) {
 	o := recordLoop(500)
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := pythia.NewPredictOracle(ts, pythia.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +105,10 @@ func TestWithoutTimestampsYieldsZeroDurations(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		th.Submit(a)
 	}
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ts.Threads[0].Timing != nil {
 		t.Fatal("timing model recorded despite WithoutTimestamps")
 	}
@@ -145,7 +151,10 @@ func TestMultiThreadTraces(t *testing.T) {
 	o.Thread(0).Submit(a)
 	o.Thread(1).Submit(b)
 	o.Thread(1).Submit(b)
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ts.Threads) != 2 {
 		t.Fatalf("threads = %d", len(ts.Threads))
 	}
@@ -176,7 +185,10 @@ func Example() {
 		th.Submit(work)
 		th.Submit(sync)
 	}
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		panic(err)
+	}
 
 	p, _ := pythia.NewPredictOracle(ts, pythia.Config{})
 	pt := p.Thread(0)

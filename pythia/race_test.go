@@ -61,7 +61,10 @@ func TestConcurrentRecordStress(t *testing.T) {
 	}
 	wg.Wait()
 
-	ts := o.Finish()
+	ts, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := len(ts.Threads); got != stressGoroutines {
 		t.Fatalf("recorded %d threads, want %d", got, stressGoroutines)
 	}
@@ -89,7 +92,10 @@ func TestConcurrentPredictStress(t *testing.T) {
 			}
 		}
 	}
-	ts := rec.Finish()
+	ts, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	o, err := pythia.NewPredictOracle(ts, pythia.Config{})
 	if err != nil {

@@ -8,19 +8,25 @@
 #   3. go build     — everything compiles
 #   4. go test      — the full unit suite
 #   5. go test -race — concurrency-sensitive packages under the race detector
-#   6. fuzz smoke   — FuzzGrammarInvariants and FuzzDigramIndexDiff briefly
+#   6. fuzz smoke   — FuzzGrammarInvariants, FuzzDigramIndexDiff and
+#                     FuzzPredictNoisy briefly
 #   7. pythia-vet   — the repo's own static-analysis pass (see cmd/pythia-vet)
 #
-# With --bench, additionally runs scripts/bench.sh (hot-path benchmarks,
-# refreshing BENCH_PR2.json). Benchmarks are not part of the gating suite.
+# With --chaos, additionally runs the fault-injection chaos suite
+# (internal/faultinject) under the race detector — CI gates on this in its
+# own job. With --bench, additionally runs scripts/bench.sh (hot-path
+# benchmarks, refreshing BENCH_PR2.json). Benchmarks are not part of the
+# gating suite.
 set -u
 
 cd "$(dirname "$0")/.."
 
 run_bench=0
+run_chaos=0
 for arg in "$@"; do
     case "${arg}" in
         --bench) run_bench=1 ;;
+        --chaos) run_chaos=1 ;;
         *) echo "check.sh: unknown argument ${arg}" >&2; exit 2 ;;
     esac
 done
@@ -55,7 +61,14 @@ step "fuzz smoke (FuzzGrammarInvariants)" \
     go test -fuzz FuzzGrammarInvariants -fuzztime=5s -run '^$' ./internal/grammar/
 step "fuzz smoke (FuzzDigramIndexDiff)" \
     go test -fuzz FuzzDigramIndexDiff -fuzztime=5s -run '^$' ./internal/grammar/
+step "fuzz smoke (FuzzPredictNoisy)" \
+    go test -fuzz FuzzPredictNoisy -fuzztime=5s -run '^$' ./pythia/
 step "pythia-vet" go run ./cmd/pythia-vet ./...
+
+if [ "${run_chaos}" -eq 1 ]; then
+    step "chaos (fault injection, -race)" \
+        go test -race -count=1 ./internal/faultinject/
+fi
 
 if [ "${run_bench}" -eq 1 ]; then
     step "bench (non-gating)" ./scripts/bench.sh
