@@ -335,6 +335,30 @@ func BenchmarkSubmitThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitCheckpointed is BenchmarkSubmitThroughput with crash-safe
+// checkpointing enabled: the per-event cost must be indistinguishable — the
+// snapshot cadence amortizes the Freeze and all journal I/O happens on the
+// background writer, never on the Submit path.
+func BenchmarkSubmitCheckpointed(b *testing.B) {
+	o := pythia.NewRecordOracle(
+		pythia.WithoutTimestamps(),
+		pythia.WithCheckpoint(pythia.CheckpointConfig{
+			Dir:         b.TempDir(),
+			EveryEvents: 50_000,
+		}),
+	)
+	ids := []pythia.ID{
+		o.Intern("a"), o.Intern("b"), o.Intern("c"), o.Intern("d"),
+	}
+	motif := []pythia.ID{ids[0], ids[1], ids[2], ids[1], ids[2], ids[3]}
+	th := o.Thread(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Submit(motif[i%len(motif)])
+	}
+}
+
 // BenchmarkObserveThroughput measures the predict-mode per-event tracking
 // cost on a faithful replay (single anchored hypothesis, no queries).
 func BenchmarkObserveThroughput(b *testing.B) {

@@ -1,15 +1,22 @@
 // Command pythia-inspect dumps the contents of a Pythia trace file: the
-// per-thread grammars in the paper's notation, event statistics, and
-// optionally the timing model.
+// per-thread grammars in the paper's notation, event statistics, durability
+// metadata (format version, checksum status, truncation and salvage
+// provenance), and optionally the timing model.
 //
 //	pythia-inspect -trace bt.pythia
 //	pythia-inspect -trace bt.pythia -thread 0 -timing
 //	pythia-inspect -trace bt.pythia -json > bt.json
+//	pythia-inspect -checkpoints bt.ckpt
+//
+// The -checkpoints mode scans a checkpoint journal directory (see
+// pythia-record -checkpoint) and reports every generation with its load
+// status, without modifying anything.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,35 +25,73 @@ import (
 )
 
 func main() {
-	var (
-		trace   = flag.String("trace", "", "trace file (required)")
-		thread  = flag.Int("thread", -1, "dump only this thread (-1 = all)")
-		timing  = flag.Bool("timing", false, "also dump per-event timing statistics")
-		unfold  = flag.Bool("unfold", false, "print the full unfolded event stream")
-		summary = flag.Bool("summary", false, "print only the per-thread summary")
-		asJSON  = flag.Bool("json", false, "dump the whole trace as JSON to stdout")
-	)
-	flag.Parse()
-	if *trace == "" {
-		fmt.Fprintln(os.Stderr, "pythia-inspect: -trace is required")
-		os.Exit(1)
-	}
-	ts, err := pythia.LoadTraceSet(*trace)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "pythia-inspect:", err)
 		os.Exit(1)
 	}
+}
 
-	if *asJSON {
-		if err := tracefile.ExportJSON(os.Stdout, ts); err != nil {
-			fmt.Fprintln(os.Stderr, "pythia-inspect:", err)
-			os.Exit(1)
+// printer accumulates the first write error so the dump code can print
+// unconditionally and surface I/O failures once, through run's return.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func (p *printer) println(args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintln(p.w, args...)
+	}
+}
+
+func (p *printer) print(args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprint(p.w, args...)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pythia-inspect", flag.ContinueOnError)
+	var (
+		trace   = fs.String("trace", "", "trace file (required unless -checkpoints)")
+		thread  = fs.Int("thread", -1, "dump only this thread (-1 = all)")
+		timing  = fs.Bool("timing", false, "also dump per-event timing statistics")
+		unfold  = fs.Bool("unfold", false, "print the full unfolded event stream")
+		summary = fs.Bool("summary", false, "print only the per-thread summary")
+		asJSON  = fs.Bool("json", false, "dump the whole trace as JSON to stdout")
+		ckpts   = fs.String("checkpoints", "", "scan a checkpoint journal directory instead of a trace file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := &printer{w: stdout}
+	if *ckpts != "" {
+		if err := inspectJournal(p, *ckpts); err != nil {
+			return err
 		}
-		return
+		return p.err
+	}
+	if *trace == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	ts, err := pythia.LoadTraceSet(*trace)
+	if err != nil {
+		return err
 	}
 
-	fmt.Printf("trace %s: %d event kinds, %d threads, %d events total\n",
+	if *asJSON {
+		return tracefile.ExportJSON(stdout, ts)
+	}
+
+	p.printf("trace %s: %d event kinds, %d threads, %d events total\n",
 		*trace, len(ts.Events), len(ts.Threads), ts.TotalEvents())
+	printDurability(p, *trace, ts)
 
 	tids := ts.ThreadIDs()
 	for _, tid := range tids {
@@ -54,28 +99,31 @@ func main() {
 			continue
 		}
 		th := ts.Threads[tid]
-		fmt.Printf("\nthread %d: %d events, %d rules", tid, th.Grammar.EventCount, len(th.Grammar.Rules))
+		p.printf("\nthread %d: %d events, %d rules", tid, th.Grammar.EventCount, len(th.Grammar.Rules))
 		if th.Timing != nil {
-			fmt.Printf(", %d timed contexts", len(th.Timing.BySuffix))
+			p.printf(", %d timed contexts", len(th.Timing.BySuffix))
 		}
-		fmt.Println()
+		if th.Truncated {
+			p.printf(", truncated (+%d dropped)", th.Dropped)
+		}
+		p.println()
 		if *summary {
 			continue
 		}
-		fmt.Print(th.Grammar.Dump(func(id int32) string {
+		p.print(th.Grammar.Dump(func(id int32) string {
 			if int(id) < len(ts.Events) {
 				return ts.Events[id]
 			}
 			return fmt.Sprintf("?%d", id)
 		}))
 		if *unfold {
-			fmt.Println("stream:")
+			p.println("stream:")
 			for _, id := range th.Grammar.Unfold() {
-				fmt.Println("  ", ts.Events[id])
+				p.println("  ", ts.Events[id])
 			}
 		}
 		if *timing && th.Timing != nil {
-			fmt.Println("mean delta before each event (context-free):")
+			p.println("mean delta before each event (context-free):")
 			ids := make([]int32, 0, len(th.Timing.ByEvent))
 			for id := range th.Timing.ByEvent {
 				ids = append(ids, id)
@@ -83,9 +131,81 @@ func main() {
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			for _, id := range ids {
 				s := th.Timing.ByEvent[id]
-				fmt.Printf("  %-40s mean %10.0fns  min %8d  max %8d  (n=%d)\n",
+				p.printf("  %-40s mean %10.0fns  min %8d  max %8d  (n=%d)\n",
 					ts.Events[id], s.Mean(), s.Min, s.Max, s.Count)
 			}
 		}
 	}
+	return p.err
+}
+
+// printDurability reports the on-disk framing (format version, payload
+// size, CRC trailer) and the trace's provenance: a salvaged trace is a
+// truncated prefix of a crashed recording and downstream consumers deserve
+// to know before they trust its tail.
+func printDurability(p *printer, path string, ts *pythia.TraceSet) {
+	if meta, err := tracefile.InspectFile(path); err == nil {
+		crc := "ok"
+		if !meta.CRCOK {
+			crc = fmt.Sprintf("MISMATCH (stored %08x, computed %08x)", meta.CRCStored, meta.CRCComputed)
+		}
+		p.printf("durability: format v%d, payload %d bytes, crc %s\n",
+			meta.Version, meta.PayloadBytes, crc)
+	}
+	if pr := ts.Provenance; pr != nil {
+		src := "clean shutdown"
+		if pr.Salvaged {
+			src = "salvaged from a crashed recording (truncated prefix)"
+		}
+		p.printf("provenance: checkpoint generation %d, %s\n", pr.Generation, src)
+	}
+	var truncated int
+	var dropped int64
+	for _, th := range ts.Threads {
+		if th.Truncated {
+			truncated++
+		}
+		dropped += th.Dropped
+	}
+	if truncated > 0 {
+		p.printf("truncation: %d/%d threads truncated, %d events dropped\n",
+			truncated, len(ts.Threads), dropped)
+	}
+}
+
+// inspectJournal lists every checkpoint generation of a journal directory
+// with its load status — the read-only view of what -resume would do.
+func inspectJournal(p *printer, dir string) error {
+	sts, err := tracefile.ScanJournal(dir)
+	if err != nil {
+		return err
+	}
+	if len(sts) == 0 {
+		p.printf("journal %s: no checkpoint generations\n", dir)
+		return nil
+	}
+	p.printf("journal %s: %d generation(s)\n", dir, len(sts))
+	best := uint64(0)
+	for i := len(sts) - 1; i >= 0; i-- {
+		if sts[i].Err == "" {
+			best = sts[i].Generation
+			break
+		}
+	}
+	for _, st := range sts {
+		if st.Err != "" {
+			p.printf("  generation %d: UNRECOVERABLE: %s\n", st.Generation, st.Err)
+			continue
+		}
+		mark := ""
+		if st.Generation == best {
+			mark = "  <- freshest recoverable"
+		}
+		p.printf("  generation %d: %d threads, %d events%s\n",
+			st.Generation, st.Threads, st.Events, mark)
+	}
+	if best == 0 {
+		p.println("no generation is recoverable")
+	}
+	return nil
 }

@@ -63,6 +63,8 @@ type Session struct {
 
 	// record mode
 	recOpts []recorder.Option
+	ckptPol CheckpointPolicy
+	ckpt    *checkpointer // nil unless checkpointing is enabled
 
 	// predict mode
 	ref  *model.TraceSet
@@ -73,15 +75,47 @@ type Session struct {
 	health health
 }
 
-// NewRecordSession starts a recording session. Recorder options apply to
-// every thread's recorder.
-func NewRecordSession(opts ...recorder.Option) *Session {
+// recordConfig is the session-level recording configuration assembled from
+// RecordOptions.
+type recordConfig struct {
+	recOpts []recorder.Option
+	ckpt    CheckpointPolicy
+}
+
+// RecordOption configures a recording (or online) session. Per-thread
+// recorder behaviour is configured through WithRecorderOptions; options that
+// need session scope — like crash-safe checkpointing, which aggregates every
+// thread's state into one journal — have their own constructors.
+type RecordOption func(*recordConfig)
+
+// WithRecorderOptions applies recorder options (WithClock, WithMaxEvents,
+// WithGrammarBudget, ...) to every thread's recorder.
+func WithRecorderOptions(opts ...recorder.Option) RecordOption {
+	return func(c *recordConfig) { c.recOpts = append(c.recOpts, opts...) }
+}
+
+// WithCheckpoint enables crash-safe journaled checkpoints of the recording
+// (see CheckpointPolicy). A policy with an empty Dir is a no-op.
+func WithCheckpoint(pol CheckpointPolicy) RecordOption {
+	return func(c *recordConfig) { c.ckpt = pol }
+}
+
+// NewRecordSession starts a recording session.
+func NewRecordSession(opts ...RecordOption) *Session {
+	var cfg recordConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	s := &Session{
 		mode:    ModeRecord,
 		reg:     events.NewRegistry(),
-		recOpts: opts,
+		recOpts: cfg.recOpts,
+		ckptPol: cfg.ckpt,
 	}
 	s.threads.Store(&map[int32]*Thread{})
+	if cfg.ckpt.enabled() {
+		s.ckpt = newCheckpointer(s, cfg.ckpt)
+	}
 	return s
 }
 
@@ -155,13 +189,13 @@ func (s *Session) createThread(tid int32) *Thread {
 	t := &Thread{sess: s, tid: tid}
 	switch s.mode {
 	case ModeRecord:
-		t.rec = recorder.New(s.recOpts...)
+		t.rec = recorder.New(s.recorderOptions(tid)...)
 	case ModePredict:
 		if tr := s.ref.Trace(tid); tr != nil {
 			t.pred = predictor.New(tr, s.pcfg)
 		}
 	case ModeOnline:
-		t.rec = recorder.New(s.recOpts...)
+		t.rec = recorder.New(s.recorderOptions(tid)...)
 		if tr := s.ref.Trace(tid); tr != nil {
 			t.pred = predictor.New(tr, s.pcfg)
 		}
@@ -175,13 +209,32 @@ func (s *Session) createThread(tid int32) *Thread {
 	return t
 }
 
+// recorderOptions assembles the per-thread recorder options for tid: the
+// session-wide options plus, when checkpointing is on, a sink that feeds the
+// thread's snapshots to the background checkpointer.
+func (s *Session) recorderOptions(tid int32) []recorder.Option {
+	if s.ckpt == nil {
+		return s.recOpts
+	}
+	c := s.ckpt
+	opts := make([]recorder.Option, 0, len(s.recOpts)+1)
+	opts = append(opts, s.recOpts...)
+	opts = append(opts, recorder.WithCheckpointSink(s.ckptPol.snapEvery(),
+		func(snap recorder.Checkpoint) { c.offer(tid, snap) }))
+	return opts
+}
+
 // FinishRecord ends a recording (or online) session, returning the trace
 // set to be saved. Calling it on a prediction session, or on a session that
 // already failed open after a contained panic, is a caller-visible error,
-// never a crash.
+// never a crash. It also stops the background checkpointer (bounded wait),
+// so the final Save never races a generation write.
 func (s *Session) FinishRecord() (*model.TraceSet, error) {
 	if s.mode != ModeRecord && s.mode != ModeOnline {
 		return nil, fmt.Errorf("core: FinishRecord on a %s session", s.mode)
+	}
+	if s.ckpt != nil {
+		s.ckpt.close()
 	}
 	if s.Failed() {
 		return nil, fmt.Errorf("core: FinishRecord on a degraded oracle (%s)", s.Health().Cause)

@@ -35,7 +35,7 @@ func appSequence(a, b, c events.ID) []events.ID {
 }
 
 func TestRecordThenPredictRoundTrip(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	reg := s.Registry()
 	a := reg.Intern("phaseA")
 	b := reg.Intern("phaseB")
@@ -77,7 +77,7 @@ func TestRecordThenPredictRoundTrip(t *testing.T) {
 }
 
 func TestConcurrentThreadsRecord(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	reg := s.Registry()
 	a := reg.Intern("phaseA")
 	b := reg.Intern("phaseB")
@@ -117,7 +117,7 @@ func TestConcurrentThreadsRecord(t *testing.T) {
 // goroutine must observe the same handle per tid; run under -race this also
 // checks the snapshot publication itself.
 func TestConcurrentThreadDispatchRace(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	const nGoroutines = 16
 	const nTids = 32
 	const lookups = 2000
@@ -156,7 +156,7 @@ func TestConcurrentThreadDispatchRace(t *testing.T) {
 }
 
 func TestPredictSessionMissingThread(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	a := s.Registry().Intern("x")
 	th := s.Thread(0)
 	th.Submit(a)
@@ -189,7 +189,7 @@ func TestThreadHandleIdentity(t *testing.T) {
 }
 
 func TestFinishRecordPanicsOnPredictSession(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	a := s.Registry().Intern("x")
 	th := s.Thread(0)
 	th.Submit(a)
@@ -214,7 +214,7 @@ func TestModeString(t *testing.T) {
 }
 
 func TestTotalEventsDuringRecord(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	a := s.Registry().Intern("x")
 	th := s.Thread(0)
 	for i := 0; i < 10; i++ {

@@ -77,6 +77,12 @@ type Health struct {
 	// QuarantinedThreads counts threads currently held back by the
 	// divergence watchdog.
 	QuarantinedThreads int64
+	// CheckpointFailures counts crash-safe checkpoint generations that
+	// could not be written (after bounded retries). Recording itself is
+	// unaffected — the in-memory trace stays valid and FinishRecord still
+	// works — but the run has reduced crash tolerance, which is a Degraded
+	// condition worth surfacing.
+	CheckpointFailures int64
 }
 
 // health is the session-wide failure accounting. Counters are atomics:
@@ -87,6 +93,7 @@ type health struct {
 	panics      atomic.Int64
 	breaches    atomic.Int64
 	quarantined atomic.Int64
+	ckptFails   atomic.Int64
 
 	mu    sync.Mutex
 	cause string // first failure, immutable once set
@@ -125,6 +132,14 @@ func (h *health) noteQuarantine(tid int32, on bool) {
 		return
 	}
 	h.quarantined.Add(-1)
+}
+
+// noteCheckpointFailure records a checkpoint generation that could not be
+// written durably. Deliberately NOT fail-open: the recording in memory is
+// intact; only crash tolerance is lost.
+func (h *health) noteCheckpointFailure(err error) {
+	h.ckptFails.Add(1)
+	h.noteCause(fmt.Sprintf("checkpoint write failed: %v", err))
 }
 
 // Contain is the deferred recover wrapper every exported Oracle/Thread
@@ -168,12 +183,13 @@ func (s *Session) Health() Health {
 		PanicsContained:    s.health.panics.Load(),
 		BudgetBreaches:     s.health.breaches.Load(),
 		QuarantinedThreads: s.health.quarantined.Load(),
+		CheckpointFailures: s.health.ckptFails.Load(),
 	}
 	s.health.mu.Lock()
 	h.Cause = s.health.cause
 	s.health.mu.Unlock()
 	switch {
-	case s.health.failed.Load() || h.BudgetBreaches > 0:
+	case s.health.failed.Load() || h.BudgetBreaches > 0 || h.CheckpointFailures > 0:
 		h.State = StateDegraded
 	case h.QuarantinedThreads > 0:
 		h.State = StateQuarantined

@@ -19,7 +19,7 @@ func TestStateString(t *testing.T) {
 }
 
 func TestInjectFailureDegrades(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	a := s.Registry().Intern("a")
 	th := s.Thread(0)
 	th.Submit(a)
@@ -64,7 +64,7 @@ func TestInjectFailureDegrades(t *testing.T) {
 // TestContainRecovers checks the wrapper converts a live panic into
 // degradation (the mechanism behind every exported method).
 func TestContainRecovers(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	func() {
 		defer s.Contain("test.method")
 		panic("boom")
@@ -76,7 +76,7 @@ func TestContainRecovers(t *testing.T) {
 }
 
 func TestContainToSetsError(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	var err error
 	func() {
 		defer s.ContainTo("test.finish", &err)
@@ -93,7 +93,7 @@ func TestContainToSetsError(t *testing.T) {
 // TestThreadCreationContained checks a panic during thread construction
 // yields an inert, non-nil handle instead of crashing or returning nil.
 func TestThreadCreationContained(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps())
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps()))
 	s.InjectFailure("warmup", "pre-broken")
 	th := s.Thread(9)
 	if th == nil {
@@ -108,7 +108,7 @@ func TestThreadCreationContained(t *testing.T) {
 // TestBudgetBreachIsDegradedButFinishable: resource-budget degradation
 // keeps FinishRecord working — the truncated trace is the graceful result.
 func TestBudgetBreachIsDegradedButFinishable(t *testing.T) {
-	s := NewRecordSession(recorder.WithoutTimestamps(), recorder.WithMaxEvents(10))
+	s := NewRecordSession(WithRecorderOptions(recorder.WithoutTimestamps(), recorder.WithMaxEvents(10)))
 	a := s.Registry().Intern("a")
 	th := s.Thread(0)
 	for i := 0; i < 40; i++ {

@@ -6,7 +6,6 @@ import (
 	"repro/internal/events"
 	"repro/internal/model"
 	"repro/internal/predictor"
-	"repro/internal/recorder"
 )
 
 // NewOnlineSession starts a session that predicts from a reference trace
@@ -17,7 +16,8 @@ import (
 //
 // Thread.Submit feeds both engines; prediction queries behave exactly as in
 // a predict session; FinishRecord returns the newly recorded trace set.
-func NewOnlineSession(ref *model.TraceSet, cfg predictor.Config, recOpts ...recorder.Option) (*Session, error) {
+// RecordOptions (including WithCheckpoint) apply to the re-recording side.
+func NewOnlineSession(ref *model.TraceSet, cfg predictor.Config, opts ...RecordOption) (*Session, error) {
 	if err := ref.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid reference trace: %w", err)
 	}
@@ -27,14 +27,22 @@ func NewOnlineSession(ref *model.TraceSet, cfg predictor.Config, recOpts ...reco
 	if err != nil {
 		return nil, fmt.Errorf("core: invalid event table: %w", err)
 	}
+	var rc recordConfig
+	for _, o := range opts {
+		o(&rc)
+	}
 	s := &Session{
 		mode:    ModeOnline,
 		reg:     reg,
 		ref:     ref,
 		pcfg:    cfg,
-		recOpts: recOpts,
+		recOpts: rc.recOpts,
+		ckptPol: rc.ckpt,
 	}
 	s.threads.Store(&map[int32]*Thread{})
+	if rc.ckpt.enabled() {
+		s.ckpt = newCheckpointer(s, rc.ckpt)
+	}
 	return s, nil
 }
 

@@ -1,0 +1,241 @@
+package faultinject_test
+
+// Crash chaos: every test in this file kills a real recording process —
+// with an injected os.Exit at a chosen point of the checkpoint write path,
+// or with an actual SIGKILL — and then salvages whatever the corpse left in
+// the journal directory. The assertions are the durability contract:
+// committed generations survive any crash, a torn write is detected and
+// skipped, and a salvaged trace drives a predicting oracle.
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/tracefile"
+	"repro/pythia"
+)
+
+func TestParseCrashSpec(t *testing.T) {
+	good := map[string]faultinject.CrashSpec{
+		"save.wrote-temp@2":        {Point: "save.wrote-temp", Nth: 2},
+		"journal.wrote-gen@1+tear": {Point: "journal.wrote-gen", Nth: 1, Tear: true},
+	}
+	for in, want := range good {
+		got, err := faultinject.ParseCrashSpec(in)
+		if err != nil {
+			t.Fatalf("ParseCrashSpec(%q): %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("ParseCrashSpec(%q) = %+v, want %+v", in, got, want)
+		}
+		if got.String() != in {
+			t.Fatalf("round trip of %q: %q", in, got.String())
+		}
+	}
+	for _, in := range []string{"", "@1", "point", "point@", "point@0", "point@x", "point@1+teat"} {
+		if _, err := faultinject.ParseCrashSpec(in); err == nil {
+			t.Fatalf("ParseCrashSpec(%q) accepted", in)
+		}
+	}
+}
+
+// TestCrashHelperProcess is not a test: it is the victim. Re-executed as a
+// subprocess by the crash tests, it records with checkpointing enabled and
+// an injected crash (from PYTHIA_CRASH_SPEC) or, in kill mode, records
+// until the parent SIGKILLs it.
+func TestCrashHelperProcess(t *testing.T) {
+	if os.Getenv("PYTHIA_CRASH_HELPER") != "1" {
+		t.Skip("helper process, not a test")
+	}
+	dir := os.Getenv("PYTHIA_CRASH_DIR")
+	if spec := os.Getenv("PYTHIA_CRASH_SPEC"); spec != "" {
+		cs, err := faultinject.ParseCrashSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracefile.SetCrashHook(cs.Hook())
+	}
+	var now int64
+	o := pythia.NewRecordOracle(
+		pythia.WithClock(func() int64 { now += 5; return now }),
+		pythia.WithCheckpoint(pythia.CheckpointConfig{Dir: dir, EveryEvents: 128}),
+	)
+	a := o.Intern("phaseA")
+	b := o.Intern("phaseB")
+	th := o.Thread(0)
+	// Enough rounds that kill mode gives the parent plenty of committed
+	// generations to shoot at; injected crashes die long before the end.
+	for i := 0; i < 4000; i++ {
+		for j := 0; j < 64; j++ {
+			th.Submit(a)
+			th.Submit(b)
+		}
+		// Give the background checkpointer air between bursts so kill mode
+		// does not finish before the parent pulls the trigger.
+		time.Sleep(time.Millisecond)
+	}
+	if err := o.FinishAndSave(filepath.Join(dir, "final.pythia")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// helperCmd builds the re-exec command for the victim process.
+func helperCmd(t *testing.T, dir, spec string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"PYTHIA_CRASH_HELPER=1",
+		"PYTHIA_CRASH_DIR="+dir,
+		"PYTHIA_CRASH_SPEC="+spec,
+	)
+	return cmd
+}
+
+// exitCode extracts the subprocess exit status.
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	if err == nil {
+		return 0
+	}
+	return -1
+}
+
+func TestCrashAtEveryPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash matrix is not -short material")
+	}
+	cases := []struct {
+		spec string
+		// wantGen is the generation recovery must land on (0: recovery must
+		// fail with ErrNoRecoverableGeneration).
+		wantGen uint64
+		// wantSkip is how many newer generations recovery must skip.
+		wantSkip int
+	}{
+		// Death before anything of generation 1 was written durably.
+		{spec: tracefile.CrashSaveCreatedTemp + "@1", wantGen: 0},
+		// Temp file fully written and fsynced but never renamed: still not
+		// a committed generation, and the .tmp must not confuse recovery.
+		{spec: tracefile.CrashSaveWroteTemp + "@1", wantGen: 0},
+		// Renamed into place: generation 1 is durable even though the
+		// journal bookkeeping after the rename never ran.
+		{spec: tracefile.CrashSaveRenamed + "@1", wantGen: 1},
+		// Two committed generations, death right after the second.
+		{spec: tracefile.CrashJournalWroteGen + "@2", wantGen: 2},
+		// Third generation committed, then torn post-mortem: recovery must
+		// detect the damage and fall back to generation 2.
+		{spec: tracefile.CrashJournalWroteGen + "@3+tear", wantGen: 2, wantSkip: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			dir := t.TempDir()
+			out, err := helperCmd(t, dir, tc.spec).CombinedOutput()
+			if code := exitCode(err); code != faultinject.CrashExitCode {
+				t.Fatalf("victim exited %d, want %d\n%s", code, faultinject.CrashExitCode, out)
+			}
+			ts, rep, err := tracefile.Recover(dir)
+			if tc.wantGen == 0 {
+				if !errors.Is(err, tracefile.ErrNoRecoverableGeneration) {
+					t.Fatalf("Recover err = %v, want ErrNoRecoverableGeneration", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Recover: %v (report %+v)", err, rep)
+			}
+			if rep.Used.Generation != tc.wantGen {
+				t.Fatalf("recovered generation %d, want %d (skipped %+v)", rep.Used.Generation, tc.wantGen, rep.Skipped)
+			}
+			if len(rep.Skipped) != tc.wantSkip {
+				t.Fatalf("skipped %+v, want %d entries", rep.Skipped, tc.wantSkip)
+			}
+			assertSalvageable(t, ts)
+		})
+	}
+}
+
+func TestSIGKILLDuringRecording(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill test is not -short material")
+	}
+	dir := t.TempDir()
+	cmd := helperCmd(t, dir, "") // no injected crash: a real signal
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until at least one generation is committed, then kill without
+	// any chance for cleanup.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sts, err := tracefile.ScanJournal(dir)
+		if err == nil && len(sts) > 0 && sts[len(sts)-1].Err == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("victim never committed a generation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("victim exit: %v, want SIGKILL death", err)
+	}
+
+	ts, rep, err := tracefile.Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover after SIGKILL: %v (report %+v)", err, rep)
+	}
+	if rep.Used == nil || rep.Used.Events == 0 {
+		t.Fatalf("empty recovery: %+v", rep.Used)
+	}
+	assertSalvageable(t, ts)
+}
+
+// assertSalvageable checks the durability contract on a recovered trace:
+// marked truncated + salvaged, and good enough to drive a predicting
+// oracle through a full pass of its own recorded sequence.
+func assertSalvageable(t *testing.T, ts *pythia.TraceSet) {
+	t.Helper()
+	if ts.Provenance == nil || !ts.Provenance.Salvaged {
+		t.Fatalf("recovered trace lacks salvaged provenance: %+v", ts.Provenance)
+	}
+	th := ts.Threads[0]
+	if th == nil || !th.Truncated {
+		t.Fatal("recovered thread missing or not marked truncated")
+	}
+	o, err := pythia.NewPredictOracle(ts, pythia.Config{})
+	if err != nil {
+		t.Fatalf("predict oracle from salvaged trace: %v", err)
+	}
+	seq := th.Grammar.Unfold()
+	if len(seq) == 0 {
+		t.Fatal("salvaged grammar unfolds to nothing")
+	}
+	pth := o.Thread(0)
+	pth.StartAtBeginning()
+	hits := 0
+	for _, e := range seq {
+		if pred, ok := pth.PredictAt(1); ok && pred.EventID == e {
+			hits++
+		}
+		pth.Submit(pythia.ID(e))
+	}
+	if hits < len(seq)*9/10 {
+		t.Fatalf("salvaged trace predicts %d/%d of its own run", hits, len(seq))
+	}
+}

@@ -59,14 +59,65 @@ type MPIRun struct {
 // PYTHIA-RECORD (record=true). Hybrid applications get a per-rank OpenMP
 // runtime; when recording, its region events interleave into the rank's
 // event stream exactly as the paper's combined MPI+OpenMP runtimes do.
+//
+// The oracle is harness-owned and a Finish failure (the oracle degrading
+// mid-run after a contained panic) invalidates the experiment, so it panics.
+// Tools that own their oracle — and must turn failures into exit codes, not
+// stack traces — use RunMPIAppWithOracle instead.
 func RunMPIApp(app apps.App, class apps.Class, record bool, seed int64) MPIRun {
-	var oracle *pythia.Oracle
-	if record {
-		oracle = pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	if !record {
+		w := mpisim.NewWorld(app.Ranks)
+		start := time.Now()
+		w.Run(func(m mpisim.MPI) { appBody(app, class, seed, false, nil)(m) })
+		return MPIRun{Wall: time.Since(start)}
 	}
-	w := mpisim.NewWorld(app.Ranks)
+	oracle := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	run, err := RunMPIAppWithOracle(oracle, app, class, seed)
+	if err != nil {
+		panic(fmt.Sprintf("pythia: internal: harness: record-mode Finish failed: %v", err))
+	}
+	return run
+}
 
-	body := func(m mpisim.MPI) {
+// RunMPIAppWithOracle executes one application under PYTHIA-RECORD against a
+// caller-supplied record-mode oracle, so the caller controls recording
+// options (timestamps, budgets, crash-safe checkpointing). A Finish failure
+// — e.g. the oracle degraded after containing an internal panic — comes back
+// as an error carrying the health cause, never as a panic.
+func RunMPIAppWithOracle(oracle *pythia.Oracle, app apps.App, class apps.Class, seed int64) (MPIRun, error) {
+	w := mpisim.NewWorld(app.Ranks)
+	body := appBody(app, class, seed, true, oracle)
+	start := time.Now()
+	w.RunInterposed(func(m mpisim.MPI) mpisim.MPI {
+		return mpisim.NewInterposer(m, oracle)
+	}, body)
+	wall := time.Since(start)
+
+	ts, err := oracle.Finish()
+	if err != nil {
+		if h := oracle.Health(); h.Cause != "" {
+			err = fmt.Errorf("%w (health: %s, cause: %s)", err, h.State, h.Cause)
+		}
+		return MPIRun{Wall: wall}, err
+	}
+	return MPIRun{Wall: wall, Trace: ts}, nil
+}
+
+// mustFinish finalises a record-mode oracle the harness created itself for
+// an experiment, where a degraded oracle invalidates the run. Tool-facing
+// paths go through RunMPIAppWithOracle and its error return instead.
+func mustFinish(o *pythia.Oracle) *pythia.TraceSet {
+	ts, err := o.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("pythia: internal: harness: record-mode Finish failed: %v", err))
+	}
+	return ts
+}
+
+// appBody builds the per-rank body closure shared by the vanilla and
+// recorded paths.
+func appBody(app apps.App, class apps.Class, seed int64, record bool, oracle *pythia.Oracle) func(mpisim.MPI) {
+	return func(m mpisim.MPI) {
 		ctx := &apps.Context{MPI: m, Class: class, Seed: seed}
 		if app.Hybrid {
 			cfg := ompsim.Config{MaxThreads: 2}
@@ -80,33 +131,6 @@ func RunMPIApp(app apps.App, class apps.Class, record bool, seed int64) MPIRun {
 		}
 		app.Run(ctx)
 	}
-
-	start := time.Now()
-	if record {
-		w.RunInterposed(func(m mpisim.MPI) mpisim.MPI {
-			return mpisim.NewInterposer(m, oracle)
-		}, body)
-	} else {
-		w.Run(body)
-	}
-	wall := time.Since(start)
-
-	out := MPIRun{Wall: wall}
-	if record {
-		out.Trace = mustFinish(oracle)
-	}
-	return out
-}
-
-// mustFinish finalises a record-mode oracle the harness created itself.
-// Finish can only fail here if the oracle degraded mid-run (a contained
-// internal panic), which would invalidate the experiment — surface it.
-func mustFinish(o *pythia.Oracle) *pythia.TraceSet {
-	ts, err := o.Finish()
-	if err != nil {
-		panic(fmt.Sprintf("pythia: internal: harness: record-mode Finish failed: %v", err))
-	}
-	return ts
 }
 
 // CaptureStreams records one run of the application and returns, per rank,

@@ -203,6 +203,19 @@ type ThreadTrace struct {
 	Dropped int64
 }
 
+// Provenance records how a trace set came to exist when it was produced by
+// the crash-safe recording pipeline rather than a clean FinishRecord: the
+// checkpoint generation it was written as (or salvaged from) and whether it
+// is a salvage. Nil on traces saved by a normal end-of-run Finish.
+type Provenance struct {
+	// Generation is the checkpoint journal generation number.
+	Generation uint64
+	// Salvaged is true when the trace set was reconstructed from a
+	// checkpoint journal by tracefile.Recover after a crash, rather than
+	// written by the recording process itself.
+	Salvaged bool
+}
+
 // TraceSet is the content of one Pythia trace file: one grammar (and
 // optional timing model) per recorded thread, sharing a single event
 // descriptor table. The paper records one grammar per thread (section
@@ -213,6 +226,9 @@ type TraceSet struct {
 	// Threads maps a stable thread identifier (e.g. MPI rank, OpenMP thread
 	// number) to its artifacts.
 	Threads map[int32]*ThreadTrace
+	// Provenance is the checkpoint/recovery origin of this trace set, nil
+	// for traces produced by a normal end-of-run Finish.
+	Provenance *Provenance
 }
 
 // Trace returns the single-thread view for tid, or nil when absent.

@@ -54,6 +54,23 @@ func WithGrammarBudget(maxRules, maxNodes int) Option {
 	return func(r *Recorder) { r.maxRules = maxRules; r.maxNodes = maxNodes }
 }
 
+// WithCheckpointSink hands a Checkpoint of the recording to sink every
+// `every` events (counting budget-dropped events, so truncated recordings
+// keep reporting their growing drop count). The checkpoint is taken on the
+// recording thread — the only goroutine allowed to touch the live grammar —
+// but is cheap: a Freeze of the compressed grammar plus a view of the
+// timestamp log. The expensive part (rebuilding the timing model) is
+// deferred to Checkpoint.Materialize, which the sink's consumer runs
+// wherever it likes. every <= 0 disables checkpointing.
+func WithCheckpointSink(every int64, sink func(Checkpoint)) Option {
+	return func(r *Recorder) {
+		if every > 0 && sink != nil {
+			r.ckptEvery = every
+			r.ckptSink = sink
+		}
+	}
+}
+
 // Recorder accumulates one thread's events. It is not safe for concurrent
 // use; Pythia keeps one recorder per thread (paper section III-C1).
 type Recorder struct {
@@ -73,6 +90,13 @@ type Recorder struct {
 	truncated  bool
 	truncCause string
 	dropped    int64
+
+	// Checkpoint cadence (zero = disabled): every ckptEvery events the
+	// recording thread hands a Checkpoint to ckptSink. ckptLast is the
+	// event total (recorded + dropped) at the previous checkpoint.
+	ckptEvery int64
+	ckptLast  int64
+	ckptSink  func(Checkpoint)
 }
 
 // New returns a recorder. By default timestamps are recorded with a
@@ -97,10 +121,12 @@ func (r *Recorder) Record(id events.ID) {
 	}
 	if r.truncated {
 		r.dropped++
+		r.maybeCheckpoint()
 		return
 	}
 	r.g.Append(int32(id))
 	r.checkBudget()
+	r.maybeCheckpoint()
 }
 
 // RecordAt notifies the recorder that event id was raised at the explicit
@@ -110,6 +136,7 @@ func (r *Recorder) RecordAt(id events.ID, now int64) {
 	if r.truncated {
 		r.dropped++
 		r.last = now
+		r.maybeCheckpoint()
 		return
 	}
 	delta := int64(0)
@@ -126,6 +153,7 @@ func (r *Recorder) RecordAt(id events.ID, now int64) {
 	}
 	r.g.Append(int32(id))
 	r.checkBudget()
+	r.maybeCheckpoint()
 }
 
 // checkBudget freezes the recording when a resource budget is breached.
@@ -187,6 +215,58 @@ func (r *Recorder) RuleCount() int { return r.g.RuleCount() }
 // checks in tests).
 func (r *Recorder) Grammar() *grammar.Grammar { return r.g }
 
+// Checkpoint is a consistent copy of a recording's state, cheap to take on
+// the recording thread and safe to Materialize on any other goroutine: the
+// grammar is an immutable Freeze and the delta log is a capacity-capped
+// prefix view of an append-only slice the owner only ever extends.
+type Checkpoint struct {
+	// Grammar is the frozen reduction of the events recorded so far.
+	Grammar *grammar.Frozen
+	// Truncated and Dropped mirror the budget state at checkpoint time.
+	Truncated bool
+	Dropped   int64
+
+	deltas []int64
+}
+
+// Events returns the number of events the checkpoint covers, including
+// budget-dropped events.
+func (c Checkpoint) Events() int64 { return c.Grammar.EventCount + c.Dropped }
+
+// Materialize rebuilds the per-thread trace artifact — including the timing
+// model replay, the expensive part of finishing a recording — from the
+// checkpointed state. Unlike taking the checkpoint, this may run on any
+// goroutine.
+func (c Checkpoint) Materialize() *model.ThreadTrace {
+	return buildThreadTrace(c.Grammar, c.deltas, c.Truncated, c.Dropped)
+}
+
+// Checkpoint captures the current state. It must be called from the
+// recording thread (like every other Recorder method).
+func (r *Recorder) Checkpoint() Checkpoint {
+	return Checkpoint{
+		Grammar:   r.g.Freeze(),
+		Truncated: r.truncated,
+		Dropped:   r.dropped,
+		// The three-index form pins the capacity: a later append by the
+		// recording thread reallocates or writes past this view, never
+		// into it.
+		deltas: r.deltas[:len(r.deltas):len(r.deltas)],
+	}
+}
+
+// maybeCheckpoint hands a checkpoint to the sink when the cadence is due.
+// pythia:hotpath — one compare per recorded event when enabled.
+func (r *Recorder) maybeCheckpoint() {
+	if r.ckptEvery <= 0 {
+		return
+	}
+	if total := r.g.EventCount() + r.dropped; total-r.ckptLast >= r.ckptEvery {
+		r.ckptLast = total
+		r.ckptSink(r.Checkpoint())
+	}
+}
+
 // Snapshot freezes the structure recorded *so far* without ending the
 // recording — the crash-tolerance hook: a long run can checkpoint its trace
 // periodically and keep recording. Snapshots carry the timing model built
@@ -204,21 +284,29 @@ func (r *Recorder) Finish() *model.ThreadTrace {
 }
 
 func (r *Recorder) finishInternal() *model.ThreadTrace {
-	frozen := r.g.Freeze()
+	return buildThreadTrace(r.g.Freeze(), r.deltas, r.truncated, r.dropped)
+}
+
+// buildThreadTrace assembles the trace artifact from frozen state: when
+// timestamps were recorded, the event sequence is replayed through the
+// grammar to associate each grammar context with the mean elapsed time
+// since the previous event. Pure function of its arguments — both Finish
+// and Checkpoint.Materialize (possibly on another goroutine) run it.
+func buildThreadTrace(frozen *grammar.Frozen, deltas []int64, truncated bool, dropped int64) *model.ThreadTrace {
 	th := &model.ThreadTrace{
 		Grammar:   frozen,
-		Truncated: r.truncated,
-		Dropped:   r.dropped,
+		Truncated: truncated,
+		Dropped:   dropped,
 	}
-	if len(r.deltas) == 0 {
+	if len(deltas) == 0 {
 		return th
 	}
 	timing := model.NewTiming()
 	pos, ok := progress.Start(frozen)
 	var refs []grammar.UserRef
-	for i := 0; ok && i < len(r.deltas); i++ {
+	for i := 0; ok && i < len(deltas); i++ {
 		refs = pos.AppendRefs(refs[:0])
-		timing.AddPath(refs, pos.Terminal(frozen), r.deltas[i])
+		timing.AddPath(refs, pos.Terminal(frozen), deltas[i])
 		brs := progress.Successors(frozen, pos, 1)
 		if len(brs) == 0 {
 			break

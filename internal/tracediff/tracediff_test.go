@@ -12,7 +12,7 @@ import (
 // record builds a trace set from per-thread descriptor sequences.
 func record(t *testing.T, threads map[int32][]string) *pythia.TraceSet {
 	t.Helper()
-	s := core.NewRecordSession(recorder.WithoutTimestamps())
+	s := core.NewRecordSession(core.WithRecorderOptions(recorder.WithoutTimestamps()))
 	for tid, seq := range threads {
 		th := s.Thread(tid)
 		for _, name := range seq {
@@ -46,7 +46,7 @@ func TestIdenticalTraces(t *testing.T) {
 func TestIdenticalDespiteDifferentIDs(t *testing.T) {
 	// Same descriptor sequence, but interned in a different order so the
 	// numeric ids differ: the diff must compare by name.
-	sa := core.NewRecordSession(recorder.WithoutTimestamps())
+	sa := core.NewRecordSession(core.WithRecorderOptions(recorder.WithoutTimestamps()))
 	sa.Registry().Intern("x") // id 0
 	sa.Registry().Intern("y") // id 1
 	tha := sa.Thread(0)
@@ -59,7 +59,7 @@ func TestIdenticalDespiteDifferentIDs(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sb := core.NewRecordSession(recorder.WithoutTimestamps())
+	sb := core.NewRecordSession(core.WithRecorderOptions(recorder.WithoutTimestamps()))
 	sb.Registry().Intern("y") // id 0 (swapped!)
 	sb.Registry().Intern("x") // id 1
 	thb := sb.Thread(0)

@@ -1,0 +1,255 @@
+// Checkpoint journal: crash-safe incremental persistence for PYTHIA-RECORD.
+//
+// A recording process periodically serialises its in-progress trace set as a
+// new *generation* — a complete, self-contained v3 trace file named
+// trace.ckpt.<N> inside a journal directory — through the same atomic
+// fsync'd Save path as a final trace. Generations are strictly increasing;
+// after a successful write the journal prunes all but the last Keep
+// generations. Because every generation is written to a temp file, fsynced,
+// and renamed into place, a crash at any instant leaves the directory with
+// a set of complete previous generations plus at most one ignorable .tmp
+// file — a torn write can never destroy an already-committed generation.
+//
+// Recover scans a journal directory newest-first, skips generations that do
+// not load (bad CRC, truncated file, invalid payload), and returns the
+// freshest loadable trace set together with a report of what was used and
+// what was skipped and why. A recovered trace is marked Truncated on every
+// thread — it covers a prefix of the crashed run, exactly like a trace
+// frozen by a record budget — and carries Salvaged provenance.
+package tracefile
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// GenPrefix is the checkpoint generation file-name prefix inside a journal
+// directory: generation N is GenPrefix + strconv.Itoa(N).
+const GenPrefix = "trace.ckpt."
+
+// DefaultKeep is the number of generations a journal retains when the
+// caller does not choose: the newest plus two fallbacks.
+const DefaultKeep = 3
+
+// Journal writes checkpoint generations into a directory with rotation.
+// It is not safe for concurrent use; Pythia drives one journal from one
+// background checkpoint goroutine.
+type Journal struct {
+	dir  string
+	keep int
+	next uint64
+}
+
+// OpenJournal opens (creating if needed) a checkpoint journal directory.
+// Generation numbering continues after the highest generation already
+// present, so a resumed recording never overwrites a previous run's
+// checkpoints. keep <= 0 selects DefaultKeep.
+func OpenJournal(dir string, keep int) (*Journal, error) {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("tracefile: opening journal: %w", err)
+	}
+	gens, err := listGenerations(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(gens); n > 0 {
+		next = gens[n-1] + 1
+	}
+	return &Journal{dir: dir, keep: keep, next: next}, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// NextGeneration returns the generation number the next WriteGeneration
+// will use.
+func (j *Journal) NextGeneration() uint64 { return j.next }
+
+// GenPath returns the file path of generation gen.
+func (j *Journal) GenPath(gen uint64) string {
+	return filepath.Join(j.dir, GenPrefix+strconv.FormatUint(gen, 10))
+}
+
+// WriteGeneration durably writes ts as the next checkpoint generation and
+// prunes generations beyond the keep window. The generation number is
+// consumed only on success, so a failed write is retried under the same
+// number and can never leave a gap that recovery would misread as data
+// loss. ts.Provenance is overwritten with the generation written.
+func (j *Journal) WriteGeneration(ts *model.TraceSet) (uint64, error) {
+	gen := j.next
+	ts.Provenance = &model.Provenance{Generation: gen}
+	path := j.GenPath(gen)
+	if err := Save(path, ts); err != nil {
+		return 0, fmt.Errorf("tracefile: writing checkpoint generation %d: %w", gen, err)
+	}
+	j.next = gen + 1
+	hookAt(CrashJournalWroteGen, path)
+	if err := j.rotate(gen); err != nil {
+		return gen, err
+	}
+	hookAt(CrashJournalRotated, path)
+	return gen, nil
+}
+
+// rotate removes generations older than the keep window ending at newest.
+// A failure to prune is surfaced (an undeletable file means the journal
+// will grow without bound), but the generation it follows is already
+// durable.
+func (j *Journal) rotate(newest uint64) error {
+	gens, err := listGenerations(j.dir)
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, g := range gens {
+		if g+uint64(j.keep) <= newest {
+			if err := os.Remove(j.GenPath(g)); err != nil && !errors.Is(err, os.ErrNotExist) {
+				errs = append(errs, err)
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("tracefile: pruning checkpoint generations: %w", errors.Join(errs...))
+	}
+	return nil
+}
+
+// listGenerations returns the generation numbers present in dir, ascending.
+// Temp files and foreign names are ignored.
+func listGenerations(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile: scanning journal: %w", err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, GenPrefix) || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		g, err := strconv.ParseUint(name[len(GenPrefix):], 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, k int) bool { return gens[i] < gens[k] })
+	return gens, nil
+}
+
+// GenerationStatus describes one checkpoint generation found in a journal
+// directory.
+type GenerationStatus struct {
+	// Generation is the generation number parsed from the file name.
+	Generation uint64
+	// Path is the generation file.
+	Path string
+	// Err is why the generation does not load ("" when loadable).
+	Err string
+	// Events and Threads summarise a loadable generation (events counts
+	// include budget-dropped events).
+	Events  int64
+	Threads int
+}
+
+// RecoveryReport describes what Recover did: the generation it returned and
+// the newer generations it had to skip, with reasons.
+type RecoveryReport struct {
+	// Dir is the journal directory scanned.
+	Dir string
+	// Used is the recovered generation (nil when nothing was recoverable).
+	Used *GenerationStatus
+	// Skipped lists generations newer than Used that did not load, newest
+	// first, each with the reason.
+	Skipped []GenerationStatus
+}
+
+// ErrNoRecoverableGeneration is wrapped by Recover when a journal directory
+// holds no loadable checkpoint generation.
+var ErrNoRecoverableGeneration = errors.New("no recoverable checkpoint generation")
+
+// Recover scans a checkpoint journal directory newest-first and returns the
+// freshest generation that loads (CRC-verified and semantically valid),
+// together with a report of skipped generations. The recovered trace set is
+// marked Truncated on every thread — it is a prefix of a crashed recording,
+// to be treated exactly like a budget-frozen trace — and its provenance is
+// marked Salvaged. When no generation is loadable, the error wraps
+// ErrNoRecoverableGeneration and the report still describes every skipped
+// generation.
+func Recover(dir string) (*model.TraceSet, *RecoveryReport, error) {
+	rep := &RecoveryReport{Dir: dir}
+	gens, err := listGenerations(dir)
+	if err != nil {
+		return nil, rep, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		st := loadGeneration(dir, gens[i])
+		if st.Err != "" {
+			rep.Skipped = append(rep.Skipped, st)
+			continue
+		}
+		ts, err := Load(st.Path)
+		if err != nil {
+			// The file changed between the probe and the load; treat it
+			// like any other unreadable generation.
+			st.Err = err.Error()
+			rep.Skipped = append(rep.Skipped, st)
+			continue
+		}
+		for _, th := range ts.Threads {
+			th.Truncated = true
+		}
+		if ts.Provenance == nil {
+			ts.Provenance = &model.Provenance{Generation: st.Generation}
+		}
+		ts.Provenance.Salvaged = true
+		rep.Used = &st
+		return ts, rep, nil
+	}
+	return nil, rep, fmt.Errorf("tracefile: %w in %s (%d generation(s) scanned)",
+		ErrNoRecoverableGeneration, dir, len(gens))
+}
+
+// ScanJournal reports the status of every generation in a journal
+// directory, ascending — the pythia-inspect view of a journal.
+func ScanJournal(dir string) ([]GenerationStatus, error) {
+	gens, err := listGenerations(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GenerationStatus, 0, len(gens))
+	for _, g := range gens {
+		out = append(out, loadGeneration(dir, g))
+	}
+	return out, nil
+}
+
+// loadGeneration probes one generation file: loadable or not, and why.
+func loadGeneration(dir string, gen uint64) GenerationStatus {
+	st := GenerationStatus{
+		Generation: gen,
+		Path:       filepath.Join(dir, GenPrefix+strconv.FormatUint(gen, 10)),
+	}
+	ts, err := Load(st.Path)
+	if err != nil {
+		st.Err = err.Error()
+		return st
+	}
+	st.Threads = len(ts.Threads)
+	st.Events = ts.TotalEvents()
+	for _, th := range ts.Threads {
+		st.Events += th.Dropped
+	}
+	return st
+}

@@ -1,0 +1,327 @@
+package tracefile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalWritesAndRotates(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := makeTraceSet(t)
+	for i := 1; i <= 5; i++ {
+		gen, err := j.WriteGeneration(ts)
+		if err != nil {
+			t.Fatalf("WriteGeneration #%d: %v", i, err)
+		}
+		if gen != uint64(i) {
+			t.Fatalf("generation %d, want %d", gen, i)
+		}
+		if ts.Provenance == nil || ts.Provenance.Generation != uint64(i) {
+			t.Fatalf("provenance not stamped on generation %d: %+v", i, ts.Provenance)
+		}
+	}
+	gens, err := listGenerations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{3, 4, 5}
+	if len(gens) != len(want) {
+		t.Fatalf("kept generations %v, want %v", gens, want)
+	}
+	for i, g := range want {
+		if gens[i] != g {
+			t.Fatalf("kept generations %v, want %v", gens, want)
+		}
+	}
+}
+
+func TestOpenJournalContinuesNumbering(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NextGeneration() != 1 {
+		t.Fatalf("fresh journal next generation %d, want 1", j.NextGeneration())
+	}
+	ts := makeTraceSet(t)
+	if _, err := j.WriteGeneration(ts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.WriteGeneration(ts); err != nil {
+		t.Fatal(err)
+	}
+	// A resumed recording must never overwrite a previous run's checkpoints.
+	j2, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.NextGeneration() != 3 {
+		t.Fatalf("reopened journal next generation %d, want 3", j2.NextGeneration())
+	}
+}
+
+func TestRecoverUsesNewestGeneration(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := makeTraceSet(t)
+	for i := 0; i < 3; i++ {
+		if _, err := j.WriteGeneration(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, rep, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.Used == nil || rep.Used.Generation != 3 {
+		t.Fatalf("recovered generation %+v, want 3", rep.Used)
+	}
+	if len(rep.Skipped) != 0 {
+		t.Fatalf("unexpected skips: %+v", rep.Skipped)
+	}
+	if got.Provenance == nil || !got.Provenance.Salvaged || got.Provenance.Generation != 3 {
+		t.Fatalf("salvaged provenance missing: %+v", got.Provenance)
+	}
+	for tid, th := range got.Threads {
+		if !th.Truncated {
+			t.Fatalf("thread %d of a recovered trace not marked truncated", tid)
+		}
+	}
+	if got.TotalEvents() != ts.TotalEvents() {
+		t.Fatalf("recovered %d events, want %d", got.TotalEvents(), ts.TotalEvents())
+	}
+}
+
+func TestRecoverSkipsCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := makeTraceSet(t)
+	for i := 0; i < 3; i++ {
+		if _, err := j.WriteGeneration(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the newest generation (torn write) and corrupt the middle one
+	// (bit rot): recovery must fall back to generation 1 and say why.
+	newest := j.GenPath(3)
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, raw[:len(raw)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	middle := j.GenPath(2)
+	raw, err = os.ReadFile(middle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x55
+	if err := os.WriteFile(middle, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rep, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rep.Used == nil || rep.Used.Generation != 1 {
+		t.Fatalf("recovered generation %+v, want 1", rep.Used)
+	}
+	if len(rep.Skipped) != 2 {
+		t.Fatalf("skipped %+v, want generations 3 and 2", rep.Skipped)
+	}
+	if rep.Skipped[0].Generation != 3 || rep.Skipped[1].Generation != 2 {
+		t.Fatalf("skipped order %+v, want newest first", rep.Skipped)
+	}
+	for _, sk := range rep.Skipped {
+		if sk.Err == "" {
+			t.Fatalf("skip of generation %d carries no reason", sk.Generation)
+		}
+	}
+	if got.TotalEvents() != ts.TotalEvents() {
+		t.Fatalf("recovered %d events, want %d", got.TotalEvents(), ts.TotalEvents())
+	}
+}
+
+func TestRecoverNothingLoadable(t *testing.T) {
+	dir := t.TempDir()
+	// Empty journal directory.
+	_, rep, err := Recover(dir)
+	if !errors.Is(err, ErrNoRecoverableGeneration) {
+		t.Fatalf("empty dir: err = %v, want ErrNoRecoverableGeneration", err)
+	}
+	if rep == nil {
+		t.Fatal("nil report on error")
+	}
+	// A journal with only garbage generations.
+	if err := os.WriteFile(filepath.Join(dir, GenPrefix+"1"), []byte("garbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err = Recover(dir)
+	if !errors.Is(err, ErrNoRecoverableGeneration) {
+		t.Fatalf("garbage-only dir: err = %v, want ErrNoRecoverableGeneration", err)
+	}
+	if len(rep.Skipped) != 1 || rep.Skipped[0].Err == "" {
+		t.Fatalf("report %+v, want one skipped generation with a reason", rep.Skipped)
+	}
+}
+
+func TestJournalScanIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		GenPrefix + "7.tmp", // in-flight temp from a crashed Save
+		GenPrefix + "x",     // non-numeric suffix
+		"trace.pythia",      // final trace living next to the journal
+		".hidden",           //
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, GenPrefix+"9"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := listGenerations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 0 {
+		t.Fatalf("foreign files parsed as generations: %v", gens)
+	}
+	j, err := OpenJournal(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NextGeneration() != 1 {
+		t.Fatalf("next generation %d, want 1", j.NextGeneration())
+	}
+}
+
+func TestScanJournalReportsStatus(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := makeTraceSet(t)
+	for i := 0; i < 2; i++ {
+		if _, err := j.WriteGeneration(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt generation 1.
+	raw, err := os.ReadFile(j.GenPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // trailer CRC byte
+	if err := os.WriteFile(j.GenPath(1), raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	sts, err := ScanJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 {
+		t.Fatalf("scan found %d generations, want 2", len(sts))
+	}
+	if sts[0].Generation != 1 || sts[0].Err == "" {
+		t.Fatalf("generation 1 should be corrupt: %+v", sts[0])
+	}
+	if sts[1].Generation != 2 || sts[1].Err != "" || sts[1].Threads == 0 || sts[1].Events == 0 {
+		t.Fatalf("generation 2 should be loadable: %+v", sts[1])
+	}
+}
+
+func TestCrashHooksFireInOrder(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []string
+	hook := func(point, path string) { fired = append(fired, point) }
+	SetCrashHook(hook)
+	defer SetCrashHook(nil)
+	if _, err := j.WriteGeneration(makeTraceSet(t)); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		CrashSaveCreatedTemp, CrashSaveWroteTemp, CrashSaveRenamed,
+		CrashJournalWroteGen, CrashJournalRotated,
+	}
+	if strings.Join(fired, ",") != strings.Join(want, ",") {
+		t.Fatalf("hooks fired %v, want %v", fired, want)
+	}
+}
+
+func TestInspectFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.pythia")
+	ts := makeTraceSet(t)
+	if err := Save(path, ts); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := InspectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.CRCOK || meta.Version != Version || meta.PayloadBytes <= 0 {
+		t.Fatalf("clean file meta: %+v", meta)
+	}
+	// Corrupt one payload byte: InspectFile must still answer, with CRCOK
+	// false — that is its whole point over Load.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	meta, err = InspectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.CRCOK {
+		t.Fatal("corrupted payload reported CRCOK")
+	}
+	if meta.CRCStored == meta.CRCComputed {
+		t.Fatal("stored and computed CRC cannot match on a corrupted payload")
+	}
+}
+
+func TestProvenanceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := makeTraceSet(t)
+	gen, err := j.WriteGeneration(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(j.GenPath(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Provenance == nil || got.Provenance.Generation != gen || got.Provenance.Salvaged {
+		t.Fatalf("loaded provenance %+v, want generation %d, not salvaged", got.Provenance, gen)
+	}
+}

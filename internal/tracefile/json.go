@@ -22,6 +22,15 @@ type JSONTraceSet struct {
 	// Threads maps thread ids (as decimal strings, for JSON object keys) to
 	// their artifacts.
 	Threads map[string]JSONThread `json:"threads"`
+	// Provenance records checkpoint/recovery origin, absent on traces from
+	// a clean end-of-run Finish.
+	Provenance *JSONProvenance `json:"provenance,omitempty"`
+}
+
+// JSONProvenance mirrors model.Provenance.
+type JSONProvenance struct {
+	Generation uint64 `json:"generation"`
+	Salvaged   bool   `json:"salvaged,omitempty"`
 }
 
 // JSONThread is one thread's artifacts.
@@ -57,6 +66,9 @@ func ExportJSON(w io.Writer, ts *model.TraceSet) error {
 	out := JSONTraceSet{
 		Events:  ts.Events,
 		Threads: make(map[string]JSONThread, len(ts.Threads)),
+	}
+	if p := ts.Provenance; p != nil {
+		out.Provenance = &JSONProvenance{Generation: p.Generation, Salvaged: p.Salvaged}
 	}
 	for _, tid := range ts.ThreadIDs() {
 		th := ts.Threads[tid]
@@ -105,6 +117,9 @@ func ImportJSON(r io.Reader) (*model.TraceSet, error) {
 		return nil, err
 	}
 	ts := &model.TraceSet{Events: in.Events, Threads: make(map[int32]*model.ThreadTrace)}
+	if p := in.Provenance; p != nil {
+		ts.Provenance = &model.Provenance{Generation: p.Generation, Salvaged: p.Salvaged}
+	}
 	for key, jt := range in.Threads {
 		tid64, err := strconv.ParseInt(key, 10, 32)
 		if err != nil {

@@ -9,30 +9,31 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/model"
 	"repro/internal/recorder"
 )
 
 // truncatedTraceSet records past a tight event cap so the thread trace
 // carries the truncation mark.
-func truncatedTraceSet(t *testing.T) *core.Session {
+func truncatedTraceSet(t *testing.T) *model.TraceSet {
 	t.Helper()
-	s := core.NewRecordSession(recorder.WithoutTimestamps(), recorder.WithMaxEvents(50))
-	a := s.Registry().Intern("a")
-	b := s.Registry().Intern("b")
-	th := s.Thread(0)
+	reg := events.NewRegistry()
+	a := reg.Intern("a")
+	b := reg.Intern("b")
+	rec := recorder.New(recorder.WithoutTimestamps(), recorder.WithMaxEvents(50))
 	for i := 0; i < 100; i++ {
-		th.Submit(a)
-		th.Submit(b)
+		rec.Record(a)
+		rec.Record(b)
 	}
-	return s
+	return &model.TraceSet{
+		Events:  reg.Names(),
+		Threads: map[int32]*model.ThreadTrace{0: rec.Finish()},
+	}
 }
 
 func TestTruncatedFlagRoundTrip(t *testing.T) {
-	ts, err := truncatedTraceSet(t).FinishRecord()
-	if err != nil {
-		t.Fatal(err)
-	}
+	ts := truncatedTraceSet(t)
 	th := ts.Threads[0]
 	if !th.Truncated || th.Dropped != 150 {
 		t.Fatalf("precondition: truncated=%v dropped=%d, want true/150", th.Truncated, th.Dropped)
@@ -116,13 +117,62 @@ func TestReadVersion1(t *testing.T) {
 	}
 }
 
+// TestReadVersion2 hand-writes a version-2 payload (per-thread flags, no
+// provenance trailer) and checks the current reader still accepts it with
+// nil Provenance.
+func TestReadVersion2(t *testing.T) {
+	ts := truncatedTraceSet(t)
+
+	var raw bytes.Buffer
+	raw.Write(Magic[:])
+	crc := crc32.NewIEEE()
+	payload := &bytes.Buffer{}
+	pw := bufio.NewWriter(payload)
+	e := &encoder{w: pw}
+	e.uvarint(2) // version 2: thread flags, nothing after the thread records
+	e.uvarint(uint64(len(ts.Events)))
+	for _, name := range ts.Events {
+		e.bytes([]byte(name))
+	}
+	tids := ts.ThreadIDs()
+	e.uvarint(uint64(len(tids)))
+	for _, tid := range tids {
+		th := ts.Threads[tid]
+		e.svarint(int64(tid))
+		e.uvarint(threadFlagTruncated)
+		e.uvarint(uint64(th.Dropped))
+		e.grammar(th.Grammar)
+		e.timing(th.Timing)
+	}
+	if e.err != nil {
+		t.Fatal(e.err)
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	crc.Write(payload.Bytes())
+	raw.Write(payload.Bytes())
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	raw.Write(sum[:])
+
+	got, err := Read(&raw)
+	if err != nil {
+		t.Fatalf("reading version-2 file: %v", err)
+	}
+	th := got.Threads[0]
+	if !th.Truncated || th.Dropped != ts.Threads[0].Dropped {
+		t.Fatalf("v2 read lost truncation: truncated=%v dropped=%d", th.Truncated, th.Dropped)
+	}
+	if got.Provenance != nil {
+		t.Fatalf("v2 file decoded with provenance %+v, want nil", got.Provenance)
+	}
+}
+
 // TestSaveReplacesExistingFile checks the fsync+rename path both creates
 // and atomically replaces a trace file, and that no temp file survives.
 func TestSaveReplacesExistingFile(t *testing.T) {
-	ts, err := truncatedTraceSet(t).FinishRecord()
-	if err != nil {
-		t.Fatal(err)
-	}
+	ts := truncatedTraceSet(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.pythia")
 	for i := 0; i < 2; i++ {

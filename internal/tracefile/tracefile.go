@@ -24,8 +24,12 @@
 //	    suffixCount, per entry: (keyLen, keyBytes, stat)
 //	    eventStatCount, per entry: (eventID zig-zag, stat)
 //	  where stat = (count, sum zig-zag, min zig-zag, max zig-zag)
+//	provenanceFlag (version >= 3, 0/1); if 1:
+//	  generation uvarint
+//	  provFlags  uvarint (bit 0: salvaged by recovery)
 //
-// Version 1 files (no per-thread flags) remain readable.
+// Version 1 files (no per-thread flags) and version 2 files (no provenance
+// record) remain readable.
 package tracefile
 
 import (
@@ -39,6 +43,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/grammar"
 	"repro/internal/model"
@@ -48,11 +53,15 @@ import (
 var Magic = [8]byte{'P', 'Y', 'T', 'H', 'I', 'A', '1', '\n'}
 
 // Version is the current format version. Version 2 added per-thread flags
-// (truncation marks from record-mode resource budgets).
-const Version = 2
+// (truncation marks from record-mode resource budgets); version 3 added the
+// optional provenance record (checkpoint generation and salvage mark).
+const Version = 3
 
 // threadFlagTruncated marks a thread trace frozen by a record budget.
 const threadFlagTruncated = 1
+
+// provFlagSalvaged marks a trace set reconstructed by Recover.
+const provFlagSalvaged = 1
 
 // maxReasonable bounds untrusted length fields while decoding.
 const maxReasonable = 1 << 31
@@ -95,6 +104,17 @@ func Write(w io.Writer, ts *model.TraceSet) error {
 		}
 		e.grammar(th.Grammar)
 		e.timing(th.Timing)
+	}
+	if p := ts.Provenance; p == nil {
+		e.uvarint(0)
+	} else {
+		e.uvarint(1)
+		e.uvarint(p.Generation)
+		var pf uint64
+		if p.Salvaged {
+			pf |= provFlagSalvaged
+		}
+		e.uvarint(pf)
 	}
 	if e.err != nil {
 		return e.err
@@ -161,6 +181,13 @@ func Read(r io.Reader) (*model.TraceSet, error) {
 		th.Timing = d.timing()
 		ts.Threads[tid] = th
 	}
+	if version >= 3 && d.err == nil {
+		if d.uvarint() != 0 {
+			p := &model.Provenance{Generation: d.uvarint()}
+			p.Salvaged = d.uvarint()&provFlagSalvaged != 0
+			ts.Provenance = p
+		}
+	}
 	if d.err != nil {
 		return nil, fmt.Errorf("tracefile: decode: %w", d.err)
 	}
@@ -177,6 +204,45 @@ func Read(r io.Reader) (*model.TraceSet, error) {
 	return ts, nil
 }
 
+// crashHook, when set, is invoked at named points of the durable-write path
+// (see the point constants below). It exists solely for fault injection: the
+// chaos suite arms it with a hook that kills the process — optionally
+// tearing the file it was handed first — to prove that recovery survives a
+// crash at every point. Nil in production; an atomic pointer so test
+// processes can arm it without racing the background checkpoint writer.
+var crashHook atomic.Pointer[func(point, path string)]
+
+// Crash points passed to the hook installed with SetCrashHook.
+const (
+	// CrashSaveCreatedTemp: the temp file exists but holds no payload yet.
+	CrashSaveCreatedTemp = "save.created-temp"
+	// CrashSaveWroteTemp: payload written and fsynced, rename not yet done.
+	CrashSaveWroteTemp = "save.wrote-temp"
+	// CrashSaveRenamed: the rename to the final name happened.
+	CrashSaveRenamed = "save.renamed"
+	// CrashJournalWroteGen: a checkpoint generation file is complete.
+	CrashJournalWroteGen = "journal.wrote-gen"
+	// CrashJournalRotated: old checkpoint generations were pruned.
+	CrashJournalRotated = "journal.rotated"
+)
+
+// SetCrashHook installs (or, with nil, removes) the fault-injection hook.
+// Test-only; see internal/faultinject.CrashSpec.
+func SetCrashHook(h func(point, path string)) {
+	if h == nil {
+		crashHook.Store(nil)
+		return
+	}
+	crashHook.Store(&h)
+}
+
+// hookAt fires the crash hook, if armed, at a named point.
+func hookAt(point, path string) {
+	if h := crashHook.Load(); h != nil {
+		(*h)(point, path)
+	}
+}
+
 // Save writes the trace set to path atomically and durably: the temp file
 // is fsynced before the rename (rename alone is atomic but not
 // crash-durable — after a power cut the new name could point at missing
@@ -188,6 +254,7 @@ func Save(path string, ts *model.TraceSet) error {
 	if err != nil {
 		return err
 	}
+	hookAt(CrashSaveCreatedTemp, tmp)
 	err = Write(f, ts)
 	if err == nil {
 		err = f.Sync()
@@ -201,9 +268,11 @@ func Save(path string, ts *model.TraceSet) error {
 		}
 		return err
 	}
+	hookAt(CrashSaveWroteTemp, tmp)
 	if err := os.Rename(tmp, path); err != nil {
 		return err
 	}
+	hookAt(CrashSaveRenamed, path)
 	// Durability of the rename requires the directory entry to hit disk.
 	// Best-effort: some platforms/filesystems reject fsync on directories.
 	if dir, err := os.Open(filepath.Dir(path)); err == nil {
@@ -211,6 +280,55 @@ func Save(path string, ts *model.TraceSet) error {
 		_ = dir.Close()
 	}
 	return nil
+}
+
+// FileMeta is the durability-relevant metadata of a trace file, obtainable
+// even when the payload does not decode (pythia-inspect reports it for
+// damaged files).
+type FileMeta struct {
+	// Version is the format version claimed by the file header.
+	Version uint64
+	// PayloadBytes is the checksummed payload size (magic and CRC trailer
+	// excluded).
+	PayloadBytes int64
+	// CRCStored is the checksum in the file trailer; CRCComputed is the
+	// checksum of the payload as found on disk. CRCOK reports their match.
+	CRCStored, CRCComputed uint32
+	CRCOK                  bool
+}
+
+// InspectFile reads the durability metadata of a trace file without
+// decoding the payload: magic, claimed format version, payload size, and
+// whether the CRC trailer matches the payload bytes. It succeeds on files
+// whose payload is corrupt (that is its point); it fails only when the file
+// is too short to carry the fixed framing or the magic is wrong.
+func InspectFile(path string) (FileMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return FileMeta{}, err
+	}
+	return inspectRaw(data)
+}
+
+func inspectRaw(data []byte) (FileMeta, error) {
+	var m FileMeta
+	if len(data) < len(Magic)+1+4 {
+		return m, fmt.Errorf("tracefile: file too short (%d bytes)", len(data))
+	}
+	if [8]byte(data[:8]) != Magic {
+		return m, fmt.Errorf("tracefile: bad magic %q", data[:8])
+	}
+	payload := data[len(Magic) : len(data)-4]
+	m.PayloadBytes = int64(len(payload))
+	m.CRCStored = binary.LittleEndian.Uint32(data[len(data)-4:])
+	m.CRCComputed = crc32.ChecksumIEEE(payload)
+	m.CRCOK = m.CRCStored == m.CRCComputed
+	version, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return m, fmt.Errorf("tracefile: unreadable version field")
+	}
+	m.Version = version
+	return m, nil
 }
 
 // Load reads a trace set from path.

@@ -6,41 +6,39 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/model"
 	"repro/internal/predictor"
+	"repro/internal/recorder"
 )
 
 // makeTraceSet records a small two-thread application with timing.
 func makeTraceSet(t *testing.T) *model.TraceSet {
 	t.Helper()
-	s := core.NewRecordSession()
-	reg := s.Registry()
+	reg := events.NewRegistry()
 	a := reg.InternArgs("MPI_Isend", 1)
 	b := reg.InternArgs("MPI_Irecv", 1)
 	w := reg.Intern("MPI_Wait")
 	bar := reg.Intern("MPI_Barrier")
+	ts := &model.TraceSet{Threads: make(map[int32]*model.ThreadTrace)}
 	for tid := int32(0); tid < 2; tid++ {
-		th := s.Thread(tid)
+		rec := recorder.New()
 		var now int64
 		for i := 0; i < 100; i++ {
-			th.SubmitAt(a, now)
+			rec.RecordAt(a, now)
 			now += 10
-			th.SubmitAt(b, now)
+			rec.RecordAt(b, now)
 			now += 20
-			th.SubmitAt(w, now)
+			rec.RecordAt(w, now)
 			now += 500
 			if i%25 == 24 {
-				th.SubmitAt(bar, now)
+				rec.RecordAt(bar, now)
 				now += 2000
 			}
 		}
+		ts.Threads[tid] = rec.Finish()
 	}
-	ts, err := s.FinishRecord()
-	if err != nil {
-		t.Fatal(err)
-	}
+	ts.Events = reg.Names()
 	return ts
 }
 
@@ -97,19 +95,15 @@ func TestRoundTripPredictsIdentically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := core.NewPredictSession(loaded, predictor.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	th := sess.Thread(0)
-	th.StartAtBeginning()
+	p := predictor.New(loaded.Trace(0), predictor.Config{})
+	p.StartAtBeginning()
 	seq := ts.Threads[0].Grammar.Unfold()
 	for i, e := range seq {
-		pred, ok := th.PredictAt(1)
+		pred, ok := p.PredictAt(1)
 		if !ok || pred.EventID != e {
 			t.Fatalf("step %d: predicted (%v,%v), want %d", i, pred.EventID, ok, e)
 		}
-		th.Submit(events.ID(e))
+		p.Observe(e)
 	}
 }
 
@@ -194,21 +188,20 @@ func TestWriteRejectsInvalid(t *testing.T) {
 func TestCompactness(t *testing.T) {
 	// A very repetitive million-event trace must serialise to a tiny file —
 	// the whole point of storing the grammar instead of the trace.
-	s := core.NewRecordSession()
-	reg := s.Registry()
+	reg := events.NewRegistry()
 	a := reg.Intern("stepA")
 	b := reg.Intern("stepB")
-	th := s.Thread(0)
+	rec := recorder.New()
 	var now int64
 	for i := 0; i < 500000; i++ {
-		th.SubmitAt(a, now)
+		rec.RecordAt(a, now)
 		now += 3
-		th.SubmitAt(b, now)
+		rec.RecordAt(b, now)
 		now += 5
 	}
-	ts, err := s.FinishRecord()
-	if err != nil {
-		t.Fatal(err)
+	ts := &model.TraceSet{
+		Events:  reg.Names(),
+		Threads: map[int32]*model.ThreadTrace{0: rec.Finish()},
 	}
 	var buf bytes.Buffer
 	if err := Write(&buf, ts); err != nil {

@@ -73,28 +73,67 @@ type Thread = core.Thread
 type Stats = predictor.Stats
 
 // RecordOption configures recording.
-type RecordOption = recorder.Option
+type RecordOption = core.RecordOption
 
 // WithClock records event timestamps with a caller-provided monotonic clock
 // (nanoseconds). Simulated runtimes inject their virtual clock here so that
 // recorded durations are virtual too.
-func WithClock(clock func() int64) RecordOption { return recorder.WithClock(clock) }
+func WithClock(clock func() int64) RecordOption {
+	return core.WithRecorderOptions(recorder.WithClock(clock))
+}
 
 // WithoutTimestamps disables the timing model; duration predictions on the
 // resulting trace return zero.
-func WithoutTimestamps() RecordOption { return recorder.WithoutTimestamps() }
+func WithoutTimestamps() RecordOption {
+	return core.WithRecorderOptions(recorder.WithoutTimestamps())
+}
 
 // WithMaxEvents caps the number of events folded into each thread's grammar.
 // Beyond the cap the recording degrades gracefully: the grammar is frozen,
 // further events are counted but not recorded, and the thread's trace is
 // marked truncated. Zero or negative means unlimited.
-func WithMaxEvents(n int64) RecordOption { return recorder.WithMaxEvents(n) }
+func WithMaxEvents(n int64) RecordOption {
+	return core.WithRecorderOptions(recorder.WithMaxEvents(n))
+}
 
 // WithGrammarBudget caps each thread grammar's memory footprint: at most
 // maxRules live rules and maxNodes live body nodes. On breach the recording
 // degrades exactly like WithMaxEvents. Zero or negative disables either cap.
 func WithGrammarBudget(maxRules, maxNodes int) RecordOption {
-	return recorder.WithGrammarBudget(maxRules, maxNodes)
+	return core.WithRecorderOptions(recorder.WithGrammarBudget(maxRules, maxNodes))
+}
+
+// CheckpointConfig configures crash-safe journaled checkpoints of a
+// recording oracle: Dir is the journal directory (required), EveryEvents the
+// per-thread checkpoint cadence in events, Interval an optional wall-clock
+// cadence, Keep the number of generations retained. See
+// core.CheckpointPolicy for the field semantics.
+type CheckpointConfig = core.CheckpointPolicy
+
+// WithCheckpoint makes a recording oracle periodically persist its
+// in-progress trace as checkpoint generations in cfg.Dir, so that a crashed
+// run can be salvaged with Recover instead of losing the whole reference
+// execution. Checkpoint writes happen on a background goroutine — never on
+// the event hot path — and write failures degrade Health without affecting
+// the recording itself.
+func WithCheckpoint(cfg CheckpointConfig) RecordOption { return core.WithCheckpoint(cfg) }
+
+// Provenance records where a trace set came from when it was not produced by
+// a clean end-of-run Finish: the checkpoint generation it was written as,
+// and whether it was salvaged by crash recovery.
+type Provenance = model.Provenance
+
+// RecoveryReport describes what Recover did: the generation used and the
+// generations skipped, with reasons.
+type RecoveryReport = tracefile.RecoveryReport
+
+// Recover salvages the freshest loadable checkpoint generation from a
+// journal directory written by WithCheckpoint. The recovered trace set is a
+// prefix of the crashed recording: every thread is marked truncated and the
+// set carries Salvaged provenance. The report is non-nil even on error and
+// lists every generation that had to be skipped (torn write, bad CRC, ...).
+func Recover(dir string) (*TraceSet, *RecoveryReport, error) {
+	return tracefile.Recover(dir)
 }
 
 // State is the oracle's degradation state (see Health).
@@ -196,6 +235,15 @@ func (o *Oracle) Thread(tid int32) *Thread { return o.sess.Thread(tid) }
 func (o *Oracle) Finish() (ts *TraceSet, err error) {
 	defer o.sess.ContainTo("Oracle.Finish", &err)
 	return o.sess.FinishRecord()
+}
+
+// CheckpointNow synchronously writes a checkpoint generation (record mode
+// with WithCheckpoint only; steady-state checkpointing needs no manual
+// calls). It exists for hosts that want a durable cut at a known boundary,
+// e.g. the end of an application phase.
+func (o *Oracle) CheckpointNow() (err error) {
+	defer o.sess.ContainTo("Oracle.CheckpointNow", &err)
+	return o.sess.CheckpointNow()
 }
 
 // FinishAndSave ends a recording oracle and writes the trace file.

@@ -14,7 +14,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_PR2.json}"
 
-benches='BenchmarkSubmitThroughput|BenchmarkObserveThroughput|BenchmarkPredictAtCached|BenchmarkThreadDispatch|BenchmarkFig9_PredictionCost'
+benches='BenchmarkSubmitThroughput|BenchmarkSubmitCheckpointed|BenchmarkObserveThroughput|BenchmarkPredictAtCached|BenchmarkThreadDispatch|BenchmarkFig9_PredictionCost'
 
 echo "==> go test -bench (${out})"
 raw=$(go test -run '^$' -bench "${benches}" -benchmem -benchtime=2s . 2>&1)
@@ -32,7 +32,7 @@ echo "${raw}" | awk -v OUT="${out}" '
     }
 }
 END {
-    order = "BenchmarkSubmitThroughput BenchmarkObserveThroughput BenchmarkPredictAtCached BenchmarkThreadDispatch BenchmarkFig9_PredictionCost"
+    order = "BenchmarkSubmitThroughput BenchmarkSubmitCheckpointed BenchmarkObserveThroughput BenchmarkPredictAtCached BenchmarkThreadDispatch BenchmarkFig9_PredictionCost"
     n = split(order, names, " ")
     printf "{\n" > OUT
     printf "  \"baseline\": {\n" >> OUT

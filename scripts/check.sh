@@ -8,15 +8,18 @@
 #   3. go build     — everything compiles
 #   4. go test      — the full unit suite
 #   5. go test -race — concurrency-sensitive packages under the race detector
-#   6. fuzz smoke   — FuzzGrammarInvariants, FuzzDigramIndexDiff and
-#                     FuzzPredictNoisy briefly
+#   6. fuzz smoke   — FuzzGrammarInvariants, FuzzDigramIndexDiff,
+#                     FuzzPredictNoisy and FuzzRecoverJournal briefly
 #   7. pythia-vet   — the repo's own static-analysis pass (see cmd/pythia-vet)
 #
 # With --chaos, additionally runs the fault-injection chaos suite
-# (internal/faultinject) under the race detector — CI gates on this in its
-# own job. With --bench, additionally runs scripts/bench.sh (hot-path
-# benchmarks, refreshing BENCH_PR2.json). Benchmarks are not part of the
-# gating suite.
+# (internal/faultinject) under the race detector: injected panics, resource
+# exhaustion, and the crash/kill matrix — subprocesses that die mid-
+# checkpoint (at every point of the journal write path, with and without
+# torn writes, and under a real SIGKILL) and whose journals must salvage.
+# CI gates on this in its own job. With --bench, additionally runs
+# scripts/bench.sh (hot-path benchmarks, refreshing BENCH_PR2.json).
+# Benchmarks are not part of the gating suite.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -63,10 +66,12 @@ step "fuzz smoke (FuzzDigramIndexDiff)" \
     go test -fuzz FuzzDigramIndexDiff -fuzztime=5s -run '^$' ./internal/grammar/
 step "fuzz smoke (FuzzPredictNoisy)" \
     go test -fuzz FuzzPredictNoisy -fuzztime=5s -run '^$' ./pythia/
+step "fuzz smoke (FuzzRecoverJournal)" \
+    go test -fuzz FuzzRecoverJournal -fuzztime=5s -run '^$' ./internal/tracefile/
 step "pythia-vet" go run ./cmd/pythia-vet ./...
 
 if [ "${run_chaos}" -eq 1 ]; then
-    step "chaos (fault injection, -race)" \
+    step "chaos (fault injection + crash/kill matrix, -race)" \
         go test -race -count=1 ./internal/faultinject/
 fi
 
