@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -26,15 +27,25 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pythia-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pythia-bench", flag.ContinueOnError)
 	var (
-		experiment = flag.String("experiment", "all", "table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|ext-ranks|ext-duration|all")
-		reps       = flag.Int("reps", 10, "repetitions for wall-clock measurements (table1)")
-		appsFlag   = flag.String("apps", "", "comma-separated application subset (default: all 13)")
-		classFlag  = flag.String("class", "large", "working set for table1 (small|medium|large)")
-		samples    = flag.Int("samples", 100, "prediction query samples per rank (fig8/fig9)")
-		seeds      = flag.Int("seeds", 5, "seeds averaged in fig14")
+		experiment = fs.String("experiment", "all", "table1|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|ext-ranks|ext-duration|all")
+		reps       = fs.Int("reps", 10, "repetitions for wall-clock measurements (table1)")
+		appsFlag   = fs.String("apps", "", "comma-separated application subset (default: all 13)")
+		classFlag  = fs.String("class", "large", "working set for table1 (small|medium|large)")
+		samples    = fs.Int("samples", 100, "prediction query samples per rank (fig8/fig9)")
+		seeds      = fs.Int("seeds", 5, "seeds averaged in fig14")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var appList []string
 	if *appsFlag != "" {
@@ -42,61 +53,77 @@ func main() {
 	}
 	class, err := apps.ParseClass(*classFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	run := func(name string) {
+	runOne := func(name string) error {
 		switch name {
 		case "table1":
 			rows, err := harness.Table1(harness.Table1Config{
 				Class: class, Repetitions: *reps, Apps: appList,
 			})
 			if err != nil {
-				fatal(err)
+				return fmt.Errorf("table1: %w", err)
 			}
-			check(harness.WriteTable1(os.Stdout, class, rows))
+			if err := harness.WriteTable1(stdout, class, rows); err != nil {
+				return fmt.Errorf("rendering table1: %w", err)
+			}
 		case "fig7":
-			if err := harness.Fig7(os.Stdout); err != nil {
-				fatal(err)
+			if err := harness.Fig7(stdout); err != nil {
+				return fmt.Errorf("fig7: %w", err)
 			}
 		case "fig8":
 			rows, err := harness.Fig8(harness.Fig8Config{
 				Apps: appList, MaxSamplesPerRank: *samples,
 			})
 			if err != nil {
-				fatal(err)
+				return fmt.Errorf("fig8: %w", err)
 			}
-			check(harness.WriteFig8(os.Stdout, nil, rows))
+			if err := harness.WriteFig8(stdout, nil, rows); err != nil {
+				return fmt.Errorf("rendering fig8: %w", err)
+			}
 		case "fig9":
 			rows, err := harness.Fig9(harness.Fig9Config{
 				Apps: appList, MaxSamples: *samples,
 			})
 			if err != nil {
-				fatal(err)
+				return fmt.Errorf("fig9: %w", err)
 			}
-			check(harness.WriteFig9(os.Stdout, nil, rows))
+			if err := harness.WriteFig9(stdout, nil, rows); err != nil {
+				return fmt.Errorf("rendering fig9: %w", err)
+			}
 		case "fig10":
 			pts := harness.Fig10(ompsim.Pudding())
-			check(harness.WriteLuleshPoints(os.Stdout,
+			if err := harness.WriteLuleshPoints(stdout,
 				"Fig 10: Execution time of Lulesh vs problem size (pudding, 24 threads)",
-				"size", pts))
+				"size", pts); err != nil {
+				return fmt.Errorf("rendering fig10: %w", err)
+			}
 		case "fig11":
 			pts := harness.Fig10(ompsim.Pixel())
-			check(harness.WriteLuleshPoints(os.Stdout,
+			if err := harness.WriteLuleshPoints(stdout,
 				"Fig 11: Execution time of Lulesh vs problem size (pixel, 16 threads)",
-				"size", pts))
+				"size", pts); err != nil {
+				return fmt.Errorf("rendering fig11: %w", err)
+			}
 		case "fig12":
 			pts := harness.Fig12(ompsim.Pudding())
-			check(harness.WriteLuleshPoints(os.Stdout,
+			if err := harness.WriteLuleshPoints(stdout,
 				"Fig 12: Execution time of Lulesh vs max threads (pudding, s=30)",
-				"max threads", pts))
+				"max threads", pts); err != nil {
+				return fmt.Errorf("rendering fig12: %w", err)
+			}
 		case "fig13":
 			pts := harness.Fig12(ompsim.Pixel())
-			check(harness.WriteLuleshPoints(os.Stdout,
+			if err := harness.WriteLuleshPoints(stdout,
 				"Fig 13: Execution time of Lulesh vs max threads (pixel, s=30)",
-				"max threads", pts))
+				"max threads", pts); err != nil {
+				return fmt.Errorf("rendering fig13: %w", err)
+			}
 		case "fig14":
-			check(harness.WriteFig14(os.Stdout, harness.Fig14(*seeds)))
+			if err := harness.WriteFig14(stdout, harness.Fig14(*seeds)); err != nil {
+				return fmt.Errorf("rendering fig14: %w", err)
+			}
 		case "ext-ranks":
 			names := appList
 			if len(names) == 0 {
@@ -104,39 +131,36 @@ func main() {
 			}
 			rows, err := harness.ExtRanks(names, 4, []int{4, 8}, *samples)
 			if err != nil {
-				fatal(err)
+				return fmt.Errorf("ext-ranks: %w", err)
 			}
-			check(harness.WriteExtRanks(os.Stdout, rows))
+			if err := harness.WriteExtRanks(stdout, rows); err != nil {
+				return fmt.Errorf("rendering ext-ranks: %w", err)
+			}
 		case "ext-duration":
 			rows, err := harness.ExtDuration(30)
 			if err != nil {
-				fatal(err)
+				return fmt.Errorf("ext-duration: %w", err)
 			}
-			check(harness.WriteExtDuration(os.Stdout, 30, rows))
+			if err := harness.WriteExtDuration(stdout, 30, rows); err != nil {
+				return fmt.Errorf("rendering ext-duration: %w", err)
+			}
 		default:
-			fatal(fmt.Errorf("unknown experiment %q", name))
+			return fmt.Errorf("unknown experiment %q", name)
 		}
-		fmt.Println()
+		if _, err := fmt.Fprintln(stdout); err != nil {
+			return fmt.Errorf("rendering %s: %w", name, err)
+		}
+		return nil
 	}
 
 	if *experiment == "all" {
 		for _, name := range []string{"table1", "fig7", "fig8", "fig9",
 			"fig10", "fig11", "fig12", "fig13", "fig14"} {
-			run(name)
+			if err := runOne(name); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	run(*experiment)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pythia-bench:", err)
-	os.Exit(1)
-}
-
-// check aborts on report-rendering errors (e.g. a closed stdout pipe).
-func check(err error) {
-	if err != nil {
-		fatal(err)
-	}
+	return runOne(*experiment)
 }

@@ -1,0 +1,255 @@
+// Command pythia-loadgen drives a pythiad daemon with a closed-loop replay
+// workload and reports throughput and latency:
+//
+//	pythia-record -app EP -class small -o traces/EP.pythia
+//	pythiad -listen 127.0.0.1:9137 -traces traces/ &
+//	pythia-loadgen -addr 127.0.0.1:9137 -tenant EP -app EP -class small -clients 8 -o BENCH_PR5.json
+//
+// Each client opens its own connection, replays every rank's event stream
+// of the chosen application through pythia/client, and issues a timed
+// PredictAt round trip every -predict-every events. The run fails (exit 1)
+// if any client sees a protocol or transport error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/harness"
+	"repro/pythia"
+	"repro/pythia/client"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pythia-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// printer accumulates the first write error so the reporting code can print
+// unconditionally and surface I/O failures once, through run's return.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// clientResult is one load client's contribution to the aggregate.
+type clientResult struct {
+	events      int64
+	predictions int64
+	answered    int64
+	latencies   []time.Duration
+	err         error
+	health      pythia.Health
+}
+
+// benchReport is the committed BENCH_PR5.json layout.
+type benchReport struct {
+	Config struct {
+		App          string `json:"app"`
+		Class        string `json:"class"`
+		Tenant       string `json:"tenant"`
+		Clients      int    `json:"clients"`
+		PredictEvery int    `json:"predict_every"`
+		Distance     int    `json:"distance"`
+		Seed         int64  `json:"seed"`
+	} `json:"config"`
+	Results struct {
+		WallS          float64 `json:"wall_s"`
+		Events         int64   `json:"events"`
+		Predictions    int64   `json:"predictions"`
+		Answered       int64   `json:"answered"`
+		EventsPerS     float64 `json:"events_per_s"`
+		PredictsPerS   float64 `json:"predictions_per_s"`
+		LatencyP50Us   float64 `json:"latency_p50_us"`
+		LatencyP99Us   float64 `json:"latency_p99_us"`
+		LatencyMaxUs   float64 `json:"latency_max_us"`
+		ProtocolErrors int     `json:"protocol_errors"`
+	} `json:"results"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pythia-loadgen", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:9137", "pythiad address")
+		tenant       = fs.String("tenant", "", "tenant (trace name) to query (default: -app)")
+		appName      = fs.String("app", "EP", "application whose event streams to replay")
+		classFlag    = fs.String("class", "small", "working set to replay (small|medium|large)")
+		seed         = fs.Int64("seed", 42, "seed for the replayed execution")
+		clients      = fs.Int("clients", 8, "concurrent client connections")
+		predictEvery = fs.Int("predict-every", 16, "issue a timed PredictAt every N submitted events")
+		distance     = fs.Int("distance", 16, "prediction distance for the timed queries")
+		out          = fs.String("o", "", "write a JSON report (e.g. BENCH_PR5.json)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		return err
+	}
+	class, err := apps.ParseClass(*classFlag)
+	if err != nil {
+		return err
+	}
+	if *tenant == "" {
+		*tenant = app.Name
+	}
+	if *clients < 1 {
+		return fmt.Errorf("-clients must be >= 1")
+	}
+	if *predictEvery < 1 {
+		return fmt.Errorf("-predict-every must be >= 1")
+	}
+
+	// One deterministic capture, replayed read-only by every client.
+	streams := harness.CaptureStreams(app, class, *seed)
+	tids := make([]int32, 0, len(streams))
+	for tid := range streams {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	results := make([]clientResult, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci := 0; ci < *clients; ci++ {
+		wg.Add(1)
+		go func(res *clientResult) {
+			defer wg.Done()
+			runClient(res, *addr, *tenant, streams, tids, *predictEvery, *distance)
+		}(&results[ci])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var rep benchReport
+	rep.Config.App = app.Name
+	rep.Config.Class = class.String()
+	rep.Config.Tenant = *tenant
+	rep.Config.Clients = *clients
+	rep.Config.PredictEvery = *predictEvery
+	rep.Config.Distance = *distance
+	rep.Config.Seed = *seed
+
+	var all []time.Duration
+	var firstErr error
+	for i := range results {
+		r := &results[i]
+		rep.Results.Events += r.events
+		rep.Results.Predictions += r.predictions
+		rep.Results.Answered += r.answered
+		all = append(all, r.latencies...)
+		if r.err != nil {
+			rep.Results.ProtocolErrors++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		}
+	}
+	rep.Results.WallS = wall.Seconds()
+	if wall > 0 {
+		rep.Results.EventsPerS = float64(rep.Results.Events) / wall.Seconds()
+		rep.Results.PredictsPerS = float64(rep.Results.Predictions) / wall.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.Results.LatencyP50Us = quantileUs(all, 0.50)
+	rep.Results.LatencyP99Us = quantileUs(all, 0.99)
+	if len(all) > 0 {
+		rep.Results.LatencyMaxUs = float64(all[len(all)-1].Nanoseconds()) / 1e3
+	}
+
+	p := &printer{w: stdout}
+	p.printf("%s.%s via %s: %d clients, %d events, %d predictions (%d answered) in %.2fs\n",
+		app.Name, class, *addr, *clients, rep.Results.Events, rep.Results.Predictions,
+		rep.Results.Answered, rep.Results.WallS)
+	p.printf("throughput: %.0f events/s, %.0f predictions/s\n",
+		rep.Results.EventsPerS, rep.Results.PredictsPerS)
+	p.printf("predict latency: p50 %.1fus  p99 %.1fus  max %.1fus\n",
+		rep.Results.LatencyP50Us, rep.Results.LatencyP99Us, rep.Results.LatencyMaxUs)
+	for i := range results {
+		if h := results[i].health; h.State != pythia.Healthy {
+			p.printf("client %d oracle health: %s (%s)\n", i, h.State, h.Cause)
+		}
+	}
+
+	if *out != "" {
+		blob, merr := json.MarshalIndent(&rep, "", "  ")
+		if merr != nil {
+			return fmt.Errorf("encoding report: %w", merr)
+		}
+		blob = append(blob, '\n')
+		if werr := os.WriteFile(*out, blob, 0o644); werr != nil {
+			return fmt.Errorf("writing report: %w", werr)
+		}
+		p.printf("report -> %s\n", *out)
+	}
+	if firstErr != nil {
+		return fmt.Errorf("%d of %d clients saw protocol errors, first: %w",
+			rep.Results.ProtocolErrors, *clients, firstErr)
+	}
+	return p.err
+}
+
+// runClient replays every rank's stream over one connection, timing a
+// PredictAt round trip every predictEvery events.
+func runClient(res *clientResult, addr, tenant string, streams map[int32][]string, tids []int32, predictEvery, distance int) {
+	c, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		res.err = err
+		return
+	}
+	defer func() {
+		if cerr := c.Close(); cerr != nil && res.err == nil {
+			res.err = cerr
+		}
+	}()
+	o, err := c.Oracle(tenant)
+	if err != nil {
+		res.err = err
+		return
+	}
+	for _, tid := range tids {
+		th := o.Thread(tid)
+		th.StartAtBeginning()
+		for i, name := range streams[tid] {
+			th.Submit(o.Intern(name))
+			res.events++
+			if (i+1)%predictEvery != 0 {
+				continue
+			}
+			t0 := time.Now()
+			_, ok := th.PredictAt(distance)
+			res.latencies = append(res.latencies, time.Since(t0))
+			res.predictions++
+			if ok {
+				res.answered++
+			}
+		}
+	}
+	res.health = o.Health()
+	res.err = c.Err()
+}
+
+// quantileUs returns the q-quantile of sorted latencies in microseconds.
+func quantileUs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}

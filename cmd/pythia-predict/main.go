@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,34 +24,57 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pythia-predict:", err)
+		os.Exit(1)
+	}
+}
+
+// printer accumulates the first write error so the reporting code can print
+// unconditionally and surface I/O failures once, through run's return.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pythia-predict", flag.ContinueOnError)
 	var (
-		appName   = flag.String("app", "BT", "application name")
-		classFlag = flag.String("class", "large", "working set to replay (small|medium|large)")
-		trace     = flag.String("trace", "", "trace file recorded with pythia-record (required)")
-		distList  = flag.String("distances", "1,2,4,8,16,32,64,128", "prediction distances")
-		samples   = flag.Int("samples", 200, "max query points per rank")
-		seed      = flag.Int64("seed", 43, "seed for the replayed execution")
+		appName   = fs.String("app", "BT", "application name")
+		classFlag = fs.String("class", "large", "working set to replay (small|medium|large)")
+		trace     = fs.String("trace", "", "trace file recorded with pythia-record (required)")
+		distList  = fs.String("distances", "1,2,4,8,16,32,64,128", "prediction distances")
+		samples   = fs.Int("samples", 200, "max query points per rank")
+		seed      = fs.Int64("seed", 43, "seed for the replayed execution")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *trace == "" {
-		fatal(fmt.Errorf("-trace is required"))
+		return fmt.Errorf("-trace is required")
 	}
 
 	app, err := apps.ByName(*appName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	class, err := apps.ParseClass(*classFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	distances, err := parseInts(*distList)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	ref, err := pythia.LoadTraceSet(*trace)
 	if err != nil {
-		fatal(err)
+		return fmt.Errorf("loading trace: %w", err)
 	}
 	maxDist := 0
 	for _, d := range distances {
@@ -66,7 +90,7 @@ func main() {
 	for tid, stream := range streams {
 		oracle, err := pythia.NewPredictOracle(ref, pythia.Config{})
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("building oracle for rank %d: %w", tid, err)
 		}
 		th := oracle.Thread(tid)
 		if th.Predictor() == nil {
@@ -101,21 +125,29 @@ func main() {
 				}
 			}
 		}
+		// Quarantine (divergence watchdog) is a legitimate fail-open
+		// outcome on a divergent replay; only Degraded — a contained
+		// panic or breached budget — is a failure worth an exit.
+		if h := oracle.Health(); h.State == pythia.Degraded {
+			return fmt.Errorf("oracle degraded replaying rank %d: %s", tid, h.Cause)
+		}
 		st := th.Predictor().Stats()
 		tracked += st.Followed
 		observed += st.Observed
 	}
 
-	fmt.Printf("%s.%s replayed against %s\n", app.Name, class, *trace)
-	fmt.Printf("tracking: followed %d of %d events (%.1f%%)\n",
+	p := &printer{w: stdout}
+	p.printf("%s.%s replayed against %s\n", app.Name, class, *trace)
+	p.printf("tracking: followed %d of %d events (%.1f%%)\n",
 		tracked, observed, 100*float64(tracked)/float64(observed))
 	for _, d := range distances {
 		acc := 0.0
 		if total[d] > 0 {
 			acc = float64(hits[d]) / float64(total[d])
 		}
-		fmt.Printf("distance %3d: accuracy %5.1f%%  (%d samples)\n", d, acc*100, total[d])
+		p.printf("distance %3d: accuracy %5.1f%%  (%d samples)\n", d, acc*100, total[d])
 	}
+	return p.err
 }
 
 func parseInts(s string) ([]int, error) {
@@ -128,9 +160,4 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pythia-predict:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,117 @@
+// Command pythiad serves Pythia predictions over the network: it loads
+// traces from a directory on demand and answers Submit/Predict queries for
+// many concurrent client runtimes.
+//
+//	pythia-record -app BT -class small -o traces/bt.pythia
+//	pythiad -listen :9137 -traces traces/
+//
+// Clients connect with the pythia/client package (or drive a replay with
+// pythia-loadgen). Each trace file <name>.pythia in the trace directory is
+// one tenant, addressed by name. SIGTERM/SIGINT drain the daemon
+// gracefully: in-flight requests are answered, new sessions refused, and
+// the process exits once every connection has wound down (bounded by
+// -drain-timeout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pythiad:", err)
+		os.Exit(1)
+	}
+}
+
+// printer accumulates the first write error so the reporting code can print
+// unconditionally and surface I/O failures once, through run's return.
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pythiad", flag.ContinueOnError)
+	var (
+		listen       = fs.String("listen", "127.0.0.1:9137", "TCP address to listen on")
+		traces       = fs.String("traces", ".", "directory of <tenant>.pythia trace files")
+		maxConns     = fs.Int("max-conns", server.DefaultMaxConns, "concurrent connection cap (negative = unlimited)")
+		maxSessions  = fs.Int("max-sessions", server.DefaultMaxSessions, "concurrent session cap (negative = unlimited)")
+		drainTimeout = fs.Duration("drain-timeout", server.DefaultDrainTimeout, "bound on graceful shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	info, err := os.Stat(*traces)
+	if err != nil {
+		return fmt.Errorf("trace directory: %w", err)
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("trace directory: %s is not a directory", *traces)
+	}
+
+	logger := log.New(os.Stderr, "pythiad: ", log.LstdFlags)
+	srv := server.New(server.Config{
+		TraceDir:     *traces,
+		MaxConns:     *maxConns,
+		MaxSessions:  *maxSessions,
+		DrainTimeout: *drainTimeout,
+		Logf:         logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *listen, err)
+	}
+	p := &printer{w: stdout}
+	p.printf("pythiad: listening on %s (traces: %s)\n", ln.Addr(), *traces)
+	if p.err != nil {
+		if cerr := ln.Close(); cerr != nil {
+			logger.Printf("closing listener: %v", cerr)
+		}
+		return p.err
+	}
+
+	// SIGTERM/SIGINT trigger a graceful drain; a second signal while
+	// draining exits immediately.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		sig := <-sigs
+		logger.Printf("received %s, draining (bound %s)", sig, *drainTimeout)
+		go func() {
+			sig := <-sigs
+			logger.Printf("received second %s, exiting now", sig)
+			os.Exit(1)
+		}()
+		shutdownErr <- srv.Shutdown()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		return fmt.Errorf("serving: %w", err)
+	}
+	// Serve returned nil: a drain is in progress; wait for it to finish.
+	if err := <-shutdownErr; err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	p.printf("pythiad: drained, exiting\n")
+	return p.err
+}

@@ -1,0 +1,616 @@
+// Package server is pythiad's daemon core: a TCP server that multiplexes
+// remote client sessions onto in-process pythia oracles.
+//
+// Each accepted connection is owned by one goroutine, which owns every
+// session opened on it — preserving the library's single-submitter Thread
+// contract without per-event locking. Tenants (named traces from the trace
+// directory) are loaded lazily into a sharded, refcounted store and shared
+// read-only across connections; each connection builds its own predicting
+// oracle per tenant, so one client's divergence or contained panic degrades
+// only that client's predictions while Health aggregation still surfaces it.
+//
+// The server fails open under pressure: past MaxConns new connections are
+// refused with an Error frame, past MaxSessions new sessions are refused
+// with an Error frame, and draining refuses new sessions — existing
+// sessions keep being answered in every case. Shutdown reuses the
+// checkpointer's drain discipline: stop intake, give in-flight work a
+// bounded window, then force the stragglers.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+	"repro/pythia"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxConns     = 256
+	DefaultMaxSessions  = 4096
+	DefaultDrainTimeout = 5 * time.Second
+)
+
+// Config configures a Server. The zero value serves the current directory
+// with default limits.
+type Config struct {
+	// TraceDir is the directory of <tenant>.pythia trace files.
+	TraceDir string
+	// Predict tunes every per-connection predicting oracle.
+	Predict pythia.Config
+	// MaxConns caps concurrent connections; excess connects are refused
+	// with CodeConnLimit. 0 means DefaultMaxConns, negative means no cap.
+	MaxConns int
+	// MaxSessions caps concurrent open sessions server-wide; excess opens
+	// are refused with CodeSessionLimit while the connection stays usable.
+	// 0 means DefaultMaxSessions, negative means no cap.
+	MaxSessions int
+	// DrainTimeout bounds Shutdown: connections still busy after the
+	// window are force-closed. 0 means DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// Logf, when set, receives connection-lifecycle diagnostics. It must
+	// be safe for concurrent use (log.Printf is).
+	Logf func(format string, args ...any)
+}
+
+// Server is a pythiad daemon core. Create with New, run with Serve,
+// stop with Shutdown.
+type Server struct {
+	cfg Config
+	st  *store
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[*conn]struct{}
+
+	draining atomic.Bool
+	sessions atomic.Int64 // open sessions, server-wide
+	wg       sync.WaitGroup
+	drainOne sync.Once
+}
+
+// New returns a server over cfg.TraceDir. It does not listen yet.
+func New(cfg Config) *Server {
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	return &Server{
+		cfg:   cfg,
+		st:    newStore(cfg.TraceDir),
+		conns: make(map[*conn]struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil when the
+// listener was closed by Shutdown, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.accept(nc)
+	}
+}
+
+// accept admits or refuses one fresh connection under the connection cap.
+func (s *Server) accept(nc net.Conn) {
+	c := newConn(s, nc)
+	s.mu.Lock()
+	over := s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns
+	if !over {
+		s.conns[c] = struct{}{}
+	}
+	s.mu.Unlock()
+	if over || s.draining.Load() {
+		// Refuse, never stall: one Error frame, then close. The handshake
+		// is skipped on purpose — a refused client must not wait for it.
+		code, msg := wire.CodeConnLimit, "connection limit reached"
+		if s.draining.Load() {
+			code, msg = wire.CodeDraining, "server draining"
+		}
+		if !over {
+			s.dropConn(c)
+		}
+		c.refuse(code, msg)
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		c.serve()
+		s.dropConn(c)
+	}()
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server: the listener closes, new sessions are
+// refused with CodeDraining, requests already in flight (or arriving
+// before the drain deadline) are still answered, and connections that
+// outlive the drain window are force-closed. It returns once every
+// connection goroutine has exited.
+func (s *Server) Shutdown() error {
+	var err error
+	s.drainOne.Do(func() { err = s.drain() })
+	return err
+}
+
+func (s *Server) drain() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for c := range s.conns {
+		// An expired read deadline unblocks the connection goroutine's
+		// blocking read; frames that arrive before it are still served.
+		if derr := c.nc.SetReadDeadline(deadline); derr != nil {
+			s.logf("pythiad: drain deadline on %s: %v", c.nc.RemoteAddr(), derr)
+		}
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		if cerr := ln.Close(); cerr != nil {
+			s.logf("pythiad: closing listener: %v", cerr)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	forced := 0
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline) + time.Second):
+		s.mu.Lock()
+		for c := range s.conns {
+			forced++
+			if cerr := c.nc.Close(); cerr != nil {
+				s.logf("pythiad: force-closing %s: %v", c.nc.RemoteAddr(), cerr)
+			}
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if forced > 0 {
+		return fmt.Errorf("server: drain timeout: force-closed %d connections", forced)
+	}
+	return nil
+}
+
+// Sessions reports the number of currently open sessions (for tests and
+// operator diagnostics).
+func (s *Server) Sessions() int64 { return s.sessions.Load() }
+
+// protoErr is a protocol-level failure: an Error frame worth of cause plus
+// whether the connection can continue afterwards. Request/response pairing
+// survives a non-fatal protoErr because the Error frame IS the response to
+// the failing request; errors on one-way frames are always fatal.
+type protoErr struct {
+	code  wire.Code
+	msg   string
+	fatal bool
+}
+
+func (e *protoErr) Error() string { return fmt.Sprintf("%s: %s", e.code, e.msg) }
+
+func badFrame(msg string) *protoErr {
+	return &protoErr{code: wire.CodeBadFrame, msg: msg, fatal: true}
+}
+
+// sessKey identifies one (tenant, thread) session on a connection.
+type sessKey struct {
+	tenant string
+	tid    int32
+}
+
+// session is one open session slot. th is nil for meta sessions (tid < 0),
+// which exist to pin a tenant and fetch its event table.
+type session struct {
+	th   *pythia.Thread
+	ct   *connTenant
+	open bool
+}
+
+// connTenant is this connection's handle on one tenant: the shared store
+// entry plus the connection-private predicting oracle built over it.
+type connTenant struct {
+	t      *tenant
+	oracle *pythia.Oracle
+}
+
+// conn serves one client connection. All fields are owned by the single
+// connection goroutine; the server touches only nc (deadlines, force-close).
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	buf      []byte // frame read buffer, reused across frames
+	out      []byte // payload encode buffer, reused across responses
+	sessions []session
+	byKey    map[sessKey]uint32
+	tenants  map[string]*connTenant
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:     s,
+		nc:      nc,
+		br:      bufio.NewReader(nc),
+		bw:      bufio.NewWriter(nc),
+		buf:     make([]byte, 0, 4096),
+		out:     make([]byte, 0, 1024),
+		byKey:   make(map[sessKey]uint32),
+		tenants: make(map[string]*connTenant),
+	}
+}
+
+// refuse sends one Error frame to an unadmitted connection and closes it.
+func (c *conn) refuse(code wire.Code, msg string) {
+	if err := c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second)); err == nil {
+		c.out = wire.AppendError(c.out[:0], code, msg)
+		if werr := wire.WriteFrame(c.bw, wire.TError, c.out); werr == nil {
+			if ferr := c.bw.Flush(); ferr != nil {
+				c.srv.logf("pythiad: refusing %s: %v", c.nc.RemoteAddr(), ferr)
+			}
+		}
+	}
+	if err := c.nc.Close(); err != nil {
+		c.srv.logf("pythiad: closing refused %s: %v", c.nc.RemoteAddr(), err)
+	}
+}
+
+// serve runs the connection to completion: handshake, then frames until
+// EOF, a fatal protocol error, or the drain deadline.
+func (c *conn) serve() {
+	defer c.teardown()
+	if err := c.handshake(); err != nil {
+		c.finishWith(err)
+		return
+	}
+	for {
+		t, payload, err := wire.ReadFrame(c.br, &c.buf)
+		if err != nil {
+			c.finishWith(nil) // EOF, deadline, or torn frame: nothing to answer
+			return
+		}
+		if err := c.handleFrame(t, payload); err != nil {
+			var pe *protoErr
+			if errors.As(err, &pe) {
+				c.writeError(pe)
+				if !pe.fatal {
+					continue
+				}
+			}
+			c.finishWith(nil)
+			return
+		}
+		// Write batching: flush only when no further request is already
+		// buffered, so a pipelined burst gets one flush, not N.
+		if c.br.Buffered() == 0 {
+			if err := c.bw.Flush(); err != nil {
+				c.finishWith(nil)
+				return
+			}
+		}
+	}
+}
+
+// handshake requires the first frame to be a version-matched Hello.
+func (c *conn) handshake() error {
+	t, payload, err := wire.ReadFrame(c.br, &c.buf)
+	if err != nil {
+		return nil // connected and left: not an event worth a frame
+	}
+	if t != wire.THello {
+		return badFrame("expected Hello")
+	}
+	v, err := wire.ParseHello(payload)
+	if err != nil {
+		return badFrame(err.Error())
+	}
+	if v != wire.Version {
+		return &protoErr{
+			code:  wire.CodeBadVersion,
+			msg:   fmt.Sprintf("server speaks version %d, client sent %d", wire.Version, v),
+			fatal: true,
+		}
+	}
+	c.out = wire.AppendHelloOK(c.out[:0])
+	if err := wire.WriteFrame(c.bw, wire.THelloOK, c.out); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// writeError answers (or terminates) a request with an Error frame.
+func (c *conn) writeError(pe *protoErr) {
+	c.out = wire.AppendError(c.out[:0], pe.code, pe.msg)
+	if err := wire.WriteFrame(c.bw, wire.TError, c.out); err != nil {
+		return
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.srv.logf("pythiad: error frame to %s: %v", c.nc.RemoteAddr(), err)
+	}
+}
+
+// finishWith flushes and closes after the read loop ends.
+func (c *conn) finishWith(err error) {
+	if err != nil {
+		var pe *protoErr
+		if errors.As(err, &pe) {
+			c.writeError(pe)
+		}
+	}
+	if ferr := c.bw.Flush(); ferr != nil {
+		c.srv.logf("pythiad: final flush to %s: %v", c.nc.RemoteAddr(), ferr)
+	}
+	if cerr := c.nc.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) {
+		c.srv.logf("pythiad: closing %s: %v", c.nc.RemoteAddr(), cerr)
+	}
+}
+
+// teardown returns every resource the connection holds: open-session
+// budget, oracle registrations, and tenant references.
+func (c *conn) teardown() {
+	for i := range c.sessions {
+		if c.sessions[i].open {
+			c.sessions[i].open = false
+			c.srv.sessions.Add(-1)
+		}
+	}
+	for _, ct := range c.tenants {
+		ct.t.unregister(ct.oracle)
+		c.srv.st.Release(ct.t)
+	}
+}
+
+// handleFrame dispatches one request frame.
+// pythia:hotpath — per-request on the serving path; the Submit and
+// PredictAt arms must not allocate.
+func (c *conn) handleFrame(t wire.Type, payload []byte) error {
+	switch t {
+	case wire.TSubmit:
+		sid, id, err := wire.ParseSubmit(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		th, perr := c.threadOf(sid)
+		if perr != nil {
+			return perr
+		}
+		th.Submit(pythia.ID(id))
+		return nil
+	case wire.TSubmitBatch:
+		sid, batch, err := wire.ParseSubmitBatch(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		th, perr := c.threadOf(sid)
+		if perr != nil {
+			return perr
+		}
+		for i, n := 0, batch.Len(); i < n; i++ {
+			th.Submit(pythia.ID(batch.At(i)))
+		}
+		return nil
+	case wire.TPredictAt:
+		sid, distance, err := wire.ParsePredictAt(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		th, perr := c.threadOf(sid)
+		if perr != nil {
+			return perr
+		}
+		pr, ok := th.PredictAt(distance)
+		c.out = wire.AppendPrediction(c.out[:0], pr, ok)
+		return wire.WriteFrame(c.bw, wire.TPrediction, c.out)
+	case wire.TPredictSequence:
+		sid, n, err := wire.ParsePredictSequence(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		th, perr := c.threadOf(sid)
+		if perr != nil {
+			return perr
+		}
+		preds := th.PredictSequence(n)
+		c.out = wire.AppendPredictions(c.out[:0], preds)
+		return wire.WriteFrame(c.bw, wire.TPredictions, c.out)
+	case wire.TOpenSession:
+		o, err := wire.ParseOpenSession(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.openSession(o)
+	case wire.TCloseSession:
+		sid, err := wire.ParseCloseSession(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.closeSession(sid)
+	case wire.THealth:
+		tenant, err := wire.ParseHealth(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.health(tenant)
+	case wire.THello:
+		return badFrame("duplicate Hello")
+	default:
+		return badFrameType(t)
+	}
+}
+
+// badFrameType reports an unexpected frame type. Split from handleFrame so
+// the message formatting stays off the annotated hot path — it runs only on
+// a fatal protocol error, after which the connection closes.
+func badFrameType(t wire.Type) *protoErr {
+	return badFrame("unexpected frame type " + t.String())
+}
+
+// threadOf resolves a session id to its oracle thread. Failures are fatal:
+// they corrupt request/response pairing (the id may belong to a one-way
+// Submit), so the connection cannot safely continue.
+// pythia:hotpath — per-request on the serving path.
+func (c *conn) threadOf(sid uint32) (*pythia.Thread, *protoErr) {
+	if int(sid) >= len(c.sessions) || !c.sessions[sid].open {
+		return nil, errUnknownSession
+	}
+	th := c.sessions[sid].th
+	if th == nil {
+		return nil, errMetaSession
+	}
+	return th, nil
+}
+
+var (
+	errUnknownSession = &protoErr{code: wire.CodeUnknownSession, msg: "no such session on this connection", fatal: true}
+	errMetaSession    = &protoErr{code: wire.CodeBadFrame, msg: "submit/predict on a meta session", fatal: true}
+)
+
+// openSession admits one session under the drain flag and session budget,
+// then binds it to a (tenant, thread) oracle.
+func (c *conn) openSession(o wire.OpenSession) error {
+	if c.srv.draining.Load() {
+		return &protoErr{code: wire.CodeDraining, msg: "server draining; no new sessions"}
+	}
+	if max := int64(c.srv.cfg.MaxSessions); max > 0 && c.srv.sessions.Load() >= max {
+		return &protoErr{code: wire.CodeSessionLimit, msg: "session limit reached; retry later"}
+	}
+	key := sessKey{tenant: o.Tenant, tid: o.TID}
+	if o.TID >= 0 {
+		if _, dup := c.byKey[key]; dup {
+			return &protoErr{
+				code: wire.CodeDuplicateSession,
+				msg:  fmt.Sprintf("thread %d of tenant %q already open on this connection", o.TID, o.Tenant),
+			}
+		}
+	}
+	ct, perr := c.tenantOf(o.Tenant)
+	if perr != nil {
+		return perr
+	}
+
+	var th *pythia.Thread
+	hasPredictor := false
+	if o.TID >= 0 {
+		th = ct.oracle.Thread(o.TID)
+		hasPredictor = ct.t.ts.Trace(o.TID) != nil
+		if o.Flags&wire.FlagStartAtBeginning != 0 {
+			th.StartAtBeginning()
+		}
+	}
+
+	sid := uint32(len(c.sessions))
+	c.sessions = append(c.sessions, session{th: th, ct: ct, open: true})
+	if o.TID >= 0 {
+		c.byKey[key] = sid
+	}
+	c.srv.sessions.Add(1)
+
+	so := wire.SessionOpened{
+		Session:      sid,
+		HasPredictor: hasPredictor,
+		State:        stateToWire(ct.oracle.Health().State),
+	}
+	if o.Flags&wire.FlagWantEvents != 0 {
+		so.Events = ct.t.ts.Events
+		if so.Events == nil {
+			so.Events = []string{}
+		}
+	}
+	c.out = wire.AppendSessionOpened(c.out[:0], so)
+	return wire.WriteFrame(c.bw, wire.TSessionOpened, c.out)
+}
+
+// tenantOf returns this connection's oracle for a tenant, acquiring the
+// shared trace and building the oracle on first use.
+func (c *conn) tenantOf(name string) (*connTenant, *protoErr) {
+	if ct, ok := c.tenants[name]; ok {
+		return ct, nil
+	}
+	t, err := c.srv.st.Acquire(name)
+	if err != nil {
+		if isNotExist(err) {
+			return nil, &protoErr{code: wire.CodeUnknownTenant, msg: err.Error()}
+		}
+		return nil, &protoErr{code: wire.CodeInternal, msg: err.Error()}
+	}
+	oracle, err := pythia.NewPredictOracle(t.ts, c.srv.cfg.Predict)
+	if err != nil {
+		c.srv.st.Release(t)
+		return nil, &protoErr{code: wire.CodeInternal, msg: err.Error()}
+	}
+	t.register(oracle)
+	ct := &connTenant{t: t, oracle: oracle}
+	c.tenants[name] = ct
+	return ct, nil
+}
+
+// closeSession retires one session slot. The tenant handle stays with the
+// connection (other sessions may share it); it is released at teardown.
+func (c *conn) closeSession(sid uint32) error {
+	if int(sid) >= len(c.sessions) || !c.sessions[sid].open {
+		return errUnknownSession
+	}
+	c.sessions[sid].open = false
+	c.srv.sessions.Add(-1)
+	for key, id := range c.byKey {
+		if id == sid {
+			delete(c.byKey, key)
+			break
+		}
+	}
+	c.out = wire.AppendSessionClosed(c.out[:0], sid)
+	return wire.WriteFrame(c.bw, wire.TSessionClosed, c.out)
+}
+
+// health answers a Health request for one tenant ("" = whole server).
+func (c *conn) health(tenant string) error {
+	var hi wire.HealthInfo
+	if tenant == "" {
+		hi = c.srv.st.serverHealth()
+	} else {
+		var ok bool
+		hi, ok = c.srv.st.healthOf(tenant)
+		if !ok {
+			return &protoErr{code: wire.CodeUnknownTenant, msg: fmt.Sprintf("tenant %q not loaded", tenant)}
+		}
+	}
+	c.out = wire.AppendHealthInfo(c.out[:0], hi)
+	return wire.WriteFrame(c.bw, wire.THealthInfo, c.out)
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"repro/internal/predictor"
+)
+
+// FuzzWireDecode feeds raw byte streams through the frame reader and every
+// payload parser. Truncated, torn, and version-skewed inputs must come back
+// as errors — never a panic, and never an allocation sized from an
+// unvalidated length field. The final check pins the allocation bound: no
+// single decode may retain or request more than MaxFrame bytes.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with one valid encoding of every frame type, plus torn variants.
+	seeds := [][]byte{
+		AppendHello(nil),
+		AppendHelloOK(nil),
+		AppendOpenSession(nil, OpenSession{TID: 2, Flags: FlagStartAtBeginning | FlagWantEvents, Tenant: "bt"}),
+		AppendSessionOpened(nil, SessionOpened{Session: 1, HasPredictor: true, Events: []string{"a", "b"}}),
+		AppendSubmit(nil, 1, 42),
+		AppendSubmitBatch(nil, 1, []int32{1, 2, 3}),
+		AppendPredictAt(nil, 1, 16),
+		AppendPredictSequence(nil, 1, 8),
+		AppendPrediction(nil, predictor.Prediction{EventID: 3, Probability: 0.5, Distance: 2, ExpectedNs: 100}, true),
+		AppendPredictions(nil, []predictor.Prediction{{EventID: 1}, {EventID: 2}}),
+		AppendHealth(nil, "bt"),
+		AppendHealthInfo(nil, HealthInfo{State: StateDegraded, Cause: "x"}),
+		AppendCloseSession(nil, 9),
+		AppendSessionClosed(nil, 9),
+		AppendError(nil, CodeDraining, "drain"),
+	}
+	for t := THello; t <= TError; t++ {
+		for _, s := range seeds {
+			f.Add(uint8(t), frameBytes(t, s))
+			if len(s) > 0 {
+				f.Add(uint8(t), frameBytes(t, s[:len(s)/2])) // torn payload
+			}
+		}
+	}
+	// Version-skewed hello and hostile length prefixes.
+	skew := AppendHello(nil)
+	skew[len(skew)-1] ^= 0xff
+	f.Add(uint8(THello), frameBytes(THello, skew))
+	f.Add(uint8(0), []byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Add(uint8(0), []byte{0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, firstType uint8, raw []byte) {
+		br := bufio.NewReader(bytes.NewReader(raw))
+		buf := make([]byte, 0, 512)
+		for frames := 0; frames < 64; frames++ {
+			typ, payload, err := ReadFrame(br, &buf)
+			if err != nil {
+				break
+			}
+			if len(payload)+1 > MaxFrame {
+				t.Fatalf("ReadFrame returned %d-byte payload past MaxFrame", len(payload))
+			}
+			exerciseParsers(t, typ, payload)
+			// The first decoded frame also gets parsed as the fuzzer's
+			// chosen type, exercising type/payload mismatches.
+			if frames == 0 {
+				exerciseParsers(t, Type(firstType), payload)
+			}
+		}
+		if cap(buf) > MaxFrame {
+			t.Fatalf("frame buffer grew to %d, past MaxFrame", cap(buf))
+		}
+	})
+}
+
+// exerciseParsers runs the payload through the parser for typ; any outcome
+// but a panic or an oversized result is acceptable.
+func exerciseParsers(t *testing.T, typ Type, payload []byte) {
+	t.Helper()
+	switch typ {
+	case THello:
+		_, _ = ParseHello(payload)
+	case THelloOK:
+		_, _ = ParseHelloOK(payload)
+	case TOpenSession:
+		_, _ = ParseOpenSession(payload)
+	case TSessionOpened:
+		so, err := ParseSessionOpened(payload)
+		if err == nil && len(so.Events) > len(payload) {
+			t.Fatalf("decoded %d event descriptors from a %d-byte payload", len(so.Events), len(payload))
+		}
+	case TSubmit:
+		_, _, _ = ParseSubmit(payload)
+	case TSubmitBatch:
+		s, b, err := ParseSubmitBatch(payload)
+		if err == nil && b.Len() > 0 {
+			_ = s
+			_ = b.At(0)
+			_ = b.At(b.Len() - 1)
+		}
+	case TPredictAt:
+		_, _, _ = ParsePredictAt(payload)
+	case TPrediction:
+		_, _, _ = ParsePrediction(payload)
+	case TPredictSequence:
+		_, _, _ = ParsePredictSequence(payload)
+	case TPredictions:
+		preds, err := ParsePredictions(payload)
+		if err == nil && len(preds)*24 > len(payload) {
+			t.Fatalf("decoded %d predictions from a %d-byte payload", len(preds), len(payload))
+		}
+	case THealth:
+		_, _ = ParseHealth(payload)
+	case THealthInfo:
+		_, _ = ParseHealthInfo(payload)
+	case TCloseSession:
+		_, _ = ParseCloseSession(payload)
+	case TSessionClosed:
+		_, _ = ParseSessionClosed(payload)
+	case TError:
+		_, _, _ = ParseError(payload)
+	}
+}

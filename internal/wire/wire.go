@@ -1,0 +1,716 @@
+// Package wire defines pythiad's binary protocol: the framing and the
+// encode/decode routines for every message a client runtime exchanges with a
+// networked oracle daemon (cmd/pythiad, internal/server, pythia/client).
+//
+// A connection carries a stream of length-prefixed frames:
+//
+//	uint32 BE  n        total frame body length (type byte + payload), 1..MaxFrame
+//	byte       type     frame type (Type constants)
+//	n-1 bytes  payload  fixed-layout fields, big-endian; strings are uint16
+//	                    length-prefixed UTF-8
+//
+// The conversation starts with Hello/HelloOK (version negotiation); after
+// that the client opens per-(tenant, thread) sessions and submits events /
+// queries predictions on them. Submit and SubmitBatch are one-way — the
+// server answers nothing on success, which is what makes pipelined batch
+// submission cheap; every other request frame is answered by exactly one
+// response frame (its success type, or Error), in request order.
+//
+// Encode routines are append-style and allocation-free when the caller
+// reuses its buffer; decode routines never allocate beyond the decoded
+// values themselves and never trust a length field further than the bytes
+// actually present (a torn or hostile frame yields an error, not a panic or
+// an oversized allocation). The request hot path (Submit/SubmitBatch/
+// PredictAt) allocates nothing in either direction.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/predictor"
+)
+
+// Version is the protocol version this build speaks. A server refuses a
+// Hello carrying a different major version with CodeBadVersion.
+const Version uint16 = 1
+
+// helloMagic guards against a non-pythia client dialing the port: it is the
+// first field of the first frame ("PYTH").
+const helloMagic uint32 = 0x50595448
+
+// MaxFrame caps the total frame body length (type byte + payload). Both
+// sides refuse larger frames before allocating anything, so a hostile
+// length prefix cannot drive an oversized allocation.
+const MaxFrame = 1 << 22
+
+// Type identifies a frame.
+type Type uint8
+
+// Frame types. Requests flow client to server; responses server to client.
+const (
+	THello           Type = 1  // c->s: magic, version
+	THelloOK         Type = 2  // s->c: version
+	TOpenSession     Type = 3  // c->s: tid, flags, tenant
+	TSessionOpened   Type = 4  // s->c: session, hasPredictor, state [, event table]
+	TSubmit          Type = 5  // c->s (one-way): session, event id
+	TSubmitBatch     Type = 6  // c->s (one-way): session, n, n event ids
+	TPredictAt       Type = 7  // c->s: session, distance
+	TPrediction      Type = 8  // s->c: ok, prediction
+	TPredictSequence Type = 9  // c->s: session, n
+	TPredictions     Type = 10 // s->c: k, k predictions
+	THealth          Type = 11 // c->s: tenant ("" = whole server)
+	THealthInfo      Type = 12 // s->c: state, oracle count, counters, cause
+	TCloseSession    Type = 13 // c->s: session
+	TSessionClosed   Type = 14 // s->c: session
+	TError           Type = 15 // s->c: code, message
+)
+
+// String names the frame type.
+func (t Type) String() string {
+	switch t {
+	case THello:
+		return "Hello"
+	case THelloOK:
+		return "HelloOK"
+	case TOpenSession:
+		return "OpenSession"
+	case TSessionOpened:
+		return "SessionOpened"
+	case TSubmit:
+		return "Submit"
+	case TSubmitBatch:
+		return "SubmitBatch"
+	case TPredictAt:
+		return "PredictAt"
+	case TPrediction:
+		return "Prediction"
+	case TPredictSequence:
+		return "PredictSequence"
+	case TPredictions:
+		return "Predictions"
+	case THealth:
+		return "Health"
+	case THealthInfo:
+		return "HealthInfo"
+	case TCloseSession:
+		return "CloseSession"
+	case TSessionClosed:
+		return "SessionClosed"
+	case TError:
+		return "Error"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Code classifies a protocol Error frame.
+type Code uint16
+
+// Error codes.
+const (
+	CodeBadFrame         Code = 1 // malformed or unexpected frame; connection-fatal
+	CodeBadVersion       Code = 2 // Hello version mismatch; connection-fatal
+	CodeUnknownTenant    Code = 3 // no loadable trace for the tenant name
+	CodeUnknownSession   Code = 4 // frame names a session this connection never opened; connection-fatal
+	CodeDuplicateSession Code = 5 // (tenant, tid) already open on this connection
+	CodeSessionLimit     Code = 6 // server-wide session budget exhausted; retry later
+	CodeConnLimit        Code = 7 // server-wide connection budget exhausted; connection-fatal
+	CodeDraining         Code = 8 // server is draining; no new sessions
+	CodeInternal         Code = 9 // server-side failure opening the session
+)
+
+// String names the error code.
+func (c Code) String() string {
+	switch c {
+	case CodeBadFrame:
+		return "bad frame"
+	case CodeBadVersion:
+		return "bad version"
+	case CodeUnknownTenant:
+		return "unknown tenant"
+	case CodeUnknownSession:
+		return "unknown session"
+	case CodeDuplicateSession:
+		return "duplicate session"
+	case CodeSessionLimit:
+		return "session limit"
+	case CodeConnLimit:
+		return "connection limit"
+	case CodeDraining:
+		return "draining"
+	case CodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("Code(%d)", uint16(c))
+	}
+}
+
+// OpenSession flag bits.
+const (
+	// FlagStartAtBeginning seeds the session's predictor at the start of
+	// the reference trace (Thread.StartAtBeginning) before any submission.
+	FlagStartAtBeginning uint8 = 1 << 0
+	// FlagWantEvents asks the server to include the tenant's event
+	// descriptor table in the SessionOpened response. Clients set it once
+	// per tenant and intern locally from then on.
+	FlagWantEvents uint8 = 1 << 1
+)
+
+// Oracle degradation states on the wire (match core.State values).
+const (
+	StateHealthy     uint8 = 0
+	StateDegraded    uint8 = 1
+	StateQuarantined uint8 = 2
+)
+
+// Framing errors. ReadFrame returns io.EOF only for a connection closed
+// cleanly between frames; a frame torn mid-body comes back as
+// io.ErrUnexpectedEOF.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrEmptyFrame    = errors.New("wire: zero-length frame")
+	ErrMalformed     = errors.New("wire: malformed frame payload")
+	ErrBadMagic      = errors.New("wire: bad hello magic")
+)
+
+// ReadFrame reads one frame from br, reusing *buf as the body buffer
+// (growing it at most to MaxFrame). The returned payload aliases *buf and
+// is valid until the next ReadFrame with the same buffer.
+// pythia:hotpath — one call per request on the serving path.
+func ReadFrame(br *bufio.Reader, buf *[]byte) (Type, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, ErrEmptyFrame
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	body := (*buf)[:n]
+	if _, err := io.ReadFull(br, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return Type(body[0]), body[1:], nil
+}
+
+// WriteFrame writes one frame (header, type byte, payload) to bw. The
+// caller flushes; batching consecutive responses into one flush is the
+// server's write-batching discipline.
+// pythia:hotpath — one call per response on the serving path.
+func WriteFrame(bw *bufio.Writer, t Type, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	// The header goes through WriteByte so no short-lived buffer escapes
+	// into the writer: this function must not allocate.
+	n := uint32(len(payload) + 1)
+	if err := bw.WriteByte(byte(n >> 24)); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(n >> 16)); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(n >> 8)); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(n)); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(t)); err != nil {
+		return err
+	}
+	_, err := bw.Write(payload)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Append-style encoders. All return the extended buffer; pass buf[:0] of a
+// reused buffer for allocation-free encoding.
+
+func appendU16(buf []byte, v uint16) []byte { return append(buf, byte(v>>8), byte(v)) }
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return append(buf, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// appendString encodes a uint16 length-prefixed string, truncating at 64 KiB
+// (only free-form diagnostics — causes, messages — can get near that).
+func appendString(buf []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	buf = appendU16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// AppendHello encodes a Hello payload.
+func AppendHello(buf []byte) []byte {
+	buf = appendU32(buf, helloMagic)
+	return appendU16(buf, Version)
+}
+
+// AppendHelloOK encodes a HelloOK payload.
+func AppendHelloOK(buf []byte) []byte { return appendU16(buf, Version) }
+
+// OpenSession is the decoded form of a TOpenSession payload.
+type OpenSession struct {
+	TID    int32
+	Flags  uint8
+	Tenant string
+}
+
+// AppendOpenSession encodes an OpenSession payload.
+func AppendOpenSession(buf []byte, o OpenSession) []byte {
+	buf = appendU32(buf, uint32(o.TID))
+	buf = append(buf, o.Flags)
+	return appendString(buf, o.Tenant)
+}
+
+// SessionOpened is the decoded form of a TSessionOpened payload. Events is
+// nil unless the request carried FlagWantEvents.
+type SessionOpened struct {
+	Session      uint32
+	HasPredictor bool
+	State        uint8
+	Events       []string
+}
+
+// AppendSessionOpened encodes a SessionOpened payload.
+func AppendSessionOpened(buf []byte, so SessionOpened) []byte {
+	buf = appendU32(buf, so.Session)
+	hp := byte(0)
+	if so.HasPredictor {
+		hp = 1
+	}
+	buf = append(buf, hp, so.State)
+	if so.Events == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = appendU32(buf, uint32(len(so.Events)))
+	for _, e := range so.Events {
+		buf = appendString(buf, e)
+	}
+	return buf
+}
+
+// AppendSubmit encodes a Submit payload.
+// pythia:hotpath — per-event on the client submit path.
+func AppendSubmit(buf []byte, session uint32, id int32) []byte {
+	buf = appendU32(buf, session)
+	return appendU32(buf, uint32(id))
+}
+
+// AppendSubmitBatch encodes a SubmitBatch payload.
+// pythia:hotpath — per-flush on the client submit path.
+func AppendSubmitBatch(buf []byte, session uint32, ids []int32) []byte {
+	buf = appendU32(buf, session)
+	buf = appendU32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = appendU32(buf, uint32(id))
+	}
+	return buf
+}
+
+// AppendPredictAt encodes a PredictAt payload.
+// pythia:hotpath — per-query on the client predict path.
+func AppendPredictAt(buf []byte, session uint32, distance int) []byte {
+	buf = appendU32(buf, session)
+	return appendU32(buf, uint32(distance))
+}
+
+// AppendPredictSequence encodes a PredictSequence payload.
+func AppendPredictSequence(buf []byte, session uint32, n int) []byte {
+	buf = appendU32(buf, session)
+	return appendU32(buf, uint32(n))
+}
+
+// appendPredictionBody encodes one prediction's fixed 24-byte layout.
+func appendPredictionBody(buf []byte, pr predictor.Prediction) []byte {
+	buf = appendU32(buf, uint32(pr.EventID))
+	buf = appendU32(buf, uint32(pr.Distance))
+	buf = appendU64(buf, math.Float64bits(pr.Probability))
+	return appendU64(buf, math.Float64bits(pr.ExpectedNs))
+}
+
+// AppendPrediction encodes a Prediction response payload. The float fields
+// cross the wire as raw IEEE-754 bits, so a remote prediction is
+// bit-identical to the in-process one.
+// pythia:hotpath — per-query on the serving path.
+func AppendPrediction(buf []byte, pr predictor.Prediction, ok bool) []byte {
+	okb := byte(0)
+	if ok {
+		okb = 1
+	}
+	buf = append(buf, okb)
+	return appendPredictionBody(buf, pr)
+}
+
+// AppendPredictions encodes a Predictions response payload.
+func AppendPredictions(buf []byte, preds []predictor.Prediction) []byte {
+	buf = appendU32(buf, uint32(len(preds)))
+	for _, pr := range preds {
+		buf = appendPredictionBody(buf, pr)
+	}
+	return buf
+}
+
+// AppendHealth encodes a Health request payload.
+func AppendHealth(buf []byte, tenant string) []byte { return appendString(buf, tenant) }
+
+// HealthInfo is the decoded form of a THealthInfo payload: the aggregate
+// degradation state of one tenant's live oracles (or of the whole server
+// when queried with an empty tenant name).
+type HealthInfo struct {
+	State              uint8
+	Oracles            uint32
+	PanicsContained    int64
+	BudgetBreaches     int64
+	QuarantinedThreads int64
+	CheckpointFailures int64
+	Cause              string
+}
+
+// AppendHealthInfo encodes a HealthInfo payload.
+func AppendHealthInfo(buf []byte, hi HealthInfo) []byte {
+	buf = append(buf, hi.State)
+	buf = appendU32(buf, hi.Oracles)
+	buf = appendU64(buf, uint64(hi.PanicsContained))
+	buf = appendU64(buf, uint64(hi.BudgetBreaches))
+	buf = appendU64(buf, uint64(hi.QuarantinedThreads))
+	buf = appendU64(buf, uint64(hi.CheckpointFailures))
+	return appendString(buf, hi.Cause)
+}
+
+// AppendCloseSession encodes a CloseSession payload.
+func AppendCloseSession(buf []byte, session uint32) []byte { return appendU32(buf, session) }
+
+// AppendSessionClosed encodes a SessionClosed payload.
+func AppendSessionClosed(buf []byte, session uint32) []byte { return appendU32(buf, session) }
+
+// AppendError encodes an Error payload.
+func AppendError(buf []byte, code Code, msg string) []byte {
+	buf = appendU16(buf, uint16(code))
+	return appendString(buf, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Decoders. Every decoder validates length fields against the bytes present
+// and fails with ErrMalformed (wrapped with the frame name) on any shortfall.
+
+// cursor walks a payload; ok latches false on the first out-of-bounds read.
+type cursor struct {
+	p   []byte
+	off int
+	ok  bool
+}
+
+func newCursor(p []byte) cursor { return cursor{p: p, ok: true} }
+
+func (c *cursor) u8() byte {
+	if !c.ok || c.off+1 > len(c.p) {
+		c.ok = false
+		return 0
+	}
+	v := c.p[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u16() uint16 {
+	if !c.ok || c.off+2 > len(c.p) {
+		c.ok = false
+		return 0
+	}
+	v := binary.BigEndian.Uint16(c.p[c.off:])
+	c.off += 2
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if !c.ok || c.off+4 > len(c.p) {
+		c.ok = false
+		return 0
+	}
+	v := binary.BigEndian.Uint32(c.p[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if !c.ok || c.off+8 > len(c.p) {
+		c.ok = false
+		return 0
+	}
+	v := binary.BigEndian.Uint64(c.p[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) str() string {
+	n := int(c.u16())
+	if !c.ok || c.off+n > len(c.p) {
+		c.ok = false
+		return ""
+	}
+	s := string(c.p[c.off : c.off+n])
+	c.off += n
+	return s
+}
+
+// done reports whether the whole payload was consumed cleanly. Trailing
+// bytes are malformed: they would mask version-skewed encoders.
+func (c *cursor) done() bool { return c.ok && c.off == len(c.p) }
+
+func malformed(frame string) error { return fmt.Errorf("%w: %s", ErrMalformed, frame) }
+
+// ParseHello decodes a THello payload and checks magic and version.
+func ParseHello(p []byte) (version uint16, err error) {
+	c := newCursor(p)
+	magic := c.u32()
+	version = c.u16()
+	if !c.done() {
+		return 0, malformed("Hello")
+	}
+	if magic != helloMagic {
+		return 0, ErrBadMagic
+	}
+	return version, nil
+}
+
+// ParseHelloOK decodes a THelloOK payload.
+func ParseHelloOK(p []byte) (version uint16, err error) {
+	c := newCursor(p)
+	version = c.u16()
+	if !c.done() {
+		return 0, malformed("HelloOK")
+	}
+	return version, nil
+}
+
+// ParseOpenSession decodes a TOpenSession payload.
+func ParseOpenSession(p []byte) (OpenSession, error) {
+	c := newCursor(p)
+	var o OpenSession
+	o.TID = int32(c.u32())
+	o.Flags = c.u8()
+	o.Tenant = c.str()
+	if !c.done() {
+		return OpenSession{}, malformed("OpenSession")
+	}
+	return o, nil
+}
+
+// ParseSessionOpened decodes a TSessionOpened payload.
+func ParseSessionOpened(p []byte) (SessionOpened, error) {
+	c := newCursor(p)
+	var so SessionOpened
+	so.Session = c.u32()
+	so.HasPredictor = c.u8() != 0
+	so.State = c.u8()
+	hasTable := c.u8()
+	if hasTable != 0 {
+		n := int(c.u32())
+		// Each descriptor takes at least its 2-byte length prefix, so a
+		// count larger than the remaining bytes/2 cannot be honest.
+		if !c.ok || n > (len(p)-c.off)/2 {
+			return SessionOpened{}, malformed("SessionOpened")
+		}
+		so.Events = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			so.Events = append(so.Events, c.str())
+		}
+		if so.Events == nil {
+			so.Events = []string{}
+		}
+	}
+	if !c.done() {
+		return SessionOpened{}, malformed("SessionOpened")
+	}
+	return so, nil
+}
+
+// ParseSubmit decodes a TSubmit payload.
+// pythia:hotpath — per-event on the serving path.
+func ParseSubmit(p []byte) (session uint32, id int32, err error) {
+	if len(p) != 8 {
+		return 0, 0, errMalformedSubmit
+	}
+	session = binary.BigEndian.Uint32(p)
+	id = int32(binary.BigEndian.Uint32(p[4:]))
+	return session, id, nil
+}
+
+var (
+	errMalformedSubmit    = fmt.Errorf("%w: Submit", ErrMalformed)
+	errMalformedBatch     = fmt.Errorf("%w: SubmitBatch", ErrMalformed)
+	errMalformedPredictAt = fmt.Errorf("%w: PredictAt", ErrMalformed)
+)
+
+// Batch is a decoded SubmitBatch id sequence: a view over the frame payload
+// (no copy, no allocation).
+type Batch struct{ p []byte }
+
+// Len returns the number of ids in the batch.
+func (b Batch) Len() int { return len(b.p) / 4 }
+
+// At returns the i-th event id.
+// pythia:hotpath — per-event on the serving path.
+func (b Batch) At(i int) int32 { return int32(binary.BigEndian.Uint32(b.p[i*4:])) }
+
+// ParseSubmitBatch decodes a TSubmitBatch payload into a zero-copy Batch.
+// pythia:hotpath — per-batch on the serving path.
+func ParseSubmitBatch(p []byte) (session uint32, b Batch, err error) {
+	if len(p) < 8 {
+		return 0, Batch{}, errMalformedBatch
+	}
+	session = binary.BigEndian.Uint32(p)
+	n := binary.BigEndian.Uint32(p[4:])
+	if uint64(n)*4 != uint64(len(p)-8) {
+		return 0, Batch{}, errMalformedBatch
+	}
+	return session, Batch{p: p[8:]}, nil
+}
+
+// ParsePredictAt decodes a TPredictAt payload.
+// pythia:hotpath — per-query on the serving path.
+func ParsePredictAt(p []byte) (session uint32, distance int, err error) {
+	if len(p) != 8 {
+		return 0, 0, errMalformedPredictAt
+	}
+	session = binary.BigEndian.Uint32(p)
+	distance = int(int32(binary.BigEndian.Uint32(p[4:])))
+	return session, distance, nil
+}
+
+// ParsePredictSequence decodes a TPredictSequence payload.
+func ParsePredictSequence(p []byte) (session uint32, n int, err error) {
+	c := newCursor(p)
+	session = c.u32()
+	n = int(int32(c.u32()))
+	if !c.done() {
+		return 0, 0, malformed("PredictSequence")
+	}
+	return session, n, nil
+}
+
+// parsePredictionBody decodes one prediction's fixed 24-byte layout.
+func parsePredictionBody(c *cursor) predictor.Prediction {
+	var pr predictor.Prediction
+	pr.EventID = int32(c.u32())
+	pr.Distance = int(int32(c.u32()))
+	pr.Probability = math.Float64frombits(c.u64())
+	pr.ExpectedNs = math.Float64frombits(c.u64())
+	return pr
+}
+
+// ParsePrediction decodes a TPrediction payload.
+func ParsePrediction(p []byte) (pr predictor.Prediction, ok bool, err error) {
+	c := newCursor(p)
+	okb := c.u8()
+	pr = parsePredictionBody(&c)
+	if !c.done() {
+		return predictor.Prediction{}, false, malformed("Prediction")
+	}
+	return pr, okb != 0, nil
+}
+
+// ParsePredictions decodes a TPredictions payload.
+func ParsePredictions(p []byte) ([]predictor.Prediction, error) {
+	c := newCursor(p)
+	n := int(c.u32())
+	if !c.ok || n > (len(p)-c.off)/24 {
+		return nil, malformed("Predictions")
+	}
+	if n == 0 {
+		if !c.done() {
+			return nil, malformed("Predictions")
+		}
+		return nil, nil
+	}
+	preds := make([]predictor.Prediction, 0, n)
+	for i := 0; i < n; i++ {
+		preds = append(preds, parsePredictionBody(&c))
+	}
+	if !c.done() {
+		return nil, malformed("Predictions")
+	}
+	return preds, nil
+}
+
+// ParseHealth decodes a THealth payload.
+func ParseHealth(p []byte) (tenant string, err error) {
+	c := newCursor(p)
+	tenant = c.str()
+	if !c.done() {
+		return "", malformed("Health")
+	}
+	return tenant, nil
+}
+
+// ParseHealthInfo decodes a THealthInfo payload.
+func ParseHealthInfo(p []byte) (HealthInfo, error) {
+	c := newCursor(p)
+	var hi HealthInfo
+	hi.State = c.u8()
+	hi.Oracles = c.u32()
+	hi.PanicsContained = int64(c.u64())
+	hi.BudgetBreaches = int64(c.u64())
+	hi.QuarantinedThreads = int64(c.u64())
+	hi.CheckpointFailures = int64(c.u64())
+	hi.Cause = c.str()
+	if !c.done() {
+		return HealthInfo{}, malformed("HealthInfo")
+	}
+	return hi, nil
+}
+
+// ParseCloseSession decodes a TCloseSession payload.
+func ParseCloseSession(p []byte) (session uint32, err error) {
+	c := newCursor(p)
+	session = c.u32()
+	if !c.done() {
+		return 0, malformed("CloseSession")
+	}
+	return session, nil
+}
+
+// ParseSessionClosed decodes a TSessionClosed payload.
+func ParseSessionClosed(p []byte) (session uint32, err error) {
+	c := newCursor(p)
+	session = c.u32()
+	if !c.done() {
+		return 0, malformed("SessionClosed")
+	}
+	return session, nil
+}
+
+// ParseError decodes a TError payload.
+func ParseError(p []byte) (code Code, msg string, err error) {
+	c := newCursor(p)
+	code = Code(c.u16())
+	msg = c.str()
+	if !c.done() {
+		return 0, "", malformed("Error")
+	}
+	return code, msg, nil
+}

@@ -1,0 +1,331 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/predictor"
+)
+
+// frameBytes builds the on-wire encoding of one frame.
+func frameBytes(t Type, payload []byte) []byte {
+	out := make([]byte, 0, 5+len(payload))
+	out = appendU32(out, uint32(len(payload)+1))
+	out = append(out, byte(t))
+	return append(out, payload...)
+}
+
+func readOne(t *testing.T, raw []byte) (Type, []byte) {
+	t.Helper()
+	br := bufio.NewReader(bytes.NewReader(raw))
+	var buf []byte
+	typ, payload, err := ReadFrame(br, &buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return typ, payload
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	bw := bufio.NewWriter(&out)
+	payload := AppendOpenSession(nil, OpenSession{TID: 3, Flags: FlagStartAtBeginning, Tenant: "bt"})
+	if err := WriteFrame(bw, TOpenSession, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	typ, got := readOne(t, out.Bytes())
+	if typ != TOpenSession {
+		t.Fatalf("type = %v, want OpenSession", typ)
+	}
+	o, err := ParseOpenSession(got)
+	if err != nil {
+		t.Fatalf("ParseOpenSession: %v", err)
+	}
+	if o.TID != 3 || o.Flags != FlagStartAtBeginning || o.Tenant != "bt" {
+		t.Fatalf("round trip = %+v", o)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"empty stream", nil, io.EOF},
+		{"torn header", []byte{0, 0, 1}, io.ErrUnexpectedEOF},
+		{"zero length", []byte{0, 0, 0, 0}, ErrEmptyFrame},
+		{"oversized", []byte{0xff, 0xff, 0xff, 0xff}, ErrFrameTooLarge},
+		{"torn body", frameBytes(TSubmit, make([]byte, 8))[:7], io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			br := bufio.NewReader(bytes.NewReader(tc.raw))
+			var buf []byte
+			_, _, err := ReadFrame(br, &buf)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	var raw []byte
+	raw = append(raw, frameBytes(TSubmit, AppendSubmit(nil, 1, 7))...)
+	raw = append(raw, frameBytes(TSubmit, AppendSubmit(nil, 1, 9))...)
+	br := bufio.NewReader(bytes.NewReader(raw))
+	buf := make([]byte, 0, 64)
+	for i := 0; i < 2; i++ {
+		_, payload, err := ReadFrame(br, &buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if _, _, err := ParseSubmit(payload); err != nil {
+			t.Fatalf("frame %d parse: %v", i, err)
+		}
+	}
+	if cap(buf) != 64 {
+		t.Fatalf("buffer was reallocated: cap = %d", cap(buf))
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	bw := bufio.NewWriter(io.Discard)
+	if err := WriteFrame(bw, TSubmit, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestHello(t *testing.T) {
+	v, err := ParseHello(AppendHello(nil))
+	if err != nil || v != Version {
+		t.Fatalf("ParseHello = %d, %v", v, err)
+	}
+	bad := AppendHello(nil)
+	bad[0] ^= 0xff
+	if _, err := ParseHello(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic err = %v", err)
+	}
+	v, err = ParseHelloOK(AppendHelloOK(nil))
+	if err != nil || v != Version {
+		t.Fatalf("ParseHelloOK = %d, %v", v, err)
+	}
+}
+
+func TestSessionOpenedRoundTrip(t *testing.T) {
+	cases := []SessionOpened{
+		{Session: 1, HasPredictor: true, State: StateHealthy, Events: []string{"a", "b:1", ""}},
+		{Session: 2, HasPredictor: false, State: StateDegraded, Events: []string{}},
+		{Session: 3, HasPredictor: true, State: StateQuarantined, Events: nil},
+	}
+	for i, want := range cases {
+		got, err := ParseSessionOpened(AppendSessionOpened(nil, want))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestSessionOpenedDishonestCount(t *testing.T) {
+	// A count field claiming far more descriptors than the payload holds
+	// must fail before allocating the claimed capacity.
+	p := appendU32(nil, 9)
+	p = append(p, 1, StateHealthy, 1)
+	p = appendU32(p, 1<<30)
+	if _, err := ParseSessionOpened(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestSubmitRoundTrip(t *testing.T) {
+	s, id, err := ParseSubmit(AppendSubmit(nil, 42, -7))
+	if err != nil || s != 42 || id != -7 {
+		t.Fatalf("ParseSubmit = %d, %d, %v", s, id, err)
+	}
+	if _, _, err := ParseSubmit([]byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short submit err = %v", err)
+	}
+}
+
+func TestSubmitBatchRoundTrip(t *testing.T) {
+	ids := []int32{5, -1, 0, 1 << 20}
+	s, b, err := ParseSubmitBatch(AppendSubmitBatch(nil, 9, ids))
+	if err != nil || s != 9 {
+		t.Fatalf("ParseSubmitBatch = %d, %v", s, err)
+	}
+	if b.Len() != len(ids) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(ids))
+	}
+	for i, want := range ids {
+		if got := b.At(i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Count/body mismatch in either direction is malformed.
+	p := AppendSubmitBatch(nil, 9, ids)
+	if _, _, err := ParseSubmitBatch(p[:len(p)-1]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("torn batch err = %v", err)
+	}
+	binary.BigEndian.PutUint32(p[4:], uint32(len(ids)+1))
+	if _, _, err := ParseSubmitBatch(p); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("overcount batch err = %v", err)
+	}
+}
+
+func TestPredictRoundTrips(t *testing.T) {
+	s, d, err := ParsePredictAt(AppendPredictAt(nil, 3, 17))
+	if err != nil || s != 3 || d != 17 {
+		t.Fatalf("ParsePredictAt = %d, %d, %v", s, d, err)
+	}
+	s, n, err := ParsePredictSequence(AppendPredictSequence(nil, 4, 8))
+	if err != nil || s != 4 || n != 8 {
+		t.Fatalf("ParsePredictSequence = %d, %d, %v", s, n, err)
+	}
+
+	// Bit-exactness of float fields, including non-round values.
+	want := predictor.Prediction{EventID: 11, Probability: 1.0 / 3.0, Distance: 5, ExpectedNs: 1234.5678e3}
+	got, ok, err := ParsePrediction(AppendPrediction(nil, want, true))
+	if err != nil || !ok {
+		t.Fatalf("ParsePrediction: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("prediction round trip: got %+v want %+v", got, want)
+	}
+	if math.Float64bits(got.Probability) != math.Float64bits(want.Probability) {
+		t.Fatal("probability bits differ")
+	}
+
+	preds := []predictor.Prediction{want, {EventID: -1, Probability: 0.25, Distance: 1, ExpectedNs: 0}}
+	gotSeq, err := ParsePredictions(AppendPredictions(nil, preds))
+	if err != nil {
+		t.Fatalf("ParsePredictions: %v", err)
+	}
+	if !reflect.DeepEqual(gotSeq, preds) {
+		t.Fatalf("predictions round trip: got %+v want %+v", gotSeq, preds)
+	}
+	empty, err := ParsePredictions(AppendPredictions(nil, nil))
+	if err != nil || empty != nil {
+		t.Fatalf("empty predictions = %v, %v", empty, err)
+	}
+}
+
+func TestHealthRoundTrip(t *testing.T) {
+	tenant, err := ParseHealth(AppendHealth(nil, "cg"))
+	if err != nil || tenant != "cg" {
+		t.Fatalf("ParseHealth = %q, %v", tenant, err)
+	}
+	want := HealthInfo{
+		State: StateDegraded, Oracles: 3, PanicsContained: 2, BudgetBreaches: 1,
+		QuarantinedThreads: 4, CheckpointFailures: 5, Cause: "watchdog: thread 2 diverged",
+	}
+	got, err := ParseHealthInfo(AppendHealthInfo(nil, want))
+	if err != nil {
+		t.Fatalf("ParseHealthInfo: %v", err)
+	}
+	if got != want {
+		t.Fatalf("health round trip: got %+v want %+v", got, want)
+	}
+}
+
+func TestCloseAndErrorRoundTrip(t *testing.T) {
+	s, err := ParseCloseSession(AppendCloseSession(nil, 77))
+	if err != nil || s != 77 {
+		t.Fatalf("ParseCloseSession = %d, %v", s, err)
+	}
+	s, err = ParseSessionClosed(AppendSessionClosed(nil, 77))
+	if err != nil || s != 77 {
+		t.Fatalf("ParseSessionClosed = %d, %v", s, err)
+	}
+	code, msg, err := ParseError(AppendError(nil, CodeDraining, "server draining"))
+	if err != nil || code != CodeDraining || msg != "server draining" {
+		t.Fatalf("ParseError = %v, %q, %v", code, msg, err)
+	}
+}
+
+func TestTrailingBytesAreMalformed(t *testing.T) {
+	checks := []func([]byte) error{
+		func(p []byte) error { _, err := ParseHello(p); return err },
+		func(p []byte) error { _, err := ParseOpenSession(p); return err },
+		func(p []byte) error { _, err := ParseSessionOpened(p); return err },
+		func(p []byte) error { _, _, err := ParseSubmit(p); return err },
+		func(p []byte) error { _, _, err := ParseSubmitBatch(p); return err },
+		func(p []byte) error { _, _, err := ParsePredictAt(p); return err },
+		func(p []byte) error { _, _, err := ParsePredictSequence(p); return err },
+		func(p []byte) error { _, _, err := ParsePrediction(p); return err },
+		func(p []byte) error { _, err := ParsePredictions(p); return err },
+		func(p []byte) error { _, err := ParseHealth(p); return err },
+		func(p []byte) error { _, err := ParseHealthInfo(p); return err },
+		func(p []byte) error { _, err := ParseCloseSession(p); return err },
+		func(p []byte) error { _, _, err := ParseError(p); return err },
+	}
+	bodies := [][]byte{
+		AppendHello(nil),
+		AppendOpenSession(nil, OpenSession{TID: 1, Tenant: "x"}),
+		AppendSessionOpened(nil, SessionOpened{Session: 1}),
+		AppendSubmit(nil, 1, 2),
+		AppendSubmitBatch(nil, 1, []int32{2}),
+		AppendPredictAt(nil, 1, 2),
+		AppendPredictSequence(nil, 1, 2),
+		AppendPrediction(nil, predictor.Prediction{}, true),
+		AppendPredictions(nil, []predictor.Prediction{{}}),
+		AppendHealth(nil, "x"),
+		AppendHealthInfo(nil, HealthInfo{}),
+		AppendCloseSession(nil, 1),
+		AppendError(nil, CodeInternal, "x"),
+	}
+	for i, check := range checks {
+		if err := check(append(bodies[i], 0)); err == nil {
+			t.Fatalf("parser %d accepted trailing byte", i)
+		}
+		if err := check(bodies[i]); err != nil {
+			t.Fatalf("parser %d rejected its own encoding: %v", i, err)
+		}
+	}
+}
+
+func TestEncodeZeroAllocWithReusedBuffer(t *testing.T) {
+	buf := make([]byte, 0, 256)
+	ids := []int32{1, 2, 3, 4}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendSubmit(buf[:0], 1, 2)
+		buf = AppendSubmitBatch(buf[:0], 1, ids)
+		buf = AppendPredictAt(buf[:0], 1, 16)
+		buf = AppendPrediction(buf[:0], predictor.Prediction{EventID: 1}, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path encoders allocated %v/op with a reused buffer", allocs)
+	}
+}
+
+func TestDecodeZeroAllocOnHotPath(t *testing.T) {
+	submit := AppendSubmit(nil, 1, 2)
+	batch := AppendSubmitBatch(nil, 1, []int32{1, 2, 3, 4})
+	predictAt := AppendPredictAt(nil, 1, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := ParseSubmit(submit); err != nil {
+			t.Fatal(err)
+		}
+		if _, b, err := ParseSubmitBatch(batch); err != nil || b.Len() != 4 {
+			t.Fatal(err)
+		}
+		if _, _, err := ParsePredictAt(predictAt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path decoders allocated %v/op", allocs)
+	}
+}

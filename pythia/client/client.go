@@ -1,0 +1,630 @@
+// Package client is the remote counterpart of the pythia package: it
+// speaks the pythiad wire protocol and exposes the same Oracle/Thread
+// method set as the in-process library, so a runtime swaps local for
+// remote predictions with one constructor change:
+//
+//	o, err := pythia.LoadOracle("bt.small.pythia", pythia.Config{})   // local
+//	o, err := client.Connect("oracle:9137", "bt.small", client.Config{}) // remote
+//
+// Everything after the constructor is identical — Intern, Thread, Submit,
+// PredictAt, PredictSequence, PredictDurationUntil, Health — and the
+// predictions themselves are bit-identical to an in-process oracle replaying
+// the same event stream (the protocol ships float fields as raw IEEE-754
+// bits and the client interns against the server's own event table).
+//
+// Like the in-process oracle, the remote one fails open: a dead daemon or a
+// torn connection never panics or blocks the host runtime — Submit becomes
+// a no-op, predictions return ok=false, and Health reports Degraded with
+// the transport cause.
+//
+// Submissions are pipelined: Thread.Submit buffers locally and ships a
+// one-way SubmitBatch frame when the buffer fills or a prediction needs the
+// stream position to be current, so the per-event cost stays far below a
+// network round trip.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/events"
+	"repro/internal/wire"
+	"repro/pythia"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultDialTimeout    = 5 * time.Second
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultSubmitFlush    = 64
+)
+
+// Config tunes a client connection; the zero value selects defaults.
+type Config struct {
+	// DialTimeout bounds connection establishment plus the protocol
+	// handshake. 0 means DefaultDialTimeout.
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request/response round trip (and each
+	// one-way batch write). 0 means DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// SubmitFlush is the number of buffered submissions that triggers a
+	// one-way SubmitBatch flush. 0 means DefaultSubmitFlush; 1 disables
+	// batching.
+	SubmitFlush int
+	// Predict is accepted for constructor symmetry with the in-process
+	// oracle; prediction tuning lives server-side, so it is ignored.
+	Predict pythia.Config
+}
+
+// RemoteError is a protocol Error frame returned by the server as the
+// response to a request.
+type RemoteError struct {
+	Code wire.Code
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("pythiad: %s: %s", e.Code, e.Msg)
+}
+
+// errClosed is the sticky error of an explicitly closed client.
+var errClosed = errors.New("client: closed")
+
+// Client is one connection to a pythiad daemon. It is safe for concurrent
+// use; request/response cycles are serialized internally. A transport
+// failure is sticky: every later operation fails open until the client is
+// re-dialed.
+type Client struct {
+	cfg Config
+
+	mu  sync.Mutex
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	err error  // sticky transport/protocol failure
+	buf []byte // frame read buffer
+	out []byte // payload encode buffer
+}
+
+// Dial connects to a pythiad daemon and performs the protocol handshake.
+func Dial(addr string, cfg Config) (*Client, error) {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.SubmitFlush <= 0 {
+		cfg.SubmitFlush = DefaultSubmitFlush
+	}
+	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
+	}
+	c := &Client{
+		cfg: cfg,
+		nc:  nc,
+		br:  bufio.NewReader(nc),
+		bw:  bufio.NewWriter(nc),
+		buf: make([]byte, 0, 4096),
+		out: make([]byte, 0, 1024),
+	}
+	if err := c.handshake(); err != nil {
+		if cerr := nc.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) handshake() error {
+	if err := c.nc.SetDeadline(time.Now().Add(c.cfg.DialTimeout)); err != nil {
+		return fmt.Errorf("client: handshake deadline: %w", err)
+	}
+	c.out = wire.AppendHello(c.out[:0])
+	if err := wire.WriteFrame(c.bw, wire.THello, c.out); err != nil {
+		return fmt.Errorf("client: hello: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("client: hello: %w", err)
+	}
+	t, payload, err := wire.ReadFrame(c.br, &c.buf)
+	if err != nil {
+		return fmt.Errorf("client: hello response: %w", err)
+	}
+	if t == wire.TError {
+		code, msg, perr := wire.ParseError(payload)
+		if perr != nil {
+			return fmt.Errorf("client: hello response: %w", perr)
+		}
+		return &RemoteError{Code: code, Msg: msg}
+	}
+	if t != wire.THelloOK {
+		return fmt.Errorf("client: hello response: unexpected %s frame", t)
+	}
+	v, err := wire.ParseHelloOK(payload)
+	if err != nil {
+		return fmt.Errorf("client: hello response: %w", err)
+	}
+	if v != wire.Version {
+		return fmt.Errorf("client: server speaks protocol version %d, this client version %d", v, wire.Version)
+	}
+	return c.nc.SetDeadline(time.Time{})
+}
+
+// Close flushes and closes the connection. Further operations fail open.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if errors.Is(c.err, errClosed) {
+		return nil
+	}
+	ferr := c.bw.Flush()
+	cerr := c.nc.Close()
+	c.err = errClosed
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// Err returns the sticky transport error, nil while the connection is
+// healthy. A load generator checks this once at the end of a run instead
+// of instrumenting every call.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if errors.Is(c.err, errClosed) {
+		return nil
+	}
+	return c.err
+}
+
+// fail latches the first transport failure; the caller holds c.mu.
+func (c *Client) fail(err error) error {
+	if c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// note is fail for callers that already have an error path of their own.
+func (c *Client) note(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// writeOneWay ships a frame that expects no response. Caller holds c.mu.
+func (c *Client) writeOneWay(t wire.Type, payload []byte) error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout)); err != nil {
+		return c.fail(err)
+	}
+	if err := wire.WriteFrame(c.bw, t, payload); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// roundTrip ships a request and reads its response, which must be either
+// want or an Error frame. The returned payload aliases the client's read
+// buffer: parse it before releasing c.mu. Caller holds c.mu.
+func (c *Client) roundTrip(t wire.Type, payload []byte, want wire.Type) ([]byte, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
+	if err := c.nc.SetDeadline(deadline); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := wire.WriteFrame(c.bw, t, payload); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+	rt, resp, err := wire.ReadFrame(c.br, &c.buf)
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	if rt == wire.TError {
+		code, msg, perr := wire.ParseError(resp)
+		if perr != nil {
+			return nil, c.fail(perr)
+		}
+		// An Error response keeps request/response pairing intact; the
+		// connection stays usable, so the failure is not sticky.
+		return nil, &RemoteError{Code: code, Msg: msg}
+	}
+	if rt != want {
+		return nil, c.fail(fmt.Errorf("client: expected %s response, got %s", want, rt))
+	}
+	return resp, nil
+}
+
+// openSession opens one (tenant, tid) session. Caller holds c.mu.
+func (c *Client) openSession(tenant string, tid int32, flags uint8) (wire.SessionOpened, error) {
+	c.out = wire.AppendOpenSession(c.out[:0], wire.OpenSession{TID: tid, Flags: flags, Tenant: tenant})
+	resp, err := c.roundTrip(wire.TOpenSession, c.out, wire.TSessionOpened)
+	if err != nil {
+		return wire.SessionOpened{}, err
+	}
+	so, err := wire.ParseSessionOpened(resp)
+	if err != nil {
+		return wire.SessionOpened{}, c.fail(err)
+	}
+	return so, nil
+}
+
+// Oracle opens a remote oracle over one tenant (a named trace in the
+// daemon's trace directory). The returned Oracle mirrors the in-process
+// pythia.Oracle API. Multiple oracles may share one client.
+func (c *Client) Oracle(tenant string) (*Oracle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The meta session (tid -1) pins the tenant in the daemon's store for
+	// the life of this connection and fetches the event table the trace
+	// was recorded with, so local interning assigns the same IDs the
+	// server-side registry holds.
+	so, err := c.openSession(tenant, -1, wire.FlagWantEvents)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := events.FromNames(so.Events)
+	if err != nil {
+		return nil, c.fail(fmt.Errorf("client: tenant %q event table: %w", tenant, err))
+	}
+	return &Oracle{
+		c:       c,
+		tenant:  tenant,
+		reg:     reg,
+		meta:    so.Session,
+		threads: make(map[int32]*Thread),
+	}, nil
+}
+
+// Connect dials a daemon and opens one tenant's oracle in one call — the
+// remote equivalent of pythia.LoadOracle. Closing the oracle closes the
+// connection.
+func Connect(addr, tenant string, cfg Config) (*Oracle, error) {
+	c, err := Dial(addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	o, err := c.Oracle(tenant)
+	if err != nil {
+		if cerr := c.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
+	}
+	o.owned = true
+	return o, nil
+}
+
+// Oracle is a remote predicting oracle over one tenant. Like the
+// in-process Oracle it is safe for concurrent Thread lookup and interning,
+// and each Thread handle must be used by one goroutine at a time.
+type Oracle struct {
+	c      *Client
+	tenant string
+	reg    *events.Registry
+	meta   uint32
+	owned  bool // Connect-created: Close closes the client too
+
+	mu      sync.Mutex
+	threads map[int32]*Thread
+	openErr error // first session-open refusal, surfaced via Health
+}
+
+// Tenant returns the tenant name this oracle serves.
+func (o *Oracle) Tenant() string { return o.tenant }
+
+// Close closes the oracle's meta session (releasing the daemon-side tenant
+// pin) and, for Connect-created oracles, the underlying connection.
+func (o *Oracle) Close() error {
+	o.c.mu.Lock()
+	o.c.out = wire.AppendCloseSession(o.c.out[:0], o.meta)
+	_, err := o.c.roundTrip(wire.TCloseSession, o.c.out, wire.TSessionClosed)
+	o.c.mu.Unlock()
+	if o.owned {
+		cerr := o.c.Close()
+		if err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Intern returns the event ID for a key point name, optionally
+// discriminated by payload values. IDs are assigned exactly as the
+// server-side registry assigned them when the trace was recorded, so a
+// submitted ID means the same event on both ends; names the trace has
+// never seen get fresh local IDs that the server treats as unknown events,
+// exactly like an in-process predicting oracle.
+func (o *Oracle) Intern(name string, args ...int64) pythia.ID {
+	return o.reg.InternArgs(name, args...)
+}
+
+// Lookup resolves an already-interned descriptor without creating it.
+func (o *Oracle) Lookup(name string, args ...int64) pythia.ID {
+	return o.reg.Lookup(name, args...)
+}
+
+// EventName returns the descriptor of an event ID.
+func (o *Oracle) EventName(id pythia.ID) string { return o.reg.Name(id) }
+
+// Recording reports whether the oracle is recording; remote oracles only
+// predict.
+func (o *Oracle) Recording() bool { return false }
+
+// noteOpenErr records the first session-open refusal for Health.
+func (o *Oracle) noteOpenErr(err error) {
+	o.mu.Lock()
+	if o.openErr == nil {
+		o.openErr = err
+	}
+	o.mu.Unlock()
+}
+
+// Thread returns the oracle handle for thread tid, creating it on first
+// use. The handle is never nil; if the remote session cannot be opened the
+// handle is inert and the oracle reports Degraded.
+func (o *Oracle) Thread(tid int32) *Thread {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if t, ok := o.threads[tid]; ok {
+		return t
+	}
+	t := &Thread{
+		o:       o,
+		tid:     tid,
+		pending: make([]int32, 0, o.c.cfg.SubmitFlush),
+	}
+	o.threads[tid] = t
+	return t
+}
+
+// flushAll ships every thread's buffered submissions, so a Health snapshot
+// reflects everything submitted so far. Caller must NOT hold c.mu.
+func (o *Oracle) flushAll() {
+	o.mu.Lock()
+	threads := make([]*Thread, 0, len(o.threads))
+	for _, t := range o.threads {
+		threads = append(threads, t)
+	}
+	o.mu.Unlock()
+	for _, t := range threads {
+		t.Flush()
+	}
+}
+
+// Health returns the tenant's aggregate degradation state as reported by
+// the daemon, folded with any client-side failure: a broken transport or a
+// refused session means predictions are not being served, which is a
+// Degraded condition here even though the daemon may be healthy.
+func (o *Oracle) Health() pythia.Health {
+	o.flushAll()
+	c := o.c
+	c.mu.Lock()
+	c.out = wire.AppendHealth(c.out[:0], o.tenant)
+	resp, err := c.roundTrip(wire.THealth, c.out, wire.THealthInfo)
+	var hi wire.HealthInfo
+	if err == nil {
+		hi, err = wire.ParseHealthInfo(resp)
+		if err != nil {
+			err = c.fail(err)
+		}
+	}
+	c.mu.Unlock()
+
+	var h pythia.Health
+	if err != nil {
+		h.State = pythia.Degraded
+		h.Cause = "client: " + err.Error()
+		return h
+	}
+	h.State = stateFromWire(hi.State)
+	h.Cause = hi.Cause
+	h.PanicsContained = hi.PanicsContained
+	h.BudgetBreaches = hi.BudgetBreaches
+	h.QuarantinedThreads = hi.QuarantinedThreads
+	h.CheckpointFailures = hi.CheckpointFailures
+	o.mu.Lock()
+	openErr := o.openErr
+	o.mu.Unlock()
+	if openErr != nil && h.State == pythia.Healthy {
+		h.State = pythia.Degraded
+		h.Cause = "client: " + openErr.Error()
+	}
+	return h
+}
+
+// stateFromWire maps a wire degradation state back onto the library's.
+func stateFromWire(st uint8) pythia.State {
+	switch st {
+	case wire.StateDegraded:
+		return pythia.Degraded
+	case wire.StateQuarantined:
+		return pythia.Quarantined
+	default:
+		return pythia.Healthy
+	}
+}
+
+// Thread is the per-thread handle of a remote oracle, mirroring
+// pythia.Thread: Submit, PredictAt, PredictSequence, PredictDurationUntil,
+// StartAtBeginning. One goroutine per handle, like the in-process library.
+type Thread struct {
+	o   *Oracle
+	tid int32
+
+	sid       uint32
+	opened    bool
+	startFlag bool // StartAtBeginning before the session exists
+	inert     bool // session refused; fail open
+	pending   []int32
+}
+
+// TID returns the thread identifier.
+func (t *Thread) TID() int32 { return t.tid }
+
+// ensureOpen opens the remote session on first use. Caller holds c.mu.
+func (t *Thread) ensureOpen(c *Client) bool {
+	if t.opened {
+		return true
+	}
+	if t.inert || c.err != nil {
+		return false
+	}
+	var flags uint8
+	if t.startFlag {
+		flags |= wire.FlagStartAtBeginning
+	}
+	so, err := c.openSession(t.o.tenant, t.tid, flags)
+	if err != nil {
+		// Refused (draining, session limit, …): the thread fails open and
+		// stays inert; the refusal is visible through Oracle.Health.
+		t.inert = true
+		t.o.noteOpenErr(err)
+		return false
+	}
+	t.sid = so.Session
+	t.opened = true
+	t.startFlag = false
+	return true
+}
+
+// flushLocked ships buffered submissions as one SubmitBatch. Caller holds
+// c.mu.
+func (t *Thread) flushLocked(c *Client) {
+	if len(t.pending) == 0 {
+		return
+	}
+	if !t.ensureOpen(c) {
+		t.pending = t.pending[:0]
+		return
+	}
+	c.out = wire.AppendSubmitBatch(c.out[:0], t.sid, t.pending)
+	if err := c.writeOneWay(wire.TSubmitBatch, c.out); err != nil {
+		c.note(err)
+	}
+	t.pending = t.pending[:0]
+}
+
+// Flush ships any buffered submissions now. Predictions flush implicitly;
+// Flush exists for hosts that want the server-side stream position current
+// before a quiet period.
+func (t *Thread) Flush() {
+	c := t.o.c
+	c.mu.Lock()
+	t.flushLocked(c)
+	c.mu.Unlock()
+}
+
+// Submit notifies the oracle of an event. Submissions are buffered and
+// shipped in one-way batches; a prediction on this thread flushes first,
+// so the oracle always answers against the full submitted stream.
+func (t *Thread) Submit(id pythia.ID) {
+	if t.inert {
+		return
+	}
+	t.pending = append(t.pending, int32(id))
+	if len(t.pending) >= cap(t.pending) {
+		t.Flush()
+	}
+}
+
+// StartAtBeginning seeds prediction at the start of the reference trace.
+func (t *Thread) StartAtBeginning() {
+	c := t.o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !t.opened {
+		t.startFlag = true
+		return
+	}
+	// Mid-stream restart: flush what came before, then close and reopen
+	// the session with the start flag. The daemon keeps one oracle thread
+	// per (tenant, tid) per connection, so the reopened session continues
+	// on the same thread — exactly the in-process StartAtBeginning.
+	t.flushLocked(c)
+	c.out = wire.AppendCloseSession(c.out[:0], t.sid)
+	if _, err := c.roundTrip(wire.TCloseSession, c.out, wire.TSessionClosed); err != nil {
+		t.inert = true
+		t.o.noteOpenErr(err)
+		return
+	}
+	t.opened = false
+	t.startFlag = true
+	t.ensureOpen(c)
+}
+
+// PredictAt predicts the event distance events from now. ok is false when
+// the oracle has no answer — including when the daemon is unreachable.
+func (t *Thread) PredictAt(distance int) (pythia.Prediction, bool) {
+	c := t.o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.flushLocked(c)
+	if !t.ensureOpen(c) {
+		return pythia.Prediction{}, false
+	}
+	c.out = wire.AppendPredictAt(c.out[:0], t.sid, distance)
+	resp, err := c.roundTrip(wire.TPredictAt, c.out, wire.TPrediction)
+	if err != nil {
+		return pythia.Prediction{}, false
+	}
+	pr, ok, perr := wire.ParsePrediction(resp)
+	if perr != nil {
+		c.note(perr)
+		return pythia.Prediction{}, false
+	}
+	return pr, ok
+}
+
+// PredictSequence predicts the next n events (step i has Distance i+1).
+func (t *Thread) PredictSequence(n int) []pythia.Prediction {
+	c := t.o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.flushLocked(c)
+	if !t.ensureOpen(c) {
+		return nil
+	}
+	c.out = wire.AppendPredictSequence(c.out[:0], t.sid, n)
+	resp, err := c.roundTrip(wire.TPredictSequence, c.out, wire.TPredictions)
+	if err != nil {
+		return nil
+	}
+	preds, perr := wire.ParsePredictions(resp)
+	if perr != nil {
+		c.note(perr)
+		return nil
+	}
+	return preds
+}
+
+// PredictDurationUntil predicts the time until the next occurrence of the
+// event, looking at most maxDistance events ahead. It is computed from one
+// PredictSequence round trip; the result is bit-identical to the
+// in-process method, which scans the same per-step predictions.
+func (t *Thread) PredictDurationUntil(id pythia.ID, maxDistance int) (pythia.Prediction, bool) {
+	if maxDistance < 1 {
+		return pythia.Prediction{}, false
+	}
+	for _, pr := range t.PredictSequence(maxDistance) {
+		if pr.EventID == int32(id) {
+			return pr, true
+		}
+	}
+	return pythia.Prediction{}, false
+}

@@ -1,0 +1,133 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+	"repro/pythia"
+)
+
+// fakeDaemon accepts one connection, answers the handshake and the meta
+// OpenSession, then abruptly closes — simulating a daemon dying mid-run.
+func fakeDaemon(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := ln.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			t.Logf("closing listener: %v", err)
+		}
+	})
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		br := bufio.NewReader(nc)
+		bw := bufio.NewWriter(nc)
+		var buf []byte
+		fail := func(err error) {
+			if cerr := nc.Close(); cerr != nil {
+				t.Logf("fake daemon close: %v", cerr)
+			}
+		}
+		if typ, _, err := wire.ReadFrame(br, &buf); err != nil || typ != wire.THello {
+			fail(err)
+			return
+		}
+		if err := wire.WriteFrame(bw, wire.THelloOK, wire.AppendHelloOK(nil)); err != nil {
+			fail(err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			fail(err)
+			return
+		}
+		if typ, _, err := wire.ReadFrame(br, &buf); err != nil || typ != wire.TOpenSession {
+			fail(err)
+			return
+		}
+		so := wire.SessionOpened{Session: 0, Events: []string{"a", "b"}}
+		if err := wire.WriteFrame(bw, wire.TSessionOpened, wire.AppendSessionOpened(nil, so)); err != nil {
+			fail(err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			fail(err)
+			return
+		}
+		// Die without warning.
+		if err := nc.Close(); err != nil {
+			t.Logf("fake daemon close: %v", err)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestFailOpenOnDeadDaemon: once the transport dies, the remote oracle
+// must mirror the library's fail-open contract — Submit is a no-op,
+// predictions return ok=false, Health reports Degraded — and every call
+// must return promptly instead of hanging the host runtime.
+func TestFailOpenOnDeadDaemon(t *testing.T) {
+	addr := fakeDaemon(t)
+	o, err := Connect(addr, "synth", Config{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	if id := o.Intern("a"); id != 0 {
+		t.Fatalf("Intern(a) = %d, want 0 (server table order)", id)
+	}
+	if id := o.Intern("zzz"); id != 2 {
+		t.Fatalf("Intern(zzz) = %d, want 2 (fresh id past the table)", id)
+	}
+	if name := o.EventName(1); name != "b" {
+		t.Fatalf("EventName(1) = %q, want b", name)
+	}
+
+	th := o.Thread(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			th.Submit(o.Intern("a")) // flushes hit the dead socket
+		}
+		if _, ok := th.PredictAt(1); ok {
+			t.Error("PredictAt succeeded on a dead connection")
+		}
+		if preds := th.PredictSequence(4); preds != nil {
+			t.Errorf("PredictSequence returned %v on a dead connection", preds)
+		}
+		if _, ok := th.PredictDurationUntil(0, 8); ok {
+			t.Error("PredictDurationUntil succeeded on a dead connection")
+		}
+		if h := o.Health(); h.State != pythia.Degraded {
+			t.Errorf("health on dead connection = %s, want degraded", h.State)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("fail-open path blocked the caller")
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	// A port with no listener: Dial must fail fast with an error, not hang.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := Dial(addr, Config{DialTimeout: time.Second}); err == nil {
+		t.Fatal("Dial of a closed port succeeded")
+	}
+}

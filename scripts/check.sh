@@ -9,7 +9,8 @@
 #   4. go test      — the full unit suite
 #   5. go test -race — concurrency-sensitive packages under the race detector
 #   6. fuzz smoke   — FuzzGrammarInvariants, FuzzDigramIndexDiff,
-#                     FuzzPredictNoisy and FuzzRecoverJournal briefly
+#                     FuzzPredictNoisy, FuzzRecoverJournal and
+#                     FuzzWireDecode briefly
 #   7. pythia-vet   — the repo's own static-analysis pass (see cmd/pythia-vet)
 #
 # With --chaos, additionally runs the fault-injection chaos suite
@@ -19,17 +20,21 @@
 # torn writes, and under a real SIGKILL) and whose journals must salvage.
 # CI gates on this in its own job. With --bench, additionally runs
 # scripts/bench.sh (hot-path benchmarks, refreshing BENCH_PR2.json).
-# Benchmarks are not part of the gating suite.
+# With --serve, additionally runs scripts/serve-smoke.sh (pythiad +
+# pythia-loadgen end to end, including a SIGTERM drain). Benchmarks and the
+# serve smoke are not part of the gating suite.
 set -u
 
 cd "$(dirname "$0")/.."
 
 run_bench=0
 run_chaos=0
+run_serve=0
 for arg in "$@"; do
     case "${arg}" in
         --bench) run_bench=1 ;;
         --chaos) run_chaos=1 ;;
+        --serve) run_serve=1 ;;
         *) echo "check.sh: unknown argument ${arg}" >&2; exit 2 ;;
     esac
 done
@@ -68,6 +73,8 @@ step "fuzz smoke (FuzzPredictNoisy)" \
     go test -fuzz FuzzPredictNoisy -fuzztime=5s -run '^$' ./pythia/
 step "fuzz smoke (FuzzRecoverJournal)" \
     go test -fuzz FuzzRecoverJournal -fuzztime=5s -run '^$' ./internal/tracefile/
+step "fuzz smoke (FuzzWireDecode)" \
+    go test -fuzz FuzzWireDecode -fuzztime=5s -run '^$' ./internal/wire/
 step "pythia-vet" go run ./cmd/pythia-vet ./...
 
 if [ "${run_chaos}" -eq 1 ]; then
@@ -77,6 +84,10 @@ fi
 
 if [ "${run_bench}" -eq 1 ]; then
     step "bench (non-gating)" ./scripts/bench.sh
+fi
+
+if [ "${run_serve}" -eq 1 ]; then
+    step "serve smoke (pythiad + loadgen, non-gating)" ./scripts/serve-smoke.sh
 fi
 
 if [ "${failures}" -ne 0 ]; then

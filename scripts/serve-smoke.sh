@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — end-to-end smoke test of the network service: record a
+# small trace, start pythiad on an ephemeral port, drive it with
+# pythia-loadgen (8 concurrent clients, zero protocol errors tolerated),
+# then SIGTERM the daemon and require a clean graceful drain.
+#
+# Run directly or via `scripts/check.sh --serve`. Non-gating in CI (shared
+# runners make the daemon timing noisy) but must pass locally.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "${daemon_pid}" ] && kill -0 "${daemon_pid}" 2>/dev/null; then
+        kill -9 "${daemon_pid}" 2>/dev/null || true
+    fi
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+echo "==> building pythia-record, pythiad, pythia-loadgen"
+go build -o "${workdir}/pythia-record" ./cmd/pythia-record
+go build -o "${workdir}/pythiad" ./cmd/pythiad
+go build -o "${workdir}/pythia-loadgen" ./cmd/pythia-loadgen
+
+echo "==> recording EP.small"
+mkdir "${workdir}/traces"
+"${workdir}/pythia-record" -app EP -class small -o "${workdir}/traces/EP.pythia" >/dev/null
+
+echo "==> starting pythiad"
+# Port 0 asks the kernel for a free port; parse the bound address from the
+# daemon's "listening on" line.
+"${workdir}/pythiad" -listen 127.0.0.1:0 -traces "${workdir}/traces" \
+    >"${workdir}/pythiad.out" 2>"${workdir}/pythiad.err" &
+daemon_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^pythiad: listening on \([^ ]*\).*/\1/p' "${workdir}/pythiad.out")
+    if [ -n "${addr}" ]; then break; fi
+    if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+        echo "serve-smoke: pythiad died during startup" >&2
+        cat "${workdir}/pythiad.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "${addr}" ]; then
+    echo "serve-smoke: pythiad never reported its address" >&2
+    exit 1
+fi
+echo "    pythiad on ${addr} (pid ${daemon_pid})"
+
+echo "==> loadgen: 8 clients replaying EP.small"
+# EP.small streams are short, so predict every 4 events to make sure the
+# smoke exercises the PredictAt round trip and not just Submit batching.
+"${workdir}/pythia-loadgen" -addr "${addr}" -tenant EP -app EP -class small \
+    -clients 8 -predict-every 4 -distance 4
+
+echo "==> draining pythiad (SIGTERM)"
+kill -TERM "${daemon_pid}"
+drained=1
+for _ in $(seq 1 100); do
+    if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+        drained=0
+        break
+    fi
+    sleep 0.1
+done
+if [ "${drained}" -ne 0 ]; then
+    echo "serve-smoke: pythiad did not exit within 10s of SIGTERM" >&2
+    exit 1
+fi
+wait "${daemon_pid}" 2>/dev/null || {
+    echo "serve-smoke: pythiad exited non-zero after SIGTERM" >&2
+    cat "${workdir}/pythiad.err" >&2
+    exit 1
+}
+daemon_pid=""
+if ! grep -q "drained, exiting" "${workdir}/pythiad.out"; then
+    echo "serve-smoke: drain confirmation missing from pythiad output" >&2
+    cat "${workdir}/pythiad.out" >&2
+    exit 1
+fi
+echo "serve-smoke: ok"
