@@ -118,28 +118,33 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // accept admits or refuses one fresh connection under the connection cap.
+// Admission — the drain check, conns registration, and wg.Add — happens
+// atomically under s.mu, the same mutex drain holds while it flips the
+// flag and snapshots s.conns. Either this connection is admitted before
+// the snapshot (so drain deadlines and wg.Wait cover it), or it observes
+// draining and is refused; it can never slip between wg.Wait and the
+// force-close sweep.
 func (s *Server) accept(nc net.Conn) {
 	c := newConn(s, nc)
 	s.mu.Lock()
+	draining := s.draining.Load()
 	over := s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns
-	if !over {
+	admitted := !draining && !over
+	if admitted {
 		s.conns[c] = struct{}{}
+		s.wg.Add(1)
 	}
 	s.mu.Unlock()
-	if over || s.draining.Load() {
+	if !admitted {
 		// Refuse, never stall: one Error frame, then close. The handshake
 		// is skipped on purpose — a refused client must not wait for it.
 		code, msg := wire.CodeConnLimit, "connection limit reached"
-		if s.draining.Load() {
+		if draining {
 			code, msg = wire.CodeDraining, "server draining"
-		}
-		if !over {
-			s.dropConn(c)
 		}
 		c.refuse(code, msg)
 		return
 	}
-	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		c.serve()
@@ -165,8 +170,11 @@ func (s *Server) Shutdown() error {
 }
 
 func (s *Server) drain() error {
-	s.draining.Store(true)
 	s.mu.Lock()
+	// The flag flips under s.mu so it serializes with accept's admission:
+	// every connection already in s.conns gets a drain deadline below, and
+	// no new one can be admitted after this snapshot.
+	s.draining.Store(true)
 	ln := s.ln
 	deadline := time.Now().Add(s.cfg.DrainTimeout)
 	for c := range s.conns {
@@ -446,6 +454,16 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		th, perr := c.threadOf(sid)
 		if perr != nil {
 			return perr
+		}
+		// n comes off the wire: clamp it to what one response frame can
+		// carry, so an 8-byte request cannot demand a multi-GiB prediction
+		// buffer (the core allocates the full horizon up front). Shorter-
+		// than-asked results are already in the method's contract — the
+		// in-process oracle truncates at the end of the reference trace.
+		if n < 0 {
+			n = 0
+		} else if n > wire.MaxPredictions {
+			n = wire.MaxPredictions
 		}
 		preds := th.PredictSequence(n)
 		c.out = wire.AppendPredictions(c.out[:0], preds)

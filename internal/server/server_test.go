@@ -661,6 +661,84 @@ func TestProtocolFatalErrors(t *testing.T) {
 	})
 }
 
+// TestPredictSequenceCountClamped: the count in a PredictSequence frame is
+// attacker-controlled; the server must clamp it to what one response frame
+// can carry instead of letting an 8-byte request demand a multi-GiB
+// prediction buffer. Negative counts must answer an empty sequence, not
+// panic the oracle.
+func TestPredictSequenceCountClamped(t *testing.T) {
+	dir := t.TempDir()
+	synthTrace(t, dir, "synth", 64)
+	_, addr := startServer(t, Config{TraceDir: dir})
+
+	c := dialRaw(t, addr)
+	sid := c.openSession("synth", 0, wire.FlagStartAtBeginning)
+
+	for _, n := range []int{math.MaxInt32, wire.MaxPredictions + 1, -1, math.MinInt32} {
+		c.send(wire.TPredictSequence, wire.AppendPredictSequence(nil, sid, n))
+		typ, payload := c.recv()
+		if typ != wire.TPredictions {
+			t.Fatalf("n=%d: expected Predictions, got %s", n, typ)
+		}
+		preds, err := wire.ParsePredictions(payload)
+		if err != nil {
+			t.Fatalf("n=%d: parsing Predictions: %v", n, err)
+		}
+		if len(preds) > wire.MaxPredictions {
+			t.Fatalf("n=%d: %d predictions, past the frame bound", n, len(preds))
+		}
+		if n < 0 && len(preds) != 0 {
+			t.Fatalf("n=%d: %d predictions, want none", n, len(preds))
+		}
+	}
+	// The connection is still usable afterwards.
+	c.send(wire.TPredictAt, wire.AppendPredictAt(nil, sid, 1))
+	if typ, _ := c.recv(); typ != wire.TPrediction {
+		t.Fatalf("after clamped requests: expected Prediction, got %s", typ)
+	}
+}
+
+// TestConcurrentSubmitAndHealth: the remote oracle advertises the same
+// concurrency contract as the in-process one — Health from a monitoring
+// goroutine while another goroutine submits. Run with -race this guards
+// the client's submit buffer handoff.
+func TestConcurrentSubmitAndHealth(t *testing.T) {
+	dir := t.TempDir()
+	names := synthTrace(t, dir, "synth", 256)
+	_, addr := startServer(t, Config{TraceDir: dir})
+
+	o, err := client.Connect(addr, "synth", client.Config{})
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer func() {
+		if err := o.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	th := o.Thread(0)
+	th.StartAtBeginning()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Stay within the reference trace (256 reps × 4 events) so the
+		// divergence watchdog has no reason to fire.
+		for i := 0; i < 1000; i++ {
+			th.Submit(o.Intern(names[i%len(names)]))
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if h := o.Health(); h.State != pythia.Healthy {
+			t.Fatalf("health mid-run = %s (%s), want healthy", h.State, h.Cause)
+		}
+	}
+	<-done
+	if _, ok := th.PredictAt(1); !ok {
+		t.Fatal("prediction failed after concurrent submit/health run")
+	}
+}
+
 func TestSanitizeTenant(t *testing.T) {
 	good := []string{"bt", "BT.small", "a-b_c.9"}
 	for _, name := range good {

@@ -48,6 +48,13 @@ const helloMagic uint32 = 0x50595448
 // length prefix cannot drive an oversized allocation.
 const MaxFrame = 1 << 22
 
+// MaxPredictions is the largest PredictSequence count whose response still
+// fits in one frame: each prediction is 24 bytes, after the count word and
+// the frame type byte. Servers clamp the requested count to this bound so
+// a hostile 8-byte request frame cannot demand an unbounded allocation —
+// the same guarantee MaxFrame gives on the decode side.
+const MaxPredictions = (MaxFrame - 5) / 24
+
 // Type identifies a frame.
 type Type uint8
 

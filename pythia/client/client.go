@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/events"
@@ -81,13 +82,14 @@ var errClosed = errors.New("client: closed")
 type Client struct {
 	cfg Config
 
-	mu  sync.Mutex
-	nc  net.Conn
-	br  *bufio.Reader
-	bw  *bufio.Writer
-	err error  // sticky transport/protocol failure
-	buf []byte // frame read buffer
-	out []byte // payload encode buffer
+	mu     sync.Mutex
+	nc     net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	err    error  // sticky transport/protocol failure
+	closed bool   // Close has run; operations fail open
+	buf    []byte // frame read buffer
+	out    []byte // payload encode buffer
 }
 
 // Dial connects to a pythiad daemon and performs the protocol handshake.
@@ -158,24 +160,30 @@ func (c *Client) handshake() error {
 }
 
 // Close flushes and closes the connection. Further operations fail open.
+// A transport failure latched before Close stays visible through Err — a
+// clean close must not erase the record that the run broke.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if errors.Is(c.err, errClosed) {
+	if c.closed {
 		return nil
 	}
+	c.closed = true
 	ferr := c.bw.Flush()
 	cerr := c.nc.Close()
-	c.err = errClosed
+	if c.err == nil {
+		c.err = errClosed
+	}
 	if ferr != nil {
 		return ferr
 	}
 	return cerr
 }
 
-// Err returns the sticky transport error, nil while the connection is
-// healthy. A load generator checks this once at the end of a run instead
-// of instrumenting every call.
+// Err returns the sticky transport error: nil while the connection is
+// healthy or after a clean Close, the original failure otherwise. A load
+// generator checks this once at the end of a run instead of instrumenting
+// every call.
 func (c *Client) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -393,8 +401,10 @@ func (o *Oracle) Thread(tid int32) *Thread {
 	return t
 }
 
-// flushAll ships every thread's buffered submissions, so a Health snapshot
-// reflects everything submitted so far. Caller must NOT hold c.mu.
+// flushAll drains every thread's buffered submissions into the write
+// buffer, so a Health snapshot reflects everything submitted so far; the
+// Health round trip itself pushes the frames onto the socket. Caller must
+// NOT hold c.mu.
 func (o *Oracle) flushAll() {
 	o.mu.Lock()
 	threads := make([]*Thread, 0, len(o.threads))
@@ -402,9 +412,12 @@ func (o *Oracle) flushAll() {
 		threads = append(threads, t)
 	}
 	o.mu.Unlock()
+	c := o.c
+	c.mu.Lock()
 	for _, t := range threads {
-		t.Flush()
+		t.flushLocked(c)
 	}
+	c.mu.Unlock()
 }
 
 // Health returns the tenant's aggregate degradation state as reported by
@@ -462,16 +475,27 @@ func stateFromWire(st uint8) pythia.State {
 
 // Thread is the per-thread handle of a remote oracle, mirroring
 // pythia.Thread: Submit, PredictAt, PredictSequence, PredictDurationUntil,
-// StartAtBeginning. One goroutine per handle, like the in-process library.
+// StartAtBeginning. One submitting goroutine per handle, like the
+// in-process library — but, also like the in-process library, Oracle.Health
+// (and Flush) may be called from another goroutine, so the submit buffer
+// carries its own lock.
 type Thread struct {
 	o   *Oracle
 	tid int32
 
+	// Session state, guarded by the client mutex c.mu.
 	sid       uint32
 	opened    bool
 	startFlag bool // StartAtBeginning before the session exists
-	inert     bool // session refused; fail open
-	pending   []int32
+
+	inert atomic.Bool // session refused; fail open
+
+	// pending is the submit buffer. Submit appends under pmu, and the
+	// flush path drains under pmu while holding c.mu, so a monitoring
+	// goroutine's Health/Flush never races the submitting goroutine.
+	// Lock order: c.mu before pmu — Submit releases pmu before flushing.
+	pmu     sync.Mutex
+	pending []int32
 }
 
 // TID returns the thread identifier.
@@ -482,7 +506,7 @@ func (t *Thread) ensureOpen(c *Client) bool {
 	if t.opened {
 		return true
 	}
-	if t.inert || c.err != nil {
+	if t.inert.Load() || c.err != nil {
 		return false
 	}
 	var flags uint8
@@ -493,7 +517,7 @@ func (t *Thread) ensureOpen(c *Client) bool {
 	if err != nil {
 		// Refused (draining, session limit, …): the thread fails open and
 		// stays inert; the refusal is visible through Oracle.Health.
-		t.inert = true
+		t.inert.Store(true)
 		t.o.noteOpenErr(err)
 		return false
 	}
@@ -503,30 +527,41 @@ func (t *Thread) ensureOpen(c *Client) bool {
 	return true
 }
 
-// flushLocked ships buffered submissions as one SubmitBatch. Caller holds
-// c.mu.
+// flushLocked drains the submit buffer into one SubmitBatch frame in the
+// write buffer; it does not flush the socket. Caller holds c.mu.
 func (t *Thread) flushLocked(c *Client) {
+	t.pmu.Lock()
 	if len(t.pending) == 0 {
+		t.pmu.Unlock()
 		return
 	}
 	if !t.ensureOpen(c) {
 		t.pending = t.pending[:0]
+		t.pmu.Unlock()
 		return
 	}
 	c.out = wire.AppendSubmitBatch(c.out[:0], t.sid, t.pending)
+	t.pending = t.pending[:0]
+	t.pmu.Unlock()
 	if err := c.writeOneWay(wire.TSubmitBatch, c.out); err != nil {
 		c.note(err)
 	}
-	t.pending = t.pending[:0]
 }
 
-// Flush ships any buffered submissions now. Predictions flush implicitly;
-// Flush exists for hosts that want the server-side stream position current
-// before a quiet period.
+// Flush ships any buffered submissions now, pushing them all the way onto
+// the socket. Predictions flush implicitly; Flush exists for hosts that
+// want the server-side stream position current before a quiet period, so
+// unlike the fill-triggered batching inside Submit it does not leave the
+// frame sitting in the write buffer.
 func (t *Thread) Flush() {
 	c := t.o.c
 	c.mu.Lock()
 	t.flushLocked(c)
+	if c.err == nil {
+		if err := c.bw.Flush(); err != nil {
+			c.note(err)
+		}
+	}
 	c.mu.Unlock()
 }
 
@@ -534,12 +569,21 @@ func (t *Thread) Flush() {
 // shipped in one-way batches; a prediction on this thread flushes first,
 // so the oracle always answers against the full submitted stream.
 func (t *Thread) Submit(id pythia.ID) {
-	if t.inert {
+	if t.inert.Load() {
 		return
 	}
+	t.pmu.Lock()
 	t.pending = append(t.pending, int32(id))
-	if len(t.pending) >= cap(t.pending) {
-		t.Flush()
+	full := len(t.pending) >= cap(t.pending)
+	t.pmu.Unlock()
+	if full {
+		// Fill-triggered: encode the batch frame but let it ride the write
+		// buffer out with the next round trip or explicit Flush — the
+		// pipelining that keeps per-event cost below a syscall.
+		c := t.o.c
+		c.mu.Lock()
+		t.flushLocked(c)
+		c.mu.Unlock()
 	}
 }
 
@@ -559,7 +603,7 @@ func (t *Thread) StartAtBeginning() {
 	t.flushLocked(c)
 	c.out = wire.AppendCloseSession(c.out[:0], t.sid)
 	if _, err := c.roundTrip(wire.TCloseSession, c.out, wire.TSessionClosed); err != nil {
-		t.inert = true
+		t.inert.Store(true)
 		t.o.noteOpenErr(err)
 		return
 	}
@@ -592,7 +636,12 @@ func (t *Thread) PredictAt(distance int) (pythia.Prediction, bool) {
 }
 
 // PredictSequence predicts the next n events (step i has Distance i+1).
+// n is capped at wire.MaxPredictions, the most one response frame carries;
+// the server clamps to the same bound.
 func (t *Thread) PredictSequence(n int) []pythia.Prediction {
+	if n > wire.MaxPredictions {
+		n = wire.MaxPredictions
+	}
 	c := t.o.c
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -117,6 +117,136 @@ func TestFailOpenOnDeadDaemon(t *testing.T) {
 	}
 }
 
+// TestFlushShipsToSocket: the public Flush contract is "ships any buffered
+// submissions now" — the SubmitBatch frame must reach the wire immediately,
+// not sit in the client's write buffer until the next round trip.
+func TestFlushShipsToSocket(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := ln.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			t.Logf("closing listener: %v", err)
+		}
+	})
+	gotBatch := make(chan int, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		br := bufio.NewReader(nc)
+		bw := bufio.NewWriter(nc)
+		var buf []byte
+		reply := func(typ wire.Type, payload []byte) bool {
+			if err := wire.WriteFrame(bw, typ, payload); err != nil {
+				return false
+			}
+			return bw.Flush() == nil
+		}
+		for {
+			typ, payload, err := wire.ReadFrame(br, &buf)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case wire.THello:
+				if !reply(wire.THelloOK, wire.AppendHelloOK(nil)) {
+					return
+				}
+			case wire.TOpenSession:
+				o, err := wire.ParseOpenSession(payload)
+				if err != nil {
+					return
+				}
+				sid := uint32(0)
+				if o.TID >= 0 {
+					sid = 1
+				}
+				so := wire.SessionOpened{Session: sid, Events: []string{"a", "b"}}
+				if !reply(wire.TSessionOpened, wire.AppendSessionOpened(nil, so)) {
+					return
+				}
+			case wire.TSubmitBatch:
+				_, batch, err := wire.ParseSubmitBatch(payload)
+				if err != nil {
+					return
+				}
+				gotBatch <- batch.Len()
+			}
+		}
+	}()
+
+	// SubmitFlush far above the submitted count: nothing but Flush (or a
+	// prediction) may ship the batch.
+	o, err := Connect(ln.Addr().String(), "synth", Config{RequestTimeout: 2 * time.Second, SubmitFlush: 1024})
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	th := o.Thread(0)
+	th.Submit(o.Intern("a"))
+	th.Submit(o.Intern("b"))
+	th.Submit(o.Intern("a"))
+	select {
+	case n := <-gotBatch:
+		t.Fatalf("batch of %d arrived before Flush", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+	th.Flush()
+	select {
+	case n := <-gotBatch:
+		if n != 3 {
+			t.Fatalf("flushed batch carried %d events, want 3", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Flush left the batch in the client write buffer")
+	}
+}
+
+// TestClosePreservesStickyErr: a transport failure latched before Close
+// must stay visible through Err — a run that broke and was then cleanly
+// closed still broke.
+func TestClosePreservesStickyErr(t *testing.T) {
+	addr := fakeDaemon(t)
+	c, err := Dial(addr, Config{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	o, err := c.Oracle("synth")
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	th := o.Thread(0)
+	// The daemon died after the meta session: this round trip latches the
+	// transport failure.
+	if _, ok := th.PredictAt(1); ok {
+		t.Fatal("PredictAt succeeded against a dead daemon")
+	}
+	want := c.Err()
+	if want == nil {
+		t.Fatal("no sticky error after a failed round trip")
+	}
+	if err := c.Close(); err != nil {
+		t.Logf("close: %v", err) // closing a broken connection may itself error
+	}
+	if got := c.Err(); !errors.Is(got, want) {
+		t.Fatalf("Err after Close = %v, want the latched %v", got, want)
+	}
+	// A clean close, by contrast, reports nil.
+	addr2 := fakeDaemon(t)
+	c2, err := Dial(addr2, Config{RequestTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatalf("clean close: %v", err)
+	}
+	if got := c2.Err(); got != nil {
+		t.Fatalf("Err after clean Close = %v, want nil", got)
+	}
+}
+
 func TestDialRefused(t *testing.T) {
 	// A port with no listener: Dial must fail fast with an error, not hang.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
