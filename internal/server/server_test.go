@@ -698,6 +698,68 @@ func TestPredictSequenceCountClamped(t *testing.T) {
 	}
 }
 
+// TestPredictSequenceMaxPredictionsBoundary pins the exact frame-capacity
+// edge on both paths: a count of exactly wire.MaxPredictions is legal and
+// answered, one past it is clamped — never an error and never a closed
+// connection. Together with the untrusted-size analyzer (which fails the
+// build if the server clamp is deleted) this is the regression fence for
+// the PR 5 MaxPredictions incident.
+func TestPredictSequenceMaxPredictionsBoundary(t *testing.T) {
+	dir := t.TempDir()
+	synthTrace(t, dir, "synth", 64)
+	_, addr := startServer(t, Config{TraceDir: dir})
+
+	counts := []int{wire.MaxPredictions, wire.MaxPredictions + 1}
+
+	t.Run("server wire path", func(t *testing.T) {
+		c := dialRaw(t, addr)
+		sid := c.openSession("synth", 0, wire.FlagStartAtBeginning)
+		for _, n := range counts {
+			c.send(wire.TPredictSequence, wire.AppendPredictSequence(nil, sid, n))
+			typ, payload := c.recv()
+			if typ != wire.TPredictions {
+				t.Fatalf("n=%d: expected Predictions, got %s (clamp, not error)", n, typ)
+			}
+			preds, err := wire.ParsePredictions(payload)
+			if err != nil {
+				t.Fatalf("n=%d: parsing Predictions: %v", n, err)
+			}
+			if len(preds) == 0 {
+				t.Fatalf("n=%d: empty sequence on an open session", n)
+			}
+			if len(preds) > wire.MaxPredictions {
+				t.Fatalf("n=%d: %d predictions, past the frame bound", n, len(preds))
+			}
+		}
+	})
+
+	t.Run("client library path", func(t *testing.T) {
+		o, err := client.Connect(addr, "synth", client.Config{})
+		if err != nil {
+			t.Fatalf("connect: %v", err)
+		}
+		defer func() {
+			if err := o.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		th := o.Thread(0)
+		th.StartAtBeginning()
+		for _, n := range counts {
+			preds := th.PredictSequence(n)
+			if len(preds) == 0 {
+				t.Fatalf("n=%d: no predictions (the client must clamp, not fail)", n)
+			}
+			if len(preds) > wire.MaxPredictions {
+				t.Fatalf("n=%d: %d predictions, past the frame bound", n, len(preds))
+			}
+		}
+		if h := o.Health(); h.State != pythia.Healthy {
+			t.Fatalf("health = %+v after boundary requests, want Healthy", h)
+		}
+	})
+}
+
 // TestConcurrentSubmitAndHealth: the remote oracle advertises the same
 // concurrency contract as the in-process one — Health from a monitoring
 // goroutine while another goroutine submits. Run with -race this guards

@@ -1,0 +1,277 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildTestModule writes files into a temp mini-module and loads it.
+func buildTestModule(t *testing.T, files map[string]string) *Module {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fixture\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	return mod
+}
+
+// TestCallGraphResolution pins the edge policy: direct calls, concrete
+// method calls and cross-package calls resolve; interface calls and
+// function values do not; literal-nested and go-spawned sites are marked.
+func TestCallGraphResolution(t *testing.T) {
+	mod := buildTestModule(t, map[string]string{
+		"a.go": `package fixture
+
+import "fixture/sub"
+
+type T struct{}
+
+func (t *T) M() {}
+
+type I interface{ M() }
+
+func helper()  {}
+func helper2() {}
+func spawned() {}
+
+func top(i I, f func()) {
+	t := &T{}
+	t.M()
+	helper()
+	sub.Exported()
+	go spawned()
+	g := func() { helper2() }
+	g()
+	i.M() // interface: no edge
+	f()   // func value: no edge
+}
+`,
+		"sub/sub.go": "package sub\n\n// Exported does nothing.\nfunc Exported() {}\n",
+	})
+	graph := BuildCallGraph(mod)
+
+	var topNode *CallNode
+	for _, n := range graph.Nodes() {
+		if n.Fn.Name() == "top" {
+			topNode = n
+		}
+	}
+	if topNode == nil {
+		t.Fatal("no node for top")
+	}
+	got := make(map[string]CallSite)
+	for _, c := range topNode.Calls {
+		got[c.Callee.Name()] = c
+	}
+	for _, want := range []string{"M", "helper", "Exported", "spawned", "helper2"} {
+		if _, ok := got[want]; !ok {
+			t.Errorf("missing edge top -> %s (have %v)", want, keysOf(got))
+		}
+	}
+	if len(got) != 5 {
+		t.Errorf("got %d edges %v, want 5 (interface and func-value calls must not resolve)", len(got), keysOf(got))
+	}
+	if !got["spawned"].Async {
+		t.Error("go spawned() not marked Async")
+	}
+	if got["helper"].Async || got["helper"].InFuncLit {
+		t.Error("plain call helper() wrongly marked Async/InFuncLit")
+	}
+	if !got["helper2"].InFuncLit {
+		t.Error("literal-nested call helper2() not marked InFuncLit")
+	}
+	if n := len(graph.Callers(got["helper"].Callee)); n != 1 {
+		t.Errorf("Callers(helper) = %d sites, want 1", n)
+	}
+}
+
+func keysOf(m map[string]CallSite) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestFlowGuards drives the value-flow tracker end to end through the
+// untrusted-size analyzer: taint propagation, guard dominance, kills,
+// compound assignment, tuple assignment, and selector-prefix inheritance
+// through a Parse*-style decoder.
+func TestFlowGuards(t *testing.T) {
+	const wirePkg = `package wire
+
+// Header is a decoded frame header.
+type Header struct {
+	Count uint32
+	Flags uint32
+}
+
+// ParseHeader decodes a header (stand-in for the real wire package).
+func ParseHeader(p []byte) (Header, error) {
+	return Header{Count: uint32(len(p))}, nil
+}
+`
+	tests := []struct {
+		name string
+		body string // body of func decode(p []byte, br *bufio.Reader)
+		want []string
+	}{
+		{
+			name: "unguarded varint reaches make",
+			body: `n, _ := binary.ReadUvarint(br)
+	_ = make([]byte, n)`,
+			want: []string{"[untrusted-size] size n from untrusted source binary.ReadUvarint reaches make"},
+		},
+		{
+			name: "relational guard dominates",
+			body: `n, _ := binary.ReadUvarint(br)
+	if n > 1024 {
+		return
+	}
+	_ = make([]byte, n)`,
+			want: nil,
+		},
+		{
+			name: "overwrite kills taint",
+			body: `n, _ := binary.ReadUvarint(br)
+	n = 16
+	_ = make([]byte, n)`,
+			want: nil,
+		},
+		{
+			name: "compound assignment keeps taint",
+			body: `n, _ := binary.ReadUvarint(br)
+	n += 8
+	_ = make([]byte, n)`,
+			want: []string{"[untrusted-size] size n from untrusted source binary.ReadUvarint reaches make"},
+		},
+		{
+			name: "arithmetic propagates taint",
+			body: `n, _ := binary.ReadUvarint(br)
+	_ = make([]byte, int(n)*8)`,
+			want: []string{"[untrusted-size] size int(n) * 8 from untrusted source binary.ReadUvarint reaches make"},
+		},
+		{
+			name: "selector prefix inherits taint from Parse result",
+			body: `h, _ := wire.ParseHeader(p)
+	_ = make([]uint32, h.Count)`,
+			want: []string{"[untrusted-size] size h.Count from untrusted source wire.ParseHeader reaches make"},
+		},
+		{
+			name: "guarding the selector clears it",
+			body: `h, _ := wire.ParseHeader(p)
+	if h.Count > 64 {
+		return
+	}
+	_ = make([]uint32, h.Count)`,
+			want: nil,
+		},
+		{
+			name: "sign check is not a bound",
+			body: `n, _ := binary.ReadUvarint(br)
+	if n > 0 {
+		_ = make([]byte, n)
+	}`,
+			want: []string{"[untrusted-size] size n from untrusted source binary.ReadUvarint reaches make"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := loadFixture(t, map[string]string{
+				"wire/wire.go": wirePkg,
+				"decode.go": `package fixture
+
+import (
+	"bufio"
+	"encoding/binary"
+
+	"fixture/wire"
+)
+
+// Anchor both imports: not every test body uses both packages.
+var (
+	_ = binary.ReadUvarint
+	_ = wire.ParseHeader
+)
+
+func decode(p []byte, br *bufio.Reader) {
+	` + tt.body + `
+}
+`,
+			}, UntrustedSize)
+			expectFindings(t, got, tt.want)
+		})
+	}
+}
+
+// FuzzFlowGuards throws arbitrary (possibly only partially type-checkable)
+// Go source at the flow tracker: TrackFlow must never panic, even with
+// incomplete type information, because the analyzers run it over every
+// function of every package on every CI build.
+func FuzzFlowGuards(f *testing.F) {
+	f.Add("package p\nfunc f(n int) { _ = make([]byte, n) }")
+	f.Add(`package p
+import "encoding/binary"
+func f(p []byte) {
+	n := binary.BigEndian.Uint32(p)
+	if n > 8 {
+		n = 8
+	}
+	_ = make([]byte, n, n*2)
+}`)
+	f.Add(`package p
+func f() {
+	var a struct{ b struct{ c int } }
+	a.b.c += 1
+	for a.b.c < 10 {
+		a.b.c++
+	}
+	g := func() int { return a.b.c }
+	_ = g
+}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip()
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Error: func(error) {}} // no importer: imports fail, info stays partial
+		tpkg, _ := conf.Check("p", fset, []*ast.File{file}, info)
+		pkg := &Package{Path: "p", Fset: fset, Files: []*ast.File{file}, Types: tpkg, Info: info}
+		pass := &Pass{Pkg: pkg, report: func(Diagnostic) {}}
+		for _, fd := range funcDecls(pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			ff := TrackFlow(pass, fd.Body, untrustedSource)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					ff.Tainted(e)
+				}
+				return true
+			})
+		}
+	})
+}

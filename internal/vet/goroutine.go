@@ -1,0 +1,214 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLifecycle requires every `go` statement in library packages to
+// be tied to a lifecycle mechanism the spawner can observe:
+//
+//   - a sync.WaitGroup: the goroutine calls Done and the spawning function
+//     calls Add;
+//   - a quit/stop signal: the goroutine receives from a channel (directly,
+//     in a select, or by ranging over its work channel);
+//   - a join channel: the goroutine closes or sends on a channel that the
+//     spawning function receives from (the drain handshake pattern).
+//
+// Anything else is an untracked goroutine — the bug class behind the PR 5
+// drain leak, where a connection goroutine outlived Close because nothing
+// joined it. When the callee is a named function its body is resolved
+// through the call graph and checked the same way; a goroutine whose body
+// cannot be seen statically (a function value) is flagged.
+//
+// Deliberately detached goroutines carry a "pythia:detached" annotation —
+// on the line above the `go` statement or in the enclosing function's doc
+// comment — with a justification.
+var GoroutineLifecycle = &Analyzer{
+	Name: "goroutine-lifecycle",
+	Doc:  "library goroutines must be joined, signalled, or annotated pythia:detached",
+	Run:  runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(pass *Pass) {
+	if !isLibraryPackage(pass.Pkg.Path) {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasAnnotation(fd.Doc, "detached") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if detachedAt(pass.Pkg, file, gs) || goroutineTied(pass, fd, gs) {
+					return true
+				}
+				pass.Reportf(gs.Pos(),
+					"goroutine is not tied to a WaitGroup, a quit/stop channel, or a join channel the spawner waits on (annotate pythia:detached with a justification if the leak is deliberate)")
+				return true
+			})
+		}
+	}
+}
+
+// detachedAt reports a "pythia:detached" comment block ending on the line
+// just above the go statement (or trailing on the same line). The
+// annotation may sit anywhere in the block, so a multi-line justification
+// still counts.
+func detachedAt(pkg *Package, file *ast.File, gs *ast.GoStmt) bool {
+	goLine := pkg.Fset.Position(gs.Pos()).Line
+	for _, cg := range file.Comments {
+		if !hasAnnotation(cg, "detached") {
+			continue
+		}
+		line := pkg.Fset.Position(cg.End()).Line
+		if line == goLine || line == goLine-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineTied reports whether the goroutine spawned by gs is tied to a
+// lifecycle mechanism visible from fd.
+func goroutineTied(pass *Pass, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+	var body *ast.BlockStmt
+	bodyPkg := pass.Pkg
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		_ = fun
+		if callee := StaticCallee(pass.Pkg.Info, gs.Call); callee != nil {
+			if node := pass.Facts.Graph().NodeOf(callee); node != nil {
+				body = node.Decl.Body
+				bodyPkg = node.Pkg
+			}
+		}
+	}
+	if body == nil {
+		return false // body invisible: require the annotation
+	}
+	if receivesFromChannel(bodyPkg, body) {
+		return true
+	}
+	if callsWaitGroupDone(bodyPkg, body) &&
+		(callsWaitGroupAdd(pass.Pkg, fd.Body) || callsWaitGroupAdd(bodyPkg, body)) {
+		return true
+	}
+	return signalsEnclosing(pass, bodyPkg, body, fd, gs)
+}
+
+// receivesFromChannel reports a channel receive anywhere in body: a <-ch
+// expression, a select statement, or ranging over a channel. Any of these
+// gives the spawner a way to signal or starve the goroutine.
+func receivesFromChannel(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := pkg.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func callsWaitGroupDone(pkg *Package, body *ast.BlockStmt) bool {
+	return callsWaitGroupMethod(pkg, body, "Done")
+}
+
+func callsWaitGroupAdd(pkg *Package, body *ast.BlockStmt) bool {
+	return callsWaitGroupMethod(pkg, body, "Add")
+}
+
+func callsWaitGroupMethod(pkg *Package, body *ast.BlockStmt, method string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == method && isWaitGroup(pkg.Info.Types[sel.X].Type) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroup reports sync.WaitGroup (possibly behind a pointer).
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// signalsEnclosing reports that the goroutine closes or sends on a channel
+// the enclosing function receives from — the join-handshake pattern
+// (`done := make(chan ...); go func() { ...; close(done) }(); <-done`).
+func signalsEnclosing(pass *Pass, bodyPkg *Package, body *ast.BlockStmt, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+	signalled := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			signalled[exprString(bodyPkg, n.Chan)] = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, builtin := bodyPkg.Info.Uses[id].(*types.Builtin); builtin {
+					signalled[exprString(bodyPkg, n.Args[0])] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(signalled) == 0 {
+		return false
+	}
+	tied := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == gs {
+			return false // the goroutine's own receives don't join it
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && signalled[exprString(pass.Pkg, n.X)] {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Pkg.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok && signalled[exprString(pass.Pkg, n.X)] {
+					tied = true
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}

@@ -1,0 +1,40 @@
+// Package fixture seeds the atomic-mix bug classes from the PR 5 review:
+// the accept/drain flag raced between an atomic writer and a plain reader,
+// and the Submit/Health submit buffer was written under a mutex in one
+// path and without it in another. bad.go carries the seeded bugs; good.go
+// is the corrected twin the analyzer must stay silent on.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Gate reproduces the accept/drain class: draining is flipped atomically
+// by Drain but read plainly in Admit.
+type Gate struct {
+	draining int32
+}
+
+// Drain flips the flag with sync/atomic.
+func (g *Gate) Drain() { atomic.StoreInt32(&g.draining, 1) }
+
+// Admit reads the same flag with a plain load — the seeded race.
+func (g *Gate) Admit() bool { return g.draining == 0 }
+
+// Buffer reproduces the Submit/Health class: pending is appended under mu
+// in Add but drained without it in Drop.
+type Buffer struct {
+	mu      sync.Mutex
+	pending []int32
+}
+
+// Add appends under the lock.
+func (b *Buffer) Add(v int32) {
+	b.mu.Lock()
+	b.pending = append(b.pending, v)
+	b.mu.Unlock()
+}
+
+// Drop resets the buffer with no lock — the seeded race.
+func (b *Buffer) Drop() { b.pending = b.pending[:0] }

@@ -1,0 +1,63 @@
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SafeGate is Gate's corrected twin: every access is atomic.
+type SafeGate struct {
+	draining int32
+}
+
+// Drain flips the flag with sync/atomic.
+func (g *SafeGate) Drain() { atomic.StoreInt32(&g.draining, 1) }
+
+// Admit loads it the same way.
+func (g *SafeGate) Admit() bool { return atomic.LoadInt32(&g.draining) == 0 }
+
+// SafeBuffer is Buffer's corrected twin: every access holds mu, including
+// the flushLocked-style helper whose callers all hold it — the analyzer's
+// call-graph coverage must see through that, or the real client would be
+// unanalyzable.
+type SafeBuffer struct {
+	mu      sync.Mutex
+	pending []int32
+}
+
+// Add appends under the lock.
+func (b *SafeBuffer) Add(v int32) {
+	b.mu.Lock()
+	b.pending = append(b.pending, v)
+	b.mu.Unlock()
+}
+
+// Drop resets under the lock.
+func (b *SafeBuffer) Drop() {
+	b.mu.Lock()
+	b.dropLocked()
+	b.mu.Unlock()
+}
+
+// DropIfFull conditionally resets; the early-return unlock must not
+// truncate the fall-through region.
+func (b *SafeBuffer) DropIfFull() {
+	b.mu.Lock()
+	if len(b.pending) < cap(b.pending) {
+		b.mu.Unlock()
+		return
+	}
+	b.dropLocked()
+	b.mu.Unlock()
+}
+
+// dropLocked resets the buffer. Caller holds b.mu.
+func (b *SafeBuffer) dropLocked() { b.pending = b.pending[:0] }
+
+// NewSafeBuffer pre-sizes a buffer; initialization before the value is
+// published needs no lock and must stay silent.
+func NewSafeBuffer(capacity int) *SafeBuffer {
+	b := &SafeBuffer{}
+	b.pending = make([]int32, 0, capacity)
+	return b
+}

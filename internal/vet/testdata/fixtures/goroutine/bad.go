@@ -1,0 +1,32 @@
+// Package fixture seeds the goroutine-lifecycle bug class from the PR 5
+// review: a connection goroutine that outlives Close because nothing joins
+// or signals it. bad.go carries the seeded bugs; good.go is the corrected
+// twin the analyzer must stay silent on.
+package fixture
+
+// Poller leaks its background loop: no WaitGroup, no quit channel, no
+// join handshake — once started, nothing can stop or observe it.
+type Poller struct {
+	n int
+}
+
+// Start spawns the untracked loop — the seeded leak, through a named
+// callee so the analyzer has to look the body up in the call graph.
+func (p *Poller) Start() {
+	go p.loop() // seeded bug: untracked goroutine
+}
+
+func (p *Poller) loop() {
+	for {
+		p.n++
+	}
+}
+
+// StartInline is the same leak with a function literal body.
+func (p *Poller) StartInline() {
+	go func() { // seeded bug: untracked goroutine
+		for {
+			p.n++
+		}
+	}()
+}

@@ -1,0 +1,67 @@
+package fixture
+
+import "sync"
+
+// Worker shows the accepted lifecycle shapes; the analyzer must stay
+// silent on every one of them.
+type Worker struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	work chan int
+	n    int
+}
+
+// RunJoined ties the goroutine to a WaitGroup.
+func (w *Worker) RunJoined() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.n++
+	}()
+	w.wg.Wait()
+}
+
+// RunSignalled ties the goroutine to a quit channel select.
+func (w *Worker) RunSignalled() {
+	go func() {
+		for {
+			select {
+			case <-w.quit:
+				return
+			case v := <-w.work:
+				w.n += v
+			}
+		}
+	}()
+}
+
+// RunRange ties the goroutine to its work channel: closing the channel
+// stops it.
+func (w *Worker) RunRange() {
+	go consume(w.work)
+}
+
+func consume(ch chan int) {
+	for range ch {
+	}
+}
+
+// RunHandshake joins through a done channel the spawner receives from —
+// the server drain pattern.
+func (w *Worker) RunHandshake() {
+	done := make(chan struct{})
+	go func() {
+		w.n++
+		close(done)
+	}()
+	<-done
+}
+
+// RunDetached is deliberately fire-and-forget and says so.
+func (w *Worker) RunDetached() {
+	// pythia:detached — one-shot best-effort notification; the process
+	// outliving it is fine and nothing observes its completion.
+	go func() {
+		w.n++
+	}()
+}

@@ -1,0 +1,46 @@
+// Package fixture seeds an AB/BA lock-order inversion hidden behind a
+// helper, the shape the accept/drain shutdown race took in the PR 5
+// review: no single function ever touches both locks in both orders, so
+// only a call-graph-aware analysis can see the cycle. bad.go carries the
+// seeded inversion; good.go is the corrected twin the analyzer must stay
+// silent on.
+package fixture
+
+import "sync"
+
+// Ledger holds lock A; Index holds lock B.
+type Ledger struct {
+	mu      sync.Mutex
+	entries []int
+}
+
+type Index struct {
+	mu   sync.Mutex
+	byID map[int]int
+}
+
+// Record locks the ledger, then reaches the index through a helper —
+// order A then B, with B's acquisition invisible without the call graph.
+func Record(l *Ledger, ix *Index, v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, v)
+	reindex(ix, len(l.entries)-1, v)
+}
+
+func reindex(ix *Index, pos, v int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.byID[v] = pos
+}
+
+// Compact locks the index, then the ledger — order B then A: the seeded
+// inversion.
+func Compact(l *Ledger, ix *Index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	l.mu.Lock() // seeded bug: BA while Record does AB
+	l.entries = l.entries[:0]
+	l.mu.Unlock()
+	clear(ix.byID)
+}

@@ -1,0 +1,40 @@
+package fixture
+
+import "sync"
+
+// Journal and Catalog mirror Ledger/Index but keep one global order:
+// Journal before Catalog, everywhere, including through the helper.
+type Journal struct {
+	mu      sync.Mutex
+	entries []int
+}
+
+type Catalog struct {
+	mu   sync.Mutex
+	byID map[int]int
+}
+
+// Append locks Journal then (via the helper) Catalog.
+func Append(j *Journal, c *Catalog, v int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries = append(j.entries, v)
+	recatalog(c, len(j.entries)-1, v)
+}
+
+func recatalog(c *Catalog, pos, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byID[v] = pos
+}
+
+// Rebuild needs both too — and takes them in the same Journal-then-Catalog
+// order, so there is no cycle.
+func Rebuild(j *Journal, c *Catalog) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j.entries = j.entries[:0]
+	clear(c.byID)
+}

@@ -1,0 +1,28 @@
+// Package fixture seeds the untrusted-size bug class from the PR 5 review:
+// an 8-byte frame whose count field sizes a multi-GiB allocation. bad.go
+// carries the seeded bugs; good.go is the corrected twin the analyzer must
+// stay silent on.
+package fixture
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// DecodeRecords is the MaxPredictions incident in miniature: the record
+// count comes straight off the wire and sizes the allocation unchecked.
+func DecodeRecords(r io.Reader, hdr []byte) ([]uint64, error) {
+	n := binary.BigEndian.Uint32(hdr) // untrusted source
+	out := make([]uint64, n)          // seeded bug: unclamped make
+	if err := binary.Read(r, binary.BigEndian, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FillPayload sizes an io.ReadFull with a wire-decoded length.
+func FillPayload(r io.Reader, hdr, buf []byte) error {
+	n := binary.BigEndian.Uint16(hdr)
+	_, err := io.ReadFull(r, buf[:n]) // seeded bug: unclamped slice bound
+	return err
+}

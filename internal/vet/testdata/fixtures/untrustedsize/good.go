@@ -1,0 +1,48 @@
+package fixture
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+const maxRecords = 1 << 12
+
+// DecodeRecordsClamped is the corrected twin of DecodeRecords: the count
+// passes a dominating bound check before sizing anything.
+func DecodeRecordsClamped(r io.Reader, hdr []byte) ([]uint64, error) {
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxRecords {
+		n = maxRecords
+	}
+	out := make([]uint64, n)
+	if err := binary.Read(r, binary.BigEndian, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FillPayloadChecked validates the wire length against the buffer instead
+// of clamping — rejecting is as good as clamping.
+func FillPayloadChecked(r io.Reader, hdr, buf []byte) error {
+	n := binary.BigEndian.Uint16(hdr)
+	if int(n) > len(buf) {
+		return errors.New("fixture: length exceeds buffer")
+	}
+	_, err := io.ReadFull(r, buf[:n])
+	return err
+}
+
+// FillPayloadMin clamps with the min builtin, the other accepted shape.
+func FillPayloadMin(r io.Reader, hdr, buf []byte) error {
+	n := min(int(binary.BigEndian.Uint16(hdr)), len(buf))
+	_, err := io.ReadFull(r, buf[:n])
+	return err
+}
+
+// DecodeTrusted is covered by the annotation escape hatch: the header was
+// validated by the caller (documented there), so the analyzer skips it.
+// pythia:trusted-input — hdr is produced by DecodeRecordsClamped.
+func DecodeTrusted(hdr []byte) []uint64 {
+	return make([]uint64, binary.BigEndian.Uint32(hdr))
+}

@@ -45,6 +45,10 @@ func (d Diagnostic) Format(root string) string {
 type Pass struct {
 	// Pkg is the package under analysis.
 	Pkg *Package
+	// Facts is the module-wide shared state (call graph, cached
+	// module-level computations). All passes of one RunAnalyzers call
+	// share one ModuleFacts, so the call graph is built at most once.
+	Facts *ModuleFacts
 	// report appends a diagnostic.
 	report func(Diagnostic)
 }
@@ -78,6 +82,9 @@ type Analyzer struct {
 }
 
 // Analyzers returns the full pythia-vet analyzer set in reporting order.
+// The first five are the original per-function syntax checks; the last
+// four sit on the shared call-graph/value-flow foundation (callgraph.go,
+// flow.go) and target the PR 5 review bug classes.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		HotpathAlloc,
@@ -85,18 +92,57 @@ func Analyzers() []*Analyzer {
 		PanicPolicy,
 		ErrorHygiene,
 		Containment,
+		UntrustedSize,
+		AtomicMix,
+		GoroutineLifecycle,
+		LockOrder,
 	}
+}
+
+// SelectAnalyzers resolves a comma-separated analyzer name list against
+// the registry, preserving registry order. An empty list selects all.
+func SelectAnalyzers(names string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if strings.TrimSpace(names) == "" {
+		return all, nil
+	}
+	want := make(map[string]bool)
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("vet: unknown analyzer(s): %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
 }
 
 // RunAnalyzers applies every analyzer to every package of the module and
 // returns the findings sorted by file, line and analyzer.
 func RunAnalyzers(m *Module, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	facts := NewModuleFacts(m)
 	for _, pkg := range m.Packages {
 		for _, a := range analyzers {
 			name := a.Name
 			pass := &Pass{
-				Pkg: pkg,
+				Pkg:   pkg,
+				Facts: facts,
 				report: func(d Diagnostic) {
 					d.Analyzer = name
 					diags = append(diags, d)

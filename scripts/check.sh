@@ -9,9 +9,13 @@
 #   4. go test      — the full unit suite
 #   5. go test -race — concurrency-sensitive packages under the race detector
 #   6. fuzz smoke   — FuzzGrammarInvariants, FuzzDigramIndexDiff,
-#                     FuzzPredictNoisy, FuzzRecoverJournal and
-#                     FuzzWireDecode briefly
-#   7. pythia-vet   — the repo's own static-analysis pass (see cmd/pythia-vet)
+#                     FuzzPredictNoisy, FuzzRecoverJournal, FuzzWireDecode
+#                     and FuzzFlowGuards briefly
+#   7. vet fixtures — gofmt/go vet inside the analyzer fixture mini-modules
+#                     (separate modules, so ./... sweeps skip them)
+#   8. pythia-vet   — the repo's own static-analysis pass, all nine
+#                     analyzers; stale baseline entries fail the run
+#                     (see cmd/pythia-vet for the exit contract)
 #
 # With --chaos, additionally runs the fault-injection chaos suite
 # (internal/faultinject) under the race detector: injected panics, resource
@@ -75,6 +79,25 @@ step "fuzz smoke (FuzzRecoverJournal)" \
     go test -fuzz FuzzRecoverJournal -fuzztime=5s -run '^$' ./internal/tracefile/
 step "fuzz smoke (FuzzWireDecode)" \
     go test -fuzz FuzzWireDecode -fuzztime=5s -run '^$' ./internal/wire/
+step "fuzz smoke (FuzzFlowGuards)" \
+    go test -fuzz FuzzFlowGuards -fuzztime=5s -run '^$' ./internal/vet/
+
+# The analyzer fixtures under internal/vet/testdata/fixtures are separate
+# modules (so repo-wide builds and pythia-vet's own module scan never see
+# their seeded bugs); sweep them explicitly so they cannot rot.
+check_fixture_modules() {
+    local dir ok=0
+    for dir in internal/vet/testdata/fixtures/*/; do
+        [ -f "${dir}go.mod" ] || continue
+        if ! (cd "${dir}" && go vet ./...); then
+            echo "go vet failed in ${dir}" >&2
+            ok=1
+        fi
+    done
+    return "${ok}"
+}
+step "vet fixtures (go vet per fixture module)" check_fixture_modules
+
 step "pythia-vet" go run ./cmd/pythia-vet ./...
 
 if [ "${run_chaos}" -eq 1 ]; then
