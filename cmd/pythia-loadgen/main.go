@@ -9,6 +9,14 @@
 // of the chosen application through pythia/client, and issues a timed
 // PredictAt round trip every -predict-every events. The run fails (exit 1)
 // if any client sees a protocol or transport error.
+//
+// -transport selects the tier under test: "tcp" (default), "unix" (pass a
+// unix:///path address), or "shm" — the shared-memory rings negotiated over
+// a unix connection. In shm mode each thread subscribes with
+// Subscribe(-distance, -predict-every) and the timed operation is a Latest
+// read of the streamed predictions instead of a PredictAt round trip. The
+// run fails if the requested tier did not actually engage, so a fallback
+// can never masquerade as a measurement.
 package main
 
 import (
@@ -63,6 +71,7 @@ type benchReport struct {
 		App          string `json:"app"`
 		Class        string `json:"class"`
 		Tenant       string `json:"tenant"`
+		Transport    string `json:"transport"`
 		Clients      int    `json:"clients"`
 		PredictEvery int    `json:"predict_every"`
 		Distance     int    `json:"distance"`
@@ -85,7 +94,8 @@ type benchReport struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pythia-loadgen", flag.ContinueOnError)
 	var (
-		addr         = fs.String("addr", "127.0.0.1:9137", "pythiad address")
+		addr         = fs.String("addr", "127.0.0.1:9137", "pythiad address (host:port or unix:///path)")
+		transp       = fs.String("transport", "tcp", "transport tier to measure: tcp, unix, or shm")
 		tenant       = fs.String("tenant", "", "tenant (trace name) to query (default: -app)")
 		appName      = fs.String("app", "EP", "application whose event streams to replay")
 		classFlag    = fs.String("class", "small", "working set to replay (small|medium|large)")
@@ -115,6 +125,11 @@ func run(args []string, stdout io.Writer) error {
 	if *predictEvery < 1 {
 		return fmt.Errorf("-predict-every must be >= 1")
 	}
+	switch *transp {
+	case "tcp", "unix", "shm":
+	default:
+		return fmt.Errorf("-transport must be tcp, unix, or shm (got %q)", *transp)
+	}
 
 	// One deterministic capture, replayed read-only by every client.
 	streams := harness.CaptureStreams(app, class, *seed)
@@ -131,7 +146,7 @@ func run(args []string, stdout io.Writer) error {
 		wg.Add(1)
 		go func(res *clientResult) {
 			defer wg.Done()
-			runClient(res, *addr, *tenant, streams, tids, *predictEvery, *distance)
+			runClient(res, *addr, *tenant, *transp, streams, tids, *predictEvery, *distance)
 		}(&results[ci])
 	}
 	wg.Wait()
@@ -141,6 +156,7 @@ func run(args []string, stdout io.Writer) error {
 	rep.Config.App = app.Name
 	rep.Config.Class = class.String()
 	rep.Config.Tenant = *tenant
+	rep.Config.Transport = *transp
 	rep.Config.Clients = *clients
 	rep.Config.PredictEvery = *predictEvery
 	rep.Config.Distance = *distance
@@ -174,8 +190,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	p := &printer{w: stdout}
-	p.printf("%s.%s via %s: %d clients, %d events, %d predictions (%d answered) in %.2fs\n",
-		app.Name, class, *addr, *clients, rep.Results.Events, rep.Results.Predictions,
+	p.printf("%s.%s via %s [%s]: %d clients, %d events, %d predictions (%d answered) in %.2fs\n",
+		app.Name, class, *addr, *transp, *clients, rep.Results.Events, rep.Results.Predictions,
 		rep.Results.Answered, rep.Results.WallS)
 	p.printf("throughput: %.0f events/s, %.0f predictions/s\n",
 		rep.Results.EventsPerS, rep.Results.PredictsPerS)
@@ -205,10 +221,12 @@ func run(args []string, stdout io.Writer) error {
 	return p.err
 }
 
-// runClient replays every rank's stream over one connection, timing a
-// PredictAt round trip every predictEvery events.
-func runClient(res *clientResult, addr, tenant string, streams map[int32][]string, tids []int32, predictEvery, distance int) {
-	c, err := client.Dial(addr, client.Config{})
+// runClient replays every rank's stream over one connection. On the socket
+// tiers the timed operation is a PredictAt round trip every predictEvery
+// events; on shm it is a Latest read of the streamed predictions the server
+// pushes at the same cadence.
+func runClient(res *clientResult, addr, tenant, transp string, streams map[int32][]string, tids []int32, predictEvery, distance int) {
+	c, err := client.Dial(addr, client.Config{SharedMem: transp == "shm"})
 	if err != nil {
 		res.err = err
 		return
@@ -218,22 +236,45 @@ func runClient(res *clientResult, addr, tenant string, streams map[int32][]strin
 			res.err = cerr
 		}
 	}()
+	// A fallback tier must not masquerade as the one under test.
+	if got := c.Transport(); got != transp {
+		res.err = fmt.Errorf("negotiated transport %q, want %q", got, transp)
+		return
+	}
 	o, err := c.Oracle(tenant)
 	if err != nil {
 		res.err = err
 		return
 	}
+	var predBuf []pythia.Prediction
 	for _, tid := range tids {
 		th := o.Thread(tid)
 		th.StartAtBeginning()
+		subscribed := false
 		for i, name := range streams[tid] {
 			th.Submit(o.Intern(name))
 			res.events++
+			if transp == "shm" && !subscribed {
+				// The first Submit bound the thread's ring; from here the
+				// server streams PredictSequence(distance) every
+				// predictEvery events into the shared slot.
+				if serr := th.Subscribe(distance, predictEvery); serr != nil {
+					res.err = serr
+					return
+				}
+				subscribed = true
+			}
 			if (i+1)%predictEvery != 0 {
 				continue
 			}
 			t0 := time.Now()
-			_, ok := th.PredictAt(distance)
+			var ok bool
+			if transp == "shm" {
+				predBuf, ok = th.Latest(predBuf)
+				ok = ok && len(predBuf) > 0
+			} else {
+				_, ok = th.PredictAt(distance)
+			}
 			res.latencies = append(res.latencies, time.Since(t0))
 			res.predictions++
 			if ok {

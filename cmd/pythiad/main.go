@@ -3,14 +3,21 @@
 // many concurrent client runtimes.
 //
 //	pythia-record -app BT -class small -o traces/bt.pythia
-//	pythiad -listen :9137 -traces traces/
+//	pythiad -listen :9137 -listen unix:///run/pythiad.sock -traces traces/
+//
+// -listen is repeatable and accepts both TCP addresses (host:port or
+// tcp://host:port) and unix-domain sockets (unix:///path). Unix sockets are
+// created mode 0600 — same-user clients only — and a stale socket file left
+// by a crashed daemon is removed automatically, while a live one is refused.
+// Clients on a unix listener may additionally negotiate the shared-memory
+// ring transport (see client.Config.SharedMem).
 //
 // Clients connect with the pythia/client package (or drive a replay with
 // pythia-loadgen). Each trace file <name>.pythia in the trace directory is
 // one tenant, addressed by name. SIGTERM/SIGINT drain the daemon
 // gracefully: in-flight requests are answered, new sessions refused, and
 // the process exits once every connection has wound down (bounded by
-// -drain-timeout).
+// -drain-timeout). Draining also removes any unix socket files.
 package main
 
 import (
@@ -21,10 +28,22 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 
 	"repro/internal/server"
+	"repro/internal/transport"
 )
+
+// listenList collects repeated -listen flags.
+type listenList []string
+
+func (l *listenList) String() string { return fmt.Sprint([]string(*l)) }
+
+func (l *listenList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -48,8 +67,9 @@ func (p *printer) printf(format string, args ...any) {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pythiad", flag.ContinueOnError)
+	var listens listenList
+	fs.Var(&listens, "listen", "address to listen on: host:port or unix:///path (repeatable)")
 	var (
-		listen       = fs.String("listen", "127.0.0.1:9137", "TCP address to listen on")
 		traces       = fs.String("traces", ".", "directory of <tenant>.pythia trace files")
 		maxConns     = fs.Int("max-conns", server.DefaultMaxConns, "concurrent connection cap (negative = unlimited)")
 		maxSessions  = fs.Int("max-sessions", server.DefaultMaxSessions, "concurrent session cap (negative = unlimited)")
@@ -57,6 +77,9 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if len(listens) == 0 {
+		listens = listenList{"127.0.0.1:9137"}
 	}
 
 	info, err := os.Stat(*traces)
@@ -76,24 +99,43 @@ func run(args []string, stdout io.Writer) error {
 		Logf:         logger.Printf,
 	})
 
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		return fmt.Errorf("listening on %s: %w", *listen, err)
+	lns := make([]net.Listener, 0, len(listens))
+	closeAll := func() {
+		for _, ln := range lns {
+			if cerr := ln.Close(); cerr != nil {
+				logger.Printf("closing listener: %v", cerr)
+			}
+		}
 	}
 	p := &printer{w: stdout}
-	p.printf("pythiad: listening on %s (traces: %s)\n", ln.Addr(), *traces)
-	if p.err != nil {
-		if cerr := ln.Close(); cerr != nil {
-			logger.Printf("closing listener: %v", cerr)
+	for _, addr := range listens {
+		ln, lerr := transport.Listen(addr)
+		if lerr != nil {
+			closeAll()
+			return fmt.Errorf("listening on %s: %w", addr, lerr)
 		}
+		lns = append(lns, ln)
+		p.printf("pythiad: listening on %s://%s (traces: %s)\n",
+			ln.Addr().Network(), ln.Addr(), *traces)
+	}
+	if p.err != nil {
+		closeAll()
 		return p.err
+	}
+
+	// Shutdown runs at most once, whether triggered by a signal or by a
+	// listener failure; either way it closes every listener, so all Serve
+	// calls return and socket files are removed.
+	var shutdownOnce sync.Once
+	shutdownErr := make(chan error, 1)
+	shutdown := func() {
+		shutdownOnce.Do(func() { shutdownErr <- srv.Shutdown() })
 	}
 
 	// SIGTERM/SIGINT trigger a graceful drain; a second signal while
 	// draining exits immediately.
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
-	shutdownErr := make(chan error, 1)
 	go func() {
 		sig := <-sigs
 		logger.Printf("received %s, draining (bound %s)", sig, *drainTimeout)
@@ -102,15 +144,29 @@ func run(args []string, stdout io.Writer) error {
 			logger.Printf("received second %s, exiting now", sig)
 			os.Exit(1)
 		}()
-		shutdownErr <- srv.Shutdown()
+		shutdown()
 	}()
 
-	if err := srv.Serve(ln); err != nil {
-		return fmt.Errorf("serving: %w", err)
+	serveErrs := make(chan error, len(lns))
+	for _, ln := range lns {
+		go func(ln net.Listener) { serveErrs <- srv.Serve(ln) }(ln)
 	}
-	// Serve returned nil: a drain is in progress; wait for it to finish.
-	if err := <-shutdownErr; err != nil {
-		return fmt.Errorf("draining: %w", err)
+	var serveErr error
+	for range lns {
+		if err := <-serveErrs; err != nil {
+			if serveErr == nil {
+				serveErr = err
+			}
+			go shutdown() // stop the remaining listeners too
+		}
+	}
+	shutdown() // no-op unless every Serve returned an error before any drain
+	drainErr := <-shutdownErr
+	if serveErr != nil {
+		return fmt.Errorf("serving: %w", serveErr)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("draining: %w", drainErr)
 	}
 	p.printf("pythiad: drained, exiting\n")
 	return p.err

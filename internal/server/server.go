@@ -66,7 +66,7 @@ type Server struct {
 	st  *store
 
 	mu    sync.Mutex
-	ln    net.Listener
+	lns   []net.Listener
 	conns map[*conn]struct{}
 
 	draining atomic.Bool
@@ -100,10 +100,12 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Serve accepts connections on ln until Shutdown. It returns nil when the
-// listener was closed by Shutdown, the accept error otherwise.
+// listener was closed by Shutdown, the accept error otherwise. A server may
+// Serve several listeners concurrently (one goroutine each) — pythiad binds
+// a TCP and a unix listener onto the same Server this way.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
-	s.ln = ln
+	s.lns = append(s.lns, ln)
 	s.mu.Unlock()
 	for {
 		nc, err := ln.Accept()
@@ -175,7 +177,7 @@ func (s *Server) drain() error {
 	// every connection already in s.conns gets a drain deadline below, and
 	// no new one can be admitted after this snapshot.
 	s.draining.Store(true)
-	ln := s.ln
+	lns := s.lns
 	deadline := time.Now().Add(s.cfg.DrainTimeout)
 	for c := range s.conns {
 		// An expired read deadline unblocks the connection goroutine's
@@ -185,9 +187,9 @@ func (s *Server) drain() error {
 		}
 	}
 	s.mu.Unlock()
-	if ln != nil {
+	for _, ln := range lns {
 		if cerr := ln.Close(); cerr != nil {
-			s.logf("pythiad: closing listener: %v", cerr)
+			s.logf("pythiad: closing listener %s: %v", ln.Addr(), cerr)
 		}
 	}
 
@@ -270,6 +272,13 @@ type conn struct {
 	sessions []session
 	byKey    map[sessKey]uint32
 	tenants  map[string]*connTenant
+
+	// Shared-memory transport state (nil until ShmSetup succeeds). ringOf
+	// maps a session id to its bound ring index; both are owned by the conn
+	// goroutine, the rings themselves are shared with the pump under
+	// per-ring mutexes (see shm.go).
+	shm    *connShm
+	ringOf map[uint32]int
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -391,8 +400,10 @@ func (c *conn) finishWith(err error) {
 }
 
 // teardown returns every resource the connection holds: open-session
-// budget, oracle registrations, and tenant references.
+// budget, oracle registrations, tenant references, and the shm pump and
+// segment mapping when the connection negotiated shared memory.
 func (c *conn) teardown() {
+	c.shmTeardown()
 	for i := range c.sessions {
 		if c.sessions[i].open {
 			c.sessions[i].open = false
@@ -419,7 +430,12 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		if perr != nil {
 			return perr
 		}
+		release, perr := c.enterSession(sid)
+		if perr != nil {
+			return perr
+		}
 		th.Submit(pythia.ID(id))
+		release()
 		return nil
 	case wire.TSubmitBatch:
 		sid, batch, err := wire.ParseSubmitBatch(payload)
@@ -430,9 +446,14 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		if perr != nil {
 			return perr
 		}
+		release, perr := c.enterSession(sid)
+		if perr != nil {
+			return perr
+		}
 		for i, n := 0, batch.Len(); i < n; i++ {
 			th.Submit(pythia.ID(batch.At(i)))
 		}
+		release()
 		return nil
 	case wire.TPredictAt:
 		sid, distance, err := wire.ParsePredictAt(payload)
@@ -443,7 +464,12 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		if perr != nil {
 			return perr
 		}
+		release, perr := c.enterSession(sid)
+		if perr != nil {
+			return perr
+		}
 		pr, ok := th.PredictAt(distance)
+		release()
 		c.out = wire.AppendPrediction(c.out[:0], pr, ok)
 		return wire.WriteFrame(c.bw, wire.TPrediction, c.out)
 	case wire.TPredictSequence:
@@ -465,7 +491,12 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		} else if n > wire.MaxPredictions {
 			n = wire.MaxPredictions
 		}
+		release, perr := c.enterSession(sid)
+		if perr != nil {
+			return perr
+		}
 		preds := th.PredictSequence(n)
+		release()
 		c.out = wire.AppendPredictions(c.out[:0], preds)
 		return wire.WriteFrame(c.bw, wire.TPredictions, c.out)
 	case wire.TOpenSession:
@@ -486,6 +517,24 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 			return badFrame(err.Error())
 		}
 		return c.health(tenant)
+	case wire.TShmSetup:
+		ss, err := wire.ParseShmSetup(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.shmSetup(ss)
+	case wire.TShmBind:
+		sid, ring, err := wire.ParseShmBind(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.shmBind(sid, ring)
+	case wire.TSubscribe:
+		sub, err := wire.ParseSubscribe(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.shmSubscribe(sub)
 	case wire.THello:
 		return badFrame("duplicate Hello")
 	default:
@@ -604,6 +653,11 @@ func (c *conn) tenantOf(name string) (*connTenant, *protoErr) {
 func (c *conn) closeSession(sid uint32) error {
 	if int(sid) >= len(c.sessions) || !c.sessions[sid].open {
 		return errUnknownSession
+	}
+	// A ring-bound session drains its ring before closing, so no submitted
+	// event is lost; the ring becomes rebindable.
+	if perr := c.shmUnbind(sid); perr != nil {
+		return perr
 	}
 	c.sessions[sid].open = false
 	c.srv.sessions.Add(-1)

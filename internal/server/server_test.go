@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"os"
 	"path/filepath"
 	"sort"
 	"testing"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/harness"
+	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/pythia"
 	"repro/pythia/client"
@@ -186,10 +188,50 @@ func diffResults(t *testing.T, tid int32, local, remote replayResult) {
 	}
 }
 
-// TestRemoteBitIdenticalAllApps is the PR's differential acceptance test:
-// every app kernel replayed through pythia/client against a local pythiad
-// must produce predictions bit-identical to the in-process oracle fed the
-// same stream.
+// startServerTransports serves one Server on both a TCP and a unix
+// listener, returning the TCP address and the unix address (scheme-
+// prefixed, ready for client.Dial).
+func startServerTransports(t *testing.T, cfg Config) (*Server, string, string) {
+	t.Helper()
+	tln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("tcp listen: %v", err)
+	}
+	// A short private dir keeps the socket path inside the sun_path limit
+	// (t.TempDir names grow with the test name).
+	sockDir, err := os.MkdirTemp("", "pythia-uds")
+	if err != nil {
+		t.Fatalf("socket dir: %v", err)
+	}
+	unixAddr := "unix://" + filepath.Join(sockDir, "d.sock")
+	uln, err := transport.Listen(unixAddr)
+	if err != nil {
+		t.Fatalf("unix listen: %v", err)
+	}
+	srv := New(cfg)
+	serveErr := make(chan error, 2)
+	go func() { serveErr <- srv.Serve(tln) }()
+	go func() { serveErr <- srv.Serve(uln) }()
+	t.Cleanup(func() {
+		if err := srv.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		for i := 0; i < 2; i++ {
+			if err := <-serveErr; err != nil {
+				t.Errorf("serve: %v", err)
+			}
+		}
+		if err := os.RemoveAll(sockDir); err != nil {
+			t.Errorf("removing socket dir: %v", err)
+		}
+	})
+	return srv, tln.Addr().String(), unixAddr
+}
+
+// TestRemoteBitIdenticalAllApps is the differential acceptance test: every
+// app kernel replayed through pythia/client against a local pythiad — over
+// every transport tier — must produce predictions bit-identical to the
+// in-process oracle fed the same stream.
 func TestRemoteBitIdenticalAllApps(t *testing.T) {
 	if testing.Short() {
 		t.Skip("records and replays all 13 applications")
@@ -198,7 +240,16 @@ func TestRemoteBitIdenticalAllApps(t *testing.T) {
 	for _, app := range apps.All() {
 		recordTrace(t, dir, app.Name, app, apps.Small, 42)
 	}
-	_, addr := startServer(t, Config{TraceDir: dir})
+	_, tcpAddr, unixAddr := startServerTransports(t, Config{TraceDir: dir})
+	transports := []struct {
+		name string
+		addr string
+		cfg  client.Config
+	}{
+		{"tcp", tcpAddr, client.Config{}},
+		{"unix", unixAddr, client.Config{}},
+		{"shm", unixAddr, client.Config{SharedMem: true}},
+	}
 
 	const maxDist = 32
 	for _, app := range apps.All() {
@@ -216,26 +267,37 @@ func TestRemoteBitIdenticalAllApps(t *testing.T) {
 			if err != nil {
 				t.Fatalf("local oracle: %v", err)
 			}
-			remoteOracle, err := client.Connect(addr, app.Name, client.Config{})
-			if err != nil {
-				t.Fatalf("remote oracle: %v", err)
-			}
-			defer func() {
-				if err := remoteOracle.Close(); err != nil {
-					t.Errorf("closing remote oracle: %v", err)
-				}
-			}()
-
 			tids := make([]int32, 0, len(streams))
 			for tid := range streams {
 				tids = append(tids, tid)
 			}
 			sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+			// One local replay per thread, compared against every transport.
+			locals := make(map[int32]replayResult, len(tids))
 			for _, tid := range tids {
-				stream := streams[tid]
-				local := replayStream(localOracle, localThread{localOracle.Thread(tid)}, stream, maxDist)
-				remote := replayStream(remoteOracle, remoteOracle.Thread(tid), stream, maxDist)
-				diffResults(t, tid, local, remote)
+				locals[tid] = replayStream(localOracle, localThread{localOracle.Thread(tid)}, streams[tid], maxDist)
+			}
+
+			for _, tr := range transports {
+				tr := tr
+				t.Run(tr.name, func(t *testing.T) {
+					remoteOracle, err := client.Connect(tr.addr, app.Name, tr.cfg)
+					if err != nil {
+						t.Fatalf("remote oracle: %v", err)
+					}
+					defer func() {
+						if err := remoteOracle.Close(); err != nil {
+							t.Errorf("closing remote oracle: %v", err)
+						}
+					}()
+					if got := remoteOracle.Transport(); got != tr.name {
+						t.Fatalf("negotiated transport %q, want %q", got, tr.name)
+					}
+					for _, tid := range tids {
+						remote := replayStream(remoteOracle, remoteOracle.Thread(tid), streams[tid], maxDist)
+						diffResults(t, tid, locals[tid], remote)
+					}
+				})
 			}
 		})
 	}

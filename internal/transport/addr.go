@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+// Address schemes. A bare "host:port" is TCP; "tcp://host:port" spells it
+// out; "unix:///path/to.sock" (or "unix:/path") is a unix-domain socket.
+const (
+	NetTCP  = "tcp"
+	NetUnix = "unix"
+)
+
+// ErrAddrInUse reports a unix listen address whose socket file is owned by
+// a live listener.
+var ErrAddrInUse = errors.New("transport: address already in use")
+
+// ParseAddr splits a listen/dial address into (network, address).
+func ParseAddr(addr string) (network, address string, err error) {
+	switch {
+	case strings.HasPrefix(addr, "unix://"):
+		network, address = NetUnix, strings.TrimPrefix(addr, "unix://")
+	case strings.HasPrefix(addr, "unix:"):
+		network, address = NetUnix, strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp://"):
+		network, address = NetTCP, strings.TrimPrefix(addr, "tcp://")
+	case strings.Contains(addr, "://"):
+		return "", "", fmt.Errorf("transport: unsupported scheme in %q (want tcp:// or unix://)", addr)
+	default:
+		network, address = NetTCP, addr
+	}
+	if address == "" {
+		return "", "", fmt.Errorf("transport: empty address in %q", addr)
+	}
+	return network, address, nil
+}
+
+// Listen binds addr. For unix addresses it applies the daemon's trust
+// model: the socket file is created mode 0600 (only the daemon's own user
+// can connect), a stale socket file left by a crashed daemon is detected by
+// dialing it (refused ⇒ dead ⇒ removed) and never clobbered while a live
+// listener owns it, and the file is unlinked again when the listener
+// closes (net's default unlink-on-close), so a graceful drain leaves no
+// residue.
+func Listen(addr string) (net.Listener, error) {
+	network, address, err := ParseAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	if network == NetUnix {
+		if err := clearStaleSocket(address); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %s: %w", addr, err)
+	}
+	if network == NetUnix {
+		if cerr := os.Chmod(address, 0o600); cerr != nil {
+			if lerr := ln.Close(); lerr != nil {
+				cerr = errors.Join(cerr, lerr)
+			}
+			return nil, fmt.Errorf("transport: restricting %s to 0600: %w", address, cerr)
+		}
+	}
+	return ln, nil
+}
+
+// clearStaleSocket removes a dead socket file at path and refuses to touch
+// a live one. A plain file (or anything else non-socket) at the path is
+// left alone — failing the subsequent bind is safer than deleting a file
+// the daemon does not own.
+func clearStaleSocket(path string) error {
+	fi, err := os.Lstat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("transport: probing %s: %w", path, err)
+	}
+	if fi.Mode()&os.ModeSocket == 0 {
+		return nil // not a socket: let the bind fail with the truth
+	}
+	nc, err := net.DialTimeout(NetUnix, path, time.Second)
+	if err == nil {
+		if cerr := nc.Close(); cerr != nil {
+			return fmt.Errorf("transport: closing liveness probe of %s: %w", path, cerr)
+		}
+		return fmt.Errorf("%w: %s has a live listener", ErrAddrInUse, path)
+	}
+	// Dead socket (connection refused, or any dial failure on an orphaned
+	// inode): remove it so the fresh daemon can bind.
+	if rerr := os.Remove(path); rerr != nil && !os.IsNotExist(rerr) {
+		return fmt.Errorf("transport: removing stale socket %s: %w", path, rerr)
+	}
+	return nil
+}
+
+// Dial connects to addr within timeout.
+func Dial(addr string, timeout time.Duration) (net.Conn, string, error) {
+	network, address, err := ParseAddr(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	nc, err := net.DialTimeout(network, address, timeout)
+	if err != nil {
+		return nil, "", fmt.Errorf("transport: dialing %s: %w", addr, err)
+	}
+	return nc, network, nil
+}
+
+// DefaultSegmentDir picks where shm segment files live: /dev/shm when the
+// platform mounts it (memory-backed, the canonical choice on Linux),
+// otherwise the system temp directory — still mmap-shareable, possibly
+// disk-backed.
+func DefaultSegmentDir() string {
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		return "/dev/shm"
+	}
+	return os.TempDir()
+}

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseAddr(t *testing.T) {
+	cases := []struct {
+		in, network, address string
+		ok                   bool
+	}{
+		{"127.0.0.1:9000", NetTCP, "127.0.0.1:9000", true},
+		{"tcp://127.0.0.1:9000", NetTCP, "127.0.0.1:9000", true},
+		{"unix:///tmp/p.sock", NetUnix, "/tmp/p.sock", true},
+		{"unix:/tmp/p.sock", NetUnix, "/tmp/p.sock", true},
+		{"http://x", "", "", false},
+		{"unix://", "", "", false},
+		{"", "", "", false},
+	}
+	for _, tc := range cases {
+		network, address, err := ParseAddr(tc.in)
+		if tc.ok && (err != nil || network != tc.network || address != tc.address) {
+			t.Errorf("ParseAddr(%q) = (%q, %q, %v), want (%q, %q, nil)",
+				tc.in, network, address, err, tc.network, tc.address)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", tc.in)
+		}
+	}
+}
+
+func TestListenUnixModeAndCleanup(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "p.sock")
+	ln, err := Listen("unix://" + sock)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	fi, err := os.Lstat(sock)
+	if err != nil {
+		t.Fatalf("socket file missing: %v", err)
+	}
+	if perm := fi.Mode().Perm(); perm != 0o600 {
+		t.Errorf("socket mode %o, want 0600", perm)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Lstat(sock); !os.IsNotExist(err) {
+		t.Errorf("socket file survived listener close: %v", err)
+	}
+}
+
+func TestListenRefusesLiveSocket(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "p.sock")
+	ln, err := Listen("unix://" + sock)
+	if err != nil {
+		t.Fatalf("first Listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	if _, err := Listen("unix://" + sock); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("second Listen = %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestListenRemovesDeadSocket(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "p.sock")
+	// Fabricate a dead socket file: bind then close without net's cleanup.
+	addr, err := net.ResolveUnixAddr("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.ListenUnix("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.SetUnlinkOnClose(false)
+	ln.Close()
+	if _, err := os.Lstat(sock); err != nil {
+		t.Fatalf("dead socket file not left behind: %v", err)
+	}
+	ln2, err := Listen("unix://" + sock)
+	if err != nil {
+		t.Fatalf("Listen over dead socket: %v", err)
+	}
+	ln2.Close()
+}
+
+func TestListenLeavesNonSocketAlone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.sock")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen("unix://" + path); err == nil {
+		t.Fatal("Listen succeeded over a regular file")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "precious" {
+		t.Fatalf("regular file clobbered: %q, %v", data, err)
+	}
+}
+
+func TestDialUnix(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "p.sock")
+	ln, err := Listen("unix://" + sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	nc, network, err := Dial("unix://"+sock, time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if network != NetUnix {
+		t.Errorf("network = %q, want unix", network)
+	}
+	nc.Close()
+	<-done
+}
+
+func TestSegmentCreateOpenRoundTrip(t *testing.T) {
+	g := testGeometry()
+	seg, err := CreateSegment(t.TempDir(), g.SegmentSize())
+	if err != nil {
+		t.Fatalf("CreateSegment: %v", err)
+	}
+	defer seg.Close()
+	WriteHeader(seg.Bytes(), g)
+
+	peer, err := OpenSegment(seg.Path(), g.SegmentSize())
+	if err != nil {
+		t.Fatalf("OpenSegment: %v", err)
+	}
+	defer peer.Close()
+	if err := ReadHeader(peer.Bytes(), g); err != nil {
+		t.Fatalf("peer ReadHeader: %v", err)
+	}
+
+	// The mappings are the same physical pages.
+	cr, err := MapRings(seg.Bytes(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := MapRings(peer.Bytes(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr[0].TryPush(1234) {
+		t.Fatal("TryPush failed")
+	}
+	buf := make([]int32, 4)
+	n, err := pr[0].ConsumeInto(buf)
+	if err != nil || n != 1 || buf[0] != 1234 {
+		t.Fatalf("peer ConsumeInto = (%d, %v) buf=%v, want the pushed id", n, err, buf[:n])
+	}
+
+	// Unlink removes the file; both mappings stay usable.
+	if err := seg.Unlink(); err != nil {
+		t.Fatalf("Unlink: %v", err)
+	}
+	if _, err := os.Lstat(seg.Path()); !os.IsNotExist(err) {
+		t.Errorf("segment file survived Unlink: %v", err)
+	}
+	if !cr[0].TryPush(5678) {
+		t.Fatal("TryPush after unlink failed")
+	}
+	if n, err := pr[0].ConsumeInto(buf); err != nil || n != 1 || buf[0] != 5678 {
+		t.Fatalf("post-unlink ConsumeInto = (%d, %v) buf=%v", n, err, buf[:n])
+	}
+}
+
+func TestOpenSegmentValidation(t *testing.T) {
+	dir := t.TempDir()
+	g := testGeometry()
+	size := g.SegmentSize()
+
+	if _, err := OpenSegment("relative/path", size); err == nil {
+		t.Error("OpenSegment accepted a relative path")
+	}
+	if _, err := OpenSegment(filepath.Join(dir, "absent"), size); err == nil {
+		t.Error("OpenSegment accepted a missing file")
+	}
+
+	seg, err := CreateSegment(dir, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if _, err := OpenSegment(seg.Path(), size+1); !errors.Is(err, ErrBadSegment) {
+		t.Errorf("size mismatch: OpenSegment = %v, want ErrBadSegment", err)
+	}
+
+	// Wrong mode is refused.
+	loose := filepath.Join(dir, "loose")
+	if err := os.WriteFile(loose, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegment(loose, size); err == nil {
+		t.Error("OpenSegment accepted a 0644 file")
+	}
+
+	// A symlink at the final component is refused (O_NOFOLLOW).
+	link := filepath.Join(dir, "link")
+	if err := os.Symlink(seg.Path(), link); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegment(link, size); err == nil {
+		t.Error("OpenSegment followed a symlink")
+	}
+
+	if _, err := OpenSegment(seg.Path(), 0); !errors.Is(err, ErrBadGeometry) {
+		t.Errorf("zero size: OpenSegment = %v, want ErrBadGeometry", err)
+	}
+	if _, err := CreateSegment(dir, MaxSegment+1); !errors.Is(err, ErrBadGeometry) {
+		t.Errorf("oversize: CreateSegment = %v, want ErrBadGeometry", err)
+	}
+}

@@ -1,0 +1,31 @@
+//go:build !unix
+
+package transport
+
+import "errors"
+
+// ErrShmUnsupported gates the shared-memory tier on platforms without
+// mmap'd file mappings; callers fall back to the socket tiers.
+var ErrShmUnsupported = errors.New("transport: shared memory not supported on this platform")
+
+// Segment is unavailable on non-unix platforms; every constructor fails
+// with ErrShmUnsupported and the socket tiers carry the traffic.
+type Segment struct{}
+
+// CreateSegment always fails on this platform.
+func CreateSegment(dir string, size int) (*Segment, error) { return nil, ErrShmUnsupported }
+
+// OpenSegment always fails on this platform.
+func OpenSegment(path string, size int) (*Segment, error) { return nil, ErrShmUnsupported }
+
+// Bytes is never reachable (no constructor succeeds).
+func (s *Segment) Bytes() []byte { return nil }
+
+// Path is never reachable (no constructor succeeds).
+func (s *Segment) Path() string { return "" }
+
+// Unlink is never reachable (no constructor succeeds).
+func (s *Segment) Unlink() error { return ErrShmUnsupported }
+
+// Close is never reachable (no constructor succeeds).
+func (s *Segment) Close() error { return ErrShmUnsupported }

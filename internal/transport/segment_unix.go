@@ -1,0 +1,152 @@
+//go:build unix
+
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// Segment is an mmap'd shared-memory file: the client creates it, the
+// server opens it by path (validated as untrusted input), and once both
+// sides hold the mapping the creator unlinks it so a crash on either side
+// leaves nothing behind.
+type Segment struct {
+	f     *os.File
+	data  []byte
+	path  string
+	owner bool // creator: Close also unlinks
+}
+
+// CreateSegment makes a fresh segment file of exactly size bytes in dir
+// (DefaultSegmentDir when empty), mode 0600, and maps it shared.
+func CreateSegment(dir string, size int) (*Segment, error) {
+	if size <= 0 || size > MaxSegment {
+		return nil, fmt.Errorf("%w: segment size %d", ErrBadGeometry, size)
+	}
+	if dir == "" {
+		dir = DefaultSegmentDir()
+	}
+	f, err := os.CreateTemp(dir, "pythia-shm-*")
+	if err != nil {
+		return nil, fmt.Errorf("transport: creating segment: %w", err)
+	}
+	if err := f.Truncate(int64(size)); err != nil {
+		return nil, closeCleanup(f, true, fmt.Errorf("transport: sizing segment: %w", err))
+	}
+	data, err := mmap(f, size)
+	if err != nil {
+		return nil, closeCleanup(f, true, err)
+	}
+	return &Segment{f: f, data: data, path: f.Name(), owner: true}, nil
+}
+
+// OpenSegment maps a client-named segment file. The path is untrusted: it
+// must be absolute, must not traverse a symlink at the final component
+// (O_NOFOLLOW), and the opened file must be a regular file owned by this
+// process's uid, mode 0600, of exactly the negotiated size — anything else
+// is refused before a byte is mapped.
+func OpenSegment(path string, size int) (*Segment, error) {
+	if size <= 0 || size > MaxSegment {
+		return nil, fmt.Errorf("%w: segment size %d", ErrBadGeometry, size)
+	}
+	if !filepath.IsAbs(path) {
+		return nil, fmt.Errorf("transport: segment path %q is not absolute", path)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|syscall.O_NOFOLLOW, 0)
+	if err != nil {
+		return nil, fmt.Errorf("transport: opening segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, closeCleanup(f, false, fmt.Errorf("transport: segment stat: %w", err))
+	}
+	if !fi.Mode().IsRegular() {
+		return nil, closeCleanup(f, false, fmt.Errorf("transport: segment %s is not a regular file", path))
+	}
+	if perm := fi.Mode().Perm(); perm != 0o600 {
+		return nil, closeCleanup(f, false, fmt.Errorf("transport: segment %s has mode %o, want 0600", path, perm))
+	}
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok || int(st.Uid) != os.Getuid() {
+		return nil, closeCleanup(f, false, fmt.Errorf("transport: segment %s is not owned by this user", path))
+	}
+	if fi.Size() != int64(size) {
+		return nil, closeCleanup(f, false, fmt.Errorf("%w: segment file is %d bytes, negotiated %d", ErrBadSegment, fi.Size(), size))
+	}
+	data, err := mmap(f, size)
+	if err != nil {
+		return nil, closeCleanup(f, false, err)
+	}
+	return &Segment{f: f, data: data, path: path}, nil
+}
+
+func mmap(f *os.File, size int) ([]byte, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("transport: mmap: %w", err)
+	}
+	return data, nil
+}
+
+// closeCleanup folds teardown errors into err on a failed create/open.
+func closeCleanup(f *os.File, unlink bool, err error) error {
+	if cerr := f.Close(); cerr != nil {
+		err = errors.Join(err, cerr)
+	}
+	if unlink {
+		if rerr := os.Remove(f.Name()); rerr != nil && !os.IsNotExist(rerr) {
+			err = errors.Join(err, rerr)
+		}
+	}
+	return err
+}
+
+// Bytes is the mapped segment. It stays valid until Close.
+func (s *Segment) Bytes() []byte { return s.data }
+
+// Path is the segment file's path (the name that crosses the wire).
+func (s *Segment) Path() string { return s.path }
+
+// Unlink removes the segment file while keeping the mapping alive — the
+// creator calls it once the peer confirms its own mapping, so the segment
+// lives on only as anonymous shared pages and vanishes with the processes.
+func (s *Segment) Unlink() error {
+	if !s.owner {
+		return nil
+	}
+	s.owner = false
+	if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("transport: unlinking segment: %w", err)
+	}
+	return nil
+}
+
+// Close unmaps and closes the segment (and unlinks it if this side created
+// it and never got to Unlink).
+func (s *Segment) Close() error {
+	var err error
+	if s.data != nil {
+		if merr := syscall.Munmap(s.data); merr != nil {
+			err = fmt.Errorf("transport: munmap: %w", merr)
+		}
+		s.data = nil
+	}
+	if s.f != nil {
+		if cerr := s.f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		s.f = nil
+	}
+	if s.owner {
+		s.owner = false
+		if rerr := os.Remove(s.path); rerr != nil && !os.IsNotExist(rerr) {
+			err = errors.Join(err, rerr)
+		}
+	}
+	return err
+}

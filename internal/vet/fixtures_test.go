@@ -41,6 +41,8 @@ func TestUntrustedSizeFixture(t *testing.T) {
 	expectFindings(t, got, []string{
 		"[untrusted-size] size n from untrusted source binary.Uint32 reaches make",
 		"[untrusted-size] size n from untrusted source binary.Uint16 reaches io.ReadFull",
+		"[untrusted-size] size rings from untrusted source binary.Uint32 reaches make",
+		"[untrusted-size] size slots from untrusted source binary.Uint64 reaches make",
 	})
 }
 

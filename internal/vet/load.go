@@ -3,6 +3,7 @@ package vet
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -169,6 +170,15 @@ func (ld *loader) parseDir(dir string) error {
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Respect build constraints (//go:build lines and GOOS/GOARCH file
+		// suffixes) the same way the toolchain does — otherwise a package
+		// with platform-split files (e.g. a unix implementation plus its
+		// stub twin) type-checks as a redeclaration.
+		if match, err := build.Default.MatchFile(dir, name); err != nil {
+			return fmt.Errorf("vet: matching %s: %w", filepath.Join(dir, name), err)
+		} else if !match {
 			continue
 		}
 		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -26,3 +26,16 @@ func FillPayload(r io.Reader, hdr, buf []byte) error {
 	_, err := io.ReadFull(r, buf[:n]) // seeded bug: unclamped slice bound
 	return err
 }
+
+// MapSegmentRings is the PR 7 shm ring-decoder class in miniature: ring
+// geometry read straight out of a client-controlled segment header sizes
+// the ring table allocation unchecked.
+func MapSegmentRings(seg []byte) [][]uint64 {
+	rings := binary.LittleEndian.Uint32(seg[8:])
+	slots := binary.LittleEndian.Uint64(seg[16:])
+	table := make([][]uint64, rings) // seeded bug: unclamped ring count
+	for i := range table {
+		table[i] = make([]uint64, slots) // seeded bug: unclamped slot count
+	}
+	return table
+}

@@ -46,3 +46,28 @@ func FillPayloadMin(r io.Reader, hdr, buf []byte) error {
 func DecodeTrusted(hdr []byte) []uint64 {
 	return make([]uint64, binary.BigEndian.Uint32(hdr))
 }
+
+const (
+	maxRings = 256
+	maxSlots = 1 << 18
+)
+
+// MapSegmentRingsValidated is the corrected twin of MapSegmentRings:
+// geometry passes explicit relational bounds before sizing anything — the
+// guard shape the daemon's shm setup uses (an opaque Validate() call would
+// not dominate the allocations in the analyzer's flow approximation).
+func MapSegmentRingsValidated(seg []byte) ([][]uint64, error) {
+	rings := binary.LittleEndian.Uint32(seg[8:])
+	slots := binary.LittleEndian.Uint64(seg[16:])
+	if rings < 1 || rings > maxRings {
+		return nil, errors.New("fixture: ring count out of range")
+	}
+	if slots < 64 || slots > maxSlots {
+		return nil, errors.New("fixture: slot count out of range")
+	}
+	table := make([][]uint64, rings)
+	for i := range table {
+		table[i] = make([]uint64, slots)
+	}
+	return table, nil
+}

@@ -31,8 +31,14 @@ func FuzzWireDecode(f *testing.F) {
 		AppendCloseSession(nil, 9),
 		AppendSessionClosed(nil, 9),
 		AppendError(nil, CodeDraining, "drain"),
+		AppendShmSetup(nil, ShmSetup{Rings: 4, Slots: 4096, PredCap: 32, SegSize: 1 << 20, Path: "/dev/shm/pythia-shm-x"}),
+		AppendShmSetupOK(nil, 4),
+		AppendShmBind(nil, 1, 0),
+		AppendShmBound(nil, 1, 0),
+		AppendSubscribe(nil, Subscribe{Session: 1, Horizon: 16, Every: 32}),
+		AppendSubscribed(nil, 1),
 	}
-	for t := THello; t <= TError; t++ {
+	for t := THello; t <= TSubscribed; t++ {
 		for _, s := range seeds {
 			f.Add(uint8(t), frameBytes(t, s))
 			if len(s) > 0 {
@@ -117,5 +123,17 @@ func exerciseParsers(t *testing.T, typ Type, payload []byte) {
 		_, _ = ParseSessionClosed(payload)
 	case TError:
 		_, _, _ = ParseError(payload)
+	case TShmSetup:
+		_, _ = ParseShmSetup(payload)
+	case TShmSetupOK:
+		_, _ = ParseShmSetupOK(payload)
+	case TShmBind:
+		_, _, _ = ParseShmBind(payload)
+	case TShmBound:
+		_, _, _ = ParseShmBound(payload)
+	case TSubscribe:
+		_, _ = ParseSubscribe(payload)
+	case TSubscribed:
+		_, _ = ParseSubscribed(payload)
 	}
 }

@@ -75,6 +75,12 @@ const (
 	TCloseSession    Type = 13 // c->s: session
 	TSessionClosed   Type = 14 // s->c: session
 	TError           Type = 15 // s->c: code, message
+	TShmSetup        Type = 16 // c->s: ring geometry, segment size, segment path
+	TShmSetupOK      Type = 17 // s->c: rings accepted
+	TShmBind         Type = 18 // c->s: session, ring index
+	TShmBound        Type = 19 // s->c: session, ring index
+	TSubscribe       Type = 20 // c->s: session, horizon, refresh cadence
+	TSubscribed      Type = 21 // s->c: session
 )
 
 // String names the frame type.
@@ -110,6 +116,18 @@ func (t Type) String() string {
 		return "SessionClosed"
 	case TError:
 		return "Error"
+	case TShmSetup:
+		return "ShmSetup"
+	case TShmSetupOK:
+		return "ShmSetupOK"
+	case TShmBind:
+		return "ShmBind"
+	case TShmBound:
+		return "ShmBound"
+	case TSubscribe:
+		return "Subscribe"
+	case TSubscribed:
+		return "Subscribed"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -129,6 +147,10 @@ const (
 	CodeConnLimit        Code = 7 // server-wide connection budget exhausted; connection-fatal
 	CodeDraining         Code = 8 // server is draining; no new sessions
 	CodeInternal         Code = 9 // server-side failure opening the session
+	// CodeShmSetup reports a refused shared-memory negotiation (bad
+	// geometry, unmappable segment, shm unsupported). Non-fatal: the client
+	// keeps the socket it negotiated on and falls back to socket transport.
+	CodeShmSetup Code = 10
 )
 
 // String names the error code.
@@ -152,6 +174,8 @@ func (c Code) String() string {
 		return "draining"
 	case CodeInternal:
 		return "internal"
+	case CodeShmSetup:
+		return "shm setup refused"
 	default:
 		return fmt.Sprintf("Code(%d)", uint16(c))
 	}
@@ -720,4 +744,139 @@ func ParseError(p []byte) (code Code, msg string, err error) {
 		return 0, "", malformed("Error")
 	}
 	return code, msg, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared-memory negotiation (transport tier 3). The client creates the
+// segment, names it in ShmSetup over its socket connection, then binds
+// sessions to rings; the server decodes event ids straight out of the mapped
+// rings from then on. Everything in these frames — geometry, sizes, the
+// path itself — is untrusted input on the receiving side.
+
+// ShmSetup is the decoded form of a TShmSetup payload: the ring geometry
+// and the segment file carrying it. SegSize is redundant with the geometry
+// (the server recomputes and compares) — a cheap cross-check that the two
+// sides agree on layout arithmetic before either maps a byte.
+type ShmSetup struct {
+	Rings   uint32
+	Slots   uint32
+	PredCap uint32
+	SegSize uint64
+	Path    string
+}
+
+// AppendShmSetup encodes a ShmSetup payload.
+func AppendShmSetup(buf []byte, ss ShmSetup) []byte {
+	buf = appendU32(buf, ss.Rings)
+	buf = appendU32(buf, ss.Slots)
+	buf = appendU32(buf, ss.PredCap)
+	buf = appendU64(buf, ss.SegSize)
+	return appendString(buf, ss.Path)
+}
+
+// ParseShmSetup decodes a TShmSetup payload.
+func ParseShmSetup(p []byte) (ShmSetup, error) {
+	c := newCursor(p)
+	var ss ShmSetup
+	ss.Rings = c.u32()
+	ss.Slots = c.u32()
+	ss.PredCap = c.u32()
+	ss.SegSize = c.u64()
+	ss.Path = c.str()
+	if !c.done() {
+		return ShmSetup{}, malformed("ShmSetup")
+	}
+	return ss, nil
+}
+
+// AppendShmSetupOK encodes a ShmSetupOK payload (the ring count the server
+// mapped, echoing the accepted geometry).
+func AppendShmSetupOK(buf []byte, rings uint32) []byte { return appendU32(buf, rings) }
+
+// ParseShmSetupOK decodes a TShmSetupOK payload.
+func ParseShmSetupOK(p []byte) (rings uint32, err error) {
+	c := newCursor(p)
+	rings = c.u32()
+	if !c.done() {
+		return 0, malformed("ShmSetupOK")
+	}
+	return rings, nil
+}
+
+// AppendShmBind encodes a ShmBind payload: route session's submissions
+// through ring (an index into the negotiated segment) from now on.
+func AppendShmBind(buf []byte, session, ring uint32) []byte {
+	buf = appendU32(buf, session)
+	return appendU32(buf, ring)
+}
+
+// ParseShmBind decodes a TShmBind payload.
+func ParseShmBind(p []byte) (session, ring uint32, err error) {
+	c := newCursor(p)
+	session = c.u32()
+	ring = c.u32()
+	if !c.done() {
+		return 0, 0, malformed("ShmBind")
+	}
+	return session, ring, nil
+}
+
+// AppendShmBound encodes a ShmBound payload.
+func AppendShmBound(buf []byte, session, ring uint32) []byte {
+	buf = appendU32(buf, session)
+	return appendU32(buf, ring)
+}
+
+// ParseShmBound decodes a TShmBound payload.
+func ParseShmBound(p []byte) (session, ring uint32, err error) {
+	c := newCursor(p)
+	session = c.u32()
+	ring = c.u32()
+	if !c.done() {
+		return 0, 0, malformed("ShmBound")
+	}
+	return session, ring, nil
+}
+
+// Subscribe asks the server to keep the session's ring prediction slot
+// fresh: after every `Every` consumed events it republishes
+// PredictSequence(Horizon) into the seqlock'd slot, so a co-located client
+// reads the latest predictions without a round trip.
+type Subscribe struct {
+	Session uint32
+	Horizon uint32 // predictions per refresh (clamped to the ring's PredCap)
+	Every   uint32 // refresh cadence in consumed events (0 = every decode pass)
+}
+
+// AppendSubscribe encodes a Subscribe payload.
+func AppendSubscribe(buf []byte, s Subscribe) []byte {
+	buf = appendU32(buf, s.Session)
+	buf = appendU32(buf, s.Horizon)
+	return appendU32(buf, s.Every)
+}
+
+// ParseSubscribe decodes a TSubscribe payload.
+func ParseSubscribe(p []byte) (Subscribe, error) {
+	c := newCursor(p)
+	var s Subscribe
+	s.Session = c.u32()
+	s.Horizon = c.u32()
+	s.Every = c.u32()
+	if !c.done() {
+		return Subscribe{}, malformed("Subscribe")
+	}
+	return s, nil
+}
+
+// AppendSubscribed encodes a Subscribed payload.
+func AppendSubscribed(buf []byte, session uint32) []byte { return appendU32(buf, session) }
+
+// ParseSubscribed decodes a TSubscribed payload.
+func ParseSubscribed(p []byte) (session uint32, err error) {
+	c := newCursor(p)
+	session = c.u32()
+	if !c.done() {
+		return 0, malformed("Subscribed")
+	}
+	return session, nil
 }

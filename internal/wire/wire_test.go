@@ -255,6 +255,35 @@ func TestCloseAndErrorRoundTrip(t *testing.T) {
 	}
 }
 
+func TestShmRoundTrips(t *testing.T) {
+	ss := ShmSetup{Rings: 8, Slots: 4096, PredCap: 64, SegSize: 3 << 20, Path: "/dev/shm/pythia-shm-42"}
+	got, err := ParseShmSetup(AppendShmSetup(nil, ss))
+	if err != nil || got != ss {
+		t.Fatalf("ParseShmSetup = %+v, %v, want %+v", got, err, ss)
+	}
+	rings, err := ParseShmSetupOK(AppendShmSetupOK(nil, 8))
+	if err != nil || rings != 8 {
+		t.Fatalf("ParseShmSetupOK = %d, %v", rings, err)
+	}
+	sess, ring, err := ParseShmBind(AppendShmBind(nil, 5, 2))
+	if err != nil || sess != 5 || ring != 2 {
+		t.Fatalf("ParseShmBind = %d, %d, %v", sess, ring, err)
+	}
+	sess, ring, err = ParseShmBound(AppendShmBound(nil, 5, 2))
+	if err != nil || sess != 5 || ring != 2 {
+		t.Fatalf("ParseShmBound = %d, %d, %v", sess, ring, err)
+	}
+	sub := Subscribe{Session: 5, Horizon: 16, Every: 32}
+	gotSub, err := ParseSubscribe(AppendSubscribe(nil, sub))
+	if err != nil || gotSub != sub {
+		t.Fatalf("ParseSubscribe = %+v, %v, want %+v", gotSub, err, sub)
+	}
+	sess, err = ParseSubscribed(AppendSubscribed(nil, 5))
+	if err != nil || sess != 5 {
+		t.Fatalf("ParseSubscribed = %d, %v", sess, err)
+	}
+}
+
 func TestTrailingBytesAreMalformed(t *testing.T) {
 	checks := []func([]byte) error{
 		func(p []byte) error { _, err := ParseHello(p); return err },
@@ -270,6 +299,12 @@ func TestTrailingBytesAreMalformed(t *testing.T) {
 		func(p []byte) error { _, err := ParseHealthInfo(p); return err },
 		func(p []byte) error { _, err := ParseCloseSession(p); return err },
 		func(p []byte) error { _, _, err := ParseError(p); return err },
+		func(p []byte) error { _, err := ParseShmSetup(p); return err },
+		func(p []byte) error { _, err := ParseShmSetupOK(p); return err },
+		func(p []byte) error { _, _, err := ParseShmBind(p); return err },
+		func(p []byte) error { _, _, err := ParseShmBound(p); return err },
+		func(p []byte) error { _, err := ParseSubscribe(p); return err },
+		func(p []byte) error { _, err := ParseSubscribed(p); return err },
 	}
 	bodies := [][]byte{
 		AppendHello(nil),
@@ -285,6 +320,12 @@ func TestTrailingBytesAreMalformed(t *testing.T) {
 		AppendHealthInfo(nil, HealthInfo{}),
 		AppendCloseSession(nil, 1),
 		AppendError(nil, CodeInternal, "x"),
+		AppendShmSetup(nil, ShmSetup{Rings: 1, Slots: 64, PredCap: 1, SegSize: 1, Path: "/p"}),
+		AppendShmSetupOK(nil, 1),
+		AppendShmBind(nil, 1, 0),
+		AppendShmBound(nil, 1, 0),
+		AppendSubscribe(nil, Subscribe{Session: 1, Horizon: 1, Every: 1}),
+		AppendSubscribed(nil, 1),
 	}
 	for i, check := range checks {
 		if err := check(append(bodies[i], 0)); err == nil {

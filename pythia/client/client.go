@@ -28,11 +28,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/events"
+	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/pythia"
 )
@@ -56,6 +58,16 @@ type Config struct {
 	// one-way SubmitBatch flush. 0 means DefaultSubmitFlush; 1 disables
 	// batching.
 	SubmitFlush int
+	// SharedMem asks for the shared-memory ring transport when the
+	// connection lands on a unix socket: per-thread SPSC rings in an
+	// mmap'd segment, zero syscalls on the steady-state Submit path. A
+	// refused or failed negotiation silently keeps the socket transport
+	// (the shm → uds fail-open fallback); Client.Transport reports the
+	// tier that actually engaged.
+	SharedMem bool
+	// ShmDir is where the segment file is created ("" = /dev/shm when
+	// present, else the system temp directory). Only read with SharedMem.
+	ShmDir string
 	// Predict is accepted for constructor symmetry with the in-process
 	// oracle; prediction tuning lives server-side, so it is ignored.
 	Predict pythia.Config
@@ -80,7 +92,8 @@ var errClosed = errors.New("client: closed")
 // failure is sticky: every later operation fails open until the client is
 // re-dialed.
 type Client struct {
-	cfg Config
+	cfg     Config
+	network string // "tcp" or "unix", fixed at Dial
 
 	mu     sync.Mutex
 	nc     net.Conn
@@ -90,9 +103,28 @@ type Client struct {
 	closed bool   // Close has run; operations fail open
 	buf    []byte // frame read buffer
 	out    []byte // payload encode buffer
+
+	// shm is non-nil once shared-memory negotiation succeeds (written in
+	// Dial before the client is shared, read-only afterwards).
+	shm *clientShm
+}
+
+// Transport reports the tier this connection actually negotiated:
+// "shm" (shared-memory rings over a unix control socket), "unix", or "tcp".
+func (c *Client) Transport() string {
+	if c.shm != nil {
+		return "shm"
+	}
+	return c.network
 }
 
 // Dial connects to a pythiad daemon and performs the protocol handshake.
+// addr is a transport address — "host:port" or "tcp://host:port" for TCP,
+// "unix:///path/to.sock" for a unix-domain socket — or a comma-separated
+// list tried in order, which is how a co-located client spells the
+// uds → tcp fallback: "unix:///run/pythiad.sock,127.0.0.1:9137". With
+// Config.SharedMem set, a unix connection is upgraded to shared-memory
+// rings when the daemon accepts (the shm → uds half of the chain).
 func Dial(addr string, cfg Config) (*Client, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = DefaultDialTimeout
@@ -103,23 +135,49 @@ func Dial(addr string, cfg Config) (*Client, error) {
 	if cfg.SubmitFlush <= 0 {
 		cfg.SubmitFlush = DefaultSubmitFlush
 	}
-	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	var errs []error
+	for _, a := range strings.Split(addr, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		c, err := dialOne(a, cfg)
+		if err == nil {
+			return c, nil
+		}
+		errs = append(errs, err)
+	}
+	if len(errs) == 0 {
+		return nil, fmt.Errorf("client: no address in %q", addr)
+	}
+	return nil, errors.Join(errs...)
+}
+
+// dialOne connects to a single transport address.
+func dialOne(addr string, cfg Config) (*Client, error) {
+	nc, network, err := transport.Dial(addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
 	}
 	c := &Client{
-		cfg: cfg,
-		nc:  nc,
-		br:  bufio.NewReader(nc),
-		bw:  bufio.NewWriter(nc),
-		buf: make([]byte, 0, 4096),
-		out: make([]byte, 0, 1024),
+		cfg:     cfg,
+		network: network,
+		nc:      nc,
+		br:      bufio.NewReader(nc),
+		bw:      bufio.NewWriter(nc),
+		buf:     make([]byte, 0, 4096),
+		out:     make([]byte, 0, 1024),
 	}
 	if err := c.handshake(); err != nil {
 		if cerr := nc.Close(); cerr != nil {
 			err = errors.Join(err, cerr)
 		}
 		return nil, err
+	}
+	if cfg.SharedMem && network == transport.NetUnix {
+		c.mu.Lock()
+		c.negotiateShm()
+		c.mu.Unlock()
 	}
 	return c, nil
 }
@@ -336,6 +394,10 @@ type Oracle struct {
 // Tenant returns the tenant name this oracle serves.
 func (o *Oracle) Tenant() string { return o.tenant }
 
+// Transport reports the connection's negotiated transport tier
+// ("tcp", "unix", or "shm").
+func (o *Oracle) Transport() string { return o.c.Transport() }
+
 // Close closes the oracle's meta session (releasing the daemon-side tenant
 // pin) and, for Connect-created oracles, the underlying connection.
 func (o *Oracle) Close() error {
@@ -490,6 +552,14 @@ type Thread struct {
 
 	inert atomic.Bool // session refused; fail open
 
+	// Shared-memory fast path, owned by the submitting goroutine: once
+	// ring is set, Submit becomes a single TryPush into the mapped ring —
+	// no lock, no buffer, no syscall. shmTried latches so a failed bind
+	// falls back to socket batching exactly once.
+	ring     *transport.Ring
+	ringIdx  int
+	shmTried bool
+
 	// pending is the submit buffer. Submit appends under pmu, and the
 	// flush path drains under pmu while holding c.mu, so a monitoring
 	// goroutine's Health/Flush never races the submitting goroutine.
@@ -565,12 +635,37 @@ func (t *Thread) Flush() {
 	c.mu.Unlock()
 }
 
-// Submit notifies the oracle of an event. Submissions are buffered and
-// shipped in one-way batches; a prediction on this thread flushes first,
-// so the oracle always answers against the full submitted stream.
+// Submit notifies the oracle of an event. On a shared-memory connection
+// the event goes straight into the thread's mapped ring — zero syscalls,
+// zero allocations, single-digit nanoseconds. Otherwise submissions are
+// buffered and shipped in one-way batches; a prediction on this thread
+// flushes first, so the oracle always answers against the full submitted
+// stream.
 func (t *Thread) Submit(id pythia.ID) {
+	if r := t.ring; r != nil {
+		if r.TryPush(int32(id)) {
+			return
+		}
+		t.pushSlow(int32(id))
+		return
+	}
 	if t.inert.Load() {
 		return
+	}
+	if !t.shmTried && t.o.c.shm != nil {
+		// Bind before the first event is buffered, so a ring-bound thread
+		// never has socket-buffered events to reorder behind ring entries.
+		t.bindRing()
+		if t.ring != nil {
+			if t.ring.TryPush(int32(id)) {
+				return
+			}
+			t.pushSlow(int32(id))
+			return
+		}
+		if t.inert.Load() {
+			return
+		}
 	}
 	t.pmu.Lock()
 	t.pending = append(t.pending, int32(id))
@@ -589,12 +684,24 @@ func (t *Thread) Submit(id pythia.ID) {
 
 // StartAtBeginning seeds prediction at the start of the reference trace.
 func (t *Thread) StartAtBeginning() {
+	if t.restartLocked() {
+		// Drop the thread's ring pointer outside c.mu: the field belongs to
+		// the submitting goroutine (this one) and is never written under the
+		// lock, so plain reads on the Submit fast path stay race-free.
+		t.ring = nil
+		t.shmTried = false
+	}
+}
+
+// restartLocked does the locked half of StartAtBeginning and reports
+// whether the thread held a ring slot that was just released.
+func (t *Thread) restartLocked() (hadRing bool) {
 	c := t.o.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !t.opened {
 		t.startFlag = true
-		return
+		return false
 	}
 	// Mid-stream restart: flush what came before, then close and reopen
 	// the session with the start flag. The daemon keeps one oracle thread
@@ -605,11 +712,16 @@ func (t *Thread) StartAtBeginning() {
 	if _, err := c.roundTrip(wire.TCloseSession, c.out, wire.TSessionClosed); err != nil {
 		t.inert.Store(true)
 		t.o.noteOpenErr(err)
-		return
+		return false
 	}
+	// The server unbound the session's ring while closing it; release the
+	// client-side slot so the reopened session (or another thread) can
+	// rebind on its next Submit.
+	hadRing = t.releaseRingLocked(c)
 	t.opened = false
 	t.startFlag = true
 	t.ensureOpen(c)
+	return hadRing
 }
 
 // PredictAt predicts the event distance events from now. ok is false when

@@ -1,0 +1,218 @@
+package client
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/pythia"
+)
+
+// Default ring geometry the client proposes during shm negotiation. One
+// segment carries shmRings independently bindable per-thread rings; threads
+// beyond the ring count keep the socket batching path.
+const (
+	shmRings   = 16
+	shmSlots   = 4096
+	shmPredCap = 64
+)
+
+// ErrNoSharedMem reports an operation that requires the shared-memory tier
+// on a connection that negotiated only a socket transport.
+var ErrNoSharedMem = errors.New("client: shared-memory transport not negotiated")
+
+// clientShm is the client's half of a negotiated shared-memory segment.
+// The segment file is already unlinked; the mapping lives until process
+// exit (Close severs only the socket — unmapping while a submitting
+// goroutine may still be in TryPush would turn fail-open into a fault).
+type clientShm struct {
+	seg   *transport.Segment
+	rings []transport.Ring
+	used  []bool // ring slots handed to threads, guarded by c.mu
+}
+
+// negotiateShm attempts the shared-memory upgrade over a freshly
+// handshaken unix connection: create the segment, offer it, and keep it
+// only if the server maps it. Every failure falls open to the socket
+// transport the connection already has. Caller holds c.mu (Dial, before
+// the client is shared).
+func (c *Client) negotiateShm() {
+	g := transport.Geometry{Rings: shmRings, Slots: shmSlots, PredCap: shmPredCap}
+	seg, err := transport.CreateSegment(c.cfg.ShmDir, g.SegmentSize())
+	if err != nil {
+		return
+	}
+	transport.WriteHeader(seg.Bytes(), g)
+	rings, err := transport.MapRings(seg.Bytes(), g)
+	if err != nil {
+		if cerr := seg.Close(); cerr != nil {
+			c.note(cerr)
+		}
+		return
+	}
+	c.out = wire.AppendShmSetup(c.out[:0], wire.ShmSetup{
+		Rings:   uint32(g.Rings),
+		Slots:   uint32(g.Slots),
+		PredCap: uint32(g.PredCap),
+		SegSize: uint64(g.SegmentSize()),
+		Path:    seg.Path(),
+	})
+	resp, err := c.roundTrip(wire.TShmSetup, c.out, wire.TShmSetupOK)
+	if err != nil {
+		// A CodeShmSetup refusal is the designed fallback (server on
+		// another platform, unmappable path, …): keep the socket. A failed
+		// unmap of the just-created segment is not — latch it.
+		if cerr := seg.Close(); cerr != nil {
+			c.note(cerr)
+		}
+		return
+	}
+	if _, err := wire.ParseShmSetupOK(resp); err != nil {
+		c.note(err)
+		if cerr := seg.Close(); cerr != nil {
+			c.note(cerr)
+		}
+		return
+	}
+	// The server holds its own mapping now; drop the directory entry so a
+	// crash on either side leaves nothing in /dev/shm.
+	if err := seg.Unlink(); err != nil {
+		c.note(err)
+	}
+	c.shm = &clientShm{seg: seg, rings: rings, used: make([]bool, len(rings))}
+}
+
+// bindRing tries once to put this thread on a free shm ring; on any
+// failure the thread keeps the socket batching path. Runs on the
+// submitting goroutine before the first event is buffered, so a bound
+// thread never has socket-buffered events that could be reordered behind
+// ring entries. t.ring itself is owned by the submitting goroutine and is
+// only ever written outside c.mu — the lock guards the slot table and the
+// wire round trip, not the thread's pointer.
+func (t *Thread) bindRing() {
+	t.shmTried = true
+	idx, r := t.o.c.reserveRing(t)
+	if r == nil {
+		return
+	}
+	t.ringIdx = idx
+	t.ring = r
+}
+
+// reserveRing claims a free ring slot and binds it to t's session on the
+// server; it returns the mapped ring, or nil when the thread should keep
+// the socket path.
+func (c *Client) reserveRing(t *Thread) (int, *transport.Ring) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shm == nil || c.err != nil {
+		return 0, nil
+	}
+	if !t.ensureOpen(c) {
+		return 0, nil
+	}
+	idx := -1
+	for i, u := range c.shm.used {
+		if !u {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, nil // rings exhausted: this thread stays on socket batching
+	}
+	c.out = wire.AppendShmBind(c.out[:0], t.sid, uint32(idx))
+	resp, err := c.roundTrip(wire.TShmBind, c.out, wire.TShmBound)
+	if err != nil {
+		return 0, nil
+	}
+	if _, _, err := wire.ParseShmBound(resp); err != nil {
+		c.note(err)
+		return 0, nil
+	}
+	c.shm.used[idx] = true
+	return idx, &c.shm.rings[idx]
+}
+
+// releaseRingLocked returns the thread's ring slot to the free list
+// (session closed or restarted). Caller holds c.mu and the server has
+// already unbound its side; the caller clears t.ring itself, outside the
+// lock, because that field belongs to the submitting goroutine.
+func (t *Thread) releaseRingLocked(c *Client) (hadRing bool) {
+	if t.ring == nil {
+		return false
+	}
+	c.shm.used[t.ringIdx] = false
+	return true
+}
+
+// pushSlow waits for ring space with bounded spin-then-park. A ring that
+// stays full for RequestTimeout means the server stopped consuming — the
+// thread latches inert and fails open, exactly like a dead socket.
+func (t *Thread) pushSlow(id int32) {
+	deadline := time.Now().Add(t.o.c.cfg.RequestTimeout)
+	for attempt := 1; ; attempt++ {
+		transport.Park(attempt)
+		if t.ring.TryPush(id) {
+			return
+		}
+		if attempt&63 == 0 && time.Now().After(deadline) {
+			t.ring = nil
+			t.inert.Store(true)
+			t.o.noteOpenErr(errors.New("client: shm ring stalled; thread is inert"))
+			return
+		}
+	}
+}
+
+// Subscribe puts this thread in streaming-prediction mode: the daemon
+// republishes PredictSequence(horizon) into the thread's shared slot every
+// `every` observed events, and Latest reads the freshest result without a
+// round trip. Requires the shared-memory transport.
+func (t *Thread) Subscribe(horizon, every int) error {
+	if t.inert.Load() {
+		return ErrNoSharedMem
+	}
+	if t.ring == nil && !t.shmTried {
+		t.bindRing()
+	}
+	if t.ring == nil {
+		return ErrNoSharedMem
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	if every < 0 {
+		every = 0
+	}
+	c := t.o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = wire.AppendSubscribe(c.out[:0], wire.Subscribe{
+		Session: t.sid,
+		Horizon: uint32(horizon),
+		Every:   uint32(every),
+	})
+	resp, err := c.roundTrip(wire.TSubscribe, c.out, wire.TSubscribed)
+	if err != nil {
+		return err
+	}
+	if _, err := wire.ParseSubscribed(resp); err != nil {
+		c.note(err)
+		return err
+	}
+	return nil
+}
+
+// Latest reads the most recently published subscription predictions into
+// buf[:0] (allocation-free once buf has grown to the horizon). ok is false
+// when the thread has no subscription, nothing has been published yet, or
+// the read raced a republish to exhaustion.
+// pythia:hotpath — the co-located predict path: no syscall, no round trip.
+func (t *Thread) Latest(buf []pythia.Prediction) ([]pythia.Prediction, bool) {
+	if r := t.ring; r != nil {
+		return r.ReadPredictions(buf)
+	}
+	return buf[:0], false
+}

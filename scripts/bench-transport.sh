@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# bench-transport.sh — measures the transport tier matrix and writes
+# BENCH_PR7.json: the same closed-loop CG.small replay (8 clients, a timed
+# prediction every 16 events, distance 16 — the BENCH_PR5.json parameters)
+# over each tier. The tcp leg re-measures the PR5 configuration so the
+# before/after comparison and the no-regression check stay honest; unix
+# swaps the TCP loopback for a unix-domain socket; shm runs the
+# shared-memory rings with server-push subscriptions, where the timed
+# operation is a Latest read instead of a PredictAt round trip.
+#
+# Usage: scripts/bench-transport.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR7.json}"
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "${daemon_pid}" ] && kill -0 "${daemon_pid}" 2>/dev/null; then
+        kill -9 "${daemon_pid}" 2>/dev/null || true
+    fi
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+echo "==> building pythia-record, pythiad, pythia-loadgen"
+go build -o "${workdir}/pythia-record" ./cmd/pythia-record
+go build -o "${workdir}/pythiad" ./cmd/pythiad
+go build -o "${workdir}/pythia-loadgen" ./cmd/pythia-loadgen
+
+echo "==> recording CG.small"
+mkdir "${workdir}/traces"
+"${workdir}/pythia-record" -app CG -class small -o "${workdir}/traces/CG.pythia" >/dev/null
+
+echo "==> starting pythiad (tcp + unix)"
+sock="${workdir}/d.sock"
+"${workdir}/pythiad" -listen 127.0.0.1:0 -listen "unix://${sock}" \
+    -traces "${workdir}/traces" \
+    >"${workdir}/pythiad.out" 2>"${workdir}/pythiad.err" &
+daemon_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|^pythiad: listening on tcp://\([^ ]*\).*|\1|p' "${workdir}/pythiad.out")
+    if [ -n "${addr}" ]; then break; fi
+    if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+        echo "bench-transport: pythiad died during startup" >&2
+        cat "${workdir}/pythiad.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "${addr}" ]; then
+    echo "bench-transport: pythiad never reported its address" >&2
+    exit 1
+fi
+echo "    pythiad on ${addr} and unix://${sock} (pid ${daemon_pid})"
+
+for tier in tcp unix shm; do
+    case "${tier}" in
+        tcp) tier_addr="${addr}" ;;
+        *) tier_addr="unix://${sock}" ;;
+    esac
+    echo "==> loadgen: CG.small, 8 clients, ${tier}"
+    "${workdir}/pythia-loadgen" -addr "${tier_addr}" -transport "${tier}" \
+        -tenant CG -app CG -class small -clients 8 \
+        -predict-every 16 -distance 16 -o "${workdir}/${tier}.json"
+done
+
+echo "==> draining pythiad"
+kill -TERM "${daemon_pid}"
+wait "${daemon_pid}" 2>/dev/null || true
+daemon_pid=""
+
+{
+    echo '{'
+    first=1
+    for tier in tcp unix shm; do
+        if [ "${first}" -eq 0 ]; then echo ','; fi
+        first=0
+        printf '"%s":\n' "${tier}"
+        cat "${workdir}/${tier}.json"
+    done
+    echo '}'
+} >"${out}"
+echo "==> wrote ${out}"

@@ -8,9 +8,11 @@
 #   3. go build     — everything compiles
 #   4. go test      — the full unit suite
 #   5. go test -race — concurrency-sensitive packages under the race detector
+#                     (core, the public API, the transport rings/seqlock,
+#                     and the serving path)
 #   6. fuzz smoke   — FuzzGrammarInvariants, FuzzDigramIndexDiff,
-#                     FuzzPredictNoisy, FuzzRecoverJournal, FuzzWireDecode
-#                     and FuzzFlowGuards briefly
+#                     FuzzPredictNoisy, FuzzRecoverJournal, FuzzWireDecode,
+#                     FuzzRingDecode and FuzzFlowGuards briefly
 #   7. vet fixtures — gofmt/go vet inside the analyzer fixture mini-modules
 #                     (separate modules, so ./... sweeps skip them)
 #   8. pythia-vet   — the repo's own static-analysis pass, all nine
@@ -23,10 +25,12 @@
 # checkpoint (at every point of the journal write path, with and without
 # torn writes, and under a real SIGKILL) and whose journals must salvage.
 # CI gates on this in its own job. With --bench, additionally runs
-# scripts/bench.sh (hot-path benchmarks, refreshing BENCH_PR2.json).
-# With --serve, additionally runs scripts/serve-smoke.sh (pythiad +
-# pythia-loadgen end to end, including a SIGTERM drain). Benchmarks and the
-# serve smoke are not part of the gating suite.
+# scripts/bench.sh (hot-path benchmarks, refreshing BENCH_PR2.json) and
+# scripts/bench-transport.sh (the tcp/unix/shm serving matrix, refreshing
+# BENCH_PR7.json). With --serve, additionally runs scripts/serve-smoke.sh
+# (pythiad + pythia-loadgen end to end over every transport tier, including
+# a SIGTERM drain). Benchmarks and the serve smoke are not part of the
+# gating suite.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -68,7 +72,8 @@ step "gofmt" check_gofmt
 step "go vet" go vet ./...
 step "go build" go build ./...
 step "go test" go test ./...
-step "go test -race (core + public API)" go test -race ./internal/core/... ./pythia/...
+step "go test -race (core + public API + transport + server)" \
+    go test -race ./internal/core/... ./pythia/... ./internal/transport/ ./internal/server/
 step "fuzz smoke (FuzzGrammarInvariants)" \
     go test -fuzz FuzzGrammarInvariants -fuzztime=5s -run '^$' ./internal/grammar/
 step "fuzz smoke (FuzzDigramIndexDiff)" \
@@ -79,6 +84,8 @@ step "fuzz smoke (FuzzRecoverJournal)" \
     go test -fuzz FuzzRecoverJournal -fuzztime=5s -run '^$' ./internal/tracefile/
 step "fuzz smoke (FuzzWireDecode)" \
     go test -fuzz FuzzWireDecode -fuzztime=5s -run '^$' ./internal/wire/
+step "fuzz smoke (FuzzRingDecode)" \
+    go test -fuzz FuzzRingDecode -fuzztime=5s -run '^$' ./internal/transport/
 step "fuzz smoke (FuzzFlowGuards)" \
     go test -fuzz FuzzFlowGuards -fuzztime=5s -run '^$' ./internal/vet/
 
@@ -107,6 +114,7 @@ fi
 
 if [ "${run_bench}" -eq 1 ]; then
     step "bench (non-gating)" ./scripts/bench.sh
+    step "bench transport matrix (non-gating)" ./scripts/bench-transport.sh
 fi
 
 if [ "${run_serve}" -eq 1 ]; then

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # serve-smoke.sh — end-to-end smoke test of the network service: record a
-# small trace, start pythiad on an ephemeral port, drive it with
-# pythia-loadgen (8 concurrent clients, zero protocol errors tolerated),
-# then SIGTERM the daemon and require a clean graceful drain.
+# small trace, start pythiad on an ephemeral TCP port AND a unix socket,
+# drive every transport tier with pythia-loadgen (8 concurrent clients,
+# zero protocol errors tolerated; tcp, unix, and shared-memory rings), then
+# SIGTERM the daemon and require a clean graceful drain that also removes
+# the socket file.
 #
 # Run directly or via `scripts/check.sh --serve`. Non-gating in CI (shared
 # runners make the daemon timing noisy) but must pass locally.
@@ -29,16 +31,18 @@ echo "==> recording EP.small"
 mkdir "${workdir}/traces"
 "${workdir}/pythia-record" -app EP -class small -o "${workdir}/traces/EP.pythia" >/dev/null
 
-echo "==> starting pythiad"
+echo "==> starting pythiad (tcp + unix)"
 # Port 0 asks the kernel for a free port; parse the bound address from the
 # daemon's "listening on" line.
-"${workdir}/pythiad" -listen 127.0.0.1:0 -traces "${workdir}/traces" \
+sock="${workdir}/d.sock"
+"${workdir}/pythiad" -listen 127.0.0.1:0 -listen "unix://${sock}" \
+    -traces "${workdir}/traces" \
     >"${workdir}/pythiad.out" 2>"${workdir}/pythiad.err" &
 daemon_pid=$!
 
 addr=""
 for _ in $(seq 1 50); do
-    addr=$(sed -n 's/^pythiad: listening on \([^ ]*\).*/\1/p' "${workdir}/pythiad.out")
+    addr=$(sed -n 's|^pythiad: listening on tcp://\([^ ]*\).*|\1|p' "${workdir}/pythiad.out")
     if [ -n "${addr}" ]; then break; fi
     if ! kill -0 "${daemon_pid}" 2>/dev/null; then
         echo "serve-smoke: pythiad died during startup" >&2
@@ -51,13 +55,21 @@ if [ -z "${addr}" ]; then
     echo "serve-smoke: pythiad never reported its address" >&2
     exit 1
 fi
-echo "    pythiad on ${addr} (pid ${daemon_pid})"
+echo "    pythiad on ${addr} and unix://${sock} (pid ${daemon_pid})"
 
-echo "==> loadgen: 8 clients replaying EP.small"
 # EP.small streams are short, so predict every 4 events to make sure the
-# smoke exercises the PredictAt round trip and not just Submit batching.
+# smoke exercises the timed prediction path and not just Submit batching.
+echo "==> loadgen: 8 clients replaying EP.small over tcp"
 "${workdir}/pythia-loadgen" -addr "${addr}" -tenant EP -app EP -class small \
     -clients 8 -predict-every 4 -distance 4
+
+echo "==> loadgen: 8 clients replaying EP.small over the unix socket"
+"${workdir}/pythia-loadgen" -addr "unix://${sock}" -transport unix \
+    -tenant EP -app EP -class small -clients 8 -predict-every 4 -distance 4
+
+echo "==> loadgen: 8 clients replaying EP.small over shared-memory rings"
+"${workdir}/pythia-loadgen" -addr "unix://${sock}" -transport shm \
+    -tenant EP -app EP -class small -clients 8 -predict-every 4 -distance 4
 
 echo "==> draining pythiad (SIGTERM)"
 kill -TERM "${daemon_pid}"
@@ -82,6 +94,10 @@ daemon_pid=""
 if ! grep -q "drained, exiting" "${workdir}/pythiad.out"; then
     echo "serve-smoke: drain confirmation missing from pythiad output" >&2
     cat "${workdir}/pythiad.out" >&2
+    exit 1
+fi
+if [ -e "${sock}" ]; then
+    echo "serve-smoke: socket file ${sock} survived the drain" >&2
     exit 1
 fi
 echo "serve-smoke: ok"
