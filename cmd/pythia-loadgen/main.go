@@ -17,6 +17,14 @@
 // read of the streamed predictions instead of a PredictAt round trip. The
 // run fails if the requested tier did not actually engage, so a fallback
 // can never masquerade as a measurement.
+//
+// -chaos routes every connection through an in-process chaosnet proxy that
+// injects a sparse deterministic schedule of resets and torn frames
+// (-chaos-seed picks the schedule), exercising the client's reconnect and
+// replay machinery under load. Faults stop once every client finishes its
+// replay, the clients are given a convergence window, and the JSON report's
+// reconnects / dropped_events / retry_later counters show what the run
+// survived.
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/chaosnet"
 	"repro/internal/harness"
 	"repro/pythia"
 	"repro/pythia/client"
@@ -63,6 +72,7 @@ type clientResult struct {
 	latencies   []time.Duration
 	err         error
 	health      pythia.Health
+	stats       client.Stats
 }
 
 // benchReport is the committed BENCH_PR5.json layout.
@@ -76,6 +86,9 @@ type benchReport struct {
 		PredictEvery int    `json:"predict_every"`
 		Distance     int    `json:"distance"`
 		Seed         int64  `json:"seed"`
+		Chaos        bool   `json:"chaos,omitempty"`
+		ChaosSeed    int64  `json:"chaos_seed,omitempty"`
+		Repeat       int    `json:"repeat,omitempty"`
 	} `json:"config"`
 	Results struct {
 		WallS          float64 `json:"wall_s"`
@@ -88,6 +101,9 @@ type benchReport struct {
 		LatencyP99Us   float64 `json:"latency_p99_us"`
 		LatencyMaxUs   float64 `json:"latency_max_us"`
 		ProtocolErrors int     `json:"protocol_errors"`
+		Reconnects     uint64  `json:"reconnects"`
+		DroppedEvents  uint64  `json:"dropped_events"`
+		RetryLater     uint64  `json:"retry_later"`
 	} `json:"results"`
 }
 
@@ -104,6 +120,9 @@ func run(args []string, stdout io.Writer) error {
 		predictEvery = fs.Int("predict-every", 16, "issue a timed PredictAt every N submitted events")
 		distance     = fs.Int("distance", 16, "prediction distance for the timed queries")
 		out          = fs.String("o", "", "write a JSON report (e.g. BENCH_PR5.json)")
+		chaos        = fs.Bool("chaos", false, "inject deterministic network faults between the clients and the daemon")
+		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the chaos fault schedule")
+		repeat       = fs.Int("repeat", 1, "replay the captured streams this many times per client (lengthens the run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +144,9 @@ func run(args []string, stdout io.Writer) error {
 	if *predictEvery < 1 {
 		return fmt.Errorf("-predict-every must be >= 1")
 	}
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be >= 1")
+	}
 	switch *transp {
 	case "tcp", "unix", "shm":
 	default:
@@ -139,14 +161,44 @@ func run(args []string, stdout io.Writer) error {
 	}
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 
+	dialAddr := *addr
+	var proxy *chaosnet.Proxy
+	if *chaos {
+		// Sparse schedule: frequent enough to force reconnects under load,
+		// sparse enough that the post-replay convergence window settles.
+		proxy, err = chaosnet.New(*addr, chaosnet.Config{
+			Seed:       *chaosSeed,
+			ResetEvery: 401,
+			TornEvery:  997,
+		})
+		if err != nil {
+			return fmt.Errorf("chaos proxy: %w", err)
+		}
+		defer func() {
+			if cerr := proxy.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "pythia-loadgen: closing chaos proxy:", cerr)
+			}
+		}()
+		dialAddr = proxy.Addr()
+	}
+
 	results := make([]clientResult, *clients)
 	start := time.Now()
-	var wg sync.WaitGroup
+	var wg, replayWG sync.WaitGroup
+	replayWG.Add(*clients)
+	if *chaos {
+		// Once every client has finished its replay, stop injecting faults
+		// so the convergence phase (final replays, Err drain) settles.
+		go func() {
+			replayWG.Wait()
+			proxy.ClearFaults()
+		}()
+	}
 	for ci := 0; ci < *clients; ci++ {
 		wg.Add(1)
 		go func(res *clientResult) {
 			defer wg.Done()
-			runClient(res, *addr, *tenant, *transp, streams, tids, *predictEvery, *distance)
+			runClient(res, dialAddr, *tenant, *transp, streams, tids, *predictEvery, *distance, *repeat, *chaos, &replayWG)
 		}(&results[ci])
 	}
 	wg.Wait()
@@ -161,6 +213,14 @@ func run(args []string, stdout io.Writer) error {
 	rep.Config.PredictEvery = *predictEvery
 	rep.Config.Distance = *distance
 	rep.Config.Seed = *seed
+	rep.Config.Chaos = *chaos
+	rep.Config.ChaosSeed = *chaosSeed
+	if !*chaos {
+		rep.Config.ChaosSeed = 0
+	}
+	if *repeat > 1 {
+		rep.Config.Repeat = *repeat
+	}
 
 	var all []time.Duration
 	var firstErr error
@@ -169,6 +229,9 @@ func run(args []string, stdout io.Writer) error {
 		rep.Results.Events += r.events
 		rep.Results.Predictions += r.predictions
 		rep.Results.Answered += r.answered
+		rep.Results.Reconnects += r.stats.Reconnects
+		rep.Results.DroppedEvents += r.stats.DroppedEvents
+		rep.Results.RetryLater += r.stats.RetryLater
 		all = append(all, r.latencies...)
 		if r.err != nil {
 			rep.Results.ProtocolErrors++
@@ -197,6 +260,10 @@ func run(args []string, stdout io.Writer) error {
 		rep.Results.EventsPerS, rep.Results.PredictsPerS)
 	p.printf("predict latency: p50 %.1fus  p99 %.1fus  max %.1fus\n",
 		rep.Results.LatencyP50Us, rep.Results.LatencyP99Us, rep.Results.LatencyMaxUs)
+	if *chaos || rep.Results.Reconnects+rep.Results.DroppedEvents+rep.Results.RetryLater > 0 {
+		p.printf("resilience: %d reconnects, %d dropped events, %d retry-later\n",
+			rep.Results.Reconnects, rep.Results.DroppedEvents, rep.Results.RetryLater)
+	}
 	for i := range results {
 		if h := results[i].health; h.State != pythia.Healthy {
 			p.printf("client %d oracle health: %s (%s)\n", i, h.State, h.Cause)
@@ -224,12 +291,34 @@ func run(args []string, stdout io.Writer) error {
 // runClient replays every rank's stream over one connection. On the socket
 // tiers the timed operation is a PredictAt round trip every predictEvery
 // events; on shm it is a Latest read of the streamed predictions the server
-// pushes at the same cadence.
-func runClient(res *clientResult, addr, tenant, transp string, streams map[int32][]string, tids []int32, predictEvery, distance int) {
-	c, err := client.Dial(addr, client.Config{SharedMem: transp == "shm"})
-	if err != nil {
-		res.err = err
-		return
+// pushes at the same cadence. Under chaos the replay tolerates transient
+// failures (reconnect and replay cover them) and a convergence window after
+// the stream drains the client back to a clean Err.
+func runClient(res *clientResult, addr, tenant, transp string, streams map[int32][]string, tids []int32, predictEvery, distance, repeat int, chaos bool, replayWG *sync.WaitGroup) {
+	replayDone := false
+	defer func() {
+		if !replayDone {
+			replayWG.Done()
+		}
+	}()
+	cfg := client.Config{SharedMem: transp == "shm"}
+	if chaos {
+		cfg.ReconnectMinDelay = 5 * time.Millisecond
+	}
+	// Under chaos the faults hit the setup round trips too; retry until the
+	// handshake slips between them.
+	var c *client.Client
+	var err error
+	for attempt := 0; ; attempt++ {
+		c, err = client.Dial(addr, cfg)
+		if err == nil {
+			break
+		}
+		if !chaos || attempt >= 200 {
+			res.err = err
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	defer func() {
 		if cerr := c.Close(); cerr != nil && res.err == nil {
@@ -241,49 +330,98 @@ func runClient(res *clientResult, addr, tenant, transp string, streams map[int32
 		res.err = fmt.Errorf("negotiated transport %q, want %q", got, transp)
 		return
 	}
-	o, err := c.Oracle(tenant)
-	if err != nil {
-		res.err = err
-		return
+	var o *client.Oracle
+	for attempt := 0; ; attempt++ {
+		o, err = c.Oracle(tenant)
+		if err == nil {
+			break
+		}
+		if !chaos || attempt >= 200 {
+			res.err = err
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	var predBuf []pythia.Prediction
-	for _, tid := range tids {
-		th := o.Thread(tid)
-		th.StartAtBeginning()
-		subscribed := false
-		for i, name := range streams[tid] {
-			th.Submit(o.Intern(name))
-			res.events++
-			if transp == "shm" && !subscribed {
-				// The first Submit bound the thread's ring; from here the
-				// server streams PredictSequence(distance) every
-				// predictEvery events into the shared slot.
-				if serr := th.Subscribe(distance, predictEvery); serr != nil {
-					res.err = serr
-					return
-				}
-				subscribed = true
+	for r := 0; r < repeat; r++ {
+		for _, tid := range tids {
+			runThread(res, c, o, tid, streams[tid], transp, predictEvery, distance, chaos, &predBuf)
+			if res.err != nil {
+				return
 			}
-			if (i+1)%predictEvery != 0 {
-				continue
+		}
+	}
+	replayDone = true
+	replayWG.Done()
+	if chaos {
+		// Faults stop once every client reaches this point (the replayWG
+		// barrier mutes the proxy); give the reconnect/replay machinery a
+		// window to converge before judging Err.
+		replayWG.Wait()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			for _, tid := range tids {
+				o.Thread(tid).Flush()
 			}
-			t0 := time.Now()
-			var ok bool
-			if transp == "shm" {
-				predBuf, ok = th.Latest(predBuf)
-				ok = ok && len(predBuf) > 0
-			} else {
-				_, ok = th.PredictAt(distance)
+			if c.Err() == nil {
+				break
 			}
-			res.latencies = append(res.latencies, time.Since(t0))
-			res.predictions++
-			if ok {
-				res.answered++
+			if time.Now().After(deadline) {
+				break
 			}
+			time.Sleep(5 * time.Millisecond)
 		}
 	}
 	res.health = o.Health()
 	res.err = c.Err()
+	res.stats = c.Stats()
+}
+
+// runThread replays one rank's stream once, issuing the timed operation on
+// the predictEvery cadence. Under chaos the replay is paced while the client
+// is offline: fail-open Submits cost nanoseconds, so without the pacing an
+// outage longer than the stream would race past unreplayed.
+func runThread(res *clientResult, c *client.Client, o *client.Oracle, tid int32, stream []string, transp string, predictEvery, distance int, chaos bool, predBuf *[]pythia.Prediction) {
+	th := o.Thread(tid)
+	th.StartAtBeginning()
+	subscribed := false
+	for i, name := range stream {
+		if chaos && c.Err() != nil {
+			time.Sleep(time.Millisecond)
+		}
+		th.Submit(o.Intern(name))
+		res.events++
+		if transp == "shm" && !subscribed {
+			// The first Submit bound the thread's ring; from here the
+			// server streams PredictSequence(distance) every
+			// predictEvery events into the shared slot.
+			if serr := th.Subscribe(distance, predictEvery); serr != nil {
+				if !chaos {
+					res.err = serr
+					return
+				}
+				// Offline or mid-rebind: retry on a later event.
+			} else {
+				subscribed = true
+			}
+		}
+		if (i+1)%predictEvery != 0 {
+			continue
+		}
+		t0 := time.Now()
+		var ok bool
+		if transp == "shm" {
+			*predBuf, ok = th.Latest(*predBuf)
+			ok = ok && len(*predBuf) > 0
+		} else {
+			_, ok = th.PredictAt(distance)
+		}
+		res.latencies = append(res.latencies, time.Since(t0))
+		res.predictions++
+		if ok {
+			res.answered++
+		}
+	}
 }
 
 // quantileUs returns the q-quantile of sorted latencies in microseconds.

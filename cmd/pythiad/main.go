@@ -18,6 +18,12 @@
 // gracefully: in-flight requests are answered, new sessions refused, and
 // the process exits once every connection has wound down (bounded by
 // -drain-timeout). Draining also removes any unix socket files.
+//
+// Serving resilience is tunable: a dead connection's sessions stay parked
+// for -resume-window awaiting the client's resume token, -keepalive reaps
+// half-open connections that stop sending frames, and -max-sessions-per-
+// tenant / -shed-sessions bound per-tenant admission and shed speculative
+// queries (with retry-after hints) under overload. See DESIGN.md §13.
 package main
 
 import (
@@ -70,10 +76,15 @@ func run(args []string, stdout io.Writer) error {
 	var listens listenList
 	fs.Var(&listens, "listen", "address to listen on: host:port or unix:///path (repeatable)")
 	var (
-		traces       = fs.String("traces", ".", "directory of <tenant>.pythia trace files")
-		maxConns     = fs.Int("max-conns", server.DefaultMaxConns, "concurrent connection cap (negative = unlimited)")
-		maxSessions  = fs.Int("max-sessions", server.DefaultMaxSessions, "concurrent session cap (negative = unlimited)")
-		drainTimeout = fs.Duration("drain-timeout", server.DefaultDrainTimeout, "bound on graceful shutdown")
+		traces         = fs.String("traces", ".", "directory of <tenant>.pythia trace files")
+		maxConns       = fs.Int("max-conns", server.DefaultMaxConns, "concurrent connection cap (negative = unlimited)")
+		maxSessions    = fs.Int("max-sessions", server.DefaultMaxSessions, "concurrent session cap (negative = unlimited)")
+		drainTimeout   = fs.Duration("drain-timeout", server.DefaultDrainTimeout, "bound on graceful shutdown")
+		resumeWindow   = fs.Duration("resume-window", server.DefaultResumeWindow, "how long a dead connection's sessions await resume (negative = resume disabled)")
+		keepalive      = fs.Duration("keepalive", 0, "reap connections silent for this long (0 = never)")
+		maxParked      = fs.Int("max-parked", server.DefaultMaxParked, "cap on connections parked for resume (negative = unlimited)")
+		tenantSessions = fs.Int("max-sessions-per-tenant", 0, "per-tenant session cap, refused with a retry hint (0 = unlimited)")
+		shedSessions   = fs.Int("shed-sessions", 0, "shed speculative queries above this open-session count (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,11 +103,16 @@ func run(args []string, stdout io.Writer) error {
 
 	logger := log.New(os.Stderr, "pythiad: ", log.LstdFlags)
 	srv := server.New(server.Config{
-		TraceDir:     *traces,
-		MaxConns:     *maxConns,
-		MaxSessions:  *maxSessions,
-		DrainTimeout: *drainTimeout,
-		Logf:         logger.Printf,
+		TraceDir:             *traces,
+		MaxConns:             *maxConns,
+		MaxSessions:          *maxSessions,
+		DrainTimeout:         *drainTimeout,
+		ResumeWindow:         *resumeWindow,
+		Keepalive:            *keepalive,
+		MaxParked:            *maxParked,
+		MaxSessionsPerTenant: *tenantSessions,
+		ShedSessions:         *shedSessions,
+		Logf:                 logger.Printf,
 	})
 
 	lns := make([]net.Listener, 0, len(listens))

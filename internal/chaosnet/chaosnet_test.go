@@ -1,0 +1,196 @@
+package chaosnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// echoBackend accepts connections and echoes bytes until closed.
+func echoBackend(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				_, _ = io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() {
+		_ = ln.Close()
+		wg.Wait()
+	}
+}
+
+func TestPassthrough(t *testing.T) {
+	backend, stop := echoBackend(t)
+	defer stop()
+	p, err := New(backend, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	_, addr, err := transport.ParseAddr(p.Addr())
+	if err != nil {
+		t.Fatalf("proxy addr %q: %v", p.Addr(), err)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer c.Close()
+
+	msg := []byte("through the proxy and back")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: got %q want %q", got, msg)
+	}
+	if p.Conns() != 1 {
+		t.Fatalf("Conns = %d, want 1", p.Conns())
+	}
+}
+
+func TestCutAllSeversLiveConnections(t *testing.T) {
+	backend, stop := echoBackend(t)
+	defer stop()
+	p, err := New(backend, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	_, addr, _ := transport.ParseAddr(p.Addr())
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	one := make([]byte, 1)
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	if _, err := io.ReadFull(c, one); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	p.CutAll()
+	if _, err := io.ReadFull(c, one); err == nil {
+		t.Fatalf("read after CutAll succeeded, want error")
+	}
+}
+
+func TestDisabledProxyRefusesNewConns(t *testing.T) {
+	backend, stop := echoBackend(t)
+	defer stop()
+	p, err := New(backend, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	p.SetEnabled(false)
+
+	_, addr, _ := transport.ParseAddr(p.Addr())
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		// A refused dial also satisfies the partition.
+		return
+	}
+	defer c.Close()
+	// The accept side closes immediately: the first read must fail.
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatalf("read on partitioned proxy succeeded, want error")
+	}
+}
+
+// TestFaultScheduleDeterministic pins the determinism contract: the fault
+// decision sequence is a pure function of (seed, conn, dir, chunk).
+func TestFaultScheduleDeterministic(t *testing.T) {
+	if a, b := connSeed(42, 3, 1), connSeed(42, 3, 1); a != b {
+		t.Fatalf("connSeed not deterministic: %d vs %d", a, b)
+	}
+	if a, b := connSeed(42, 3, 0), connSeed(42, 3, 1); a == b {
+		t.Fatalf("connSeed does not separate directions")
+	}
+	if a, b := connSeed(42, 3, 0), connSeed(43, 3, 0); a == b {
+		t.Fatalf("connSeed does not separate seeds")
+	}
+	// due is periodic and phase-stable.
+	fires := 0
+	for chunk := 1; chunk <= 30; chunk++ {
+		if due(10, chunk, 7) {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Fatalf("due(10, 1..30) fired %d times, want 3", fires)
+	}
+	if due(0, 5, 0) || due(-1, 5, 0) {
+		t.Fatalf("disabled fault fired")
+	}
+}
+
+// TestTornWriteKillsConnection drives a proxy configured to tear the first
+// chunk and checks the stream dies.
+func TestTornWriteKillsConnection(t *testing.T) {
+	backend, stop := echoBackend(t)
+	defer stop()
+	p, err := New(backend, Config{Seed: 1, TornEvery: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	_, addr, _ := transport.ParseAddr(p.Addr())
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Write(bytes.Repeat([]byte("abcd"), 256)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := c.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	// With TornEvery=1 every chunk is torn; the connection must die before
+	// the full echo arrives.
+	n, err := io.ReadFull(c, make([]byte, 1024))
+	if err == nil && n == 1024 {
+		t.Fatalf("full echo arrived through a torn proxy")
+	}
+}

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"time"
+
+	"repro/internal/wire"
+	"repro/pythia"
+)
+
+// Session resume. A connection that negotiated a resume token does not
+// release its sessions when it dies — they are parked in the server's park
+// table for the resume window, still counted against every budget. A fresh
+// connection presenting the token as its first post-handshake frame adopts
+// them, session ids intact, and learns each session's applied event counter
+// so it can replay exactly its unacked tail; the replay dedup in
+// conn.replay makes redelivery idempotent. Unresumed parks expire on a
+// timer and release everything with the same accounting as a plain
+// teardown.
+
+// parkedConn is one dead connection's session state awaiting resume.
+type parkedConn struct {
+	sessions []session
+	byKey    map[sessKey]uint32
+	tenants  map[string]*connTenant
+	timer    *time.Timer
+}
+
+// newResumeToken draws a nonzero random 64-bit token. Tokens gate session
+// adoption, so they come from crypto/rand — a guessable token would let one
+// tenant's client adopt another's sessions.
+func newResumeToken() (uint64, error) {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			return 0, err
+		}
+		if t := binary.BigEndian.Uint64(b[:]); t != 0 {
+			return t, nil
+		}
+	}
+}
+
+// tryPark moves a dying connection's sessions into the park table. It
+// refuses (caller releases instead) when the server is draining, nothing is
+// open, or the park table is full.
+func (s *Server) tryPark(c *conn) bool {
+	open := 0
+	for i := range c.sessions {
+		if c.sessions[i].open {
+			open++
+		}
+	}
+	if open == 0 {
+		return false
+	}
+	s.parkMu.Lock()
+	if s.draining.Load() || (s.cfg.MaxParked > 0 && len(s.parked) >= s.cfg.MaxParked) {
+		s.parkMu.Unlock()
+		return false
+	}
+	token := c.resumeToken
+	p := &parkedConn{sessions: c.sessions, byKey: c.byKey, tenants: c.tenants}
+	p.timer = time.AfterFunc(s.cfg.ResumeWindow, func() { s.expirePark(token) })
+	s.parked[token] = p
+	s.parkMu.Unlock()
+	return true
+}
+
+// unpark removes and returns the parked state for token, or nil. The expiry
+// timer is stopped; if it already fired, the table entry is gone and the
+// caller sees nil — expiry and adoption can never both release.
+func (s *Server) unpark(token uint64) *parkedConn {
+	s.parkMu.Lock()
+	p := s.parked[token]
+	if p != nil {
+		p.timer.Stop()
+		delete(s.parked, token)
+	}
+	s.parkMu.Unlock()
+	return p
+}
+
+// expirePark releases a parked connection whose resume window lapsed.
+func (s *Server) expirePark(token uint64) {
+	s.parkMu.Lock()
+	p := s.parked[token]
+	delete(s.parked, token)
+	s.parkMu.Unlock()
+	if p != nil {
+		releaseParked(s, p.sessions, p.tenants)
+	}
+}
+
+// sweepParked releases every parked connection (drain path).
+func (s *Server) sweepParked() {
+	s.parkMu.Lock()
+	parked := s.parked
+	s.parked = make(map[uint64]*parkedConn)
+	s.parkMu.Unlock()
+	for _, p := range parked {
+		p.timer.Stop()
+		releaseParked(s, p.sessions, p.tenants)
+	}
+}
+
+// releaseParked returns session budget, per-tenant counts, oracle
+// registrations, and tenant references for one connection's session state —
+// the shared accounting for teardown, park expiry, and the drain sweep.
+func releaseParked(s *Server, sessions []session, tenants map[string]*connTenant) {
+	for i := range sessions {
+		if sessions[i].open {
+			sessions[i].open = false
+			s.sessions.Add(-1)
+			sessions[i].ct.t.sess.Add(-1)
+		}
+	}
+	for _, ct := range tenants {
+		ct.t.unregister(ct.oracle)
+		s.st.Release(ct.t)
+	}
+}
+
+// resume handles TResume: adopt a parked connection's sessions. It must
+// arrive before any session is opened on this connection — session ids are
+// slice indexes, so adopting into a non-empty table would renumber them.
+func (c *conn) resume(token uint64) error {
+	if len(c.sessions) != 0 || len(c.tenants) != 0 {
+		return badFrame("Resume after sessions were opened")
+	}
+	if c.srv.draining.Load() {
+		return &protoErr{code: wire.CodeDraining, msg: "server draining; no resume"}
+	}
+	p := c.srv.unpark(token)
+	if p == nil {
+		return &protoErr{
+			code: wire.CodeNoResume,
+			msg:  "no parked sessions for this token (expired, resumed, or never granted)",
+		}
+	}
+	c.sessions = p.sessions
+	c.byKey = p.byKey
+	c.tenants = p.tenants
+
+	rs := make([]wire.ResumedSession, 0, len(c.sessions))
+	for sid := range c.sessions {
+		if c.sessions[sid].open {
+			rs = append(rs, wire.ResumedSession{
+				Session: uint32(sid),
+				Applied: *c.sessions[sid].applied,
+			})
+		}
+	}
+	c.out = wire.AppendResumed(c.out[:0], rs)
+	return wire.WriteFrame(c.bw, wire.TResumed, c.out)
+}
+
+// replay handles TReplay: apply the batch's events, skipping every sequence
+// number at or below the session's applied counter. A client replaying its
+// shadow buffer after resume may overlap what the server already applied;
+// the counter makes redelivery exactly-once.
+func (c *conn) replay(sid uint32, base uint64, batch wire.Batch) error {
+	if base == 0 {
+		return badFrame("Replay base must be 1-based")
+	}
+	th, perr := c.threadOf(sid)
+	if perr != nil {
+		return perr
+	}
+	release, perr := c.enterSession(sid)
+	if perr != nil {
+		return perr
+	}
+	ap := c.sessions[sid].applied
+	for i, n := 0, batch.Len(); i < n; i++ {
+		seq := base + uint64(i)
+		if seq > *ap {
+			th.Submit(pythia.ID(batch.At(i)))
+			*ap = seq
+		}
+	}
+	applied := *ap
+	release()
+	c.out = wire.AppendReplayed(c.out[:0], sid, applied)
+	return wire.WriteFrame(c.bw, wire.TReplayed, c.out)
+}

@@ -1,0 +1,533 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chaosnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+	"repro/pythia"
+	"repro/pythia/client"
+)
+
+// dialRawResume is dialRaw with the resume flag set; it returns the
+// server-granted resume token alongside the connection.
+func dialRawResume(t *testing.T, addr string) (*rawConn, uint64) {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	c := &rawConn{t: t, nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	t.Cleanup(func() {
+		if err := nc.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			t.Logf("closing raw conn: %v", err)
+		}
+	})
+	c.send(wire.THello, wire.AppendHello(nil, wire.HelloFlagResume))
+	typ, payload := c.recv()
+	if typ != wire.THelloOK {
+		t.Fatalf("handshake: got %s", typ)
+	}
+	_, token, _, err := wire.ParseHelloOK(payload)
+	if err != nil {
+		t.Fatalf("parsing HelloOK: %v", err)
+	}
+	return c, token
+}
+
+// resumeWithRetry polls TResume until the dead predecessor's sessions have
+// been parked (teardown races the new connection) and returns the adopted
+// sessions' applied counters.
+func resumeWithRetry(t *testing.T, c *rawConn, token uint64) []wire.ResumedSession {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.send(wire.TResume, wire.AppendResume(nil, token))
+		typ, payload := c.recv()
+		if typ == wire.TResumed {
+			rs, err := wire.ParseResumed(payload)
+			if err != nil {
+				t.Fatalf("parsing Resumed: %v", err)
+			}
+			return rs
+		}
+		if typ != wire.TError {
+			t.Fatalf("resume: got %s, want Resumed or Error", typ)
+		}
+		code, msg, err := wire.ParseError(payload)
+		if err != nil {
+			t.Fatalf("parsing resume error: %v", err)
+		}
+		if code != wire.CodeNoResume {
+			t.Fatalf("resume error %s (%s), want NoResume while parking races", code, msg)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions never parked for token %#x", token)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestResumeReplayDedup pins the resume protocol at the wire level: a dead
+// connection's sessions are parked and adopted with their applied counters,
+// and a replay overlapping what the server already applied is deduplicated
+// exactly — no event is applied twice, late events are applied once.
+func TestResumeReplayDedup(t *testing.T) {
+	dir := t.TempDir()
+	synthTrace(t, dir, "bt", 8)
+	_, addr := startServer(t, Config{TraceDir: dir})
+
+	c1, tok := dialRawResume(t, addr)
+	if tok == 0 {
+		t.Fatalf("no resume token granted")
+	}
+	reg := regFor(t, c1, "bt") // opens the meta session (sid 0)
+	sid := c1.openSession("bt", 0, 0)
+	a, b, cc, d := int32(reg["phase:a"]), int32(reg["phase:b"]), int32(reg["phase:c"]), int32(reg["phase:d"])
+	for _, id := range []int32{a, b, cc} {
+		c1.send(wire.TSubmit, wire.AppendSubmit(nil, sid, id))
+	}
+	// A round trip syncs the one-way submits before the connection dies.
+	c1.send(wire.TPredictAt, wire.AppendPredictAt(nil, sid, 1))
+	if typ, _ := c1.recv(); typ != wire.TPrediction {
+		t.Fatalf("sync predict: got %s", typ)
+	}
+	if err := c1.nc.Close(); err != nil {
+		t.Fatalf("killing c1: %v", err)
+	}
+
+	c2, tok2 := dialRawResume(t, addr)
+	if tok2 == 0 || tok2 == tok {
+		t.Fatalf("second connection token %#x (first %#x)", tok2, tok)
+	}
+	rs := resumeWithRetry(t, c2, tok)
+	applied := make(map[uint32]uint64, len(rs))
+	for _, r := range rs {
+		applied[r.Session] = r.Applied
+	}
+	if got, found := applied[sid]; !found || got != 3 {
+		t.Fatalf("resumed applied[%d] = %d (found %v), want 3", sid, got, found)
+	}
+	if got, found := applied[0]; !found || got != 0 {
+		t.Fatalf("resumed meta applied = %d (found %v), want 0", got, found)
+	}
+
+	// Replay overlapping the applied prefix: sequences 2 and 3 must be
+	// skipped, 4 applied.
+	c2.send(wire.TReplay, wire.AppendReplay(nil, sid, 2, []int32{b, cc, d}))
+	typ, payload := c2.recv()
+	if typ != wire.TReplayed {
+		t.Fatalf("replay: got %s", typ)
+	}
+	rsid, ap, err := wire.ParseReplayed(payload)
+	if err != nil || rsid != sid || ap != 4 {
+		t.Fatalf("Replayed = (%d, %d, %v), want (%d, 4, nil)", rsid, ap, err, sid)
+	}
+
+	// A second, fully-overlapping replay must be a no-op.
+	c2.send(wire.TReplay, wire.AppendReplay(nil, sid, 1, []int32{a, b, cc, d}))
+	typ, payload = c2.recv()
+	if typ != wire.TReplayed {
+		t.Fatalf("overlap replay: got %s", typ)
+	}
+	if _, ap, err = wire.ParseReplayed(payload); err != nil || ap != 4 {
+		t.Fatalf("overlap Replayed applied = %d (%v), want 4", ap, err)
+	}
+
+	// The model saw exactly a,b,c,d: the next event must be phase:a again.
+	c2.send(wire.TPredictAt, wire.AppendPredictAt(nil, sid, 1))
+	typ, payload = c2.recv()
+	if typ != wire.TPrediction {
+		t.Fatalf("predict after replay: got %s", typ)
+	}
+	pr, ok, err := wire.ParsePrediction(payload)
+	if err != nil || !ok {
+		t.Fatalf("prediction after replay: ok=%v err=%v", ok, err)
+	}
+	if pr.EventID != a {
+		t.Fatalf("predicted event %d after dedup'd replay, want %d (phase:a)", pr.EventID, a)
+	}
+}
+
+// TestKeepaliveReapsSilentConns checks keepalive enforcement in both
+// directions: a silent connection is reaped within the window, a
+// heartbeating one survives many windows.
+func TestKeepaliveReapsSilentConns(t *testing.T) {
+	dir := t.TempDir()
+	synthTrace(t, dir, "bt", 4)
+	_, addr := startServer(t, Config{TraceDir: dir, Keepalive: 100 * time.Millisecond})
+
+	t.Run("silent conn reaped", func(t *testing.T) {
+		c := dialRaw(t, addr)
+		if err := c.nc.SetReadDeadline(time.Now().Add(3 * time.Second)); err != nil {
+			t.Fatalf("deadline: %v", err)
+		}
+		_, _, err := wire.ReadFrame(c.br, &c.buf)
+		if err == nil {
+			t.Fatalf("unexpected frame from server on a silent connection")
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatalf("server kept a silent connection past the keepalive window")
+		}
+	})
+
+	t.Run("heartbeats keep conn alive", func(t *testing.T) {
+		c := dialRaw(t, addr)
+		// 8 × 40ms straddles several 100ms windows; each heartbeat must
+		// re-arm the reaper.
+		for i := 0; i < 8; i++ {
+			time.Sleep(40 * time.Millisecond)
+			c.send(wire.THeartbeat, nil)
+			if typ, _ := c.recv(); typ != wire.THeartbeatAck {
+				t.Fatalf("heartbeat %d: got %s", i, typ)
+			}
+		}
+	})
+}
+
+// repeatNames tiles a name pattern to exactly total events.
+func repeatNames(names []string, total int) []string {
+	stream := make([]string, 0, total+len(names))
+	for len(stream) < total {
+		stream = append(stream, names...)
+	}
+	return stream[:total]
+}
+
+// comparePoint fails the test unless local and remote predictions are
+// bit-identical right now.
+func comparePoint(t *testing.T, tag string, local, remote threadAPI, horizon int) {
+	t.Helper()
+	ls, rs := local.PredictSequence(horizon), remote.PredictSequence(horizon)
+	if len(ls) != len(rs) {
+		t.Fatalf("%s: PredictSequence lengths %d local vs %d remote", tag, len(ls), len(rs))
+	}
+	for k := range ls {
+		if !samePrediction(ls[k], rs[k]) {
+			t.Fatalf("%s: step %d: local %+v remote %+v", tag, k, ls[k], rs[k])
+		}
+	}
+	lp, lok := local.PredictAt(4)
+	rp, rok := remote.PredictAt(4)
+	if lok != rok || !samePrediction(lp, rp) {
+		t.Fatalf("%s: PredictAt(4): local %+v/%v remote %+v/%v", tag, lp, lok, rp, rok)
+	}
+}
+
+// waitReconnect pokes the remote thread until the client completes a
+// reconnection beyond prev. The pokes surface the dead socket (triggering
+// the reconnect) and then fail open while the client is offline.
+func waitReconnect(t *testing.T, c *client.Client, rth *client.Thread, prev uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for c.Stats().Reconnects <= prev {
+		rth.PredictAt(1)
+		if time.Now().After(deadline) {
+			t.Fatalf("reconnect did not complete (stats %+v)", c.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestRemoteBitIdenticalAcrossReconnect is the resilience acceptance test:
+// on every transport tier, a client whose connection is severed mid-stream
+// must — after resume (or fresh reopen) and shadow replay — converge to
+// predictions bit-identical to an in-process oracle fed the same stream,
+// with zero events dropped or duplicated.
+func TestRemoteBitIdenticalAcrossReconnect(t *testing.T) {
+	dir := t.TempDir()
+	names := synthTrace(t, dir, "bt", 96)
+	_, tcpAddr, unixAddr := startServerTransports(t, Config{TraceDir: dir})
+	ref, err := pythia.LoadTraceSet(filepath.Join(dir, "bt.pythia"))
+	if err != nil {
+		t.Fatalf("loading trace: %v", err)
+	}
+	stream := repeatNames(names, 320)
+	cuts := map[int]bool{97: true, 211: true}
+
+	cases := []struct {
+		name   string
+		addr   string
+		shared bool
+	}{
+		{"tcp", tcpAddr, false},
+		{"unix", unixAddr, false},
+		{"shm", unixAddr, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			proxy, err := chaosnet.New(tc.addr, chaosnet.Config{})
+			if err != nil {
+				t.Fatalf("proxy: %v", err)
+			}
+			defer proxy.Close()
+
+			localOracle, err := pythia.NewPredictOracle(ref, pythia.Config{})
+			if err != nil {
+				t.Fatalf("local oracle: %v", err)
+			}
+			local := localThread{localOracle.Thread(0)}
+
+			c, err := client.Dial(proxy.Addr(), client.Config{
+				SharedMem:         tc.shared,
+				ReconnectMinDelay: 2 * time.Millisecond,
+				RequestTimeout:    2 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer func() {
+				if err := c.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+			}()
+			ro, err := c.Oracle("bt")
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			rth := ro.Thread(0)
+			local.StartAtBeginning()
+			rth.StartAtBeginning()
+
+			wantReconnects := uint64(0)
+			for i, name := range stream {
+				local.Submit(localOracle.Intern(name))
+				rth.Submit(ro.Intern(name))
+				if cuts[i] {
+					wantReconnects++
+					prev := c.Stats().Reconnects
+					proxy.CutAll()
+					waitReconnect(t, c, rth, prev)
+				}
+				if i%37 == 0 {
+					comparePoint(t, tc.name, local, rth, 16)
+				}
+			}
+			rth.Flush()
+			comparePoint(t, tc.name+" final", local, rth, 32)
+			if err := c.Err(); err != nil {
+				t.Fatalf("client error after convergence: %v", err)
+			}
+			st := c.Stats()
+			if st.Reconnects != wantReconnects {
+				t.Fatalf("reconnects = %d, want %d", st.Reconnects, wantReconnects)
+			}
+			if st.DroppedEvents != 0 {
+				t.Fatalf("dropped %d events across reconnects, want 0", st.DroppedEvents)
+			}
+		})
+	}
+}
+
+// TestReconnectAcrossDaemonRestart kills the daemon outright and restarts
+// it on the same unix socket path: the already-connected client must
+// redial (transport.Listen clears the stale socket), fall back from resume
+// to a fresh reopen — the restarted daemon knows no tokens — and replay its
+// shadow buffer to bit-identical convergence.
+func TestReconnectAcrossDaemonRestart(t *testing.T) {
+	dir := t.TempDir()
+	names := synthTrace(t, dir, "bt", 96)
+	sockDir, err := os.MkdirTemp("", "pythia-uds")
+	if err != nil {
+		t.Fatalf("socket dir: %v", err)
+	}
+	defer os.RemoveAll(sockDir)
+	addr := "unix://" + filepath.Join(sockDir, "d.sock")
+
+	startOn := func() (*Server, chan error) {
+		ln, err := transport.Listen(addr)
+		if err != nil {
+			t.Fatalf("listen %s: %v", addr, err)
+		}
+		srv := New(Config{TraceDir: dir, DrainTimeout: 100 * time.Millisecond})
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve(ln) }()
+		return srv, errc
+	}
+	srv1, err1 := startOn()
+
+	ref, err := pythia.LoadTraceSet(filepath.Join(dir, "bt.pythia"))
+	if err != nil {
+		t.Fatalf("loading trace: %v", err)
+	}
+	localOracle, err := pythia.NewPredictOracle(ref, pythia.Config{})
+	if err != nil {
+		t.Fatalf("local oracle: %v", err)
+	}
+	local := localThread{localOracle.Thread(0)}
+
+	c, err := client.Dial(addr, client.Config{
+		ReconnectMinDelay: 2 * time.Millisecond,
+		RequestTimeout:    2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	ro, err := c.Oracle("bt")
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	rth := ro.Thread(0)
+	local.StartAtBeginning()
+	rth.StartAtBeginning()
+
+	stream := repeatNames(names, 160)
+	for _, name := range stream[:80] {
+		local.Submit(localOracle.Intern(name))
+		rth.Submit(ro.Intern(name))
+	}
+	comparePoint(t, "before restart", local, rth, 16)
+
+	if err := srv1.Shutdown(); err != nil {
+		t.Fatalf("shutdown srv1: %v", err)
+	}
+	if err := <-err1; err != nil {
+		t.Fatalf("serve srv1: %v", err)
+	}
+	srv2, err2 := startOn()
+	t.Cleanup(func() {
+		if err := srv2.Shutdown(); err != nil {
+			t.Errorf("shutdown srv2: %v", err)
+		}
+		if err := <-err2; err != nil {
+			t.Errorf("serve srv2: %v", err)
+		}
+	})
+
+	waitReconnect(t, c, rth, 0)
+
+	for _, name := range stream[80:] {
+		local.Submit(localOracle.Intern(name))
+		rth.Submit(ro.Intern(name))
+	}
+	rth.Flush()
+	comparePoint(t, "after restart", local, rth, 32)
+	if err := c.Err(); err != nil {
+		t.Fatalf("client error after restart recovery: %v", err)
+	}
+	if st := c.Stats(); st.DroppedEvents != 0 {
+		t.Fatalf("dropped %d events across the restart, want 0", st.DroppedEvents)
+	}
+}
+
+// TestChaosMatrix drives the client through a chaosnet proxy injecting a
+// deterministic fault schedule, then mutes the faults and requires
+// convergence to bit-identical predictions. The default run covers a
+// reduced matrix; PYTHIA_CHAOS=1 (the check.sh --chaos leg) runs all of it.
+func TestChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix reconnects through injected faults")
+	}
+	dir := t.TempDir()
+	names := synthTrace(t, dir, "bt", 96)
+	_, tcpAddr, unixAddr := startServerTransports(t, Config{TraceDir: dir})
+	ref, err := pythia.LoadTraceSet(filepath.Join(dir, "bt.pythia"))
+	if err != nil {
+		t.Fatalf("loading trace: %v", err)
+	}
+	stream := repeatNames(names, 256)
+
+	type matrixCase struct {
+		name   string
+		addr   string
+		shared bool
+		faults chaosnet.Config
+	}
+	cases := []matrixCase{
+		{"tcp-resets", tcpAddr, false, chaosnet.Config{Seed: 7, ResetEvery: 9}},
+		{"unix-torn", unixAddr, false, chaosnet.Config{Seed: 11, TornEvery: 13}},
+	}
+	if os.Getenv("PYTHIA_CHAOS") == "1" {
+		cases = append(cases,
+			matrixCase{"tcp-latency-drops", tcpAddr, false, chaosnet.Config{Seed: 3, Latency: 200 * time.Microsecond, DropEvery: 17}},
+			matrixCase{"unix-stalls", unixAddr, false, chaosnet.Config{Seed: 5, StallEvery: 11, StallFor: 30 * time.Millisecond}},
+			matrixCase{"shm-resets", unixAddr, true, chaosnet.Config{Seed: 9, ResetEvery: 7}},
+		)
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			proxy, err := chaosnet.New(tc.addr, tc.faults)
+			if err != nil {
+				t.Fatalf("proxy: %v", err)
+			}
+			defer proxy.Close()
+
+			localOracle, err := pythia.NewPredictOracle(ref, pythia.Config{})
+			if err != nil {
+				t.Fatalf("local oracle: %v", err)
+			}
+			local := localThread{localOracle.Thread(0)}
+
+			// Dialing and opening the oracle go through the faulty proxy
+			// themselves; retry until the handshake slips between faults.
+			setup := time.Now().Add(10 * time.Second)
+			var c *client.Client
+			for {
+				c, err = client.Dial(proxy.Addr(), client.Config{
+					SharedMem:         tc.shared,
+					ReconnectMinDelay: 2 * time.Millisecond,
+					DialTimeout:       2 * time.Second,
+					RequestTimeout:    2 * time.Second,
+				})
+				if err == nil {
+					break
+				}
+				if time.Now().After(setup) {
+					t.Fatalf("dial through chaos: %v", err)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			defer c.Close()
+			var ro *client.Oracle
+			for {
+				ro, err = c.Oracle("bt")
+				if err == nil {
+					break
+				}
+				if time.Now().After(setup) {
+					t.Fatalf("oracle through chaos: %v", err)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			rth := ro.Thread(0)
+
+			for i, name := range stream {
+				local.Submit(localOracle.Intern(name))
+				rth.Submit(ro.Intern(name))
+				if i%19 == 0 {
+					rth.PredictAt(2) // keeps round trips in the fault path; result irrelevant
+				}
+			}
+
+			proxy.ClearFaults()
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				rth.Flush()
+				if c.Err() == nil {
+					if _, ok := rth.PredictAt(1); ok {
+						break
+					}
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("no convergence after chaos: err=%v stats=%+v", c.Err(), c.Stats())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			comparePoint(t, tc.name, local, rth, 24)
+			if st := c.Stats(); st.DroppedEvents != 0 {
+				t.Fatalf("dropped %d events under chaos, want 0", st.DroppedEvents)
+			}
+		})
+	}
+}

@@ -35,6 +35,8 @@ const (
 	DefaultMaxConns     = 256
 	DefaultMaxSessions  = 4096
 	DefaultDrainTimeout = 5 * time.Second
+	DefaultResumeWindow = 15 * time.Second
+	DefaultMaxParked    = 64
 )
 
 // Config configures a Server. The zero value serves the current directory
@@ -54,6 +56,26 @@ type Config struct {
 	// DrainTimeout bounds Shutdown: connections still busy after the
 	// window are force-closed. 0 means DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// ResumeWindow is how long a dropped connection's sessions stay parked
+	// awaiting a TResume with the connection's token. 0 means
+	// DefaultResumeWindow, negative disables session resume entirely.
+	ResumeWindow time.Duration
+	// Keepalive, when positive, reaps connections that send no frame for
+	// the given window. Clients on the shared-memory tier (which submits
+	// without socket frames) must heartbeat within it.
+	Keepalive time.Duration
+	// MaxParked caps concurrently parked connections awaiting resume;
+	// beyond it a dropped connection releases immediately. 0 means
+	// DefaultMaxParked, negative means no cap.
+	MaxParked int
+	// MaxSessionsPerTenant caps open sessions per tenant; excess opens are
+	// refused with CodeRetryLater (non-fatal, retry-after hint attached).
+	// 0 means unlimited.
+	MaxSessionsPerTenant int
+	// ShedSessions, when positive, sheds low-value work once the open
+	// session count exceeds it: speculative PredictSequence queries get
+	// CodeRetryLater while Submit acks, PredictAt, and Health always serve.
+	ShedSessions int
 	// Logf, when set, receives connection-lifecycle diagnostics. It must
 	// be safe for concurrent use (log.Printf is).
 	Logf func(format string, args ...any)
@@ -73,6 +95,9 @@ type Server struct {
 	sessions atomic.Int64 // open sessions, server-wide
 	wg       sync.WaitGroup
 	drainOne sync.Once
+
+	parkMu sync.Mutex
+	parked map[uint64]*parkedConn // resume token -> parked sessions
 }
 
 // New returns a server over cfg.TraceDir. It does not listen yet.
@@ -86,10 +111,17 @@ func New(cfg Config) *Server {
 	if cfg.DrainTimeout == 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
+	if cfg.ResumeWindow == 0 {
+		cfg.ResumeWindow = DefaultResumeWindow
+	}
+	if cfg.MaxParked == 0 {
+		cfg.MaxParked = DefaultMaxParked
+	}
 	return &Server{
-		cfg:   cfg,
-		st:    newStore(cfg.TraceDir),
-		conns: make(map[*conn]struct{}),
+		cfg:    cfg,
+		st:     newStore(cfg.TraceDir),
+		conns:  make(map[*conn]struct{}),
+		parked: make(map[uint64]*parkedConn),
 	}
 }
 
@@ -192,6 +224,9 @@ func (s *Server) drain() error {
 			s.logf("pythiad: closing listener %s: %v", ln.Addr(), cerr)
 		}
 	}
+	// Parked sessions will never be resumed on a draining server: release
+	// them now so their tenants (and the session budget) drain too.
+	s.sweepParked()
 
 	done := make(chan struct{})
 	go func() {
@@ -227,9 +262,10 @@ func (s *Server) Sessions() int64 { return s.sessions.Load() }
 // survives a non-fatal protoErr because the Error frame IS the response to
 // the failing request; errors on one-way frames are always fatal.
 type protoErr struct {
-	code  wire.Code
-	msg   string
-	fatal bool
+	code    wire.Code
+	msg     string
+	fatal   bool
+	retryMs uint32 // retry-after hint, encoded when nonzero (load shedding)
 }
 
 func (e *protoErr) Error() string { return fmt.Sprintf("%s: %s", e.code, e.msg) }
@@ -245,11 +281,15 @@ type sessKey struct {
 }
 
 // session is one open session slot. th is nil for meta sessions (tid < 0),
-// which exist to pin a tenant and fetch its event table.
+// which exist to pin a tenant and fetch its event table. applied counts
+// events fed into the session since it opened; it lives behind a pointer so
+// the count survives sessions-slice growth and is shared with the shm pump
+// (both writers are serialized by the ring lock for ring-bound sessions).
 type session struct {
-	th   *pythia.Thread
-	ct   *connTenant
-	open bool
+	th      *pythia.Thread
+	ct      *connTenant
+	open    bool
+	applied *uint64
 }
 
 // connTenant is this connection's handle on one tenant: the shared store
@@ -279,6 +319,11 @@ type conn struct {
 	// per-ring mutexes (see shm.go).
 	shm    *connShm
 	ringOf map[uint32]int
+
+	// resumeToken is the token granted at Hello time (0 when the client did
+	// not ask or resume is disabled). While nonzero, teardown parks the
+	// connection's sessions instead of releasing them (see park.go).
+	resumeToken uint64
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -310,9 +355,10 @@ func (c *conn) refuse(code wire.Code, msg string) {
 }
 
 // serve runs the connection to completion: handshake, then frames until
-// EOF, a fatal protocol error, or the drain deadline.
+// EOF, a fatal protocol error, the keepalive window, or the drain deadline.
 func (c *conn) serve() {
 	defer c.teardown()
+	c.armKeepalive()
 	if err := c.handshake(); err != nil {
 		c.finishWith(err)
 		return
@@ -335,17 +381,33 @@ func (c *conn) serve() {
 			return
 		}
 		// Write batching: flush only when no further request is already
-		// buffered, so a pipelined burst gets one flush, not N.
+		// buffered, so a pipelined burst gets one flush, not N. The idle
+		// point is also where the keepalive window restarts.
 		if c.br.Buffered() == 0 {
 			if err := c.bw.Flush(); err != nil {
 				c.finishWith(nil)
 				return
 			}
+			c.armKeepalive()
 		}
 	}
 }
 
-// handshake requires the first frame to be a version-matched Hello.
+// armKeepalive restarts the read-side keepalive window. A draining server
+// leaves the drain deadline alone so keepalive cannot extend it.
+func (c *conn) armKeepalive() {
+	if c.srv.cfg.Keepalive <= 0 || c.srv.draining.Load() {
+		return
+	}
+	if err := c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.Keepalive)); err != nil {
+		c.srv.logf("pythiad: keepalive deadline on %s: %v", c.nc.RemoteAddr(), err)
+	}
+}
+
+// handshake requires the first frame to be a version-matched Hello. A
+// client asking for resume capability gets a fresh token in the HelloOK —
+// the token it may present over a future connection to adopt the sessions
+// this connection leaves behind.
 func (c *conn) handshake() error {
 	t, payload, err := wire.ReadFrame(c.br, &c.buf)
 	if err != nil {
@@ -354,7 +416,7 @@ func (c *conn) handshake() error {
 	if t != wire.THello {
 		return badFrame("expected Hello")
 	}
-	v, err := wire.ParseHello(payload)
+	v, flags, err := wire.ParseHello(payload)
 	if err != nil {
 		return badFrame(err.Error())
 	}
@@ -365,7 +427,20 @@ func (c *conn) handshake() error {
 			fatal: true,
 		}
 	}
-	c.out = wire.AppendHelloOK(c.out[:0])
+	window := c.srv.cfg.ResumeWindow
+	if flags&wire.HelloFlagResume != 0 && window > 0 && !c.srv.draining.Load() {
+		token, terr := newResumeToken()
+		if terr != nil {
+			c.srv.logf("pythiad: resume token for %s: %v", c.nc.RemoteAddr(), terr)
+		} else {
+			c.resumeToken = token
+		}
+	}
+	if c.resumeToken != 0 {
+		c.out = wire.AppendHelloOKResume(c.out[:0], c.resumeToken, uint32(window/time.Millisecond))
+	} else {
+		c.out = wire.AppendHelloOK(c.out[:0])
+	}
 	if err := wire.WriteFrame(c.bw, wire.THelloOK, c.out); err != nil {
 		return err
 	}
@@ -374,7 +449,11 @@ func (c *conn) handshake() error {
 
 // writeError answers (or terminates) a request with an Error frame.
 func (c *conn) writeError(pe *protoErr) {
-	c.out = wire.AppendError(c.out[:0], pe.code, pe.msg)
+	if pe.retryMs > 0 {
+		c.out = wire.AppendErrorRetry(c.out[:0], pe.code, pe.msg, pe.retryMs)
+	} else {
+		c.out = wire.AppendError(c.out[:0], pe.code, pe.msg)
+	}
 	if err := wire.WriteFrame(c.bw, wire.TError, c.out); err != nil {
 		return
 	}
@@ -401,19 +480,23 @@ func (c *conn) finishWith(err error) {
 
 // teardown returns every resource the connection holds: open-session
 // budget, oracle registrations, tenant references, and the shm pump and
-// segment mapping when the connection negotiated shared memory.
+// segment mapping when the connection negotiated shared memory. The shm
+// teardown runs first — its final ring drain makes the applied counters
+// exact — then a connection holding a resume token parks its sessions for
+// the resume window instead of releasing them.
 func (c *conn) teardown() {
 	c.shmTeardown()
-	for i := range c.sessions {
-		if c.sessions[i].open {
-			c.sessions[i].open = false
-			c.srv.sessions.Add(-1)
-		}
+	if c.resumeToken != 0 && c.srv.tryPark(c) {
+		return
 	}
-	for _, ct := range c.tenants {
-		ct.t.unregister(ct.oracle)
-		c.srv.st.Release(ct.t)
-	}
+	c.releaseSessions()
+}
+
+// releaseSessions returns the session budget, per-tenant counts, oracle
+// registrations, and tenant references. Called from teardown (no park) and
+// from the park table when a parked connection expires unresumed.
+func (c *conn) releaseSessions() {
+	releaseParked(c.srv, c.sessions, c.tenants)
 }
 
 // handleFrame dispatches one request frame.
@@ -435,6 +518,8 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 			return perr
 		}
 		th.Submit(pythia.ID(id))
+		ap := c.sessions[sid].applied
+		*ap++
 		release()
 		return nil
 	case wire.TSubmitBatch:
@@ -453,6 +538,8 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		for i, n := 0, batch.Len(); i < n; i++ {
 			th.Submit(pythia.ID(batch.At(i)))
 		}
+		ap := c.sessions[sid].applied
+		*ap += uint64(batch.Len())
 		release()
 		return nil
 	case wire.TPredictAt:
@@ -480,6 +567,16 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		th, perr := c.threadOf(sid)
 		if perr != nil {
 			return perr
+		}
+		// Load shedding drops the lowest-value work first: speculative
+		// multi-step sequence queries. Submits are never refused (losing
+		// events corrupts the model) and single PredictAt stays cheap.
+		if shed := c.srv.cfg.ShedSessions; shed > 0 && c.srv.sessions.Load() > int64(shed) {
+			return &protoErr{
+				code:    wire.CodeRetryLater,
+				msg:     "overloaded; sequence predictions shed",
+				retryMs: 100,
+			}
 		}
 		// n comes off the wire: clamp it to what one response frame can
 		// carry, so an 8-byte request cannot demand a multi-GiB prediction
@@ -535,6 +632,30 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 			return badFrame(err.Error())
 		}
 		return c.shmSubscribe(sub)
+	case wire.TResume:
+		token, err := wire.ParseResume(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.resume(token)
+	case wire.TReplay:
+		sid, base, batch, err := wire.ParseReplay(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.replay(sid, base, batch)
+	case wire.THeartbeat:
+		if err := wire.ParseHeartbeat(payload); err != nil {
+			return badFrame(err.Error())
+		}
+		return wire.WriteFrame(c.bw, wire.THeartbeatAck, nil)
+	case wire.TDetach:
+		if err := wire.ParseDetach(payload); err != nil {
+			return badFrame(err.Error())
+		}
+		// One-way: the client is closing for good; never park its sessions.
+		c.resumeToken = 0
+		return nil
 	case wire.THello:
 		return badFrame("duplicate Hello")
 	default:
@@ -580,16 +701,31 @@ func (c *conn) openSession(o wire.OpenSession) error {
 	}
 	key := sessKey{tenant: o.Tenant, tid: o.TID}
 	if o.TID >= 0 {
-		if _, dup := c.byKey[key]; dup {
-			return &protoErr{
-				code: wire.CodeDuplicateSession,
-				msg:  fmt.Sprintf("thread %d of tenant %q already open on this connection", o.TID, o.Tenant),
+		if old, dup := c.byKey[key]; dup {
+			// Last open wins. A client whose OpenSession (or CloseSession)
+			// response was lost to the network resumes with a stale view in
+			// which this thread is unopened; refusing the reopen would wedge
+			// it permanently. The orphaned slot can hold no unacknowledged
+			// client state — the client never learned its id — so retiring
+			// it and letting the shadow replay rebuild the stream converges.
+			if perr := c.retireSession(old); perr != nil {
+				return perr
 			}
 		}
 	}
 	ct, perr := c.tenantOf(o.Tenant)
 	if perr != nil {
 		return perr
+	}
+	// Per-tenant admission: one tenant's fan-out cannot crowd out the rest
+	// of the server. Non-fatal with a retry hint — the client's session
+	// stays unopened, the connection stays usable.
+	if max := int64(c.srv.cfg.MaxSessionsPerTenant); max > 0 && ct.t.sess.Load() >= max {
+		return &protoErr{
+			code:    wire.CodeRetryLater,
+			msg:     fmt.Sprintf("tenant %q at its session limit; retry later", o.Tenant),
+			retryMs: 250,
+		}
 	}
 
 	var th *pythia.Thread
@@ -603,11 +739,12 @@ func (c *conn) openSession(o wire.OpenSession) error {
 	}
 
 	sid := uint32(len(c.sessions))
-	c.sessions = append(c.sessions, session{th: th, ct: ct, open: true})
+	c.sessions = append(c.sessions, session{th: th, ct: ct, open: true, applied: new(uint64)})
 	if o.TID >= 0 {
 		c.byKey[key] = sid
 	}
 	c.srv.sessions.Add(1)
+	ct.t.sess.Add(1)
 
 	so := wire.SessionOpened{
 		Session:      sid,
@@ -654,6 +791,18 @@ func (c *conn) closeSession(sid uint32) error {
 	if int(sid) >= len(c.sessions) || !c.sessions[sid].open {
 		return errUnknownSession
 	}
+	if perr := c.retireSession(sid); perr != nil {
+		return perr
+	}
+	c.out = wire.AppendSessionClosed(c.out[:0], sid)
+	return wire.WriteFrame(c.bw, wire.TSessionClosed, c.out)
+}
+
+// retireSession releases one open session slot without answering the
+// client: the budget and per-tenant counts are returned and the (tenant,
+// thread) key freed for a fresh open. Shared by closeSession and the
+// duplicate-open path.
+func (c *conn) retireSession(sid uint32) *protoErr {
 	// A ring-bound session drains its ring before closing, so no submitted
 	// event is lost; the ring becomes rebindable.
 	if perr := c.shmUnbind(sid); perr != nil {
@@ -661,14 +810,14 @@ func (c *conn) closeSession(sid uint32) error {
 	}
 	c.sessions[sid].open = false
 	c.srv.sessions.Add(-1)
+	c.sessions[sid].ct.t.sess.Add(-1)
 	for key, id := range c.byKey {
 		if id == sid {
 			delete(c.byKey, key)
 			break
 		}
 	}
-	c.out = wire.AppendSessionClosed(c.out[:0], sid)
-	return wire.WriteFrame(c.bw, wire.TSessionClosed, c.out)
+	return nil
 }
 
 // health answers a Health request for one tenant ("" = whole server).

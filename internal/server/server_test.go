@@ -324,7 +324,7 @@ func dialRaw(t *testing.T, addr string) *rawConn {
 			t.Logf("closing raw conn: %v", err)
 		}
 	})
-	c.send(wire.THello, wire.AppendHello(nil))
+	c.send(wire.THello, wire.AppendHello(nil, 0))
 	typ, _ := c.recv()
 	if typ != wire.THelloOK {
 		t.Fatalf("handshake: got %s", typ)
@@ -680,8 +680,8 @@ func TestProtocolFatalErrors(t *testing.T) {
 			}
 		}()
 		bw := bufio.NewWriter(nc)
-		hello := wire.AppendHello(nil)
-		hello[len(hello)-1] ^= 0xff // skew the version
+		hello := wire.AppendHello(nil, 0)
+		hello[5] ^= 0xff // skew the low version byte (the last byte is flags)
 		if err := wire.WriteFrame(bw, wire.THello, hello); err != nil {
 			t.Fatalf("write: %v", err)
 		}
@@ -713,13 +713,27 @@ func TestProtocolFatalErrors(t *testing.T) {
 		}
 	})
 
-	t.Run("duplicate session", func(t *testing.T) {
+	t.Run("duplicate open retires the stale session", func(t *testing.T) {
+		// Last open wins: a client that lost an OpenSession response reopens
+		// the same (tenant, thread) after a resume. The server must hand out
+		// a fresh session and retire the orphaned one rather than refuse —
+		// a refusal would wedge the client permanently (see openSession).
 		c := dialRaw(t, addr)
-		c.openSession("synth", 0, 0)
-		c.send(wire.TOpenSession, wire.AppendOpenSession(nil, wire.OpenSession{TID: 0, Tenant: "synth"}))
-		c.expectError(wire.CodeDuplicateSession)
-		// Non-fatal: the connection keeps serving.
-		c.openSession("synth", 1, 0)
+		old := c.openSession("synth", 0, 0)
+		fresh := c.openSession("synth", 0, 0)
+		if fresh == old {
+			t.Fatalf("reopen returned the stale session id %d", old)
+		}
+		// The connection keeps serving and the fresh session answers.
+		c.send(wire.TSubmit, wire.AppendSubmit(nil, fresh, 0))
+		c.send(wire.TPredictAt, wire.AppendPredictAt(nil, fresh, 1))
+		typ, _ := c.recv()
+		if typ != wire.TPrediction {
+			t.Fatalf("fresh session: expected Prediction, got %s", typ)
+		}
+		// The retired id is gone; using it is the usual fatal unknown-session.
+		c.send(wire.TPredictAt, wire.AppendPredictAt(nil, old, 1))
+		c.expectError(wire.CodeUnknownSession)
 	})
 }
 

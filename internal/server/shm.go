@@ -27,6 +27,7 @@ type shmRing struct {
 	mu         sync.Mutex
 	r          *transport.Ring
 	th         *pythia.Thread // nil while unbound
+	applied    *uint64        // bound session's applied counter (resume dedup)
 	scratch    []int32        // decode buffer, sized at first bind
 	subHorizon int            // predictions per subscription refresh, 0 = off
 	subEvery   uint64         // refresh cadence in consumed events
@@ -126,6 +127,7 @@ func (c *conn) shmBind(sid, ring uint32) error {
 		return badFrame(fmt.Sprintf("ring %d already bound", ring))
 	}
 	r.th = th
+	r.applied = c.sessions[sid].applied
 	if r.scratch == nil {
 		r.scratch = make([]int32, scratchChunk)
 	}
@@ -216,6 +218,7 @@ func (c *conn) shmUnbind(sid uint32) *protoErr {
 	r.mu.Lock()
 	_, err := drainRingLocked(r)
 	r.th = nil
+	r.applied = nil
 	r.subHorizon = 0
 	r.mu.Unlock()
 	delete(c.ringOf, sid)
@@ -225,13 +228,24 @@ func (c *conn) shmUnbind(sid uint32) *protoErr {
 	return nil
 }
 
-// shmTeardown stops the pump and unmaps the segment. Runs in conn.teardown.
+// shmTeardown stops the pump and unmaps the segment. Runs in conn.teardown,
+// before any parking decision: the final drain below makes each bound
+// session's applied counter exact, which is what resume dedup relies on.
 func (c *conn) shmTeardown() {
 	if c.shm == nil {
 		return
 	}
 	close(c.shm.quit)
 	c.shm.wg.Wait()
+	for i := range c.shm.rings {
+		r := &c.shm.rings[i]
+		r.mu.Lock()
+		_, err := drainRingLocked(r)
+		r.mu.Unlock()
+		if err != nil {
+			c.srv.logf("pythiad: final drain of shm ring %d of %s: %v", i, c.nc.RemoteAddr(), err)
+		}
+	}
 	if err := c.shm.seg.Close(); err != nil {
 		c.srv.logf("pythiad: closing shm segment for %s: %v", c.nc.RemoteAddr(), err)
 	}
@@ -257,6 +271,9 @@ func drainRingLocked(r *shmRing) (int, error) {
 		}
 		for _, id := range r.scratch[:n] {
 			r.th.Submit(pythia.ID(id))
+		}
+		if r.applied != nil {
+			*r.applied += uint64(n)
 		}
 		total += n
 	}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 	"repro/pythia"
@@ -45,6 +46,10 @@ type tenant struct {
 	ready chan struct{} // closed once ts/err are set
 	ts    *pythia.TraceSet
 	err   error
+
+	// sess counts open sessions on this tenant server-wide (parked sessions
+	// included) — the per-tenant admission-control input.
+	sess atomic.Int64
 
 	mu      sync.Mutex
 	oracles map[*pythia.Oracle]struct{}

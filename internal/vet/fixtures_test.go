@@ -58,14 +58,19 @@ func TestAtomicMixFixture(t *testing.T) {
 	})
 }
 
-// TestGoroutineLifecycleFixture seeds the leaked-goroutine class: spawned
-// loops nothing joins, signals, or annotates.
+// TestGoroutineLifecycleFixture seeds the leaked-goroutine class (spawned
+// loops nothing joins, signals, or annotates) and the PR 8 unjittered-
+// retry class (unbounded fixed-cadence sleep loops with no quit check).
+// good.go holds the accepted twins — bounded retries, computed backoff,
+// select-stoppable ticks — the analyzer must stay silent on.
 func TestGoroutineLifecycleFixture(t *testing.T) {
 	got := loadDiskFixture(t, "goroutine", GoroutineLifecycle)
 	expectAllInBadFile(t, got)
 	expectFindings(t, got, []string{
 		"[goroutine-lifecycle] goroutine is not tied to a WaitGroup",
 		"[goroutine-lifecycle] goroutine is not tied to a WaitGroup",
+		"[goroutine-lifecycle] unbounded retry loop sleeps a constant interval with no quit/ctx check",
+		"[goroutine-lifecycle] unbounded retry loop sleeps a constant interval with no quit/ctx check",
 	})
 }
 

@@ -56,8 +56,59 @@ func runGoroutineLifecycle(pass *Pass) {
 					"goroutine is not tied to a WaitGroup, a quit/stop channel, or a join channel the spawner waits on (annotate pythia:detached with a justification if the leak is deliberate)")
 				return true
 			})
+			checkRetryLoops(pass, fd)
 		}
 	}
+}
+
+// checkRetryLoops flags unjittered, unbounded retry loops: an uncounted
+// `for` (no init/post — `for {}` or `for cond {}`) whose body sleeps a
+// compile-time constant duration and never touches a channel. Such a loop
+// retries forever in lockstep — it cannot be told to stop (no quit/ctx
+// select) and a fleet of them hammers the contended resource at the exact
+// same cadence (no backoff, no jitter). A computed Sleep argument is taken
+// as backoff (transport.Park's capped exponential delay is the house
+// pattern); a select or channel receive anywhere in the loop is taken as a
+// quit check. Counted loops are bounded retries and stay legal.
+func checkRetryLoops(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		if !sleepsConstant(pass.Pkg, loop.Body) || receivesFromChannel(pass.Pkg, loop.Body) {
+			return true
+		}
+		pass.Reportf(loop.Pos(),
+			"unbounded retry loop sleeps a constant interval with no quit/ctx check (add jittered backoff and select on a done channel, or bound the attempts)")
+		return true
+	})
+}
+
+// sleepsConstant reports a time.Sleep call in body whose argument is a
+// compile-time constant — the signature of a fixed-cadence retry, as
+// opposed to a computed backoff delay.
+func sleepsConstant(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sleep" {
+			return !found
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return !found
+		}
+		if tv, typed := pkg.Info.Types[call.Args[0]]; typed && tv.Value != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // detachedAt reports a "pythia:detached" comment block ending on the line

@@ -4,6 +4,8 @@
 // twin the analyzer must stay silent on.
 package fixture
 
+import "time"
+
 // Poller leaks its background loop: no WaitGroup, no quit channel, no
 // join handshake — once started, nothing can stop or observe it.
 type Poller struct {
@@ -29,4 +31,30 @@ func (p *Poller) StartInline() {
 			p.n++
 		}
 	}()
+}
+
+// WaitReady is the unjittered-retry class from the PR 8 review: an
+// unbounded loop sleeping a fixed interval with no quit/ctx check. A fleet
+// of these polls in lockstep forever and cannot be shut down.
+func (p *Poller) WaitReady() {
+	for p.n == 0 { // seeded bug: unbounded fixed-cadence spin-wait
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// RetryForever is the same class as an infinite for: retry until success
+// with a constant sleep, nothing bounding the attempts and nothing able to
+// stop it.
+func (p *Poller) RetryForever() {
+	for { // seeded bug: unbounded constant-interval retry
+		if p.try() {
+			return
+		}
+		time.Sleep(time.Second)
+	}
+}
+
+func (p *Poller) try() bool {
+	p.n++
+	return p.n > 3
 }

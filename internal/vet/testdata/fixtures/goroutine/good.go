@@ -1,6 +1,9 @@
 package fixture
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Worker shows the accepted lifecycle shapes; the analyzer must stay
 // silent on every one of them.
@@ -64,4 +67,45 @@ func (w *Worker) RunDetached() {
 	go func() {
 		w.n++
 	}()
+}
+
+// RetryBounded is a legal retry: the counted loop bounds the attempts, so
+// a constant sleep between them is fine.
+func (w *Worker) RetryBounded() bool {
+	for i := 0; i < 5; i++ {
+		if w.n > 0 {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// RetryBackoff is a legal unbounded retry: the sleep argument is computed
+// (capped exponential backoff), not a fixed cadence.
+func (w *Worker) RetryBackoff() {
+	delay := time.Millisecond
+	for {
+		if w.n > 0 {
+			return
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+// RetryStoppable is a legal unbounded retry: the select on the quit
+// channel gives the spawner a way to end it, even though the tick interval
+// is constant.
+func (w *Worker) RetryStoppable(tick <-chan time.Time) {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case <-tick:
+			w.n++
+		}
+	}
 }

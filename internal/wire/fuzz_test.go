@@ -16,8 +16,9 @@ import (
 func FuzzWireDecode(f *testing.F) {
 	// Seed with one valid encoding of every frame type, plus torn variants.
 	seeds := [][]byte{
-		AppendHello(nil),
+		AppendHello(nil, HelloFlagResume),
 		AppendHelloOK(nil),
+		AppendHelloOKResume(nil, 0x1234, 15000),
 		AppendOpenSession(nil, OpenSession{TID: 2, Flags: FlagStartAtBeginning | FlagWantEvents, Tenant: "bt"}),
 		AppendSessionOpened(nil, SessionOpened{Session: 1, HasPredictor: true, Events: []string{"a", "b"}}),
 		AppendSubmit(nil, 1, 42),
@@ -37,8 +38,13 @@ func FuzzWireDecode(f *testing.F) {
 		AppendShmBound(nil, 1, 0),
 		AppendSubscribe(nil, Subscribe{Session: 1, Horizon: 16, Every: 32}),
 		AppendSubscribed(nil, 1),
+		AppendErrorRetry(nil, CodeRetryLater, "shed", 250),
+		AppendResume(nil, 0xfeedface),
+		AppendResumed(nil, []ResumedSession{{Session: 0, Applied: 3}, {Session: 2, Applied: 9}}),
+		AppendReplay(nil, 1, 4, []int32{5, 6, 7}),
+		AppendReplayed(nil, 1, 7),
 	}
-	for t := THello; t <= TSubscribed; t++ {
+	for t := THello; t <= TDetach; t++ {
 		for _, s := range seeds {
 			f.Add(uint8(t), frameBytes(t, s))
 			if len(s) > 0 {
@@ -47,8 +53,8 @@ func FuzzWireDecode(f *testing.F) {
 		}
 	}
 	// Version-skewed hello and hostile length prefixes.
-	skew := AppendHello(nil)
-	skew[len(skew)-1] ^= 0xff
+	skew := AppendHello(nil, 0)
+	skew[5] ^= 0xff // low version byte, not the trailing flags byte
 	f.Add(uint8(THello), frameBytes(THello, skew))
 	f.Add(uint8(0), []byte{0xff, 0xff, 0xff, 0xff, 1})
 	f.Add(uint8(0), []byte{0, 0, 0, 0})
@@ -83,9 +89,9 @@ func exerciseParsers(t *testing.T, typ Type, payload []byte) {
 	t.Helper()
 	switch typ {
 	case THello:
-		_, _ = ParseHello(payload)
+		_, _, _ = ParseHello(payload)
 	case THelloOK:
-		_, _ = ParseHelloOK(payload)
+		_, _, _, _ = ParseHelloOK(payload)
 	case TOpenSession:
 		_, _ = ParseOpenSession(payload)
 	case TSessionOpened:
@@ -135,5 +141,26 @@ func exerciseParsers(t *testing.T, typ Type, payload []byte) {
 		_, _ = ParseSubscribe(payload)
 	case TSubscribed:
 		_, _ = ParseSubscribed(payload)
+	case TResume:
+		_, _ = ParseResume(payload)
+	case TResumed:
+		rs, err := ParseResumed(payload)
+		if err == nil && len(rs)*12 > len(payload) {
+			t.Fatalf("decoded %d resumed sessions from a %d-byte payload", len(rs), len(payload))
+		}
+	case TReplay:
+		_, _, b, err := ParseReplay(payload)
+		if err == nil && b.Len() > 0 {
+			_ = b.At(0)
+			_ = b.At(b.Len() - 1)
+		}
+	case TReplayed:
+		_, _, _ = ParseReplayed(payload)
+	case THeartbeat:
+		_ = ParseHeartbeat(payload)
+	case THeartbeatAck:
+		_ = ParseHeartbeatAck(payload)
+	case TDetach:
+		_ = ParseDetach(payload)
 	}
 }

@@ -81,6 +81,13 @@ const (
 	TShmBound        Type = 19 // s->c: session, ring index
 	TSubscribe       Type = 20 // c->s: session, horizon, refresh cadence
 	TSubscribed      Type = 21 // s->c: session
+	TResume          Type = 22 // c->s: resume token (must be the first frame after Hello)
+	TResumed         Type = 23 // s->c: per-session applied counters of the parked connection
+	TReplay          Type = 24 // c->s: session, base sequence, event ids (dedup'd server-side)
+	TReplayed        Type = 25 // s->c: session, applied counter after the replay
+	THeartbeat       Type = 26 // c->s: empty keepalive probe
+	THeartbeatAck    Type = 27 // s->c: empty keepalive answer
+	TDetach          Type = 28 // c->s (one-way): forget the resume token; close is final
 )
 
 // String names the frame type.
@@ -128,6 +135,20 @@ func (t Type) String() string {
 		return "Subscribe"
 	case TSubscribed:
 		return "Subscribed"
+	case TResume:
+		return "Resume"
+	case TResumed:
+		return "Resumed"
+	case TReplay:
+		return "Replay"
+	case TReplayed:
+		return "Replayed"
+	case THeartbeat:
+		return "Heartbeat"
+	case THeartbeatAck:
+		return "HeartbeatAck"
+	case TDetach:
+		return "Detach"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -138,11 +159,16 @@ type Code uint16
 
 // Error codes.
 const (
-	CodeBadFrame         Code = 1 // malformed or unexpected frame; connection-fatal
-	CodeBadVersion       Code = 2 // Hello version mismatch; connection-fatal
-	CodeUnknownTenant    Code = 3 // no loadable trace for the tenant name
-	CodeUnknownSession   Code = 4 // frame names a session this connection never opened; connection-fatal
-	CodeDuplicateSession Code = 5 // (tenant, tid) already open on this connection
+	CodeBadFrame       Code = 1 // malformed or unexpected frame; connection-fatal
+	CodeBadVersion     Code = 2 // Hello version mismatch; connection-fatal
+	CodeUnknownTenant  Code = 3 // no loadable trace for the tenant name
+	CodeUnknownSession Code = 4 // frame names a session this connection never opened; connection-fatal
+	// CodeDuplicateSession is reserved: servers up to protocol v1 refused a
+	// second open of the same (tenant, tid) on one connection with it. The
+	// server now retires the stale slot instead (last open wins — a client
+	// that lost an OpenSession response must be able to reopen after
+	// resume), so the code is kept only so old captures still decode.
+	CodeDuplicateSession Code = 5
 	CodeSessionLimit     Code = 6 // server-wide session budget exhausted; retry later
 	CodeConnLimit        Code = 7 // server-wide connection budget exhausted; connection-fatal
 	CodeDraining         Code = 8 // server is draining; no new sessions
@@ -151,6 +177,13 @@ const (
 	// geometry, unmappable segment, shm unsupported). Non-fatal: the client
 	// keeps the socket it negotiated on and falls back to socket transport.
 	CodeShmSetup Code = 10
+	// CodeRetryLater sheds load: the server refused the request but the
+	// connection stays healthy; the Error payload may carry a retry-after
+	// hint in milliseconds (ParseErrorRetry). Never sent for Submit.
+	CodeRetryLater Code = 11
+	// CodeNoResume answers a TResume whose token is unknown or expired.
+	// Non-fatal: the client re-opens its sessions fresh on this connection.
+	CodeNoResume Code = 12
 )
 
 // String names the error code.
@@ -176,6 +209,10 @@ func (c Code) String() string {
 		return "internal"
 	case CodeShmSetup:
 		return "shm setup refused"
+	case CodeRetryLater:
+		return "retry later"
+	case CodeNoResume:
+		return "no resumable state"
 	default:
 		return fmt.Sprintf("Code(%d)", uint16(c))
 	}
@@ -293,14 +330,31 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// Hello flag bits.
+const (
+	// HelloFlagResume asks the server for a resume token: if granted, the
+	// HelloOK response carries a nonzero token the client can present in a
+	// TResume frame on a future connection to adopt its parked sessions.
+	HelloFlagResume uint8 = 1 << 0
+)
+
 // AppendHello encodes a Hello payload.
-func AppendHello(buf []byte) []byte {
+func AppendHello(buf []byte, flags uint8) []byte {
 	buf = appendU32(buf, helloMagic)
-	return appendU16(buf, Version)
+	buf = appendU16(buf, Version)
+	return append(buf, flags)
 }
 
-// AppendHelloOK encodes a HelloOK payload.
+// AppendHelloOK encodes a HelloOK payload with no resume grant (token 0).
 func AppendHelloOK(buf []byte) []byte { return appendU16(buf, Version) }
+
+// AppendHelloOKResume encodes a HelloOK payload granting a resume token.
+// windowMs is how long a dropped connection's sessions stay parked.
+func AppendHelloOKResume(buf []byte, token uint64, windowMs uint32) []byte {
+	buf = appendU16(buf, Version)
+	buf = appendU64(buf, token)
+	return appendU32(buf, windowMs)
+}
 
 // OpenSession is the decoded form of a TOpenSession payload.
 type OpenSession struct {
@@ -514,28 +568,38 @@ func (c *cursor) done() bool { return c.ok && c.off == len(c.p) }
 
 func malformed(frame string) error { return fmt.Errorf("%w: %s", ErrMalformed, frame) }
 
-// ParseHello decodes a THello payload and checks magic and version.
-func ParseHello(p []byte) (version uint16, err error) {
+// ParseHello decodes a THello payload and checks magic and version. The
+// flags byte is optional on the wire (absent from version-1 clients that
+// predate resume); a missing byte decodes as zero flags.
+func ParseHello(p []byte) (version uint16, flags uint8, err error) {
 	c := newCursor(p)
 	magic := c.u32()
 	version = c.u16()
+	if c.off < len(p) {
+		flags = c.u8()
+	}
 	if !c.done() {
-		return 0, malformed("Hello")
+		return 0, 0, malformed("Hello")
 	}
 	if magic != helloMagic {
-		return 0, ErrBadMagic
+		return 0, 0, ErrBadMagic
 	}
-	return version, nil
+	return version, flags, nil
 }
 
-// ParseHelloOK decodes a THelloOK payload.
-func ParseHelloOK(p []byte) (version uint16, err error) {
+// ParseHelloOK decodes a THelloOK payload. token is zero when the server
+// granted no resume capability (the short, version-only form).
+func ParseHelloOK(p []byte) (version uint16, token uint64, windowMs uint32, err error) {
 	c := newCursor(p)
 	version = c.u16()
-	if !c.done() {
-		return 0, malformed("HelloOK")
+	if c.off < len(p) {
+		token = c.u64()
+		windowMs = c.u32()
 	}
-	return version, nil
+	if !c.done() {
+		return 0, 0, 0, malformed("HelloOK")
+	}
+	return version, token, windowMs, nil
 }
 
 // ParseOpenSession decodes a TOpenSession payload.
@@ -735,15 +799,34 @@ func ParseSessionClosed(p []byte) (session uint32, err error) {
 	return session, nil
 }
 
-// ParseError decodes a TError payload.
+// AppendErrorRetry encodes an Error payload carrying a retry-after hint in
+// milliseconds (used with CodeRetryLater when the server sheds load).
+func AppendErrorRetry(buf []byte, code Code, msg string, retryMs uint32) []byte {
+	buf = appendU16(buf, uint16(code))
+	buf = appendString(buf, msg)
+	return appendU32(buf, retryMs)
+}
+
+// ParseError decodes a TError payload, tolerating (and discarding) a
+// trailing retry-after hint.
 func ParseError(p []byte) (code Code, msg string, err error) {
+	code, msg, _, err = ParseErrorRetry(p)
+	return code, msg, err
+}
+
+// ParseErrorRetry decodes a TError payload including the optional trailing
+// retry-after hint; retryMs is zero when the short form was sent.
+func ParseErrorRetry(p []byte) (code Code, msg string, retryMs uint32, err error) {
 	c := newCursor(p)
 	code = Code(c.u16())
 	msg = c.str()
-	if !c.done() {
-		return 0, "", malformed("Error")
+	if c.off < len(p) {
+		retryMs = c.u32()
 	}
-	return code, msg, nil
+	if !c.done() {
+		return 0, "", 0, malformed("Error")
+	}
+	return code, msg, retryMs, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -879,4 +962,135 @@ func ParseSubscribed(p []byte) (session uint32, err error) {
 		return 0, malformed("Subscribed")
 	}
 	return session, nil
+}
+
+// ---------------------------------------------------------------------------
+// Session resume (robust serving). A client that negotiated a resume token
+// at Hello time can, after losing its connection, present the token as the
+// first frame of a fresh connection; the server re-attaches the parked
+// sessions and reports how many events it applied per session, so the
+// client can replay only its unacked tail. Replay frames carry explicit
+// base sequence numbers and the server drops anything at or below its
+// applied counter — replayed events are applied exactly once.
+
+// AppendResume encodes a Resume payload.
+func AppendResume(buf []byte, token uint64) []byte { return appendU64(buf, token) }
+
+// ParseResume decodes a TResume payload.
+func ParseResume(p []byte) (token uint64, err error) {
+	c := newCursor(p)
+	token = c.u64()
+	if !c.done() {
+		return 0, malformed("Resume")
+	}
+	return token, nil
+}
+
+// ResumedSession reports one re-attached session: its id (unchanged from
+// the original connection) and the server's applied event counter — the
+// number of events it has fed into the session since it was opened.
+type ResumedSession struct {
+	Session uint32
+	Applied uint64
+}
+
+// AppendResumed encodes a Resumed payload.
+func AppendResumed(buf []byte, sessions []ResumedSession) []byte {
+	buf = appendU32(buf, uint32(len(sessions)))
+	for _, rs := range sessions {
+		buf = appendU32(buf, rs.Session)
+		buf = appendU64(buf, rs.Applied)
+	}
+	return buf
+}
+
+// ParseResumed decodes a TResumed payload. The count is bounded by the
+// bytes actually present before any allocation.
+func ParseResumed(p []byte) ([]ResumedSession, error) {
+	c := newCursor(p)
+	n := int(c.u32())
+	// Each entry is exactly 12 bytes; a larger count cannot be honest.
+	if !c.ok || n > (len(p)-c.off)/12 {
+		return nil, malformed("Resumed")
+	}
+	sessions := make([]ResumedSession, 0, n)
+	for i := 0; i < n; i++ {
+		var rs ResumedSession
+		rs.Session = c.u32()
+		rs.Applied = c.u64()
+		sessions = append(sessions, rs)
+	}
+	if !c.done() {
+		return nil, malformed("Resumed")
+	}
+	return sessions, nil
+}
+
+// AppendReplay encodes a Replay payload: ids are the session's events with
+// sequence numbers base, base+1, … (1-based per server session).
+func AppendReplay(buf []byte, session uint32, base uint64, ids []int32) []byte {
+	buf = appendU32(buf, session)
+	buf = appendU64(buf, base)
+	buf = appendU32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = appendU32(buf, uint32(id))
+	}
+	return buf
+}
+
+var errMalformedReplay = fmt.Errorf("%w: Replay", ErrMalformed)
+
+// ParseReplay decodes a TReplay payload into a zero-copy Batch view.
+func ParseReplay(p []byte) (session uint32, base uint64, b Batch, err error) {
+	if len(p) < 16 {
+		return 0, 0, Batch{}, errMalformedReplay
+	}
+	session = binary.BigEndian.Uint32(p)
+	base = binary.BigEndian.Uint64(p[4:])
+	n := binary.BigEndian.Uint32(p[12:])
+	if uint64(n)*4 != uint64(len(p)-16) {
+		return 0, 0, Batch{}, errMalformedReplay
+	}
+	return session, base, Batch{p: p[16:]}, nil
+}
+
+// AppendReplayed encodes a Replayed payload.
+func AppendReplayed(buf []byte, session uint32, applied uint64) []byte {
+	buf = appendU32(buf, session)
+	return appendU64(buf, applied)
+}
+
+// ParseReplayed decodes a TReplayed payload.
+func ParseReplayed(p []byte) (session uint32, applied uint64, err error) {
+	c := newCursor(p)
+	session = c.u32()
+	applied = c.u64()
+	if !c.done() {
+		return 0, 0, malformed("Replayed")
+	}
+	return session, applied, nil
+}
+
+// ParseHeartbeat decodes a THeartbeat payload (empty).
+func ParseHeartbeat(p []byte) error {
+	if len(p) != 0 {
+		return malformed("Heartbeat")
+	}
+	return nil
+}
+
+// ParseHeartbeatAck decodes a THeartbeatAck payload (empty).
+func ParseHeartbeatAck(p []byte) error {
+	if len(p) != 0 {
+		return malformed("HeartbeatAck")
+	}
+	return nil
+}
+
+// ParseDetach decodes a TDetach payload (empty).
+func ParseDetach(p []byte) error {
+	if len(p) != 0 {
+		return malformed("Detach")
+	}
+	return nil
 }

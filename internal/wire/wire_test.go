@@ -107,18 +107,29 @@ func TestWriteFrameTooLarge(t *testing.T) {
 }
 
 func TestHello(t *testing.T) {
-	v, err := ParseHello(AppendHello(nil))
-	if err != nil || v != Version {
-		t.Fatalf("ParseHello = %d, %v", v, err)
+	v, flags, err := ParseHello(AppendHello(nil, HelloFlagResume))
+	if err != nil || v != Version || flags != HelloFlagResume {
+		t.Fatalf("ParseHello = %d, %#x, %v", v, flags, err)
 	}
-	bad := AppendHello(nil)
+	// The flags byte is optional on the wire: a version-1 six-byte Hello
+	// decodes with zero flags.
+	legacy := AppendHello(nil, 0)[:6]
+	v, flags, err = ParseHello(legacy)
+	if err != nil || v != Version || flags != 0 {
+		t.Fatalf("legacy ParseHello = %d, %#x, %v", v, flags, err)
+	}
+	bad := AppendHello(nil, 0)
 	bad[0] ^= 0xff
-	if _, err := ParseHello(bad); !errors.Is(err, ErrBadMagic) {
+	if _, _, err := ParseHello(bad); !errors.Is(err, ErrBadMagic) {
 		t.Fatalf("bad magic err = %v", err)
 	}
-	v, err = ParseHelloOK(AppendHelloOK(nil))
-	if err != nil || v != Version {
-		t.Fatalf("ParseHelloOK = %d, %v", v, err)
+	v, token, windowMs, err := ParseHelloOK(AppendHelloOK(nil))
+	if err != nil || v != Version || token != 0 || windowMs != 0 {
+		t.Fatalf("ParseHelloOK = %d, %d, %d, %v", v, token, windowMs, err)
+	}
+	v, token, windowMs, err = ParseHelloOK(AppendHelloOKResume(nil, 0xdeadbeefcafe, 15000))
+	if err != nil || v != Version || token != 0xdeadbeefcafe || windowMs != 15000 {
+		t.Fatalf("ParseHelloOK resume = %d, %d, %d, %v", v, token, windowMs, err)
 	}
 }
 
@@ -253,6 +264,69 @@ func TestCloseAndErrorRoundTrip(t *testing.T) {
 	if err != nil || code != CodeDraining || msg != "server draining" {
 		t.Fatalf("ParseError = %v, %q, %v", code, msg, err)
 	}
+	// The retry-after form decodes with either parser; the plain parser
+	// discards the hint, ParseErrorRetry surfaces it.
+	p := AppendErrorRetry(nil, CodeRetryLater, "shed", 250)
+	code, msg, err = ParseError(p)
+	if err != nil || code != CodeRetryLater || msg != "shed" {
+		t.Fatalf("ParseError(retry form) = %v, %q, %v", code, msg, err)
+	}
+	code, msg, retryMs, err := ParseErrorRetry(p)
+	if err != nil || code != CodeRetryLater || msg != "shed" || retryMs != 250 {
+		t.Fatalf("ParseErrorRetry = %v, %q, %d, %v", code, msg, retryMs, err)
+	}
+}
+
+func TestResumeRoundTrips(t *testing.T) {
+	token, err := ParseResume(AppendResume(nil, 0x1122334455667788))
+	if err != nil || token != 0x1122334455667788 {
+		t.Fatalf("ParseResume = %#x, %v", token, err)
+	}
+	want := []ResumedSession{{Session: 0, Applied: 12}, {Session: 3, Applied: 1 << 40}}
+	got, err := ParseResumed(AppendResumed(nil, want))
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseResumed = %+v, %v, want %+v", got, err, want)
+	}
+	empty, err := ParseResumed(AppendResumed(nil, nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty resumed = %+v, %v", empty, err)
+	}
+	// A dishonest count must fail before allocating the claimed capacity.
+	dishonest := appendU32(nil, 1<<30)
+	if _, err := ParseResumed(dishonest); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("dishonest resumed err = %v", err)
+	}
+
+	ids := []int32{7, -2, 9}
+	sess, base, b, err := ParseReplay(AppendReplay(nil, 5, 101, ids))
+	if err != nil || sess != 5 || base != 101 || b.Len() != 3 {
+		t.Fatalf("ParseReplay = %d, %d, len %d, %v", sess, base, b.Len(), err)
+	}
+	for i, wantID := range ids {
+		if got := b.At(i); got != wantID {
+			t.Fatalf("replay At(%d) = %d, want %d", i, got, wantID)
+		}
+	}
+	rp := AppendReplay(nil, 5, 101, ids)
+	binary.BigEndian.PutUint32(rp[12:], uint32(len(ids)+1))
+	if _, _, _, err := ParseReplay(rp); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("overcount replay err = %v", err)
+	}
+
+	sess, applied, err := ParseReplayed(AppendReplayed(nil, 5, 104))
+	if err != nil || sess != 5 || applied != 104 {
+		t.Fatalf("ParseReplayed = %d, %d, %v", sess, applied, err)
+	}
+
+	if err := ParseHeartbeat(nil); err != nil {
+		t.Fatalf("ParseHeartbeat = %v", err)
+	}
+	if err := ParseHeartbeatAck(nil); err != nil {
+		t.Fatalf("ParseHeartbeatAck = %v", err)
+	}
+	if err := ParseDetach(nil); err != nil {
+		t.Fatalf("ParseDetach = %v", err)
+	}
 }
 
 func TestShmRoundTrips(t *testing.T) {
@@ -286,7 +360,7 @@ func TestShmRoundTrips(t *testing.T) {
 
 func TestTrailingBytesAreMalformed(t *testing.T) {
 	checks := []func([]byte) error{
-		func(p []byte) error { _, err := ParseHello(p); return err },
+		func(p []byte) error { _, _, err := ParseHello(p); return err },
 		func(p []byte) error { _, err := ParseOpenSession(p); return err },
 		func(p []byte) error { _, err := ParseSessionOpened(p); return err },
 		func(p []byte) error { _, _, err := ParseSubmit(p); return err },
@@ -305,9 +379,18 @@ func TestTrailingBytesAreMalformed(t *testing.T) {
 		func(p []byte) error { _, _, err := ParseShmBound(p); return err },
 		func(p []byte) error { _, err := ParseSubscribe(p); return err },
 		func(p []byte) error { _, err := ParseSubscribed(p); return err },
+		func(p []byte) error { _, _, _, err := ParseHelloOK(p); return err },
+		func(p []byte) error { _, _, _, err := ParseErrorRetry(p); return err },
+		func(p []byte) error { _, err := ParseResume(p); return err },
+		func(p []byte) error { _, err := ParseResumed(p); return err },
+		func(p []byte) error { _, _, _, err := ParseReplay(p); return err },
+		func(p []byte) error { _, _, err := ParseReplayed(p); return err },
+		func(p []byte) error { return ParseHeartbeat(p) },
+		func(p []byte) error { return ParseHeartbeatAck(p) },
+		func(p []byte) error { return ParseDetach(p) },
 	}
 	bodies := [][]byte{
-		AppendHello(nil),
+		AppendHello(nil, HelloFlagResume),
 		AppendOpenSession(nil, OpenSession{TID: 1, Tenant: "x"}),
 		AppendSessionOpened(nil, SessionOpened{Session: 1}),
 		AppendSubmit(nil, 1, 2),
@@ -326,6 +409,15 @@ func TestTrailingBytesAreMalformed(t *testing.T) {
 		AppendShmBound(nil, 1, 0),
 		AppendSubscribe(nil, Subscribe{Session: 1, Horizon: 1, Every: 1}),
 		AppendSubscribed(nil, 1),
+		AppendHelloOKResume(nil, 1, 1),
+		AppendErrorRetry(nil, CodeRetryLater, "x", 1),
+		AppendResume(nil, 1),
+		AppendResumed(nil, []ResumedSession{{Session: 1, Applied: 2}}),
+		AppendReplay(nil, 1, 2, []int32{3}),
+		AppendReplayed(nil, 1, 2),
+		nil, // Heartbeat
+		nil, // HeartbeatAck
+		nil, // Detach
 	}
 	for i, check := range checks {
 		if err := check(append(bodies[i], 0)); err == nil {

@@ -17,6 +17,15 @@
 // a no-op, predictions return ok=false, and Health reports Degraded with
 // the transport cause.
 //
+// Unlike earlier versions, a transport failure is no longer permanent: the
+// client keeps a bounded per-thread shadow buffer of recent submissions and
+// a background goroutine redials the address list with jittered exponential
+// backoff. When the daemon comes back — or a fallback address answers — the
+// client resumes its parked server sessions (or reopens them) and replays
+// the unacknowledged tail, so the server-side model converges back to the
+// exact stream the host produced. While disconnected, Submit stays a cheap
+// no-op and Health reports Degraded with the reconnect cause.
+//
 // Submissions are pipelined: Thread.Submit buffers locally and ships a
 // one-way SubmitBatch frame when the buffer fills or a prediction needs the
 // stream position to be current, so the per-event cost stays far below a
@@ -41,9 +50,16 @@ import (
 
 // Defaults for Config zero values.
 const (
-	DefaultDialTimeout    = 5 * time.Second
-	DefaultRequestTimeout = 10 * time.Second
-	DefaultSubmitFlush    = 64
+	DefaultDialTimeout       = 5 * time.Second
+	DefaultRequestTimeout    = 10 * time.Second
+	DefaultSubmitFlush       = 64
+	DefaultShadowEvents      = 4096
+	DefaultReconnectMinDelay = 50 * time.Millisecond
+
+	// maxReconnectDelay caps the exponential backoff between redials.
+	maxReconnectDelay = 2 * time.Second
+	// replayChunk bounds one TReplay frame's id count during recovery.
+	replayChunk = 4096
 )
 
 // Config tunes a client connection; the zero value selects defaults.
@@ -68,6 +84,24 @@ type Config struct {
 	// ShmDir is where the segment file is created ("" = /dev/shm when
 	// present, else the system temp directory). Only read with SharedMem.
 	ShmDir string
+	// DisableResume opts out of session resume: the client neither asks
+	// the server for a resume token nor replays after a reconnect, and a
+	// reconnected session starts cold.
+	DisableResume bool
+	// Heartbeat, when positive, round-trips a keepalive frame on that
+	// interval from a background goroutine, detecting half-open
+	// connections that would otherwise surface only at the next request.
+	// 0 disables heartbeats.
+	Heartbeat time.Duration
+	// ShadowEvents is the per-thread capacity (rounded up to a power of
+	// two) of the shadow buffer that makes post-reconnect replay possible.
+	// 0 means DefaultShadowEvents; negative disables the shadow buffer
+	// entirely, so every event in flight at a disconnect is dropped.
+	ShadowEvents int
+	// ReconnectMinDelay is the first redial backoff step; each failed
+	// attempt doubles it up to an internal cap, with jitter. 0 means
+	// DefaultReconnectMinDelay.
+	ReconnectMinDelay time.Duration
 	// Predict is accepted for constructor symmetry with the in-process
 	// oracle; prediction tuning lives server-side, so it is ignored.
 	Predict pythia.Config
@@ -78,44 +112,99 @@ type Config struct {
 type RemoteError struct {
 	Code wire.Code
 	Msg  string
+	// RetryAfterMs is the server's backoff hint on CodeRetryLater
+	// responses (0 when the server sent none).
+	RetryAfterMs uint32
 }
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("pythiad: %s: %s", e.Code, e.Msg)
 }
 
-// errClosed is the sticky error of an explicitly closed client.
+// errClosed is the latched cause of an explicitly closed client.
 var errClosed = errors.New("client: closed")
+
+// Connection states. Submit reads the state with one atomic load, so the
+// disconnected fast path costs a compare, not a lock.
+const (
+	stateConnected int32 = iota
+	stateReconnecting
+	stateClosed
+)
+
+// Stats are the client's cumulative resilience counters.
+type Stats struct {
+	// Reconnects counts completed reconnections (resumed or fresh).
+	Reconnects uint64
+	// DroppedEvents counts submissions lost across reconnects because
+	// they had already been evicted from a thread's shadow buffer.
+	DroppedEvents uint64
+	// RetryLater counts CodeRetryLater responses (server-side shedding).
+	RetryLater uint64
+}
 
 // Client is one connection to a pythiad daemon. It is safe for concurrent
 // use; request/response cycles are serialized internally. A transport
-// failure is sticky: every later operation fails open until the client is
-// re-dialed.
+// failure flips the client into a reconnecting state: operations fail open
+// while a background goroutine redials, and the first failure stays
+// visible through Err until a reconnect succeeds.
 type Client struct {
-	cfg     Config
-	network string // "tcp" or "unix", fixed at Dial
+	cfg   Config
+	addrs []string // fallback list, parsed once at Dial, reused on redial
 
-	mu     sync.Mutex
-	nc     net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	err    error  // sticky transport/protocol failure
-	closed bool   // Close has run; operations fail open
-	buf    []byte // frame read buffer
-	out    []byte // payload encode buffer
+	// state is the connection lifecycle, readable without the lock.
+	state atomic.Int32
 
-	// shm is non-nil once shared-memory negotiation succeeds (written in
-	// Dial before the client is shared, read-only afterwards).
-	shm *clientShm
+	statReconnects atomic.Uint64
+	statDropped    atomic.Uint64
+	statRetryLater atomic.Uint64
+
+	mu      sync.Mutex
+	network string // "tcp" or "unix"; renegotiated on reconnect
+	nc      net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	cause   error  // first failure of the current outage; nil when healthy
+	buf     []byte // frame read buffer
+	out     []byte // payload encode buffer
+
+	// resumeToken is the server's grant from the latest handshake; 0 when
+	// the server offered none (or DisableResume).
+	resumeToken  uint64
+	resumeWindow time.Duration
+
+	// oracles lists every oracle opened on this client, so a reconnect
+	// can re-establish their sessions. Guarded by mu.
+	oracles []*Oracle
+
+	// shm is the negotiated shared-memory state. On disconnect the pointer
+	// drops to nil and a reconnect negotiates a fresh segment; the old
+	// mapping is intentionally leaked until process exit because a
+	// submitting goroutine may still be mid-TryPush into it.
+	shm atomic.Pointer[clientShm]
+
+	quit chan struct{}  // closed by Close; stops background goroutines
+	wg   sync.WaitGroup // joins the reconnect and heartbeat goroutines
 }
 
 // Transport reports the tier this connection actually negotiated:
 // "shm" (shared-memory rings over a unix control socket), "unix", or "tcp".
 func (c *Client) Transport() string {
-	if c.shm != nil {
+	if c.shm.Load() != nil {
 		return "shm"
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.network
+}
+
+// Stats returns the cumulative resilience counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Reconnects:    c.statReconnects.Load(),
+		DroppedEvents: c.statDropped.Load(),
+		RetryLater:    c.statRetryLater.Load(),
+	}
 }
 
 // Dial connects to a pythiad daemon and performs the protocol handshake.
@@ -124,7 +213,9 @@ func (c *Client) Transport() string {
 // list tried in order, which is how a co-located client spells the
 // uds → tcp fallback: "unix:///run/pythiad.sock,127.0.0.1:9137". With
 // Config.SharedMem set, a unix connection is upgraded to shared-memory
-// rings when the daemon accepts (the shm → uds half of the chain).
+// rings when the daemon accepts (the shm → uds half of the chain). The
+// same list, in the same order, is what the reconnect loop redials after
+// a transport failure.
 func Dial(addr string, cfg Config) (*Client, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = DefaultDialTimeout
@@ -135,141 +226,200 @@ func Dial(addr string, cfg Config) (*Client, error) {
 	if cfg.SubmitFlush <= 0 {
 		cfg.SubmitFlush = DefaultSubmitFlush
 	}
-	var errs []error
+	if cfg.ShadowEvents == 0 {
+		cfg.ShadowEvents = DefaultShadowEvents
+	}
+	if cfg.ReconnectMinDelay <= 0 {
+		cfg.ReconnectMinDelay = DefaultReconnectMinDelay
+	}
+	var addrs []string
 	for _, a := range strings.Split(addr, ",") {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			continue
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
 		}
-		c, err := dialOne(a, cfg)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: no address in %q", addr)
+	}
+	var errs []error
+	for _, a := range addrs {
+		c, err := dialOne(a, addrs, cfg)
 		if err == nil {
 			return c, nil
 		}
 		errs = append(errs, err)
 	}
-	if len(errs) == 0 {
-		return nil, fmt.Errorf("client: no address in %q", addr)
-	}
 	return nil, errors.Join(errs...)
 }
 
 // dialOne connects to a single transport address.
-func dialOne(addr string, cfg Config) (*Client, error) {
+func dialOne(addr string, addrs []string, cfg Config) (*Client, error) {
 	nc, network, err := transport.Dial(addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing %s: %w", addr, err)
 	}
 	c := &Client{
 		cfg:     cfg,
+		addrs:   addrs,
 		network: network,
 		nc:      nc,
 		br:      bufio.NewReader(nc),
 		bw:      bufio.NewWriter(nc),
 		buf:     make([]byte, 0, 4096),
 		out:     make([]byte, 0, 1024),
+		quit:    make(chan struct{}),
 	}
-	if err := c.handshake(); err != nil {
+	token, window, err := handshakeConn(nc, c.br, c.bw, cfg)
+	if err != nil {
 		if cerr := nc.Close(); cerr != nil {
 			err = errors.Join(err, cerr)
 		}
 		return nil, err
 	}
+	c.resumeToken = token
+	c.resumeWindow = time.Duration(window) * time.Millisecond
 	if cfg.SharedMem && network == transport.NetUnix {
 		c.mu.Lock()
 		c.negotiateShm()
 		c.mu.Unlock()
 	}
+	if cfg.Heartbeat > 0 {
+		c.wg.Add(1)
+		go c.heartbeatLoop()
+	}
 	return c, nil
 }
 
-func (c *Client) handshake() error {
-	if err := c.nc.SetDeadline(time.Now().Add(c.cfg.DialTimeout)); err != nil {
-		return fmt.Errorf("client: handshake deadline: %w", err)
+// handshakeConn performs the Hello exchange on a fresh connection. It uses
+// only local buffers so the reconnect goroutine can handshake a candidate
+// connection without holding the client lock.
+func handshakeConn(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, cfg Config) (token uint64, windowMs uint32, err error) {
+	if err := nc.SetDeadline(time.Now().Add(cfg.DialTimeout)); err != nil {
+		return 0, 0, fmt.Errorf("client: handshake deadline: %w", err)
 	}
-	c.out = wire.AppendHello(c.out[:0])
-	if err := wire.WriteFrame(c.bw, wire.THello, c.out); err != nil {
-		return fmt.Errorf("client: hello: %w", err)
+	var flags uint8
+	if !cfg.DisableResume {
+		flags |= wire.HelloFlagResume
 	}
-	if err := c.bw.Flush(); err != nil {
-		return fmt.Errorf("client: hello: %w", err)
+	if err := wire.WriteFrame(bw, wire.THello, wire.AppendHello(nil, flags)); err != nil {
+		return 0, 0, fmt.Errorf("client: hello: %w", err)
 	}
-	t, payload, err := wire.ReadFrame(c.br, &c.buf)
+	if err := bw.Flush(); err != nil {
+		return 0, 0, fmt.Errorf("client: hello: %w", err)
+	}
+	var buf []byte
+	t, payload, err := wire.ReadFrame(br, &buf)
 	if err != nil {
-		return fmt.Errorf("client: hello response: %w", err)
+		return 0, 0, fmt.Errorf("client: hello response: %w", err)
 	}
 	if t == wire.TError {
-		code, msg, perr := wire.ParseError(payload)
+		code, msg, _, perr := wire.ParseErrorRetry(payload)
 		if perr != nil {
-			return fmt.Errorf("client: hello response: %w", perr)
+			return 0, 0, fmt.Errorf("client: hello response: %w", perr)
 		}
-		return &RemoteError{Code: code, Msg: msg}
+		return 0, 0, &RemoteError{Code: code, Msg: msg}
 	}
 	if t != wire.THelloOK {
-		return fmt.Errorf("client: hello response: unexpected %s frame", t)
+		return 0, 0, fmt.Errorf("client: hello response: unexpected %s frame", t)
 	}
-	v, err := wire.ParseHelloOK(payload)
+	v, tok, window, err := wire.ParseHelloOK(payload)
 	if err != nil {
-		return fmt.Errorf("client: hello response: %w", err)
+		return 0, 0, fmt.Errorf("client: hello response: %w", err)
 	}
 	if v != wire.Version {
-		return fmt.Errorf("client: server speaks protocol version %d, this client version %d", v, wire.Version)
+		return 0, 0, fmt.Errorf("client: server speaks protocol version %d, this client version %d", v, wire.Version)
 	}
-	return c.nc.SetDeadline(time.Time{})
+	return tok, window, nc.SetDeadline(time.Time{})
 }
 
-// Close flushes and closes the connection. Further operations fail open.
-// A transport failure latched before Close stays visible through Err — a
-// clean close must not erase the record that the run broke.
+// Close detaches from the daemon (so the server releases rather than parks
+// this client's sessions), flushes, closes the connection, and joins the
+// background goroutines. Further operations fail open. A transport failure
+// latched before Close stays visible through Err — a clean close must not
+// erase the record that the run broke.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	if c.state.Load() == stateClosed {
+		c.mu.Unlock()
 		return nil
 	}
-	c.closed = true
-	ferr := c.bw.Flush()
-	cerr := c.nc.Close()
-	if c.err == nil {
-		c.err = errClosed
+	wasConnected := c.state.Load() == stateConnected
+	c.state.Store(stateClosed)
+	if c.cause == nil {
+		c.cause = errClosed
 	}
+	var ferr error
+	if wasConnected {
+		if c.resumeToken != 0 {
+			if err := wire.WriteFrame(c.bw, wire.TDetach, nil); err != nil && ferr == nil {
+				ferr = err
+			}
+		}
+		if err := c.bw.Flush(); err != nil && ferr == nil {
+			ferr = err
+		}
+	}
+	cerr := c.nc.Close()
+	c.mu.Unlock()
+	close(c.quit)
+	c.wg.Wait()
 	if ferr != nil {
 		return ferr
 	}
-	return cerr
+	if wasConnected {
+		return cerr
+	}
+	return nil
 }
 
-// Err returns the sticky transport error: nil while the connection is
-// healthy or after a clean Close, the original failure otherwise. A load
-// generator checks this once at the end of a run instead of instrumenting
-// every call.
+// Err returns the latched transport error: nil while the connection is
+// healthy or after a clean Close, the first failure of the current outage
+// otherwise. A successful reconnect clears it, so a load generator polling
+// Err sees the outage end; a load generator that checks once at the end of
+// a run sees whether it ended broken.
 func (c *Client) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if errors.Is(c.err, errClosed) {
+	if errors.Is(c.cause, errClosed) {
 		return nil
 	}
-	return c.err
+	return c.cause
 }
 
-// fail latches the first transport failure; the caller holds c.mu.
+// fail routes a transport/protocol failure into the reconnect machinery
+// and returns the latched cause. Caller holds c.mu.
 func (c *Client) fail(err error) error {
-	if c.err == nil {
-		c.err = err
-	}
-	return c.err
+	return c.disconnectLocked(err)
 }
 
 // note is fail for callers that already have an error path of their own.
 func (c *Client) note(err error) {
-	if c.err == nil {
-		c.err = err
+	c.disconnectLocked(err)
+}
+
+// offlineErr returns nil when requests may proceed, the latched cause (or
+// errClosed) otherwise. Caller holds c.mu.
+func (c *Client) offlineErr() error {
+	switch c.state.Load() {
+	case stateConnected:
+		return nil
+	case stateClosed:
+		if c.cause != nil {
+			return c.cause
+		}
+		return errClosed
+	default:
+		if c.cause != nil {
+			return c.cause
+		}
+		return errors.New("client: reconnecting")
 	}
 }
 
 // writeOneWay ships a frame that expects no response. Caller holds c.mu.
 func (c *Client) writeOneWay(t wire.Type, payload []byte) error {
-	if c.err != nil {
-		return c.err
+	if err := c.offlineErr(); err != nil {
+		return err
 	}
 	if err := c.nc.SetWriteDeadline(time.Now().Add(c.cfg.RequestTimeout)); err != nil {
 		return c.fail(err)
@@ -284,9 +434,16 @@ func (c *Client) writeOneWay(t wire.Type, payload []byte) error {
 // want or an Error frame. The returned payload aliases the client's read
 // buffer: parse it before releasing c.mu. Caller holds c.mu.
 func (c *Client) roundTrip(t wire.Type, payload []byte, want wire.Type) ([]byte, error) {
-	if c.err != nil {
-		return nil, c.err
+	if err := c.offlineErr(); err != nil {
+		return nil, err
 	}
+	return c.doRoundTrip(t, payload, want)
+}
+
+// doRoundTrip is roundTrip without the connection-state gate; the
+// reconnect goroutine uses it to talk over a connection that is still
+// being established. Caller holds c.mu.
+func (c *Client) doRoundTrip(t wire.Type, payload []byte, want wire.Type) ([]byte, error) {
 	deadline := time.Now().Add(c.cfg.RequestTimeout)
 	if err := c.nc.SetDeadline(deadline); err != nil {
 		return nil, c.fail(err)
@@ -302,13 +459,16 @@ func (c *Client) roundTrip(t wire.Type, payload []byte, want wire.Type) ([]byte,
 		return nil, c.fail(err)
 	}
 	if rt == wire.TError {
-		code, msg, perr := wire.ParseError(resp)
+		code, msg, retryMs, perr := wire.ParseErrorRetry(resp)
 		if perr != nil {
 			return nil, c.fail(perr)
 		}
+		if code == wire.CodeRetryLater {
+			c.statRetryLater.Add(1)
+		}
 		// An Error response keeps request/response pairing intact; the
-		// connection stays usable, so the failure is not sticky.
-		return nil, &RemoteError{Code: code, Msg: msg}
+		// connection stays usable, so the failure does not trip reconnect.
+		return nil, &RemoteError{Code: code, Msg: msg, RetryAfterMs: retryMs}
 	}
 	if rt != want {
 		return nil, c.fail(fmt.Errorf("client: expected %s response, got %s", want, rt))
@@ -316,10 +476,35 @@ func (c *Client) roundTrip(t wire.Type, payload []byte, want wire.Type) ([]byte,
 	return resp, nil
 }
 
-// openSession opens one (tenant, tid) session. Caller holds c.mu.
+// heartbeatLoop round-trips a keepalive frame on the configured interval,
+// turning a half-open connection into a detected failure (and so a
+// reconnect) without waiting for the next real request.
+func (c *Client) heartbeatLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		if c.state.Load() == stateConnected {
+			// A failed round trip latches the cause and starts the
+			// reconnect loop via doRoundTrip's own failure path.
+			_, _ = c.doRoundTrip(wire.THeartbeat, nil, wire.THeartbeatAck)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// openSession opens one (tenant, tid) session. Caller holds c.mu and has
+// checked the connection state (the reconnect goroutine calls this on a
+// connection that is still being established).
 func (c *Client) openSession(tenant string, tid int32, flags uint8) (wire.SessionOpened, error) {
 	c.out = wire.AppendOpenSession(c.out[:0], wire.OpenSession{TID: tid, Flags: flags, Tenant: tenant})
-	resp, err := c.roundTrip(wire.TOpenSession, c.out, wire.TSessionOpened)
+	resp, err := c.doRoundTrip(wire.TOpenSession, c.out, wire.TSessionOpened)
 	if err != nil {
 		return wire.SessionOpened{}, err
 	}
@@ -336,6 +521,9 @@ func (c *Client) openSession(tenant string, tid int32, flags uint8) (wire.Sessio
 func (c *Client) Oracle(tenant string) (*Oracle, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.offlineErr(); err != nil {
+		return nil, err
+	}
 	// The meta session (tid -1) pins the tenant in the daemon's store for
 	// the life of this connection and fetches the event table the trace
 	// was recorded with, so local interning assigns the same IDs the
@@ -348,13 +536,16 @@ func (c *Client) Oracle(tenant string) (*Oracle, error) {
 	if err != nil {
 		return nil, c.fail(fmt.Errorf("client: tenant %q event table: %w", tenant, err))
 	}
-	return &Oracle{
-		c:       c,
-		tenant:  tenant,
-		reg:     reg,
-		meta:    so.Session,
-		threads: make(map[int32]*Thread),
-	}, nil
+	o := &Oracle{
+		c:          c,
+		tenant:     tenant,
+		reg:        reg,
+		eventNames: append([]string(nil), so.Events...),
+		meta:       so.Session,
+		threads:    make(map[int32]*Thread),
+	}
+	c.oracles = append(c.oracles, o)
+	return o, nil
 }
 
 // Connect dials a daemon and opens one tenant's oracle in one call — the
@@ -383,8 +574,16 @@ type Oracle struct {
 	c      *Client
 	tenant string
 	reg    *events.Registry
+	// eventNames is the server's event table at open time, kept verbatim
+	// so a fresh reconnect can verify the (possibly restarted) daemon
+	// still serves the same trace vocabulary.
+	eventNames []string
+	owned      bool // Connect-created: Close closes the client too
+
+	// meta is the tenant-pinning session id; rewritten under c.mu when a
+	// fresh reconnect reopens it.
 	meta   uint32
-	owned  bool // Connect-created: Close closes the client too
+	closed bool // guarded by c.mu; reconnects skip closed oracles
 
 	mu      sync.Mutex
 	threads map[int32]*Thread
@@ -402,8 +601,12 @@ func (o *Oracle) Transport() string { return o.c.Transport() }
 // pin) and, for Connect-created oracles, the underlying connection.
 func (o *Oracle) Close() error {
 	o.c.mu.Lock()
-	o.c.out = wire.AppendCloseSession(o.c.out[:0], o.meta)
-	_, err := o.c.roundTrip(wire.TCloseSession, o.c.out, wire.TSessionClosed)
+	o.closed = true
+	var err error
+	if o.c.state.Load() == stateConnected {
+		o.c.out = wire.AppendCloseSession(o.c.out[:0], o.meta)
+		_, err = o.c.roundTrip(wire.TCloseSession, o.c.out, wire.TSessionClosed)
+	}
 	o.c.mu.Unlock()
 	if o.owned {
 		cerr := o.c.Close()
@@ -459,6 +662,14 @@ func (o *Oracle) Thread(tid int32) *Thread {
 		tid:     tid,
 		pending: make([]int32, 0, o.c.cfg.SubmitFlush),
 	}
+	if n := o.c.cfg.ShadowEvents; n > 0 {
+		capPow2 := 1
+		for capPow2 < n {
+			capPow2 <<= 1
+		}
+		t.shadow = make([]int32, capPow2)
+		t.shadowMask = uint64(capPow2 - 1)
+	}
 	o.threads[tid] = t
 	return t
 }
@@ -485,7 +696,8 @@ func (o *Oracle) flushAll() {
 // Health returns the tenant's aggregate degradation state as reported by
 // the daemon, folded with any client-side failure: a broken transport or a
 // refused session means predictions are not being served, which is a
-// Degraded condition here even though the daemon may be healthy.
+// Degraded condition here even though the daemon may be healthy. While the
+// client is reconnecting, the cause of the outage is the reported cause.
 func (o *Oracle) Health() pythia.Health {
 	o.flushAll()
 	c := o.c
@@ -550,15 +762,41 @@ type Thread struct {
 	opened    bool
 	startFlag bool // StartAtBeginning before the session exists
 
+	// sessBase anchors the server session's 1-based sequence numbers in
+	// the thread's absolute stream: the event with absolute sequence s has
+	// server sequence s-sessBase. Guarded by c.mu; rewritten whenever the
+	// session is (re)opened from scratch.
+	sessBase uint64
+
+	// Reconnect recovery, guarded by c.mu. needReplay marks a thread whose
+	// next producer-side flush must replay the shadow tail instead of
+	// shipping pending; resumeFresh selects the reopen-from-scratch path
+	// and resumeApplied is the absolute sequence the server has applied
+	// when the session itself survived (resume).
+	needReplay    bool
+	resumeFresh   bool
+	resumeApplied uint64
+
 	inert atomic.Bool // session refused; fail open
 
-	// Shared-memory fast path, owned by the submitting goroutine: once
-	// ring is set, Submit becomes a single TryPush into the mapped ring —
-	// no lock, no buffer, no syscall. shmTried latches so a failed bind
-	// falls back to socket batching exactly once.
-	ring     *transport.Ring
+	// Shadow buffer: the last len(shadow) submitted ids, owned entirely by
+	// the submitting goroutine (replay runs on that goroutine too, so no
+	// other goroutine ever reads these fields). shadowSeq is the absolute
+	// count of events ever submitted on this thread.
+	shadow     []int32
+	shadowMask uint64
+	shadowSeq  uint64
+	replayBuf  []int32 // scratch for TReplay chunks, allocated on first use
+
+	// Shared-memory fast path: once ring is set, Submit becomes a single
+	// TryPush into the mapped ring — no lock, no buffer, no syscall. The
+	// pointers are atomic because a reconnect strips them from another
+	// goroutine; shmTried latches so a failed bind falls back to socket
+	// batching once per connection epoch.
+	ring     atomic.Pointer[transport.Ring]
 	ringIdx  int
-	shmTried bool
+	shmOwner *clientShm // segment the bound ring belongs to, under c.mu
+	shmTried atomic.Bool
 
 	// pending is the submit buffer. Submit appends under pmu, and the
 	// flush path drains under pmu while holding c.mu, so a monitoring
@@ -571,12 +809,23 @@ type Thread struct {
 // TID returns the thread identifier.
 func (t *Thread) TID() int32 { return t.tid }
 
+// shadowPush records an event in the thread's replay window. Called by the
+// submitting goroutine on every Submit, before any transport work, so the
+// shadow always holds a superset of what the server might not have seen.
+func (t *Thread) shadowPush(id int32) {
+	if t.shadow == nil {
+		return
+	}
+	t.shadow[t.shadowSeq&t.shadowMask] = id
+	t.shadowSeq++
+}
+
 // ensureOpen opens the remote session on first use. Caller holds c.mu.
 func (t *Thread) ensureOpen(c *Client) bool {
 	if t.opened {
 		return true
 	}
-	if t.inert.Load() || c.err != nil {
+	if t.inert.Load() || c.offlineErr() != nil {
 		return false
 	}
 	var flags uint8
@@ -598,8 +847,15 @@ func (t *Thread) ensureOpen(c *Client) bool {
 }
 
 // flushLocked drains the submit buffer into one SubmitBatch frame in the
-// write buffer; it does not flush the socket. Caller holds c.mu.
+// write buffer; it does not flush the socket. A thread awaiting replay is
+// skipped — ordering requires the shadow tail to reach the server before
+// anything newer, and only the submitting goroutine may read the shadow,
+// so recovery waits for that goroutine's next syncLocked. Caller holds
+// c.mu.
 func (t *Thread) flushLocked(c *Client) {
+	if t.needReplay {
+		return
+	}
 	t.pmu.Lock()
 	if len(t.pending) == 0 {
 		t.pmu.Unlock()
@@ -618,6 +874,17 @@ func (t *Thread) flushLocked(c *Client) {
 	}
 }
 
+// syncLocked is flushLocked for paths that run on the submitting
+// goroutine: it first performs any pending post-reconnect replay (which
+// needs the shadow buffer only that goroutine may read). Caller holds
+// c.mu.
+func (t *Thread) syncLocked(c *Client) {
+	if t.needReplay {
+		t.replayLocked(c)
+	}
+	t.flushLocked(c)
+}
+
 // Flush ships any buffered submissions now, pushing them all the way onto
 // the socket. Predictions flush implicitly; Flush exists for hosts that
 // want the server-side stream position current before a quiet period, so
@@ -626,8 +893,8 @@ func (t *Thread) flushLocked(c *Client) {
 func (t *Thread) Flush() {
 	c := t.o.c
 	c.mu.Lock()
-	t.flushLocked(c)
-	if c.err == nil {
+	t.syncLocked(c)
+	if c.state.Load() == stateConnected {
 		if err := c.bw.Flush(); err != nil {
 			c.note(err)
 		}
@@ -640,24 +907,30 @@ func (t *Thread) Flush() {
 // zero allocations, single-digit nanoseconds. Otherwise submissions are
 // buffered and shipped in one-way batches; a prediction on this thread
 // flushes first, so the oracle always answers against the full submitted
-// stream.
+// stream. While the client is disconnected, Submit records the event in
+// the shadow buffer and returns — the reconnect replay delivers it later.
 func (t *Thread) Submit(id pythia.ID) {
-	if r := t.ring; r != nil {
+	t.shadowPush(int32(id))
+	if r := t.ring.Load(); r != nil {
 		if r.TryPush(int32(id)) {
 			return
 		}
 		t.pushSlow(int32(id))
 		return
 	}
+	c := t.o.c
+	if c.state.Load() != stateConnected {
+		return
+	}
 	if t.inert.Load() {
 		return
 	}
-	if !t.shmTried && t.o.c.shm != nil {
+	if !t.shmTried.Load() && c.shm.Load() != nil {
 		// Bind before the first event is buffered, so a ring-bound thread
 		// never has socket-buffered events to reorder behind ring entries.
 		t.bindRing()
-		if t.ring != nil {
-			if t.ring.TryPush(int32(id)) {
+		if r := t.ring.Load(); r != nil {
+			if r.TryPush(int32(id)) {
 				return
 			}
 			t.pushSlow(int32(id))
@@ -675,9 +948,8 @@ func (t *Thread) Submit(id pythia.ID) {
 		// Fill-triggered: encode the batch frame but let it ride the write
 		// buffer out with the next round trip or explicit Flush — the
 		// pipelining that keeps per-event cost below a syscall.
-		c := t.o.c
 		c.mu.Lock()
-		t.flushLocked(c)
+		t.syncLocked(c)
 		c.mu.Unlock()
 	}
 }
@@ -685,11 +957,11 @@ func (t *Thread) Submit(id pythia.ID) {
 // StartAtBeginning seeds prediction at the start of the reference trace.
 func (t *Thread) StartAtBeginning() {
 	if t.restartLocked() {
-		// Drop the thread's ring pointer outside c.mu: the field belongs to
-		// the submitting goroutine (this one) and is never written under the
-		// lock, so plain reads on the Submit fast path stay race-free.
-		t.ring = nil
-		t.shmTried = false
+		// Drop the thread's ring pointer after the locked section: the
+		// server unbound its side while closing the session, so the slot
+		// is free for whoever binds next.
+		t.ring.Store(nil)
+		t.shmTried.Store(false)
 	}
 }
 
@@ -707,7 +979,13 @@ func (t *Thread) restartLocked() (hadRing bool) {
 	// the session with the start flag. The daemon keeps one oracle thread
 	// per (tenant, tid) per connection, so the reopened session continues
 	// on the same thread — exactly the in-process StartAtBeginning.
-	t.flushLocked(c)
+	t.syncLocked(c)
+	if !t.opened {
+		// The sync above hit a refusal or an outage; the restart intent
+		// survives in startFlag for the eventual reopen.
+		t.startFlag = true
+		return false
+	}
 	c.out = wire.AppendCloseSession(c.out[:0], t.sid)
 	if _, err := c.roundTrip(wire.TCloseSession, c.out, wire.TSessionClosed); err != nil {
 		t.inert.Store(true)
@@ -720,6 +998,9 @@ func (t *Thread) restartLocked() (hadRing bool) {
 	hadRing = t.releaseRingLocked(c)
 	t.opened = false
 	t.startFlag = true
+	// The reopened session restarts server-side sequence numbering, and
+	// this runs on the submitting goroutine, so shadowSeq is stable here.
+	t.sessBase = t.shadowSeq
 	t.ensureOpen(c)
 	return hadRing
 }
@@ -730,7 +1011,7 @@ func (t *Thread) PredictAt(distance int) (pythia.Prediction, bool) {
 	c := t.o.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	t.flushLocked(c)
+	t.syncLocked(c)
 	if !t.ensureOpen(c) {
 		return pythia.Prediction{}, false
 	}
@@ -757,7 +1038,7 @@ func (t *Thread) PredictSequence(n int) []pythia.Prediction {
 	c := t.o.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	t.flushLocked(c)
+	t.syncLocked(c)
 	if !t.ensureOpen(c) {
 		return nil
 	}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"errors"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -244,6 +246,178 @@ func TestClosePreservesStickyErr(t *testing.T) {
 	}
 	if got := c2.Err(); got != nil {
 		t.Fatalf("Err after clean Close = %v, want nil", got)
+	}
+}
+
+// loopDaemon serves any number of connections with a minimal protocol
+// (handshake, OpenSession, PredictAt ok=true, ignore the rest) and counts
+// accepts — enough to pin which address in a fallback list won the dial.
+func loopDaemon(t *testing.T) (addr string, accepts *atomic.Int32, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	accepts = new(atomic.Int32)
+	var wg sync.WaitGroup
+	var conns sync.Map
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			conns.Store(nc, struct{}{})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer nc.Close()
+				br := bufio.NewReader(nc)
+				bw := bufio.NewWriter(nc)
+				var buf []byte
+				reply := func(typ wire.Type, payload []byte) bool {
+					if err := wire.WriteFrame(bw, typ, payload); err != nil {
+						return false
+					}
+					return bw.Flush() == nil
+				}
+				for {
+					typ, payload, err := wire.ReadFrame(br, &buf)
+					if err != nil {
+						return
+					}
+					switch typ {
+					case wire.THello:
+						if !reply(wire.THelloOK, wire.AppendHelloOK(nil)) {
+							return
+						}
+					case wire.TOpenSession:
+						o, err := wire.ParseOpenSession(payload)
+						if err != nil {
+							return
+						}
+						sid := uint32(0)
+						if o.TID >= 0 {
+							sid = 1
+						}
+						so := wire.SessionOpened{Session: sid, Events: []string{"a", "b"}}
+						if !reply(wire.TSessionOpened, wire.AppendSessionOpened(nil, so)) {
+							return
+						}
+					case wire.TPredictAt:
+						pr := wire.AppendPrediction(nil, pythia.Prediction{EventID: 0, Distance: 1, Probability: 1}, true)
+						if !reply(wire.TPrediction, pr) {
+							return
+						}
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String(), accepts, func() {
+		_ = ln.Close()
+		conns.Range(func(k, _ any) bool {
+			_ = k.(net.Conn).Close()
+			return true
+		})
+		wg.Wait()
+	}
+}
+
+// TestDialFallbackOrder pins the fallback-list contract: addresses are
+// tried in list order on every dial — a dead first address falls through,
+// and with both alive the first always wins.
+func TestDialFallbackOrder(t *testing.T) {
+	// A dead first address must fall through to the live second.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	deadAddr := dead.Addr().String()
+	if err := dead.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	liveAddr, liveAccepts, stopLive := loopDaemon(t)
+	defer stopLive()
+
+	c, err := Dial(deadAddr+","+liveAddr, Config{DialTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("dial with dead first address: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := liveAccepts.Load(); got != 1 {
+		t.Fatalf("live fallback accepted %d conns, want 1", got)
+	}
+
+	// With two live daemons the first in the list must get the connection.
+	addrA, acceptsA, stopA := loopDaemon(t)
+	defer stopA()
+	addrB, acceptsB, stopB := loopDaemon(t)
+	defer stopB()
+	c2, err := Dial(addrA+","+addrB, Config{DialTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("dial two live addresses: %v", err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if a, b := acceptsA.Load(), acceptsB.Load(); a != 1 || b != 0 {
+		t.Fatalf("accepts = (%d, %d), want the first address to win (1, 0)", a, b)
+	}
+}
+
+// TestReconnectUsesFallbackList: when the primary dies for good, the
+// reconnect loop must walk the same fallback list Dial used and come back
+// on the secondary.
+func TestReconnectUsesFallbackList(t *testing.T) {
+	addrA, _, stopA := loopDaemon(t)
+	addrB, acceptsB, stopB := loopDaemon(t)
+	defer stopB()
+
+	c, err := Dial(addrA+","+addrB, Config{
+		DialTimeout:       time.Second,
+		RequestTimeout:    time.Second,
+		ReconnectMinDelay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	o, err := c.Oracle("synth")
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	th := o.Thread(0)
+	if _, ok := th.PredictAt(1); !ok {
+		t.Fatal("PredictAt failed on the primary")
+	}
+	if got := acceptsB.Load(); got != 0 {
+		t.Fatalf("secondary saw %d conns while the primary was alive", got)
+	}
+
+	stopA() // primary gone: listener closed, live conns severed
+
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Stats().Reconnects == 0 {
+		th.PredictAt(1)
+		if time.Now().After(deadline) {
+			t.Fatalf("no reconnect to the fallback address (stats %+v)", c.Stats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := acceptsB.Load(); got == 0 {
+		t.Fatal("reconnect did not land on the fallback address")
+	}
+	if _, ok := th.PredictAt(1); !ok {
+		t.Fatal("PredictAt failed after failover to the fallback address")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err after successful failover = %v, want nil", err)
 	}
 }
 

@@ -24,8 +24,10 @@ var ErrNoSharedMem = errors.New("client: shared-memory transport not negotiated"
 
 // clientShm is the client's half of a negotiated shared-memory segment.
 // The segment file is already unlinked; the mapping lives until process
-// exit (Close severs only the socket — unmapping while a submitting
-// goroutine may still be in TryPush would turn fail-open into a fault).
+// exit (Close and disconnect sever only the socket — unmapping while a
+// submitting goroutine may still be in TryPush would turn fail-open into
+// a fault, so a reconnect orphans the old mapping and negotiates a fresh
+// segment).
 type clientShm struct {
 	seg   *transport.Segment
 	rings []transport.Ring
@@ -35,8 +37,9 @@ type clientShm struct {
 // negotiateShm attempts the shared-memory upgrade over a freshly
 // handshaken unix connection: create the segment, offer it, and keep it
 // only if the server maps it. Every failure falls open to the socket
-// transport the connection already has. Caller holds c.mu (Dial, before
-// the client is shared).
+// transport the connection already has. Caller holds c.mu (Dial before
+// the client is shared, or the reconnect goroutine mid-adoption — hence
+// doRoundTrip, which skips the connection-state gate).
 func (c *Client) negotiateShm() {
 	g := transport.Geometry{Rings: shmRings, Slots: shmSlots, PredCap: shmPredCap}
 	seg, err := transport.CreateSegment(c.cfg.ShmDir, g.SegmentSize())
@@ -58,7 +61,7 @@ func (c *Client) negotiateShm() {
 		SegSize: uint64(g.SegmentSize()),
 		Path:    seg.Path(),
 	})
-	resp, err := c.roundTrip(wire.TShmSetup, c.out, wire.TShmSetupOK)
+	resp, err := c.doRoundTrip(wire.TShmSetup, c.out, wire.TShmSetupOK)
 	if err != nil {
 		// A CodeShmSetup refusal is the designed fallback (server on
 		// another platform, unmappable path, …): keep the socket. A failed
@@ -80,87 +83,113 @@ func (c *Client) negotiateShm() {
 	if err := seg.Unlink(); err != nil {
 		c.note(err)
 	}
-	c.shm = &clientShm{seg: seg, rings: rings, used: make([]bool, len(rings))}
+	c.shm.Store(&clientShm{seg: seg, rings: rings, used: make([]bool, len(rings))})
 }
 
-// bindRing tries once to put this thread on a free shm ring; on any
-// failure the thread keeps the socket batching path. Runs on the
-// submitting goroutine before the first event is buffered, so a bound
-// thread never has socket-buffered events that could be reordered behind
-// ring entries. t.ring itself is owned by the submitting goroutine and is
-// only ever written outside c.mu — the lock guards the slot table and the
-// wire round trip, not the thread's pointer.
+// bindRing tries once per connection epoch to put this thread on a free
+// shm ring; on any failure the thread keeps the socket batching path.
+// Runs on the submitting goroutine before the first event is buffered, so
+// a bound thread never has socket-buffered events that could be reordered
+// behind ring entries.
 func (t *Thread) bindRing() {
-	t.shmTried = true
-	idx, r := t.o.c.reserveRing(t)
+	t.shmTried.Store(true)
+	idx, r, owner := t.o.c.reserveRing(t)
 	if r == nil {
 		return
 	}
 	t.ringIdx = idx
-	t.ring = r
+	t.shmOwner = owner
+	t.ring.Store(r)
 }
 
 // reserveRing claims a free ring slot and binds it to t's session on the
-// server; it returns the mapped ring, or nil when the thread should keep
-// the socket path.
-func (c *Client) reserveRing(t *Thread) (int, *transport.Ring) {
+// server; it returns the mapped ring (plus the segment it belongs to), or
+// nil when the thread should keep the socket path. Runs on the submitting
+// goroutine, so any pending post-reconnect replay happens here, before
+// the ring engages — ring traffic must never overtake the replayed tail.
+func (c *Client) reserveRing(t *Thread) (int, *transport.Ring, *clientShm) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.shm == nil || c.err != nil {
-		return 0, nil
+	if c.state.Load() != stateConnected {
+		return 0, nil, nil
+	}
+	sh := c.shm.Load()
+	if sh == nil {
+		return 0, nil, nil
+	}
+	if t.needReplay {
+		t.replayLocked(c)
+		if t.needReplay || c.state.Load() != stateConnected {
+			return 0, nil, nil
+		}
 	}
 	if !t.ensureOpen(c) {
-		return 0, nil
+		return 0, nil, nil
 	}
 	idx := -1
-	for i, u := range c.shm.used {
+	for i, u := range sh.used {
 		if !u {
 			idx = i
 			break
 		}
 	}
 	if idx < 0 {
-		return 0, nil // rings exhausted: this thread stays on socket batching
+		return 0, nil, nil // rings exhausted: this thread stays on socket batching
 	}
 	c.out = wire.AppendShmBind(c.out[:0], t.sid, uint32(idx))
 	resp, err := c.roundTrip(wire.TShmBind, c.out, wire.TShmBound)
 	if err != nil {
-		return 0, nil
+		return 0, nil, nil
 	}
 	if _, _, err := wire.ParseShmBound(resp); err != nil {
 		c.note(err)
-		return 0, nil
+		return 0, nil, nil
 	}
-	c.shm.used[idx] = true
-	return idx, &c.shm.rings[idx]
+	sh.used[idx] = true
+	return idx, &sh.rings[idx], sh
 }
 
 // releaseRingLocked returns the thread's ring slot to the free list
 // (session closed or restarted). Caller holds c.mu and the server has
-// already unbound its side; the caller clears t.ring itself, outside the
-// lock, because that field belongs to the submitting goroutine.
+// already unbound its side; the caller clears t.ring itself, after the
+// locked section. A slot from a pre-reconnect segment is already orphaned
+// wholesale, so only slots of the current segment are returned.
 func (t *Thread) releaseRingLocked(c *Client) (hadRing bool) {
-	if t.ring == nil {
+	if t.ring.Load() == nil {
 		return false
 	}
-	c.shm.used[t.ringIdx] = false
+	if sh := c.shm.Load(); sh != nil && sh == t.shmOwner {
+		sh.used[t.ringIdx] = false
+	}
+	t.shmOwner = nil
 	return true
 }
 
 // pushSlow waits for ring space with bounded spin-then-park. A ring that
 // stays full for RequestTimeout means the server stopped consuming — the
-// thread latches inert and fails open, exactly like a dead socket.
+// thread drops its ring and the client starts reconnecting; the stalled
+// events are already in the shadow buffer, so the post-reconnect replay
+// re-delivers them.
 func (t *Thread) pushSlow(id int32) {
-	deadline := time.Now().Add(t.o.c.cfg.RequestTimeout)
+	c := t.o.c
+	deadline := time.Now().Add(c.cfg.RequestTimeout)
 	for attempt := 1; ; attempt++ {
 		transport.Park(attempt)
-		if t.ring.TryPush(id) {
+		if c.state.Load() != stateConnected {
+			// Disconnected under us: the event lives in the shadow buffer.
+			t.ring.Store(nil)
+			return
+		}
+		r := t.ring.Load()
+		if r == nil {
+			return
+		}
+		if r.TryPush(id) {
 			return
 		}
 		if attempt&63 == 0 && time.Now().After(deadline) {
-			t.ring = nil
-			t.inert.Store(true)
-			t.o.noteOpenErr(errors.New("client: shm ring stalled; thread is inert"))
+			t.ring.Store(nil)
+			c.disconnect(errors.New("client: shm ring stalled; reconnecting"))
 			return
 		}
 	}
@@ -174,10 +203,10 @@ func (t *Thread) Subscribe(horizon, every int) error {
 	if t.inert.Load() {
 		return ErrNoSharedMem
 	}
-	if t.ring == nil && !t.shmTried {
+	if t.ring.Load() == nil && !t.shmTried.Load() {
 		t.bindRing()
 	}
-	if t.ring == nil {
+	if t.ring.Load() == nil {
 		return ErrNoSharedMem
 	}
 	if horizon < 1 {
@@ -211,7 +240,7 @@ func (t *Thread) Subscribe(horizon, every int) error {
 // the read raced a republish to exhaustion.
 // pythia:hotpath — the co-located predict path: no syscall, no round trip.
 func (t *Thread) Latest(buf []pythia.Prediction) ([]pythia.Prediction, bool) {
-	if r := t.ring; r != nil {
+	if r := t.ring.Load(); r != nil {
 		return r.ReadPredictions(buf)
 	}
 	return buf[:0], false

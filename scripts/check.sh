@@ -24,6 +24,9 @@
 # exhaustion, and the crash/kill matrix — subprocesses that die mid-
 # checkpoint (at every point of the journal write path, with and without
 # torn writes, and under a real SIGKILL) and whose journals must salvage.
+# It also runs the network chaos leg: the full chaosnet matrix
+# (PYTHIA_CHAOS=1 — resets, torn frames, drops, stalls over tcp/unix/shm)
+# plus the reconnect, resume, and keepalive suites, all under -race.
 # CI gates on this in its own job. With --bench, additionally runs
 # scripts/bench.sh (hot-path benchmarks, refreshing BENCH_PR2.json) and
 # scripts/bench-transport.sh (the tcp/unix/shm serving matrix, refreshing
@@ -110,6 +113,12 @@ step "pythia-vet" go run ./cmd/pythia-vet ./...
 if [ "${run_chaos}" -eq 1 ]; then
     step "chaos (fault injection + crash/kill matrix, -race)" \
         go test -race -count=1 ./internal/faultinject/
+    step "chaos (chaosnet proxy suite, -race)" \
+        go test -race -count=1 ./internal/chaosnet/
+    step "chaos (network: chaos matrix + reconnect/resume/keepalive, -race)" \
+        env PYTHIA_CHAOS=1 go test -race -count=1 \
+        -run 'Chaos|Reconnect|Resume|Keepalive|Fallback' \
+        ./internal/server/ ./pythia/client/
 fi
 
 if [ "${run_bench}" -eq 1 ]; then

@@ -2,9 +2,12 @@
 # serve-smoke.sh — end-to-end smoke test of the network service: record a
 # small trace, start pythiad on an ephemeral TCP port AND a unix socket,
 # drive every transport tier with pythia-loadgen (8 concurrent clients,
-# zero protocol errors tolerated; tcp, unix, and shared-memory rings), then
-# SIGTERM the daemon and require a clean graceful drain that also removes
-# the socket file.
+# zero protocol errors tolerated; tcp, unix, and shared-memory rings), run
+# a chaos leg (deterministic resets injected between clients and daemon —
+# the reconnect/replay machinery must absorb them), kill the daemon with
+# SIGKILL mid-service and restart it on the same unix socket path (already-
+# running clients must reconnect), then SIGTERM the daemon and require a
+# clean graceful drain that also removes the socket file.
 #
 # Run directly or via `scripts/check.sh --serve`. Non-gating in CI (shared
 # runners make the daemon timing noisy) but must pass locally.
@@ -71,6 +74,48 @@ echo "==> loadgen: 8 clients replaying EP.small over shared-memory rings"
 "${workdir}/pythia-loadgen" -addr "unix://${sock}" -transport shm \
     -tenant EP -app EP -class small -clients 8 -predict-every 4 -distance 4
 
+echo "==> loadgen: 8 clients over tcp with injected chaos (resets + torn frames)"
+"${workdir}/pythia-loadgen" -addr "${addr}" -tenant EP -app EP -class small \
+    -clients 8 -predict-every 4 -distance 4 -chaos -chaos-seed 7 \
+    -o "${workdir}/chaos-report.json"
+if ! grep -q '"reconnects"' "${workdir}/chaos-report.json"; then
+    echo "serve-smoke: chaos report lacks resilience counters" >&2
+    exit 1
+fi
+
+echo "==> kill-and-reconnect: SIGKILL pythiad mid-run, restart on the same socket"
+# A long replay (predict every event) keeps the clients mid-run while the
+# daemon dies and comes back; -chaos gives them the convergence window, so
+# a clean exit proves the reconnect + replay path absorbed the restart.
+"${workdir}/pythia-loadgen" -addr "unix://${sock}" -transport unix \
+    -tenant EP -app EP -class small -clients 4 -predict-every 1 -distance 4 \
+    -repeat 300 -chaos -chaos-seed 3 -o "${workdir}/restart-report.json" \
+    >"${workdir}/loadgen-restart.out" 2>&1 &
+loadgen_pid=$!
+sleep 0.3
+if ! kill -0 "${loadgen_pid}" 2>/dev/null; then
+    echo "serve-smoke: restart-leg loadgen finished before the kill; nothing straddled it" >&2
+    cat "${workdir}/loadgen-restart.out" >&2
+    exit 1
+fi
+kill -9 "${daemon_pid}" 2>/dev/null || true
+wait "${daemon_pid}" 2>/dev/null || true
+# The SIGKILL leaves a stale socket file; the restarted daemon must reap it.
+"${workdir}/pythiad" -listen 127.0.0.1:0 -listen "unix://${sock}" \
+    -traces "${workdir}/traces" \
+    >"${workdir}/pythiad.out" 2>"${workdir}/pythiad.err" &
+daemon_pid=$!
+if ! wait "${loadgen_pid}"; then
+    echo "serve-smoke: loadgen did not survive the daemon restart" >&2
+    cat "${workdir}/loadgen-restart.out" >&2
+    exit 1
+fi
+cat "${workdir}/loadgen-restart.out"
+reconnects=$(sed -n 's/.*"reconnects": \([0-9]*\).*/\1/p' "${workdir}/restart-report.json")
+if [ -z "${reconnects}" ] || [ "${reconnects}" -lt 1 ]; then
+    echo "serve-smoke: expected >=1 reconnect across the daemon restart, got '${reconnects}'" >&2
+    exit 1
+fi
 echo "==> draining pythiad (SIGTERM)"
 kill -TERM "${daemon_pid}"
 drained=1
