@@ -359,6 +359,46 @@ func BenchmarkSubmitCheckpointed(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitLearning is BenchmarkSubmitThroughput on an always-on
+// learning oracle: every Submit feeds both the serving predictor and the
+// shadow recorder, and the epoch scorer runs concurrently on the manager
+// goroutine. The per-event cost must stay within a few percent of the sum
+// of the two paths it drives (record-mode Submit + predict-mode Observe) —
+// candidate materialization, scoring and promotion all happen off the
+// Submit path, and the steady-state loop must not allocate.
+func BenchmarkSubmitLearning(b *testing.B) {
+	rec := pythia.NewRecordOracle(pythia.WithoutTimestamps())
+	names := []string{"a", "b", "c", "d"}
+	recMotif := []pythia.ID{
+		rec.Intern(names[0]), rec.Intern(names[1]), rec.Intern(names[2]),
+		rec.Intern(names[1]), rec.Intern(names[2]), rec.Intern(names[3]),
+	}
+	rt := rec.Thread(0)
+	for i := 0; i < 6*1000; i++ {
+		rt.Submit(recMotif[i%len(recMotif)])
+	}
+	ts, err := rec.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := pythia.NewPredictOracle(ts, pythia.Config{},
+		pythia.WithOnlineLearning(pythia.LearnPolicy{}, pythia.WithoutTimestamps()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	motif := []pythia.ID{
+		o.Intern(names[0]), o.Intern(names[1]), o.Intern(names[2]),
+		o.Intern(names[1]), o.Intern(names[2]), o.Intern(names[3]),
+	}
+	th := o.Thread(0)
+	th.StartAtBeginning()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Submit(motif[i%len(motif)])
+	}
+}
+
 // BenchmarkObserveThroughput measures the predict-mode per-event tracking
 // cost on a faithful replay (single anchored hypothesis, no queries).
 func BenchmarkObserveThroughput(b *testing.B) {

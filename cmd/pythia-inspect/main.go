@@ -7,10 +7,15 @@
 //	pythia-inspect -trace bt.pythia -thread 0 -timing
 //	pythia-inspect -trace bt.pythia -json > bt.json
 //	pythia-inspect -checkpoints bt.ckpt
+//	pythia-inspect -generations bt.learn
 //
 // The -checkpoints mode scans a checkpoint journal directory (see
 // pythia-record -checkpoint) and reports every generation with its load
-// status, without modifying anything.
+// status, without modifying anything. The -generations mode scans the same
+// directory layout as a model-lifecycle journal (see pythiad -learn and
+// pythia.WithOnlineLearning) and additionally prints each generation's
+// lineage: how it was minted (seed checkpoint, promotion, rollback), which
+// generation it replaced, and when.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/tracefile"
 	"repro/pythia"
@@ -66,11 +72,18 @@ func run(args []string, stdout io.Writer) error {
 		summary = fs.Bool("summary", false, "print only the per-thread summary")
 		asJSON  = fs.Bool("json", false, "dump the whole trace as JSON to stdout")
 		ckpts   = fs.String("checkpoints", "", "scan a checkpoint journal directory instead of a trace file")
+		gens    = fs.String("generations", "", "print the model-lifecycle lineage of a generation journal directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	p := &printer{w: stdout}
+	if *gens != "" {
+		if err := inspectGenerations(p, *gens); err != nil {
+			return err
+		}
+		return p.err
+	}
 	if *ckpts != "" {
 		if err := inspectJournal(p, *ckpts); err != nil {
 			return err
@@ -206,6 +219,51 @@ func inspectJournal(p *printer, dir string) error {
 	}
 	if best == 0 {
 		p.println("no generation is recoverable")
+	}
+	return nil
+}
+
+// inspectGenerations prints the model-lifecycle lineage of a generation
+// journal: per generation the mint kind (seed checkpoint, promotion,
+// rollback), the generation it replaced, the mint time, and the load
+// status. This is the read-only audit trail of what a learning session did.
+func inspectGenerations(p *printer, dir string) error {
+	sts, err := tracefile.ScanJournal(dir)
+	if err != nil {
+		return err
+	}
+	if len(sts) == 0 {
+		p.printf("journal %s: no generations\n", dir)
+		return nil
+	}
+	p.printf("journal %s: %d generation(s), newest serves after recovery\n", dir, len(sts))
+	for _, st := range sts {
+		if st.Err != "" {
+			p.printf("  generation %d: UNRECOVERABLE: %s\n", st.Generation, st.Err)
+			continue
+		}
+		ts, lerr := pythia.LoadTraceSet(st.Path)
+		if lerr != nil {
+			p.printf("  generation %d: unreadable: %v\n", st.Generation, lerr)
+			continue
+		}
+		kind, from, when := "seed checkpoint", "", ""
+		if pr := ts.Provenance; pr != nil {
+			switch pr.Kind {
+			case pythia.ProvPromotion:
+				kind = "promotion"
+			case pythia.ProvRollback:
+				kind = "rollback"
+			}
+			if pr.Parent != 0 {
+				from = fmt.Sprintf(", replaced generation %d", pr.Parent)
+			}
+			if pr.UnixNanos != 0 {
+				when = ", minted " + time.Unix(0, pr.UnixNanos).UTC().Format(time.RFC3339)
+			}
+		}
+		p.printf("  generation %d: %s%s%s: %d threads, %d events\n",
+			st.Generation, kind, from, when, st.Threads, st.Events)
 	}
 	return nil
 }

@@ -25,10 +25,22 @@
 // replay, the clients are given a convergence window, and the JSON report's
 // reconnects / dropped_events / retry_later counters show what the run
 // survived.
+//
+// -drift replays the captured streams normally (phase 1) and then replays
+// them reversed (phase 2) — a workload phase shift the recorded model
+// mispredicts. The timed query becomes a next-event self-check, so the
+// report carries per-phase prediction accuracy; against a pythiad -learn
+// daemon, phase-2 accuracy recovering is the online-learning lifecycle
+// visibly adopting the drifted workload, and the report's promotions /
+// rollbacks / shadow_epochs counters come from the ModelInfo wire op.
+// -force-promote N forces a promotion N phase-2 events in, and
+// -force-rollback M forces a rollback M events after that — the operator
+// override and regression paths, exercised end to end by serve-smoke.sh.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +52,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/chaosnet"
 	"repro/internal/harness"
+	"repro/internal/wire"
 	"repro/pythia"
 	"repro/pythia/client"
 )
@@ -73,6 +86,44 @@ type clientResult struct {
 	err         error
 	health      pythia.Health
 	stats       client.Stats
+	// Drift-mode extras: per-phase next-event self-check tallies and the
+	// final ModelInfo snapshot of this connection's oracle.
+	checked [2]int64
+	correct [2]int64
+	model   pythia.ModelInfo
+	modelOK bool
+}
+
+// driftRun carries the -drift configuration shared by every client: the
+// reversed phase-2 streams and the forced-lifecycle schedule.
+type driftRun struct {
+	rev           map[int32][]string
+	forcePromote  int64 // force a promotion after this many phase-2 events (0 = off)
+	forceRollback int64 // then force a rollback this many events later (0 = off)
+}
+
+// lifecycleCtl is one client's progress through the forced-lifecycle
+// schedule; each connection serves its own learning oracle, so each client
+// drives its own promote/rollback.
+type lifecycleCtl struct {
+	phase2Events int64
+	promoted     bool
+	rolledBack   bool
+}
+
+// driftReport is the drift-mode section of the JSON report: per-phase
+// self-check accuracy plus the lifecycle counters summed over every
+// client's oracle.
+type driftReport struct {
+	Phase1Checked  int64   `json:"phase1_checked"`
+	Phase1Correct  int64   `json:"phase1_correct"`
+	Phase1Accuracy float64 `json:"phase1_accuracy"`
+	Phase2Checked  int64   `json:"phase2_checked"`
+	Phase2Correct  int64   `json:"phase2_correct"`
+	Phase2Accuracy float64 `json:"phase2_accuracy"`
+	Promotions     uint64  `json:"promotions"`
+	Rollbacks      uint64  `json:"rollbacks"`
+	ShadowEpochs   uint64  `json:"shadow_epochs"`
 }
 
 // benchReport is the committed BENCH_PR5.json layout.
@@ -89,6 +140,9 @@ type benchReport struct {
 		Chaos        bool   `json:"chaos,omitempty"`
 		ChaosSeed    int64  `json:"chaos_seed,omitempty"`
 		Repeat       int    `json:"repeat,omitempty"`
+		Drift        bool   `json:"drift,omitempty"`
+		ForcePromote int64  `json:"force_promote,omitempty"`
+		ForceRollbk  int64  `json:"force_rollback,omitempty"`
 	} `json:"config"`
 	Results struct {
 		WallS          float64 `json:"wall_s"`
@@ -104,6 +158,8 @@ type benchReport struct {
 		Reconnects     uint64  `json:"reconnects"`
 		DroppedEvents  uint64  `json:"dropped_events"`
 		RetryLater     uint64  `json:"retry_later"`
+
+		Drift *driftReport `json:"drift,omitempty"`
 	} `json:"results"`
 }
 
@@ -123,6 +179,9 @@ func run(args []string, stdout io.Writer) error {
 		chaos        = fs.Bool("chaos", false, "inject deterministic network faults between the clients and the daemon")
 		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the chaos fault schedule")
 		repeat       = fs.Int("repeat", 1, "replay the captured streams this many times per client (lengthens the run)")
+		drift        = fs.Bool("drift", false, "after the normal replay, replay the streams reversed (a workload phase shift) and self-check per-phase accuracy")
+		forceProm    = fs.Int64("force-promote", 0, "with -drift: force a promotion after N phase-2 events per client (0 = scored promotion only)")
+		forceRoll    = fs.Int64("force-rollback", 0, "with -drift: force a rollback N events after the forced promotion (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,6 +211,20 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("-transport must be tcp, unix, or shm (got %q)", *transp)
 	}
+	if (*forceProm != 0 || *forceRoll != 0) && !*drift {
+		return fmt.Errorf("-force-promote/-force-rollback require -drift")
+	}
+	if *forceRoll != 0 && *forceProm == 0 {
+		return fmt.Errorf("-force-rollback requires -force-promote")
+	}
+	if *forceProm < 0 || *forceRoll < 0 {
+		return fmt.Errorf("-force-promote/-force-rollback must be >= 0")
+	}
+	if *drift && *transp == "shm" {
+		// The self-check needs a synchronous PredictAt(1) round trip; the
+		// shm tier streams predictions at a fixed distance instead.
+		return fmt.Errorf("-drift requires a socket transport (tcp or unix)")
+	}
 
 	// One deterministic capture, replayed read-only by every client.
 	streams := harness.CaptureStreams(app, class, *seed)
@@ -160,6 +233,22 @@ func run(args []string, stdout io.Writer) error {
 		tids = append(tids, tid)
 	}
 	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+
+	var dr *driftRun
+	if *drift {
+		dr = &driftRun{
+			rev:           make(map[int32][]string, len(streams)),
+			forcePromote:  *forceProm,
+			forceRollback: *forceRoll,
+		}
+		for tid, stream := range streams {
+			rev := make([]string, len(stream))
+			for i, name := range stream {
+				rev[len(stream)-1-i] = name
+			}
+			dr.rev[tid] = rev
+		}
+	}
 
 	dialAddr := *addr
 	var proxy *chaosnet.Proxy
@@ -198,7 +287,7 @@ func run(args []string, stdout io.Writer) error {
 		wg.Add(1)
 		go func(res *clientResult) {
 			defer wg.Done()
-			runClient(res, dialAddr, *tenant, *transp, streams, tids, *predictEvery, *distance, *repeat, *chaos, &replayWG)
+			runClient(res, dialAddr, *tenant, *transp, streams, tids, *predictEvery, *distance, *repeat, *chaos, dr, &replayWG)
 		}(&results[ci])
 	}
 	wg.Wait()
@@ -221,6 +310,9 @@ func run(args []string, stdout io.Writer) error {
 	if *repeat > 1 {
 		rep.Config.Repeat = *repeat
 	}
+	rep.Config.Drift = *drift
+	rep.Config.ForcePromote = *forceProm
+	rep.Config.ForceRollbk = *forceRoll
 
 	var all []time.Duration
 	var firstErr error
@@ -251,6 +343,28 @@ func run(args []string, stdout io.Writer) error {
 	if len(all) > 0 {
 		rep.Results.LatencyMaxUs = float64(all[len(all)-1].Nanoseconds()) / 1e3
 	}
+	if *drift {
+		d := &driftReport{}
+		for i := range results {
+			r := &results[i]
+			d.Phase1Checked += r.checked[0]
+			d.Phase1Correct += r.correct[0]
+			d.Phase2Checked += r.checked[1]
+			d.Phase2Correct += r.correct[1]
+			if r.modelOK {
+				d.Promotions += r.model.Promotions
+				d.Rollbacks += r.model.Rollbacks
+				d.ShadowEpochs += r.model.ShadowEpochs
+			}
+		}
+		if d.Phase1Checked > 0 {
+			d.Phase1Accuracy = float64(d.Phase1Correct) / float64(d.Phase1Checked)
+		}
+		if d.Phase2Checked > 0 {
+			d.Phase2Accuracy = float64(d.Phase2Correct) / float64(d.Phase2Checked)
+		}
+		rep.Results.Drift = d
+	}
 
 	p := &printer{w: stdout}
 	p.printf("%s.%s via %s [%s]: %d clients, %d events, %d predictions (%d answered) in %.2fs\n",
@@ -263,6 +377,13 @@ func run(args []string, stdout io.Writer) error {
 	if *chaos || rep.Results.Reconnects+rep.Results.DroppedEvents+rep.Results.RetryLater > 0 {
 		p.printf("resilience: %d reconnects, %d dropped events, %d retry-later\n",
 			rep.Results.Reconnects, rep.Results.DroppedEvents, rep.Results.RetryLater)
+	}
+	if d := rep.Results.Drift; d != nil {
+		p.printf("drift accuracy: phase1 %.1f%% (%d/%d), phase2 %.1f%% (%d/%d)\n",
+			100*d.Phase1Accuracy, d.Phase1Correct, d.Phase1Checked,
+			100*d.Phase2Accuracy, d.Phase2Correct, d.Phase2Checked)
+		p.printf("lifecycle: %d promotions, %d rollbacks, %d shadow epochs\n",
+			d.Promotions, d.Rollbacks, d.ShadowEpochs)
 	}
 	for i := range results {
 		if h := results[i].health; h.State != pythia.Healthy {
@@ -293,8 +414,11 @@ func run(args []string, stdout io.Writer) error {
 // events; on shm it is a Latest read of the streamed predictions the server
 // pushes at the same cadence. Under chaos the replay tolerates transient
 // failures (reconnect and replay cover them) and a convergence window after
-// the stream drains the client back to a clean Err.
-func runClient(res *clientResult, addr, tenant, transp string, streams map[int32][]string, tids []int32, predictEvery, distance, repeat int, chaos bool, replayWG *sync.WaitGroup) {
+// the stream drains the client back to a clean Err. In drift mode the whole
+// replay runs twice — recorded streams, then reversed streams — with the
+// timed operation swapped for a next-event self-check, and the connection's
+// ModelInfo snapshot is taken at the end.
+func runClient(res *clientResult, addr, tenant, transp string, streams map[int32][]string, tids []int32, predictEvery, distance, repeat int, chaos bool, dr *driftRun, replayWG *sync.WaitGroup) {
 	replayDone := false
 	defer func() {
 		if !replayDone {
@@ -343,12 +467,32 @@ func runClient(res *clientResult, addr, tenant, transp string, streams map[int32
 		time.Sleep(10 * time.Millisecond)
 	}
 	var predBuf []pythia.Prediction
-	for r := 0; r < repeat; r++ {
-		for _, tid := range tids {
-			runThread(res, c, o, tid, streams[tid], transp, predictEvery, distance, chaos, &predBuf)
-			if res.err != nil {
-				return
+	phases := 1
+	if dr != nil {
+		phases = 2
+	}
+	var lc lifecycleCtl
+	for phase := 0; phase < phases; phase++ {
+		src := streams
+		if phase == 1 {
+			src = dr.rev
+		}
+		for r := 0; r < repeat; r++ {
+			for _, tid := range tids {
+				runThread(res, c, o, tid, src[tid], transp, predictEvery, distance, chaos, dr, phase, &lc, &predBuf)
+				if res.err != nil {
+					return
+				}
 			}
+		}
+	}
+	if dr != nil {
+		if mi, merr := o.ModelInfo(); merr == nil {
+			res.model = mi
+			res.modelOK = true
+		} else if !chaos {
+			res.err = fmt.Errorf("model info: %w", merr)
+			return
 		}
 	}
 	replayDone = true
@@ -380,8 +524,11 @@ func runClient(res *clientResult, addr, tenant, transp string, streams map[int32
 // runThread replays one rank's stream once, issuing the timed operation on
 // the predictEvery cadence. Under chaos the replay is paced while the client
 // is offline: fail-open Submits cost nanoseconds, so without the pacing an
-// outage longer than the stream would race past unreplayed.
-func runThread(res *clientResult, c *client.Client, o *client.Oracle, tid int32, stream []string, transp string, predictEvery, distance int, chaos bool, predBuf *[]pythia.Prediction) {
+// outage longer than the stream would race past unreplayed. In drift mode
+// the timed operation is a PredictAt(1) round trip checked against the next
+// event the replay is about to submit, and phase-2 events drive the forced
+// promote/rollback schedule.
+func runThread(res *clientResult, c *client.Client, o *client.Oracle, tid int32, stream []string, transp string, predictEvery, distance int, chaos bool, dr *driftRun, phase int, lc *lifecycleCtl, predBuf *[]pythia.Prediction) {
 	th := o.Thread(tid)
 	th.StartAtBeginning()
 	subscribed := false
@@ -391,6 +538,15 @@ func runThread(res *clientResult, c *client.Client, o *client.Oracle, tid int32,
 		}
 		th.Submit(o.Intern(name))
 		res.events++
+		if dr != nil && phase == 1 {
+			lc.phase2Events++
+			if err := stepLifecycle(o, dr, lc); err != nil {
+				if !chaos {
+					res.err = err
+					return
+				}
+			}
+		}
 		if transp == "shm" && !subscribed {
 			// The first Submit bound the thread's ring; from here the
 			// server streams PredictSequence(distance) every
@@ -410,10 +566,20 @@ func runThread(res *clientResult, c *client.Client, o *client.Oracle, tid int32,
 		}
 		t0 := time.Now()
 		var ok bool
-		if transp == "shm" {
+		switch {
+		case dr != nil:
+			pred, got := th.PredictAt(1)
+			ok = got
+			if i+1 < len(stream) {
+				res.checked[phase]++
+				if got && pred.EventID == int32(o.Intern(stream[i+1])) {
+					res.correct[phase]++
+				}
+			}
+		case transp == "shm":
 			*predBuf, ok = th.Latest(*predBuf)
 			ok = ok && len(*predBuf) > 0
-		} else {
+		default:
 			_, ok = th.PredictAt(distance)
 		}
 		res.latencies = append(res.latencies, time.Since(t0))
@@ -421,6 +587,45 @@ func runThread(res *clientResult, c *client.Client, o *client.Oracle, tid int32,
 		if ok {
 			res.answered++
 		}
+	}
+}
+
+// stepLifecycle advances the forced promote/rollback schedule after one
+// phase-2 event: promote once at forcePromote events, roll back once
+// forceRollback events later.
+func stepLifecycle(o *client.Oracle, dr *driftRun, lc *lifecycleCtl) error {
+	if dr.forcePromote > 0 && !lc.promoted && lc.phase2Events >= dr.forcePromote {
+		lc.promoted = true
+		if _, err := forceOp(o.Promote); err != nil {
+			return fmt.Errorf("force-promote: %w", err)
+		}
+	}
+	if dr.forceRollback > 0 && lc.promoted && !lc.rolledBack &&
+		lc.phase2Events >= dr.forcePromote+dr.forceRollback {
+		lc.rolledBack = true
+		if _, err := forceOp(o.Rollback); err != nil {
+			return fmt.Errorf("force-rollback: %w", err)
+		}
+	}
+	return nil
+}
+
+// forceOp runs a forced lifecycle operation, retrying CodeLifecycle
+// refusals briefly: the shadow's first candidate materializes
+// asynchronously after an epoch completes, so a forced promotion scheduled
+// right at the epoch boundary can race the server's judge by a few
+// milliseconds. Any other error — and a refusal that persists past the
+// window — is returned as-is.
+func forceOp(op func() (uint64, error)) (uint64, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gen, err := op()
+		var re *client.RemoteError
+		if err == nil || !errors.As(err, &re) || re.Code != wire.CodeLifecycle ||
+			time.Now().After(deadline) {
+			return gen, err
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/server"
 	"repro/internal/transport"
+	"repro/pythia"
 )
 
 // listenList collects repeated -listen flags.
@@ -85,6 +86,11 @@ func run(args []string, stdout io.Writer) error {
 		maxParked      = fs.Int("max-parked", server.DefaultMaxParked, "cap on connections parked for resume (negative = unlimited)")
 		tenantSessions = fs.Int("max-sessions-per-tenant", 0, "per-tenant session cap, refused with a retry hint (0 = unlimited)")
 		shedSessions   = fs.Int("shed-sessions", 0, "shed speculative queries above this open-session count (0 = never)")
+		learn          = fs.Bool("learn", false, "online learning: shadow-record each client's live stream, promote when it out-predicts the serving model, roll back on regression")
+		learnEpoch     = fs.Int64("learn-epoch", 0, "scoring epoch in events (0 = default)")
+		learnPromote   = fs.Int("learn-promote", 0, "consecutive winning epochs before promotion (0 = default)")
+		learnMargin    = fs.Int("learn-margin", 0, "promotion/rollback margin in percent of the epoch (0 = default)")
+		learnWatch     = fs.Int("learn-watch", 0, "post-promotion watch window in epochs (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,8 +107,19 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("trace directory: %s is not a directory", *traces)
 	}
 
+	var learnPol *pythia.LearnPolicy
+	if *learn {
+		learnPol = &pythia.LearnPolicy{
+			EpochEvents:      *learnEpoch,
+			PromoteEpochs:    *learnPromote,
+			PromoteMarginPct: *learnMargin,
+			WatchEpochs:      *learnWatch,
+		}
+	}
+
 	logger := log.New(os.Stderr, "pythiad: ", log.LstdFlags)
 	srv := server.New(server.Config{
+		Learn:                learnPol,
 		TraceDir:             *traces,
 		MaxConns:             *maxConns,
 		MaxSessions:          *maxSessions,

@@ -70,6 +70,10 @@ type Session struct {
 	ref  *model.TraceSet
 	pcfg predictor.Config
 
+	// learn is the guarded model lifecycle of a learning session (see
+	// lifecycle.go), nil everywhere else.
+	learn *learner
+
 	// health is the fail-open accounting shared by every handle (see
 	// health.go).
 	health health
@@ -196,7 +200,16 @@ func (s *Session) createThread(tid int32) *Thread {
 		}
 	case ModeOnline:
 		t.rec = recorder.New(s.recorderOptions(tid)...)
-		if tr := s.ref.Trace(tid); tr != nil {
+		if s.learn != nil {
+			// Learning sessions serve from the current generation, which may
+			// already be ahead of the seed reference trace.
+			t.learn = &threadLearn{l: s.learn}
+			g := s.learn.serving.Load()
+			t.learn.gen = g
+			if tr := g.ts.Trace(tid); tr != nil {
+				t.pred = predictor.New(tr, s.pcfg)
+			}
+		} else if tr := s.ref.Trace(tid); tr != nil {
 			t.pred = predictor.New(tr, s.pcfg)
 		}
 	}
@@ -210,17 +223,23 @@ func (s *Session) createThread(tid int32) *Thread {
 }
 
 // recorderOptions assembles the per-thread recorder options for tid: the
-// session-wide options plus, when checkpointing is on, a sink that feeds the
-// thread's snapshots to the background checkpointer.
+// session-wide options plus, when checkpointing or online learning is on, a
+// sink that feeds the thread's snapshots to the background machinery.
 func (s *Session) recorderOptions(tid int32) []recorder.Option {
-	if s.ckpt == nil {
+	if s.ckpt == nil && s.learn == nil {
 		return s.recOpts
 	}
-	c := s.ckpt
 	opts := make([]recorder.Option, 0, len(s.recOpts)+1)
 	opts = append(opts, s.recOpts...)
-	opts = append(opts, recorder.WithCheckpointSink(s.ckptPol.snapEvery(),
-		func(snap recorder.Checkpoint) { c.offer(tid, snap) }))
+	if s.ckpt != nil {
+		c := s.ckpt
+		opts = append(opts, recorder.WithCheckpointSink(s.ckptPol.snapEvery(),
+			func(snap recorder.Checkpoint) { c.offer(tid, snap) }))
+	} else {
+		l := s.learn
+		opts = append(opts, recorder.WithCheckpointSink(l.pol.EpochEvents,
+			func(snap recorder.Checkpoint) { l.offer(tid, snap) }))
+	}
 	return opts
 }
 
@@ -235,6 +254,9 @@ func (s *Session) FinishRecord() (*model.TraceSet, error) {
 	}
 	if s.ckpt != nil {
 		s.ckpt.close()
+	}
+	if s.learn != nil {
+		s.learn.close()
 	}
 	if s.Failed() {
 		return nil, fmt.Errorf("core: FinishRecord on a degraded oracle (%s)", s.Health().Cause)
@@ -277,6 +299,10 @@ type Thread struct {
 	rec  *recorder.Recorder
 	pred *predictor.Predictor
 
+	// learn is the thread-side model lifecycle of a learning session (rival
+	// scoring, generation adoption — see lifecycle.go), nil everywhere else.
+	learn *threadLearn
+
 	// notedTrunc / notedQuar track which per-thread degradations have
 	// already been reported to the session health accounting (single
 	// goroutine, like every other Thread field).
@@ -315,7 +341,9 @@ func (t *Thread) Submit(id events.ID) {
 	if t.rec != nil {
 		t.rec.Record(id)
 	}
-	if t.pred != nil {
+	if t.learn != nil {
+		t.learn.observe(t, int32(id))
+	} else if t.pred != nil {
 		t.pred.Observe(int32(id))
 	}
 	t.noteHealth()
@@ -332,7 +360,9 @@ func (t *Thread) SubmitAt(id events.ID, now int64) {
 	if t.rec != nil {
 		t.rec.RecordAt(id, now)
 	}
-	if t.pred != nil {
+	if t.learn != nil {
+		t.learn.observe(t, int32(id))
+	} else if t.pred != nil {
 		t.pred.Observe(int32(id))
 	}
 	t.noteHealth()

@@ -83,6 +83,16 @@ type Health struct {
 	// works — but the run has reduced crash tolerance, which is a Degraded
 	// condition worth surfacing.
 	CheckpointFailures int64
+	// Promotions counts shadow models promoted to serving by the online
+	// learning lifecycle (scored or forced).
+	Promotions int64
+	// Rollbacks counts promotions undone because the promoted model
+	// regressed against the previous generation (or an operator forced it).
+	// Latched: any non-zero value marks the session Degraded with the
+	// rollback as cause — a model that had to be taken back out of service
+	// is a reliability event the operator should see, even though serving
+	// continued uninterrupted on the restored generation.
+	Rollbacks int64
 }
 
 // health is the session-wide failure accounting. Counters are atomics:
@@ -94,18 +104,36 @@ type health struct {
 	breaches    atomic.Int64
 	quarantined atomic.Int64
 	ckptFails   atomic.Int64
+	promotions  atomic.Int64
+	rollbacks   atomic.Int64
 
-	mu    sync.Mutex
-	cause string // first failure, immutable once set
+	mu        sync.Mutex
+	cause     string // first failure, immutable once hard
+	causeSoft bool   // cause came from a self-clearing condition (quarantine)
 }
 
 // noteCause records the first failure description (later ones are dropped:
 // the first failure is the one worth reporting, everything after may be
-// fallout).
+// fallout). A soft cause — from a self-clearing condition like watchdog
+// quarantine — only fills an empty slot and yields to the first hard cause,
+// so a transient quarantine cannot permanently mask the report of a real
+// degradation (a contained panic, a breached budget, a model rollback).
 func (h *health) noteCause(cause string) {
+	h.mu.Lock()
+	if h.cause == "" || h.causeSoft {
+		h.cause = cause
+		h.causeSoft = false
+	}
+	h.mu.Unlock()
+}
+
+// noteCauseSoft records a self-clearing condition as the cause only while
+// nothing harder has been reported.
+func (h *health) noteCauseSoft(cause string) {
 	h.mu.Lock()
 	if h.cause == "" {
 		h.cause = cause
+		h.causeSoft = true
 	}
 	h.mu.Unlock()
 }
@@ -128,7 +156,7 @@ func (h *health) noteBreach(tid int32, cause string) {
 func (h *health) noteQuarantine(tid int32, on bool) {
 	if on {
 		h.quarantined.Add(1)
-		h.noteCause(fmt.Sprintf("thread %d quarantined by divergence watchdog", tid))
+		h.noteCauseSoft(fmt.Sprintf("thread %d quarantined by divergence watchdog", tid))
 		return
 	}
 	h.quarantined.Add(-1)
@@ -140,6 +168,20 @@ func (h *health) noteQuarantine(tid int32, on bool) {
 func (h *health) noteCheckpointFailure(err error) {
 	h.ckptFails.Add(1)
 	h.noteCause(fmt.Sprintf("checkpoint write failed: %v", err))
+}
+
+// notePromotion records a shadow-model promotion. Promotions are healthy
+// operation — only the counter moves.
+func (h *health) notePromotion() {
+	h.promotions.Add(1)
+}
+
+// noteRollback records a promotion rolled back after regressing in
+// production: counter plus latched cause. Like a checkpoint failure it is
+// NOT fail-open — serving continues on the restored generation.
+func (h *health) noteRollback(cause string) {
+	h.rollbacks.Add(1)
+	h.noteCause(cause)
 }
 
 // Contain is the deferred recover wrapper every exported Oracle/Thread
@@ -184,12 +226,14 @@ func (s *Session) Health() Health {
 		BudgetBreaches:     s.health.breaches.Load(),
 		QuarantinedThreads: s.health.quarantined.Load(),
 		CheckpointFailures: s.health.ckptFails.Load(),
+		Promotions:         s.health.promotions.Load(),
+		Rollbacks:          s.health.rollbacks.Load(),
 	}
 	s.health.mu.Lock()
 	h.Cause = s.health.cause
 	s.health.mu.Unlock()
 	switch {
-	case s.health.failed.Load() || h.BudgetBreaches > 0 || h.CheckpointFailures > 0:
+	case s.health.failed.Load() || h.BudgetBreaches > 0 || h.CheckpointFailures > 0 || h.Rollbacks > 0:
 		h.State = StateDegraded
 	case h.QuarantinedThreads > 0:
 		h.State = StateQuarantined

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzModelLifecycle drives arbitrary interleavings of scored epochs,
+// forced promotions, forced rollbacks and crashes through the pure
+// lifecycle machine and the lineage ledger, with the journal modeled as an
+// append-only list of committed generation numbers (commit happens strictly
+// before the ledger mutation, exactly like mintLocked). The invariants are
+// the ones crash recovery depends on:
+//
+//   - generation numbers are strictly monotonic, in the ledger and in the
+//     journal, across crashes and restarts;
+//   - every minted generation's parent is the generation that was serving
+//     at mint time;
+//   - a rollback is only ever mandated (or accepted) while a previous
+//     generation exists, and it clears that previous generation;
+//   - at any crash point the newest committed generation is at or ahead of
+//     the published serving one (commit-before-publish), so "newest
+//     committed wins" recovery never resurrects a stale model.
+func FuzzModelLifecycle(f *testing.F) {
+	f.Add([]byte{0, 8, 0, 0, 8, 0, 1, 0, 0, 0, 0, 8, 2, 0, 0})
+	f.Add([]byte{1, 1, 1, 3, 3, 3, 0, 0, 8})
+	f.Add([]byte{0, 0, 8, 0, 0, 8, 0, 8, 0, 3, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		pol := LearnPolicy{EpochEvents: 8, PromoteEpochs: 2, PromoteMarginPct: 5, WatchEpochs: 2, CooldownEpochs: 3}
+		sm := newLifecycle(pol)
+		seed := &model.TraceSet{Events: []string{"gen1"}}
+		lin := newLineage(seed, 1)
+		committed := []uint64{1} // the seed generation is journaled at open
+
+		newest := func() uint64 { return committed[len(committed)-1] }
+		mintTS := func(num uint64) *model.TraceSet {
+			return &model.TraceSet{Events: []string{fmt.Sprintf("gen%d", num)}}
+		}
+		// checkMint verifies one successful ledger mutation against the
+		// serving generation it replaced.
+		checkMint := func(g *generation, prev *generation, err error) {
+			if err != nil {
+				t.Fatalf("mint failed: %v", err)
+			}
+			if g.num <= prev.num {
+				t.Fatalf("minted generation %d not above serving %d", g.num, prev.num)
+			}
+			if g.parent != prev.num {
+				t.Fatalf("generation %d parent %d, want serving-at-mint %d", g.num, g.parent, prev.num)
+			}
+			if lin.serving != g {
+				t.Fatal("mint did not install the new serving generation")
+			}
+			if lin.next <= g.num {
+				t.Fatalf("next %d not above serving %d", lin.next, g.num)
+			}
+		}
+		// promote commits then mutates the ledger, like promoteLocked.
+		promote := func() {
+			num := lin.next
+			prev := lin.serving
+			committed = append(committed, num)
+			g, err := lin.promote(num, mintTS(num))
+			checkMint(g, prev, err)
+			if lin.previous != prev {
+				t.Fatal("promotion did not retain the replaced generation")
+			}
+		}
+		rollback := func() {
+			num := lin.next
+			prev := lin.serving
+			restored := lin.previous
+			committed = append(committed, num)
+			g, err := lin.rollback(num)
+			checkMint(g, prev, err)
+			if g.ts != restored.ts {
+				t.Fatal("rollback did not restore the previous generation's content")
+			}
+			if lin.previous != nil {
+				t.Fatal("rollback left a previous generation behind")
+			}
+		}
+
+		for i := 0; i+2 < len(ops); i += 3 {
+			switch ops[i] % 4 {
+			case 0: // scored epoch
+				n := pol.EpochEvents
+				servHits := int64(ops[i+1]) % (n + 1)
+				rivalHits := int64(ops[i+2]) % (n + 1)
+				switch sm.observeEpoch(servHits, rivalHits, n) {
+				case actPromote:
+					promote()
+				case actRollback:
+					if lin.previous == nil {
+						t.Fatal("machine mandated a rollback with no previous generation")
+					}
+					rollback()
+				}
+			case 1: // operator-forced promotion
+				promote()
+				sm.forcePromote()
+			case 2: // operator-forced rollback
+				if lin.previous == nil {
+					if _, err := lin.rollback(lin.next); err == nil {
+						t.Fatal("ledger accepted a rollback with no previous generation")
+					}
+					continue
+				}
+				rollback()
+				sm.forceRollback()
+			case 3: // crash, possibly torn between commit and publish, then restart
+				if ops[i+1]%2 == 0 {
+					committed = append(committed, lin.next) // committed but never published
+				}
+				if newest() < lin.serving.num {
+					t.Fatalf("serving generation %d ahead of newest committed %d", lin.serving.num, newest())
+				}
+				// Recovery: newest committed wins, the machine restarts cold.
+				sm = newLifecycle(pol)
+				lin = newLineage(mintTS(newest()), newest())
+			}
+			// Global invariants, every step.
+			for j := 1; j < len(committed); j++ {
+				if committed[j] <= committed[j-1] {
+					t.Fatalf("journal not strictly monotonic: %v", committed)
+				}
+			}
+			if newest() < lin.serving.num {
+				t.Fatalf("serving generation %d ahead of newest committed %d", lin.serving.num, newest())
+			}
+			if got := lin.retained(); got[0] != lin.serving.num {
+				t.Fatalf("retained %v does not lead with serving %d", got, lin.serving.num)
+			}
+			if sm.watching && lin.previous == nil {
+				t.Fatal("watch window open with no generation to roll back to")
+			}
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package faultinject_test
+
+// Promotion crash chaos: like crash_test.go, but the victim is a *learning*
+// session whose generation journal is written by promotions and rollbacks,
+// not by a record-mode checkpointer. Every committed generation must
+// survive any death — injected at each point of the journal write path or a
+// real SIGKILL mid-promotion — and recovery must land on the newest
+// committed generation with its lineage provenance intact, so a restarted
+// learner continues the generation sequence instead of resurrecting a
+// stale model.
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/model"
+	"repro/internal/tracefile"
+	"repro/pythia"
+)
+
+// learnVictimRef builds the victim's initial serving model: a trace of the
+// pre-drift pattern.
+func learnVictimRef(t *testing.T) *pythia.TraceSet {
+	t.Helper()
+	var now int64
+	o := pythia.NewRecordOracle(pythia.WithClock(func() int64 { now += 5; return now }))
+	ids := []pythia.ID{o.Intern("a"), o.Intern("b"), o.Intern("c"), o.Intern("d")}
+	th := o.Thread(0)
+	for i := 0; i < 100; i++ {
+		for _, id := range ids {
+			th.Submit(id)
+		}
+	}
+	ts, err := o.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// TestLearnCrashHelperProcess is the victim: a learning session journaling
+// to PYTHIA_CRASH_DIR that alternates forced promotions and rollbacks of
+// its drifted shadow model, so the journal write path is exercised once per
+// operation at deterministic generation numbers (seed=1, then 2, 3, ... one
+// per forced operation). Scored transitions are disabled by an unreachable
+// promotion streak, keeping the crash-point hit count deterministic.
+func TestLearnCrashHelperProcess(t *testing.T) {
+	if os.Getenv("PYTHIA_CRASH_HELPER") != "2" {
+		t.Skip("helper process, not a test")
+	}
+	dir := os.Getenv("PYTHIA_CRASH_DIR")
+	if spec := os.Getenv("PYTHIA_CRASH_SPEC"); spec != "" {
+		cs, err := faultinject.ParseCrashSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracefile.SetCrashHook(cs.Hook())
+	}
+	pol := pythia.LearnPolicy{EpochEvents: 64, PromoteEpochs: 1 << 30, Dir: dir}
+	o, err := pythia.NewPredictOracle(learnVictimRef(t), pythia.Config{}, pythia.WithOnlineLearning(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	drift := []pythia.ID{o.Lookup("d"), o.Lookup("c"), o.Lookup("b"), o.Lookup("a")}
+	th := o.Thread(0)
+	for round := 0; round < 4000; round++ {
+		// Enough events that the shadow recorder has offered a snapshot, so
+		// the forced promotion always has a candidate.
+		for i := 0; i < 24; i++ {
+			for _, id := range drift {
+				th.Submit(id)
+			}
+		}
+		if _, err := o.Promote(); err != nil {
+			t.Fatalf("round %d: Promote: %v", round, err)
+		}
+		if _, err := o.Rollback(); err != nil {
+			t.Fatalf("round %d: Rollback: %v", round, err)
+		}
+		// Pace kill mode so the parent can aim between operations.
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// learnHelperCmd builds the re-exec command for the learning victim.
+func learnHelperCmd(t *testing.T, dir, spec string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestLearnCrashHelperProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"PYTHIA_CRASH_HELPER=2",
+		"PYTHIA_CRASH_DIR="+dir,
+		"PYTHIA_CRASH_SPEC="+spec,
+	)
+	return cmd
+}
+
+// assertLearnRecovery checks the recovered generation carries consistent
+// lineage provenance and restarts a learning session that continues the
+// generation sequence past the crash.
+func assertLearnRecovery(t *testing.T, dir string, ts *pythia.TraceSet, rep *tracefile.RecoveryReport) {
+	t.Helper()
+	p := ts.Provenance
+	if p == nil || !p.Salvaged {
+		t.Fatalf("recovered generation lacks salvaged provenance: %+v", p)
+	}
+	if p.Generation != rep.Used.Generation {
+		t.Fatalf("provenance generation %d != recovered %d", p.Generation, rep.Used.Generation)
+	}
+	if p.Kind != model.ProvCheckpoint && p.Parent >= p.Generation {
+		t.Fatalf("generation %d lineage points forward to parent %d", p.Generation, p.Parent)
+	}
+	// A restarted learner must mint strictly past everything on disk —
+	// including generations recovery skipped as damaged.
+	pol := pythia.LearnPolicy{EpochEvents: 64, PromoteEpochs: 1 << 30, Dir: dir}
+	o, err := pythia.NewPredictOracle(ts, pythia.Config{}, pythia.WithOnlineLearning(pol))
+	if err != nil {
+		t.Fatalf("restarting learner from recovered generation: %v", err)
+	}
+	defer o.Close()
+	if got := o.ModelInfo().ServingGeneration; got <= rep.Used.Generation {
+		t.Fatalf("restarted learner minted generation %d, want above recovered %d", got, rep.Used.Generation)
+	}
+}
+
+func TestCrashDuringPromotion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash matrix is not -short material")
+	}
+	// Journal write numbering in the victim: hit 1 is the seed generation,
+	// hit 2 the first promotion (generation 2), hit 3 the first rollback
+	// (generation 3), and so on alternating.
+	cases := []struct {
+		spec     string
+		wantGen  uint64
+		wantKind model.ProvKind
+		wantSkip int
+	}{
+		// Death right after the first promotion committed: the promoted
+		// model is the newest durable generation.
+		{spec: tracefile.CrashJournalWroteGen + "@2", wantGen: 2, wantKind: model.ProvPromotion},
+		// Death after the first rollback committed: the rollback itself is
+		// durable, carrying the restored content under a fresh number.
+		{spec: tracefile.CrashJournalWroteGen + "@3", wantGen: 3, wantKind: model.ProvRollback},
+		// The second promotion's temp file was written but never renamed:
+		// not committed, recovery lands on the rollback before it.
+		{spec: tracefile.CrashSaveWroteTemp + "@4", wantGen: 3, wantKind: model.ProvRollback},
+		// The second promotion committed but was torn post-mortem: recovery
+		// must detect the damage and fall back one generation.
+		{spec: tracefile.CrashJournalWroteGen + "@4+tear", wantGen: 3, wantKind: model.ProvRollback, wantSkip: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			dir := t.TempDir()
+			out, err := learnHelperCmd(t, dir, tc.spec).CombinedOutput()
+			if code := exitCode(err); code != faultinject.CrashExitCode {
+				t.Fatalf("victim exited %d, want %d\n%s", code, faultinject.CrashExitCode, out)
+			}
+			ts, rep, err := tracefile.Recover(dir)
+			if err != nil {
+				t.Fatalf("Recover: %v (report %+v)", err, rep)
+			}
+			if rep.Used.Generation != tc.wantGen {
+				t.Fatalf("recovered generation %d, want %d (skipped %+v)", rep.Used.Generation, tc.wantGen, rep.Skipped)
+			}
+			if len(rep.Skipped) != tc.wantSkip {
+				t.Fatalf("skipped %+v, want %d entries", rep.Skipped, tc.wantSkip)
+			}
+			if ts.Provenance.Kind != tc.wantKind {
+				t.Fatalf("recovered generation kind %v, want %v", ts.Provenance.Kind, tc.wantKind)
+			}
+			assertLearnRecovery(t, dir, ts, rep)
+		})
+	}
+}
+
+func TestSIGKILLDuringPromotion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill test is not -short material")
+	}
+	dir := t.TempDir()
+	cmd := learnHelperCmd(t, dir, "") // no injected crash: a real signal
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until promotions are flowing (at least three committed
+	// generations: seed, promotion, rollback), then kill with no cleanup.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sts, err := tracefile.ScanJournal(dir)
+		committed := 0
+		if err == nil {
+			for _, st := range sts {
+				if st.Err == "" {
+					committed++
+				}
+			}
+		}
+		if committed >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("victim never committed a promotion")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("victim exit: %v, want SIGKILL death", err)
+	}
+
+	ts, rep, err := tracefile.Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover after SIGKILL: %v (report %+v)", err, rep)
+	}
+	if rep.Used == nil || rep.Used.Generation < 2 {
+		t.Fatalf("recovery did not land past the seed: %+v", rep.Used)
+	}
+	assertLearnRecovery(t, dir, ts, rep)
+}

@@ -203,10 +203,46 @@ type ThreadTrace struct {
 	Dropped int64
 }
 
+// ProvKind classifies how a journaled generation was minted: a periodic
+// checkpoint of an in-progress recording, a model promotion (the online
+// learner's shadow out-predicted the serving model), or a rollback (the
+// promoted model regressed and the previous one was re-minted).
+type ProvKind uint8
+
+const (
+	// ProvCheckpoint is a periodic crash-safety checkpoint (or the initial
+	// serving generation an online learner seeds its journal with).
+	ProvCheckpoint ProvKind = iota
+	// ProvPromotion marks a generation minted by promoting a shadow model
+	// over the serving model.
+	ProvPromotion
+	// ProvRollback marks a generation minted by rolling back a regressed
+	// promotion: its content is the pre-promotion model, re-minted under a
+	// fresh number so generation history stays monotonic.
+	ProvRollback
+)
+
+// String renders the provenance kind.
+func (k ProvKind) String() string {
+	switch k {
+	case ProvCheckpoint:
+		return "checkpoint"
+	case ProvPromotion:
+		return "promotion"
+	case ProvRollback:
+		return "rollback"
+	default:
+		return fmt.Sprintf("ProvKind(%d)", uint8(k))
+	}
+}
+
 // Provenance records how a trace set came to exist when it was produced by
 // the crash-safe recording pipeline rather than a clean FinishRecord: the
 // checkpoint generation it was written as (or salvaged from) and whether it
-// is a salvage. Nil on traces saved by a normal end-of-run Finish.
+// is a salvage. Generations minted by the online-learning lifecycle carry
+// lineage on top: what kind of transition minted them, which generation
+// they descend from, and when. Nil on traces saved by a normal end-of-run
+// Finish.
 type Provenance struct {
 	// Generation is the checkpoint journal generation number.
 	Generation uint64
@@ -214,6 +250,15 @@ type Provenance struct {
 	// checkpoint journal by tracefile.Recover after a crash, rather than
 	// written by the recording process itself.
 	Salvaged bool
+	// Kind is the transition that minted this generation (ProvCheckpoint
+	// for plain crash-safety checkpoints).
+	Kind ProvKind
+	// Parent is the generation number this one descends from: the serving
+	// generation at promotion time, or the regressed generation a rollback
+	// replaced. 0 for root generations and plain checkpoints.
+	Parent uint64
+	// UnixNanos is when the generation was minted (0 when not recorded).
+	UnixNanos int64
 }
 
 // TraceSet is the content of one Pythia trace file: one grammar (and

@@ -118,6 +118,9 @@ func releaseParked(s *Server, sessions []session, tenants map[string]*connTenant
 	}
 	for _, ct := range tenants {
 		ct.t.unregister(ct.oracle)
+		// A learning oracle runs a lifecycle manager goroutine; join it.
+		// Frozen oracles make this a no-op.
+		ct.oracle.Close()
 		s.st.Release(ct.t)
 	}
 }

@@ -46,6 +46,13 @@ type Config struct {
 	TraceDir string
 	// Predict tunes every per-connection predicting oracle.
 	Predict pythia.Config
+	// Learn, when non-nil, turns every per-connection oracle into an
+	// online-learning one under the given lifecycle policy: the loaded trace
+	// keeps serving while the client's live stream is shadow-recorded, with
+	// scored promotion and automatic rollback. The policy's journal Dir is
+	// ignored — per-connection oracles would collide on a shared journal, so
+	// server-side generations are kept in memory.
+	Learn *pythia.LearnPolicy
 	// MaxConns caps concurrent connections; excess connects are refused
 	// with CodeConnLimit. 0 means DefaultMaxConns, negative means no cap.
 	MaxConns int
@@ -656,6 +663,24 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		// One-way: the client is closing for good; never park its sessions.
 		c.resumeToken = 0
 		return nil
+	case wire.TModelInfo:
+		tenant, err := wire.ParseModelInfo(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.modelInfo(tenant)
+	case wire.TPromote:
+		tenant, err := wire.ParsePromote(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.promote(tenant)
+	case wire.TRollback:
+		tenant, err := wire.ParseRollback(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.rollback(tenant)
 	case wire.THello:
 		return badFrame("duplicate Hello")
 	default:
@@ -774,7 +799,13 @@ func (c *conn) tenantOf(name string) (*connTenant, *protoErr) {
 		}
 		return nil, &protoErr{code: wire.CodeInternal, msg: err.Error()}
 	}
-	oracle, err := pythia.NewPredictOracle(t.ts, c.srv.cfg.Predict)
+	var popts []pythia.PredictOption
+	if lp := c.srv.cfg.Learn; lp != nil {
+		pol := *lp
+		pol.Dir = "" // per-connection oracles: in-memory generations only
+		popts = append(popts, pythia.WithOnlineLearning(pol))
+	}
+	oracle, err := pythia.NewPredictOracle(t.ts, c.srv.cfg.Predict, popts...)
 	if err != nil {
 		c.srv.st.Release(t)
 		return nil, &protoErr{code: wire.CodeInternal, msg: err.Error()}
@@ -818,6 +849,71 @@ func (c *conn) retireSession(sid uint32) *protoErr {
 		}
 	}
 	return nil
+}
+
+// modelInfo answers a ModelInfo request with this connection's lifecycle
+// snapshot for the tenant (oracles are per-connection, so the generation
+// numbers and counters describe this client's oracle).
+func (c *conn) modelInfo(tenant string) error {
+	ct, perr := c.tenantOf(tenant)
+	if perr != nil {
+		return perr
+	}
+	mi := ct.oracle.ModelInfo()
+	wmi := wire.ModelInfo{
+		Enabled:           mi.Enabled,
+		State:             modelStateToWire(mi.State),
+		ServingGeneration: mi.ServingGeneration,
+		Promotions:        mi.Promotions,
+		Rollbacks:         mi.Rollbacks,
+		ShadowEpochs:      mi.ShadowEpochs,
+		Retained:          mi.Retained,
+	}
+	c.out = wire.AppendModelInfoR(c.out[:0], wmi)
+	return wire.WriteFrame(c.bw, wire.TModelInfoR, c.out)
+}
+
+// promote forces a promotion of the tenant's shadow model on this
+// connection's oracle. Refusals (learning disabled, no candidate yet) are
+// non-fatal CodeLifecycle errors.
+func (c *conn) promote(tenant string) error {
+	ct, perr := c.tenantOf(tenant)
+	if perr != nil {
+		return perr
+	}
+	gen, err := ct.oracle.Promote()
+	if err != nil {
+		return &protoErr{code: wire.CodeLifecycle, msg: err.Error()}
+	}
+	c.out = wire.AppendPromoted(c.out[:0], gen)
+	return wire.WriteFrame(c.bw, wire.TPromoted, c.out)
+}
+
+// rollback forces a rollback to the previous generation on this
+// connection's oracle.
+func (c *conn) rollback(tenant string) error {
+	ct, perr := c.tenantOf(tenant)
+	if perr != nil {
+		return perr
+	}
+	gen, err := ct.oracle.Rollback()
+	if err != nil {
+		return &protoErr{code: wire.CodeLifecycle, msg: err.Error()}
+	}
+	c.out = wire.AppendRolledBack(c.out[:0], gen)
+	return wire.WriteFrame(c.bw, wire.TRolledBack, c.out)
+}
+
+// modelStateToWire maps a core lifecycle state string to its wire value.
+func modelStateToWire(state string) uint8 {
+	switch state {
+	case "learning":
+		return wire.ModelLearning
+	case "watching":
+		return wire.ModelWatching
+	default:
+		return wire.ModelFrozen
+	}
 }
 
 // health answers a Health request for one tenant ("" = whole server).

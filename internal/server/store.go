@@ -175,6 +175,8 @@ func foldHealth(hi *wire.HealthInfo, h pythia.Health) {
 	hi.BudgetBreaches += h.BudgetBreaches
 	hi.QuarantinedThreads += h.QuarantinedThreads
 	hi.CheckpointFailures += h.CheckpointFailures
+	hi.Promotions += h.Promotions
+	hi.Rollbacks += h.Rollbacks
 	st := stateToWire(h.State)
 	if worseState(st, hi.State) {
 		hi.State = st
@@ -263,6 +265,8 @@ func (s *store) serverHealth() wire.HealthInfo {
 			hi.BudgetBreaches += th.BudgetBreaches
 			hi.QuarantinedThreads += th.QuarantinedThreads
 			hi.CheckpointFailures += th.CheckpointFailures
+			hi.Promotions += th.Promotions
+			hi.Rollbacks += th.Rollbacks
 			if worseState(th.State, hi.State) {
 				hi.State = th.State
 			}

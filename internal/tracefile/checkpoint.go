@@ -1,7 +1,7 @@
 // Checkpoint journal: crash-safe incremental persistence for PYTHIA-RECORD.
 //
 // A recording process periodically serialises its in-progress trace set as a
-// new *generation* — a complete, self-contained v3 trace file named
+// new *generation* — a complete, self-contained trace file named
 // trace.ckpt.<N> inside a journal directory — through the same atomic
 // fsync'd Save path as a final trace. Generations are strictly increasing;
 // after a successful write the journal prunes all but the last Keep
@@ -85,10 +85,17 @@ func (j *Journal) GenPath(gen uint64) string {
 // prunes generations beyond the keep window. The generation number is
 // consumed only on success, so a failed write is retried under the same
 // number and can never leave a gap that recovery would misread as data
-// loss. ts.Provenance is overwritten with the generation written.
+// loss. ts.Provenance.Generation is set to the generation written (and the
+// Salvaged mark cleared — this is a fresh write, not a recovery); lineage
+// fields the caller stamped (Kind, Parent, UnixNanos) are preserved, which
+// is how the online-learning lifecycle journals promotions and rollbacks.
 func (j *Journal) WriteGeneration(ts *model.TraceSet) (uint64, error) {
 	gen := j.next
-	ts.Provenance = &model.Provenance{Generation: gen}
+	if ts.Provenance == nil {
+		ts.Provenance = &model.Provenance{}
+	}
+	ts.Provenance.Generation = gen
+	ts.Provenance.Salvaged = false
 	path := j.GenPath(gen)
 	if err := Save(path, ts); err != nil {
 		return 0, fmt.Errorf("tracefile: writing checkpoint generation %d: %w", gen, err)

@@ -1,11 +1,14 @@
 package tracefile
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/model"
 )
 
 func TestJournalWritesAndRotates(t *testing.T) {
@@ -323,5 +326,75 @@ func TestProvenanceRoundTrip(t *testing.T) {
 	}
 	if got.Provenance == nil || got.Provenance.Generation != gen || got.Provenance.Salvaged {
 		t.Fatalf("loaded provenance %+v, want generation %d, not salvaged", got.Provenance, gen)
+	}
+}
+
+func TestLineageRoundTrip(t *testing.T) {
+	ts := makeTraceSet(t)
+	ts.Provenance = &model.Provenance{
+		Generation: 9,
+		Kind:       model.ProvPromotion,
+		Parent:     7,
+		UnixNanos:  1234567890,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := got.Provenance
+	if p == nil || p.Generation != 9 || p.Kind != model.ProvPromotion || p.Parent != 7 || p.UnixNanos != 1234567890 {
+		t.Fatalf("lineage did not round-trip: %+v", p)
+	}
+
+	// A plain checkpoint with no lineage stays lineage-free after a round
+	// trip — the block is only emitted when there is something to say.
+	ts.Provenance = &model.Provenance{Generation: 3}
+	buf.Reset()
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	p = got.Provenance
+	if p == nil || p.Generation != 3 || p.Kind != model.ProvCheckpoint || p.Parent != 0 || p.UnixNanos != 0 {
+		t.Fatalf("plain checkpoint provenance mutated by round trip: %+v", p)
+	}
+}
+
+func TestWriteGenerationMergesLineage(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := makeTraceSet(t)
+	// Caller stamps the lineage; the journal owns the generation number and
+	// the salvage flag.
+	ts.Provenance = &model.Provenance{
+		Generation: 999, // overwritten by the journal
+		Salvaged:   true,
+		Kind:       model.ProvRollback,
+		Parent:     4,
+		UnixNanos:  42,
+	}
+	gen, err := j.WriteGeneration(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(j.GenPath(gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := got.Provenance
+	if p.Generation != gen || p.Salvaged {
+		t.Fatalf("journal did not own generation/salvage: %+v", p)
+	}
+	if p.Kind != model.ProvRollback || p.Parent != 4 || p.UnixNanos != 42 {
+		t.Fatalf("journal did not preserve caller lineage: %+v", p)
 	}
 }

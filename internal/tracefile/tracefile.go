@@ -26,10 +26,14 @@
 //	  where stat = (count, sum zig-zag, min zig-zag, max zig-zag)
 //	provenanceFlag (version >= 3, 0/1); if 1:
 //	  generation uvarint
-//	  provFlags  uvarint (bit 0: salvaged by recovery)
+//	  provFlags  uvarint (bit 0: salvaged by recovery; bit 1: lineage follows)
+//	  if lineage (version >= 4):
+//	    kind      uvarint (checkpoint/promotion/rollback)
+//	    parent    uvarint (generation this one descends from)
+//	    unixNanos svarint (mint time, 0 when unrecorded)
 //
-// Version 1 files (no per-thread flags) and version 2 files (no provenance
-// record) remain readable.
+// Version 1 files (no per-thread flags), version 2 files (no provenance
+// record) and version 3 files (no lineage) remain readable.
 package tracefile
 
 import (
@@ -54,14 +58,19 @@ var Magic = [8]byte{'P', 'Y', 'T', 'H', 'I', 'A', '1', '\n'}
 
 // Version is the current format version. Version 2 added per-thread flags
 // (truncation marks from record-mode resource budgets); version 3 added the
-// optional provenance record (checkpoint generation and salvage mark).
-const Version = 3
+// optional provenance record (checkpoint generation and salvage mark);
+// version 4 added optional generation lineage (kind, parent, mint time) for
+// journals written by the online-learning model lifecycle.
+const Version = 4
 
 // threadFlagTruncated marks a thread trace frozen by a record budget.
 const threadFlagTruncated = 1
 
 // provFlagSalvaged marks a trace set reconstructed by Recover.
 const provFlagSalvaged = 1
+
+// provFlagLineage marks a provenance record carrying lineage fields.
+const provFlagLineage = 2
 
 // maxReasonable bounds untrusted length fields while decoding.
 const maxReasonable = 1 << 31
@@ -114,7 +123,16 @@ func Write(w io.Writer, ts *model.TraceSet) error {
 		if p.Salvaged {
 			pf |= provFlagSalvaged
 		}
+		lineage := p.Kind != model.ProvCheckpoint || p.Parent != 0 || p.UnixNanos != 0
+		if lineage {
+			pf |= provFlagLineage
+		}
 		e.uvarint(pf)
+		if lineage {
+			e.uvarint(uint64(p.Kind))
+			e.uvarint(p.Parent)
+			e.svarint(p.UnixNanos)
+		}
 	}
 	if e.err != nil {
 		return e.err
@@ -184,7 +202,13 @@ func Read(r io.Reader) (*model.TraceSet, error) {
 	if version >= 3 && d.err == nil {
 		if d.uvarint() != 0 {
 			p := &model.Provenance{Generation: d.uvarint()}
-			p.Salvaged = d.uvarint()&provFlagSalvaged != 0
+			pf := d.uvarint()
+			p.Salvaged = pf&provFlagSalvaged != 0
+			if pf&provFlagLineage != 0 {
+				p.Kind = model.ProvKind(d.uvarint())
+				p.Parent = d.uvarint()
+				p.UnixNanos = d.svarint()
+			}
 			ts.Provenance = p
 		}
 	}

@@ -59,16 +59,22 @@ func TestAtomicMixFixture(t *testing.T) {
 }
 
 // TestGoroutineLifecycleFixture seeds the leaked-goroutine class (spawned
-// loops nothing joins, signals, or annotates) and the PR 8 unjittered-
-// retry class (unbounded fixed-cadence sleep loops with no quit check).
-// good.go holds the accepted twins — bounded retries, computed backoff,
-// select-stoppable ticks — the analyzer must stay silent on.
+// loops nothing joins, signals, or annotates), the PR 9 quit-signalled-
+// but-unjoined class (stoppable loops whose exit nothing can wait for),
+// and the PR 8 unjittered-retry class (unbounded fixed-cadence sleep loops
+// with no quit check). good.go holds the accepted twins — joined
+// goroutines (including quit-signalled ones joined through a done field
+// channel a separate Drain method receives from), bounded retries,
+// computed backoff, select-stoppable ticks — the analyzer must stay silent
+// on.
 func TestGoroutineLifecycleFixture(t *testing.T) {
 	got := loadDiskFixture(t, "goroutine", GoroutineLifecycle)
 	expectAllInBadFile(t, got)
 	expectFindings(t, got, []string{
 		"[goroutine-lifecycle] goroutine is not tied to a WaitGroup",
 		"[goroutine-lifecycle] goroutine is not tied to a WaitGroup",
+		"[goroutine-lifecycle] goroutine is quit-signalled but never joined",
+		"[goroutine-lifecycle] goroutine is quit-signalled but never joined",
 		"[goroutine-lifecycle] unbounded retry loop sleeps a constant interval with no quit/ctx check",
 		"[goroutine-lifecycle] unbounded retry loop sleeps a constant interval with no quit/ctx check",
 	})

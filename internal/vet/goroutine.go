@@ -7,29 +7,43 @@ import (
 )
 
 // GoroutineLifecycle requires every `go` statement in library packages to
-// be tied to a lifecycle mechanism the spawner can observe:
+// be *joined*: the spawner (or a drain path of the same type) must be able
+// to wait for the goroutine to exit, via
 //
 //   - a sync.WaitGroup: the goroutine calls Done and the spawning function
-//     calls Add;
-//   - a quit/stop signal: the goroutine receives from a channel (directly,
-//     in a select, or by ranging over its work channel);
-//   - a join channel: the goroutine closes or sends on a channel that the
-//     spawning function receives from (the drain handshake pattern).
+//     (or the body itself) calls Add; or
+//   - a join channel: the goroutine closes or sends on a channel that is
+//     received from — by the spawning function (the inline drain handshake)
+//     or, for a channel stored in a named type's field, by any function in
+//     the package (the Close/drain method pattern: `stop`/`done` fields
+//     signalled in run and received in close).
 //
-// Anything else is an untracked goroutine — the bug class behind the PR 5
-// drain leak, where a connection goroutine outlived Close because nothing
-// joined it. When the callee is a named function its body is resolved
-// through the call graph and checked the same way; a goroutine whose body
-// cannot be seen statically (a function value) is flagged.
+// A goroutine that merely *receives* a quit/stop signal (a select on a
+// quit channel, ranging over its work channel) can be told to stop but
+// nobody can tell when it has: Close returns while the goroutine still
+// runs — the bug class behind the PR 9 lifecycle review, where a
+// quit-signalled manager goroutine outlived its session's drain. Such
+// goroutines are flagged with a join-specific message. Untracked
+// goroutines (no signal, no join) remain the PR 5 drain-leak class. When
+// the callee is a named function its body is resolved through the call
+// graph and checked the same way; a goroutine whose body cannot be seen
+// statically (a function value) is flagged.
 //
 // Deliberately detached goroutines carry a "pythia:detached" annotation —
 // on the line above the `go` statement or in the enclosing function's doc
 // comment — with a justification.
 var GoroutineLifecycle = &Analyzer{
 	Name: "goroutine-lifecycle",
-	Doc:  "library goroutines must be joined, signalled, or annotated pythia:detached",
+	Doc:  "library goroutines must be joined on drain (and may be quit-signalled), or annotated pythia:detached",
 	Run:  runGoroutineLifecycle,
 }
+
+// tie levels, weakest first: untracked, stoppable-but-unjoined, joined.
+const (
+	tieNone = iota
+	tieSignalled
+	tieJoined
+)
 
 func runGoroutineLifecycle(pass *Pass) {
 	if !isLibraryPackage(pass.Pkg.Path) {
@@ -49,11 +63,18 @@ func runGoroutineLifecycle(pass *Pass) {
 				if !ok {
 					return true
 				}
-				if detachedAt(pass.Pkg, file, gs) || goroutineTied(pass, fd, gs) {
+				if detachedAt(pass.Pkg, file, gs) {
 					return true
 				}
-				pass.Reportf(gs.Pos(),
-					"goroutine is not tied to a WaitGroup, a quit/stop channel, or a join channel the spawner waits on (annotate pythia:detached with a justification if the leak is deliberate)")
+				switch goroutineTie(pass, fd, gs) {
+				case tieJoined:
+				case tieSignalled:
+					pass.Reportf(gs.Pos(),
+						"goroutine is quit-signalled but never joined: nothing waits for it to exit, so a drain can return while it still runs (close or send on a done channel a drain path receives from, or tie it to a WaitGroup; annotate pythia:detached if the leak is deliberate)")
+				default:
+					pass.Reportf(gs.Pos(),
+						"goroutine is not tied to a WaitGroup, a quit/stop channel, or a join channel the spawner waits on (annotate pythia:detached with a justification if the leak is deliberate)")
+				}
 				return true
 			})
 			checkRetryLoops(pass, fd)
@@ -129,9 +150,10 @@ func detachedAt(pkg *Package, file *ast.File, gs *ast.GoStmt) bool {
 	return false
 }
 
-// goroutineTied reports whether the goroutine spawned by gs is tied to a
-// lifecycle mechanism visible from fd.
-func goroutineTied(pass *Pass, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+// goroutineTie classifies the lifecycle tie of the goroutine spawned by
+// gs: joined (exit observable), signalled only (stoppable but nothing
+// waits for the exit), or untracked.
+func goroutineTie(pass *Pass, fd *ast.FuncDecl, gs *ast.GoStmt) int {
 	var body *ast.BlockStmt
 	bodyPkg := pass.Pkg
 	switch fun := ast.Unparen(gs.Call.Fun).(type) {
@@ -147,16 +169,19 @@ func goroutineTied(pass *Pass, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
 		}
 	}
 	if body == nil {
-		return false // body invisible: require the annotation
-	}
-	if receivesFromChannel(bodyPkg, body) {
-		return true
+		return tieNone // body invisible: require the annotation
 	}
 	if callsWaitGroupDone(bodyPkg, body) &&
 		(callsWaitGroupAdd(pass.Pkg, fd.Body) || callsWaitGroupAdd(bodyPkg, body)) {
-		return true
+		return tieJoined
 	}
-	return signalsEnclosing(pass, bodyPkg, body, fd, gs)
+	if signalsJoin(pass, bodyPkg, body, fd, gs) {
+		return tieJoined
+	}
+	if receivesFromChannel(bodyPkg, body) {
+		return tieSignalled
+	}
+	return tieNone
 }
 
 // receivesFromChannel reports a channel receive anywhere in body: a <-ch
@@ -221,19 +246,29 @@ func isWaitGroup(t types.Type) bool {
 		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
 }
 
-// signalsEnclosing reports that the goroutine closes or sends on a channel
-// the enclosing function receives from — the join-handshake pattern
-// (`done := make(chan ...); go func() { ...; close(done) }(); <-done`).
-func signalsEnclosing(pass *Pass, bodyPkg *Package, body *ast.BlockStmt, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+// signalsJoin reports that the goroutine closes or sends on a channel
+// somebody waits on: the enclosing function (the inline join-handshake
+// pattern, `done := make(chan ...); go func() { ...; close(done) }();
+// <-done`) or — when the channel is a field of a named type — any function
+// in the spawning or body package (the Close/drain method pattern, where
+// run closes l.done and close receives from it).
+func signalsJoin(pass *Pass, bodyPkg *Package, body *ast.BlockStmt, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
 	signalled := make(map[string]bool)
+	fields := make(map[string]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SendStmt:
 			signalled[exprString(bodyPkg, n.Chan)] = true
+			if k := fieldChanKey(bodyPkg, n.Chan); k != "" {
+				fields[k] = true
+			}
 		case *ast.CallExpr:
 			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
 				if _, builtin := bodyPkg.Info.Uses[id].(*types.Builtin); builtin {
 					signalled[exprString(bodyPkg, n.Args[0])] = true
+					if k := fieldChanKey(bodyPkg, n.Args[0]); k != "" {
+						fields[k] = true
+					}
 				}
 			}
 		}
@@ -261,5 +296,69 @@ func signalsEnclosing(pass *Pass, bodyPkg *Package, body *ast.BlockStmt, fd *ast
 		}
 		return !tied
 	})
-	return tied
+	if tied || len(fields) == 0 {
+		return tied
+	}
+	// The drain path for a field channel may live anywhere in the package
+	// (typically a Close/close method); the goroutine's own body does not
+	// count as its joiner.
+	if packageReceivesField(pass.Pkg, fields, body) {
+		return true
+	}
+	return bodyPkg != pass.Pkg && packageReceivesField(bodyPkg, fields, body)
+}
+
+// fieldChanKey returns a stable "pkg.Type.field" key when expr selects a
+// channel field of a named type (through a pointer or not); "" otherwise.
+func fieldChanKey(pkg *Package, expr ast.Expr) string {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	t := pkg.Info.Types[sel.X].Type
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Sel.Name
+}
+
+// packageReceivesField reports a receive (or channel range) over any of
+// the field-channel keys anywhere in pkg, outside the goroutine body
+// itself.
+func packageReceivesField(pkg *Package, fields map[string]bool, body *ast.BlockStmt) bool {
+	found := false
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if n != nil && n.Pos() >= body.Pos() && n.End() <= body.End() {
+				return false // inside the goroutine body: not a joiner
+			}
+			switch n := n.(type) {
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && fields[fieldChanKey(pkg, n.X)] {
+					found = true
+				}
+			case *ast.RangeStmt:
+				if t := pkg.Info.Types[n.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok && fields[fieldChanKey(pkg, n.X)] {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
 }

@@ -1,7 +1,9 @@
 // Package fixture seeds the goroutine-lifecycle bug class from the PR 5
 // review: a connection goroutine that outlives Close because nothing joins
-// or signals it. bad.go carries the seeded bugs; good.go is the corrected
-// twin the analyzer must stay silent on.
+// or signals it — plus the PR 9 variant, a quit-signalled goroutine that
+// nothing joins, so a drain can return while it still runs. bad.go carries
+// the seeded bugs; good.go is the corrected twin the analyzer must stay
+// silent on.
 package fixture
 
 import "time"
@@ -9,7 +11,8 @@ import "time"
 // Poller leaks its background loop: no WaitGroup, no quit channel, no
 // join handshake — once started, nothing can stop or observe it.
 type Poller struct {
-	n int
+	n    int
+	quit chan struct{}
 }
 
 // Start spawns the untracked loop — the seeded leak, through a named
@@ -31,6 +34,40 @@ func (p *Poller) StartInline() {
 			p.n++
 		}
 	}()
+}
+
+// StartStoppable is the PR 9 class: the goroutine can be told to stop
+// (it selects on the quit channel) but nobody can wait for it to exit —
+// a drain that closes quit returns while the loop may still be running
+// its last iteration.
+func (p *Poller) StartStoppable() {
+	go func() { // seeded bug: quit-signalled but never joined
+		for {
+			select {
+			case <-p.quit:
+				return
+			default:
+				p.n++
+			}
+		}
+	}()
+}
+
+// StartStoppableNamed is the same unjoined-stop bug through a named
+// callee resolved via the call graph.
+func (p *Poller) StartStoppableNamed() {
+	go p.stoppableLoop() // seeded bug: quit-signalled but never joined
+}
+
+func (p *Poller) stoppableLoop() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		default:
+			p.n++
+		}
+	}
 }
 
 // WaitReady is the unjittered-retry class from the PR 8 review: an

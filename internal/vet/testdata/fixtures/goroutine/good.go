@@ -6,12 +6,16 @@ import (
 )
 
 // Worker shows the accepted lifecycle shapes; the analyzer must stay
-// silent on every one of them.
+// silent on every one of them. Since the PR 9 tightening, a quit signal
+// alone is not enough — every background goroutine must also be joined
+// on drain (a WaitGroup or a done channel some drain path receives from).
 type Worker struct {
-	wg   sync.WaitGroup
-	quit chan struct{}
-	work chan int
-	n    int
+	wg     sync.WaitGroup
+	quit   chan struct{}
+	work   chan int
+	done   chan struct{}
+	ranged chan struct{}
+	n      int
 }
 
 // RunJoined ties the goroutine to a WaitGroup.
@@ -24,9 +28,13 @@ func (w *Worker) RunJoined() {
 	w.wg.Wait()
 }
 
-// RunSignalled ties the goroutine to a quit channel select.
+// RunSignalled is quit-signalled AND joined: the loop selects on the quit
+// channel, and closes the done field channel on exit; Drain — a separate
+// method, the Close pattern — receives from it, so the spawner can wait
+// for the loop to actually be gone.
 func (w *Worker) RunSignalled() {
 	go func() {
+		defer close(w.done)
 		for {
 			select {
 			case <-w.quit:
@@ -38,19 +46,31 @@ func (w *Worker) RunSignalled() {
 	}()
 }
 
-// RunRange ties the goroutine to its work channel: closing the channel
-// stops it.
+// RunRange ties the goroutine to its work channel (closing the channel
+// stops it) and joins it through the ranged field channel the drain path
+// receives from.
 func (w *Worker) RunRange() {
-	go consume(w.work)
+	go w.consume()
 }
 
-func consume(ch chan int) {
-	for range ch {
+func (w *Worker) consume() {
+	defer close(w.ranged)
+	for range w.work {
 	}
 }
 
+// Drain is the join side of RunSignalled and RunRange: close(w.quit) and
+// close(w.work) tell the goroutines to stop; the receives wait until they
+// have.
+func (w *Worker) Drain() {
+	close(w.quit)
+	close(w.work)
+	<-w.done
+	<-w.ranged
+}
+
 // RunHandshake joins through a done channel the spawner receives from —
-// the server drain pattern.
+// the inline drain pattern.
 func (w *Worker) RunHandshake() {
 	done := make(chan struct{})
 	go func() {

@@ -88,6 +88,12 @@ const (
 	THeartbeat       Type = 26 // c->s: empty keepalive probe
 	THeartbeatAck    Type = 27 // s->c: empty keepalive answer
 	TDetach          Type = 28 // c->s (one-way): forget the resume token; close is final
+	TModelInfo       Type = 29 // c->s: tenant
+	TModelInfoR      Type = 30 // s->c: lifecycle state, serving generation, counters
+	TPromote         Type = 31 // c->s: tenant (force-promote the shadow model)
+	TPromoted        Type = 32 // s->c: minted generation
+	TRollback        Type = 33 // c->s: tenant (force-rollback to the previous generation)
+	TRolledBack      Type = 34 // s->c: minted generation
 )
 
 // String names the frame type.
@@ -149,6 +155,18 @@ func (t Type) String() string {
 		return "HeartbeatAck"
 	case TDetach:
 		return "Detach"
+	case TModelInfo:
+		return "ModelInfo"
+	case TModelInfoR:
+		return "ModelInfoR"
+	case TPromote:
+		return "Promote"
+	case TPromoted:
+		return "Promoted"
+	case TRollback:
+		return "Rollback"
+	case TRolledBack:
+		return "RolledBack"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -184,6 +202,10 @@ const (
 	// CodeNoResume answers a TResume whose token is unknown or expired.
 	// Non-fatal: the client re-opens its sessions fresh on this connection.
 	CodeNoResume Code = 12
+	// CodeLifecycle refuses a model-lifecycle request: learning is not
+	// enabled for the tenant, there is no shadow candidate to promote yet,
+	// or no previous generation to roll back to. Non-fatal.
+	CodeLifecycle Code = 13
 )
 
 // String names the error code.
@@ -213,6 +235,8 @@ func (c Code) String() string {
 		return "retry later"
 	case CodeNoResume:
 		return "no resumable state"
+	case CodeLifecycle:
+		return "lifecycle refused"
 	default:
 		return fmt.Sprintf("Code(%d)", uint16(c))
 	}
@@ -472,6 +496,8 @@ type HealthInfo struct {
 	BudgetBreaches     int64
 	QuarantinedThreads int64
 	CheckpointFailures int64
+	Promotions         int64
+	Rollbacks          int64
 	Cause              string
 }
 
@@ -483,6 +509,8 @@ func AppendHealthInfo(buf []byte, hi HealthInfo) []byte {
 	buf = appendU64(buf, uint64(hi.BudgetBreaches))
 	buf = appendU64(buf, uint64(hi.QuarantinedThreads))
 	buf = appendU64(buf, uint64(hi.CheckpointFailures))
+	buf = appendU64(buf, uint64(hi.Promotions))
+	buf = appendU64(buf, uint64(hi.Rollbacks))
 	return appendString(buf, hi.Cause)
 }
 
@@ -772,6 +800,8 @@ func ParseHealthInfo(p []byte) (HealthInfo, error) {
 	hi.BudgetBreaches = int64(c.u64())
 	hi.QuarantinedThreads = int64(c.u64())
 	hi.CheckpointFailures = int64(c.u64())
+	hi.Promotions = int64(c.u64())
+	hi.Rollbacks = int64(c.u64())
 	hi.Cause = c.str()
 	if !c.done() {
 		return HealthInfo{}, malformed("HealthInfo")
@@ -1093,4 +1123,137 @@ func ParseDetach(p []byte) error {
 		return malformed("Detach")
 	}
 	return nil
+}
+
+// Model lifecycle states on the wire (ModelInfoR.State).
+const (
+	ModelFrozen   uint8 = 0
+	ModelLearning uint8 = 1
+	ModelWatching uint8 = 2
+)
+
+// ModelInfo is the decoded form of a TModelInfoR payload: one tenant's
+// model-lifecycle snapshot.
+type ModelInfo struct {
+	// Enabled reports whether the tenant's oracle learns online.
+	Enabled bool
+	// State is ModelFrozen, ModelLearning or ModelWatching.
+	State uint8
+	// ServingGeneration is the generation number of the serving model.
+	ServingGeneration uint64
+	// Promotions, Rollbacks and ShadowEpochs are the lifetime counters.
+	Promotions   uint64
+	Rollbacks    uint64
+	ShadowEpochs uint64
+	// Retained lists the generation numbers held in memory, serving first.
+	Retained []uint64
+}
+
+// AppendModelInfo encodes a ModelInfo request payload.
+func AppendModelInfo(buf []byte, tenant string) []byte { return appendString(buf, tenant) }
+
+// ParseModelInfo decodes a TModelInfo payload.
+func ParseModelInfo(p []byte) (tenant string, err error) {
+	c := newCursor(p)
+	tenant = c.str()
+	if !c.done() {
+		return "", malformed("ModelInfo")
+	}
+	return tenant, nil
+}
+
+// AppendModelInfoR encodes a ModelInfoR response payload.
+func AppendModelInfoR(buf []byte, mi ModelInfo) []byte {
+	enabled := byte(0)
+	if mi.Enabled {
+		enabled = 1
+	}
+	buf = append(buf, enabled, mi.State)
+	buf = appendU64(buf, mi.ServingGeneration)
+	buf = appendU64(buf, mi.Promotions)
+	buf = appendU64(buf, mi.Rollbacks)
+	buf = appendU64(buf, mi.ShadowEpochs)
+	buf = appendU16(buf, uint16(len(mi.Retained)))
+	for _, g := range mi.Retained {
+		buf = appendU64(buf, g)
+	}
+	return buf
+}
+
+// ParseModelInfoR decodes a TModelInfoR payload.
+func ParseModelInfoR(p []byte) (ModelInfo, error) {
+	c := newCursor(p)
+	var mi ModelInfo
+	mi.Enabled = c.u8() != 0
+	mi.State = c.u8()
+	mi.ServingGeneration = c.u64()
+	mi.Promotions = c.u64()
+	mi.Rollbacks = c.u64()
+	mi.ShadowEpochs = c.u64()
+	n := int(c.u16())
+	if !c.ok || len(p)-c.off < n*8 {
+		return ModelInfo{}, malformed("ModelInfoR")
+	}
+	if n > 0 {
+		mi.Retained = make([]uint64, n)
+		for i := range mi.Retained {
+			mi.Retained[i] = c.u64()
+		}
+	}
+	if !c.done() {
+		return ModelInfo{}, malformed("ModelInfoR")
+	}
+	return mi, nil
+}
+
+// AppendPromote encodes a Promote request payload.
+func AppendPromote(buf []byte, tenant string) []byte { return appendString(buf, tenant) }
+
+// ParsePromote decodes a TPromote payload.
+func ParsePromote(p []byte) (tenant string, err error) {
+	c := newCursor(p)
+	tenant = c.str()
+	if !c.done() {
+		return "", malformed("Promote")
+	}
+	return tenant, nil
+}
+
+// AppendPromoted encodes a Promoted response payload.
+func AppendPromoted(buf []byte, gen uint64) []byte { return appendU64(buf, gen) }
+
+// ParsePromoted decodes a TPromoted payload.
+func ParsePromoted(p []byte) (gen uint64, err error) {
+	c := newCursor(p)
+	gen = c.u64()
+	if !c.done() {
+		return 0, malformed("Promoted")
+	}
+	return gen, nil
+}
+
+// AppendRollback encodes a Rollback request payload.
+func AppendRollback(buf []byte, tenant string) []byte { return appendString(buf, tenant) }
+
+// ParseRollback decodes a TRollback payload.
+func ParseRollback(p []byte) (tenant string, err error) {
+	c := newCursor(p)
+	tenant = c.str()
+	if !c.done() {
+		return "", malformed("Rollback")
+	}
+	return tenant, nil
+}
+
+// AppendRolledBack encodes a RolledBack response payload.
+func AppendRolledBack(buf []byte, gen uint64) []byte { return appendU64(buf, gen) }
+
+// ParseRolledBack decodes a TRolledBack payload.
+func ParseRolledBack(p []byte) (gen uint64, err error) {
+	c := newCursor(p)
+	gen = c.u64()
+	if !c.done() {
+		return 0, malformed("RolledBack")
+	}
+	return gen, nil
 }

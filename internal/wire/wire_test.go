@@ -240,7 +240,8 @@ func TestHealthRoundTrip(t *testing.T) {
 	}
 	want := HealthInfo{
 		State: StateDegraded, Oracles: 3, PanicsContained: 2, BudgetBreaches: 1,
-		QuarantinedThreads: 4, CheckpointFailures: 5, Cause: "watchdog: thread 2 diverged",
+		QuarantinedThreads: 4, CheckpointFailures: 5, Promotions: 6, Rollbacks: 7,
+		Cause: "watchdog: thread 2 diverged",
 	}
 	got, err := ParseHealthInfo(AppendHealthInfo(nil, want))
 	if err != nil {
@@ -329,6 +330,49 @@ func TestResumeRoundTrips(t *testing.T) {
 	}
 }
 
+func TestModelLifecycleRoundTrips(t *testing.T) {
+	tenant, err := ParseModelInfo(AppendModelInfo(nil, "cg"))
+	if err != nil || tenant != "cg" {
+		t.Fatalf("ParseModelInfo = %q, %v", tenant, err)
+	}
+	want := ModelInfo{
+		Enabled: true, State: ModelWatching, ServingGeneration: 7,
+		Promotions: 3, Rollbacks: 1, ShadowEpochs: 42, Retained: []uint64{7, 5},
+	}
+	got, err := ParseModelInfoR(AppendModelInfoR(nil, want))
+	if err != nil {
+		t.Fatalf("ParseModelInfoR: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("model info round trip: got %+v want %+v", got, want)
+	}
+	// No retained generations encodes and decodes cleanly too.
+	got, err = ParseModelInfoR(AppendModelInfoR(nil, ModelInfo{}))
+	if err != nil || got.Enabled || got.State != ModelFrozen || len(got.Retained) != 0 {
+		t.Fatalf("empty model info round trip: %+v, %v", got, err)
+	}
+	for _, tc := range []struct {
+		enc func([]byte, string) []byte
+		dec func([]byte) (string, error)
+	}{
+		{AppendPromote, ParsePromote},
+		{AppendRollback, ParseRollback},
+	} {
+		tenant, err := tc.dec(tc.enc(nil, "cg"))
+		if err != nil || tenant != "cg" {
+			t.Fatalf("promote/rollback tenant round trip = %q, %v", tenant, err)
+		}
+	}
+	gen, err := ParsePromoted(AppendPromoted(nil, 9))
+	if err != nil || gen != 9 {
+		t.Fatalf("ParsePromoted = %d, %v", gen, err)
+	}
+	gen, err = ParseRolledBack(AppendRolledBack(nil, 10))
+	if err != nil || gen != 10 {
+		t.Fatalf("ParseRolledBack = %d, %v", gen, err)
+	}
+}
+
 func TestShmRoundTrips(t *testing.T) {
 	ss := ShmSetup{Rings: 8, Slots: 4096, PredCap: 64, SegSize: 3 << 20, Path: "/dev/shm/pythia-shm-42"}
 	got, err := ParseShmSetup(AppendShmSetup(nil, ss))
@@ -388,6 +432,12 @@ func TestTrailingBytesAreMalformed(t *testing.T) {
 		func(p []byte) error { return ParseHeartbeat(p) },
 		func(p []byte) error { return ParseHeartbeatAck(p) },
 		func(p []byte) error { return ParseDetach(p) },
+		func(p []byte) error { _, err := ParseModelInfo(p); return err },
+		func(p []byte) error { _, err := ParseModelInfoR(p); return err },
+		func(p []byte) error { _, err := ParsePromote(p); return err },
+		func(p []byte) error { _, err := ParsePromoted(p); return err },
+		func(p []byte) error { _, err := ParseRollback(p); return err },
+		func(p []byte) error { _, err := ParseRolledBack(p); return err },
 	}
 	bodies := [][]byte{
 		AppendHello(nil, HelloFlagResume),
@@ -418,6 +468,12 @@ func TestTrailingBytesAreMalformed(t *testing.T) {
 		nil, // Heartbeat
 		nil, // HeartbeatAck
 		nil, // Detach
+		AppendModelInfo(nil, "x"),
+		AppendModelInfoR(nil, ModelInfo{Enabled: true, State: ModelLearning, Retained: []uint64{2, 1}}),
+		AppendPromote(nil, "x"),
+		AppendPromoted(nil, 1),
+		AppendRollback(nil, "x"),
+		AppendRolledBack(nil, 1),
 	}
 	for i, check := range checks {
 		if err := check(append(bodies[i], 0)); err == nil {

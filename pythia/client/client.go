@@ -725,6 +725,8 @@ func (o *Oracle) Health() pythia.Health {
 	h.BudgetBreaches = hi.BudgetBreaches
 	h.QuarantinedThreads = hi.QuarantinedThreads
 	h.CheckpointFailures = hi.CheckpointFailures
+	h.Promotions = hi.Promotions
+	h.Rollbacks = hi.Rollbacks
 	o.mu.Lock()
 	openErr := o.openErr
 	o.mu.Unlock()
@@ -733,6 +735,81 @@ func (o *Oracle) Health() pythia.Health {
 		h.Cause = "client: " + openErr.Error()
 	}
 	return h
+}
+
+// ModelInfo queries the server for this tenant's model-lifecycle snapshot
+// (the per-connection oracle serving this client): lifecycle state, serving
+// generation, promotion/rollback/epoch counters. Pending submissions are
+// flushed first so the counters reflect everything submitted so far.
+func (o *Oracle) ModelInfo() (pythia.ModelInfo, error) {
+	o.flushAll()
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = wire.AppendModelInfo(c.out[:0], o.tenant)
+	resp, err := c.roundTrip(wire.TModelInfo, c.out, wire.TModelInfoR)
+	if err != nil {
+		return pythia.ModelInfo{}, err
+	}
+	wmi, err := wire.ParseModelInfoR(resp)
+	if err != nil {
+		return pythia.ModelInfo{}, c.fail(err)
+	}
+	mi := pythia.ModelInfo{
+		Enabled:           wmi.Enabled,
+		ServingGeneration: wmi.ServingGeneration,
+		Promotions:        wmi.Promotions,
+		Rollbacks:         wmi.Rollbacks,
+		ShadowEpochs:      wmi.ShadowEpochs,
+		Retained:          wmi.Retained,
+	}
+	switch wmi.State {
+	case wire.ModelLearning:
+		mi.State = "learning"
+	case wire.ModelWatching:
+		mi.State = "watching"
+	default:
+		mi.State = "frozen"
+	}
+	return mi, nil
+}
+
+// Promote forces a promotion of this tenant's shadow model on the server.
+// A refusal (learning disabled, no shadow candidate yet) comes back as a
+// *RemoteError with CodeLifecycle; the connection stays usable.
+func (o *Oracle) Promote() (uint64, error) {
+	o.flushAll()
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = wire.AppendPromote(c.out[:0], o.tenant)
+	resp, err := c.roundTrip(wire.TPromote, c.out, wire.TPromoted)
+	if err != nil {
+		return 0, err
+	}
+	gen, err := wire.ParsePromoted(resp)
+	if err != nil {
+		return 0, c.fail(err)
+	}
+	return gen, nil
+}
+
+// Rollback forces a rollback to the previous generation on the server.
+func (o *Oracle) Rollback() (uint64, error) {
+	o.flushAll()
+	c := o.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = wire.AppendRollback(c.out[:0], o.tenant)
+	resp, err := c.roundTrip(wire.TRollback, c.out, wire.TRolledBack)
+	if err != nil {
+		return 0, err
+	}
+	gen, err := wire.ParseRolledBack(resp)
+	if err != nil {
+		return 0, c.fail(err)
+	}
+	return gen, nil
 }
 
 // stateFromWire maps a wire degradation state back onto the library's.

@@ -119,9 +119,58 @@ type CheckpointConfig = core.CheckpointPolicy
 func WithCheckpoint(cfg CheckpointConfig) RecordOption { return core.WithCheckpoint(cfg) }
 
 // Provenance records where a trace set came from when it was not produced by
-// a clean end-of-run Finish: the checkpoint generation it was written as,
-// and whether it was salvaged by crash recovery.
+// a clean end-of-run Finish: the checkpoint generation it was written as
+// (with lineage when the online-learning lifecycle minted it), and whether
+// it was salvaged by crash recovery.
 type Provenance = model.Provenance
+
+// ProvKind says how a journaled generation was minted; see Provenance.
+type ProvKind = model.ProvKind
+
+// Generation mint kinds: a plain (seed or record-mode) checkpoint, a
+// shadow-model promotion, a post-promotion rollback.
+const (
+	ProvCheckpoint = model.ProvCheckpoint
+	ProvPromotion  = model.ProvPromotion
+	ProvRollback   = model.ProvRollback
+)
+
+// LearnPolicy configures the guarded model lifecycle of an online-learning
+// oracle: the scoring epoch, the promotion hysteresis and margin, the
+// post-promotion watch window, the rollback cooldown, and the optional
+// generation journal directory. The zero value selects defaults and keeps
+// generations in memory.
+type LearnPolicy = core.LearnPolicy
+
+// ModelInfo is a snapshot of an oracle's model lifecycle: whether learning
+// is enabled, the lifecycle state, the serving generation, and the
+// promotion/rollback/epoch counters.
+type ModelInfo = core.ModelInfo
+
+// predictConfig is assembled from PredictOptions.
+type predictConfig struct {
+	learn   *LearnPolicy
+	recOpts []RecordOption
+}
+
+// PredictOption configures a predicting oracle beyond its prediction
+// Config; today that means online learning.
+type PredictOption func(*predictConfig)
+
+// WithOnlineLearning turns a predicting oracle into an always-on one: the
+// loaded trace keeps serving predictions while every thread's live event
+// stream is re-recorded as a shadow grammar; a background manager scores
+// both models over tumbling epochs and promotes the shadow only when it
+// out-predicts the serving model with hysteresis, rolling the promotion
+// back automatically if it regresses in its watch window. RecordOptions
+// configure the shadow recorders — the same budgets and clocks a recording
+// oracle takes (WithMaxEvents, WithGrammarBudget, WithClock, ...).
+func WithOnlineLearning(pol LearnPolicy, opts ...RecordOption) PredictOption {
+	return func(c *predictConfig) {
+		c.learn = &pol
+		c.recOpts = append(c.recOpts, opts...)
+	}
+}
 
 // RecoveryReport describes what Recover did: the generation used and the
 // generations skipped, with reasons.
@@ -171,7 +220,20 @@ func NewRecordOracle(opts ...RecordOption) *Oracle {
 }
 
 // NewPredictOracle starts a predicting oracle from an in-memory trace set.
-func NewPredictOracle(ts *TraceSet, cfg Config) (*Oracle, error) {
+// With WithOnlineLearning the oracle additionally learns from the live
+// stream under the guarded model lifecycle.
+func NewPredictOracle(ts *TraceSet, cfg Config, opts ...PredictOption) (*Oracle, error) {
+	var pc predictConfig
+	for _, o := range opts {
+		o(&pc)
+	}
+	if pc.learn != nil {
+		sess, err := core.NewLearningSession(ts, cfg, *pc.learn, pc.recOpts...)
+		if err != nil {
+			return nil, err
+		}
+		return &Oracle{sess: sess}, nil
+	}
 	sess, err := core.NewPredictSession(ts, cfg)
 	if err != nil {
 		return nil, err
@@ -180,12 +242,12 @@ func NewPredictOracle(ts *TraceSet, cfg Config) (*Oracle, error) {
 }
 
 // LoadOracle starts a predicting oracle from a trace file.
-func LoadOracle(path string, cfg Config) (*Oracle, error) {
+func LoadOracle(path string, cfg Config, opts ...PredictOption) (*Oracle, error) {
 	ts, err := tracefile.Load(path)
 	if err != nil {
 		return nil, fmt.Errorf("pythia: loading trace: %w", err)
 	}
-	return NewPredictOracle(ts, cfg)
+	return NewPredictOracle(ts, cfg, opts...)
 }
 
 // Recording reports whether the oracle is in record mode.
@@ -254,6 +316,37 @@ func (o *Oracle) FinishAndSave(path string) (err error) {
 		return err
 	}
 	return tracefile.Save(path, ts)
+}
+
+// ModelInfo returns a snapshot of the oracle's model lifecycle. Oracles
+// without online learning report Enabled=false and the "frozen" state.
+func (o *Oracle) ModelInfo() (mi ModelInfo) {
+	defer o.sess.Contain("Oracle.ModelInfo")
+	return o.sess.ModelInfo()
+}
+
+// Promote forces an immediate promotion of the current shadow model,
+// returning the minted generation number (online learning only; steady
+// state promotes by score). The promoted model enters the normal watch
+// window, so a regretted forced promotion still rolls back automatically.
+func (o *Oracle) Promote() (gen uint64, err error) {
+	defer o.sess.ContainTo("Oracle.Promote", &err)
+	return o.sess.Promote()
+}
+
+// Rollback forces an immediate rollback to the previous generation,
+// returning the minted generation number (online learning only).
+func (o *Oracle) Rollback() (gen uint64, err error) {
+	defer o.sess.ContainTo("Oracle.Rollback", &err)
+	return o.sess.Rollback()
+}
+
+// Close releases the oracle's background machinery (the learning lifecycle
+// manager and the checkpointer, when present). Idempotent; oracles without
+// either need not call it.
+func (o *Oracle) Close() {
+	defer o.sess.Contain("Oracle.Close")
+	o.sess.Close()
 }
 
 // SaveTraceSet writes a trace set to a file (exposed for tools).

@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# bench-learn.sh — the online-learning benchmark matrix; writes BENCH_PR9.json.
+#
+# Two halves:
+#
+#   hotpath  — in-process per-event cost: record-mode Submit, predict-mode
+#              Observe, and Submit on an always-on learning oracle
+#              (BenchmarkSubmitLearning: serving predictor + shadow recorder
+#              fed on every event, epoch scorer concurrent). The learning
+#              Submit must stay within a few percent of the sum of the two
+#              paths it drives and must not allocate.
+#
+#   frozen / learning — drift A/B over a real daemon: pythia-loadgen -drift
+#              replays the recorded streams in phase 1 and replays them
+#              REVERSED in phase 2 (a workload phase shift), self-checking
+#              every PredictAt(1) against the next submitted event. The
+#              frozen daemon (no -learn) is quarantined by the divergence
+#              watchdog in phase 2 (phase2 accuracy ~0, zero lifecycle
+#              counters); the learning daemon's shadow grammars learn the
+#              shifted workload, the scorer promotes, and phase-2 accuracy
+#              recovers — with promotions and shadow epochs > 0.
+#
+# Usage: scripts/bench-learn.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR9.json}"
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "${daemon_pid}" ] && kill -0 "${daemon_pid}" 2>/dev/null; then
+        kill -9 "${daemon_pid}" 2>/dev/null || true
+    fi
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+echo "==> hot-path benchmarks (record / predict / learning Submit)"
+benches='BenchmarkSubmitThroughput|BenchmarkObserveThroughput|BenchmarkSubmitLearning'
+raw=$(go test -run '^$' -bench "${benches}" -benchmem -benchtime=2s . 2>&1)
+echo "${raw}"
+
+echo "${raw}" | awk -v OUT="${workdir}/hotpath.json" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op")      bop[name] = $i
+        if ($(i+1) == "allocs/op") aop[name] = $i
+    }
+}
+END {
+    order = "BenchmarkSubmitThroughput BenchmarkObserveThroughput BenchmarkSubmitLearning"
+    n = split(order, names, " ")
+    first = 1
+    printf "{\n" > OUT
+    for (i = 1; i <= n; i++) {
+        b = names[i]
+        if (!(b in ns)) continue
+        if (!first) printf ",\n" >> OUT
+        first = 0
+        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+            b, ns[b], bop[b], aop[b] >> OUT
+    }
+    printf "\n  }" >> OUT
+}
+'
+
+echo "==> building pythia-record, pythiad, pythia-loadgen"
+go build -o "${workdir}/pythia-record" ./cmd/pythia-record
+go build -o "${workdir}/pythiad" ./cmd/pythiad
+go build -o "${workdir}/pythia-loadgen" ./cmd/pythia-loadgen
+
+echo "==> recording EP.small"
+mkdir "${workdir}/traces"
+"${workdir}/pythia-record" -app EP -class small -o "${workdir}/traces/EP.pythia" >/dev/null
+
+# start_daemon [extra pythiad flags...] — starts pythiad on an ephemeral TCP
+# port and sets $addr to the bound address.
+start_daemon() {
+    : >"${workdir}/pythiad.out"
+    "${workdir}/pythiad" -listen 127.0.0.1:0 -traces "${workdir}/traces" "$@" \
+        >"${workdir}/pythiad.out" 2>"${workdir}/pythiad.err" &
+    daemon_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's|^pythiad: listening on tcp://\([^ ]*\).*|\1|p' "${workdir}/pythiad.out")
+        if [ -n "${addr}" ]; then break; fi
+        if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+            echo "bench-learn: pythiad died during startup" >&2
+            cat "${workdir}/pythiad.err" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "${addr}" ]; then
+        echo "bench-learn: pythiad never reported its address" >&2
+        exit 1
+    fi
+}
+
+stop_daemon() {
+    kill -TERM "${daemon_pid}"
+    wait "${daemon_pid}" 2>/dev/null || {
+        echo "bench-learn: pythiad exited non-zero after SIGTERM" >&2
+        cat "${workdir}/pythiad.err" >&2
+        exit 1
+    }
+    daemon_pid=""
+}
+
+# The A/B legs share one loadgen shape: 2 clients, a prediction self-check
+# every 2 events, 100 repeats (1600 phase-2 events per client — enough for
+# the 128-event scoring epochs to promote several times).
+drift_leg() {
+    "${workdir}/pythia-loadgen" -addr "${addr}" -tenant EP -app EP -class small \
+        -clients 2 -predict-every 2 -repeat 100 -drift -o "$1"
+}
+
+echo "==> drift A/B: frozen daemon (no -learn; watchdog quarantines phase 2)"
+start_daemon
+drift_leg "${workdir}/frozen.json"
+stop_daemon
+
+echo "==> drift A/B: learning daemon (-learn -learn-epoch 128)"
+start_daemon -learn -learn-epoch 128
+drift_leg "${workdir}/learning.json"
+stop_daemon
+
+# The learning leg is the headline: it must actually have promoted and
+# out-predicted the frozen leg in phase 2.
+promotions=$(sed -n 's/.*"promotions": \([0-9]*\).*/\1/p' "${workdir}/learning.json")
+if [ -z "${promotions}" ] || [ "${promotions}" -lt 1 ]; then
+    echo "bench-learn: learning leg recorded no promotions ('${promotions}')" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    printf '"hotpath": '
+    cat "${workdir}/hotpath.json"
+    echo ','
+    printf '"frozen":\n'
+    cat "${workdir}/frozen.json"
+    echo ','
+    printf '"learning":\n'
+    cat "${workdir}/learning.json"
+    echo '}'
+} >"${out}"
+
+echo "==> wrote ${out}"

@@ -12,7 +12,8 @@
 #                     and the serving path)
 #   6. fuzz smoke   — FuzzGrammarInvariants, FuzzDigramIndexDiff,
 #                     FuzzPredictNoisy, FuzzRecoverJournal, FuzzWireDecode,
-#                     FuzzRingDecode and FuzzFlowGuards briefly
+#                     FuzzRingDecode, FuzzFlowGuards and FuzzModelLifecycle
+#                     briefly
 #   7. vet fixtures — gofmt/go vet inside the analyzer fixture mini-modules
 #                     (separate modules, so ./... sweeps skip them)
 #   8. pythia-vet   — the repo's own static-analysis pass, all nine
@@ -27,10 +28,17 @@
 # It also runs the network chaos leg: the full chaosnet matrix
 # (PYTHIA_CHAOS=1 — resets, torn frames, drops, stalls over tcp/unix/shm)
 # plus the reconnect, resume, and keepalive suites, all under -race.
-# CI gates on this in its own job. With --bench, additionally runs
-# scripts/bench.sh (hot-path benchmarks, refreshing BENCH_PR2.json) and
+# CI gates on this in its own job. With --learn, additionally runs the
+# model-lifecycle suites under the race detector: the scored-promotion /
+# rollback state machine and learner (core), the lifecycle wire ops and
+# reconnect-across-promotion (server), the lineage journal round trips
+# (tracefile), and the promotion crash/SIGKILL matrix (faultinject).
+# With --bench, additionally runs
+# scripts/bench.sh (hot-path benchmarks, refreshing BENCH_PR2.json),
 # scripts/bench-transport.sh (the tcp/unix/shm serving matrix, refreshing
-# BENCH_PR7.json). With --serve, additionally runs scripts/serve-smoke.sh
+# BENCH_PR7.json) and scripts/bench-learn.sh (the learning-Submit hot path
+# plus the frozen-vs-learning drift A/B, refreshing BENCH_PR9.json).
+# With --serve, additionally runs scripts/serve-smoke.sh
 # (pythiad + pythia-loadgen end to end over every transport tier, including
 # a SIGTERM drain). Benchmarks and the serve smoke are not part of the
 # gating suite.
@@ -41,11 +49,13 @@ cd "$(dirname "$0")/.."
 run_bench=0
 run_chaos=0
 run_serve=0
+run_learn=0
 for arg in "$@"; do
     case "${arg}" in
         --bench) run_bench=1 ;;
         --chaos) run_chaos=1 ;;
         --serve) run_serve=1 ;;
+        --learn) run_learn=1 ;;
         *) echo "check.sh: unknown argument ${arg}" >&2; exit 2 ;;
     esac
 done
@@ -91,6 +101,8 @@ step "fuzz smoke (FuzzRingDecode)" \
     go test -fuzz FuzzRingDecode -fuzztime=5s -run '^$' ./internal/transport/
 step "fuzz smoke (FuzzFlowGuards)" \
     go test -fuzz FuzzFlowGuards -fuzztime=5s -run '^$' ./internal/vet/
+step "fuzz smoke (FuzzModelLifecycle)" \
+    go test -fuzz FuzzModelLifecycle -fuzztime=5s -run '^$' ./internal/core/
 
 # The analyzer fixtures under internal/vet/testdata/fixtures are separate
 # modules (so repo-wide builds and pythia-vet's own module scan never see
@@ -121,9 +133,20 @@ if [ "${run_chaos}" -eq 1 ]; then
         ./internal/server/ ./pythia/client/
 fi
 
+if [ "${run_learn}" -eq 1 ]; then
+    step "learn (lifecycle machine + learner + wire ops, -race)" \
+        go test -race -count=1 \
+        -run 'Learn|Lifecycle|Promot|Rollback|Generation|Lineage' \
+        ./internal/core/ ./internal/server/ ./internal/tracefile/ ./internal/wire/
+    step "learn (promotion crash/SIGKILL matrix, -race)" \
+        go test -race -count=1 -run 'CrashDuringPromotion|SIGKILLDuringPromotion' \
+        ./internal/faultinject/
+fi
+
 if [ "${run_bench}" -eq 1 ]; then
     step "bench (non-gating)" ./scripts/bench.sh
     step "bench transport matrix (non-gating)" ./scripts/bench-transport.sh
+    step "bench learning matrix (non-gating)" ./scripts/bench-learn.sh
 fi
 
 if [ "${run_serve}" -eq 1 ]; then

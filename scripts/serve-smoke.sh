@@ -7,7 +7,10 @@
 # the reconnect/replay machinery must absorb them), kill the daemon with
 # SIGKILL mid-service and restart it on the same unix socket path (already-
 # running clients must reconnect), then SIGTERM the daemon and require a
-# clean graceful drain that also removes the socket file.
+# clean graceful drain that also removes the socket file. A final learn leg
+# restarts the daemon with -learn and drives a drifted replay with a forced
+# promotion and a forced rollback; the loadgen report must show both
+# lifecycle transitions.
 #
 # Run directly or via `scripts/check.sh --serve`. Non-gating in CI (shared
 # runners make the daemon timing noisy) but must pass locally.
@@ -145,4 +148,45 @@ if [ -e "${sock}" ]; then
     echo "serve-smoke: socket file ${sock} survived the drain" >&2
     exit 1
 fi
+
+echo "==> learn leg: pythiad -learn, drifted replay, forced promote + rollback"
+: >"${workdir}/pythiad.out"
+"${workdir}/pythiad" -listen 127.0.0.1:0 -traces "${workdir}/traces" \
+    -learn -learn-epoch 128 \
+    >"${workdir}/pythiad.out" 2>"${workdir}/pythiad.err" &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|^pythiad: listening on tcp://\([^ ]*\).*|\1|p' "${workdir}/pythiad.out")
+    if [ -n "${addr}" ]; then break; fi
+    sleep 0.1
+done
+if [ -z "${addr}" ]; then
+    echo "serve-smoke: learning pythiad never reported its address" >&2
+    cat "${workdir}/pythiad.err" >&2
+    exit 1
+fi
+# Phase 2 replays the streams reversed; the forced promotion adopts the
+# shadow model 300 events in and the forced rollback restores the previous
+# generation 600 events later. Both must land in the lifecycle counters.
+"${workdir}/pythia-loadgen" -addr "${addr}" -tenant EP -app EP -class small \
+    -clients 2 -predict-every 2 -repeat 100 -drift \
+    -force-promote 300 -force-rollback 600 -o "${workdir}/learn-report.json"
+promotions=$(sed -n 's/.*"promotions": \([0-9]*\).*/\1/p' "${workdir}/learn-report.json")
+rollbacks=$(sed -n 's/.*"rollbacks": \([0-9]*\).*/\1/p' "${workdir}/learn-report.json")
+if [ -z "${promotions}" ] || [ "${promotions}" -lt 1 ]; then
+    echo "serve-smoke: expected >=1 promotion in the learn leg, got '${promotions}'" >&2
+    exit 1
+fi
+if [ -z "${rollbacks}" ] || [ "${rollbacks}" -lt 1 ]; then
+    echo "serve-smoke: expected >=1 rollback in the learn leg, got '${rollbacks}'" >&2
+    exit 1
+fi
+kill -TERM "${daemon_pid}"
+wait "${daemon_pid}" 2>/dev/null || {
+    echo "serve-smoke: learning pythiad exited non-zero after SIGTERM" >&2
+    cat "${workdir}/pythiad.err" >&2
+    exit 1
+}
+daemon_pid=""
 echo "serve-smoke: ok"
