@@ -170,6 +170,9 @@ func printDurability(p *printer, path string, ts *pythia.TraceSet) {
 		if pr.Salvaged {
 			src = "salvaged from a crashed recording (truncated prefix)"
 		}
+		if pr.ReplicatedFrom != "" {
+			src += ", replicated from " + pr.ReplicatedFrom
+		}
 		p.printf("provenance: checkpoint generation %d, %s\n", pr.Generation, src)
 	}
 	var truncated int
@@ -260,6 +263,9 @@ func inspectGenerations(p *printer, dir string) error {
 			}
 			if pr.UnixNanos != 0 {
 				when = ", minted " + time.Unix(0, pr.UnixNanos).UTC().Format(time.RFC3339)
+			}
+			if pr.ReplicatedFrom != "" {
+				from += ", replicated from " + pr.ReplicatedFrom
 			}
 		}
 		p.printf("  generation %d: %s%s%s: %d threads, %d events\n",

@@ -36,6 +36,15 @@
 // -force-promote N forces a promotion N phase-2 events in, and
 // -force-rollback M forces a rollback M events after that — the operator
 // override and regression paths, exercised end to end by serve-smoke.sh.
+//
+// -daemons addr1,addr2,... drives a pythiad fleet instead of a single
+// daemon: the shard map is fetched once, -tenants N spreads the clients
+// over N tenants named <tenant>-00..<tenant>-NN, and each client dials its
+// tenant's assignment (owner first, replicas as reconnect fallbacks). The
+// report gains a per-daemon breakdown — events/s, p50/p99, retry-later per
+// fleet member — which scripts/bench-cluster.sh assembles into
+// BENCH_PR10.json. Fleet mode excludes -chaos, -drift, and shm (those
+// exercise a single connection's machinery).
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,6 +89,7 @@ func (p *printer) printf(format string, args ...any) {
 
 // clientResult is one load client's contribution to the aggregate.
 type clientResult struct {
+	daemon      string // fleet mode: owner daemon this client's load lands on
 	events      int64
 	predictions int64
 	answered    int64
@@ -126,23 +137,36 @@ type driftReport struct {
 	ShadowEpochs   uint64  `json:"shadow_epochs"`
 }
 
+// daemonReport is one fleet member's share of a multi-daemon run.
+type daemonReport struct {
+	Addr         string  `json:"addr"`
+	Clients      int     `json:"clients"`
+	Events       int64   `json:"events"`
+	EventsPerS   float64 `json:"events_per_s"`
+	LatencyP50Us float64 `json:"latency_p50_us"`
+	LatencyP99Us float64 `json:"latency_p99_us"`
+	RetryLater   uint64  `json:"retry_later"`
+}
+
 // benchReport is the committed BENCH_PR5.json layout.
 type benchReport struct {
 	Config struct {
-		App          string `json:"app"`
-		Class        string `json:"class"`
-		Tenant       string `json:"tenant"`
-		Transport    string `json:"transport"`
-		Clients      int    `json:"clients"`
-		PredictEvery int    `json:"predict_every"`
-		Distance     int    `json:"distance"`
-		Seed         int64  `json:"seed"`
-		Chaos        bool   `json:"chaos,omitempty"`
-		ChaosSeed    int64  `json:"chaos_seed,omitempty"`
-		Repeat       int    `json:"repeat,omitempty"`
-		Drift        bool   `json:"drift,omitempty"`
-		ForcePromote int64  `json:"force_promote,omitempty"`
-		ForceRollbk  int64  `json:"force_rollback,omitempty"`
+		App          string   `json:"app"`
+		Class        string   `json:"class"`
+		Tenant       string   `json:"tenant"`
+		Transport    string   `json:"transport"`
+		Clients      int      `json:"clients"`
+		PredictEvery int      `json:"predict_every"`
+		Distance     int      `json:"distance"`
+		Seed         int64    `json:"seed"`
+		Chaos        bool     `json:"chaos,omitempty"`
+		ChaosSeed    int64    `json:"chaos_seed,omitempty"`
+		Repeat       int      `json:"repeat,omitempty"`
+		Drift        bool     `json:"drift,omitempty"`
+		ForcePromote int64    `json:"force_promote,omitempty"`
+		ForceRollbk  int64    `json:"force_rollback,omitempty"`
+		Daemons      []string `json:"daemons,omitempty"`
+		Tenants      int      `json:"tenants,omitempty"`
 	} `json:"config"`
 	Results struct {
 		WallS          float64 `json:"wall_s"`
@@ -159,7 +183,8 @@ type benchReport struct {
 		DroppedEvents  uint64  `json:"dropped_events"`
 		RetryLater     uint64  `json:"retry_later"`
 
-		Drift *driftReport `json:"drift,omitempty"`
+		PerDaemon []daemonReport `json:"per_daemon,omitempty"`
+		Drift     *driftReport   `json:"drift,omitempty"`
 	} `json:"results"`
 }
 
@@ -182,6 +207,8 @@ func run(args []string, stdout io.Writer) error {
 		drift        = fs.Bool("drift", false, "after the normal replay, replay the streams reversed (a workload phase shift) and self-check per-phase accuracy")
 		forceProm    = fs.Int64("force-promote", 0, "with -drift: force a promotion after N phase-2 events per client (0 = scored promotion only)")
 		forceRoll    = fs.Int64("force-rollback", 0, "with -drift: force a rollback N events after the forced promotion (0 = off)")
+		daemons      = fs.String("daemons", "", "comma-separated pythiad fleet addresses: shard-map-routed multi-daemon mode (excludes -chaos/-drift/shm)")
+		tenants      = fs.Int("tenants", 1, "with -daemons: spread clients over N tenants named <tenant>-00..")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -224,6 +251,43 @@ func run(args []string, stdout io.Writer) error {
 		// The self-check needs a synchronous PredictAt(1) round trip; the
 		// shm tier streams predictions at a fixed distance instead.
 		return fmt.Errorf("-drift requires a socket transport (tcp or unix)")
+	}
+	// In fleet mode -tenant may itself be a comma-separated list of tenant
+	// names (client i uses list[i%len]); -tenants N instead derives N names
+	// as <tenant>-00... The explicit list lets a caller hand-pick a tenant
+	// set (e.g. one the shard map spreads evenly — see bench-cluster.sh).
+	tenantList := []string{*tenant}
+	if strings.Contains(*tenant, ",") {
+		tenantList = tenantList[:0]
+		for _, t := range strings.Split(*tenant, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				tenantList = append(tenantList, t)
+			}
+		}
+		if len(tenantList) == 0 {
+			return fmt.Errorf("-tenant lists no tenant names")
+		}
+	}
+	if *daemons != "" {
+		if *chaos || *drift {
+			return fmt.Errorf("-daemons excludes -chaos and -drift")
+		}
+		if *transp == "shm" {
+			return fmt.Errorf("-daemons requires a socket transport (tcp or unix)")
+		}
+		if *tenants < 1 {
+			return fmt.Errorf("-tenants must be >= 1")
+		}
+		if *tenants > 1 && len(tenantList) > 1 {
+			return fmt.Errorf("-tenants and a -tenant list are mutually exclusive")
+		}
+	} else {
+		if *tenants != 1 {
+			return fmt.Errorf("-tenants requires -daemons")
+		}
+		if len(tenantList) > 1 {
+			return fmt.Errorf("a -tenant list requires -daemons")
+		}
 	}
 
 	// One deterministic capture, replayed read-only by every client.
@@ -271,6 +335,23 @@ func run(args []string, stdout io.Writer) error {
 		dialAddr = proxy.Addr()
 	}
 
+	// Fleet mode: fetch the shard map once and route each client's tenant
+	// to its assignment — owner first, warm replicas as reconnect
+	// fallbacks. Every client still opens its own connection so the
+	// per-daemon breakdown attributes load connection by connection.
+	var fleet *client.Fleet
+	if *daemons != "" {
+		fleet, err = client.DialFleet(*daemons, client.Config{})
+		if err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+		defer func() {
+			if cerr := fleet.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "pythia-loadgen: closing fleet:", cerr)
+			}
+		}()
+	}
+
 	results := make([]clientResult, *clients)
 	start := time.Now()
 	var wg, replayWG sync.WaitGroup
@@ -284,11 +365,22 @@ func run(args []string, stdout io.Writer) error {
 		}()
 	}
 	for ci := 0; ci < *clients; ci++ {
+		target, ct := dialAddr, *tenant
+		if fleet != nil {
+			if len(tenantList) > 1 {
+				ct = tenantList[ci%len(tenantList)]
+			} else if *tenants > 1 {
+				ct = fmt.Sprintf("%s-%02d", *tenant, ci%*tenants)
+			}
+			route := fleet.Route(ct)
+			target = strings.Join(route, ",")
+			results[ci].daemon = route[0]
+		}
 		wg.Add(1)
-		go func(res *clientResult) {
+		go func(res *clientResult, target, ct string) {
 			defer wg.Done()
-			runClient(res, dialAddr, *tenant, *transp, streams, tids, *predictEvery, *distance, *repeat, *chaos, dr, &replayWG)
-		}(&results[ci])
+			runClient(res, target, ct, *transp, streams, tids, *predictEvery, *distance, *repeat, *chaos, dr, &replayWG)
+		}(&results[ci], target, ct)
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -313,6 +405,16 @@ func run(args []string, stdout io.Writer) error {
 	rep.Config.Drift = *drift
 	rep.Config.ForcePromote = *forceProm
 	rep.Config.ForceRollbk = *forceRoll
+	if fleet != nil {
+		rep.Config.Daemons = fleet.Map().Daemons
+		if len(rep.Config.Daemons) == 0 {
+			rep.Config.Daemons = strings.Split(*daemons, ",")
+		}
+		rep.Config.Tenants = *tenants
+		if len(tenantList) > 1 {
+			rep.Config.Tenants = len(tenantList)
+		}
+	}
 
 	var all []time.Duration
 	var firstErr error
@@ -343,6 +445,34 @@ func run(args []string, stdout io.Writer) error {
 	if len(all) > 0 {
 		rep.Results.LatencyMaxUs = float64(all[len(all)-1].Nanoseconds()) / 1e3
 	}
+	if fleet != nil {
+		byDaemon := make(map[string][]*clientResult)
+		for i := range results {
+			byDaemon[results[i].daemon] = append(byDaemon[results[i].daemon], &results[i])
+		}
+		addrs := make([]string, 0, len(byDaemon))
+		for a := range byDaemon {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		for _, a := range addrs {
+			d := daemonReport{Addr: a}
+			var lats []time.Duration
+			for _, r := range byDaemon[a] {
+				d.Clients++
+				d.Events += r.events
+				d.RetryLater += r.stats.RetryLater
+				lats = append(lats, r.latencies...)
+			}
+			if wall > 0 {
+				d.EventsPerS = float64(d.Events) / wall.Seconds()
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			d.LatencyP50Us = quantileUs(lats, 0.50)
+			d.LatencyP99Us = quantileUs(lats, 0.99)
+			rep.Results.PerDaemon = append(rep.Results.PerDaemon, d)
+		}
+	}
 	if *drift {
 		d := &driftReport{}
 		for i := range results {
@@ -366,9 +496,13 @@ func run(args []string, stdout io.Writer) error {
 		rep.Results.Drift = d
 	}
 
+	where := *addr
+	if fleet != nil {
+		where = *daemons
+	}
 	p := &printer{w: stdout}
 	p.printf("%s.%s via %s [%s]: %d clients, %d events, %d predictions (%d answered) in %.2fs\n",
-		app.Name, class, *addr, *transp, *clients, rep.Results.Events, rep.Results.Predictions,
+		app.Name, class, where, *transp, *clients, rep.Results.Events, rep.Results.Predictions,
 		rep.Results.Answered, rep.Results.WallS)
 	p.printf("throughput: %.0f events/s, %.0f predictions/s\n",
 		rep.Results.EventsPerS, rep.Results.PredictsPerS)
@@ -377,6 +511,10 @@ func run(args []string, stdout io.Writer) error {
 	if *chaos || rep.Results.Reconnects+rep.Results.DroppedEvents+rep.Results.RetryLater > 0 {
 		p.printf("resilience: %d reconnects, %d dropped events, %d retry-later\n",
 			rep.Results.Reconnects, rep.Results.DroppedEvents, rep.Results.RetryLater)
+	}
+	for _, d := range rep.Results.PerDaemon {
+		p.printf("daemon %s: %d clients, %d events (%.0f events/s), p50 %.1fus p99 %.1fus, %d retry-later\n",
+			d.Addr, d.Clients, d.Events, d.EventsPerS, d.LatencyP50Us, d.LatencyP99Us, d.RetryLater)
 	}
 	if d := rep.Results.Drift; d != nil {
 		p.printf("drift accuracy: phase1 %.1f%% (%d/%d), phase2 %.1f%% (%d/%d)\n",

@@ -24,6 +24,16 @@
 // half-open connections that stop sending frames, and -max-sessions-per-
 // tenant / -shed-sessions bound per-tenant admission and shed speculative
 // queries (with retry-after hints) under overload. See DESIGN.md §13.
+//
+// Several daemons become one fleet with -cluster-peers (comma list of every
+// daemon, including this one) plus -cluster-self (this daemon's address as
+// peers dial it). Tenants are assigned to daemons by rendezvous hashing at
+// the epoch given by -cluster-epoch; peers gossip epochs and adopt the
+// highest, and an anti-entropy sweep every -cluster-sync ships model
+// checkpoints to new owners and keeps -cluster-replicas warm copies per
+// tenant. Per-tenant event budgets (-tenant-events-per-sec, -tenant-burst)
+// and a daemon-wide Submit ceiling (-pace-events) bound what any one tenant
+// or node absorbs. See DESIGN.md §15.
 package main
 
 import (
@@ -34,8 +44,10 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/server"
 	"repro/internal/transport"
@@ -91,12 +103,35 @@ func run(args []string, stdout io.Writer) error {
 		learnPromote   = fs.Int("learn-promote", 0, "consecutive winning epochs before promotion (0 = default)")
 		learnMargin    = fs.Int("learn-margin", 0, "promotion/rollback margin in percent of the epoch (0 = default)")
 		learnWatch     = fs.Int("learn-watch", 0, "post-promotion watch window in epochs (0 = default)")
+		clusterSelf    = fs.String("cluster-self", "", "this daemon's address as peers dial it (required with -cluster-peers)")
+		clusterPeers   = fs.String("cluster-peers", "", "comma-separated fleet daemon addresses, including self (enables cluster mode)")
+		clusterEpoch   = fs.Uint64("cluster-epoch", 1, "starting shard-map epoch; peers gossip and adopt the highest")
+		clusterRepl    = fs.Int("cluster-replicas", 0, "warm replicas per tenant beyond the owner")
+		clusterSync    = fs.Duration("cluster-sync", 5*time.Second, "anti-entropy sweep interval in cluster mode (0 = sweep only on epoch changes)")
+		tenantRate     = fs.Int64("tenant-events-per-sec", 0, "per-tenant event budget; queries over budget get retry-after (0 = unlimited)")
+		tenantBurst    = fs.Int64("tenant-burst", 0, "per-tenant burst allowance in events (0 = one second of budget)")
+		paceEvents     = fs.Int64("pace-events", 0, "daemon-wide Submit ceiling in events/sec, modelling per-node capacity (0 = unpaced)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if len(listens) == 0 {
 		listens = listenList{"127.0.0.1:9137"}
+	}
+
+	var fleet []string
+	if *clusterPeers != "" {
+		for _, a := range strings.Split(*clusterPeers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				fleet = append(fleet, a)
+			}
+		}
+		if *clusterSelf == "" {
+			return fmt.Errorf("-cluster-peers requires -cluster-self")
+		}
+		if *clusterEpoch == 0 {
+			return fmt.Errorf("-cluster-epoch must be at least 1")
+		}
 	}
 
 	info, err := os.Stat(*traces)
@@ -129,6 +164,9 @@ func run(args []string, stdout io.Writer) error {
 		MaxParked:            *maxParked,
 		MaxSessionsPerTenant: *tenantSessions,
 		ShedSessions:         *shedSessions,
+		TenantEventsPerSec:   *tenantRate,
+		TenantBurst:          *tenantBurst,
+		PaceEvents:           *paceEvents,
 		Logf:                 logger.Printf,
 	})
 
@@ -154,6 +192,27 @@ func run(args []string, stdout io.Writer) error {
 	if p.err != nil {
 		closeAll()
 		return p.err
+	}
+
+	// Cluster mode: publish the shard map, learn any higher epoch the
+	// peers already agreed on, and keep an anti-entropy sweep running so
+	// migrations and warm replicas converge even when a peer was down
+	// during an epoch change.
+	if len(fleet) > 0 {
+		srv.ConfigureCluster(*clusterSelf, fleet, *clusterEpoch, *clusterRepl)
+		p.printf("pythiad: cluster mode: self=%s epoch=%d replicas=%d fleet=%s\n",
+			*clusterSelf, *clusterEpoch, *clusterRepl, strings.Join(fleet, ","))
+		go srv.ProbePeers()
+		if *clusterSync > 0 {
+			go func() {
+				t := time.NewTicker(*clusterSync)
+				defer t.Stop()
+				for range t.C {
+					srv.ProbePeers()
+					srv.Sweep()
+				}
+			}()
+		}
 	}
 
 	// Shutdown runs at most once, whether triggered by a signal or by a

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fleet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("127.0.0.1:%d", 29137+i)
+	}
+	return out
+}
+
+func TestAssignmentDeterministicAndDistinct(t *testing.T) {
+	m := &Map{Epoch: 3, Replicas: 1, Daemons: fleet(4)}
+	for i := 0; i < 32; i++ {
+		tenant := fmt.Sprintf("tenant-%02d", i)
+		a := m.Assignment(tenant)
+		if len(a) != 2 {
+			t.Fatalf("assignment of %q has %d daemons, want 2", tenant, len(a))
+		}
+		if a[0] == a[1] {
+			t.Fatalf("owner and replica of %q are both %s", tenant, a[0])
+		}
+		b := m.Assignment(tenant)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("assignment of %q not deterministic: %v vs %v", tenant, a, b)
+		}
+		if m.Owner(tenant) != a[0] {
+			t.Fatalf("Owner disagrees with Assignment[0]")
+		}
+		if !m.Contains(a[0], tenant) || !m.Contains(a[1], tenant) {
+			t.Fatalf("Contains rejects an assigned daemon")
+		}
+		for _, d := range m.Daemons {
+			if d != a[0] && d != a[1] && m.Contains(d, tenant) {
+				t.Fatalf("Contains accepts unassigned daemon %s", d)
+			}
+		}
+	}
+}
+
+func TestAssignmentOrderIndependent(t *testing.T) {
+	a := &Map{Epoch: 5, Replicas: 1, Daemons: fleet(4)}
+	shuffled := []string{a.Daemons[2], a.Daemons[0], a.Daemons[3], a.Daemons[1]}
+	b := &Map{Epoch: 5, Replicas: 1, Daemons: shuffled}
+	for i := 0; i < 16; i++ {
+		tenant := fmt.Sprintf("t%d", i)
+		x, y := a.Assignment(tenant), b.Assignment(tenant)
+		if x[0] != y[0] || x[1] != y[1] {
+			t.Fatalf("placement depends on daemon list order: %v vs %v", x, y)
+		}
+	}
+}
+
+func TestAssignmentBalanced(t *testing.T) {
+	m := &Map{Epoch: 1, Replicas: 0, Daemons: fleet(4)}
+	counts := map[string]int{}
+	const n = 400
+	for i := 0; i < n; i++ {
+		counts[m.Owner(fmt.Sprintf("tenant-%03d", i))]++
+	}
+	for _, d := range m.Daemons {
+		c := counts[d]
+		// Expect ~100 each; rendezvous over FNV should stay well inside
+		// a generous 2x band.
+		if c < n/8 || c > n/2 {
+			t.Fatalf("daemon %s owns %d of %d tenants — placement badly skewed: %v", d, c, n, counts)
+		}
+	}
+}
+
+func TestEpochBumpReshuffles(t *testing.T) {
+	old := &Map{Epoch: 1, Replicas: 0, Daemons: fleet(4)}
+	next := &Map{Epoch: 2, Replicas: 0, Daemons: fleet(4)}
+	moved := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		tenant := fmt.Sprintf("tenant-%03d", i)
+		if old.Owner(tenant) != next.Owner(tenant) {
+			moved++
+		}
+	}
+	// An epoch bump rehashes every pair, so ~3/4 of tenants should move
+	// on a 4-daemon fleet. Anything above zero proves the epoch is in the
+	// hash; demand a healthy fraction.
+	if moved < n/4 {
+		t.Fatalf("only %d/%d tenants moved across an epoch bump", moved, n)
+	}
+}
+
+func TestReplicasClampedToFleet(t *testing.T) {
+	m := &Map{Epoch: 1, Replicas: 3, Daemons: fleet(2)}
+	if got := len(m.Assignment("t")); got != 2 {
+		t.Fatalf("assignment on a 2-daemon fleet with 3 replicas has %d entries, want 2", got)
+	}
+}
+
+func TestUnclusteredMap(t *testing.T) {
+	var nilMap *Map
+	empty := &Map{}
+	for _, m := range []*Map{nilMap, empty} {
+		if m.Clustered() {
+			t.Fatal("empty map claims to be clustered")
+		}
+		if m.Assignment("t") != nil {
+			t.Fatal("empty map produced an assignment")
+		}
+		if m.Owner("t") != "" {
+			t.Fatal("empty map produced an owner")
+		}
+		if !m.Contains("anything", "t") {
+			t.Fatal("unclustered map must contain every (daemon, tenant) pair")
+		}
+	}
+}
+
+func TestTokenBucketChargeAndGate(t *testing.T) {
+	const sec = int64(1e9)
+	b := NewTokenBucket(1000, 100, 0)
+	if got := b.Balance(0); got != 100 {
+		t.Fatalf("fresh bucket balance = %d, want 100 (burst)", got)
+	}
+	// Charge never refuses and may go negative.
+	b.Charge(250, 0)
+	if got := b.Balance(0); got != -150 {
+		t.Fatalf("balance after overdraft = %d, want -150", got)
+	}
+	ok, retryMs := b.Gate(0)
+	if ok {
+		t.Fatal("Gate admitted with a negative balance")
+	}
+	if retryMs < 1 {
+		t.Fatalf("retryMs = %d, want >= 1", retryMs)
+	}
+	// After enough wall time the deficit refills and gating admits again.
+	now := retryMs*int64(1e6) + sec
+	if ok, _ := b.Gate(now); !ok {
+		t.Fatalf("Gate still refusing after %dms + 1s of refill (balance %d)", retryMs, b.Balance(now))
+	}
+}
+
+func TestTokenBucketRefillClampsAtBurst(t *testing.T) {
+	b := NewTokenBucket(1_000_000, 50, 0)
+	b.Charge(10, 0)
+	// An hour later the balance must be capped at burst, not rate*3600.
+	if got := b.Balance(int64(3600) * 1e9); got != 50 {
+		t.Fatalf("balance after long idle = %d, want burst (50)", got)
+	}
+}
+
+func TestTokenBucketSubTokenAccrual(t *testing.T) {
+	// 10 tokens/s: a single 50ms step yields no whole token, but twenty
+	// of them must add up to one — the refill may not round the
+	// remainder away.
+	b := NewTokenBucket(10, 1, 0)
+	b.Charge(1, 0)
+	var now int64
+	for i := 0; i < 20; i++ {
+		now += 50 * 1e6
+		b.refill(now)
+	}
+	if got := b.Balance(now); got < 1 {
+		t.Fatalf("balance after 1s in 50ms steps = %d, want >= 1", got)
+	}
+}
+
+func TestNilTokenBucket(t *testing.T) {
+	var b *TokenBucket
+	b.Charge(100, 0) // must not panic
+	if ok, _ := b.Gate(0); !ok {
+		t.Fatal("nil bucket must always admit")
+	}
+}

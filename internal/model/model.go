@@ -259,6 +259,11 @@ type Provenance struct {
 	Parent uint64
 	// UnixNanos is when the generation was minted (0 when not recorded).
 	UnixNanos int64
+	// ReplicatedFrom is the address of the daemon this generation was
+	// copied from by cluster migration/replication, "" for generations
+	// recorded locally. It distinguishes a shipped model from a locally
+	// minted one in lineage listings.
+	ReplicatedFrom string
 }
 
 // TraceSet is the content of one Pythia trace file: one grammar (and

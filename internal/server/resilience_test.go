@@ -531,3 +531,111 @@ func TestChaosMatrix(t *testing.T) {
 		})
 	}
 }
+
+// TestRemoteBitIdenticalFleetFailover extends the reconnect acceptance
+// test to a two-daemon fleet: the tenant's model is replicated to the
+// second daemon by the cluster sweep, the client's dial list is the
+// tenant's assignment (owner first, replica second), and the owner is
+// partitioned away mid-stream. The client must redial onto the warm
+// replica, reopen fresh (the replica knows no resume token), replay its
+// shadow ring, and converge to predictions bit-identical to an in-process
+// oracle fed the same stream — zero events dropped or duplicated.
+func TestRemoteBitIdenticalFleetFailover(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	names := synthTrace(t, dirA, "bt", 96)
+	srvA, addrA := startServer(t, Config{TraceDir: dirA})
+	srvB, addrB := startServer(t, Config{TraceDir: dirB})
+
+	// Clients reach the daemons through chaos proxies, so the fleet
+	// addresses — what the shard map advertises and what daemons dial for
+	// replication — are the proxy fronts.
+	proxyA, err := chaosnet.New(addrA, chaosnet.Config{})
+	if err != nil {
+		t.Fatalf("proxy A: %v", err)
+	}
+	defer proxyA.Close()
+	proxyB, err := chaosnet.New(addrB, chaosnet.Config{})
+	if err != nil {
+		t.Fatalf("proxy B: %v", err)
+	}
+	defer proxyB.Close()
+	daemons := []string{proxyA.Addr(), proxyB.Addr()}
+	srvA.ConfigureCluster(daemons[0], daemons, 1, 1)
+	srvB.ConfigureCluster(daemons[1], daemons, 1, 1)
+
+	// The startup sweep ships bt from A to B (whoever owns it, one replica
+	// on a two-daemon fleet means both hold it).
+	waitForFile(t, filepath.Join(dirB, "bt.pythia"))
+
+	ref, err := pythia.LoadTraceSet(filepath.Join(dirA, "bt.pythia"))
+	if err != nil {
+		t.Fatalf("loading trace: %v", err)
+	}
+	localOracle, err := pythia.NewPredictOracle(ref, pythia.Config{})
+	if err != nil {
+		t.Fatalf("local oracle: %v", err)
+	}
+	local := localThread{localOracle.Thread(0)}
+
+	m := srvA.ClusterMap()
+	assignment := m.Assignment("bt")
+	if len(assignment) != 2 {
+		t.Fatalf("assignment %v, want owner+replica", assignment)
+	}
+	ownerProxy := proxyA
+	if assignment[0] == proxyB.Addr() {
+		ownerProxy = proxyB
+	}
+
+	stream := repeatNames(names, 320)
+	c, err := client.Dial(assignment[0]+","+assignment[1], client.Config{
+		ReconnectMinDelay: 2 * time.Millisecond,
+		RequestTimeout:    2 * time.Second,
+		ShadowEvents:      4096, // must cover the whole stream for a fresh reopen
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	ro, err := c.Oracle("bt")
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	rth := ro.Thread(0)
+	local.StartAtBeginning()
+	rth.StartAtBeginning()
+
+	killAt := 137
+	for i, name := range stream {
+		local.Submit(localOracle.Intern(name))
+		rth.Submit(ro.Intern(name))
+		if i == killAt {
+			// Full partition of the owner: existing connections die and
+			// redials are refused, so the fallback address — the warm
+			// replica — is the only way back.
+			prev := c.Stats().Reconnects
+			ownerProxy.SetEnabled(false)
+			ownerProxy.CutAll()
+			waitReconnect(t, c, rth, prev)
+		}
+		if i%37 == 0 {
+			comparePoint(t, "fleet", local, rth, 16)
+		}
+	}
+	rth.Flush()
+	comparePoint(t, "fleet final", local, rth, 32)
+	if err := c.Err(); err != nil {
+		t.Fatalf("client error after failover: %v", err)
+	}
+	st := c.Stats()
+	if st.DroppedEvents != 0 {
+		t.Fatalf("dropped %d events across the failover, want 0", st.DroppedEvents)
+	}
+	if st.Reconnects == 0 {
+		t.Fatal("the partition never forced a reconnect")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/wire"
 	"repro/pythia"
 )
@@ -83,6 +84,21 @@ type Config struct {
 	// session count exceeds it: speculative PredictSequence queries get
 	// CodeRetryLater while Submit acks, PredictAt, and Health always serve.
 	ShedSessions int
+	// TenantEventsPerSec, when positive, gives every tenant a token-bucket
+	// event budget refilling at this rate. Submits charge it (never
+	// refused — they are one-way frames); predictions and session opens
+	// are gated on it and refused with CodeRetryLater plus a retry-after
+	// hint once a tenant has overdrafted, so one hot tenant cannot starve
+	// a daemon. 0 disables per-tenant budgets.
+	TenantEventsPerSec int64
+	// TenantBurst caps a tenant's budget balance. 0 means one second of
+	// slack (TenantEventsPerSec).
+	TenantBurst int64
+	// PaceEvents, when positive, bounds the daemon's aggregate admitted
+	// Submit rate (events/second) by stalling connection goroutines that
+	// overdraft the shared pacing bucket. Used by the cluster scaling
+	// bench to model per-node capacity; 0 (the default) disables pacing.
+	PaceEvents int64
 	// Logf, when set, receives connection-lifecycle diagnostics. It must
 	// be safe for concurrent use (log.Printf is).
 	Logf func(format string, args ...any)
@@ -105,6 +121,15 @@ type Server struct {
 
 	parkMu sync.Mutex
 	parked map[uint64]*parkedConn // resume token -> parked sessions
+
+	// Cluster state (see cluster.go). clus is nil on a non-clustered
+	// daemon; clusMu serializes epoch adoption, sweepMu serializes
+	// migration/replication sweeps, pace is the optional daemon-wide
+	// Submit pacing bucket.
+	clusMu  sync.Mutex
+	clus    atomic.Pointer[clusterState]
+	sweepMu sync.Mutex
+	pace    *cluster.TokenBucket
 }
 
 // New returns a server over cfg.TraceDir. It does not listen yet.
@@ -124,12 +149,18 @@ func New(cfg Config) *Server {
 	if cfg.MaxParked == 0 {
 		cfg.MaxParked = DefaultMaxParked
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		st:     newStore(cfg.TraceDir),
 		conns:  make(map[*conn]struct{}),
 		parked: make(map[uint64]*parkedConn),
 	}
+	if cfg.PaceEvents > 0 {
+		// 100ms of burst keeps batches smooth without letting the rate drift.
+		burst := cfg.PaceEvents / 10
+		s.pace = cluster.NewTokenBucket(cfg.PaceEvents, burst, time.Now().UnixNano())
+	}
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -300,10 +331,13 @@ type session struct {
 }
 
 // connTenant is this connection's handle on one tenant: the shared store
-// entry plus the connection-private predicting oracle built over it.
+// entry plus the connection-private predicting oracle built over it. qos
+// caches the tenant's shared event budget (nil when budgets are off) so
+// the hot path never touches the store.
 type connTenant struct {
 	t      *tenant
 	oracle *pythia.Oracle
+	qos    *cluster.TokenBucket
 }
 
 // conn serves one client connection. All fields are owned by the single
@@ -528,6 +562,7 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		ap := c.sessions[sid].applied
 		*ap++
 		release()
+		c.chargeEvents(sid, 1)
 		return nil
 	case wire.TSubmitBatch:
 		sid, batch, err := wire.ParseSubmitBatch(payload)
@@ -548,6 +583,7 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		ap := c.sessions[sid].applied
 		*ap += uint64(batch.Len())
 		release()
+		c.chargeEvents(sid, int64(batch.Len()))
 		return nil
 	case wire.TPredictAt:
 		sid, distance, err := wire.ParsePredictAt(payload)
@@ -556,6 +592,9 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		}
 		th, perr := c.threadOf(sid)
 		if perr != nil {
+			return perr
+		}
+		if perr := gateTenant(c.sessions[sid].ct.qos); perr != nil {
 			return perr
 		}
 		release, perr := c.enterSession(sid)
@@ -573,6 +612,9 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 		}
 		th, perr := c.threadOf(sid)
 		if perr != nil {
+			return perr
+		}
+		if perr := gateTenant(c.sessions[sid].ct.qos); perr != nil {
 			return perr
 		}
 		// Load shedding drops the lowest-value work first: speculative
@@ -681,6 +723,24 @@ func (c *conn) handleFrame(t wire.Type, payload []byte) error {
 			return badFrame(err.Error())
 		}
 		return c.rollback(tenant)
+	case wire.TShardMap:
+		epoch, err := wire.ParseShardMap(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.shardMap(epoch)
+	case wire.TFetchModel:
+		tenant, err := wire.ParseFetchModel(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.fetchModel(tenant)
+	case wire.TOfferModel:
+		om, err := wire.ParseOfferModel(payload)
+		if err != nil {
+			return badFrame(err.Error())
+		}
+		return c.offerModel(om)
 	case wire.THello:
 		return badFrame("duplicate Hello")
 	default:
@@ -721,6 +781,13 @@ func (c *conn) openSession(o wire.OpenSession) error {
 	if c.srv.draining.Load() {
 		return &protoErr{code: wire.CodeDraining, msg: "server draining; no new sessions"}
 	}
+	// Ownership is enforced at open time only: a clustered daemon refuses
+	// tenants outside its assignment (non-fatal — the client re-fetches the
+	// shard map and re-routes), while sessions already open stay put across
+	// epoch changes.
+	if perr := c.checkShard(o.Tenant); perr != nil {
+		return perr
+	}
 	if max := int64(c.srv.cfg.MaxSessions); max > 0 && c.srv.sessions.Load() >= max {
 		return &protoErr{code: wire.CodeSessionLimit, msg: "session limit reached; retry later"}
 	}
@@ -751,6 +818,11 @@ func (c *conn) openSession(o wire.OpenSession) error {
 			msg:     fmt.Sprintf("tenant %q at its session limit; retry later", o.Tenant),
 			retryMs: 250,
 		}
+	}
+	// A tenant deep in event-budget overdraft cannot open new sessions
+	// either — fanning out is how a hot tenant would dodge its budget.
+	if perr := gateTenant(ct.qos); perr != nil {
+		return perr
 	}
 
 	var th *pythia.Thread
@@ -811,7 +883,7 @@ func (c *conn) tenantOf(name string) (*connTenant, *protoErr) {
 		return nil, &protoErr{code: wire.CodeInternal, msg: err.Error()}
 	}
 	t.register(oracle)
-	ct := &connTenant{t: t, oracle: oracle}
+	ct := &connTenant{t: t, oracle: oracle, qos: c.srv.tenantBucket(t)}
 	c.tenants[name] = ct
 	return ct, nil
 }

@@ -251,6 +251,30 @@ func TestRemoteBitIdenticalAllApps(t *testing.T) {
 		{"shm", unixAddr, client.Config{SharedMem: true}},
 	}
 
+	// A two-daemon fleet over the same trace dir, no replicas: every
+	// tenant has exactly one owner, so a forced epoch bump flips roughly
+	// half the tenants and the fleet client must reroute through the
+	// non-fatal CodeWrongShard refusal — with predictions bit-identical
+	// before and after.
+	fleetA, fleetAddrA := startServer(t, Config{TraceDir: dir})
+	fleetB, fleetAddrB := startServer(t, Config{TraceDir: dir})
+	fleetDaemons := []string{fleetAddrA, fleetAddrB}
+	fleetEpoch := uint64(1)
+	configureFleet := func(epoch uint64) {
+		fleetA.ConfigureCluster(fleetDaemons[0], fleetDaemons, epoch, 0)
+		fleetB.ConfigureCluster(fleetDaemons[1], fleetDaemons, epoch, 0)
+	}
+	configureFleet(fleetEpoch)
+	fleet, err := client.DialFleet(fleetAddrA+","+fleetAddrB, client.Config{})
+	if err != nil {
+		t.Fatalf("dialing fleet: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := fleet.Close(); err != nil {
+			t.Errorf("closing fleet: %v", err)
+		}
+	})
+
 	const maxDist = 32
 	for _, app := range apps.All() {
 		app := app
@@ -293,6 +317,33 @@ func TestRemoteBitIdenticalAllApps(t *testing.T) {
 					if got := remoteOracle.Transport(); got != tr.name {
 						t.Fatalf("negotiated transport %q, want %q", got, tr.name)
 					}
+					for _, tid := range tids {
+						remote := replayStream(remoteOracle, remoteOracle.Thread(tid), streams[tid], maxDist)
+						diffResults(t, tid, locals[tid], remote)
+					}
+				})
+			}
+
+			// Same replay routed by shard map through the two-daemon
+			// fleet, then once more after a forced epoch bump (which
+			// reassigns tenants, so a stale cached map must be corrected
+			// via CodeWrongShard + refresh).
+			for _, leg := range []string{"fleet", "fleet-epoch-bump"} {
+				leg := leg
+				t.Run(leg, func(t *testing.T) {
+					if leg == "fleet-epoch-bump" {
+						fleetEpoch++
+						configureFleet(fleetEpoch)
+					}
+					remoteOracle, err := fleet.Oracle(app.Name)
+					if err != nil {
+						t.Fatalf("fleet oracle: %v", err)
+					}
+					defer func() {
+						if err := remoteOracle.Close(); err != nil {
+							t.Errorf("closing fleet oracle: %v", err)
+						}
+					}()
 					for _, tid := range tids {
 						remote := replayStream(remoteOracle, remoteOracle.Thread(tid), streams[tid], maxDist)
 						diffResults(t, tid, locals[tid], remote)

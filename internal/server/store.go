@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cluster"
 	"repro/internal/wire"
 	"repro/pythia"
 )
@@ -50,6 +51,11 @@ type tenant struct {
 	// sess counts open sessions on this tenant server-wide (parked sessions
 	// included) — the per-tenant admission-control input.
 	sess atomic.Int64
+
+	// qos is the tenant's shared event budget, created lazily by
+	// Server.tenantBucket when per-tenant budgets are configured.
+	qosOnce sync.Once
+	qos     *cluster.TokenBucket
 
 	mu      sync.Mutex
 	oracles map[*pythia.Oracle]struct{}

@@ -366,6 +366,41 @@ func TestLineageRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReplicatedFromRoundTrip(t *testing.T) {
+	ts := makeTraceSet(t)
+	ts.Provenance = &model.Provenance{
+		Generation:     4,
+		Kind:           model.ProvPromotion,
+		Parent:         3,
+		ReplicatedFrom: "127.0.0.1:29137",
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := got.Provenance
+	if p == nil || p.ReplicatedFrom != "127.0.0.1:29137" || p.Generation != 4 || p.Kind != model.ProvPromotion {
+		t.Fatalf("replication origin did not round-trip: %+v", p)
+	}
+
+	// Locally recorded generations stay free of the field.
+	ts.Provenance = &model.Provenance{Generation: 5}
+	buf.Reset()
+	if err := Write(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Provenance == nil || got.Provenance.ReplicatedFrom != "" {
+		t.Fatalf("local generation grew a replication origin: %+v", got.Provenance)
+	}
+}
+
 func TestWriteGenerationMergesLineage(t *testing.T) {
 	dir := t.TempDir()
 	j, err := OpenJournal(dir, 3)

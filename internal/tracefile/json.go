@@ -29,8 +29,9 @@ type JSONTraceSet struct {
 
 // JSONProvenance mirrors model.Provenance.
 type JSONProvenance struct {
-	Generation uint64 `json:"generation"`
-	Salvaged   bool   `json:"salvaged,omitempty"`
+	Generation     uint64 `json:"generation"`
+	Salvaged       bool   `json:"salvaged,omitempty"`
+	ReplicatedFrom string `json:"replicated_from,omitempty"`
 }
 
 // JSONThread is one thread's artifacts.
@@ -68,7 +69,7 @@ func ExportJSON(w io.Writer, ts *model.TraceSet) error {
 		Threads: make(map[string]JSONThread, len(ts.Threads)),
 	}
 	if p := ts.Provenance; p != nil {
-		out.Provenance = &JSONProvenance{Generation: p.Generation, Salvaged: p.Salvaged}
+		out.Provenance = &JSONProvenance{Generation: p.Generation, Salvaged: p.Salvaged, ReplicatedFrom: p.ReplicatedFrom}
 	}
 	for _, tid := range ts.ThreadIDs() {
 		th := ts.Threads[tid]
@@ -118,7 +119,7 @@ func ImportJSON(r io.Reader) (*model.TraceSet, error) {
 	}
 	ts := &model.TraceSet{Events: in.Events, Threads: make(map[int32]*model.ThreadTrace)}
 	if p := in.Provenance; p != nil {
-		ts.Provenance = &model.Provenance{Generation: p.Generation, Salvaged: p.Salvaged}
+		ts.Provenance = &model.Provenance{Generation: p.Generation, Salvaged: p.Salvaged, ReplicatedFrom: p.ReplicatedFrom}
 	}
 	for key, jt := range in.Threads {
 		tid64, err := strconv.ParseInt(key, 10, 32)

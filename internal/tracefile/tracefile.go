@@ -26,14 +26,18 @@
 //	  where stat = (count, sum zig-zag, min zig-zag, max zig-zag)
 //	provenanceFlag (version >= 3, 0/1); if 1:
 //	  generation uvarint
-//	  provFlags  uvarint (bit 0: salvaged by recovery; bit 1: lineage follows)
+//	  provFlags  uvarint (bit 0: salvaged by recovery; bit 1: lineage follows;
+//	             bit 2: replicated-from follows)
 //	  if lineage (version >= 4):
 //	    kind      uvarint (checkpoint/promotion/rollback)
 //	    parent    uvarint (generation this one descends from)
 //	    unixNanos svarint (mint time, 0 when unrecorded)
+//	  if replicated (version >= 5):
+//	    replicatedFrom (len, bytes) — source daemon address
 //
 // Version 1 files (no per-thread flags), version 2 files (no provenance
-// record) and version 3 files (no lineage) remain readable.
+// record), version 3 files (no lineage) and version 4 files (no
+// replication origin) remain readable.
 package tracefile
 
 import (
@@ -60,8 +64,10 @@ var Magic = [8]byte{'P', 'Y', 'T', 'H', 'I', 'A', '1', '\n'}
 // (truncation marks from record-mode resource budgets); version 3 added the
 // optional provenance record (checkpoint generation and salvage mark);
 // version 4 added optional generation lineage (kind, parent, mint time) for
-// journals written by the online-learning model lifecycle.
-const Version = 4
+// journals written by the online-learning model lifecycle; version 5 added
+// the optional replication origin (source daemon address) stamped on
+// generations shipped between daemons by cluster migration/replication.
+const Version = 5
 
 // threadFlagTruncated marks a thread trace frozen by a record budget.
 const threadFlagTruncated = 1
@@ -71,6 +77,10 @@ const provFlagSalvaged = 1
 
 // provFlagLineage marks a provenance record carrying lineage fields.
 const provFlagLineage = 2
+
+// provFlagReplicated marks a provenance record carrying the address of the
+// daemon the generation was replicated from.
+const provFlagReplicated = 4
 
 // maxReasonable bounds untrusted length fields while decoding.
 const maxReasonable = 1 << 31
@@ -127,11 +137,17 @@ func Write(w io.Writer, ts *model.TraceSet) error {
 		if lineage {
 			pf |= provFlagLineage
 		}
+		if p.ReplicatedFrom != "" {
+			pf |= provFlagReplicated
+		}
 		e.uvarint(pf)
 		if lineage {
 			e.uvarint(uint64(p.Kind))
 			e.uvarint(p.Parent)
 			e.svarint(p.UnixNanos)
+		}
+		if p.ReplicatedFrom != "" {
+			e.bytes([]byte(p.ReplicatedFrom))
 		}
 	}
 	if e.err != nil {
@@ -208,6 +224,9 @@ func Read(r io.Reader) (*model.TraceSet, error) {
 				p.Kind = model.ProvKind(d.uvarint())
 				p.Parent = d.uvarint()
 				p.UnixNanos = d.svarint()
+			}
+			if version >= 5 && pf&provFlagReplicated != 0 {
+				p.ReplicatedFrom = string(d.bytes())
 			}
 			ts.Provenance = p
 		}

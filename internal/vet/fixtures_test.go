@@ -34,7 +34,9 @@ func expectAllInBadFile(t *testing.T, got []string) {
 }
 
 // TestUntrustedSizeFixture seeds the PR 5 MaxPredictions incident class:
-// wire-decoded counts sizing allocations unchecked.
+// wire-decoded counts sizing allocations unchecked. The last two findings
+// are the PR 10 cluster frames in miniature — a shard-map daemon count and
+// a model-transfer payload size off a peer's frame.
 func TestUntrustedSizeFixture(t *testing.T) {
 	got := loadDiskFixture(t, "untrustedsize", UntrustedSize)
 	expectAllInBadFile(t, got)
@@ -43,6 +45,8 @@ func TestUntrustedSizeFixture(t *testing.T) {
 		"[untrusted-size] size n from untrusted source binary.Uint16 reaches io.ReadFull",
 		"[untrusted-size] size rings from untrusted source binary.Uint32 reaches make",
 		"[untrusted-size] size slots from untrusted source binary.Uint64 reaches make",
+		"[untrusted-size] size n from untrusted source binary.Uint16 reaches make",
+		"[untrusted-size] size size from untrusted source binary.Uint32 reaches make",
 	})
 }
 

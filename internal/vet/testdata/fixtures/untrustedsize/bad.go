@@ -39,3 +39,21 @@ func MapSegmentRings(seg []byte) [][]uint64 {
 	}
 	return table
 }
+
+// ParseDaemonList is the PR 10 shard-map class in miniature: the daemon
+// count in a fleet peer's frame sizes the address table unchecked.
+func ParseDaemonList(frame []byte) []string {
+	n := binary.BigEndian.Uint16(frame[9:])
+	return make([]string, n) // seeded bug: unclamped daemon count
+}
+
+// ReceiveModel sizes a model-transfer read with the offer's wire-declared
+// payload size.
+func ReceiveModel(r io.Reader, hdr []byte) ([]byte, error) {
+	size := binary.BigEndian.Uint32(hdr)
+	payload := make([]byte, size) // seeded bug: unclamped model size
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

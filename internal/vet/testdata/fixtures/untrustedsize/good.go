@@ -71,3 +71,34 @@ func MapSegmentRingsValidated(seg []byte) ([][]uint64, error) {
 	}
 	return table, nil
 }
+
+const (
+	maxDaemons    = 256
+	maxModelBytes = 1 << 20
+)
+
+// ParseDaemonListClamped is the corrected twin of ParseDaemonList: the
+// count must pass both the protocol ceiling and the bytes-actually-present
+// bound — the guard shape wire.ParseShardMapR uses.
+func ParseDaemonListClamped(frame []byte) ([]string, error) {
+	n := int(binary.BigEndian.Uint16(frame[9:]))
+	if n > maxDaemons || n > (len(frame)-11)/2 {
+		return nil, errors.New("fixture: daemon count exceeds frame")
+	}
+	return make([]string, n), nil
+}
+
+// ReceiveModelChecked is the corrected twin of ReceiveModel: offers larger
+// than the frame ceiling are rejected before sizing anything, as
+// wire.ParseOfferModel does.
+func ReceiveModelChecked(r io.Reader, hdr []byte) ([]byte, error) {
+	size := binary.BigEndian.Uint32(hdr)
+	if size > maxModelBytes {
+		return nil, errors.New("fixture: model exceeds frame ceiling")
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -43,8 +43,19 @@ func FuzzWireDecode(f *testing.F) {
 		AppendResumed(nil, []ResumedSession{{Session: 0, Applied: 3}, {Session: 2, Applied: 9}}),
 		AppendReplay(nil, 1, 4, []int32{5, 6, 7}),
 		AppendReplayed(nil, 1, 7),
+		AppendModelInfo(nil, "bt"),
+		AppendModelInfoR(nil, ModelInfo{Enabled: true, State: ModelLearning, ServingGeneration: 3, Retained: []uint64{3, 2}}),
+		AppendPromote(nil, "bt"),
+		AppendPromoted(nil, 4),
+		AppendRollback(nil, "bt"),
+		AppendRolledBack(nil, 5),
+		AppendShardMap(nil, 7),
+		AppendShardMapR(nil, ShardMap{Epoch: 7, Replicas: 1, Daemons: []string{"127.0.0.1:9137", "127.0.0.1:9138"}}),
+		AppendFetchModel(nil, "bt"),
+		AppendOfferModel(nil, ModelOffer{Tenant: "bt", Generation: 9, Source: "127.0.0.1:9137", Payload: []byte{1, 2, 3, 4}}),
+		AppendModelAccepted(nil, true, 9),
 	}
-	for t := THello; t <= TDetach; t++ {
+	for t := THello; t <= TModelAccepted; t++ {
 		for _, s := range seeds {
 			f.Add(uint8(t), frameBytes(t, s))
 			if len(s) > 0 {
@@ -162,5 +173,36 @@ func exerciseParsers(t *testing.T, typ Type, payload []byte) {
 		_ = ParseHeartbeatAck(payload)
 	case TDetach:
 		_ = ParseDetach(payload)
+	case TModelInfo:
+		_, _ = ParseModelInfo(payload)
+	case TModelInfoR:
+		mi, err := ParseModelInfoR(payload)
+		if err == nil && len(mi.Retained)*8 > len(payload) {
+			t.Fatalf("decoded %d retained generations from a %d-byte payload", len(mi.Retained), len(payload))
+		}
+	case TPromote:
+		_, _ = ParsePromote(payload)
+	case TPromoted:
+		_, _ = ParsePromoted(payload)
+	case TRollback:
+		_, _ = ParseRollback(payload)
+	case TRolledBack:
+		_, _ = ParseRolledBack(payload)
+	case TShardMap:
+		_, _ = ParseShardMap(payload)
+	case TShardMapR:
+		sm, err := ParseShardMapR(payload)
+		if err == nil && len(sm.Daemons)*2 > len(payload) {
+			t.Fatalf("decoded %d daemon addresses from a %d-byte payload", len(sm.Daemons), len(payload))
+		}
+	case TFetchModel:
+		_, _ = ParseFetchModel(payload)
+	case TOfferModel:
+		om, err := ParseOfferModel(payload)
+		if err == nil && len(om.Payload) > len(payload) {
+			t.Fatalf("decoded a %d-byte model from a %d-byte payload", len(om.Payload), len(payload))
+		}
+	case TModelAccepted:
+		_, _, _ = ParseModelAccepted(payload)
 	}
 }

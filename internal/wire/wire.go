@@ -94,6 +94,11 @@ const (
 	TPromoted        Type = 32 // s->c: minted generation
 	TRollback        Type = 33 // c->s: tenant (force-rollback to the previous generation)
 	TRolledBack      Type = 34 // s->c: minted generation
+	TShardMap        Type = 35 // c->s: caller's cached epoch (daemons gossip epochs with it too)
+	TShardMapR       Type = 36 // s->c: epoch, replica count, daemon addresses
+	TFetchModel      Type = 37 // c->s: tenant (pull the newest committed model generation)
+	TOfferModel      Type = 38 // s->c / d->d: tenant, generation, source, serialized model
+	TModelAccepted   Type = 39 // s->c: last-generation-wins verdict on an offered model
 )
 
 // String names the frame type.
@@ -167,6 +172,16 @@ func (t Type) String() string {
 		return "Rollback"
 	case TRolledBack:
 		return "RolledBack"
+	case TShardMap:
+		return "ShardMap"
+	case TShardMapR:
+		return "ShardMapR"
+	case TFetchModel:
+		return "FetchModel"
+	case TOfferModel:
+		return "OfferModel"
+	case TModelAccepted:
+		return "ModelAccepted"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -206,6 +221,11 @@ const (
 	// enabled for the tenant, there is no shadow candidate to promote yet,
 	// or no previous generation to roll back to. Non-fatal.
 	CodeLifecycle Code = 13
+	// CodeWrongShard refuses a session open for a tenant this daemon does
+	// not own under the fleet's current shard map. Non-fatal: the client
+	// re-fetches the map (TShardMap) and re-routes to the owner; the
+	// refusing connection stays usable for tenants this daemon does own.
+	CodeWrongShard Code = 14
 )
 
 // String names the error code.
@@ -237,6 +257,8 @@ func (c Code) String() string {
 		return "no resumable state"
 	case CodeLifecycle:
 		return "lifecycle refused"
+	case CodeWrongShard:
+		return "wrong shard"
 	default:
 		return fmt.Sprintf("Code(%d)", uint16(c))
 	}
@@ -1256,4 +1278,160 @@ func ParseRolledBack(p []byte) (gen uint64, err error) {
 		return 0, malformed("RolledBack")
 	}
 	return gen, nil
+}
+
+// MaxDaemons caps the daemon count of a decoded shard map. Fleets are tens
+// of daemons, not thousands; the clamp keeps a hostile count field from
+// sizing an allocation the payload cannot back.
+const MaxDaemons = 256
+
+// MaxModelBytes caps the serialized model carried by one TOfferModel frame,
+// leaving headroom inside MaxFrame for the frame's own header fields.
+const MaxModelBytes = MaxFrame - 512
+
+// ShardMap is the decoded form of a TShardMapR payload: one epoch of the
+// fleet's tenant→daemon assignment inputs. Daemons is empty on a daemon
+// that is not running in cluster mode.
+type ShardMap struct {
+	// Epoch versions the assignment; higher epochs win fleet-wide.
+	Epoch uint64
+	// Replicas is how many warm replicas (beyond the owner) each tenant
+	// keeps.
+	Replicas uint8
+	// Daemons lists every fleet member's advertised address.
+	Daemons []string
+}
+
+// AppendShardMap encodes a TShardMap request payload: the caller's cached
+// epoch (0 when it has none). Daemons use the same frame to gossip epochs.
+func AppendShardMap(buf []byte, epoch uint64) []byte { return appendU64(buf, epoch) }
+
+// ParseShardMap decodes a TShardMap payload.
+func ParseShardMap(p []byte) (epoch uint64, err error) {
+	c := newCursor(p)
+	epoch = c.u64()
+	if !c.done() {
+		return 0, malformed("ShardMap")
+	}
+	return epoch, nil
+}
+
+// AppendShardMapR encodes a TShardMapR response payload.
+func AppendShardMapR(buf []byte, sm ShardMap) []byte {
+	buf = appendU64(buf, sm.Epoch)
+	buf = append(buf, sm.Replicas)
+	buf = appendU16(buf, uint16(len(sm.Daemons)))
+	for _, d := range sm.Daemons {
+		buf = appendString(buf, d)
+	}
+	return buf
+}
+
+// ParseShardMapR decodes a TShardMapR payload. The daemon count is
+// untrusted: it is clamped against MaxDaemons and against what the payload
+// can actually back (each address costs at least its 2-byte length prefix)
+// before it sizes anything.
+func ParseShardMapR(p []byte) (ShardMap, error) {
+	c := newCursor(p)
+	var sm ShardMap
+	sm.Epoch = c.u64()
+	sm.Replicas = c.u8()
+	n := int(c.u16())
+	if !c.ok || n > MaxDaemons || n > (len(p)-c.off)/2 {
+		return ShardMap{}, malformed("ShardMapR")
+	}
+	if n > 0 {
+		sm.Daemons = make([]string, n)
+		for i := range sm.Daemons {
+			sm.Daemons[i] = c.str()
+		}
+	}
+	if !c.done() {
+		return ShardMap{}, malformed("ShardMapR")
+	}
+	return sm, nil
+}
+
+// ModelOffer is the decoded form of a TOfferModel payload: one tenant's
+// newest committed model generation in transit between daemons (either the
+// response to a TFetchModel pull or an unsolicited migration/replication
+// push).
+type ModelOffer struct {
+	// Tenant names the model's tenant.
+	Tenant string
+	// Generation is the checkpoint generation the payload was committed as;
+	// receivers resolve conflicts last-generation-wins without decoding.
+	Generation uint64
+	// Source is the advertised address of the daemon the model came from
+	// (recorded as the installed generation's ReplicatedFrom provenance).
+	Source string
+	// Payload is the tracefile serialization of the model. It aliases the
+	// frame read buffer: decode or copy it before the next ReadFrame.
+	Payload []byte
+}
+
+// AppendFetchModel encodes a TFetchModel request payload.
+func AppendFetchModel(buf []byte, tenant string) []byte { return appendString(buf, tenant) }
+
+// ParseFetchModel decodes a TFetchModel payload.
+func ParseFetchModel(p []byte) (tenant string, err error) {
+	c := newCursor(p)
+	tenant = c.str()
+	if !c.done() {
+		return "", malformed("FetchModel")
+	}
+	return tenant, nil
+}
+
+// AppendOfferModel encodes a TOfferModel payload.
+func AppendOfferModel(buf []byte, om ModelOffer) []byte {
+	buf = appendString(buf, om.Tenant)
+	buf = appendU64(buf, om.Generation)
+	buf = appendString(buf, om.Source)
+	buf = appendU32(buf, uint32(len(om.Payload)))
+	return append(buf, om.Payload...)
+}
+
+// ParseOfferModel decodes a TOfferModel payload. The model size is
+// untrusted: it is clamped against MaxModelBytes and against the bytes the
+// payload actually carries before it bounds the returned slice.
+func ParseOfferModel(p []byte) (ModelOffer, error) {
+	c := newCursor(p)
+	var om ModelOffer
+	om.Tenant = c.str()
+	om.Generation = c.u64()
+	om.Source = c.str()
+	n := int(c.u32())
+	if !c.ok || n > MaxModelBytes || n > len(p)-c.off {
+		return ModelOffer{}, malformed("OfferModel")
+	}
+	om.Payload = p[c.off : c.off+n]
+	c.off += n
+	if !c.done() {
+		return ModelOffer{}, malformed("OfferModel")
+	}
+	return om, nil
+}
+
+// AppendModelAccepted encodes a TModelAccepted response payload: whether
+// the offered generation was installed, and the generation the receiver now
+// holds (its own, newer one on a last-generation-wins rejection).
+func AppendModelAccepted(buf []byte, accepted bool, haveGen uint64) []byte {
+	a := byte(0)
+	if accepted {
+		a = 1
+	}
+	buf = append(buf, a)
+	return appendU64(buf, haveGen)
+}
+
+// ParseModelAccepted decodes a TModelAccepted payload.
+func ParseModelAccepted(p []byte) (accepted bool, haveGen uint64, err error) {
+	c := newCursor(p)
+	accepted = c.u8() != 0
+	haveGen = c.u64()
+	if !c.done() {
+		return false, 0, malformed("ModelAccepted")
+	}
+	return accepted, haveGen, nil
 }

@@ -373,6 +373,73 @@ func TestModelLifecycleRoundTrips(t *testing.T) {
 	}
 }
 
+func TestClusterRoundTrips(t *testing.T) {
+	epoch, err := ParseShardMap(AppendShardMap(nil, 42))
+	if err != nil || epoch != 42 {
+		t.Fatalf("ParseShardMap = %d, %v", epoch, err)
+	}
+	sm := ShardMap{Epoch: 9, Replicas: 1, Daemons: []string{"127.0.0.1:9137", "unix:///run/pythiad.sock"}}
+	gotSM, err := ParseShardMapR(AppendShardMapR(nil, sm))
+	if err != nil {
+		t.Fatalf("ParseShardMapR: %v", err)
+	}
+	if !reflect.DeepEqual(gotSM, sm) {
+		t.Fatalf("shard map round trip: got %+v want %+v", gotSM, sm)
+	}
+	// A non-clustered daemon answers with an empty map.
+	gotSM, err = ParseShardMapR(AppendShardMapR(nil, ShardMap{}))
+	if err != nil || gotSM.Epoch != 0 || len(gotSM.Daemons) != 0 {
+		t.Fatalf("empty shard map round trip: %+v, %v", gotSM, err)
+	}
+
+	tenant, err := ParseFetchModel(AppendFetchModel(nil, "cg"))
+	if err != nil || tenant != "cg" {
+		t.Fatalf("ParseFetchModel = %q, %v", tenant, err)
+	}
+	om := ModelOffer{Tenant: "cg", Generation: 12, Source: "127.0.0.1:9137", Payload: []byte{9, 8, 7, 6, 5}}
+	gotOM, err := ParseOfferModel(AppendOfferModel(nil, om))
+	if err != nil {
+		t.Fatalf("ParseOfferModel: %v", err)
+	}
+	if !reflect.DeepEqual(gotOM, om) {
+		t.Fatalf("model offer round trip: got %+v want %+v", gotOM, om)
+	}
+	accepted, have, err := ParseModelAccepted(AppendModelAccepted(nil, false, 13))
+	if err != nil || accepted || have != 13 {
+		t.Fatalf("ParseModelAccepted = %v, %d, %v", accepted, have, err)
+	}
+}
+
+// TestClusterDishonestCounts pins the untrusted-size clamps of the cluster
+// frames: a count or size field larger than the payload can back must come
+// back malformed, never sized into an allocation or slice bound.
+func TestClusterDishonestCounts(t *testing.T) {
+	// ShardMapR claiming 60k daemons in a 12-byte payload.
+	p := AppendShardMapR(nil, ShardMap{Epoch: 1, Replicas: 0, Daemons: []string{"a"}})
+	p[9], p[10] = 0xff, 0xff // daemon count field
+	if _, err := ParseShardMapR(p); err == nil {
+		t.Fatal("ParseShardMapR accepted a dishonest daemon count")
+	}
+	// ShardMapR claiming more daemons than MaxDaemons, with a payload big
+	// enough to pass the bytes-per-entry check.
+	many := make([]string, MaxDaemons)
+	for i := range many {
+		many[i] = "a"
+	}
+	p = AppendShardMapR(nil, ShardMap{Epoch: 1, Daemons: many})
+	p[9] = byte((MaxDaemons + 1) >> 8)
+	p[10] = byte((MaxDaemons + 1) & 0xff)
+	if _, err := ParseShardMapR(p); err == nil {
+		t.Fatal("ParseShardMapR accepted a daemon count past MaxDaemons")
+	}
+	// OfferModel claiming a model far larger than the payload carries.
+	p = AppendOfferModel(nil, ModelOffer{Tenant: "x", Generation: 1, Source: "a", Payload: []byte{1, 2}})
+	p[len(p)-6] = 0xff // high byte of the size field
+	if _, err := ParseOfferModel(p); err == nil {
+		t.Fatal("ParseOfferModel accepted a dishonest model size")
+	}
+}
+
 func TestShmRoundTrips(t *testing.T) {
 	ss := ShmSetup{Rings: 8, Slots: 4096, PredCap: 64, SegSize: 3 << 20, Path: "/dev/shm/pythia-shm-42"}
 	got, err := ParseShmSetup(AppendShmSetup(nil, ss))
@@ -438,6 +505,11 @@ func TestTrailingBytesAreMalformed(t *testing.T) {
 		func(p []byte) error { _, err := ParsePromoted(p); return err },
 		func(p []byte) error { _, err := ParseRollback(p); return err },
 		func(p []byte) error { _, err := ParseRolledBack(p); return err },
+		func(p []byte) error { _, err := ParseShardMap(p); return err },
+		func(p []byte) error { _, err := ParseShardMapR(p); return err },
+		func(p []byte) error { _, err := ParseFetchModel(p); return err },
+		func(p []byte) error { _, err := ParseOfferModel(p); return err },
+		func(p []byte) error { _, _, err := ParseModelAccepted(p); return err },
 	}
 	bodies := [][]byte{
 		AppendHello(nil, HelloFlagResume),
@@ -474,6 +546,11 @@ func TestTrailingBytesAreMalformed(t *testing.T) {
 		AppendPromoted(nil, 1),
 		AppendRollback(nil, "x"),
 		AppendRolledBack(nil, 1),
+		AppendShardMap(nil, 1),
+		AppendShardMapR(nil, ShardMap{Epoch: 1, Replicas: 1, Daemons: []string{"a", "b"}}),
+		AppendFetchModel(nil, "x"),
+		AppendOfferModel(nil, ModelOffer{Tenant: "x", Generation: 1, Source: "a", Payload: []byte{1}}),
+		AppendModelAccepted(nil, true, 1),
 	}
 	for i, check := range checks {
 		if err := check(append(bodies[i], 0)); err == nil {

@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/events"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -205,6 +206,26 @@ func (c *Client) Stats() Stats {
 		DroppedEvents: c.statDropped.Load(),
 		RetryLater:    c.statRetryLater.Load(),
 	}
+}
+
+// ShardMap fetches the daemon's current cluster shard map, sending the
+// caller's cached epoch along (daemons fold it into their max-wins epoch
+// gossip). A daemon that is not clustered answers with a zero Map —
+// Clustered() is false — which callers treat as "this daemon serves every
+// tenant".
+func (c *Client) ShardMap(cachedEpoch uint64) (cluster.Map, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out = wire.AppendShardMap(c.out[:0], cachedEpoch)
+	resp, err := c.roundTrip(wire.TShardMap, c.out, wire.TShardMapR)
+	if err != nil {
+		return cluster.Map{}, err
+	}
+	sm, err := wire.ParseShardMapR(resp)
+	if err != nil {
+		return cluster.Map{}, c.fail(err)
+	}
+	return cluster.Map{Epoch: sm.Epoch, Replicas: int(sm.Replicas), Daemons: sm.Daemons}, nil
 }
 
 // Dial connects to a pythiad daemon and performs the protocol handshake.

@@ -1,0 +1,187 @@
+package client
+
+// Fleet is the client-side half of the pythia-cluster subsystem: it holds
+// a cached shard map and routes each tenant to the daemons the map assigns
+// it, over ordinary Clients (so every transport tier, the reconnect
+// machinery, and session resume keep working per-daemon).
+//
+// Routing is optimistic: the Fleet opens the tenant on the cached owner
+// and lets the daemon veto it. A daemon that no longer owns the tenant
+// answers with the non-fatal CodeWrongShard, the Fleet re-fetches the map
+// (taking the highest epoch any reachable daemon reports) and retries on
+// the new owner. The dial list for a tenant is its whole assignment —
+// owner first, then replicas — so an owner that dies mid-stream is
+// redialed onto a warm replica by the client's own reconnect loop.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/wire"
+)
+
+// Fleet routes tenants across a pythiad fleet by consistent-hash shard
+// map. Safe for concurrent use.
+type Fleet struct {
+	cfg   Config
+	seeds []string // bootstrap daemon addresses from DialFleet
+
+	mu      sync.Mutex
+	m       cluster.Map        // cached shard map (zero until a daemon reports one)
+	clients map[string]*Client // keyed by dial list ("owner,replica,...")
+}
+
+// DialFleet connects to a pythiad fleet. addrs is a comma-separated list
+// of daemon addresses used to bootstrap the shard map; the map's own
+// daemon list takes over from there. A single non-clustered daemon is a
+// valid "fleet" — every tenant routes to it.
+func DialFleet(addrs string, cfg Config) (*Fleet, error) {
+	f := &Fleet{cfg: cfg, clients: make(map[string]*Client)}
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			f.seeds = append(f.seeds, a)
+		}
+	}
+	if len(f.seeds) == 0 {
+		return nil, fmt.Errorf("client: no daemon address in %q", addrs)
+	}
+	if err := f.Refresh(); err != nil {
+		return nil, errors.Join(err, f.Close())
+	}
+	return f, nil
+}
+
+// Refresh re-fetches the shard map, adopting the highest epoch any
+// reachable daemon reports. It fails only when no daemon answers at all.
+func (f *Fleet) Refresh() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	targets := append([]string(nil), f.seeds...)
+	for _, d := range f.m.Daemons {
+		targets = append(targets, d)
+	}
+	var errs []error
+	answered := false
+	for _, addr := range dedup(targets) {
+		c, err := f.clientLocked(addr)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		m, err := c.ShardMap(f.m.Epoch)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		answered = true
+		if m.Clustered() && (!f.m.Clustered() || m.Epoch > f.m.Epoch) {
+			f.m = m
+		}
+	}
+	if !answered {
+		return fmt.Errorf("client: no daemon answered a shard-map fetch: %w", errors.Join(errs...))
+	}
+	return nil
+}
+
+// Map returns the cached shard map (zero Map when the fleet is a single
+// non-clustered daemon).
+func (f *Fleet) Map() cluster.Map {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.m
+}
+
+// Route returns the dial list for a tenant under the cached map: its
+// assignment (owner first, replicas after) when clustered, the bootstrap
+// list otherwise.
+func (f *Fleet) Route(tenant string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.routeLocked(tenant)
+}
+
+func (f *Fleet) routeLocked(tenant string) []string {
+	if a := f.m.Assignment(tenant); len(a) > 0 {
+		return a
+	}
+	return f.seeds
+}
+
+// Owner returns the daemon a tenant currently routes to.
+func (f *Fleet) Owner(tenant string) string {
+	return f.Route(tenant)[0]
+}
+
+// Oracle opens a remote oracle for tenant on its owning daemon. A
+// CodeWrongShard refusal (stale cached map) triggers a map refresh and a
+// re-route, bounded so two daemons with diverging maps cannot bounce the
+// client forever.
+func (f *Fleet) Oracle(tenant string) (*Oracle, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		f.mu.Lock()
+		c, err := f.clientLocked(strings.Join(f.routeLocked(tenant), ","))
+		f.mu.Unlock()
+		if err == nil {
+			var o *Oracle
+			if o, err = c.Oracle(tenant); err == nil {
+				return o, nil
+			}
+			var re *RemoteError
+			if !errors.As(err, &re) || re.Code != wire.CodeWrongShard {
+				return nil, err
+			}
+		}
+		lastErr = err
+		if rerr := f.Refresh(); rerr != nil {
+			return nil, errors.Join(lastErr, rerr)
+		}
+	}
+	return nil, fmt.Errorf("client: tenant %q: rerouting did not converge: %w", tenant, lastErr)
+}
+
+// clientLocked returns the pooled client for a dial list, dialing on first
+// use. A client that failed permanently is replaced. Caller holds f.mu.
+func (f *Fleet) clientLocked(dialList string) (*Client, error) {
+	if c, ok := f.clients[dialList]; ok {
+		return c, nil
+	}
+	c, err := Dial(dialList, f.cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.clients[dialList] = c
+	return c, nil
+}
+
+// Close closes every pooled client.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	clients := f.clients
+	f.clients = make(map[string]*Client)
+	f.mu.Unlock()
+	var errs []error
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// dedup keeps the first occurrence of each address, preserving order.
+func dedup(addrs []string) []string {
+	seen := make(map[string]bool, len(addrs))
+	out := addrs[:0]
+	for _, a := range addrs {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}

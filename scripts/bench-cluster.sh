@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# bench-cluster.sh — measures Submit-throughput scaling across a pythiad
+# fleet and writes BENCH_PR10.json: the same closed-loop CG.small replay at
+# 1, 2, and 4 daemons, 16 clients over 16 tenants routed by the shard map,
+# with per-daemon breakdowns from pythia-loadgen's fleet mode.
+#
+# Methodology: the benchmark host is a single machine, so N daemon
+# processes share one CPU and raw replay throughput would not scale with N.
+# Each daemon therefore runs with -pace-events 40000 — a hard per-daemon
+# Submit admission ceiling that models one node's event-ingest capacity
+# (the paced rate is far below what one daemon serves unpaced; see
+# BENCH_PR5.json). What the benchmark then measures is the routing layer:
+# whether sharding tenants across N paced daemons multiplies the aggregate
+# ceiling, i.e. whether the fleet path adds cross-daemon coordination that
+# would show up as sub-linear scaling. The 16 tenants are picked with
+# pythia-shardplan so the shard map spreads them evenly (8/8 at two
+# daemons, 4/4/4/4 at four): rendezvous hashing balances in expectation,
+# and with only 16 tenants the hash variance — not the serving path —
+# would otherwise dominate the scaling number.
+#
+# Usage: scripts/bench-cluster.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR10.json}"
+
+port_base=29211
+pace=40000
+clients=16
+want_tenants=16
+
+workdir=$(mktemp -d)
+daemon_pids=""
+cleanup() {
+    for pid in ${daemon_pids}; do
+        if kill -0 "${pid}" 2>/dev/null; then
+            kill -9 "${pid}" 2>/dev/null || true
+        fi
+    done
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+echo "==> building pythia-record, pythiad, pythia-loadgen, pythia-shardplan"
+go build -o "${workdir}/pythia-record" ./cmd/pythia-record
+go build -o "${workdir}/pythiad" ./cmd/pythiad
+go build -o "${workdir}/pythia-loadgen" ./cmd/pythia-loadgen
+go build -o "${workdir}/pythia-shardplan" ./cmd/pythia-shardplan
+
+echo "==> recording CG.small"
+"${workdir}/pythia-record" -app CG -class small -o "${workdir}/seed.pythia" >/dev/null
+
+fleet_addrs() { # fleet_addrs N -> "addr1,addr2,..."
+    local n=$1 list="" i
+    for i in $(seq 0 $((n - 1))); do
+        list="${list}${list:+,}127.0.0.1:$((port_base + i))"
+    done
+    printf '%s' "${list}"
+}
+
+# Pick ${want_tenants} tenant names the shard map spreads evenly over both
+# the 2-daemon and the 4-daemon fleet, bucketing candidates by their
+# (owner-at-2, owner-at-4) pair. Rendezvous hashing is hierarchical — a
+# tenant whose 4-daemon owner is one of the first two daemons has that same
+# owner at 2 daemons — so only 6 pairs occur: take 4 tenants from each
+# same-owner bucket and 2 from each of the four cross buckets, which lands
+# 8/8 at two daemons and 4/4/4/4 at four.
+echo "==> picking a balanced tenant set (pythia-shardplan)"
+candidates=$(seq -f 'CG-%03g' 0 199)
+plan2=$(printf '%s\n' ${candidates} | "${workdir}/pythia-shardplan" -daemons "$(fleet_addrs 2)" -epoch 1)
+plan4=$(printf '%s\n' ${candidates} | "${workdir}/pythia-shardplan" -daemons "$(fleet_addrs 4)" -epoch 1)
+tenants=$(paste <(printf '%s\n' "${plan2}") <(printf '%s\n' "${plan4}") | awk '
+    $1 == $3 {
+        key = $2 "|" $4
+        quota = ($2 == $4) ? 4 : 2
+        if (picked[key]++ < quota) print $1
+    }
+' | head -n "${want_tenants}" | paste -sd, -)
+ntenants=$(printf '%s' "${tenants}" | awk -F, '{print NF}')
+if [ "${ntenants}" -ne "${want_tenants}" ]; then
+    echo "bench-cluster: balanced tenant pick found ${ntenants}/${want_tenants}" >&2
+    exit 1
+fi
+echo "    tenants: ${tenants}"
+
+start_fleet() { # start_fleet N -> daemons on port_base..port_base+N-1
+    local n=$1 i addr fleet
+    fleet=$(fleet_addrs "${n}")
+    for i in $(seq 0 $((n - 1))); do
+        addr="127.0.0.1:$((port_base + i))"
+        mkdir -p "${workdir}/n${n}-d${i}"
+        for t in $(printf '%s' "${tenants}" | tr ',' ' '); do
+            cp "${workdir}/seed.pythia" "${workdir}/n${n}-d${i}/${t}.pythia"
+        done
+        "${workdir}/pythiad" -listen "${addr}" -traces "${workdir}/n${n}-d${i}" \
+            -cluster-self "${addr}" -cluster-peers "${fleet}" \
+            -cluster-epoch 1 -cluster-replicas 0 -cluster-sync 0 \
+            -pace-events "${pace}" \
+            >"${workdir}/n${n}-d${i}.out" 2>"${workdir}/n${n}-d${i}.err" &
+        daemon_pids="${daemon_pids} $!"
+    done
+    for i in $(seq 0 $((n - 1))); do
+        for _ in $(seq 1 50); do
+            if grep -q 'listening on' "${workdir}/n${n}-d${i}.out" 2>/dev/null; then
+                break
+            fi
+            sleep 0.1
+        done
+    done
+}
+
+stop_fleet() {
+    for pid in ${daemon_pids}; do
+        kill -TERM "${pid}" 2>/dev/null || true
+    done
+    for pid in ${daemon_pids}; do
+        wait "${pid}" 2>/dev/null || true
+    done
+    daemon_pids=""
+}
+
+for n in 1 2 4; do
+    echo "==> leg: ${n} daemon(s), ${clients} clients, pace ${pace} events/s/daemon"
+    start_fleet "${n}"
+    "${workdir}/pythia-loadgen" -daemons "$(fleet_addrs "${n}")" \
+        -tenant "${tenants}" -app CG -class small -clients "${clients}" \
+        -predict-every 16 -distance 16 -o "${workdir}/leg${n}.json"
+    stop_fleet
+done
+
+python3 - "${workdir}" "${out}" "${pace}" <<'EOF'
+import json, sys
+
+workdir, out, pace = sys.argv[1], sys.argv[2], int(sys.argv[3])
+legs = {n: json.load(open(f"{workdir}/leg{n}.json")) for n in (1, 2, 4)}
+eps = {n: legs[n]["results"]["events_per_s"] for n in legs}
+errors = sum(legs[n]["results"]["protocol_errors"] for n in legs)
+report = {
+    "methodology": (
+        "single-host fleet: each pythiad runs -pace-events %d, a per-daemon "
+        "Submit admission ceiling modelling one node's ingest capacity; the "
+        "benchmark measures whether shard-map routing multiplies the "
+        "aggregate ceiling across daemons. 16 tenants picked by "
+        "pythia-shardplan so the map spreads them evenly." % pace
+    ),
+    "daemons_1": legs[1],
+    "daemons_2": legs[2],
+    "daemons_4": legs[4],
+    "scaling": {
+        "events_per_s_1": eps[1],
+        "events_per_s_2": eps[2],
+        "events_per_s_4": eps[4],
+        "x2": eps[2] / eps[1],
+        "x4": eps[4] / eps[1],
+    },
+    "protocol_errors": errors,
+}
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print("scaling: 1->2 %.2fx, 1->4 %.2fx, %d protocol errors"
+      % (report["scaling"]["x2"], report["scaling"]["x4"], errors))
+if report["scaling"]["x4"] < 3.0:
+    sys.exit("bench-cluster: 1->4 scaling %.2fx is below 3x" % report["scaling"]["x4"])
+if errors:
+    sys.exit("bench-cluster: %d protocol errors" % errors)
+EOF
+echo "==> wrote ${out}"

@@ -38,10 +38,14 @@
 # scripts/bench-transport.sh (the tcp/unix/shm serving matrix, refreshing
 # BENCH_PR7.json) and scripts/bench-learn.sh (the learning-Submit hot path
 # plus the frozen-vs-learning drift A/B, refreshing BENCH_PR9.json).
+# With --cluster, additionally runs the pythia-cluster suites under the
+# race detector: shard-map placement and token buckets (internal/cluster),
+# the wire ops / epoch gossip / migration / replication / QoS suites and
+# the fleet failover leg (internal/server), and the fleet-routing client.
 # With --serve, additionally runs scripts/serve-smoke.sh
 # (pythiad + pythia-loadgen end to end over every transport tier, including
-# a SIGTERM drain). Benchmarks and the serve smoke are not part of the
-# gating suite.
+# a SIGTERM drain and a two-daemon cluster leg). Benchmarks and the serve
+# smoke are not part of the gating suite.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -50,12 +54,14 @@ run_bench=0
 run_chaos=0
 run_serve=0
 run_learn=0
+run_cluster=0
 for arg in "$@"; do
     case "${arg}" in
         --bench) run_bench=1 ;;
         --chaos) run_chaos=1 ;;
         --serve) run_serve=1 ;;
         --learn) run_learn=1 ;;
+        --cluster) run_cluster=1 ;;
         *) echo "check.sh: unknown argument ${arg}" >&2; exit 2 ;;
     esac
 done
@@ -141,6 +147,15 @@ if [ "${run_learn}" -eq 1 ]; then
     step "learn (promotion crash/SIGKILL matrix, -race)" \
         go test -race -count=1 -run 'CrashDuringPromotion|SIGKILLDuringPromotion' \
         ./internal/faultinject/
+fi
+
+if [ "${run_cluster}" -eq 1 ]; then
+    step "cluster (shard map + token buckets, -race)" \
+        go test -race -count=1 ./internal/cluster/
+    step "cluster (gossip/migration/replication/QoS + fleet failover, -race)" \
+        go test -race -count=1 \
+        -run 'ShardMap|WrongShard|ModelOffer|EpochBump|Sweep|Fleet|TenantBudget|Cluster' \
+        ./internal/server/ ./internal/wire/ ./pythia/client/
 fi
 
 if [ "${run_bench}" -eq 1 ]; then

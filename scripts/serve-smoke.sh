@@ -7,10 +7,14 @@
 # the reconnect/replay machinery must absorb them), kill the daemon with
 # SIGKILL mid-service and restart it on the same unix socket path (already-
 # running clients must reconnect), then SIGTERM the daemon and require a
-# clean graceful drain that also removes the socket file. A final learn leg
+# clean graceful drain that also removes the socket file. A learn leg
 # restarts the daemon with -learn and drives a drifted replay with a forced
 # promotion and a forced rollback; the loadgen report must show both
-# lifecycle transitions.
+# lifecycle transitions. A final cluster leg runs a two-daemon fleet where
+# daemon B starts empty: the anti-entropy sweep must replicate the model to
+# B with "replicated from" provenance, a forced epoch bump (B restarted at
+# epoch 2) must propagate to A by gossip, and the fleet must serve cleanly
+# before and after the bump with lineage intact.
 #
 # Run directly or via `scripts/check.sh --serve`. Non-gating in CI (shared
 # runners make the daemon timing noisy) but must pass locally.
@@ -21,17 +25,21 @@ cd "$(dirname "$0")/.."
 workdir=$(mktemp -d)
 daemon_pid=""
 cleanup() {
-    if [ -n "${daemon_pid}" ] && kill -0 "${daemon_pid}" 2>/dev/null; then
-        kill -9 "${daemon_pid}" 2>/dev/null || true
-    fi
+    # daemon_pid may hold several pids (the cluster leg runs two daemons).
+    for pid in ${daemon_pid}; do
+        if kill -0 "${pid}" 2>/dev/null; then
+            kill -9 "${pid}" 2>/dev/null || true
+        fi
+    done
     rm -rf "${workdir}"
 }
 trap cleanup EXIT
 
-echo "==> building pythia-record, pythiad, pythia-loadgen"
+echo "==> building pythia-record, pythiad, pythia-loadgen, pythia-inspect"
 go build -o "${workdir}/pythia-record" ./cmd/pythia-record
 go build -o "${workdir}/pythiad" ./cmd/pythiad
 go build -o "${workdir}/pythia-loadgen" ./cmd/pythia-loadgen
+go build -o "${workdir}/pythia-inspect" ./cmd/pythia-inspect
 
 echo "==> recording EP.small"
 mkdir "${workdir}/traces"
@@ -186,6 +194,93 @@ kill -TERM "${daemon_pid}"
 wait "${daemon_pid}" 2>/dev/null || {
     echo "serve-smoke: learning pythiad exited non-zero after SIGTERM" >&2
     cat "${workdir}/pythiad.err" >&2
+    exit 1
+}
+daemon_pid=""
+
+echo "==> cluster leg: two daemons, warm replica, forced epoch bump"
+# Daemon A holds the EP model, daemon B starts empty; with one warm replica
+# per tenant the anti-entropy sweep must ship the model to B, stamping its
+# provenance with where it came from. Restarting B at a higher epoch then
+# forces a shard-map change: A must adopt the epoch by gossip and the fleet
+# must keep serving with the model's lineage intact.
+ca="127.0.0.1:29221"
+cb="127.0.0.1:29222"
+cfleet="${ca},${cb}"
+mkdir "${workdir}/traces-a" "${workdir}/traces-b"
+cp "${workdir}/traces/EP.pythia" "${workdir}/traces-a/"
+"${workdir}/pythiad" -listen "${ca}" -traces "${workdir}/traces-a" \
+    -cluster-self "${ca}" -cluster-peers "${cfleet}" \
+    -cluster-epoch 1 -cluster-replicas 1 -cluster-sync 300ms \
+    >"${workdir}/pythiad-a.out" 2>"${workdir}/pythiad-a.err" &
+daemon_a_pid=$!
+"${workdir}/pythiad" -listen "${cb}" -traces "${workdir}/traces-b" \
+    -cluster-self "${cb}" -cluster-peers "${cfleet}" \
+    -cluster-epoch 1 -cluster-replicas 1 -cluster-sync 300ms \
+    >"${workdir}/pythiad-b.out" 2>"${workdir}/pythiad-b.err" &
+daemon_b_pid=$!
+daemon_pid="${daemon_a_pid} ${daemon_b_pid}"
+replicated=1
+for _ in $(seq 1 100); do
+    if [ -e "${workdir}/traces-b/EP.pythia" ]; then
+        replicated=0
+        break
+    fi
+    sleep 0.1
+done
+if [ "${replicated}" -ne 0 ]; then
+    echo "serve-smoke: EP model never replicated to daemon B" >&2
+    cat "${workdir}/pythiad-a.err" "${workdir}/pythiad-b.err" >&2
+    exit 1
+fi
+if ! "${workdir}/pythia-inspect" -trace "${workdir}/traces-b/EP.pythia" \
+    | grep -q "replicated from ${ca}"; then
+    echo "serve-smoke: replica on daemon B lacks 'replicated from ${ca}' provenance" >&2
+    "${workdir}/pythia-inspect" -trace "${workdir}/traces-b/EP.pythia" >&2 || true
+    exit 1
+fi
+echo "==> loadgen: 4 clients through the two-daemon fleet (epoch 1)"
+"${workdir}/pythia-loadgen" -daemons "${cfleet}" -tenant EP -app EP \
+    -class small -clients 4 -predict-every 4 -distance 4
+echo "==> forcing an epoch bump: restart daemon B at epoch 2"
+kill -TERM "${daemon_b_pid}"
+wait "${daemon_b_pid}" 2>/dev/null || true
+"${workdir}/pythiad" -listen "${cb}" -traces "${workdir}/traces-b" \
+    -cluster-self "${cb}" -cluster-peers "${cfleet}" \
+    -cluster-epoch 2 -cluster-replicas 1 -cluster-sync 300ms \
+    >"${workdir}/pythiad-b.out" 2>"${workdir}/pythiad-b.err" &
+daemon_b_pid=$!
+daemon_pid="${daemon_a_pid} ${daemon_b_pid}"
+adopted=1
+for _ in $(seq 1 100); do
+    if grep -q "cluster epoch 2 adopted" "${workdir}/pythiad-a.out" "${workdir}/pythiad-a.err" 2>/dev/null; then
+        adopted=0
+        break
+    fi
+    sleep 0.1
+done
+if [ "${adopted}" -ne 0 ]; then
+    echo "serve-smoke: daemon A never adopted epoch 2 by gossip" >&2
+    cat "${workdir}/pythiad-a.err" >&2
+    exit 1
+fi
+echo "==> loadgen: 4 clients through the fleet after the epoch bump"
+"${workdir}/pythia-loadgen" -daemons "${cfleet}" -tenant EP -app EP \
+    -class small -clients 4 -predict-every 4 -distance 4
+if ! "${workdir}/pythia-inspect" -trace "${workdir}/traces-b/EP.pythia" \
+    | grep -q "replicated from ${ca}"; then
+    echo "serve-smoke: lineage lost after the epoch bump" >&2
+    exit 1
+fi
+kill -TERM "${daemon_a_pid}" "${daemon_b_pid}"
+wait "${daemon_a_pid}" 2>/dev/null || {
+    echo "serve-smoke: cluster daemon A exited non-zero after SIGTERM" >&2
+    cat "${workdir}/pythiad-a.err" >&2
+    exit 1
+}
+wait "${daemon_b_pid}" 2>/dev/null || {
+    echo "serve-smoke: cluster daemon B exited non-zero after SIGTERM" >&2
+    cat "${workdir}/pythiad-b.err" >&2
     exit 1
 }
 daemon_pid=""
